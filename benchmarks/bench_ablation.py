@@ -1,0 +1,60 @@
+"""Benchmark ``ablation_beta``/``ablation_baselines``.
+
+Validates the two design choices DESIGN.md calls out: the analytically
+optimal cone slope really minimizes the measured ratio, and the
+proportional schedule really beats the naive baselines by the paper's
+margins.
+"""
+
+import pytest
+
+from repro.experiments.ablation import run_baseline_comparison, run_beta_ablation
+
+
+def test_bench_beta_ablation_measured(benchmark):
+    """Measured CR over a beta sweep: the optimum is at beta*."""
+    beta_star, points = benchmark(
+        run_beta_ablation, 3, 1, points=9, measure=True, x_max=60.0
+    )
+
+    measured = {p.parameter: p.measured for p in points}
+    best_beta = min(measured, key=measured.get)
+    assert best_beta == pytest.approx(beta_star)
+    # theory and measurement agree pointwise across the whole sweep
+    for p in points:
+        assert p.measured == pytest.approx(p.theoretical, rel=1e-6)
+    # the ratio degrades monotonically moving away from beta*
+    left = sorted(b for b in measured if b < beta_star)
+    right = sorted(b for b in measured if b > beta_star)
+    left_vals = [measured[b] for b in left]
+    right_vals = [measured[b] for b in right]
+    assert left_vals == sorted(left_vals, reverse=True)
+    assert right_vals == sorted(right_vals)
+
+
+def test_bench_baseline_comparison(benchmark):
+    """Measured ratios of all algorithms at the paper's headline pairs."""
+    rows = benchmark(
+        run_baseline_comparison,
+        pairs=((3, 1), (5, 2), (4, 1)),
+        x_max=300.0,
+    )
+
+    by_key = {(r.algorithm, r.n, r.f): r.measured for r in rows}
+    # (3,1): A(3,1) ~5.23 beats group doubling ~9 by ~1.7x
+    prop = by_key[("A(3,1)", 3, 1)]
+    group = by_key[("GroupDoubling(3,1)", 3, 1)]
+    assert prop == pytest.approx(5.233, abs=0.01)
+    assert group > 8.5
+    assert group / prop > 1.6
+    # (5,2): A(5,2) ~4.43, an even bigger win
+    assert by_key[("A(5,2)", 5, 2)] == pytest.approx(4.434, abs=0.01)
+    # (4,1): the trivial regime — two-group achieves 1 and beats everyone
+    two_group = by_key[("TwoGroup(4,1)", 4, 1)]
+    assert two_group == pytest.approx(1.0)
+    for (name, n, f), value in by_key.items():
+        if (n, f) == (4, 1):
+            assert two_group <= value + 1e-9
+    # naive time-staggering is strictly worse than plain group doubling
+    delayed = by_key[("DelayedGroupDoubling(3,1,d=1)", 3, 1)]
+    assert delayed > group

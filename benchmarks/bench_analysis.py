@@ -1,0 +1,64 @@
+"""Benchmark ``tower``/``average_case``/``ratio_profile``: analysis layer.
+
+Regenerates the Figure 4 detection region, the Lemma 3 sawtooth, and the
+average-case Monte Carlo study, asserting their structural claims.
+"""
+
+import pytest
+
+from repro.analysis.average_case import compare_worst_vs_random_faults
+from repro.baselines import GroupDoubling
+from repro.experiments.ratio_profile import run_ratio_profile
+from repro.experiments.tower import run_tower, tower_diagram
+from repro.schedule import ProportionalAlgorithm
+
+
+def test_bench_tower_region(benchmark):
+    """Exact k-coverage frontier of A(3,1) over time."""
+    rows = benchmark(run_tower, 3, 1, time_points=12, until=28.0)
+
+    widths = [w for *_, w in rows]
+    assert widths == sorted(widths)       # the tower only grows
+    assert widths[0] >= 0.0
+    for _, left, right, _ in rows:
+        assert left <= 0.0 <= right       # it always contains the origin
+
+
+def test_bench_tower_diagram(benchmark):
+    """Shaded Figure 4 rendering."""
+    art = benchmark(tower_diagram, 3, 1, 28.0, 72, 24)
+    assert ":" in art
+
+
+def test_bench_ratio_profile(benchmark):
+    """The Lemma 3 sawtooth with verified equal suprema."""
+    result = benchmark(run_ratio_profile, 5, 2, 2, 16)
+
+    assert result.supremum_matches_theorem1
+    # jumps at every combined turning point
+    per = 16
+    first_samples = [result.ratios[i] for i in range(0, len(result.ratios), per)]
+    for s in first_samples[1:]:
+        assert s == pytest.approx(first_samples[0], rel=1e-6)
+
+
+def test_bench_average_case(benchmark):
+    """Monte Carlo mean-ratio comparison A(3,1) vs group doubling."""
+
+    def study():
+        prop = compare_worst_vs_random_faults(
+            ProportionalAlgorithm(3, 1), trials=200, seed=7
+        )
+        group = compare_worst_vs_random_faults(
+            GroupDoubling(3, 1), trials=200, seed=7
+        )
+        return prop, group
+
+    (prop_adv, prop_rand), (group_adv, group_rand) = benchmark(study)
+    # A(3,1) beats group doubling on the mean under both fault models
+    assert prop_adv.mean < group_adv.mean
+    assert prop_rand.mean < group_rand.mean
+    # random faults help A(3,1) (distinct trajectories) ...
+    assert prop_rand.mean < prop_adv.mean
+    # ... but not group doubling (identical robots => faults irrelevant)
+    assert group_rand.mean == pytest.approx(group_adv.mean, rel=1e-9)

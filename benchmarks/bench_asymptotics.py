@@ -1,0 +1,58 @@
+"""Benchmark ``corollary1``/``corollary2``: asymptotic envelopes.
+
+Sweeps n and checks the paper's asymptotic claims: the exact A(2f+1, f)
+ratio sits below 3 + 4 ln n / n + O(1)/n, the Theorem 2 root sits above
+3 + 2 ln n / n - 2 ln ln n / n, and the exact gap shrinks toward 0.
+"""
+
+import math
+
+from repro.experiments.asymptotics import run_asymptotics
+
+
+def test_bench_asymptotics_sweep(benchmark):
+    """Regenerate the envelope table over four decades of n."""
+    ns = (3, 5, 7, 11, 21, 41, 101, 201, 501, 1001, 10001, 100001)
+
+    rows = benchmark(run_asymptotics, ns)
+
+    for row in rows:
+        # bracket structure (exact bounds inside their envelopes)
+        assert row.lower_envelope <= row.lower_exact <= row.upper_exact
+        assert row.upper_exact <= row.upper_envelope
+    # both exact bounds converge to 3
+    assert rows[-1].upper_exact - 3.0 < 3e-4
+    assert rows[-1].lower_exact - 3.0 < 3e-4
+    # the gap decreases monotonically along the sweep
+    gaps = [r.gap for r in rows]
+    assert gaps == sorted(gaps, reverse=True)
+
+
+def test_bench_theorem2_root_solver(benchmark):
+    """Microbenchmark: the bisection solver across a range of n."""
+    from repro.core.lower_bound import theorem2_lower_bound
+
+    def solve_many():
+        return [theorem2_lower_bound(n) for n in range(2, 200)]
+
+    roots = benchmark(solve_many)
+    assert all(3.0 < a <= 9.0 for a in roots)
+    assert roots == sorted(roots, reverse=True)
+
+
+def test_bench_corollary1_envelope_tightness(benchmark):
+    """The Corollary 1 envelope is asymptotically loose by exactly
+    2 ln n / n (the exact curve behaves like 3 + 2 ln n / n)."""
+    from repro.core.asymptotics import odd_critical_cr
+
+    def excesses():
+        out = []
+        for n in (101, 1001, 10001, 100001):
+            exact_excess = (odd_critical_cr(n) - 3.0) * n / math.log(n)
+            out.append(exact_excess)
+        return out
+
+    values = benchmark(excesses)
+    # normalized exact excess tends to 2 (not 4 as the loose envelope)
+    assert all(1.5 < v < 3.5 for v in values)
+    assert abs(values[-1] - 2.0) < 0.3

@@ -1,0 +1,37 @@
+"""Benchmark ``figures1to4``: regenerate the illustrative diagrams."""
+
+from repro.experiments.diagrams import all_diagrams
+
+
+def test_bench_all_diagrams(benchmark):
+    """ASCII regeneration of Figures 1-4."""
+    diagrams = benchmark(all_diagrams)
+
+    assert set(diagrams) == {
+        "figure1", "figure2", "figure3", "figure4", "figure6", "figure7",
+    }
+    # figure 3 shows all four robots of the n=4 schedule
+    for mark in "0123":
+        assert mark in diagrams["figure3"]
+    # figure 4 is the A(3,1) tower: three robots plus the cone dots
+    assert "." in diagrams["figure4"]
+    for mark in "012":
+        assert mark in diagrams["figure4"]
+
+
+def test_bench_svg_export(benchmark):
+    """Vector export of the Figure 3 style diagram."""
+    from repro.schedule import ProportionalSchedule
+    from repro.viz.svg import fleet_svg
+
+    schedule = ProportionalSchedule(n=4, beta=2.0)
+
+    def render():
+        robots = schedule.build()
+        until = (
+            schedule.beta * schedule.anchors[-1] * schedule.expansion_factor
+        )
+        return fleet_svg(robots, until=until, cone=schedule.cone)
+
+    doc = benchmark(render)
+    assert doc.count("polyline") >= 4

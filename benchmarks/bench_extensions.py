@@ -1,0 +1,64 @@
+"""Benchmark ``ext_*``: the extension studies.
+
+Regenerates the four paper-adjacent variant measurements and asserts
+their laws: scaled copies' start-up penalty, turn-cost linearity, the
+bounded-distance negative result, and the slow-robot rescaling law.
+"""
+
+import pytest
+
+from repro.core import algorithm_competitive_ratio
+from repro.experiments.extensions import (
+    run_bounded,
+    run_multi_speed,
+    run_scaled_copies,
+    run_turn_cost,
+)
+
+
+def test_bench_scaled_copies(benchmark):
+    """Near- vs far-field ratio of the alternative construction."""
+    rows = benchmark(run_scaled_copies, pairs=((3, 1), (5, 2)))
+
+    for row in rows:
+        # asymptotically equal to Theorem 1 ...
+        assert row.far_field == pytest.approx(row.theorem1, rel=2e-3)
+        # ... but strictly worse near the minimum distance
+        assert row.startup_penalty > 0.1
+    # the penalty grows with the fleet (more robots rushing off early)
+    assert rows[1].startup_penalty > rows[0].startup_penalty
+
+
+def test_bench_turn_cost_sweep(benchmark):
+    """Ratio vs per-turn cost: linear with slope 2 for A(3,1)."""
+    rows = benchmark(
+        run_turn_cost, 3, 1, costs=(0.0, 0.25, 0.5, 1.0, 2.0), x_max=100.0
+    )
+
+    base = rows[0][1]
+    assert base == pytest.approx(algorithm_competitive_ratio(3, 1), rel=1e-6)
+    for cost, value in rows:
+        assert value == pytest.approx(base + 2.0 * cost, abs=1e-5)
+
+
+def test_bench_bounded_distance(benchmark):
+    """Naive truncation never helps (negative result across radii)."""
+    rows = benchmark(run_bounded, 3, 1, radii=(2.0, 5.0, 20.0, 100.0))
+
+    target = algorithm_competitive_ratio(3, 1)
+    for _, value in rows:
+        assert value == pytest.approx(target, rel=1e-6)
+
+
+def test_bench_multi_speed(benchmark):
+    """A single slow robot rescales the ratio to CR / s exactly."""
+    rows = benchmark(
+        run_multi_speed, 3, 1, slow_speeds=(1.0, 0.9, 0.75, 0.5),
+        x_max=80.0,
+    )
+
+    for speed, measured, predicted in rows:
+        assert measured == pytest.approx(predicted, rel=1e-6)
+    # monotone degradation as the robot slows
+    values = [m for _, m, _ in rows]
+    assert values == sorted(values)

@@ -1,0 +1,72 @@
+"""Benchmark ``figure5``: regenerate both plots of Figure 5.
+
+Left: CR of A(2f+1, f) versus n (n = 3..20), decreasing toward 3.
+Right: asymptotic CR versus a = n/f on [1, 2], from 9 down to 3.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import figure5_left, figure5_right
+
+
+def test_bench_figure5_left(benchmark):
+    """Regenerate the left plot with simulation checks at odd n."""
+    points = benchmark(figure5_left, n_min=3, n_max=20, measure=True,
+                       x_max=80.0)
+
+    assert [p.n for p in points] == list(range(3, 21))
+    values = [p.formula_value for p in points]
+    # shape: strictly decreasing from 5.233 toward 3
+    assert values == sorted(values, reverse=True)
+    assert values[0] == pytest.approx(5.233, abs=0.001)
+    assert 3.0 < values[-1] < 3.8
+    # measured values (odd n) sit exactly on the curve
+    for p in points:
+        if p.measured_value is not None:
+            assert p.measured_value == pytest.approx(
+                p.formula_value, rel=1e-6
+            )
+
+
+def test_bench_figure5_right(benchmark):
+    """Regenerate the right plot plus finite-n convergence markers."""
+    points = benchmark(figure5_right, grid_points=21, finite_f=40)
+
+    assert points[0].a == 1.0
+    assert points[-1].a == 2.0
+    # shape: monotone decreasing from 9 (a=1) to 3 (a=2)
+    values = [p.asymptotic_value for p in points]
+    assert values == sorted(values, reverse=True)
+    assert values[0] == pytest.approx(9.0)
+    assert values[-1] == pytest.approx(3.0)
+    # finite-n markers hug the asymptote from above (the extra 4/n
+    # terms contribute up to ~0.27 near a = 1 at f = 40)
+    for p in points:
+        if p.finite_n_value is not None:
+            assert 0 <= p.finite_n_value - p.asymptotic_value < 0.3
+
+
+def test_bench_figure5_right_convergence(benchmark):
+    """The 'tends to' claim quantified: error decays as Theta(1/n)."""
+    from repro.experiments.figure5 import figure5_right_convergence
+
+    points = benchmark(
+        figure5_right_convergence, 1.5, (4, 8, 16, 32, 64, 128, 256, 512)
+    )
+    scaled = [p.error * p.n for p in points[2:]]
+    for s in scaled[1:]:
+        assert s == pytest.approx(scaled[0], rel=0.03)
+
+
+def test_bench_figure5_left_chart_render(benchmark):
+    """The terminal chart regeneration itself (presentation path)."""
+    from repro.viz.ascii_art import line_chart
+
+    points = figure5_left()
+
+    chart = benchmark(
+        line_chart,
+        [p.n for p in points],
+        [p.formula_value for p in points],
+    )
+    assert "*" in chart

@@ -1,0 +1,48 @@
+"""Benchmark ``lowerbound_game``: the Theorem 2 adversary, executed.
+
+Plays the constructive adversary against the paper's algorithm and the
+baselines across several (n, f) pairs, asserting it always produces a
+witness forcing ratio >= alpha.
+"""
+
+from repro.experiments.lowerbound_game import run_lowerbound_game
+from repro.lowerbound import TheoremTwoGame
+from repro.robots import Fleet
+from repro.schedule import ProportionalAlgorithm
+
+
+def test_bench_lowerbound_game_suite(benchmark):
+    """Full experiment: 3 algorithms x 5 parameter pairs."""
+    rows = benchmark(
+        run_lowerbound_game,
+        pairs=((2, 1), (3, 1), (4, 2), (5, 2), (5, 3)),
+    )
+
+    assert len(rows) == 15
+    assert all(r.bound_enforced for r in rows)
+    assert all(len(r.witness_faults) <= r.f for r in rows)
+    # the adversary's witness targets come from its ladder (or +-1):
+    # all magnitudes at least 1
+    assert all(abs(r.witness_target) >= 1.0 for r in rows)
+
+
+def test_bench_single_game(benchmark):
+    """Microbenchmark: one adversary game against A(5, 2)."""
+    fleet = Fleet.from_algorithm(ProportionalAlgorithm(5, 2))
+
+    def play():
+        return TheoremTwoGame(fleet, f=2).play()
+
+    witness = benchmark(play)
+    assert witness.ratio >= 3.57 - 1e-6  # the n=5 Theorem 2 bound
+
+
+def test_bench_game_scales_with_n(benchmark):
+    """The adversary against a larger fleet (n=11, f=5)."""
+
+    def play_large():
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(11, 5))
+        return TheoremTwoGame(fleet, f=5).play()
+
+    witness = benchmark(play_large)
+    assert witness.ratio >= 3.34  # the n=11 bound ~3.346

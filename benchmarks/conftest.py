@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure)
+inside a ``benchmark`` fixture, and asserts the *shape* of the result —
+who wins, by what factor, where the curves sit — against the paper's
+claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Timing numbers show how expensive each regeneration is; the assertions
+are the reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    """Table 1 fully measured, shared across benchmark assertions."""
+    from repro.experiments.table1 import run_table1
+
+    return run_table1(measure=True, x_max=100.0)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's illustrative figures (1-4) and export SVGs.
+
+Prints the four diagrams as ASCII art and writes vector versions next to
+this script (figure2.svg .. figure4.svg).
+
+Run:
+    python examples/diagrams.py [--outdir /tmp]
+"""
+
+import argparse
+import os
+
+from repro import Cone, ProportionalAlgorithm, ProportionalSchedule
+from repro.experiments.diagrams import all_diagrams
+from repro.trajectory import ConeZigZag
+from repro.viz import save_fleet_svg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default=os.path.dirname(__file__) or ".")
+    args = parser.parse_args()
+
+    for name, art in all_diagrams().items():
+        print(art)
+        print()
+
+    # SVG exports
+    cone = Cone(2.0)
+    robot = ConeZigZag(cone, anchor=1.0)
+    save_fleet_svg(
+        os.path.join(args.outdir, "figure2.svg"),
+        [robot], until=robot.turning_time(3) * 1.05, cone=cone,
+    )
+
+    schedule = ProportionalSchedule(n=4, beta=2.0)
+    save_fleet_svg(
+        os.path.join(args.outdir, "figure3.svg"),
+        schedule.build(),
+        until=schedule.beta * schedule.anchors[-1] * schedule.expansion_factor,
+        cone=schedule.cone,
+    )
+
+    algorithm = ProportionalAlgorithm(3, 1)
+    save_fleet_svg(
+        os.path.join(args.outdir, "figure4.svg"),
+        algorithm.build(),
+        until=algorithm.beta * algorithm.expansion_factor**2,
+        cone=algorithm.schedule.cone,
+    )
+    print(f"SVGs written to {args.outdir}: figure2.svg figure3.svg figure4.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fault-tolerance sweep: how the guarantee degrades with the fault budget.
+
+For a fixed fleet of n robots, sweep the fault budget f and report:
+
+* which regime each (n, f) lands in;
+* the best competitive ratio (theory and measured);
+* the lower bound any algorithm must obey;
+* average-case detection ratio under random faults (Monte Carlo), to
+  contrast with the worst case.
+
+Run:
+    python examples/fault_sweep.py [--robots 9] [--trials 200]
+"""
+
+import argparse
+import random
+import statistics
+
+from repro import (
+    Fleet,
+    ProportionalAlgorithm,
+    RandomFaults,
+    SearchParameters,
+    TwoGroupAlgorithm,
+    competitive_ratio,
+    lower_bound,
+    measure_competitive_ratio,
+)
+from repro.experiments import render_table
+
+
+def average_case_ratio(algorithm, f: int, trials: int, rng: random.Random):
+    """Mean detection ratio over random targets and random fault sets."""
+    fleet = Fleet.from_algorithm(algorithm)
+    model = RandomFaults(f, seed=rng.randrange(2**31))
+    ratios = []
+    for _ in range(trials):
+        x = rng.choice([-1, 1]) * rng.uniform(1.0, 30.0)
+        ratios.append(model.detection_time(fleet, x) / abs(x))
+    return statistics.mean(ratios)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--robots", type=int, default=9)
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    n = args.robots
+    rows = []
+    for f in range(0, n):
+        params = SearchParameters(n, f)
+        theory = competitive_ratio(n, f)
+        lb = lower_bound(n, f)
+        if params.is_proportional and f > 0:
+            algorithm = ProportionalAlgorithm(n, f)
+        elif params.regime.value == "trivial":
+            algorithm = TwoGroupAlgorithm(n, f)
+        else:
+            algorithm = None
+        measured = avg = None
+        if algorithm is not None:
+            measured = measure_competitive_ratio(
+                algorithm, fault_budget=f, x_max=60.0
+            ).value
+            avg = average_case_ratio(algorithm, f, args.trials, rng)
+        rows.append(
+            [f, params.regime.value, theory, measured, avg, lb]
+        )
+
+    print(
+        render_table(
+            ["f", "regime", "CR theory", "CR measured",
+             "avg ratio (random faults)", "lower bound"],
+            rows,
+            precision=3,
+            title=f"Fault sweep for n = {n} robots "
+                  f"({args.trials} Monte Carlo trials per row)",
+        )
+    )
+    print(
+        "\nReading: the guarantee jumps from 1 (enough robots for two "
+        "full groups)\nthrough the proportional regime, reaching 9 at "
+        "f = n-1; random faults are\nmuch kinder than the adversary."
+    )
+
+
+if __name__ == "__main__":
+    main()

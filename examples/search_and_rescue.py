@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Search-and-rescue scenario: drones with unreliable sensors.
+
+The motivating story behind the paper's model: a life raft drifted an
+unknown distance along a shipping lane (a line).  Five drones launch from
+the last known position.  Each drone's infrared sensor survived the storm
+with unknown probability — up to two sensors may be dead, and a drone
+with a dead sensor flies its pattern perfectly but never *sees* the raft.
+
+With n=5 and f=2 we are in the paper's proportional regime (5 < 2*2+2):
+the optimal plan is A(5, 2), whose guarantee is a rescue within
+~4.43x the raft's distance, against ~9x for the naive everyone-
+together sweep.
+
+Run:
+    python examples/search_and_rescue.py [--seed 26]
+"""
+
+import argparse
+import random
+
+from repro import (
+    AdversarialFaults,
+    Fleet,
+    GroupDoubling,
+    ProportionalAlgorithm,
+    RandomFaults,
+    SearchSimulation,
+)
+from repro.viz import render_fleet_diagram
+
+
+def narrate(title: str, outcome) -> None:
+    print(f"--- {title}")
+    for event in outcome.events:
+        print("   ", event.describe())
+    print(
+        f"    rescue time {outcome.detection_time:.3f} "
+        f"(ratio {outcome.competitive_ratio:.3f})\n"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=26)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    # the raft drifted somewhere; command only knows |x| >= 1 km
+    raft_position = rng.choice([-1, 1]) * rng.uniform(1.0, 12.0)
+    print(f"Raft actually at x = {raft_position:.3f} km (unknown to drones)\n")
+
+    plan = ProportionalAlgorithm(n=5, f=2)
+    fleet = Fleet.from_algorithm(plan)
+    print(f"Flight plan: {plan.describe()}")
+    print(render_fleet_diagram(plan.build(), until=10.0, width=72, height=16))
+    print()
+
+    # worst case: the two dead sensors are exactly on the first two
+    # drones to overfly the raft
+    worst = SearchSimulation(
+        fleet, raft_position, AdversarialFaults(2)
+    ).run()
+    narrate("worst-case sensor failures (adversarial)", worst)
+
+    # typical case: dead sensors are random
+    typical = SearchSimulation(
+        fleet, raft_position, RandomFaults(2, seed=args.seed)
+    ).run()
+    narrate("random sensor failures (one Monte Carlo draw)", typical)
+
+    # the naive plan: all five drones sweep together (doubling)
+    naive = SearchSimulation(
+        Fleet.from_algorithm(GroupDoubling(5, 2)),
+        raft_position,
+        AdversarialFaults(2),
+    ).run()
+    narrate("naive plan: all drones together (group doubling)", naive)
+
+    speedup = naive.detection_time / worst.detection_time
+    print(
+        f"A(5,2) rescues {speedup:.2f}x faster than the naive sweep "
+        "in this scenario\n(worst-case guarantee: "
+        f"{plan.theoretical_competitive_ratio():.2f}x vs 9x the distance)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""repro — reproduction of *Search on a Line with Faulty Robots*.
+
+Czyzowicz, Kranakis, Krizanc, Narayanan, Opatrny — PODC 2016
+(DOI 10.1145/2933057.2933102).
+
+``n`` unit-speed robots search an infinite line for a target at unknown
+distance at least 1 from their shared start; up to ``f`` robots are
+faulty (they traverse but never detect).  This package implements:
+
+* the paper's **proportional schedule algorithms** ``A(n, f)`` with
+  competitive ratio ``((4f+4)/n)^((2f+2)/n) ((4f+4)/n-2)^(1-(2f+2)/n)+1``
+  (Theorem 1), optimal at ``n = f+1`` and asymptotically optimal at
+  ``n = 2f+1``;
+* the **trivial ratio-1 algorithm** for ``n >= 2f+2`` and the classic
+  baselines (doubling, group doubling);
+* a **continuous-time simulator** measuring competitive ratios of
+  arbitrary trajectory fleets under worst-case faults;
+* the **Theorem 2 lower bound** both as a root solve and as an
+  executable adversary game;
+* experiment harnesses regenerating **Table 1 and Figure 5** (plus the
+  illustrative Figures 1-4).
+
+Quickstart::
+
+    from repro import ProportionalAlgorithm, measure_competitive_ratio
+
+    algorithm = ProportionalAlgorithm(n=3, f=1)
+    print(algorithm.theoretical_competitive_ratio())   # 5.233...
+    print(measure_competitive_ratio(algorithm).value)  # same, measured
+"""
+
+from repro._version import __version__
+from repro.baselines import (
+    DelayedGroupDoubling,
+    GroupDoubling,
+    SingleRobotDoubling,
+    SplitDoubling,
+    TwoGroupAlgorithm,
+)
+from repro.core import (
+    Regime,
+    SearchParameters,
+    algorithm_competitive_ratio,
+    asymptotic_cr,
+    competitive_ratio,
+    lower_bound,
+    max_fault_budget,
+    min_fleet_size,
+    odd_critical_cr,
+    optimal_beta,
+    optimal_expansion_factor,
+    proportionality_ratio,
+    schedule_competitive_ratio,
+    theorem2_lower_bound,
+)
+from repro.errors import (
+    AdversaryError,
+    ExperimentError,
+    InvalidParameterError,
+    LineSearchError,
+    ScheduleError,
+    SimulationError,
+    TrajectoryError,
+)
+from repro.geometry import Cone, SpaceTimePoint
+from repro.lowerbound import AdversaryWitness, TargetLadder, TheoremTwoGame
+from repro.robots import (
+    AdversarialFaults,
+    FaultModel,
+    FixedFaults,
+    Fleet,
+    RandomFaults,
+    Robot,
+)
+from repro.schedule import (
+    CustomBetaAlgorithm,
+    ProportionalAlgorithm,
+    ProportionalSchedule,
+    SearchAlgorithm,
+)
+from repro.simulation import (
+    CompetitiveRatioEstimator,
+    SearchSimulation,
+    measure_competitive_ratio,
+    simulate_search,
+)
+from repro.trajectory import (
+    ConeZigZag,
+    DoublingTrajectory,
+    GeometricZigZag,
+    LinearTrajectory,
+    PiecewiseTrajectory,
+    Trajectory,
+    ZigZagTrajectory,
+)
+
+__all__ = [
+    "AdversarialFaults",
+    "AdversaryError",
+    "AdversaryWitness",
+    "CompetitiveRatioEstimator",
+    "Cone",
+    "ConeZigZag",
+    "CustomBetaAlgorithm",
+    "DelayedGroupDoubling",
+    "DoublingTrajectory",
+    "ExperimentError",
+    "FaultModel",
+    "FixedFaults",
+    "Fleet",
+    "GeometricZigZag",
+    "GroupDoubling",
+    "InvalidParameterError",
+    "LineSearchError",
+    "LinearTrajectory",
+    "PiecewiseTrajectory",
+    "ProportionalAlgorithm",
+    "ProportionalSchedule",
+    "RandomFaults",
+    "Regime",
+    "Robot",
+    "ScheduleError",
+    "SearchAlgorithm",
+    "SearchParameters",
+    "SearchSimulation",
+    "SimulationError",
+    "SingleRobotDoubling",
+    "SpaceTimePoint",
+    "SplitDoubling",
+    "TargetLadder",
+    "TheoremTwoGame",
+    "Trajectory",
+    "TrajectoryError",
+    "TwoGroupAlgorithm",
+    "ZigZagTrajectory",
+    "__version__",
+    "algorithm_competitive_ratio",
+    "asymptotic_cr",
+    "competitive_ratio",
+    "lower_bound",
+    "max_fault_budget",
+    "measure_competitive_ratio",
+    "min_fleet_size",
+    "odd_critical_cr",
+    "optimal_beta",
+    "optimal_expansion_factor",
+    "proportionality_ratio",
+    "schedule_competitive_ratio",
+    "simulate_search",
+    "theorem2_lower_bound",
+]

@@ -1,0 +1,35 @@
+"""Analysis tools built on the substrate: coverage, travel, averages.
+
+* :mod:`repro.analysis.coverage` — the Figure 4 "tower": exact
+  ``k``-coverage intervals and tower membership;
+* :mod:`repro.analysis.travel` — distance/energy accounting;
+* :mod:`repro.analysis.average_case` — Monte Carlo mean-ratio studies
+  complementing the paper's worst-case lens.
+"""
+
+from repro.analysis.average_case import (
+    AverageCaseResult,
+    compare_worst_vs_random_faults,
+    estimate_average_ratio,
+)
+from repro.analysis.coverage import (
+    CoverageInterval,
+    coverage_interval,
+    full_coverage_time,
+    is_covered,
+    tower_profile,
+)
+from repro.analysis.travel import TravelReport, travel_report
+
+__all__ = [
+    "AverageCaseResult",
+    "CoverageInterval",
+    "TravelReport",
+    "compare_worst_vs_random_faults",
+    "coverage_interval",
+    "estimate_average_ratio",
+    "full_coverage_time",
+    "is_covered",
+    "tower_profile",
+    "travel_report",
+]

@@ -1,0 +1,166 @@
+"""k-coverage analysis: the "tower" of Figure 4, computed exactly.
+
+The paper's Figure 4 highlights a tower-like region in space-time: the
+set of points ``(x, t)`` such that at time ``t`` position ``x`` has been
+visited by at least two robots — exactly the region where a target would
+already be detected under one fault.  This module computes that region
+for any fleet and any coverage level ``k``.
+
+The key structural fact making this exact and cheap: every robot starts
+at the origin and moves continuously, so the set of points it has
+visited by time ``t`` is the **interval** ``[m_i(t), M_i(t)]`` between
+its running minimum and maximum.  All ``n`` intervals contain 0, hence
+the region covered by at least ``k`` robots at time ``t`` is itself an
+interval:
+
+    ``[ k-th smallest m_i(t),  k-th largest M_i(t) ]``.
+
+The tower ``T_k = {(x, t) : x covered by >= k robots at time t}`` is then
+characterized by two monotone boundary curves, and membership is
+equivalent to the visit-order statistic: ``(x, t) in T_k  <=>
+t_k(x) <= t`` — an identity the tests verify against the independent
+analytic visit engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+
+__all__ = [
+    "CoverageInterval",
+    "coverage_interval",
+    "full_coverage_time",
+    "is_covered",
+    "tower_profile",
+]
+
+
+@dataclass(frozen=True)
+class CoverageInterval:
+    """The interval covered by at least ``k`` robots at time ``time``.
+
+    ``left > right`` never happens; when fewer than ``k`` robots exist
+    the interval degenerates to the origin (all robots start there, so
+    for ``k <= n`` the origin is always covered).
+    """
+
+    time: float
+    k: int
+    left: float
+    right: float
+
+    @property
+    def width(self) -> float:
+        """Total length of the covered interval."""
+        return self.right - self.left
+
+    def contains(self, x: float, tol: float = 1e-9) -> bool:
+        """Whether position ``x`` is covered.
+
+        ``tol`` mirrors the visit engine's tolerance so the tower
+        membership identity ``contains(x) <=> t_k(x) <= time`` holds in
+        floating point, not just exactly.
+        """
+        pad = tol * (1.0 + abs(x))
+        return self.left - pad <= x <= self.right + pad
+
+
+def _running_extremes(fleet: Fleet, time: float) -> Tuple[List[float], List[float]]:
+    mins: List[float] = []
+    maxes: List[float] = []
+    for robot in fleet:
+        traj = robot.trajectory
+        traj.ensure_time(time)
+        lo = hi = traj.position_at(0.0)
+        for seg in traj.segments_until(time):
+            end_t = min(seg.end.time, time)
+            for p in (seg.start.position, seg.position_at(end_t)):
+                lo = min(lo, p)
+                hi = max(hi, p)
+        mins.append(lo)
+        maxes.append(hi)
+    return mins, maxes
+
+
+def coverage_interval(fleet: Fleet, k: int, time: float) -> CoverageInterval:
+    """The interval of points visited by at least ``k`` robots by ``time``.
+
+    Examples:
+        >>> from repro.trajectory import LinearTrajectory
+        >>> fleet = Fleet.from_trajectories(
+        ...     [LinearTrajectory(1), LinearTrajectory(-1), LinearTrajectory(1)]
+        ... )
+        >>> cov = coverage_interval(fleet, k=2, time=5.0)
+        >>> (cov.left, cov.right)
+        (0.0, 5.0)
+        >>> coverage_interval(fleet, k=1, time=5.0).width
+        10.0
+    """
+    if not 1 <= k <= fleet.size:
+        raise InvalidParameterError(
+            f"k must be in 1..{fleet.size}, got {k}"
+        )
+    if time < 0:
+        raise InvalidParameterError(f"time must be >= 0, got {time}")
+    mins, maxes = _running_extremes(fleet, time)
+    mins.sort()
+    maxes.sort()
+    # k-th smallest running minimum; k-th largest running maximum
+    left = mins[k - 1]
+    right = maxes[fleet.size - k]
+    return CoverageInterval(time=time, k=k, left=left, right=right)
+
+
+def is_covered(fleet: Fleet, k: int, x: float, time: float) -> bool:
+    """Whether ``(x, time)`` lies in the tower ``T_k``.
+
+    Equivalent to ``fleet.t_k(x, k) <= time`` (verified by tests).
+    """
+    return coverage_interval(fleet, k, time).contains(x)
+
+
+def full_coverage_time(fleet: Fleet, k: int, radius: float) -> float:
+    """Time by which the whole interval ``[-radius, radius]`` is
+    ``k``-covered.
+
+    Because each robot's covered set is an interval containing the
+    origin, the last points to be covered are the endpoints, so this is
+    simply ``max(t_k(-radius), t_k(radius))`` — ``inf`` if either side
+    is never reached by ``k`` robots.
+
+    Examples:
+        >>> from repro.trajectory import LinearTrajectory
+        >>> fleet = Fleet.from_trajectories(
+        ...     [LinearTrajectory(1), LinearTrajectory(-1)]
+        ... )
+        >>> full_coverage_time(fleet, 1, 5.0)
+        5.0
+    """
+    if radius <= 0:
+        raise InvalidParameterError(f"radius must be positive, got {radius}")
+    if not 1 <= k <= fleet.size:
+        raise InvalidParameterError(f"k must be in 1..{fleet.size}, got {k}")
+    return max(fleet.t_k(-radius, k), fleet.t_k(radius, k))
+
+
+def tower_profile(
+    fleet: Fleet, k: int, times: Sequence[float]
+) -> List[CoverageInterval]:
+    """The tower's boundary sampled at the given times.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        >>> profile = tower_profile(fleet, 2, [1.0, 5.0, 20.0])
+        >>> profile[0].width <= profile[1].width <= profile[2].width
+        True
+    """
+    if not times:
+        raise InvalidParameterError("times must be non-empty")
+    if any(t < 0 for t in times):
+        raise InvalidParameterError("times must be non-negative")
+    return [coverage_interval(fleet, k, t) for t in sorted(times)]

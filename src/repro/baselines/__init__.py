@@ -1,0 +1,24 @@
+"""Baseline algorithms the paper compares against (explicitly or implicitly).
+
+* :class:`~repro.baselines.single_doubling.SingleRobotDoubling` — the
+  classic ratio-9 strategy;
+* :class:`~repro.baselines.group_doubling.GroupDoubling` — all robots
+  together, ratio 9 for every ``f < n`` (Section 1.1 remark);
+* :class:`~repro.baselines.two_group.TwoGroupAlgorithm` — the trivial
+  ratio-1 algorithm for ``n >= 2f + 2``;
+* :mod:`repro.baselines.naive` — intuitive-but-suboptimal strategies for
+  the ablation benchmarks.
+"""
+
+from repro.baselines.group_doubling import GroupDoubling
+from repro.baselines.naive import DelayedGroupDoubling, SplitDoubling
+from repro.baselines.single_doubling import SingleRobotDoubling
+from repro.baselines.two_group import TwoGroupAlgorithm
+
+__all__ = [
+    "DelayedGroupDoubling",
+    "GroupDoubling",
+    "SingleRobotDoubling",
+    "SplitDoubling",
+    "TwoGroupAlgorithm",
+]

@@ -1,0 +1,65 @@
+"""Group doubling: all robots move together on one doubling trajectory.
+
+Section 1.1 remarks that a competitive ratio of 9 "is also achieved by
+all robots starting at the same time, and moving together while following
+a doubling strategy" — because the group contains at least one reliable
+robot whenever ``f < n``, and the group as a whole traces the optimal
+single-robot path.
+
+This is the natural *fault-oblivious* baseline: it ignores the fleet size
+entirely, so for ``n > f + 1`` the proportional schedule beats it, which
+is exactly the gap the paper's Table 1 quantifies (e.g. 5.23 vs 9 for
+``(n, f) = (3, 1)``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+
+__all__ = ["GroupDoubling"]
+
+
+class GroupDoubling(SearchAlgorithm):
+    """All ``n`` robots follow the identical doubling trajectory.
+
+    Valid whenever ``f < n`` (the group must contain a reliable robot).
+
+    Examples:
+        >>> alg = GroupDoubling(3, 1)
+        >>> alg.theoretical_competitive_ratio()
+        9.0
+        >>> trajs = alg.build()
+        >>> trajs[0].first_visit_time(4.0) == trajs[2].first_visit_time(4.0)
+        True
+    """
+
+    def __init__(self, n: int, f: int, first_direction: int = 1) -> None:
+        params = SearchParameters(n, f)
+        if params.n <= params.f:
+            raise InvalidParameterError(
+                f"group doubling needs at least one reliable robot "
+                f"(n > f), got n={n}, f={f}"
+            )
+        super().__init__(params)
+        self.first_direction = first_direction
+
+    @property
+    def name(self) -> str:
+        return f"GroupDoubling({self.n},{self.f})"
+
+    def build(self) -> List[Trajectory]:
+        return [
+            DoublingTrajectory(first_direction=self.first_direction)
+            for _ in range(self.n)
+        ]
+
+    def theoretical_competitive_ratio(self) -> float:
+        """9, independent of ``n`` and ``f`` — the whole group moves as one
+        robot, so ``T_{f+1}(x) = T_1(x)``."""
+        return DOUBLING_COMPETITIVE_RATIO

@@ -1,0 +1,108 @@
+"""Naive multi-robot strategies: what *not* to do in ``f < n < 2f + 2``.
+
+Two intuitive-but-suboptimal ideas, kept as comparison anchors for the
+ablation benchmarks:
+
+* :class:`SplitDoubling` — split the fleet into two doubling teams with
+  opposite initial directions.  With fewer than ``f + 1`` robots per
+  team, a team cannot certify its own side, so the other team's visits
+  are needed and the ratio degrades well past the proportional schedule.
+* :class:`DelayedGroupDoubling` — the whole fleet follows the doubling
+  trajectory but robot ``i`` starts with delay ``i * delay``.  Staggering
+  in *time* (instead of the paper's staggering of turning points in
+  *space*) still forces the late robots to retrace the full path, and the
+  worst-case ratio exceeds group doubling's 9.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.zigzag import GeometricZigZag
+
+__all__ = ["SplitDoubling", "DelayedGroupDoubling"]
+
+
+class SplitDoubling(SearchAlgorithm):
+    """Two doubling teams, initial directions opposed.
+
+    Robots ``0 .. right_size-1`` double starting rightward; the rest
+    start leftward.  Every robot still covers the whole line, so the
+    algorithm is valid for any ``f < n``; it is just slow.
+
+    Examples:
+        >>> alg = SplitDoubling(3, 1)
+        >>> len(alg.build())
+        3
+    """
+
+    def __init__(self, n: int, f: int, right_size: int = 0) -> None:
+        params = SearchParameters(n, f)
+        if params.n <= params.f:
+            raise InvalidParameterError(
+                f"need at least one reliable robot, got n={n}, f={f}"
+            )
+        super().__init__(params)
+        if right_size == 0:
+            right_size = (n + 1) // 2
+        if not 1 <= right_size <= n:
+            raise InvalidParameterError(
+                f"right team size must be in 1..{n}, got {right_size}"
+            )
+        self.right_size = right_size
+
+    @property
+    def name(self) -> str:
+        return f"SplitDoubling({self.n},{self.f})"
+
+    def build(self) -> List[Trajectory]:
+        team_right = [
+            GeometricZigZag(first_turn=1.0, kappa=2.0)
+            for _ in range(self.right_size)
+        ]
+        team_left = [
+            GeometricZigZag(first_turn=-1.0, kappa=2.0)
+            for _ in range(self.n - self.right_size)
+        ]
+        return team_right + team_left
+
+
+class DelayedGroupDoubling(SearchAlgorithm):
+    """Doubling with staggered start times.
+
+    Robot ``i`` waits ``i * delay`` at the origin, then runs the standard
+    doubling trajectory.
+
+    Examples:
+        >>> alg = DelayedGroupDoubling(3, 1, delay=0.5)
+        >>> trajs = alg.build()
+        >>> trajs[2].first_visit_time(1.0)
+        2.0
+    """
+
+    def __init__(self, n: int, f: int, delay: float = 1.0) -> None:
+        params = SearchParameters(n, f)
+        if params.n <= params.f:
+            raise InvalidParameterError(
+                f"need at least one reliable robot, got n={n}, f={f}"
+            )
+        if delay < 0:
+            raise InvalidParameterError(f"delay must be >= 0, got {delay}")
+        super().__init__(params)
+        self.delay = float(delay)
+
+    @property
+    def name(self) -> str:
+        return f"DelayedGroupDoubling({self.n},{self.f},d={self.delay:g})"
+
+    def build(self) -> List[Trajectory]:
+        return [
+            GeometricZigZag(
+                first_turn=1.0, kappa=2.0, start_time=i * self.delay
+            )
+            for i in range(self.n)
+        ]

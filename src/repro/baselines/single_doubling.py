@@ -1,0 +1,45 @@
+"""Single-robot doubling baseline (Bellman/Beck; competitive ratio 9).
+
+The historical starting point of the whole line-search literature, and
+the proof anchor for the ``n = f + 1`` optimality argument: if an
+algorithm for ``n = f + 1`` had ratio below 9, its first robot's
+trajectory alone would beat the single-robot lower bound of 9.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.parameters import SearchParameters
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+
+__all__ = ["SingleRobotDoubling"]
+
+
+class SingleRobotDoubling(SearchAlgorithm):
+    """One reliable robot running the doubling strategy.
+
+    Examples:
+        >>> alg = SingleRobotDoubling()
+        >>> alg.theoretical_competitive_ratio()
+        9.0
+        >>> len(alg.build())
+        1
+    """
+
+    def __init__(self, first_direction: int = 1) -> None:
+        super().__init__(SearchParameters(n=1, f=0))
+        self.first_direction = first_direction
+
+    @property
+    def name(self) -> str:
+        return "SingleDoubling"
+
+    def build(self) -> List[Trajectory]:
+        return [DoublingTrajectory(first_direction=self.first_direction)]
+
+    def theoretical_competitive_ratio(self) -> float:
+        """9 — the supremum, approached at large turning points."""
+        return DOUBLING_COMPETITIVE_RATIO

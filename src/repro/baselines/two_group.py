@@ -1,0 +1,71 @@
+"""The trivial optimal algorithm for ``n >= 2f + 2`` (Section 1).
+
+Partition the robots into two groups of at least ``f + 1`` each and send
+them straight left and right.  Each group contains a reliable robot, so
+whichever side the target is on, a reliable robot walks over it at time
+exactly ``|x|`` — competitive ratio 1, which is optimal since time can
+never beat distance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.linear import LinearTrajectory
+
+__all__ = ["TwoGroupAlgorithm"]
+
+
+class TwoGroupAlgorithm(SearchAlgorithm):
+    """Two straight-line groups; requires ``n >= 2f + 2``.
+
+    Attributes:
+        right_group_size: Robots sent right; defaults to an even split
+            biased right.  Both groups must have at least ``f + 1``
+            members.
+
+    Examples:
+        >>> alg = TwoGroupAlgorithm(4, 1)
+        >>> alg.theoretical_competitive_ratio()
+        1.0
+        >>> [t.direction for t in alg.build()]
+        [1, 1, -1, -1]
+    """
+
+    def __init__(
+        self, n: int, f: int, right_group_size: Optional[int] = None
+    ) -> None:
+        params = SearchParameters(n, f)
+        if params.n < 2 * params.f + 2:
+            raise InvalidParameterError(
+                f"two-group search needs n >= 2f + 2, got n={n}, f={f}"
+            )
+        super().__init__(params)
+        if right_group_size is None:
+            right_group_size = (n + 1) // 2
+        if not (params.f + 1 <= right_group_size <= n - (params.f + 1)):
+            raise InvalidParameterError(
+                f"each group needs at least f+1={params.f + 1} robots; "
+                f"right group of {right_group_size} out of {n} is invalid"
+            )
+        self.right_group_size = right_group_size
+
+    @property
+    def name(self) -> str:
+        return f"TwoGroup({self.n},{self.f})"
+
+    def build(self) -> List[Trajectory]:
+        right = [LinearTrajectory(1) for _ in range(self.right_group_size)]
+        left = [
+            LinearTrajectory(-1)
+            for _ in range(self.n - self.right_group_size)
+        ]
+        return right + left
+
+    def theoretical_competitive_ratio(self) -> float:
+        """1 — optimal; a reliable robot reaches ``x`` at time ``|x|``."""
+        return 1.0

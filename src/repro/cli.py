@@ -1,0 +1,365 @@
+"""Command-line interface: ``linesearch``.
+
+Subcommands:
+
+* ``info n f`` — regime, formulas, and bounds for a parameter pair;
+* ``simulate`` — run one search scenario and print the event log;
+* ``ratio`` — measure the empirical competitive ratio of an algorithm;
+* ``table1`` — reproduce Table 1;
+* ``figure5`` — reproduce Figure 5 (``--side left|right``);
+* ``diagram`` — regenerate the illustrative figures (``--figure 1..7``);
+* ``lowerbound`` — play the Theorem 2 adversary game;
+* ``schedule`` — inspect an ``A(n, f)`` schedule's turning points;
+* ``validate`` — admissibility check for a configuration;
+* ``experiment`` — run any experiment from the registry by id;
+* ``export`` — write experiment data as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.errors import LineSearchError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="linesearch",
+        description=(
+            "Reproduction of 'Search on a Line with Faulty Robots' "
+            "(Czyzowicz et al., PODC 2016)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="bounds and formulas for (n, f)")
+    p_info.add_argument("n", type=int)
+    p_info.add_argument("f", type=int)
+
+    p_sim = sub.add_parser("simulate", help="run one search scenario")
+    p_sim.add_argument("n", type=int)
+    p_sim.add_argument("f", type=int)
+    p_sim.add_argument("target", type=float)
+    p_sim.add_argument(
+        "--faults",
+        choices=("adversarial", "random", "none"),
+        default="adversarial",
+        help="fault model (default: adversarial)",
+    )
+    p_sim.add_argument("--seed", type=int, default=None)
+
+    p_ratio = sub.add_parser(
+        "ratio", help="measure the empirical competitive ratio"
+    )
+    p_ratio.add_argument("n", type=int)
+    p_ratio.add_argument("f", type=int)
+    p_ratio.add_argument("--beta", type=float, default=None,
+                         help="override the cone slope (ablation)")
+    p_ratio.add_argument("--x-max", type=float, default=200.0)
+
+    sub.add_parser("table1", help="reproduce Table 1")
+
+    p_fig5 = sub.add_parser("figure5", help="reproduce Figure 5")
+    p_fig5.add_argument("--side", choices=("left", "right", "both"),
+                        default="both")
+
+    p_diag = sub.add_parser(
+        "diagram", help="regenerate Figure 1-4 style diagrams"
+    )
+    p_diag.add_argument(
+        "--figure", choices=("1", "2", "3", "4", "6", "7", "all"),
+        default="all",
+    )
+    p_diag.add_argument("--svg", type=str, default=None,
+                        help="also write an SVG of figure 3 to this path")
+
+    p_lb = sub.add_parser(
+        "lowerbound", help="play the Theorem 2 adversary game"
+    )
+    p_lb.add_argument("n", type=int)
+    p_lb.add_argument("f", type=int)
+    p_lb.add_argument("--alpha", type=float, default=None)
+
+    p_exp = sub.add_parser("experiment", help="run a registered experiment")
+    p_exp.add_argument("id", nargs="?", default=None,
+                       help="experiment id (omit to list)")
+
+    p_export = sub.add_parser(
+        "export", help="export experiment data as CSV"
+    )
+    p_export.add_argument("id", nargs="?", default=None,
+                          help="experiment id (omit to list)")
+    p_export.add_argument("--out", type=str, default=None,
+                          help="write to this file instead of stdout")
+    p_export.add_argument("--measure", action="store_true",
+                          help="include simulation measurements")
+
+    p_val = sub.add_parser(
+        "validate", help="check an algorithm's admissibility"
+    )
+    p_val.add_argument("n", type=int)
+    p_val.add_argument("f", type=int)
+    p_val.add_argument("--beta", type=float, default=None)
+    p_val.add_argument("--x-max", type=float, default=20.0)
+
+    p_sched = sub.add_parser(
+        "schedule", help="inspect the A(n,f) schedule's turning points"
+    )
+    p_sched.add_argument("n", type=int)
+    p_sched.add_argument("f", type=int)
+    p_sched.add_argument("--turns", type=int, default=5,
+                         help="turning points shown per robot")
+    p_sched.add_argument("--diagram", action="store_true",
+                         help="also draw the space-time diagram")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_info(args: argparse.Namespace) -> str:
+    from repro.core import (
+        SearchParameters,
+        competitive_ratio,
+        lower_bound,
+        optimal_beta,
+        optimal_expansion_factor,
+    )
+
+    params = SearchParameters(args.n, args.f)
+    lines = [params.describe()]
+    lines.append(f"competitive ratio achieved: {competitive_ratio(args.n, args.f):.6g}")
+    lines.append(f"lower bound on any algorithm: {lower_bound(args.n, args.f):.6g}")
+    if params.is_proportional:
+        lines.append(f"optimal cone slope beta*: {optimal_beta(args.n, args.f):.6g}")
+        lines.append(
+            "expansion factor: "
+            f"{optimal_expansion_factor(args.n, args.f):.6g}"
+        )
+    return "\n".join(lines)
+
+
+def _make_algorithm(n: int, f: int, beta: Optional[float] = None):
+    from repro.baselines import TwoGroupAlgorithm
+    from repro.core import SearchParameters
+    from repro.schedule import CustomBetaAlgorithm, ProportionalAlgorithm
+
+    params = SearchParameters(n, f)
+    if params.is_proportional:
+        if beta is not None:
+            return CustomBetaAlgorithm(n, f, beta)
+        return ProportionalAlgorithm(n, f)
+    if beta is not None:
+        raise LineSearchError(
+            "--beta only applies in the proportional regime f < n < 2f+2"
+        )
+    return TwoGroupAlgorithm(n, f)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> str:
+    from repro.robots import AdversarialFaults, Fleet, RandomFaults
+    from repro.simulation import SearchSimulation
+
+    algorithm = _make_algorithm(args.n, args.f)
+    if args.faults == "adversarial":
+        model = AdversarialFaults(args.f)
+    elif args.faults == "random":
+        model = RandomFaults(args.f, seed=args.seed)
+    else:
+        model = AdversarialFaults(0)
+    sim = SearchSimulation(
+        Fleet.from_algorithm(algorithm), args.target, fault_model=model
+    )
+    outcome = sim.run()
+    return f"{algorithm.describe()}\n{outcome.describe()}"
+
+
+def _cmd_ratio(args: argparse.Namespace) -> str:
+    from repro.simulation import measure_competitive_ratio
+
+    algorithm = _make_algorithm(args.n, args.f, beta=args.beta)
+    estimate = measure_competitive_ratio(algorithm, x_max=args.x_max)
+    theory = algorithm.theoretical_competitive_ratio()
+    lines = [algorithm.describe(), estimate.describe()]
+    if theory is not None:
+        lines.append(f"agreement with closed form: {estimate.matches(theory)}")
+    return "\n".join(lines)
+
+
+def _cmd_table1(_: argparse.Namespace) -> str:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    return render_table1(run_table1(measure=True))
+
+
+def _cmd_figure5(args: argparse.Namespace) -> str:
+    from repro.experiments.registry import run_experiment
+
+    parts: List[str] = []
+    if args.side in ("left", "both"):
+        parts.append(run_experiment("figure5_left"))
+    if args.side in ("right", "both"):
+        parts.append(run_experiment("figure5_right"))
+    return "\n\n".join(parts)
+
+
+def _cmd_diagram(args: argparse.Namespace) -> str:
+    from repro.experiments.diagrams import (
+        all_diagrams,
+        figure1_diagram,
+        figure2_diagram,
+        figure3_diagram,
+        figure4_diagram,
+        figure6_diagram,
+        figure7_diagram,
+    )
+
+    if args.svg:
+        from repro.schedule import ProportionalAlgorithm
+        from repro.viz import save_fleet_svg
+
+        algorithm = ProportionalAlgorithm(3, 1)
+        save_fleet_svg(
+            args.svg,
+            algorithm.build(),
+            until=algorithm.beta * algorithm.expansion_factor**2,
+            cone=algorithm.schedule.cone,
+        )
+    pick = {
+        "1": figure1_diagram,
+        "2": figure2_diagram,
+        "3": figure3_diagram,
+        "4": figure4_diagram,
+        "6": figure6_diagram,
+        "7": figure7_diagram,
+    }
+    if args.figure == "all":
+        return "\n\n".join(all_diagrams().values())
+    return pick[args.figure]()
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> str:
+    from repro.lowerbound import TheoremTwoGame
+    from repro.robots import Fleet
+
+    algorithm = _make_algorithm(args.n, args.f)
+    game = TheoremTwoGame(
+        Fleet.from_algorithm(algorithm), f=args.f, alpha=args.alpha
+    )
+    witness = game.play()
+    return (
+        f"adversary enforces alpha = {game.alpha:.6g} against "
+        f"{algorithm.name}\nwitness: {witness.describe()}"
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> str:
+    from repro.experiments.registry import experiment_ids, run_experiment
+
+    if args.id is None:
+        return "available experiments:\n  " + "\n  ".join(experiment_ids())
+    return run_experiment(args.id)
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from repro.experiments.export import export_csv, exportable_ids
+
+    if args.id is None:
+        return "exportable experiments:\n  " + "\n  ".join(exportable_ids())
+    csv_text = export_csv(args.id, measure=args.measure)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(csv_text + "\n")
+        return f"wrote {args.out} ({len(csv_text.splitlines()) - 1} rows)"
+    return csv_text
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    from repro.schedule.validation import validate_algorithm
+
+    algorithm = _make_algorithm(args.n, args.f, beta=args.beta)
+    report = validate_algorithm(algorithm, x_max=args.x_max)
+    return report.describe()
+
+
+def _cmd_schedule(args: argparse.Namespace) -> str:
+    from repro.experiments.report import render_table
+    from repro.schedule import ProportionalAlgorithm
+
+    algorithm = ProportionalAlgorithm(args.n, args.f)
+    robots = algorithm.build()
+    headers = ["robot", "first cone turn"] + [
+        f"turn {i + 1}" for i in range(args.turns)
+    ]
+    body = []
+    for index, robot in enumerate(robots):
+        row = [f"a_{index}", robot.first_cone_turn]
+        row.extend(robot.turning_position(i + 1) for i in range(args.turns))
+        body.append(row)
+    lines = [
+        algorithm.describe(),
+        f"beta* = {algorithm.beta:.6g}, kappa = "
+        f"{algorithm.expansion_factor:.6g}, r = "
+        f"{algorithm.proportionality_ratio:.6g}",
+        render_table(headers, body, precision=4),
+    ]
+    if args.diagram:
+        from repro.viz import render_fleet_diagram
+
+        until = algorithm.beta * algorithm.expansion_factor**2
+        lines.append(
+            render_fleet_diagram(
+                robots, until=until, cone=algorithm.schedule.cone
+            )
+        )
+    return "\n".join(lines)
+
+
+_DISPATCH = {
+    "info": _cmd_info,
+    "simulate": _cmd_simulate,
+    "ratio": _cmd_ratio,
+    "table1": _cmd_table1,
+    "figure5": _cmd_figure5,
+    "diagram": _cmd_diagram,
+    "lowerbound": _cmd_lowerbound,
+    "experiment": _cmd_experiment,
+    "export": _cmd_export,
+    "validate": _cmd_validate,
+    "schedule": _cmd_schedule,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _DISPATCH[args.command](args)
+    except LineSearchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(output)
+    except BrokenPipeError:
+        # downstream pipe (e.g. `head`) closed early — not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

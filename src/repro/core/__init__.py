@@ -1,0 +1,81 @@
+"""Core theory of the paper: formulas, optima, and bounds.
+
+This subpackage contains the *closed-form* side of the reproduction — the
+quantities Sections 3 and 4 derive analytically:
+
+* :mod:`repro.core.parameters` — validated ``(n, f)`` pairs and regimes;
+* :mod:`repro.core.proportional` — Lemma 2/Lemma 4 schedule mathematics;
+* :mod:`repro.core.competitive_ratio` — Lemma 5 and Theorem 1 ratios;
+* :mod:`repro.core.optimal` — the optimizing cone slope and expansion
+  factor;
+* :mod:`repro.core.lower_bound` — Theorem 2 and Corollary 2;
+* :mod:`repro.core.asymptotics` — Figure 5 curves and Corollary 1.
+
+The executable counterparts (trajectories, simulation, adversary games)
+live in the sibling subpackages and are required by the test suite to
+agree with these formulas.
+"""
+
+from repro.core.asymptotics import (
+    asymptotic_cr,
+    corollary1_upper,
+    corollary2_lower,
+    finite_a_cr,
+    odd_critical_cr,
+)
+from repro.core.competitive_ratio import (
+    SINGLE_ROBOT_CR,
+    algorithm_competitive_ratio,
+    competitive_ratio,
+    schedule_competitive_ratio,
+)
+from repro.core.lower_bound import (
+    corollary2_alpha,
+    lower_bound,
+    theorem2_lower_bound,
+    theorem2_residual,
+)
+from repro.core.optimal import (
+    optimal_beta,
+    optimal_expansion_factor,
+    optimal_proportionality_ratio,
+)
+from repro.core.parameters import Regime, SearchParameters
+from repro.core.planning import max_fault_budget, min_fleet_size
+from repro.core.proportional import (
+    beta_for_ratio,
+    combined_turning_points,
+    proportionality_ratio,
+    robot_anchor_positions,
+    t_f_plus_1_at_turning_point,
+    turning_time,
+)
+
+__all__ = [
+    "Regime",
+    "SINGLE_ROBOT_CR",
+    "SearchParameters",
+    "algorithm_competitive_ratio",
+    "asymptotic_cr",
+    "beta_for_ratio",
+    "combined_turning_points",
+    "competitive_ratio",
+    "corollary1_upper",
+    "corollary2_alpha",
+    "corollary2_lower",
+    "finite_a_cr",
+    "lower_bound",
+    "max_fault_budget",
+    "min_fleet_size",
+    "odd_critical_cr",
+    "optimal_beta",
+    "optimal_expansion_factor",
+    "optimal_proportionality_ratio",
+    "proportionality_ratio",
+    "robot_anchor_positions",
+    "schedule_competitive_ratio",
+    "t_f_plus_1_at_turning_point",
+    "theorem2_lower_bound",
+    "theorem2_residual",
+    "turning_time",
+]

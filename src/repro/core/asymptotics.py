@@ -1,0 +1,123 @@
+"""Asymptotic expressions (Section 1.1, Corollary 1, Figure 5).
+
+Three closed forms, all plotted or quoted by the paper:
+
+* :func:`odd_critical_cr` — the exact Theorem 1 ratio for ``n = 2f + 1``,
+  ``(2 + 2/n)^(1 + 1/n) (2/n)^(-1/n) + 1`` (left plot of Figure 5);
+* :func:`asymptotic_cr` — the limiting ratio for a fixed fault fraction
+  ``a = n/f in (1, 2)``: ``(4/a)^(2/a) (4/a - 2)^(1 - 2/a) + 1`` (right
+  plot of Figure 5);
+* :func:`corollary1_upper` — the ``3 + 4 ln n / n`` upper envelope of
+  Corollary 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "odd_critical_cr",
+    "asymptotic_cr",
+    "corollary1_upper",
+    "corollary2_lower",
+    "finite_a_cr",
+]
+
+
+def odd_critical_cr(n: int) -> float:
+    """Theorem 1 ratio for ``n = 2f + 1`` robots, as a function of ``n``.
+
+    ``(2 + 2/n)^(1 + 1/n) * (2/n)^(-1/n) + 1``, which tends to 3 as
+    ``n -> inf``.  The paper plots this for ``n = 3 .. 20`` (Figure 5,
+    left); for odd ``n`` it is exactly the ratio of ``A(n, (n-1)/2)``.
+
+    Examples:
+        >>> round(odd_critical_cr(3), 3)
+        5.233
+        >>> 3.0 < odd_critical_cr(10**6) < 3.001
+        True
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    return (2.0 + 2.0 / n) ** (1.0 + 1.0 / n) * (2.0 / n) ** (-1.0 / n) + 1.0
+
+
+def asymptotic_cr(a: float) -> float:
+    """Limiting competitive ratio for fault fraction ``a = n/f in (1, 2)``.
+
+    ``(4/a)^(2/a) * (4/a - 2)^(1 - 2/a) + 1`` (Figure 5, right).  The
+    endpoints recover the boundary cases: ``a -> 1`` gives 9 (minimal
+    fleets) and ``a -> 2`` gives 3 (the ``n = 2f + 1`` limit).
+
+    Examples:
+        >>> asymptotic_cr(1.0)
+        9.0
+        >>> round(asymptotic_cr(2.0), 10)
+        3.0
+    """
+    if not 1.0 <= a <= 2.0:
+        raise InvalidParameterError(f"a = n/f must be in [1, 2], got {a!r}")
+    c = 4.0 / a
+    e = 2.0 / a
+    if a == 2.0:
+        # (4/a - 2) -> 0 with exponent 1 - 2/a -> 0; the limit is
+        # c^e * 1 = 2^1 = 2, hence ratio 3.
+        return c**e + 1.0
+    return c**e * (c - 2.0) ** (1.0 - e) + 1.0
+
+
+def finite_a_cr(n: int, f: int) -> float:
+    """Finite-``n`` version of :func:`asymptotic_cr` (pre-limit form).
+
+    ``(4/a + 4/n)^(2/a + 2/n) (4/a + 4/n - 2)^(1 - 2/a - 2/n) + 1``
+    with ``a = n/f`` — this is just Theorem 1 rewritten, provided for the
+    convergence experiments around Figure 5 (right).
+
+    Examples:
+        >>> from repro.core.competitive_ratio import algorithm_competitive_ratio
+        >>> abs(finite_a_cr(5, 3) - algorithm_competitive_ratio(5, 3)) < 1e-12
+        True
+    """
+    if f < 1:
+        raise InvalidParameterError(f"f must be >= 1, got {f}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    a = n / f
+    c = 4.0 / a + 4.0 / n
+    e = 2.0 / a + 2.0 / n
+    if c <= 2.0:
+        raise InvalidParameterError(
+            f"(n={n}, f={f}) lies outside the proportional regime"
+        )
+    return c**e * (c - 2.0) ** (1.0 - e) + 1.0
+
+
+def corollary1_upper(n: int, constant: float = 4.0) -> float:
+    """The Corollary 1 upper envelope ``3 + 4 ln n / n + constant/n``.
+
+    The default ``constant`` absorbs the ``O(1)/n`` low-order term; tests
+    verify that :func:`odd_critical_cr` stays below this envelope for a
+    concrete small constant.
+
+    Examples:
+        >>> odd_critical_cr(50) < corollary1_upper(50)
+        True
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    return 3.0 + 4.0 * math.log(n) / n + constant / n
+
+
+def corollary2_lower(n: int) -> float:
+    """The Corollary 2 lower envelope ``3 + 2 ln n / n - 2 ln ln n / n``.
+
+    Examples:
+        >>> from repro.core.lower_bound import theorem2_lower_bound
+        >>> corollary2_lower(50) < theorem2_lower_bound(50)
+        True
+    """
+    if n < 3:
+        raise InvalidParameterError(f"n must be >= 3, got {n}")
+    return 3.0 + (2.0 * math.log(n) - 2.0 * math.log(math.log(n))) / n

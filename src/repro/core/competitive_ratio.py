@@ -1,0 +1,108 @@
+"""Closed-form competitive ratios (Lemma 5, Theorem 1).
+
+Two levels of formula:
+
+* :func:`schedule_competitive_ratio` — the competitive ratio of the
+  proportional schedule ``S_beta(n)`` with ``f`` faults, for *any*
+  ``beta > 1`` (Lemma 5):
+
+      ``CR(beta) = (beta+1)^e (beta-1)^(1-e) + 1``,  ``e = (2f+2)/n``;
+
+* :func:`algorithm_competitive_ratio` — the ratio of the algorithm
+  ``A(n, f)``, obtained by plugging in the optimizing
+  ``beta* = (4f+4)/n - 1`` (Theorem 1):
+
+      ``((4f+4)/n)^e ((4f+4)/n - 2)^(1-e) + 1``.
+
+The module also exposes the full problem-level ``competitive_ratio``
+helper that dispatches across regimes (1 in the trivial regime, the
+Theorem 1 bound in the proportional regime).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.optimal import optimal_beta
+from repro.core.parameters import Regime, SearchParameters
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "schedule_competitive_ratio",
+    "algorithm_competitive_ratio",
+    "competitive_ratio",
+    "SINGLE_ROBOT_CR",
+]
+
+#: Optimal competitive ratio of a single reliable robot (Beck & Newman).
+SINGLE_ROBOT_CR = 9.0
+
+
+def schedule_competitive_ratio(beta: float, n: int, f: int) -> float:
+    """Lemma 5: competitive ratio of ``S_beta(n)`` under ``f`` faults.
+
+    Valid for any ``beta > 1`` and ``f < n < 2f + 2``.
+
+    Examples:
+        >>> schedule_competitive_ratio(3.0, 2, 1)   # doubling, one of two faulty
+        9.0
+        >>> round(schedule_competitive_ratio(5/3, 3, 1), 3)   # A(3,1)
+        5.233
+    """
+    params = SearchParameters(n, f).require_proportional()
+    if not math.isfinite(beta) or beta <= 1.0:
+        raise InvalidParameterError(f"beta must be a finite real > 1, got {beta!r}")
+    e = params.exponent()
+    return (beta + 1.0) ** e * (beta - 1.0) ** (1.0 - e) + 1.0
+
+
+def algorithm_competitive_ratio(n: int, f: int) -> float:
+    """Theorem 1: competitive ratio of the algorithm ``A(n, f)``.
+
+    Equals :func:`schedule_competitive_ratio` at the optimal
+    ``beta = (4f+4)/n - 1``.
+
+    Examples:
+        >>> algorithm_competitive_ratio(2, 1)
+        9.0
+        >>> round(algorithm_competitive_ratio(3, 1), 3)
+        5.233
+        >>> round(algorithm_competitive_ratio(41, 20), 2)
+        3.24
+    """
+    params = SearchParameters(n, f).require_proportional()
+    c = (4.0 * f + 4.0) / n  # = beta* + 1
+    e = params.exponent()
+    return c**e * (c - 2.0) ** (1.0 - e) + 1.0
+
+
+def competitive_ratio(n: int, f: int) -> float:
+    """Best competitive ratio achieved by this library for ``(n, f)``.
+
+    * trivial regime (``n >= 2f + 2``): 1 — two straight groups;
+    * proportional regime: the Theorem 1 bound of ``A(n, f)``;
+    * hopeless regime (``n <= f``): ``inf`` — no algorithm can guarantee
+      detection, reported as an infinite ratio.
+
+    Examples:
+        >>> competitive_ratio(4, 1)
+        1.0
+        >>> competitive_ratio(3, 1) == algorithm_competitive_ratio(3, 1)
+        True
+        >>> competitive_ratio(1, 1)
+        inf
+    """
+    params = SearchParameters(n, f)
+    if params.regime is Regime.HOPELESS:
+        return math.inf
+    if params.regime is Regime.TRIVIAL:
+        return 1.0
+    return algorithm_competitive_ratio(n, f)
+
+
+def _consistency_check(n: int, f: int) -> float:  # pragma: no cover
+    """Debug helper: Theorem 1 formula vs Lemma 5 at the optimal beta."""
+    return abs(
+        algorithm_competitive_ratio(n, f)
+        - schedule_competitive_ratio(optimal_beta(n, f), n, f)
+    )

@@ -1,0 +1,140 @@
+"""Lower bounds on the competitive ratio (Theorem 2, Corollary 2).
+
+Theorem 2: any algorithm for ``n < 2f + 2`` robots (``f`` faulty) has
+competitive ratio at least ``alpha`` for every ``alpha > 3`` with
+
+    ``(alpha - 1)^n (alpha - 3) <= 2^(n+1)``.
+
+The best such bound is the root of ``(alpha-1)^n (alpha-3) = 2^(n+1)``,
+computed here by bisection (the left side is strictly increasing in
+``alpha`` on ``(3, inf)``).
+
+Two further sources combine into the overall lower bound:
+
+* ``n = f + 1``: a competitive ratio below 9 would contradict the
+  single-robot optimality of 9 [Beck & Newman], because the adversary can
+  declare every robot except the first faulty (Section 1.1);
+* ``n >= 2f + 2``: the trivial bound 1 (time can never beat distance).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import Regime, SearchParameters
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "theorem2_lower_bound",
+    "theorem2_residual",
+    "lower_bound",
+    "corollary2_alpha",
+]
+
+
+def theorem2_residual(alpha: float, n: int) -> float:
+    """The constraint residual ``(alpha-1)^n (alpha-3) - 2^(n+1)``.
+
+    Negative (or zero) residual means ``alpha`` is a valid lower bound for
+    ``n`` robots by Theorem 2.  Computed in log space for large ``n``.
+
+    Examples:
+        >>> round(theorem2_residual(3.0, 3), 6)
+        -16.0
+        >>> theorem2_residual(5.0, 3) > 0
+        True
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    log_rhs = (n + 1) * math.log(2.0)
+    if alpha <= 3.0:
+        return -math.exp(log_rhs) if log_rhs <= 700.0 else -math.inf
+    # log-space comparison avoids overflow for large n
+    log_lhs = n * math.log(alpha - 1.0) + math.log(alpha - 3.0)
+    if max(log_lhs, log_rhs) > 700.0:
+        # exp would overflow: only the sign matters to callers
+        if log_lhs == log_rhs:
+            return 0.0
+        return math.inf if log_lhs > log_rhs else -math.inf
+    return math.exp(log_lhs) - math.exp(log_rhs)
+
+
+def theorem2_lower_bound(n: int, tolerance: float = 1e-12) -> float:
+    """The largest ``alpha`` allowed by Theorem 2 for ``n`` robots.
+
+    Solves ``(alpha-1)^n (alpha-3) = 2^(n+1)`` by bisection on
+    ``(3, 9]``.  The root always lies in that bracket: at ``alpha -> 3+``
+    the left side tends to 0, and at ``alpha = 9`` it is
+    ``8^n * 6 > 2^(n+1)`` for every ``n >= 1``.
+
+    Examples:
+        >>> round(theorem2_lower_bound(3), 2)   # ~3.76 quoted in the paper
+        3.76
+        >>> round(theorem2_lower_bound(4), 3)
+        3.649
+        >>> round(theorem2_lower_bound(5), 2)
+        3.57
+        >>> round(theorem2_lower_bound(11), 3)
+        3.346
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if tolerance <= 0:
+        raise InvalidParameterError(f"tolerance must be positive, got {tolerance}")
+    lo, hi = 3.0, 9.0
+    if theorem2_residual(hi, n) <= 0:  # pragma: no cover - impossible by math
+        raise InvalidParameterError("bracket failure in theorem2_lower_bound")
+    # bisection: log-space residual is monotone increasing in alpha
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if theorem2_residual(mid, n) <= 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def lower_bound(n: int, f: int) -> float:
+    """Best known lower bound on the competitive ratio for ``(n, f)``.
+
+    Combines Theorem 2 with the single-robot reduction for ``n = f + 1``
+    and the trivial bound for the ``n >= 2f + 2`` regime.  Matches the
+    "lower bound on comp. ratio" column of Table 1.
+
+    Examples:
+        >>> lower_bound(2, 1)
+        9.0
+        >>> round(lower_bound(3, 1), 2)
+        3.76
+        >>> lower_bound(4, 1)
+        1.0
+        >>> round(lower_bound(41, 20), 2)   # paper prints 3.12 (looser)
+        3.14
+    """
+    params = SearchParameters(n, f)
+    if params.regime is Regime.HOPELESS:
+        return math.inf
+    if params.regime is Regime.TRIVIAL:
+        return 1.0
+    if params.is_minimal_fleet:
+        # single-robot reduction: beats even Theorem 2
+        return 9.0
+    return theorem2_lower_bound(n)
+
+
+def corollary2_alpha(n: int) -> float:
+    """The closed-form asymptotic witness of Corollary 2.
+
+    ``alpha = 3 + 2 (ln n - ln ln n) / n`` satisfies the Theorem 2
+    constraint for large ``n``, giving the asymptotic lower bound
+    ``3 + 2 ln n / n - 2 ln ln n / n``.
+
+    Examples:
+        >>> corollary2_alpha(100) < theorem2_lower_bound(100)
+        True
+    """
+    if n < 3:
+        raise InvalidParameterError(
+            f"corollary 2 needs n >= 3 so that ln ln n is defined, got {n}"
+        )
+    return 3.0 + 2.0 * (math.log(n) - math.log(math.log(n))) / n

@@ -1,0 +1,95 @@
+"""Optimal cone slope for ``A(n, f)`` (the optimization after Lemma 5).
+
+Minimizing ``F(beta) = (beta+1)^e (beta-1)^(1-e) + 1`` with
+``e = (2f+2)/n`` over ``beta > 1`` gives the unique stationary point
+
+    ``beta* = (4f + 4)/n - 1``
+
+(the paper solves ``F'(beta) = 0``).  In the proportional regime
+``f < n < 2f + 2`` this lies in the open interval ``(1, 3)``:
+
+* ``n -> 2f + 2``  =>  ``beta* -> 1``  (ever flatter cone: with nearly
+  enough robots, little revisiting is needed);
+* ``n = f + 1``    =>  ``beta* = 3``   (the doubling cone).
+
+The induced expansion factor ``(beta*+1)/(beta*-1) = (4f+4) /
+(4f+4-2n) * ... `` simplifies to ``(2f+2)/(2f+2-n)``; for ``n = 2f+1``
+this is ``n + 1`` and for ``n = f + 1`` it is 2, matching Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import expansion_factor
+
+__all__ = [
+    "optimal_beta",
+    "optimal_expansion_factor",
+    "optimal_proportionality_ratio",
+]
+
+
+def optimal_beta(n: int, f: int) -> float:
+    """The competitive-ratio-minimizing cone slope ``(4f+4)/n - 1``.
+
+    Examples:
+        >>> optimal_beta(2, 1)   # n = f+1: the doubling cone
+        3.0
+        >>> round(optimal_beta(3, 1), 12)
+        1.666666666667
+        >>> round(optimal_beta(41, 20), 12)
+        1.048780487805
+    """
+    SearchParameters(n, f).require_proportional()
+    return (4.0 * f + 4.0) / n - 1.0
+
+
+def optimal_expansion_factor(n: int, f: int) -> float:
+    """Expansion factor of ``A(n, f)``: ``(2f+2)/(2f+2-n)``.
+
+    Derived from ``kappa = (beta*+1)/(beta*-1)`` with
+    ``beta* = (4f+4)/n - 1``.  Matches the last column of Table 1.
+
+    Examples:
+        >>> optimal_expansion_factor(2, 1)
+        2.0
+        >>> round(optimal_expansion_factor(3, 1), 9)
+        4.0
+        >>> round(optimal_expansion_factor(5, 2), 9)   # n = 2f+1 gives n+1
+        6.0
+        >>> round(optimal_expansion_factor(5, 3), 2)
+        2.67
+        >>> round(optimal_expansion_factor(41, 20), 9)
+        42.0
+    """
+    beta = optimal_beta(n, f)
+    return expansion_factor(beta)
+
+
+def optimal_proportionality_ratio(n: int, f: int) -> float:
+    """The proportionality ratio ``r`` of ``A(n, f)``'s schedule.
+
+    ``r = kappa^(2/n)`` with the optimal expansion factor.
+
+    Examples:
+        >>> optimal_proportionality_ratio(2, 1)
+        2.0
+    """
+    return optimal_expansion_factor(n, f) ** (2.0 / n)
+
+
+def check_in_valid_range(beta: float) -> float:
+    """Validate a user-supplied cone slope for proportional schedules.
+
+    The optimization's domain is ``beta > 1``; values of 3 or more are
+    legal but never optimal in the strict proportional regime (``beta = 3``
+    is attained only at the boundary ``n = f + 1``).
+
+    Returns the value unchanged for fluent use.
+    """
+    if beta <= 1.0:
+        raise InvalidParameterError(
+            f"cone slope beta must be > 1 for a zig-zag to exist, got {beta!r}"
+        )
+    return beta

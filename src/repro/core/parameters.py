@@ -1,0 +1,162 @@
+"""Problem parameters ``(n, f)`` and regime classification.
+
+The paper's landscape splits on the relation between the number of robots
+``n`` and the fault budget ``f``:
+
+* ``n >= 2f + 2`` — *trivial regime*: two groups of ``f+1`` robots walk
+  straight in opposite directions; competitive ratio 1, optimal.
+* ``f < n < 2f + 2`` — *proportional regime*: the interesting case, solved
+  by the proportional schedule algorithms ``A(n, f)`` of Section 3.
+* ``n <= f`` — *hopeless*: every robot may be faulty, so no algorithm can
+  ever guarantee detection.
+
+Within the proportional regime two boundary cases get special attention:
+``n = f + 1`` (competitive ratio exactly 9, matching the single-robot
+bound) and ``n = 2f + 1`` (asymptotically optimal ratio ``3 + Θ(ln n / n)``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Regime", "SearchParameters"]
+
+
+class Regime(enum.Enum):
+    """Which part of the paper's landscape a parameter pair falls into."""
+
+    #: ``n >= 2f + 2`` — two straight groups achieve competitive ratio 1.
+    TRIVIAL = "trivial"
+    #: ``f < n < 2f + 2`` — proportional schedule algorithms apply.
+    PROPORTIONAL = "proportional"
+    #: ``n <= f`` — detection cannot be guaranteed.
+    HOPELESS = "hopeless"
+
+
+@dataclass(frozen=True)
+class SearchParameters:
+    """A validated pair ``(n, f)`` of fleet size and fault budget.
+
+    Attributes:
+        n: Total number of robots, at least 1.
+        f: Maximum number of faulty robots, at least 0.
+
+    Examples:
+        >>> p = SearchParameters(n=3, f=1)
+        >>> p.regime
+        <Regime.PROPORTIONAL: 'proportional'>
+        >>> p.visits_required
+        2
+        >>> SearchParameters(n=4, f=1).regime
+        <Regime.TRIVIAL: 'trivial'>
+        >>> SearchParameters(n=2, f=2).regime
+        <Regime.HOPELESS: 'hopeless'>
+    """
+
+    n: int
+    f: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.n, int) or isinstance(self.n, bool):
+            raise InvalidParameterError(f"n must be an int, got {self.n!r}")
+        if not isinstance(self.f, int) or isinstance(self.f, bool):
+            raise InvalidParameterError(f"f must be an int, got {self.f!r}")
+        if self.n < 1:
+            raise InvalidParameterError(f"need at least one robot, got n={self.n}")
+        if self.f < 0:
+            raise InvalidParameterError(
+                f"fault budget must be non-negative, got f={self.f}"
+            )
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+
+    @property
+    def regime(self) -> Regime:
+        """The paper regime this pair belongs to."""
+        if self.n <= self.f:
+            return Regime.HOPELESS
+        if self.n >= 2 * self.f + 2:
+            return Regime.TRIVIAL
+        return Regime.PROPORTIONAL
+
+    @property
+    def is_proportional(self) -> bool:
+        """``f < n < 2f + 2`` — the regime of Sections 3 and 4."""
+        return self.regime is Regime.PROPORTIONAL
+
+    @property
+    def is_minimal_fleet(self) -> bool:
+        """``n = f + 1`` — a single reliable robot guaranteed.
+
+        In this case the paper shows competitive ratio 9 is optimal (the
+        problem degenerates to single-robot search).
+        """
+        return self.n == self.f + 1
+
+    @property
+    def is_odd_critical(self) -> bool:
+        """``n = 2f + 1`` — one robot short of the trivial regime.
+
+        Here ``A(2f+1, f)`` has expansion factor ``n + 1`` and is
+        asymptotically optimal (ratio ``3 + Θ(ln n / n)``).
+        """
+        return self.n == 2 * self.f + 1
+
+    @property
+    def visits_required(self) -> int:
+        """``f + 1`` — distinct robot visits needed to guarantee detection."""
+        return self.f + 1
+
+    @property
+    def fault_fraction(self) -> float:
+        """``f / n`` — the fraction of the fleet that may be faulty."""
+        return self.f / self.n
+
+    @property
+    def robots_per_fault(self) -> float:
+        """``a = n / f`` as used in the asymptotic analysis.
+
+        Raises:
+            InvalidParameterError: when ``f = 0`` (the ratio is undefined;
+                with no faults the problem is classic group search).
+        """
+        if self.f == 0:
+            raise InvalidParameterError("a = n/f is undefined for f = 0")
+        return self.n / self.f
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def require_proportional(self) -> "SearchParameters":
+        """Return ``self`` if in the proportional regime, else raise.
+
+        Guards entry points that implement Section 3/4 mathematics.
+        """
+        if not self.is_proportional:
+            raise InvalidParameterError(
+                f"(n={self.n}, f={self.f}) is in the {self.regime.value} "
+                "regime; proportional schedules require f < n < 2f + 2"
+            )
+        return self
+
+    def exponent(self) -> float:
+        """The recurring exponent ``(2f + 2) / n`` of Theorem 1/Lemma 5."""
+        return (2.0 * self.f + 2.0) / self.n
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        tags = [self.regime.value]
+        if self.is_minimal_fleet:
+            tags.append("n=f+1")
+        if self.is_odd_critical:
+            tags.append("n=2f+1")
+        frac = (
+            f", a=n/f={self.robots_per_fault:.3g}" if self.f > 0 else ""
+        )
+        return f"n={self.n}, f={self.f} ({', '.join(tags)}{frac})"

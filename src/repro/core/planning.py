@@ -1,0 +1,89 @@
+"""Inverse planning: answering the deployment questions.
+
+Theorem 1 answers "given (n, f), what ratio?".  A deployment usually
+asks the inverse questions:
+
+* :func:`max_fault_budget` — with ``n`` robots, how many faults can I
+  tolerate while guaranteeing detection within ``max_ratio`` times the
+  distance?
+* :func:`min_fleet_size` — how many robots do I need to tolerate ``f``
+  faults at ratio ``max_ratio``?
+
+Both are monotone in their argument (more faults hurt; more robots
+help), so simple scans give exact answers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.competitive_ratio import competitive_ratio
+from repro.errors import InvalidParameterError
+
+__all__ = ["max_fault_budget", "min_fleet_size"]
+
+
+def max_fault_budget(n: int, max_ratio: float) -> Optional[int]:
+    """Largest ``f`` such that ``competitive_ratio(n, f) <= max_ratio``.
+
+    Returns ``None`` when even ``f = 0`` cannot meet the target (only
+    possible for ``max_ratio < 1`` or a single robot demanding better
+    than 9).
+
+    Examples:
+        >>> max_fault_budget(4, 1.0)    # two-group works up to f=1
+        1
+        >>> max_fault_budget(5, 5.0)    # A(5,2) = 4.43 fits; A(5,3) = 6.76 doesn't
+        2
+        >>> max_fault_budget(3, 9.0)    # even n = f+1 fits at 9
+        2
+        >>> max_fault_budget(3, 8.9)    # ... but not below 9
+        1
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if not math.isfinite(max_ratio) or max_ratio <= 0:
+        raise InvalidParameterError(
+            f"max_ratio must be a positive finite real, got {max_ratio!r}"
+        )
+    best: Optional[int] = None
+    for f in range(0, n):
+        if competitive_ratio(n, f) <= max_ratio + 1e-12:
+            best = f
+        else:
+            break  # ratio is non-decreasing in f for fixed n
+    return best
+
+
+def min_fleet_size(f: int, max_ratio: float, n_cap: int = 10**6) -> Optional[int]:
+    """Smallest ``n`` such that ``competitive_ratio(n, f) <= max_ratio``.
+
+    Returns ``None`` if no fleet up to ``n_cap`` meets the target (only
+    possible for ``max_ratio < 1``).
+
+    Examples:
+        >>> min_fleet_size(1, 1.0)     # ratio 1 needs the trivial regime
+        4
+        >>> min_fleet_size(2, 5.0)     # A(5,2) = 4.43 is the first <= 5
+        5
+        >>> min_fleet_size(1, 9.0)     # f+1 = 2 robots suffice at 9
+        2
+        >>> min_fleet_size(3, 0.5) is None
+        True
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if not math.isfinite(max_ratio) or max_ratio <= 0:
+        raise InvalidParameterError(
+            f"max_ratio must be a positive finite real, got {max_ratio!r}"
+        )
+    if n_cap < 1:
+        raise InvalidParameterError(f"n_cap must be >= 1, got {n_cap}")
+    # the ratio is non-increasing in n for fixed f and reaches 1 at
+    # n = 2f + 2, so only n in [f+1, 2f+2] need checking
+    upper = min(2 * f + 2, n_cap)
+    for n in range(f + 1, upper + 1):
+        if competitive_ratio(n, f) <= max_ratio + 1e-12:
+            return n
+    return None

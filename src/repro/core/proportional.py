@@ -1,0 +1,157 @@
+"""Proportional schedule mathematics (Definition 2, Lemma 2, Lemma 4).
+
+A *proportional schedule* ``S_beta(n)`` is a family of ``n`` cone-defined
+zig-zags inside ``C_beta`` whose combined positive turning points
+``tau_0 < tau_1 < tau_2 < ...`` satisfy
+
+    ``(tau_{i+1} - tau_i) / (tau_i - tau_{i-1}) = r``  for every ``i``,
+
+where ``r`` is the *proportionality ratio*.  Lemma 2 shows the constraint
+of all robots living in the same cone forces
+
+    ``r = ((beta + 1) / (beta - 1)) ** (2 / n) = kappa ** (2 / n)``
+
+and that consecutive combined turning points obey ``tau_{i+1} = r tau_i``
+with visit times ``t_{i+1} = t_i + tau_i beta (r - 1)`` — equivalently
+``t_i = beta tau_i`` since all turns happen on the cone boundary.
+
+Lemma 4 then computes the quantity that drives the competitive ratio: the
+first visit of a turning point ``tau_0`` by the ``(f+1)``-st robot,
+
+    ``T_{f+1}(tau_0) = tau_0 * ((beta+1)^((2f+2)/n) (beta-1)^(1-(2f+2)/n) + 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import expansion_factor
+
+__all__ = [
+    "proportionality_ratio",
+    "beta_for_ratio",
+    "combined_turning_points",
+    "turning_time",
+    "t_f_plus_1_at_turning_point",
+    "robot_anchor_positions",
+]
+
+
+def _validate_beta(beta: float) -> None:
+    if not math.isfinite(beta) or beta <= 1.0:
+        raise InvalidParameterError(f"beta must be a finite real > 1, got {beta!r}")
+
+
+def _validate_n(n: int) -> None:
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        raise InvalidParameterError(f"n must be a positive int, got {n!r}")
+
+
+def proportionality_ratio(beta: float, n: int) -> float:
+    """The ratio ``r`` of the proportional schedule ``S_beta(n)``.
+
+    Lemma 2: ``r = ((beta + 1)/(beta - 1)) ** (2/n)``.
+
+    Examples:
+        >>> proportionality_ratio(3.0, 2)   # kappa = 2, r = 2^(2/2)
+        2.0
+        >>> round(proportionality_ratio(3.0, 4), 12)   # r = 2^(1/2)
+        1.414213562373
+    """
+    _validate_beta(beta)
+    _validate_n(n)
+    return expansion_factor(beta) ** (2.0 / n)
+
+
+def beta_for_ratio(r: float, n: int) -> float:
+    """Inverse of :func:`proportionality_ratio` in ``beta``.
+
+    Solving ``r = kappa^(2/n)`` for ``kappa = r^(n/2)`` and then
+    ``beta = (kappa+1)/(kappa-1)``.
+
+    Examples:
+        >>> beta_for_ratio(2.0, 2)
+        3.0
+    """
+    _validate_n(n)
+    if not math.isfinite(r) or r <= 1.0:
+        raise InvalidParameterError(f"ratio must be a finite real > 1, got {r!r}")
+    kappa = r ** (n / 2.0)
+    return (kappa + 1.0) / (kappa - 1.0)
+
+
+def combined_turning_points(
+    beta: float, n: int, count: int, tau0: float = 1.0
+) -> List[float]:
+    """The first ``count`` combined positive turning points of ``S_beta(n)``.
+
+    ``tau_i = tau0 * r^i`` — a pure geometric sequence (Lemma 2), one
+    turning point per robot in cyclic order ``a_0, a_1, ..., a_{n-1},
+    a_0, ...``.
+
+    Examples:
+        >>> combined_turning_points(3.0, 2, 4)
+        [1.0, 2.0, 4.0, 8.0]
+    """
+    _validate_beta(beta)
+    _validate_n(n)
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    if tau0 <= 0:
+        raise InvalidParameterError(f"tau0 must be positive, got {tau0!r}")
+    r = proportionality_ratio(beta, n)
+    return [tau0 * r**i for i in range(count)]
+
+
+def turning_time(beta: float, tau: float) -> float:
+    """Visit time of turning point ``tau``: ``beta * |tau|``.
+
+    All turning points of a cone schedule lie on the cone boundary, so
+    their visit times are determined by position alone.
+    """
+    _validate_beta(beta)
+    return beta * abs(tau)
+
+
+def t_f_plus_1_at_turning_point(
+    beta: float, n: int, f: int, tau0: float = 1.0
+) -> float:
+    """Lemma 4: first visit of turning point ``tau0`` by robot ``a_{f+1}``.
+
+    ``T_{f+1} = tau0 * ((beta+1)^((2f+2)/n) * (beta-1)^(1-(2f+2)/n) + 1)``
+
+    This is the supremum of the detection time over the interval just
+    right of ``tau0`` and therefore (Lemma 5) the competitive ratio times
+    ``tau0``.
+
+    Examples:
+        >>> t_f_plus_1_at_turning_point(3.0, 2, 1)   # A(2,1): CR 9
+        9.0
+    """
+    _validate_beta(beta)
+    _validate_n(n)
+    if not isinstance(f, int) or isinstance(f, bool) or f < 0:
+        raise InvalidParameterError(f"f must be a non-negative int, got {f!r}")
+    if tau0 <= 0:
+        raise InvalidParameterError(f"tau0 must be positive, got {tau0!r}")
+    exponent = (2.0 * f + 2.0) / n
+    return tau0 * (
+        (beta + 1.0) ** exponent * (beta - 1.0) ** (1.0 - exponent) + 1.0
+    )
+
+
+def robot_anchor_positions(beta: float, n: int, tau0: float = 1.0) -> List[float]:
+    """Anchor (first combined-cycle) positive turning point of each robot.
+
+    Robot ``a_i`` of ``S_beta(n)`` owns the combined turning point
+    ``tau_i = tau0 * r^i`` for ``i = 0 .. n-1``; all its later positive
+    turning points are ``tau_i * kappa^(2k)`` (two cone reflections per
+    return to the positive side, and ``kappa^2 = r^n``).
+
+    Examples:
+        >>> robot_anchor_positions(3.0, 2)
+        [1.0, 2.0]
+    """
+    return combined_turning_points(beta, n, n, tau0)

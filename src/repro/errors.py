@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`LineSearchError` so that
+callers can catch every domain error with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+(simulation) problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LineSearchError",
+    "InvalidParameterError",
+    "TrajectoryError",
+    "ScheduleError",
+    "SimulationError",
+    "AdversaryError",
+    "ExperimentError",
+]
+
+
+class LineSearchError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class InvalidParameterError(LineSearchError, ValueError):
+    """A parameter is outside its mathematically valid domain.
+
+    Raised, for example, when a cone slope ``beta <= 1`` is requested, when
+    ``f >= n``, or when a target closer than the unit minimum distance is
+    passed to a competitive-ratio computation.
+    """
+
+
+class TrajectoryError(LineSearchError):
+    """A trajectory is malformed or queried outside its defined domain.
+
+    Typical causes: non-monotone time stamps, a segment that would require
+    speed greater than 1, or a visit query for a point the trajectory
+    provably never reaches within the requested horizon.
+    """
+
+
+class ScheduleError(LineSearchError):
+    """A robot schedule violates the proportional-schedule invariants."""
+
+
+class SimulationError(LineSearchError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class AdversaryError(LineSearchError):
+    """The lower-bound adversary could not complete its argument.
+
+    This signals a *library* problem (or a genuinely sub-``alpha``
+    algorithm, which Theorem 2 proves impossible); it is distinct from the
+    adversary successfully producing a witness.
+    """
+
+
+class ExperimentError(LineSearchError):
+    """An experiment was configured inconsistently or failed to run."""

@@ -1,0 +1,19 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+See DESIGN.md's per-experiment index.  Each module exposes ``run_*``
+(structured rows) and ``render_*`` (text report) functions;
+:mod:`repro.experiments.registry` maps DESIGN.md experiment ids to
+runnable reports.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.report import format_value, render_csv, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "format_value",
+    "render_csv",
+    "render_table",
+    "run_experiment",
+]

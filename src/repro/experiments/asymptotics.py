@@ -1,0 +1,109 @@
+"""Experiment ``asymptotics``: Corollary 1 and Corollary 2 envelopes.
+
+Checks, over a wide range of ``n``, that:
+
+* the exact ``n = 2f + 1`` competitive ratio stays below the Corollary 1
+  upper envelope ``3 + 4 ln n / n + O(1)/n``;
+* the Theorem 2 lower bound stays above the Corollary 2 witness
+  ``3 + 2 ln n / n - 2 ln ln n / n``;
+* upper and lower bounds bracket a shrinking gap of order ``ln n / n``,
+  demonstrating the paper's headline claim that ``A(2f+1, f)`` is
+  asymptotically optimal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.asymptotics import corollary1_upper, corollary2_lower, odd_critical_cr
+from repro.core.lower_bound import theorem2_lower_bound
+from repro.errors import InvalidParameterError
+from repro.experiments.report import render_table
+
+__all__ = ["AsymptoticsRow", "run_asymptotics", "render_asymptotics"]
+
+#: Default n values swept (odd, so A(n, (n-1)/2) exists).
+DEFAULT_NS: Sequence[int] = (3, 5, 7, 11, 21, 41, 101, 201, 501, 1001, 10001)
+
+
+@dataclass(frozen=True)
+class AsymptoticsRow:
+    """Bounds at one fleet size ``n`` (``n = 2f + 1`` family)."""
+
+    n: int
+    upper_exact: float        # Theorem 1 ratio of A(n, (n-1)/2)
+    upper_envelope: float     # Corollary 1: 3 + 4 ln n / n + C/n
+    lower_exact: float        # Theorem 2 root
+    lower_envelope: float     # Corollary 2: 3 + 2 ln n/n - 2 ln ln n/n
+
+    @property
+    def gap(self) -> float:
+        """Upper minus lower exact bounds."""
+        return self.upper_exact - self.lower_exact
+
+    @property
+    def normalized_gap(self) -> float:
+        """Gap in units of ``ln n / n`` — bounded by ~2 asymptotically."""
+        return self.gap * self.n / math.log(self.n)
+
+
+def run_asymptotics(ns: Sequence[int] = DEFAULT_NS) -> List[AsymptoticsRow]:
+    """Evaluate all four curves over a sweep of fleet sizes.
+
+    Examples:
+        >>> rows = run_asymptotics([11, 101])
+        >>> all(r.lower_exact <= r.upper_exact for r in rows)
+        True
+        >>> rows[1].gap < rows[0].gap
+        True
+    """
+    if not ns:
+        raise InvalidParameterError("ns must be non-empty")
+    rows: List[AsymptoticsRow] = []
+    for n in ns:
+        if n < 3:
+            raise InvalidParameterError(f"need n >= 3, got {n}")
+        rows.append(
+            AsymptoticsRow(
+                n=n,
+                upper_exact=odd_critical_cr(n),
+                upper_envelope=corollary1_upper(n),
+                lower_exact=theorem2_lower_bound(n),
+                lower_envelope=corollary2_lower(n),
+            )
+        )
+    return rows
+
+
+def render_asymptotics(rows: List[AsymptoticsRow]) -> str:
+    """Text rendering of the asymptotics experiment."""
+    headers = [
+        "n",
+        "CR A(2f+1,f)",
+        "Cor.1 envelope",
+        "Thm.2 bound",
+        "Cor.2 envelope",
+        "gap",
+        "gap * n/ln n",
+    ]
+    body = [
+        [
+            r.n,
+            r.upper_exact,
+            r.upper_envelope,
+            r.lower_exact,
+            r.lower_envelope,
+            r.gap,
+            r.normalized_gap,
+        ]
+        for r in rows
+    ]
+    return render_table(
+        headers, body, precision=6,
+        title=(
+            "Asymptotic optimality at n = 2f+1 — upper/lower bounds "
+            "bracket 3 with a Theta(ln n / n) gap"
+        ),
+    )

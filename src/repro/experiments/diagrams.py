@@ -1,0 +1,167 @@
+"""Experiment ``figures1to4``: regenerate the paper's illustrative figures.
+
+The four illustrations of Sections 2-3, recreated from the actual library
+objects (not hand-drawn):
+
+* Figure 1 — a general zig-zag strategy;
+* Figure 2 — a zig-zag defined by the cone ``C_beta``;
+* Figure 3 — the proportional schedule for ``n`` robots in ``C_beta``;
+* Figure 4 — three robots, one faulty: the "tower" region where at least
+  two robots have passed.
+
+Each renderer returns ASCII art; SVG versions are available through
+:mod:`repro.viz.svg`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry.cone import Cone
+from repro.schedule.proportional_schedule import ProportionalSchedule
+from repro.trajectory.cone_zigzag import ConeZigZag
+from repro.trajectory.zigzag import ZigZagTrajectory
+from repro.viz.ascii_art import render_fleet_diagram
+
+__all__ = [
+    "figure1_diagram",
+    "figure2_diagram",
+    "figure3_diagram",
+    "figure4_diagram",
+    "figure6_diagram",
+    "figure7_diagram",
+    "all_diagrams",
+]
+
+
+def figure1_diagram(width: int = 72, height: int = 20) -> str:
+    """A general zig-zag strategy with four turning points (Figure 1)."""
+    strategy = ZigZagTrajectory([1.5, -1.0, 3.0, -4.0])
+    until = 1.5 + 2.5 + 4.0 + 7.0  # arrival time at the last turn
+    art = render_fleet_diagram([strategy], until=until, width=width,
+                               height=height)
+    return "Figure 1 — a general zig-zag strategy\n" + art
+
+
+def figure2_diagram(
+    beta: float = 2.0, width: int = 72, height: int = 22
+) -> str:
+    """A zig-zag defined by cone ``C_beta`` and a boundary point (Figure 2)."""
+    cone = Cone(beta)
+    robot = ConeZigZag(cone, anchor=1.0)
+    until = robot.turning_time(3) * 1.05
+    art = render_fleet_diagram(
+        [robot], until=until, width=width, height=height, cone=cone
+    )
+    return (
+        f"Figure 2 — zig-zag defined by cone C_beta (beta={beta:g}; "
+        "dots mark the boundary)\n" + art
+    )
+
+
+def figure3_diagram(
+    n: int = 4, beta: float = 2.0, width: int = 72, height: int = 24
+) -> str:
+    """The proportional schedule for ``n`` robots in ``C_beta`` (Figure 3)."""
+    schedule = ProportionalSchedule(n=n, beta=beta)
+    robots = schedule.build()
+    until = beta * schedule.anchors[-1] * schedule.expansion_factor
+    art = render_fleet_diagram(
+        robots, until=until, width=width, height=height, cone=schedule.cone
+    )
+    return (
+        f"Figure 3 — proportional schedule for n={n} robots "
+        f"(beta={beta:g}, r={schedule.ratio:.4g})\n" + art
+    )
+
+
+def figure4_diagram(width: int = 72, height: int = 24) -> str:
+    """Three robots, one faulty (the A(3,1) schedule; Figure 4)."""
+    from repro.schedule.algorithm import ProportionalAlgorithm
+
+    algorithm = ProportionalAlgorithm(3, 1)
+    robots = algorithm.build()
+    until = algorithm.beta * algorithm.expansion_factor ** 2 * 1.05
+    art = render_fleet_diagram(
+        robots,
+        until=until,
+        width=width,
+        height=height,
+        cone=algorithm.schedule.cone,
+    )
+    return (
+        "Figure 4 — searching by three robots, one of which is faulty "
+        f"(A(3,1), beta={algorithm.beta:.4g})\n" + art
+    )
+
+
+def figure6_diagram(x: float = 3.0, width: int = 72, height: int = 18) -> str:
+    """Positive and negative trajectories for ``x`` (Figure 6).
+
+    A positive trajectory visits 1, x, -1, -x in that order (solid robot
+    0); a negative one visits -1, -x, 1, x (robot 1).
+    """
+    positive = ZigZagTrajectory([x + 0.5, -(x + 0.5)])
+    negative = ZigZagTrajectory([-(x + 0.5), x + 0.5])
+    until = 2 * (x + 0.5) + (x + 0.5)
+    art = render_fleet_diagram(
+        [positive, negative], until=until, width=width, height=height
+    )
+    return (
+        f"Figure 6 — positive (robot 0) and negative (robot 1) "
+        f"trajectories for x={x:g}\n" + art
+    )
+
+
+def figure7_diagram(n: int = 4, width: int = 72) -> str:
+    """The adversary's target ladder on the line (Figure 7).
+
+    Marks ``±1`` and ``±x_i`` for the Theorem 2 ladder at the strongest
+    enforceable ``alpha`` for ``n`` robots.
+    """
+    from repro.core.lower_bound import theorem2_lower_bound
+    from repro.lowerbound.ladder import TargetLadder
+
+    alpha = theorem2_lower_bound(n) - 1e-9
+    ladder = TargetLadder(n=n, alpha=alpha)
+    xs = ladder.magnitudes()
+    extent = xs[0] * 1.1
+    line = [" "] * width
+    labels = [" "] * width
+
+    def column(value: float) -> int:
+        return min(
+            int((value + extent) / (2 * extent) * (width - 1) + 0.5),
+            width - 1,
+        )
+
+    for col in range(width):
+        line[col] = "-"
+    for i, magnitude in enumerate(xs):
+        for sign in (1, -1):
+            col = column(sign * magnitude)
+            line[col] = "x"
+            labels[col] = str(i)
+    for sign in (1, -1):
+        col = column(sign * 1.0)
+        line[col] = "1"
+    line[column(0.0)] = "0"
+    return (
+        f"Figure 7 — adversary target ladder for n={n} at "
+        f"alpha={alpha:.4f}\n"
+        f"x_i = 2^(i+1) / ((alpha-1)^i (alpha-3)): "
+        + ", ".join(f"x_{i}={v:.3f}" for i, v in enumerate(xs))
+        + "\n" + "".join(line) + "\n" + "".join(labels)
+    )
+
+
+def all_diagrams() -> Dict[str, str]:
+    """All illustrative diagrams, keyed by figure id."""
+    return {
+        "figure1": figure1_diagram(),
+        "figure2": figure2_diagram(),
+        "figure3": figure3_diagram(),
+        "figure4": figure4_diagram(),
+        "figure6": figure6_diagram(),
+        "figure7": figure7_diagram(),
+    }

@@ -1,0 +1,149 @@
+"""CSV export of experiment data (for external plotting tools).
+
+The text reports in :mod:`repro.experiments.registry` are for reading;
+this module exposes the same runs as ``(headers, rows)`` pairs and
+writes them as CSV.  Used by ``linesearch export <id> --out file.csv``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.report import render_csv
+
+__all__ = ["CSV_EXPORTERS", "export_csv", "exportable_ids"]
+
+Dataset = Tuple[Sequence[str], List[Sequence]]
+
+
+def _table1(measure: bool) -> Dataset:
+    from repro.experiments.table1 import run_table1
+
+    rows = run_table1(measure=measure)
+    headers = [
+        "n", "f", "paper_cr", "computed_cr", "measured_cr",
+        "paper_lower_bound", "computed_lower_bound",
+        "paper_expansion", "computed_expansion",
+    ]
+    body = [
+        [
+            r.n, r.f, r.paper_cr, r.computed_cr, r.measured_cr,
+            r.paper_lower_bound, r.computed_lower_bound,
+            r.paper_expansion, r.computed_expansion,
+        ]
+        for r in rows
+    ]
+    return headers, body
+
+
+def _figure5_left(measure: bool) -> Dataset:
+    from repro.experiments.figure5 import figure5_left
+
+    points = figure5_left(measure=measure)
+    headers = ["n", "formula_value", "theorem1_value", "measured_value"]
+    body = [
+        [p.n, p.formula_value, p.theorem1_value, p.measured_value]
+        for p in points
+    ]
+    return headers, body
+
+
+def _figure5_right(measure: bool) -> Dataset:
+    from repro.experiments.figure5 import figure5_right
+
+    points = figure5_right()
+    headers = ["a", "asymptotic_value", "finite_n_value", "finite_n"]
+    body = [
+        [p.a, p.asymptotic_value, p.finite_n_value, p.finite_n]
+        for p in points
+    ]
+    return headers, body
+
+
+def _asymptotics(measure: bool) -> Dataset:
+    from repro.experiments.asymptotics import run_asymptotics
+
+    rows = run_asymptotics()
+    headers = [
+        "n", "upper_exact", "upper_envelope", "lower_exact",
+        "lower_envelope", "gap",
+    ]
+    body = [
+        [r.n, r.upper_exact, r.upper_envelope, r.lower_exact,
+         r.lower_envelope, r.gap]
+        for r in rows
+    ]
+    return headers, body
+
+
+def _ratio_profile(measure: bool) -> Dataset:
+    from repro.experiments.ratio_profile import run_ratio_profile
+
+    result = run_ratio_profile(3, 1, periods=2)
+    headers = ["x", "ratio"]
+    body = [[x, k] for x, k in zip(result.xs, result.ratios)]
+    return headers, body
+
+
+def _tower(measure: bool) -> Dataset:
+    from repro.experiments.tower import run_tower
+
+    rows = run_tower(3, 1, time_points=24, until=28.0)
+    headers = ["time", "left", "right", "width"]
+    return headers, [list(r) for r in rows]
+
+
+def _lowerbound_game(measure: bool) -> Dataset:
+    from repro.experiments.lowerbound_game import run_lowerbound_game
+
+    rows = run_lowerbound_game()
+    headers = [
+        "algorithm", "n", "f", "alpha", "witness_target",
+        "witness_faults", "achieved_ratio", "ladder_level",
+    ]
+    body = [
+        [
+            r.algorithm, r.n, r.f, r.alpha, r.witness_target,
+            ";".join(map(str, r.witness_faults)), r.achieved_ratio,
+            r.ladder_level,
+        ]
+        for r in rows
+    ]
+    return headers, body
+
+
+#: experiment id -> exporter taking a ``measure`` flag.
+CSV_EXPORTERS: Dict[str, Callable[[bool], Dataset]] = {
+    "table1": _table1,
+    "figure5_left": _figure5_left,
+    "figure5_right": _figure5_right,
+    "asymptotics": _asymptotics,
+    "ratio_profile": _ratio_profile,
+    "tower": _tower,
+    "lowerbound_game": _lowerbound_game,
+}
+
+
+def exportable_ids() -> List[str]:
+    """All experiment ids with CSV exporters, sorted."""
+    return sorted(CSV_EXPORTERS)
+
+
+def export_csv(experiment_id: str, measure: bool = False) -> str:
+    """Run the experiment and return its data as a CSV string.
+
+    Examples:
+        >>> csv_text = export_csv("figure5_right")
+        >>> csv_text.splitlines()[0]
+        'a,asymptotic_value,finite_n_value,finite_n'
+    """
+    try:
+        exporter = CSV_EXPORTERS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"no CSV exporter for {experiment_id!r}; available: "
+            f"{', '.join(exportable_ids())}"
+        ) from None
+    headers, rows = exporter(measure)
+    return render_csv(headers, rows)

@@ -1,0 +1,93 @@
+"""Extended bounds table: Table 1 generalized to every (n, f).
+
+Table 1 samples twelve parameter pairs.  This experiment generates the
+complete landscape for all ``1 <= f < n <= n_max``: regime, achieved
+competitive ratio, lower bound, optimality gap, and (in the proportional
+regime) the cone slope and expansion factor — the reference table a
+practitioner would actually consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.competitive_ratio import competitive_ratio
+from repro.core.lower_bound import lower_bound
+from repro.core.optimal import optimal_beta, optimal_expansion_factor
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.experiments.report import render_table
+
+__all__ = ["ExtendedRow", "run_extended_table", "render_extended_table"]
+
+
+@dataclass(frozen=True)
+class ExtendedRow:
+    """One (n, f) entry of the landscape."""
+
+    n: int
+    f: int
+    regime: str
+    achieved_cr: float
+    bound: float
+    beta: Optional[float]
+    expansion: Optional[float]
+
+    @property
+    def optimality_gap(self) -> float:
+        """Achieved minus lower bound (0 where we are provably optimal)."""
+        return self.achieved_cr - self.bound
+
+
+def run_extended_table(n_max: int = 10) -> List[ExtendedRow]:
+    """The full landscape up to ``n_max`` robots.
+
+    Examples:
+        >>> rows = run_extended_table(4)
+        >>> len(rows)   # (n,f) with 1 <= f < n <= 4
+        6
+        >>> [r.regime for r in rows if r.n == 4]
+        ['trivial', 'proportional', 'proportional']
+    """
+    if n_max < 2:
+        raise InvalidParameterError(f"n_max must be >= 2, got {n_max}")
+    rows: List[ExtendedRow] = []
+    for n in range(2, n_max + 1):
+        for f in range(1, n):
+            params = SearchParameters(n, f)
+            beta = expansion = None
+            if params.is_proportional:
+                beta = optimal_beta(n, f)
+                expansion = optimal_expansion_factor(n, f)
+            rows.append(
+                ExtendedRow(
+                    n=n,
+                    f=f,
+                    regime=params.regime.value,
+                    achieved_cr=competitive_ratio(n, f),
+                    bound=lower_bound(n, f),
+                    beta=beta,
+                    expansion=expansion,
+                )
+            )
+    return rows
+
+
+def render_extended_table(rows: List[ExtendedRow]) -> str:
+    """Aligned text rendering of the landscape."""
+    headers = [
+        "n", "f", "regime", "CR achieved", "lower bound", "gap",
+        "beta*", "kappa",
+    ]
+    body = [
+        [
+            r.n, r.f, r.regime, r.achieved_cr, r.bound,
+            r.optimality_gap, r.beta, r.expansion,
+        ]
+        for r in rows
+    ]
+    return render_table(
+        headers, body, precision=4,
+        title="Extended bounds landscape (all parameter pairs)",
+    )

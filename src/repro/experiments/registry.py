@@ -1,0 +1,231 @@
+"""Registry of reproducible experiments.
+
+Maps experiment ids (matching DESIGN.md's per-experiment index) to
+zero-argument callables that run the experiment and return its text
+report.  Used by the CLI (``linesearch experiment <id>``) and by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+def _table1() -> str:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    return render_table1(run_table1(measure=True))
+
+
+def _figure5_left() -> str:
+    from repro.experiments.figure5 import figure5_left, render_figure5_left
+    from repro.viz.ascii_art import line_chart
+
+    points = figure5_left(measure=True)
+    table = render_figure5_left(points)
+    chart = line_chart(
+        [p.n for p in points], [p.formula_value for p in points]
+    )
+    return table + "\n\n" + chart
+
+
+def _figure5_right() -> str:
+    from repro.experiments.figure5 import figure5_right, render_figure5_right
+    from repro.viz.ascii_art import line_chart
+
+    points = figure5_right()
+    table = render_figure5_right(points)
+    chart = line_chart(
+        [p.a for p in points], [p.asymptotic_value for p in points]
+    )
+    return table + "\n\n" + chart
+
+
+def _figures1to4() -> str:
+    from repro.experiments.diagrams import all_diagrams
+
+    return "\n\n".join(all_diagrams().values())
+
+
+def _asymptotics() -> str:
+    from repro.experiments.asymptotics import render_asymptotics, run_asymptotics
+
+    return render_asymptotics(run_asymptotics())
+
+
+def _ablation_beta() -> str:
+    from repro.experiments.ablation import render_beta_ablation, run_beta_ablation
+
+    sections: List[str] = []
+    for n, f in ((3, 1), (5, 2), (5, 3)):
+        beta_star, points = run_beta_ablation(n, f, points=9, measure=True)
+        sections.append(render_beta_ablation(n, f, beta_star, points))
+    return "\n\n".join(sections)
+
+
+def _ablation_baselines() -> str:
+    from repro.experiments.ablation import (
+        render_baseline_comparison,
+        run_baseline_comparison,
+    )
+
+    return render_baseline_comparison(run_baseline_comparison())
+
+
+def _extended_table() -> str:
+    from repro.experiments.extended_table import (
+        render_extended_table,
+        run_extended_table,
+    )
+
+    return render_extended_table(run_extended_table(n_max=10))
+
+
+def _tower() -> str:
+    from repro.experiments.tower import render_tower, run_tower, tower_diagram
+
+    return tower_diagram() + "\n\n" + render_tower(run_tower())
+
+
+def _average_case() -> str:
+    from repro.analysis.average_case import compare_worst_vs_random_faults
+    from repro.baselines import GroupDoubling
+    from repro.experiments.report import render_table
+    from repro.schedule import ProportionalAlgorithm
+
+    rows = []
+    for algorithm in (ProportionalAlgorithm(3, 1), GroupDoubling(3, 1)):
+        adversarial, randomized = compare_worst_vs_random_faults(
+            algorithm, trials=300, seed=7
+        )
+        rows.append(
+            [
+                algorithm.name,
+                algorithm.theoretical_competitive_ratio(),
+                adversarial.mean,
+                randomized.mean,
+                adversarial.maximum,
+            ]
+        )
+    return render_table(
+        [
+            "algorithm",
+            "worst case (theory)",
+            "mean ratio (adversarial faults)",
+            "mean ratio (random faults)",
+            "max sampled",
+        ],
+        rows,
+        precision=3,
+        title=(
+            "Average-case study — random targets on ±[1, 50], "
+            "300 Monte Carlo trials"
+        ),
+    )
+
+
+def _ratio_profile() -> str:
+    from repro.experiments.ratio_profile import (
+        render_ratio_profile,
+        run_ratio_profile,
+    )
+
+    return "\n\n".join(
+        render_ratio_profile(run_ratio_profile(n, f))
+        for n, f in ((3, 1), (5, 2))
+    )
+
+
+def _ext_scaled_copies() -> str:
+    from repro.experiments.extensions import (
+        render_scaled_copies,
+        run_scaled_copies,
+    )
+
+    return render_scaled_copies(run_scaled_copies())
+
+
+def _ext_turn_cost() -> str:
+    from repro.experiments.extensions import render_turn_cost, run_turn_cost
+
+    return render_turn_cost(3, 1, run_turn_cost(3, 1))
+
+
+def _ext_bounded() -> str:
+    from repro.experiments.extensions import render_bounded, run_bounded
+
+    return render_bounded(3, 1, run_bounded(3, 1))
+
+
+def _ext_multi_speed() -> str:
+    from repro.experiments.extensions import (
+        render_multi_speed,
+        run_multi_speed,
+    )
+
+    return render_multi_speed(3, 1, run_multi_speed(3, 1))
+
+
+def _ext_evacuation() -> str:
+    from repro.experiments.extensions import render_evacuation, run_evacuation
+
+    return render_evacuation(run_evacuation())
+
+
+def _lowerbound_game() -> str:
+    from repro.experiments.lowerbound_game import (
+        render_lowerbound_game,
+        run_lowerbound_game,
+    )
+
+    return render_lowerbound_game(run_lowerbound_game())
+
+
+#: Experiment id -> runner. Ids match DESIGN.md's per-experiment index.
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "figure5_left": _figure5_left,
+    "figure5_right": _figure5_right,
+    "figures1to4": _figures1to4,
+    "corollary1": _asymptotics,
+    "corollary2": _asymptotics,
+    "ablation_beta": _ablation_beta,
+    "ablation_baselines": _ablation_baselines,
+    "lowerbound_game": _lowerbound_game,
+    "ratio_profile": _ratio_profile,
+    "tower": _tower,
+    "average_case": _average_case,
+    "extended_table": _extended_table,
+    "ext_scaled_copies": _ext_scaled_copies,
+    "ext_turn_cost": _ext_turn_cost,
+    "ext_bounded": _ext_bounded,
+    "ext_multi_speed": _ext_multi_speed,
+    "ext_evacuation": _ext_evacuation,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Run one experiment by id and return its text report.
+
+    Examples:
+        >>> report = run_experiment("figure5_right")
+        >>> "asymptotic CR" in report
+        True
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(experiment_ids())}"
+        ) from None
+    return runner()

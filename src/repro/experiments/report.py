@@ -1,0 +1,102 @@
+"""Plain-text report rendering shared by all experiments.
+
+Experiments return structured rows; this module turns them into aligned
+text tables (for the CLI and EXPERIMENTS.md) and CSV (for downstream
+plotting).  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["format_value", "render_table", "render_csv"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Format one cell: floats rounded, None as '-', inf as 'inf'.
+
+    Examples:
+        >>> format_value(3.14159, 3)
+        '3.142'
+        >>> format_value(None)
+        '-'
+        >>> format_value(42)
+        '42'
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    Examples:
+        >>> print(render_table(["n", "cr"], [[3, 5.233], [5, 4.434]]))
+        n | cr
+        --+-------
+        3 | 5.2330
+        5 | 4.4340
+    """
+    formatted: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n"
+    )
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in formatted:
+        out.write(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n"
+        )
+    return out.getvalue().rstrip("\n")
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as CSV (comma-separated, no quoting of numerics).
+
+    Examples:
+        >>> render_csv(["a", "b"], [[1, 2.5]])
+        'a,b\\n1,2.5'
+    """
+    lines = [",".join(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+        lines.append(",".join("" if c is None else str(c) for c in row))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Extensions: paper-referenced model variants, executably explored.
+
+None of these are claimed by the paper's theorems; they are the variants
+its Section 1 and related-work discussion point at, built on the same
+substrate so their effect on the proportional schedule can be measured:
+
+* :mod:`repro.extensions.scaled_copies` — the alternative schedule
+  construction ("same expansion factor, scaled copies"); shows why
+  Definition 4's cone start-up matters;
+* :mod:`repro.extensions.turn_cost` — a cost per direction reversal
+  (reference [19]);
+* :mod:`repro.extensions.bounded` — a known upper bound on the target
+  distance (reference [10]);
+* :mod:`repro.extensions.multi_speed` — heterogeneous robot speeds
+  (Section 1's remark).
+"""
+
+from repro.extensions.bounded import BoundedDistanceAlgorithm, TruncatedTrajectory
+from repro.extensions.evacuation import EvacuationOutcome, evacuation_time
+from repro.extensions.multi_speed import (
+    MultiSpeedProportionalAlgorithm,
+    SpeedScaledTrajectory,
+)
+from repro.extensions.scaled_copies import ScaledCopiesAlgorithm
+from repro.extensions.turn_cost import (
+    TurnCostProportionalAlgorithm,
+    TurnCostTrajectory,
+)
+
+__all__ = [
+    "BoundedDistanceAlgorithm",
+    "EvacuationOutcome",
+    "MultiSpeedProportionalAlgorithm",
+    "ScaledCopiesAlgorithm",
+    "SpeedScaledTrajectory",
+    "TruncatedTrajectory",
+    "TurnCostProportionalAlgorithm",
+    "TurnCostTrajectory",
+    "evacuation_time",
+]

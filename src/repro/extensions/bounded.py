@@ -1,0 +1,131 @@
+"""Search with a known upper bound on the target distance.
+
+Related work reference [10] (Bose, De Carufel, Durocher) shows that
+knowing an upper bound ``D`` on the distance in advance allows slightly
+better ratios.  This extension brings that variant into the faulty-robot
+model: every robot follows its ``A(n, f)`` trajectory until its next
+cone turning point would leave ``[-D, D]``; from there it performs one
+final full sweep (to the near end, then across to the far end) and
+stops.  Every robot eventually covers all of ``[-D, D]``, so any point
+is visited by all ``n`` robots and the schedule tolerates ``f`` faults
+for every target with ``1 <= |x| <= D``.
+
+The extension experiment measures the ratio as a function of ``D`` — and
+finds a clean *negative* result: naive truncation leaves the competitive
+ratio exactly at the unbounded Theorem 1 value for every ``D``, because
+the worst case lives just past the *interior* turning points (already
+present once ``D`` spans a single turn), not at the horizon.  Improving
+on the unbounded ratio with known ``D`` requires re-tuning the schedule
+itself near the horizon (as [10] does for a single robot), not just
+stopping early.  The truncated schedule's real benefit is total travel:
+robots stop after one closing sweep instead of zig-zagging forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.geometry.point import SpaceTimePoint
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+
+__all__ = ["TruncatedTrajectory", "BoundedDistanceAlgorithm"]
+
+
+class TruncatedTrajectory(Trajectory):
+    """A base trajectory truncated at radius ``D`` with a closing sweep.
+
+    Follows the base vertices while they stay inside ``[-D, D]``.  When
+    the next vertex would exit, the robot instead:
+
+    1. continues in its current direction to the boundary it was
+       heading for (``+D`` or ``-D``),
+    2. turns and sweeps across to the opposite boundary,
+    3. stops (the search is over for this robot).
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> t = TruncatedTrajectory(DoublingTrajectory(), radius=3.0)
+        >>> t.first_visit_time(3.0)   # straight past the planned turn at 4
+        9.0
+        >>> t.first_visit_time(-3.0)  # the closing sweep
+        15.0
+        >>> t.covers(5.0)
+        False
+    """
+
+    def __init__(self, base: Trajectory, radius: float) -> None:
+        super().__init__()
+        if not isinstance(base, Trajectory):
+            raise InvalidParameterError(f"base must be a Trajectory, got {base!r}")
+        if radius <= 0:
+            raise InvalidParameterError(f"radius must be positive, got {radius}")
+        self.base = base
+        self.radius = float(radius)
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        D = self.radius
+        prev = None
+        for vertex in self.base.vertex_iterator():
+            if abs(vertex.position) <= D:
+                yield vertex
+                prev = vertex
+                continue
+            if prev is None:
+                raise InvalidParameterError(
+                    "base trajectory must start inside the radius"
+                )
+            # heading out of bounds: go to the boundary instead
+            boundary = D if vertex.position > 0 else -D
+            travel = abs(boundary - prev.position)
+            at_boundary = SpaceTimePoint(boundary, prev.time + travel)
+            yield at_boundary
+            # closing sweep to the opposite end, then stop
+            yield SpaceTimePoint(-boundary, at_boundary.time + 2 * D)
+            return
+
+    def covers(self, x: float) -> bool:
+        # the closing sweep crosses the whole interval [-D, D]
+        return abs(x) <= self.radius
+
+    def describe(self) -> str:
+        return f"Truncated({self.base.describe()}, D={self.radius:g})"
+
+
+class BoundedDistanceAlgorithm(SearchAlgorithm):
+    """``A(n, f)`` specialized to targets within a known radius ``D``.
+
+    Examples:
+        >>> alg = BoundedDistanceAlgorithm(3, 1, radius=10.0)
+        >>> robots = alg.build()
+        >>> all(not t.covers(11.0) for t in robots)
+        True
+    """
+
+    def __init__(self, n: int, f: int, radius: float) -> None:
+        params = SearchParameters(n, f).require_proportional()
+        super().__init__(params)
+        if radius < 1.0:
+            raise InvalidParameterError(
+                f"radius must be at least the minimum target distance 1, "
+                f"got {radius}"
+            )
+        self.radius = float(radius)
+        self._inner = ProportionalAlgorithm(n, f)
+
+    @property
+    def name(self) -> str:
+        return f"A({self.n},{self.f})|D={self.radius:g}"
+
+    def build(self) -> List[Trajectory]:
+        return [
+            TruncatedTrajectory(base, self.radius)
+            for base in self._inner.build()
+        ]
+
+    def unbounded_competitive_ratio(self) -> float:
+        """The D -> inf limit: the plain Theorem 1 value."""
+        return self._inner.theoretical_competitive_ratio()

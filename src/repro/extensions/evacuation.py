@@ -1,0 +1,114 @@
+"""Group-arrival ("evacuation") variant — related-work reference [14].
+
+Chrobak, Gasieniec, Gorry and Martin ("Group search on the line",
+SOFSEM 2015 — the paper's reference [14]) study the variant where the
+search ends when the *last* searcher reaches the target, and show that
+many communicating searchers cannot beat the single-robot ratio 9.
+
+This extension measures that objective for this library's fleets: the
+*evacuation time* of a target ``x`` is the time when every robot that is
+required to assemble has reached ``x``, taking the detection delay into
+account — robots can only head to the target once some reliable robot
+has found it (we model the simplest protocol: at detection time every
+robot learns the location instantly and drives straight to it).
+
+Measured findings (see tests):
+
+* for the two-group algorithm the evacuation ratio approaches 3 for far
+  targets (the opposite group must cross the full span);
+* for ``A(n, f)`` the evacuation overhead on top of detection is the
+  straggler's distance at detection time — bounded by a constant factor
+  of ``|x|`` because all robots live inside the cone ``C_beta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.robots.faults import AdversarialFaults, FaultModel
+from repro.robots.fleet import Fleet
+
+__all__ = ["EvacuationOutcome", "evacuation_time"]
+
+
+@dataclass(frozen=True)
+class EvacuationOutcome:
+    """Timing breakdown of one evacuation scenario.
+
+    Attributes:
+        target: The assembly point.
+        detection_time: When the first reliable robot found it.
+        evacuation_time: When the last robot arrived (after driving
+            straight from wherever it was at detection time).
+        straggler: Index of the last-arriving robot.
+    """
+
+    target: float
+    detection_time: float
+    evacuation_time: float
+    straggler: Optional[int]
+
+    @property
+    def evacuation_ratio(self) -> float:
+        """``evacuation_time / |target|`` — the [14]-style objective."""
+        return self.evacuation_time / abs(self.target)
+
+    @property
+    def assembly_overhead(self) -> float:
+        """Extra time between detection and full assembly."""
+        return self.evacuation_time - self.detection_time
+
+
+def evacuation_time(
+    fleet: Fleet,
+    target: float,
+    fault_model: Optional[FaultModel] = None,
+) -> EvacuationOutcome:
+    """Time until every robot has assembled at the (detected) target.
+
+    The protocol: robots follow their search trajectories until the
+    detection instant (first reliable arrival under ``fault_model``,
+    default: zero faults), then drive straight to the target at unit
+    speed.  Faulty robots still assemble — they are bad at *seeing*, not
+    at driving.
+
+    Examples:
+        >>> from repro.baselines import TwoGroupAlgorithm
+        >>> fleet = Fleet.from_algorithm(TwoGroupAlgorithm(4, 1))
+        >>> outcome = evacuation_time(fleet, 10.0)
+        >>> outcome.detection_time
+        10.0
+        >>> outcome.evacuation_time   # the left group turns and crosses
+        30.0
+        >>> outcome.evacuation_ratio
+        3.0
+    """
+    if target == 0.0 or not math.isfinite(target):
+        raise InvalidParameterError(
+            f"target must be a nonzero finite real, got {target!r}"
+        )
+    model = fault_model or AdversarialFaults(0)
+    faulty = model.assign(fleet, target)
+    detection = fleet.with_faults(faulty).detection_time(target)
+    if not math.isfinite(detection):
+        raise InvalidParameterError(
+            "target is never detected under the given fault model; "
+            "evacuation is undefined"
+        )
+    last_arrival = detection
+    straggler: Optional[int] = None
+    for robot in fleet:
+        position = robot.trajectory.position_at(detection)
+        arrival = detection + abs(position - target)
+        if arrival > last_arrival:
+            last_arrival = arrival
+            straggler = robot.index
+    return EvacuationOutcome(
+        target=target,
+        detection_time=detection,
+        evacuation_time=last_arrival,
+        straggler=straggler,
+    )

@@ -1,0 +1,119 @@
+"""Heterogeneous robot speeds (Section 1's "move at different speeds").
+
+The paper assumes every robot moves at maximum speed 1.  This extension
+asks what happens when robot ``i`` can only sustain speed ``s_i <= 1``:
+a :class:`SpeedScaledTrajectory` dilates the base trajectory's time axis
+by ``1/s`` (same path through space, proportionally slower), and
+:class:`MultiSpeedProportionalAlgorithm` runs ``A(n, f)`` with a given
+speed vector.
+
+Measured effects (exercised in the extension tests/benches):
+
+* with all speeds equal to ``s``, every visit time scales by exactly
+  ``1/s`` and so does the competitive ratio — a pure rescaling;
+* with a *single* slow robot the ratio degrades only when that robot is
+  among the first ``f + 1`` visitors of the worst-case targets; the
+  schedule degrades gracefully rather than collapsing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.geometry.point import SpaceTimePoint
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+
+__all__ = ["SpeedScaledTrajectory", "MultiSpeedProportionalAlgorithm"]
+
+
+class SpeedScaledTrajectory(Trajectory):
+    """Time-dilated view of a base trajectory: same path, speed ``s``.
+
+    Every vertex ``(x, t)`` of the base becomes ``(x, t / s)``; a robot
+    of maximum speed ``s`` can follow the dilated plan because every
+    base leg of speed ``v`` becomes a leg of speed ``v * s <= s``.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> slow = SpeedScaledTrajectory(DoublingTrajectory(), speed=0.5)
+        >>> slow.first_visit_time(1.0)
+        2.0
+        >>> slow.position_at(8.0)   # base position at t=4
+        -2.0
+    """
+
+    def __init__(self, base: Trajectory, speed: float) -> None:
+        super().__init__()
+        if not isinstance(base, Trajectory):
+            raise InvalidParameterError(f"base must be a Trajectory, got {base!r}")
+        if not 0.0 < speed <= 1.0:
+            raise InvalidParameterError(
+                f"speed must be in (0, 1], got {speed}"
+            )
+        self.base = base
+        self.speed = float(speed)
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        for vertex in self.base.vertex_iterator():
+            yield SpaceTimePoint(vertex.position, vertex.time / self.speed)
+
+    def covers(self, x: float) -> bool:
+        return self.base.covers(x)
+
+    def describe(self) -> str:
+        return f"SpeedScaled({self.base.describe()}, s={self.speed:g})"
+
+
+class MultiSpeedProportionalAlgorithm(SearchAlgorithm):
+    """``A(n, f)`` where robot ``i`` moves at speed ``speeds[i]``.
+
+    Examples:
+        >>> alg = MultiSpeedProportionalAlgorithm(3, 1, speeds=[1.0, 0.5, 1.0])
+        >>> trajs = alg.build()
+        >>> trajs[1].first_visit_time(0.0)
+        0.0
+    """
+
+    def __init__(
+        self, n: int, f: int, speeds: Optional[Sequence[float]] = None
+    ) -> None:
+        params = SearchParameters(n, f).require_proportional()
+        super().__init__(params)
+        if speeds is None:
+            speeds = [1.0] * n
+        speeds = [float(s) for s in speeds]
+        if len(speeds) != n:
+            raise InvalidParameterError(
+                f"need exactly {n} speeds, got {len(speeds)}"
+            )
+        if any(not 0.0 < s <= 1.0 for s in speeds):
+            raise InvalidParameterError(
+                f"speeds must lie in (0, 1], got {speeds}"
+            )
+        self.speeds = speeds
+        self._inner = ProportionalAlgorithm(n, f)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"A({self.n},{self.f})@speeds("
+            + ",".join(f"{s:g}" for s in self.speeds)
+            + ")"
+        )
+
+    def build(self) -> List[Trajectory]:
+        return [
+            SpeedScaledTrajectory(base, speed)
+            for base, speed in zip(self._inner.build(), self.speeds)
+        ]
+
+    def uniform_speed_competitive_ratio(self, speed: float) -> float:
+        """Closed form for the all-equal-speed case: the Theorem 1 ratio
+        divided by the speed (a pure time rescaling)."""
+        if not 0.0 < speed <= 1.0:
+            raise InvalidParameterError(f"speed must be in (0, 1], got {speed}")
+        return self._inner.theoretical_competitive_ratio() / speed

@@ -1,0 +1,86 @@
+"""Alternative schedule construction: time-scaled copies.
+
+Section 1 remarks that in parallel search "all robots could have
+different expansion factors, or have the same expansion factor, but
+start at different times or move at different speeds."  This module
+implements the most natural member of that family: robot ``a_i`` runs a
+*scaled copy* of the same geometric zig-zag — first turning point at
+``tau0 * r^i`` with the shared expansion factor ``kappa`` — starting at
+full speed from the origin, with **no** cone start-up leg.
+
+The combined positive turning points are exactly those of the
+proportional schedule, but the turn *times* only approach the cone
+asymptotically (each robot's turn times satisfy ``t = beta |x| - c_i``
+for a per-robot constant).  Consequences, measured by
+``experiments/scaled_copies``:
+
+* asymptotically (``|x| -> inf``) the competitive ratio converges to the
+  Theorem 1 value of ``A(n, f)``;
+* near the minimum distance the ratio is strictly worse — the witness
+  sits at ``|x| = 1`` — because early robots rush off at full speed and
+  return to the inner region late.
+
+This quantifies *why* Definition 4 routes each robot to enter the cone
+exactly on its boundary (at reduced speed ``1/beta``): the start-up is
+what makes the Lemma 5 supremum identical on every interval.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.optimal import (
+    optimal_expansion_factor,
+    optimal_proportionality_ratio,
+)
+from repro.core.parameters import SearchParameters
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.zigzag import GeometricZigZag
+
+__all__ = ["ScaledCopiesAlgorithm"]
+
+
+class ScaledCopiesAlgorithm(SearchAlgorithm):
+    """Scaled-copy schedule at the Theorem 1 expansion factor.
+
+    Robot ``a_i`` runs ``GeometricZigZag(first_turn = r^i, kappa)`` at
+    full speed from time 0, where ``kappa`` and ``r`` are the optimal
+    expansion factor and proportionality ratio for ``(n, f)``.
+
+    Examples:
+        >>> alg = ScaledCopiesAlgorithm(3, 1)
+        >>> len(alg.build())
+        3
+        >>> alg.expansion_factor
+        4.000000000000001
+        >>> alg.theoretical_competitive_ratio() is None  # no closed form
+        True
+    """
+
+    def __init__(self, n: int, f: int, first_direction: int = 1) -> None:
+        params = SearchParameters(n, f).require_proportional()
+        super().__init__(params)
+        self.first_direction = first_direction
+        self.expansion_factor = optimal_expansion_factor(n, f)
+        self.ratio = optimal_proportionality_ratio(n, f)
+
+    @property
+    def name(self) -> str:
+        return f"ScaledCopies({self.n},{self.f})"
+
+    def build(self) -> List[Trajectory]:
+        return [
+            GeometricZigZag(
+                first_turn=self.first_direction * self.ratio**i,
+                kappa=self.expansion_factor,
+            )
+            for i in range(self.n)
+        ]
+
+    def asymptotic_competitive_ratio(self) -> float:
+        """The limit of the ratio for distant targets: the Theorem 1
+        value (verified empirically by the extension experiment)."""
+        from repro.core.competitive_ratio import algorithm_competitive_ratio
+
+        return algorithm_competitive_ratio(self.n, self.f)

@@ -1,0 +1,32 @@
+"""Space-time geometry primitives (Section 2 of the paper).
+
+The whole analysis of the paper happens in a 2D half-plane whose axes are
+position on the line and time.  This subpackage provides the value types
+for that plane:
+
+* :class:`~repro.geometry.point.SpaceTimePoint` — a ``(position, time)``
+  pair;
+* :class:`~repro.geometry.segment.MotionSegment` — one constant-velocity
+  leg of motion, with visit-time queries;
+* :class:`~repro.geometry.polyline.SpaceTimePolyline` — a validated chain
+  of legs;
+* :class:`~repro.geometry.cone.Cone` — the cone ``C_beta`` that shapes
+  every proportional-schedule trajectory, with the Lemma 1 turning-point
+  formulas.
+"""
+
+from repro.geometry.cone import Cone, beta_for_expansion_factor, expansion_factor
+from repro.geometry.point import ORIGIN, SpaceTimePoint
+from repro.geometry.polyline import SpaceTimePolyline, polyline_through
+from repro.geometry.segment import MotionSegment
+
+__all__ = [
+    "Cone",
+    "MotionSegment",
+    "ORIGIN",
+    "SpaceTimePoint",
+    "SpaceTimePolyline",
+    "beta_for_expansion_factor",
+    "expansion_factor",
+    "polyline_through",
+]

@@ -1,0 +1,192 @@
+"""The search cone ``C_beta`` of Section 2.
+
+For a fixed real ``beta > 1`` the paper defines ``C_beta`` as the cone
+delimited by the pair of lines ``t = beta * x`` for ``x >= 0`` and
+``t = -beta * x`` for ``x < 0``.  Every proportional-schedule robot
+zig-zags *inside* this cone, reversing direction exactly when it reaches
+the boundary (Definition 1).
+
+Lemma 1 gives the induced turning points: a robot whose zig-zag starts at
+boundary point ``(x0, beta * |x0|)`` turns at
+
+    ``x_i = x0 * kappa^i * (-1)^i``  with  ``kappa = (beta + 1) / (beta - 1)``
+
+so ``kappa`` is the *expansion factor* of every cone-defined strategy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import SpaceTimePoint
+
+__all__ = ["Cone", "expansion_factor", "beta_for_expansion_factor"]
+
+
+def expansion_factor(beta: float) -> float:
+    """Expansion factor ``(beta + 1) / (beta - 1)`` of the cone ``C_beta``.
+
+    Examples:
+        >>> expansion_factor(3.0)   # doubling strategy
+        2.0
+        >>> round(expansion_factor(5/3), 10)   # A(3, 1)
+        4.0
+    """
+    if beta <= 1.0:
+        raise InvalidParameterError(f"beta must be > 1, got {beta!r}")
+    return (beta + 1.0) / (beta - 1.0)
+
+
+def beta_for_expansion_factor(kappa: float) -> float:
+    """Inverse of :func:`expansion_factor`: the ``beta`` whose cone yields
+    expansion factor ``kappa``.
+
+    Solving ``kappa = (beta+1)/(beta-1)`` gives
+    ``beta = (kappa + 1) / (kappa - 1)`` — the map is an involution.
+
+    Examples:
+        >>> beta_for_expansion_factor(2.0)
+        3.0
+        >>> round(beta_for_expansion_factor(expansion_factor(1.4)), 9)
+        1.4
+    """
+    if kappa <= 1.0:
+        raise InvalidParameterError(
+            f"expansion factor must be > 1, got {kappa!r}"
+        )
+    return (kappa + 1.0) / (kappa - 1.0)
+
+
+@dataclass(frozen=True)
+class Cone:
+    """The space-time cone ``C_beta`` with apex at the origin.
+
+    Attributes:
+        beta: Slope of the delimiting lines; must satisfy ``beta > 1`` so
+            that a unit-speed robot can actually bounce between the two
+            boundary rays (a slope-1 boundary would never be reached
+            again after leaving it).
+
+    Examples:
+        >>> cone = Cone(3.0)
+        >>> cone.expansion_factor
+        2.0
+        >>> cone.boundary_time(-2.0)
+        6.0
+        >>> cone.contains(SpaceTimePoint(1.0, 5.0))
+        True
+    """
+
+    beta: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.beta) or self.beta <= 1.0:
+            raise InvalidParameterError(
+                f"cone slope beta must be a finite real > 1, got {self.beta!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def expansion_factor(self) -> float:
+        """``(beta + 1) / (beta - 1)`` — ratio of successive turn radii."""
+        return expansion_factor(self.beta)
+
+    def boundary_time(self, x: float) -> float:
+        """Time coordinate of the boundary above position ``x``:
+        ``beta * |x|``."""
+        return self.beta * abs(x)
+
+    def boundary_point(self, x: float) -> SpaceTimePoint:
+        """The boundary point of the cone above position ``x``."""
+        return SpaceTimePoint(x, self.boundary_time(x))
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def contains(self, point: SpaceTimePoint, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies inside or on the cone boundary."""
+        return point.time + tol >= self.boundary_time(point.position)
+
+    def is_on_boundary(self, point: SpaceTimePoint, tol: float = 1e-9) -> bool:
+        """Whether ``point`` lies (numerically) on the cone boundary."""
+        return abs(point.time - self.boundary_time(point.position)) <= tol * (
+            1.0 + abs(point.time)
+        )
+
+    # ------------------------------------------------------------------
+    # zig-zag geometry (Lemma 1)
+    # ------------------------------------------------------------------
+
+    def next_turning_point(self, x: float) -> float:
+        """Position of the turn after a turn at boundary position ``x``.
+
+        A unit-speed robot leaving the boundary at ``(x, beta |x|)``
+        toward the opposite side hits the boundary again at
+        ``-x * kappa`` (Lemma 1).
+
+        Examples:
+            >>> Cone(3.0).next_turning_point(1.0)
+            -2.0
+            >>> Cone(3.0).next_turning_point(-2.0)
+            4.0
+        """
+        if x == 0.0:
+            raise InvalidParameterError(
+                "the cone apex is a fixed point; a zig-zag cannot start at 0"
+            )
+        return -x * self.expansion_factor
+
+    def previous_turning_point(self, x: float) -> float:
+        """Position of the turn before a turn at boundary position ``x``.
+
+        Inverse of :meth:`next_turning_point`; used by Definition 4 to
+        extend a trajectory *backwards* inside the cone toward the apex.
+        """
+        if x == 0.0:
+            raise InvalidParameterError(
+                "the cone apex is a fixed point; a zig-zag cannot start at 0"
+            )
+        return -x / self.expansion_factor
+
+    def turning_point(self, x0: float, index: int) -> float:
+        """The ``index``-th turning point of the zig-zag anchored at ``x0``.
+
+        Implements Lemma 1, ``x_i = x0 * kappa^i * (-1)^i``, for any
+        integer ``index`` (negative indices extend backwards).
+
+        Examples:
+            >>> cone = Cone(3.0)
+            >>> [cone.turning_point(1.0, i) for i in range(4)]
+            [1.0, -2.0, 4.0, -8.0]
+            >>> cone.turning_point(1.0, -1)
+            -0.5
+        """
+        if x0 == 0.0:
+            raise InvalidParameterError("zig-zag anchor must be nonzero")
+        kappa = self.expansion_factor
+        sign = -1.0 if index % 2 else 1.0
+        return x0 * (kappa ** index) * sign
+
+    def turning_time(self, x0: float, index: int) -> float:
+        """Time of the ``index``-th turning point of the zig-zag anchored
+        at ``x0`` — always ``beta * |x_i|`` because turns happen on the
+        boundary."""
+        return self.boundary_time(self.turning_point(x0, index))
+
+    def travel_time_between_turns(self, x: float) -> float:
+        """Duration of the leg that starts with a turn at position ``x``.
+
+        Distance from ``x`` to ``-kappa x`` is ``(1 + kappa) |x|``, which
+        equals ``beta * |x| * (kappa - 1)`` — consistent with turn times
+        ``beta |x|`` and ``beta kappa |x|``.
+        """
+        return (1.0 + self.expansion_factor) * abs(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cone(beta={self.beta:g})"

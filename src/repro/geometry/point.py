@@ -1,0 +1,120 @@
+"""Space-time points for the 2D representation of line search.
+
+The paper argues about robot movement in a half-plane whose horizontal
+axis is the position ``x`` on the line ``L`` and whose vertical axis is
+time ``t >= 0`` (Section 2, Figure 1).  A robot's trajectory is a curve of
+points ``(x, t)``; because robots move at (at most) unit speed, trajectory
+segments have slope at least 1 in absolute value when expressed as
+``dt/dx`` (the paper draws the slopes as ±1 because robots always use full
+speed).
+
+This module provides the small value type used throughout the geometry and
+trajectory layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["SpaceTimePoint", "ORIGIN"]
+
+
+@dataclass(frozen=True, order=False)
+class SpaceTimePoint:
+    """An immutable point ``(position, time)`` in the space-time half-plane.
+
+    Attributes:
+        position: Location on the infinite line ``L`` (any real).
+        time: Time coordinate; must be non-negative, since all searches
+            start at time 0.
+
+    Examples:
+        >>> p = SpaceTimePoint(position=3.0, time=5.0)
+        >>> p.position, p.time
+        (3.0, 5.0)
+        >>> p.translate(dx=-1.0, dt=2.0)
+        SpaceTimePoint(position=2.0, time=7.0)
+    """
+
+    position: float
+    time: float
+
+    def __post_init__(self) -> None:
+        # Coerce to float so integer-built points compare and print
+        # uniformly; the dataclass is frozen, hence object.__setattr__.
+        object.__setattr__(self, "position", float(self.position))
+        object.__setattr__(self, "time", float(self.time))
+        if not math.isfinite(self.position):
+            raise InvalidParameterError(
+                f"position must be finite, got {self.position!r}"
+            )
+        if not math.isfinite(self.time):
+            raise InvalidParameterError(f"time must be finite, got {self.time!r}")
+        if self.time < 0:
+            raise InvalidParameterError(
+                f"time must be non-negative, got {self.time!r}"
+            )
+
+    def translate(self, dx: float = 0.0, dt: float = 0.0) -> "SpaceTimePoint":
+        """Return a new point shifted by ``dx`` in space and ``dt`` in time."""
+        return SpaceTimePoint(self.position + dx, self.time + dt)
+
+    def distance_to(self, other: "SpaceTimePoint") -> float:
+        """Euclidean distance in the space-time plane.
+
+        Used by the similar-triangle arguments of Lemma 2, where segment
+        lengths such as ``|A_0 A_1|`` are Euclidean lengths in the plane.
+        """
+        return math.hypot(self.position - other.position, self.time - other.time)
+
+    def spatial_distance_to(self, other: "SpaceTimePoint") -> float:
+        """Absolute difference of the position coordinates only."""
+        return abs(self.position - other.position)
+
+    def temporal_distance_to(self, other: "SpaceTimePoint") -> float:
+        """Absolute difference of the time coordinates only."""
+        return abs(self.time - other.time)
+
+    def is_reachable_from(
+        self, other: "SpaceTimePoint", max_speed: float = 1.0
+    ) -> bool:
+        """Whether a robot of speed at most ``max_speed`` can go from
+        ``other`` to this point.
+
+        Reachability requires the time difference to be non-negative and at
+        least ``|dx| / max_speed``.
+
+        Examples:
+            >>> a = SpaceTimePoint(0.0, 0.0)
+            >>> SpaceTimePoint(1.0, 1.0).is_reachable_from(a)
+            True
+            >>> SpaceTimePoint(2.0, 1.0).is_reachable_from(a)
+            False
+        """
+        if max_speed <= 0:
+            raise InvalidParameterError(
+                f"max_speed must be positive, got {max_speed!r}"
+            )
+        dt = self.time - other.time
+        if dt < 0:
+            return False
+        # Relative tolerance on two scales: the leg's own magnitude
+        # (turning points of cone zig-zags grow geometrically) and the
+        # absolute coordinates (the subtraction above loses up to one
+        # ulp of the *coordinates*, which dominates for short legs far
+        # from the origin).
+        tol = 1e-9 * (
+            1.0 + abs(dt) + abs(self.position) + abs(other.position)
+        ) + 1e-12 * (abs(self.time) + abs(other.time))
+        return abs(self.position - other.position) <= max_speed * dt + tol
+
+    def as_tuple(self) -> tuple:
+        """Return ``(position, time)`` as a plain tuple."""
+        return (self.position, self.time)
+
+
+#: The shared starting point of every search: position 0 at time 0.
+ORIGIN = SpaceTimePoint(0.0, 0.0)

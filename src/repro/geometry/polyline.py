@@ -1,0 +1,199 @@
+"""Space-time polylines: validated chains of motion segments.
+
+A polyline is the geometric skeleton of a trajectory — an ordered list of
+:class:`~repro.geometry.segment.MotionSegment` legs whose endpoints chain
+together.  The trajectory layer builds on this with lazy extension and
+visit-order queries; the polyline layer owns the purely geometric
+invariants (continuity, monotone time, speed limit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.geometry.segment import MotionSegment
+
+__all__ = ["SpaceTimePolyline", "polyline_through"]
+
+_EPS = 1e-9
+
+
+class SpaceTimePolyline:
+    """An ordered, continuous chain of motion segments.
+
+    Invariants enforced on construction:
+
+    * consecutive segments share an endpoint (continuity);
+    * time is non-decreasing along the chain;
+    * every leg respects the unit speed limit.
+
+    Examples:
+        >>> pts = [SpaceTimePoint(0, 0), SpaceTimePoint(1, 1), SpaceTimePoint(-1, 3)]
+        >>> line = polyline_through(pts)
+        >>> line.total_duration
+        3.0
+        >>> line.position_at(2.0)
+        0.0
+    """
+
+    def __init__(self, segments: Sequence[MotionSegment]):
+        segs = list(segments)
+        if not segs:
+            raise InvalidParameterError("polyline needs at least one segment")
+        for prev, cur in zip(segs, segs[1:]):
+            if prev.end.temporal_distance_to(cur.start) > _EPS or (
+                prev.end.spatial_distance_to(cur.start) > _EPS
+            ):
+                raise TrajectoryError(
+                    "discontinuous polyline: "
+                    f"{prev.end.as_tuple()} != {cur.start.as_tuple()}"
+                )
+        self._segments: List[MotionSegment] = segs
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> Sequence[MotionSegment]:
+        """The underlying segments (read-only view)."""
+        return tuple(self._segments)
+
+    @property
+    def start(self) -> SpaceTimePoint:
+        """First point of the chain."""
+        return self._segments[0].start
+
+    @property
+    def end(self) -> SpaceTimePoint:
+        """Last point of the chain."""
+        return self._segments[-1].end
+
+    @property
+    def total_duration(self) -> float:
+        """Elapsed time from the first to the last point."""
+        return self.end.time - self.start.time
+
+    @property
+    def total_distance(self) -> float:
+        """Total (unsigned) distance travelled along the chain."""
+        return sum(abs(s.displacement) for s in self._segments)
+
+    def vertices(self) -> List[SpaceTimePoint]:
+        """All breakpoints of the chain, including both endpoints."""
+        pts = [self._segments[0].start]
+        pts.extend(s.end for s in self._segments)
+        return pts
+
+    def turning_vertices(self) -> List[SpaceTimePoint]:
+        """Breakpoints where the direction of motion actually reverses.
+
+        Waiting legs do not count as turns; a right-left or left-right
+        switch does.
+        """
+        turns: List[SpaceTimePoint] = []
+        prev_dir: Optional[int] = None
+        for seg in self._segments:
+            d = seg.direction
+            if d == 0:
+                continue
+            if prev_dir is not None and d != prev_dir:
+                turns.append(seg.start)
+            prev_dir = d
+        return turns
+
+    def __iter__(self) -> Iterator[MotionSegment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def position_at(self, time: float) -> float:
+        """Position at ``time``; clamped to the endpoints outside the span.
+
+        The clamping convention matches the simulator: before its start a
+        robot is at its start position, after its (finite) end it stays
+        put.  Infinite trajectories never hit the second case.
+        """
+        if time <= self.start.time:
+            return self.start.position
+        if time >= self.end.time:
+            return self.end.position
+        # binary search over segment end times
+        lo, hi = 0, len(self._segments) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._segments[mid].end.time < time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._segments[lo].position_at(time)
+
+    def first_visit_time(self, x: float) -> Optional[float]:
+        """Earliest time the chain is at position ``x``; ``None`` if never."""
+        for seg in self._segments:
+            t = seg.visit_time(x)
+            if t is not None:
+                return t
+        return None
+
+    def visit_times(self, x: float) -> List[float]:
+        """All distinct times at which the chain is at position ``x``.
+
+        A robot that turns exactly at ``x`` touches it once, not twice:
+        coincident visit times from adjacent segments are merged.
+        """
+        times: List[float] = []
+        for seg in self._segments:
+            t = seg.visit_time(x)
+            if t is None:
+                continue
+            if times and abs(times[-1] - t) <= _EPS * (1.0 + abs(t)):
+                continue
+            times.append(t)
+        return times
+
+    def bounding_positions(self) -> tuple:
+        """``(min_position, max_position)`` over the whole chain."""
+        lo = min(min(s.start.position, s.end.position) for s in self._segments)
+        hi = max(max(s.start.position, s.end.position) for s in self._segments)
+        return (lo, hi)
+
+    def clipped_to_times(self, t0: float, t1: float) -> "SpaceTimePolyline":
+        """Sub-polyline restricted to the time window ``[t0, t1]``."""
+        if t1 <= t0:
+            raise InvalidParameterError(f"empty time window [{t0}, {t1}]")
+        parts: List[MotionSegment] = []
+        for seg in self._segments:
+            if seg.end.time < t0 or seg.start.time > t1:
+                continue
+            parts.append(seg.clipped_to_times(t0, t1))
+        if not parts:
+            raise InvalidParameterError(
+                f"window [{t0}, {t1}] does not overlap polyline"
+            )
+        return SpaceTimePolyline(parts)
+
+
+def polyline_through(points: Iterable[SpaceTimePoint]) -> SpaceTimePolyline:
+    """Build a polyline through consecutive space-time points.
+
+    Examples:
+        >>> line = polyline_through(
+        ...     [SpaceTimePoint(0, 0), SpaceTimePoint(2, 2), SpaceTimePoint(0, 4)]
+        ... )
+        >>> line.total_distance
+        4.0
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        raise InvalidParameterError("need at least two points")
+    return SpaceTimePolyline(
+        [MotionSegment(a, b) for a, b in zip(pts, pts[1:])]
+    )

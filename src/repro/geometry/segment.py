@@ -1,0 +1,188 @@
+"""Unit-speed segments in the space-time plane.
+
+A robot moving at full speed between two turning events traces a segment
+whose slope ``dt/dx`` is exactly ``+1`` (moving right) or ``-1`` (moving
+left).  Robots are also allowed to move *slower* than full speed (the
+start-up phase of algorithm ``A(n, f)`` in Definition 4 uses speed
+``1/beta``), in which case ``|dt/dx| > 1``; and to stand still, in which
+case the segment is vertical.
+
+:class:`MotionSegment` models one leg of motion and answers the central
+query of the whole library: *when, if ever, does this leg visit position
+x?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+
+__all__ = ["MotionSegment"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class MotionSegment:
+    """A constant-velocity leg of a robot trajectory.
+
+    Attributes:
+        start: Space-time point where the leg begins.
+        end: Space-time point where the leg ends; must not precede
+            ``start`` in time, and must be reachable at unit speed.
+
+    Examples:
+        >>> leg = MotionSegment(SpaceTimePoint(0.0, 0.0), SpaceTimePoint(3.0, 3.0))
+        >>> leg.speed
+        1.0
+        >>> leg.visit_time(2.0)
+        2.0
+        >>> leg.visit_time(5.0) is None
+        True
+    """
+
+    start: SpaceTimePoint
+    end: SpaceTimePoint
+
+    def __post_init__(self) -> None:
+        if self.end.time < self.start.time - _EPS:
+            raise TrajectoryError(
+                "segment must not go backwards in time: "
+                f"{self.start.time} -> {self.end.time}"
+            )
+        if not self.end.is_reachable_from(self.start):
+            raise TrajectoryError(
+                "segment requires speed > 1: "
+                f"{self.start.as_tuple()} -> {self.end.as_tuple()}"
+            )
+
+    # ------------------------------------------------------------------
+    # basic measurements
+    # ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time over the leg."""
+        return self.end.time - self.start.time
+
+    @property
+    def displacement(self) -> float:
+        """Signed change of position over the leg."""
+        return self.end.position - self.start.position
+
+    @property
+    def speed(self) -> float:
+        """Constant speed of the leg (0 for a wait, at most 1)."""
+        if self.duration <= _EPS:
+            return 0.0
+        return abs(self.displacement) / self.duration
+
+    @property
+    def direction(self) -> int:
+        """``+1`` moving right, ``-1`` moving left, ``0`` standing still."""
+        if self.displacement > _EPS:
+            return 1
+        if self.displacement < -_EPS:
+            return -1
+        return 0
+
+    @property
+    def is_full_speed(self) -> bool:
+        """Whether the leg moves at (numerically) unit speed."""
+        return abs(self.speed - 1.0) <= 1e-9
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def position_at(self, time: float) -> float:
+        """Position of the robot at ``time``, which must lie in the leg.
+
+        Raises:
+            TrajectoryError: if ``time`` is outside
+                ``[start.time, end.time]``.
+        """
+        if time < self.start.time - _EPS or time > self.end.time + _EPS:
+            raise TrajectoryError(
+                f"time {time} outside segment [{self.start.time}, {self.end.time}]"
+            )
+        if self.duration <= _EPS:
+            return self.start.position
+        frac = (time - self.start.time) / self.duration
+        frac = min(max(frac, 0.0), 1.0)
+        return self.start.position + frac * self.displacement
+
+    def covers_position(self, x: float) -> bool:
+        """Whether the leg passes through position ``x`` at some time."""
+        lo = min(self.start.position, self.end.position)
+        hi = max(self.start.position, self.end.position)
+        return lo - _EPS <= x <= hi + _EPS
+
+    def visit_time(self, x: float) -> Optional[float]:
+        """Earliest time within the leg at which the robot is at ``x``.
+
+        Returns ``None`` when the leg never touches ``x``.  For a waiting
+        leg at position ``x`` the start time is returned.
+        """
+        if not self.covers_position(x):
+            return None
+        if abs(self.displacement) <= _EPS:
+            return self.start.time
+        frac = (x - self.start.position) / self.displacement
+        frac = min(max(frac, 0.0), 1.0)
+        return self.start.time + frac * self.duration
+
+    def intersect_vertical_line(self, x: float) -> Optional[SpaceTimePoint]:
+        """Intersection with the vertical line at position ``x``.
+
+        This mirrors the proof device of Lemma 3, where a vertical line
+        ``V`` through ``x`` is swept across the trajectory diagram.
+        """
+        t = self.visit_time(x)
+        if t is None:
+            return None
+        return SpaceTimePoint(x, t)
+
+    def clipped_to_times(self, t0: float, t1: float) -> "MotionSegment":
+        """Return the sub-segment between times ``t0`` and ``t1``.
+
+        Raises:
+            InvalidParameterError: if the window is empty or does not
+                overlap the leg.
+        """
+        if t1 < t0:
+            raise InvalidParameterError(f"empty time window [{t0}, {t1}]")
+        lo = max(t0, self.start.time)
+        hi = min(t1, self.end.time)
+        if hi < lo - _EPS:
+            raise InvalidParameterError(
+                f"window [{t0}, {t1}] does not overlap segment "
+                f"[{self.start.time}, {self.end.time}]"
+            )
+        hi = max(hi, lo)
+        return MotionSegment(
+            SpaceTimePoint(self.position_at(lo), lo),
+            SpaceTimePoint(self.position_at(hi), hi),
+        )
+
+    def sample(self, count: int) -> list:
+        """Return ``count`` evenly spaced points along the leg (inclusive).
+
+        Useful for plotting; ``count`` must be at least 2.
+        """
+        if count < 2:
+            raise InvalidParameterError(f"count must be >= 2, got {count}")
+        pts = []
+        for i in range(count):
+            t = self.start.time + self.duration * i / (count - 1)
+            pts.append(SpaceTimePoint(self.position_at(t), t))
+        return pts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MotionSegment(({self.start.position:g}, {self.start.time:g}) -> "
+            f"({self.end.position:g}, {self.end.time:g}))"
+        )

@@ -1,0 +1,33 @@
+"""Executable lower bound (Section 4 of the paper).
+
+* :class:`~repro.lowerbound.ladder.TargetLadder` — the adversary's target
+  points ``x_i = 2^(i+1) / ((alpha-1)^i (alpha-3))``;
+* :mod:`repro.lowerbound.classify` — positive/negative trajectory
+  classification and the Lemma 6/7 checks;
+* :class:`~repro.lowerbound.game.TheoremTwoGame` — the adversary played
+  against arbitrary fleets, producing a concrete (target, fault-set)
+  witness that forces ratio at least ``alpha``.
+"""
+
+from repro.lowerbound.classify import (
+    TrajectoryClass,
+    classify_for,
+    lemma6_applies,
+    lemma7_deadline,
+    lemma7_holds,
+    visits_both_before,
+)
+from repro.lowerbound.game import AdversaryWitness, TheoremTwoGame
+from repro.lowerbound.ladder import TargetLadder
+
+__all__ = [
+    "AdversaryWitness",
+    "TargetLadder",
+    "TheoremTwoGame",
+    "TrajectoryClass",
+    "classify_for",
+    "lemma6_applies",
+    "lemma7_deadline",
+    "lemma7_holds",
+    "visits_both_before",
+]

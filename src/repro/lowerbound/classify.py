@@ -1,0 +1,133 @@
+"""Positive/negative trajectory classification (Lemmas 6 and 7).
+
+Section 4 defines, for ``x > 1``:
+
+* a robot has a **positive trajectory for x** if its first visits to the
+  points ``{-x, -1, 1, x}`` occur in the order ``1, x, -1, -x``;
+* a **negative trajectory for x** if the order is ``-1, -x, 1, x``.
+
+Lemma 6: a robot that visits both ``x`` and ``-x`` strictly before time
+``3x + 2`` must follow one of the two.  Lemma 7: a robot following a
+positive or negative trajectory for ``x`` cannot reach both ``y`` and
+``-y`` before time ``2x + y`` (for any ``y >= 1``).
+
+These are the structural facts the adversary game leans on; the module
+classifies real trajectories so tests can check the lemmas hold for the
+library's own algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.base import Trajectory
+
+__all__ = [
+    "TrajectoryClass",
+    "classify_for",
+    "visits_both_before",
+    "lemma6_applies",
+    "lemma7_deadline",
+    "lemma7_holds",
+]
+
+
+class TrajectoryClass(enum.Enum):
+    """Outcome of the positive/negative classification for some ``x``."""
+
+    POSITIVE = "positive"  # first visits ordered 1, x, -1, -x
+    NEGATIVE = "negative"  # first visits ordered -1, -x, 1, x
+    NEITHER = "neither"    # some point never visited, or another order
+
+
+def _first_visits(
+    trajectory: Trajectory, points: Tuple[float, ...]
+) -> List[Optional[float]]:
+    return [trajectory.first_visit_time(p) for p in points]
+
+
+def classify_for(trajectory: Trajectory, x: float) -> TrajectoryClass:
+    """Classify a trajectory as positive/negative/neither for ``x > 1``.
+
+    Examples:
+        >>> from repro.trajectory import ZigZagTrajectory
+        >>> pos = ZigZagTrajectory([5.0, -5.0])     # out to +5, then to -5
+        >>> classify_for(pos, 2.0)
+        <TrajectoryClass.POSITIVE: 'positive'>
+        >>> neg = ZigZagTrajectory([-5.0, 5.0])
+        >>> classify_for(neg, 2.0)
+        <TrajectoryClass.NEGATIVE: 'negative'>
+    """
+    if x <= 1.0:
+        raise InvalidParameterError(f"classification needs x > 1, got {x}")
+    t_minus_x, t_minus_1, t_1, t_x = _first_visits(
+        trajectory, (-x, -1.0, 1.0, x)
+    )
+    if any(t is None for t in (t_minus_x, t_minus_1, t_1, t_x)):
+        return TrajectoryClass.NEITHER
+    if t_1 < t_x < t_minus_1 < t_minus_x:
+        return TrajectoryClass.POSITIVE
+    if t_minus_1 < t_minus_x < t_1 < t_x:
+        return TrajectoryClass.NEGATIVE
+    return TrajectoryClass.NEITHER
+
+
+def visits_both_before(
+    trajectory: Trajectory, magnitude: float, deadline: float
+) -> bool:
+    """Whether the robot visits both ``+magnitude`` and ``-magnitude``
+    strictly before ``deadline``."""
+    if magnitude <= 0:
+        raise InvalidParameterError(
+            f"magnitude must be positive, got {magnitude}"
+        )
+    for point in (magnitude, -magnitude):
+        t = trajectory.first_visit_time(point)
+        if t is None or t >= deadline:
+            return False
+    return True
+
+
+def lemma6_applies(trajectory: Trajectory, x: float) -> bool:
+    """Check the Lemma 6 implication on a concrete trajectory.
+
+    If the robot visits both ``±x`` strictly before ``3x + 2``, then it
+    must classify as positive or negative for ``x``.  Returns ``True``
+    when the implication holds (including vacuously).
+    """
+    if x <= 1.0:
+        raise InvalidParameterError(f"lemma 6 needs x > 1, got {x}")
+    if not visits_both_before(trajectory, x, 3.0 * x + 2.0):
+        return True  # premise false; implication vacuously true
+    return classify_for(trajectory, x) in (
+        TrajectoryClass.POSITIVE,
+        TrajectoryClass.NEGATIVE,
+    )
+
+
+def lemma7_deadline(x: float, y: float) -> float:
+    """The Lemma 7 deadline ``2x + y``.
+
+    A robot following a positive or negative trajectory for ``x`` cannot
+    reach both ``±y`` before this time.
+    """
+    if x < 1.0 or y < 1.0:
+        raise InvalidParameterError(
+            f"lemma 7 needs x, y >= 1, got x={x}, y={y}"
+        )
+    return 2.0 * x + y
+
+
+def lemma7_holds(trajectory: Trajectory, x: float, y: float) -> bool:
+    """Check the Lemma 7 implication on a concrete trajectory.
+
+    If the robot classifies as positive or negative for ``x``, it must
+    not visit both ``±y`` strictly before ``2x + y``.
+    """
+    cls = classify_for(trajectory, x)
+    if cls is TrajectoryClass.NEITHER:
+        return True  # premise false
+    deadline = lemma7_deadline(x, y)
+    return not visits_both_before(trajectory, y, deadline - 1e-12)

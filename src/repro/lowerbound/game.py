@@ -1,0 +1,193 @@
+"""The executable Theorem 2 adversary.
+
+Theorem 2 proves by contradiction that no algorithm with ``n < 2f + 2``
+robots can have competitive ratio below ``alpha`` (for valid ``alpha``).
+The proof is *constructive enough to run*: given any fleet of concrete
+trajectories, the adversary walks the target ladder from ``x_0`` down to
+``±1`` and, at each level, checks whether at least ``f + 1`` robots visit
+each of ``±x_i`` strictly before time ``alpha * x_i``:
+
+* **some side has at most f visitors** — the adversary corrupts exactly
+  those visitors and places the target there; no reliable robot arrives
+  before ``alpha * x_i``, so the achieved ratio is at least ``alpha``.
+  This is the witness the game returns.
+* **all checks pass, including at ±1** — the proof shows this is
+  impossible (each level consumes a distinct robot following a positive
+  or negative trajectory, and those robots are provably too slow for the
+  next level and finally for ``±1``).  Reaching this branch against real
+  trajectories means either ``alpha`` was chosen above the Theorem 2
+  bound or numerics broke; the game raises
+  :class:`~repro.errors.AdversaryError`.
+
+The game therefore demonstrates the lower bound *against arbitrary code*,
+not just against this library's algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.lower_bound import theorem2_lower_bound
+from repro.core.parameters import SearchParameters
+from repro.errors import AdversaryError, InvalidParameterError
+from repro.lowerbound.ladder import TargetLadder
+from repro.robots.fleet import Fleet
+
+__all__ = ["AdversaryWitness", "TheoremTwoGame"]
+
+
+@dataclass(frozen=True)
+class AdversaryWitness:
+    """The adversary's winning move against a fleet.
+
+    Attributes:
+        target: Where the adversary places the target.
+        faulty_robots: Which robots it declares faulty (the target's
+            early visitors; at most ``f``).
+        detection_time: Resulting detection time — first visit of the
+            target by a robot outside the faulty set (``inf`` if none
+            ever arrives).
+        ratio: ``detection_time / |target|``; at least the enforced
+            ``alpha`` by construction.
+        ladder_level: Which ladder level produced the witness (``n`` for
+            the final ``±1`` level).
+    """
+
+    target: float
+    faulty_robots: frozenset
+    detection_time: float
+    ratio: float
+    ladder_level: int
+
+    def describe(self) -> str:
+        """One-line summary."""
+        t = "inf" if math.isinf(self.detection_time) else f"{self.detection_time:.6g}"
+        return (
+            f"target at {self.target:.6g} with faults "
+            f"{sorted(self.faulty_robots)} -> detection {t} "
+            f"(ratio >= {self.ratio:.6g}, ladder level {self.ladder_level})"
+        )
+
+
+class TheoremTwoGame:
+    """Play the Theorem 2 adversary against a concrete fleet.
+
+    Attributes:
+        fleet: The ``n`` trajectories under attack.
+        f: The adversary's fault budget; the game requires
+            ``n < 2f + 2`` (outside that regime the theorem does not
+            apply — and indeed the two-group algorithm wins).
+        alpha: Enforced ratio.  Defaults to marginally below the
+            Theorem 2 bound for ``n``, the strongest enforceable value.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> game = TheoremTwoGame(
+        ...     Fleet.from_algorithm(ProportionalAlgorithm(3, 1)), f=1
+        ... )
+        >>> witness = game.play()
+        >>> witness.ratio >= game.alpha
+        True
+    """
+
+    #: Safety margin keeping the default alpha strictly inside the bound.
+    _ALPHA_MARGIN = 1e-9
+
+    def __init__(
+        self, fleet: Fleet, f: int, alpha: Optional[float] = None
+    ) -> None:
+        params = SearchParameters(fleet.size, f)
+        if params.n >= 2 * params.f + 2:
+            raise InvalidParameterError(
+                f"Theorem 2 applies only to n < 2f + 2, got n={params.n}, "
+                f"f={params.f}"
+            )
+        self.fleet = fleet
+        self.f = f
+        if alpha is None:
+            alpha = theorem2_lower_bound(fleet.size) - self._ALPHA_MARGIN
+        if alpha <= 3.0:
+            raise InvalidParameterError(
+                f"alpha must be > 3, got {alpha!r}"
+            )
+        self.alpha = float(alpha)
+        self.ladder = TargetLadder(n=fleet.size, alpha=self.alpha)
+
+    # ------------------------------------------------------------------
+    # the game
+    # ------------------------------------------------------------------
+
+    def early_visitors(self, target: float, deadline: float) -> Set[int]:
+        """Robots whose first visit of ``target`` is strictly before
+        ``deadline``."""
+        visitors: Set[int] = set()
+        for index, t in enumerate(self.fleet.first_visit_times(target)):
+            if t is not None and t < deadline:
+                visitors.add(index)
+        return visitors
+
+    def try_level(
+        self, magnitude: float, level: int
+    ) -> Optional[AdversaryWitness]:
+        """Attempt to win at one ladder level (both signs).
+
+        Wins if some side of ``±magnitude`` has at most ``f`` visitors
+        before ``alpha * magnitude``.
+        """
+        deadline = self.alpha * magnitude
+        for target in (magnitude, -magnitude):
+            visitors = self.early_visitors(target, deadline)
+            if len(visitors) <= self.f:
+                return self._make_witness(target, visitors, level)
+        return None
+
+    def _make_witness(
+        self, target: float, faulty: Set[int], level: int
+    ) -> AdversaryWitness:
+        detection = self.fleet.with_faults(faulty).detection_time(target)
+        return AdversaryWitness(
+            target=target,
+            faulty_robots=frozenset(faulty),
+            detection_time=detection,
+            ratio=detection / abs(target),
+            ladder_level=level,
+        )
+
+    def play(self) -> AdversaryWitness:
+        """Run the full adversary argument and return its witness.
+
+        Raises:
+            AdversaryError: if no level yields a witness — impossible for
+                a valid ``alpha`` by Theorem 2, so this indicates a
+                misuse (``alpha`` above the bound) or broken trajectories.
+        """
+        for level, magnitude in enumerate(self.ladder.magnitudes()):
+            witness = self.try_level(magnitude, level)
+            if witness is not None:
+                return witness
+        witness = self.try_level(1.0, self.fleet.size)
+        if witness is not None:
+            return witness
+        raise AdversaryError(
+            f"adversary found no witness at alpha={self.alpha}; by "
+            "Theorem 2 this cannot happen for alpha within the bound — "
+            "check the alpha value and the fleet's trajectories"
+        )
+
+    def pigeonhole_robots(self) -> List[Tuple[int, Optional[int]]]:
+        """For each ladder level, the robot visiting *both* ``±x_i``
+        early, if any (the proof's pigeonhole step).
+
+        Returns a list of ``(level, robot_index_or_None)`` — diagnostic
+        data used by tests to confirm the proof structure on concrete
+        fleets.
+        """
+        result: List[Tuple[int, Optional[int]]] = []
+        for level, magnitude in enumerate(self.ladder.magnitudes()):
+            deadline = self.alpha * magnitude
+            both = self.early_visitors(magnitude, deadline) & \
+                self.early_visitors(-magnitude, deadline)
+            result.append((level, min(both) if both else None))
+        return result

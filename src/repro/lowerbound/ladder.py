@@ -1,0 +1,103 @@
+"""The adversary's target ladder (proof of Theorem 2).
+
+For a candidate ratio ``alpha > 3`` satisfying
+``(alpha-1)^n (alpha-3) <= 2^(n+1)``, the adversary threatens to place the
+target at one of the points ``±1, ±x_{n-1}, ..., ±x_0`` where
+
+    ``x_i = 2^(i+1) / ((alpha-1)^i (alpha-3))``.
+
+The ladder's two structural facts, both verified by this module (and by
+tests):
+
+* the recurrence ``x_i = (alpha - 1)/2 * x_{i+1}`` (Equation 16), and
+* the ordering ``x_0 > x_1 > ... > x_{n-1} > 1`` (Equation 20), which
+  holds precisely because of the constraint on ``alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.lower_bound import theorem2_residual
+from repro.errors import InvalidParameterError
+
+__all__ = ["TargetLadder"]
+
+
+@dataclass(frozen=True)
+class TargetLadder:
+    """The ladder of adversarial target magnitudes for ``n`` robots.
+
+    Attributes:
+        n: Number of robots the adversary plays against.
+        alpha: The competitive ratio the adversary enforces; must exceed
+            3 and satisfy the Theorem 2 constraint (otherwise the ladder
+            ordering breaks and the construction is invalid).
+
+    Examples:
+        >>> ladder = TargetLadder(n=3, alpha=3.5)
+        >>> [round(x, 3) for x in ladder.magnitudes()]
+        [4.0, 3.2, 2.56]
+        >>> ladder.ordered_descending_above_one()
+        True
+    """
+
+    n: int
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise InvalidParameterError(f"n must be >= 1, got {self.n}")
+        if not math.isfinite(self.alpha) or self.alpha <= 3.0:
+            raise InvalidParameterError(
+                f"alpha must be a finite real > 3, got {self.alpha!r}"
+            )
+        if theorem2_residual(self.alpha, self.n) > 0:
+            raise InvalidParameterError(
+                f"alpha={self.alpha} violates (alpha-1)^n (alpha-3) <= "
+                f"2^(n+1) for n={self.n}; the ladder ordering would break"
+            )
+
+    def magnitude(self, i: int) -> float:
+        """``x_i = 2^(i+1) / ((alpha-1)^i (alpha-3))`` for ``0 <= i < n``."""
+        if not 0 <= i < self.n:
+            raise InvalidParameterError(
+                f"ladder index must be in 0..{self.n - 1}, got {i}"
+            )
+        return 2.0 ** (i + 1) / (
+            (self.alpha - 1.0) ** i * (self.alpha - 3.0)
+        )
+
+    def magnitudes(self) -> List[float]:
+        """``[x_0, x_1, ..., x_{n-1}]`` in the proof's processing order
+        (descending)."""
+        return [self.magnitude(i) for i in range(self.n)]
+
+    def all_targets(self) -> List[float]:
+        """Every point the adversary may use: ``±x_0 .. ±x_{n-1}, ±1``,
+        in the proof's processing order."""
+        targets: List[float] = []
+        for x in self.magnitudes():
+            targets.extend((x, -x))
+        targets.extend((1.0, -1.0))
+        return targets
+
+    # ------------------------------------------------------------------
+    # structural facts (Equations 16 and 20)
+    # ------------------------------------------------------------------
+
+    def recurrence_holds(self, tol: float = 1e-9) -> bool:
+        """Check ``x_i = (alpha-1)/2 * x_{i+1}`` for all ``i``."""
+        xs = self.magnitudes()
+        factor = (self.alpha - 1.0) / 2.0
+        return all(
+            abs(a - factor * b) <= tol * abs(a)
+            for a, b in zip(xs, xs[1:])
+        )
+
+    def ordered_descending_above_one(self) -> bool:
+        """Check ``x_0 > x_1 > ... > x_{n-1} > 1`` (Equation 20)."""
+        xs = self.magnitudes()
+        return all(a > b for a, b in zip(xs, xs[1:])) and xs[-1] > 1.0

@@ -1,0 +1,25 @@
+"""Robots, fleets, and fault models.
+
+* :class:`~repro.robots.robot.Robot` — identity + trajectory + fault flag;
+* :class:`~repro.robots.fleet.Fleet` — the collection the simulator runs,
+  with the ``T_{f+1}`` visit statistics;
+* :mod:`repro.robots.faults` — adversarial / fixed / random fault models.
+"""
+
+from repro.robots.faults import (
+    AdversarialFaults,
+    FaultModel,
+    FixedFaults,
+    RandomFaults,
+)
+from repro.robots.fleet import Fleet
+from repro.robots.robot import Robot
+
+__all__ = [
+    "AdversarialFaults",
+    "FaultModel",
+    "FixedFaults",
+    "Fleet",
+    "RandomFaults",
+    "Robot",
+]

@@ -1,0 +1,130 @@
+"""Fault models: who is faulty, and how is that decided?
+
+The paper's analysis is worst-case: the adversary may corrupt any ``f``
+robots, and because faults are static and behaviorally invisible, its
+optimal play against a target at ``x`` is to corrupt the first ``f``
+distinct visitors of ``x``.  :class:`AdversarialFaults` implements exactly
+that.
+
+Two further models support experiments beyond the worst case:
+
+* :class:`FixedFaults` — a fault set known in advance (e.g. replaying a
+  scenario);
+* :class:`RandomFaults` — a uniformly random ``f``-subset, for Monte
+  Carlo comparisons of average-case vs worst-case detection time.
+
+All models answer the same question: *given a fleet and a target, which
+robots are faulty?* — via :meth:`FaultModel.assign`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Set
+
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+
+__all__ = ["FaultModel", "AdversarialFaults", "FixedFaults", "RandomFaults"]
+
+
+class FaultModel(ABC):
+    """Strategy deciding the faulty subset for a fleet and target."""
+
+    def __init__(self, fault_budget: int) -> None:
+        if fault_budget < 0:
+            raise InvalidParameterError(
+                f"fault budget must be >= 0, got {fault_budget}"
+            )
+        self.fault_budget = fault_budget
+
+    @abstractmethod
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        """Return the indices of the faulty robots (at most the budget)."""
+
+    def detection_time(self, fleet: Fleet, target: float) -> float:
+        """Detection time of ``target`` under this model's assignment."""
+        faulty = self.assign(fleet, target)
+        return fleet.with_faults(faulty).detection_time(target)
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"{type(self).__name__}(f={self.fault_budget})"
+
+
+class AdversarialFaults(FaultModel):
+    """The worst-case adversary of the paper.
+
+    Corrupts the first ``f`` distinct robots to visit the target, making
+    the detection time equal ``T_{f+1}(target)``.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        >>> adv = AdversarialFaults(1)
+        >>> t = adv.detection_time(fleet, 2.0)
+        >>> t == fleet.worst_case_detection_time(2.0, 1)
+        True
+    """
+
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        return fleet.worst_fault_assignment(target, self.fault_budget)
+
+
+class FixedFaults(FaultModel):
+    """A predetermined fault set, independent of the target.
+
+    Examples:
+        >>> model = FixedFaults([0, 2])
+        >>> model.fault_budget
+        2
+    """
+
+    def __init__(self, faulty_indices: Sequence[int]) -> None:
+        indices = set(faulty_indices)
+        if any(i < 0 for i in indices):
+            raise InvalidParameterError(
+                f"fault indices must be non-negative, got {sorted(indices)}"
+            )
+        super().__init__(len(indices))
+        self.faulty_indices = indices
+
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        out_of_range = self.faulty_indices - set(range(fleet.size))
+        if out_of_range:
+            raise InvalidParameterError(
+                f"fault indices out of range for fleet of {fleet.size}: "
+                f"{sorted(out_of_range)}"
+            )
+        return set(self.faulty_indices)
+
+
+class RandomFaults(FaultModel):
+    """A uniformly random ``f``-subset of the fleet.
+
+    Deterministic given a seed; each :meth:`assign` call draws a fresh
+    subset from the model's private generator, so Monte Carlo loops can
+    simply call it repeatedly.
+
+    Examples:
+        >>> model = RandomFaults(1, seed=7)
+        >>> from repro.trajectory import LinearTrajectory
+        >>> fleet = Fleet.from_trajectories(
+        ...     [LinearTrajectory(1), LinearTrajectory(-1), LinearTrajectory(1)]
+        ... )
+        >>> len(model.assign(fleet, 1.0))
+        1
+    """
+
+    def __init__(self, fault_budget: int, seed: Optional[int] = None) -> None:
+        super().__init__(fault_budget)
+        self._rng = random.Random(seed)
+
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        if self.fault_budget > fleet.size:
+            raise InvalidParameterError(
+                f"fault budget {self.fault_budget} exceeds fleet size "
+                f"{fleet.size}"
+            )
+        return set(self._rng.sample(range(fleet.size), self.fault_budget))

@@ -1,0 +1,197 @@
+"""A fleet of robots and its visit/detection semantics.
+
+The fleet is the unit the simulator operates on.  Its central queries:
+
+* :meth:`Fleet.detection_time` — when is the target at ``x`` detected,
+  given an explicit set of faulty robots?  (First visit by a reliable
+  robot.)
+* :meth:`Fleet.worst_case_detection_time` — the same under the *worst*
+  fault assignment of a given budget, which by the static-fault argument
+  equals the ``(f+1)``-st distinct first-visit time ``T_{f+1}(x)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.robots.robot import Robot
+from repro.trajectory.base import Trajectory
+from repro.trajectory.visits import (
+    first_visit_times,
+    kth_distinct_visit_time,
+    visiting_order,
+)
+
+__all__ = ["Fleet"]
+
+
+class Fleet:
+    """An indexed collection of robots sharing a start point.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        >>> fleet.size
+        3
+        >>> t = fleet.worst_case_detection_time(1.5, fault_budget=1)
+        >>> t > 1.5
+        True
+    """
+
+    def __init__(self, robots: Sequence[Robot]) -> None:
+        robots = list(robots)
+        if not robots:
+            raise InvalidParameterError("fleet must contain at least one robot")
+        indices = [r.index for r in robots]
+        if indices != list(range(len(robots))):
+            raise InvalidParameterError(
+                f"robot indices must be 0..n-1 in order, got {indices}"
+            )
+        self._robots: List[Robot] = robots
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Iterable[Trajectory]) -> "Fleet":
+        """Wrap plain trajectories into an undecided-fault fleet."""
+        return cls([Robot(i, t) for i, t in enumerate(trajectories)])
+
+    @classmethod
+    def from_algorithm(cls, algorithm) -> "Fleet":
+        """Build the fleet of a :class:`~repro.schedule.base.SearchAlgorithm`."""
+        return cls.from_trajectories(algorithm.build())
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of robots ``n``."""
+        return len(self._robots)
+
+    @property
+    def robots(self) -> Tuple[Robot, ...]:
+        """The robots, in index order (read-only view)."""
+        return tuple(self._robots)
+
+    @property
+    def trajectories(self) -> Tuple[Trajectory, ...]:
+        """The robots' trajectories, in index order."""
+        return tuple(r.trajectory for r in self._robots)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Robot]:
+        return iter(self._robots)
+
+    def __getitem__(self, index: int) -> Robot:
+        return self._robots[index]
+
+    def with_faults(self, faulty_indices: Iterable[int]) -> "Fleet":
+        """Copy of the fleet with an explicit fault assignment."""
+        faulty = set(faulty_indices)
+        unknown = faulty - set(range(self.size))
+        if unknown:
+            raise InvalidParameterError(
+                f"fault indices out of range: {sorted(unknown)}"
+            )
+        return Fleet(
+            [
+                (r.as_faulty() if r.index in faulty else r.as_reliable())
+                for r in self._robots
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # visit statistics
+    # ------------------------------------------------------------------
+
+    def first_visit_times(self, x: float) -> List[Optional[float]]:
+        """Per-robot first visit time of ``x`` (``None`` = never)."""
+        return first_visit_times(self.trajectories, x)
+
+    def visiting_order(self, x: float) -> List[int]:
+        """Robot indices in order of their first visit of ``x``."""
+        return visiting_order(self.trajectories, x)
+
+    def t_k(self, x: float, k: int) -> float:
+        """Time of the ``k``-th distinct robot visit of ``x``.
+
+        ``t_k(x, f+1)`` is the paper's ``T_{f+1}(x)`` (Definition 3).
+        Returns ``inf`` when fewer than ``k`` robots ever reach ``x``.
+        """
+        return kth_distinct_visit_time(self.trajectories, x, k)
+
+    # ------------------------------------------------------------------
+    # detection semantics
+    # ------------------------------------------------------------------
+
+    def detection_time(self, x: float) -> float:
+        """First visit of ``x`` by a robot currently marked reliable.
+
+        Robots with undecided fault status count as reliable.  Returns
+        ``inf`` when no reliable robot ever visits ``x``.
+        """
+        best = math.inf
+        for robot in self._robots:
+            if not robot.can_detect:
+                continue
+            t = robot.first_visit_time(x)
+            if t is not None and t < best:
+                best = t
+        return best
+
+    def worst_case_detection_time(self, x: float, fault_budget: int) -> float:
+        """Detection time of ``x`` under the worst fault assignment.
+
+        The adversary's optimal play is to corrupt the first
+        ``fault_budget`` distinct robots reaching ``x``, so this equals
+        ``t_k(x, fault_budget + 1)``.
+
+        Examples:
+            >>> from repro.trajectory import LinearTrajectory
+            >>> pair = Fleet.from_trajectories(
+            ...     [LinearTrajectory(1), LinearTrajectory(1)]
+            ... )
+            >>> pair.worst_case_detection_time(3.0, fault_budget=1)
+            3.0
+            >>> pair.worst_case_detection_time(3.0, fault_budget=2)
+            inf
+        """
+        if fault_budget < 0:
+            raise InvalidParameterError(
+                f"fault budget must be >= 0, got {fault_budget}"
+            )
+        return self.t_k(x, fault_budget + 1)
+
+    def worst_fault_assignment(
+        self, x: float, fault_budget: int
+    ) -> Set[int]:
+        """The fault set realizing :meth:`worst_case_detection_time`.
+
+        Returns the indices of the first ``fault_budget`` distinct robots
+        to visit ``x`` (fewer if fewer ever visit).
+        """
+        if fault_budget < 0:
+            raise InvalidParameterError(
+                f"fault budget must be >= 0, got {fault_budget}"
+            )
+        return set(self.visiting_order(x)[:fault_budget])
+
+    def competitive_ratio_at(self, x: float, fault_budget: int) -> float:
+        """``T_{f+1}(x) / |x|`` — the function ``K`` of Definition 3."""
+        if x == 0.0:
+            raise InvalidParameterError("ratio is undefined at the origin")
+        return self.worst_case_detection_time(x, fault_budget) / abs(x)
+
+    def describe(self) -> str:
+        """Multi-line fleet summary."""
+        lines = [f"Fleet of {self.size} robots:"]
+        lines.extend("  " + r.describe() for r in self._robots)
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The robot entity: an identity bound to a trajectory and a fault flag.
+
+The paper's model (Section 1): all robots start at the same location,
+move at maximum speed 1, and are indistinguishable except by identity.  A
+*faulty* robot follows its assigned trajectory exactly like a reliable
+one — the only difference is that it does not detect the target when
+visiting its location.  Faultiness is static; whether it is decided
+before or during the search is irrelevant to the analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.base import Trajectory
+
+__all__ = ["Robot"]
+
+
+@dataclass
+class Robot:
+    """A named robot following a trajectory.
+
+    Attributes:
+        index: Identity of the robot (its position in the fleet list);
+            the paper names robots ``a_0 .. a_{n-1}``.
+        trajectory: The robot's full motion plan.
+        faulty: Whether this robot fails to detect the target.  ``None``
+            means "not yet decided" — useful when the adversary assigns
+            faults after inspecting trajectories.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> r = Robot(0, DoublingTrajectory())
+        >>> r.name
+        'a_0'
+        >>> r.can_detect
+        True
+    """
+
+    index: int
+    trajectory: Trajectory
+    faulty: Optional[bool] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.index, int) or isinstance(self.index, bool):
+            raise InvalidParameterError(f"index must be an int, got {self.index!r}")
+        if self.index < 0:
+            raise InvalidParameterError(
+                f"index must be non-negative, got {self.index}"
+            )
+        if not isinstance(self.trajectory, Trajectory):
+            raise InvalidParameterError(
+                f"trajectory must be a Trajectory, got {self.trajectory!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Paper-style name ``a_<index>``."""
+        return f"a_{self.index}"
+
+    @property
+    def can_detect(self) -> bool:
+        """Whether the robot detects a target it stands on.
+
+        Undecided robots are treated as reliable — the adversary layer
+        decides faults explicitly before computing detection times.
+        """
+        return self.faulty is not True
+
+    def position_at(self, time: float) -> float:
+        """Delegate to the trajectory."""
+        return self.trajectory.position_at(time)
+
+    def first_visit_time(self, x: float) -> Optional[float]:
+        """Delegate to the trajectory."""
+        return self.trajectory.first_visit_time(x)
+
+    def as_faulty(self) -> "Robot":
+        """Copy of this robot marked faulty (trajectory shared)."""
+        return Robot(self.index, self.trajectory, faulty=True)
+
+    def as_reliable(self) -> "Robot":
+        """Copy of this robot marked reliable (trajectory shared)."""
+        return Robot(self.index, self.trajectory, faulty=False)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        status = {None: "undecided", True: "FAULTY", False: "reliable"}[self.faulty]
+        return f"{self.name} [{status}]: {self.trajectory.describe()}"

@@ -1,0 +1,31 @@
+"""Schedules and algorithms built on the trajectory engine.
+
+* :class:`~repro.schedule.base.SearchAlgorithm` — the interface every
+  algorithm (paper's and baselines') implements;
+* :class:`~repro.schedule.proportional_schedule.ProportionalSchedule` —
+  ``S_beta(n)`` as executable trajectories;
+* :class:`~repro.schedule.algorithm.ProportionalAlgorithm` — the paper's
+  ``A(n, f)`` (Definition 4 / Theorem 1);
+* :class:`~repro.schedule.generalized.CustomBetaAlgorithm` — ``S_beta(n)``
+  at arbitrary slopes, for the beta-sweep ablation.
+"""
+
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.schedule.base import SearchAlgorithm
+from repro.schedule.generalized import CustomBetaAlgorithm
+from repro.schedule.proportional_schedule import ProportionalSchedule
+from repro.schedule.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_algorithm,
+)
+
+__all__ = [
+    "CustomBetaAlgorithm",
+    "ProportionalAlgorithm",
+    "ProportionalSchedule",
+    "SearchAlgorithm",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_algorithm",
+]

@@ -1,0 +1,70 @@
+"""The proportional schedule algorithm ``A(n, f)`` (Definition 4, Theorem 1).
+
+``A(n, f)`` is the proportional schedule ``S_beta(n)`` instantiated at the
+optimizing cone slope ``beta* = (4f+4)/n - 1``, with each robot routed
+from the origin to its first cone turning point (backward-extended below
+the minimum target distance 1) so that it enters the cone exactly on the
+boundary.
+
+Its competitive ratio (Theorem 1) is
+
+    ``((4f+4)/n)^((2f+2)/n) ((4f+4)/n - 2)^(1-(2f+2)/n) + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.competitive_ratio import algorithm_competitive_ratio
+from repro.core.optimal import optimal_beta
+from repro.core.parameters import SearchParameters
+from repro.schedule.base import SearchAlgorithm
+from repro.schedule.proportional_schedule import ProportionalSchedule
+from repro.trajectory.base import Trajectory
+
+__all__ = ["ProportionalAlgorithm"]
+
+
+class ProportionalAlgorithm(SearchAlgorithm):
+    """The paper's algorithm ``A(n, f)`` for ``f < n < 2f + 2``.
+
+    Examples:
+        >>> alg = ProportionalAlgorithm(3, 1)
+        >>> round(alg.beta, 12)
+        1.666666666667
+        >>> alg.expansion_factor
+        4.000000000000001
+        >>> round(alg.theoretical_competitive_ratio(), 3)
+        5.233
+        >>> len(alg.build())
+        3
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        params = SearchParameters(n, f).require_proportional()
+        super().__init__(params)
+        self.beta = optimal_beta(n, f)
+        self.schedule = ProportionalSchedule(
+            n=n, beta=self.beta, tau0=self.minimum_target_distance()
+        )
+
+    @property
+    def name(self) -> str:
+        return f"A({self.n},{self.f})"
+
+    @property
+    def expansion_factor(self) -> float:
+        """Expansion factor of every robot's zig-zag (Table 1 column)."""
+        return self.schedule.expansion_factor
+
+    @property
+    def proportionality_ratio(self) -> float:
+        """Ratio ``r`` of the underlying proportional schedule."""
+        return self.schedule.ratio
+
+    def build(self) -> List[Trajectory]:
+        return list(self.schedule.build())
+
+    def theoretical_competitive_ratio(self) -> float:
+        """Theorem 1 closed form."""
+        return algorithm_competitive_ratio(self.n, self.f)

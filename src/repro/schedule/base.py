@@ -1,0 +1,89 @@
+"""Common interface for parallel search algorithms.
+
+Every algorithm in this library — the paper's ``A(n, f)``, the trivial
+two-group algorithm, and the baseline strategies — is a factory of ``n``
+trajectories plus metadata.  The simulator, the lower-bound game, and the
+experiment harness all consume this interface, so new algorithms plug in
+by subclassing :class:`SearchAlgorithm`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.core.parameters import SearchParameters
+from repro.trajectory.base import Trajectory
+
+__all__ = ["SearchAlgorithm"]
+
+
+class SearchAlgorithm(ABC):
+    """A parallel search algorithm for ``n`` robots, ``f`` possibly faulty.
+
+    Subclasses implement :meth:`build`, returning one trajectory per
+    robot (robot identities are the list indices).  Trajectories must all
+    start at the origin at time 0 and respect unit speed — the
+    :class:`~repro.trajectory.base.Trajectory` machinery enforces the
+    speed limit on materialization.
+    """
+
+    def __init__(self, params: SearchParameters) -> None:
+        self.params = params
+
+    @property
+    def n(self) -> int:
+        """Number of robots."""
+        return self.params.n
+
+    @property
+    def f(self) -> int:
+        """Fault budget."""
+        return self.params.f
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports; override for nicer names."""
+        return type(self).__name__
+
+    @abstractmethod
+    def build(self) -> List[Trajectory]:
+        """Construct the ``n`` robot trajectories.
+
+        Must return exactly ``self.n`` trajectories.  A fresh list is
+        returned on every call; trajectories are stateful (they memoize
+        materialized segments), so sharing across concurrent experiments
+        is allowed but rebuilding gives independent objects.
+        """
+
+    def theoretical_competitive_ratio(self) -> Optional[float]:
+        """Closed-form competitive ratio, when one is known.
+
+        Returns ``None`` for algorithms without a proven formula; the
+        simulator can still measure the ratio empirically.
+        """
+        return None
+
+    def minimum_target_distance(self) -> float:
+        """The assumed minimum distance from origin to target.
+
+        The paper (Definition 4, following Schuierer) assumes the target
+        is at distance at least 1; algorithms with a different
+        normalization can override.
+        """
+        return 1.0
+
+    def describe(self) -> str:
+        """Multi-line description for reports."""
+        cr = self.theoretical_competitive_ratio()
+        cr_text = "unknown" if cr is None else (
+            "inf" if math.isinf(cr) else f"{cr:.6g}"
+        )
+        return (
+            f"{self.name}: {self.params.describe()}, "
+            f"theoretical CR = {cr_text}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, f={self.f})"

@@ -1,0 +1,66 @@
+"""Generalized proportional schedules (non-optimal cone slopes).
+
+The optimization step after Lemma 5 picks ``beta* = (4f+4)/n - 1``; the
+ablation experiments sweep other slopes to verify ``beta*`` really is the
+minimizer.  :class:`CustomBetaAlgorithm` runs the proportional schedule at
+an arbitrary ``beta > 1`` and reports the Lemma 5 closed form as its
+theoretical ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.competitive_ratio import schedule_competitive_ratio
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.schedule.proportional_schedule import ProportionalSchedule
+from repro.trajectory.base import Trajectory
+
+__all__ = ["CustomBetaAlgorithm"]
+
+
+class CustomBetaAlgorithm(SearchAlgorithm):
+    """Proportional schedule ``S_beta(n)`` at a caller-chosen ``beta``.
+
+    Attributes:
+        beta: Cone slope, any finite real greater than 1.
+
+    Examples:
+        >>> alg = CustomBetaAlgorithm(3, 1, beta=2.0)
+        >>> round(alg.theoretical_competitive_ratio(), 4)
+        5.3267
+        >>> from repro.core import algorithm_competitive_ratio
+        >>> alg.theoretical_competitive_ratio() > algorithm_competitive_ratio(3, 1)
+        True
+    """
+
+    def __init__(self, n: int, f: int, beta: float) -> None:
+        params = SearchParameters(n, f).require_proportional()
+        super().__init__(params)
+        if not math.isfinite(beta) or beta <= 1.0:
+            raise InvalidParameterError(
+                f"beta must be a finite real > 1, got {beta!r}"
+            )
+        self.beta = float(beta)
+        self.schedule = ProportionalSchedule(
+            n=n, beta=self.beta, tau0=self.minimum_target_distance()
+        )
+
+    @property
+    def name(self) -> str:
+        return f"S_beta(n={self.n}, beta={self.beta:.4g}, f={self.f})"
+
+    @property
+    def expansion_factor(self) -> float:
+        """Expansion factor induced by the chosen cone."""
+        return self.schedule.expansion_factor
+
+    def build(self) -> List[Trajectory]:
+        return list(self.schedule.build())
+
+    def theoretical_competitive_ratio(self) -> float:
+        """Lemma 5 closed form at the chosen (possibly sub-optimal) beta."""
+        return schedule_competitive_ratio(self.beta, self.n, self.f)

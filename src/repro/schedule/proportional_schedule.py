@@ -1,0 +1,166 @@
+"""The proportional schedule ``S_beta(n)`` as executable trajectories.
+
+``S_beta(n)`` assigns to robot ``a_i`` the cone zig-zag whose anchor
+positive turning point is ``tau_i = tau0 * r^i`` (Lemma 2), where
+``r = kappa^(2/n)`` is the proportionality ratio.  Together the robots'
+positive turning points tile the positive half-line as the geometric
+sequence ``tau0 * r^j`` (robot ``a_{j mod n}`` owns the ``j``-th one), and
+symmetrically on the negative side.
+
+This module produces the actual :class:`~repro.trajectory.cone_zigzag.ConeZigZag`
+objects (with the Definition 4 origin start-up) and exposes the schedule's
+combined turning-point structure for verification and plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.proportional import proportionality_ratio
+from repro.errors import InvalidParameterError, ScheduleError
+from repro.geometry.cone import Cone
+from repro.trajectory.cone_zigzag import ConeZigZag
+
+__all__ = ["ProportionalSchedule"]
+
+
+class ProportionalSchedule:
+    """The proportional schedule ``S_beta(n)``.
+
+    Attributes:
+        n: Number of robots.
+        cone: The shared cone ``C_beta``.
+        tau0: Anchor turning point of robot ``a_0`` (the paper uses the
+            minimum target distance, 1).
+        inner_radius: Radius below which Definition 4 stops the backward
+            extension; defaults to ``tau0``.
+
+    Examples:
+        >>> sched = ProportionalSchedule(n=2, beta=3.0)
+        >>> round(sched.ratio, 12)
+        2.0
+        >>> sched.anchors
+        (1.0, 2.0)
+        >>> robots = sched.build()
+        >>> [r.first_cone_turn for r in robots]
+        [1.0, -1.0]
+    """
+
+    def __init__(
+        self,
+        n: int,
+        beta: float,
+        tau0: float = 1.0,
+        inner_radius: Optional[float] = None,
+    ) -> None:
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise InvalidParameterError(f"n must be a positive int, got {n!r}")
+        if not math.isfinite(beta) or beta <= 1.0:
+            raise InvalidParameterError(
+                f"beta must be a finite real > 1, got {beta!r}"
+            )
+        if tau0 <= 0:
+            raise InvalidParameterError(f"tau0 must be positive, got {tau0!r}")
+        self.n = n
+        self.cone = Cone(beta)
+        self.tau0 = float(tau0)
+        self.inner_radius = float(tau0 if inner_radius is None else inner_radius)
+        if self.inner_radius <= 0:
+            raise InvalidParameterError(
+                f"inner_radius must be positive, got {inner_radius!r}"
+            )
+        self.ratio = proportionality_ratio(beta, n)
+
+    @property
+    def beta(self) -> float:
+        """The cone slope."""
+        return self.cone.beta
+
+    @property
+    def expansion_factor(self) -> float:
+        """Expansion factor ``kappa`` shared by every robot."""
+        return self.cone.expansion_factor
+
+    @property
+    def anchors(self) -> Tuple[float, ...]:
+        """Anchor positive turning points ``tau_i = tau0 * r^i``."""
+        return tuple(self.tau0 * self.ratio**i for i in range(self.n))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> List[ConeZigZag]:
+        """Instantiate the ``n`` robot trajectories.
+
+        Robot ``a_i`` receives the anchor ``tau_i``; the
+        :class:`~repro.trajectory.cone_zigzag.ConeZigZag` constructor
+        applies the Definition 4 backward extension so each robot's
+        actual first cone turn has magnitude at most ``inner_radius``.
+        """
+        return [
+            ConeZigZag(self.cone, anchor, inner_radius=self.inner_radius)
+            for anchor in self.anchors
+        ]
+
+    # ------------------------------------------------------------------
+    # combined structure (for verification)
+    # ------------------------------------------------------------------
+
+    def combined_positive_turning_points(self, count: int) -> List[float]:
+        """First ``count`` positive turning points over all robots,
+        sorted ascending, starting at ``tau0``.
+
+        By Lemma 2 this must equal the geometric sequence
+        ``tau0 * r^j``; tests verify the built trajectories agree.
+        """
+        if count < 0:
+            raise InvalidParameterError(f"count must be >= 0, got {count}")
+        return [self.tau0 * self.ratio**j for j in range(count)]
+
+    def owner_of_combined_point(self, j: int) -> int:
+        """Index of the robot whose turning point is ``tau0 * r^j``."""
+        if j < 0:
+            raise InvalidParameterError(f"j must be >= 0, got {j}")
+        return j % self.n
+
+    def verify_proportionality(
+        self, count: int = 12, tol: float = 1e-9
+    ) -> None:
+        """Check Definition 2 on the *built* trajectories.
+
+        Collects actual positive turning points (with magnitude at least
+        ``tau0``) from the robot trajectories, sorts them, and verifies
+        the consecutive-difference ratio is constant at ``self.ratio``.
+
+        Raises:
+            ScheduleError: if the built schedule is not proportional.
+        """
+        if count < 3:
+            raise InvalidParameterError(f"count must be >= 3, got {count}")
+        robots = self.build()
+        points: List[float] = []
+        horizon = self.tau0 * self.ratio ** (count + self.n)
+        for robot in robots:
+            for vertex in robot.turning_points_in_radius(horizon):
+                if vertex.position >= self.tau0 * (1 - 1e-12):
+                    points.append(vertex.position)
+        points.sort()
+        points = points[: count + 1]
+        if len(points) < 3:
+            raise ScheduleError("not enough turning points materialized")
+        diffs = [b - a for a, b in zip(points, points[1:])]
+        for d1, d2 in zip(diffs, diffs[1:]):
+            actual = d2 / d1
+            if abs(actual - self.ratio) > tol * self.ratio:
+                raise ScheduleError(
+                    f"proportionality violated: ratio {actual} != {self.ratio}"
+                )
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"S_beta(n): n={self.n}, beta={self.beta:.6g}, "
+            f"kappa={self.expansion_factor:.6g}, r={self.ratio:.6g}"
+        )

@@ -1,0 +1,190 @@
+"""Validation harness for user-supplied search algorithms.
+
+A downstream user implementing their own
+:class:`~repro.schedule.base.SearchAlgorithm` needs to know whether it
+is *admissible* in the paper's model before trusting any measured ratio:
+
+* it must build exactly ``n`` trajectories, all starting at the origin
+  at time 0;
+* every leg must respect the unit speed limit;
+* every point with ``|x|`` in the tested range must eventually be
+  visited by at least ``f + 1`` distinct robots — otherwise an adversary
+  corrupting the visitors makes some targets undetectable and the
+  competitive ratio is infinite.
+
+:func:`validate_algorithm` checks all of this and returns a structured
+report; :class:`ValidationReport` renders it for humans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+from repro.schedule.base import SearchAlgorithm
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_algorithm"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One admissibility violation."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def describe(self) -> str:
+        """Human-readable line."""
+        return f"[{self.severity.upper()}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating an algorithm.
+
+    Attributes:
+        algorithm_name: The checked algorithm's name.
+        issues: All violations found (empty = admissible).
+        checked_targets: The probe points used for coverage checking.
+    """
+
+    algorithm_name: str
+    issues: List[ValidationIssue] = field(default_factory=list)
+    checked_targets: List[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the algorithm passed with no errors (warnings allowed)."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        lines = [
+            f"validation of {self.algorithm_name}: "
+            + ("ADMISSIBLE" if self.ok else "REJECTED")
+        ]
+        lines.extend("  " + issue.describe() for issue in self.issues)
+        if not self.issues:
+            lines.append("  no issues found")
+        return "\n".join(lines)
+
+
+def validate_algorithm(
+    algorithm: SearchAlgorithm,
+    x_max: float = 20.0,
+    probes_per_sign: int = 12,
+    detection_budget_factor: float = 100.0,
+) -> ValidationReport:
+    """Check a search algorithm's admissibility in the paper's model.
+
+    Args:
+        algorithm: The algorithm under test.
+        x_max: Coverage is probed for targets with
+            ``1 <= |x| <= x_max``.
+        probes_per_sign: Number of probe targets per side.
+        detection_budget_factor: A probe counts as *covered* only if the
+            ``(f+1)``-st visit happens within
+            ``detection_budget_factor * |x|`` — guarding against
+            schedules that technically cover everything but with
+            unbounded ratio.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> report = validate_algorithm(ProportionalAlgorithm(3, 1))
+        >>> report.ok
+        True
+        >>> from repro.trajectory import LinearTrajectory
+        >>> class OneSided(SearchAlgorithm):
+        ...     def build(self):
+        ...         return [LinearTrajectory(1) for _ in range(self.n)]
+        >>> from repro.core import SearchParameters
+        >>> bad = OneSided(SearchParameters(3, 1))
+        >>> validate_algorithm(bad).ok
+        False
+    """
+    if x_max <= 1.0:
+        raise InvalidParameterError(f"x_max must exceed 1, got {x_max}")
+    if probes_per_sign < 1:
+        raise InvalidParameterError(
+            f"probes_per_sign must be >= 1, got {probes_per_sign}"
+        )
+    if detection_budget_factor <= 1.0:
+        raise InvalidParameterError(
+            "detection_budget_factor must exceed 1, got "
+            f"{detection_budget_factor}"
+        )
+    report = ValidationReport(algorithm_name=algorithm.name)
+
+    # structural checks
+    trajectories = algorithm.build()
+    if len(trajectories) != algorithm.n:
+        report.issues.append(
+            ValidationIssue(
+                "error",
+                f"build() returned {len(trajectories)} trajectories for "
+                f"n={algorithm.n}",
+            )
+        )
+        return report
+
+    for index, trajectory in enumerate(trajectories):
+        start_pos = trajectory.position_at(0.0)
+        if abs(start_pos) > 1e-9:
+            report.issues.append(
+                ValidationIssue(
+                    "error",
+                    f"robot a_{index} starts at {start_pos}, not the origin",
+                )
+            )
+        # speed-limit sampling (materialization raises on violations,
+        # so reaching here without TrajectoryError already checks legs)
+        for seg in trajectory.segments_until(min(4.0 * x_max, 100.0)):
+            if seg.speed > 1.0 + 1e-9:
+                report.issues.append(
+                    ValidationIssue(
+                        "error",
+                        f"robot a_{index} exceeds unit speed "
+                        f"({seg.speed:.6g}) on segment at t="
+                        f"{seg.start.time:.6g}",
+                    )
+                )
+                break
+
+    if not report.ok:
+        return report
+
+    # coverage checks
+    fleet = Fleet.from_trajectories(trajectories)
+    k = algorithm.f + 1
+    ratio = (x_max / 1.0) ** (1.0 / max(probes_per_sign - 1, 1))
+    targets: List[float] = []
+    for sign in (1.0, -1.0):
+        x = 1.0
+        for _ in range(probes_per_sign):
+            targets.append(sign * min(x, x_max))
+            x *= ratio
+    report.checked_targets = targets
+
+    for x in targets:
+        t = fleet.t_k(x, k)
+        if not math.isfinite(t):
+            report.issues.append(
+                ValidationIssue(
+                    "error",
+                    f"target {x:.6g} is never visited by {k} distinct "
+                    "robots — undetectable under the fault budget",
+                )
+            )
+        elif t > detection_budget_factor * abs(x):
+            report.issues.append(
+                ValidationIssue(
+                    "warning",
+                    f"target {x:.6g} only detected at ratio "
+                    f"{t / abs(x):.3g} (> {detection_budget_factor:g})",
+                )
+            )
+    return report
+

@@ -1,0 +1,56 @@
+"""Continuous-time search simulation and empirical measurement.
+
+* :class:`~repro.simulation.engine.SearchSimulation` — run one scenario
+  and get a detection time plus event log;
+* :class:`~repro.simulation.adversary.CompetitiveRatioEstimator` — the
+  executable Lemma 5: measure ``sup K(x)`` by probing turning points;
+* :mod:`repro.simulation.sweep` — series data (beta sweeps, fleet-size
+  sweeps, target profiles) for experiments and figures.
+"""
+
+from repro.simulation.adversary import (
+    CompetitiveRatioEstimator,
+    measure_competitive_ratio,
+)
+from repro.simulation.engine import SearchSimulation, simulate_search
+from repro.simulation.events import (
+    DetectionEvent,
+    Event,
+    TargetVisitEvent,
+    TurnEvent,
+)
+from repro.simulation.metrics import (
+    CompetitiveRatioEstimate,
+    RatioProfile,
+    RatioSample,
+    SearchOutcome,
+)
+from repro.simulation.sweep import (
+    SweepPoint,
+    beta_sweep,
+    fleet_size_sweep,
+    geometric_grid,
+    target_sweep,
+)
+from repro.simulation.timestep import TimeSteppedSimulator
+
+__all__ = [
+    "CompetitiveRatioEstimate",
+    "CompetitiveRatioEstimator",
+    "DetectionEvent",
+    "Event",
+    "RatioProfile",
+    "RatioSample",
+    "SearchOutcome",
+    "SearchSimulation",
+    "SweepPoint",
+    "TargetVisitEvent",
+    "TimeSteppedSimulator",
+    "TurnEvent",
+    "beta_sweep",
+    "fleet_size_sweep",
+    "geometric_grid",
+    "measure_competitive_ratio",
+    "simulate_search",
+    "target_sweep",
+]

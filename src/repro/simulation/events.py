@@ -1,0 +1,90 @@
+"""Event records emitted by the search simulation.
+
+The engine reconstructs, from the analytic trajectories, the discrete
+events a physical run would log: robots turning, robots passing over the
+target (detecting it or not), and the final detection.  Events are plain
+frozen dataclasses ordered by time, suitable for timelines, reports, and
+the ASCII renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Event", "TurnEvent", "TargetVisitEvent", "DetectionEvent"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something happened at ``time`` involving ``robot_index``."""
+
+    time: float
+    robot_index: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise InvalidParameterError(f"event time must be >= 0, got {self.time}")
+        if self.robot_index < 0:
+            raise InvalidParameterError(
+                f"robot index must be >= 0, got {self.robot_index}"
+            )
+
+    @property
+    def robot_name(self) -> str:
+        """Paper-style robot name."""
+        return f"a_{self.robot_index}"
+
+    def describe(self) -> str:
+        """Human-readable one-liner; subclasses refine."""
+        return f"t={self.time:.6g}: event for {self.robot_name}"
+
+
+@dataclass(frozen=True)
+class TurnEvent(Event):
+    """A robot reversed direction at ``position``."""
+
+    position: float
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: {self.robot_name} turns at "
+            f"x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class TargetVisitEvent(Event):
+    """A robot passed over the target location.
+
+    Attributes:
+        position: The target position.
+        detected: Whether this visit detected the target (i.e. the robot
+            is reliable).  Faulty robots produce visits with
+            ``detected=False`` — observable only in hindsight, exactly as
+            the paper notes.
+    """
+
+    position: float
+    detected: bool
+
+    def describe(self) -> str:
+        verdict = "DETECTS target" if self.detected else "misses target (faulty)"
+        return (
+            f"t={self.time:.6g}: {self.robot_name} reaches target at "
+            f"x={self.position:.6g} and {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class DetectionEvent(Event):
+    """The search ends: a reliable robot found the target."""
+
+    position: float
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: search complete — {self.robot_name} found "
+            f"the target at x={self.position:.6g}"
+        )

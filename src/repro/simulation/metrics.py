@@ -1,0 +1,142 @@
+"""Result containers for simulations and competitive-ratio estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.simulation.events import Event
+
+__all__ = [
+    "SearchOutcome",
+    "CompetitiveRatioEstimate",
+    "RatioSample",
+    "RatioProfile",
+]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """The result of running one search scenario.
+
+    Attributes:
+        target: Target position.
+        detection_time: Time the first reliable robot reached the target
+            (``inf`` if detection never happens — an invalid algorithm
+            for the given fault set).
+        detecting_robot: Index of the detecting robot, or ``None``.
+        faulty_robots: The fault assignment used.
+        events: Chronological event log up to (and including) detection.
+
+    Examples:
+        >>> outcome = SearchOutcome(2.0, 4.0, 1, frozenset({0}), ())
+        >>> outcome.competitive_ratio
+        2.0
+        >>> outcome.detected
+        True
+    """
+
+    target: float
+    detection_time: float
+    detecting_robot: Optional[int]
+    faulty_robots: frozenset
+    events: Sequence[Event] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.target == 0.0:
+            raise InvalidParameterError("target cannot be at the origin")
+        if self.detection_time < 0:
+            raise InvalidParameterError(
+                f"detection time must be >= 0, got {self.detection_time}"
+            )
+
+    @property
+    def detected(self) -> bool:
+        """Whether the target was ever found."""
+        return math.isfinite(self.detection_time)
+
+    @property
+    def competitive_ratio(self) -> float:
+        """``detection_time / |target|`` for this single scenario."""
+        return self.detection_time / abs(self.target)
+
+    def describe(self) -> str:
+        """Multi-line report of the run."""
+        lines = [
+            f"target at x={self.target:.6g}, "
+            f"faulty robots: {sorted(self.faulty_robots) or 'none'}"
+        ]
+        lines.extend("  " + e.describe() for e in self.events)
+        if self.detected:
+            lines.append(
+                f"detection at t={self.detection_time:.6g} "
+                f"(ratio {self.competitive_ratio:.6g})"
+            )
+        else:
+            lines.append("target NEVER detected under this fault assignment")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """One evaluation of ``K(x) = T_{f+1}(x) / |x|``."""
+
+    x: float
+    detection_time: float
+
+    @property
+    def ratio(self) -> float:
+        """The competitive ratio at this sample point."""
+        return self.detection_time / abs(self.x)
+
+
+@dataclass(frozen=True)
+class CompetitiveRatioEstimate:
+    """An empirical competitive-ratio measurement.
+
+    Attributes:
+        value: The measured supremum of ``K(x)`` over the probed set.
+        witness: The sample achieving the supremum.
+        samples_evaluated: Number of points probed.
+        x_max: Largest ``|x|`` probed; the measurement is a lower bound
+            on the true supremum, exact when the schedule's ratio profile
+            is periodic across turning points (Lemma 5) and ``x_max``
+            spans at least one full period.
+    """
+
+    value: float
+    witness: RatioSample
+    samples_evaluated: int
+    x_max: float
+
+    def matches(self, theoretical: float, tol: float = 1e-6) -> bool:
+        """Whether the estimate agrees with a closed form within ``tol``
+        (relative)."""
+        return abs(self.value - theoretical) <= tol * max(1.0, abs(theoretical))
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"empirical CR = {self.value:.9g} at x = {self.witness.x:.9g} "
+            f"({self.samples_evaluated} samples, |x| <= {self.x_max:g})"
+        )
+
+
+@dataclass(frozen=True)
+class RatioProfile:
+    """The function ``K(x)`` sampled over a set of targets."""
+
+    samples: List[RatioSample]
+
+    @property
+    def supremum(self) -> RatioSample:
+        """The sample with the largest ratio."""
+        if not self.samples:
+            raise InvalidParameterError("profile has no samples")
+        return max(self.samples, key=lambda s: s.ratio)
+
+    def ratios(self) -> List[float]:
+        """The ratio values, in sample order."""
+        return [s.ratio for s in self.samples]

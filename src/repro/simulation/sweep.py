@@ -1,0 +1,158 @@
+"""Parameter sweeps: series data for experiments and figures.
+
+Three sweep families used by the experiment harness:
+
+* :func:`target_sweep` — the ratio profile ``K(x)`` over a grid of
+  targets (the sawtooth of Lemma 3, nice for plots);
+* :func:`beta_sweep` — competitive ratio of ``S_beta(n)`` as ``beta``
+  varies, both closed-form and measured (the ablation validating
+  ``beta* = (4f+4)/n - 1``);
+* :func:`fleet_size_sweep` — competitive ratio of ``A(n, f)`` along a
+  family of ``(n, f)`` pairs (e.g. ``n = 2f + 1`` for Figure 5 left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.competitive_ratio import (
+    algorithm_competitive_ratio,
+    schedule_competitive_ratio,
+)
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.schedule.generalized import CustomBetaAlgorithm
+from repro.simulation.adversary import CompetitiveRatioEstimator
+from repro.simulation.metrics import RatioProfile, RatioSample
+
+__all__ = [
+    "SweepPoint",
+    "target_sweep",
+    "beta_sweep",
+    "fleet_size_sweep",
+    "geometric_grid",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep.
+
+    Attributes:
+        parameter: The swept value (``beta``, ``n``, ...).
+        theoretical: Closed-form competitive ratio, if known.
+        measured: Empirically measured ratio, if requested.
+    """
+
+    parameter: float
+    theoretical: Optional[float]
+    measured: Optional[float]
+
+    def gap(self) -> Optional[float]:
+        """Absolute difference between theory and measurement."""
+        if self.theoretical is None or self.measured is None:
+            return None
+        return abs(self.theoretical - self.measured)
+
+
+def geometric_grid(lo: float, hi: float, count: int) -> List[float]:
+    """``count`` geometrically spaced values from ``lo`` to ``hi``.
+
+    Examples:
+        >>> geometric_grid(1.0, 8.0, 4)
+        [1.0, 2.0, 4.0, 8.0]
+    """
+    if lo <= 0 or hi <= lo:
+        raise InvalidParameterError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    if count < 2:
+        raise InvalidParameterError(f"count must be >= 2, got {count}")
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    return [lo * ratio**i for i in range(count)]
+
+
+def target_sweep(
+    fleet: Fleet,
+    fault_budget: int,
+    targets: Sequence[float],
+) -> RatioProfile:
+    """Evaluate ``K(x)`` over an explicit target grid.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        >>> profile = target_sweep(fleet, 1, [1.0, 1.5, 2.0, 3.0])
+        >>> len(profile.samples)
+        4
+    """
+    if not targets:
+        raise InvalidParameterError("targets must be non-empty")
+    samples = [
+        RatioSample(x, fleet.worst_case_detection_time(x, fault_budget))
+        for x in targets
+    ]
+    return RatioProfile(samples)
+
+
+def beta_sweep(
+    n: int,
+    f: int,
+    betas: Sequence[float],
+    measure: bool = False,
+    x_max: float = 100.0,
+) -> List[SweepPoint]:
+    """Competitive ratio of ``S_beta(n)`` across cone slopes.
+
+    With ``measure=True`` each point also runs the empirical estimator;
+    otherwise only the Lemma 5 closed form is reported (fast).
+
+    Examples:
+        >>> pts = beta_sweep(3, 1, [1.3, 5/3, 2.5])
+        >>> min(p.theoretical for p in pts) == pts[1].theoretical
+        True
+    """
+    if not betas:
+        raise InvalidParameterError("betas must be non-empty")
+    points: List[SweepPoint] = []
+    for beta in betas:
+        theoretical = schedule_competitive_ratio(beta, n, f)
+        measured = None
+        if measure:
+            algorithm = CustomBetaAlgorithm(n, f, beta)
+            estimator = CompetitiveRatioEstimator(
+                Fleet.from_algorithm(algorithm), f, x_max=x_max
+            )
+            measured = estimator.estimate().value
+        points.append(SweepPoint(beta, theoretical, measured))
+    return points
+
+
+def fleet_size_sweep(
+    pairs: Sequence[Tuple[int, int]],
+    measure: bool = False,
+    x_max: float = 100.0,
+) -> List[SweepPoint]:
+    """Competitive ratio of ``A(n, f)`` along a family of ``(n, f)`` pairs.
+
+    The sweep parameter reported is ``n``.
+
+    Examples:
+        >>> pts = fleet_size_sweep([(3, 1), (5, 2), (7, 3)])
+        >>> [round(p.theoretical, 2) for p in pts]
+        [5.23, 4.43, 4.08]
+    """
+    if not pairs:
+        raise InvalidParameterError("pairs must be non-empty")
+    points: List[SweepPoint] = []
+    for n, f in pairs:
+        theoretical = algorithm_competitive_ratio(n, f)
+        measured = None
+        if measure:
+            algorithm = ProportionalAlgorithm(n, f)
+            estimator = CompetitiveRatioEstimator(
+                Fleet.from_algorithm(algorithm), f, x_max=x_max
+            )
+            measured = estimator.estimate().value
+        points.append(SweepPoint(float(n), theoretical, measured))
+    return points

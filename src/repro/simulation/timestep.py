@@ -1,0 +1,172 @@
+"""Time-stepped simulation: an independent numerical cross-check.
+
+The main engine computes visit times *analytically* from trajectory
+geometry.  This module re-derives them the pedestrian way — sampling
+robot positions on a fixed time grid and detecting sign changes of
+``position - target`` — so the two implementations can be cross-validated
+against each other.  A bug in the analytic visit logic (interval
+handling, turn merging, lazy extension) would show up as a disagreement
+here.
+
+Accuracy: with step ``dt`` a unit-speed robot moves at most ``dt`` per
+step, so a detected crossing brackets the true visit time within one
+step; the refinement bisects the bracketing step down to ``tolerance``.
+The cross-validation tests require agreement within a few ``dt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.base import Trajectory
+
+__all__ = ["TimeSteppedSimulator"]
+
+
+class TimeSteppedSimulator:
+    """Brute-force visit detection on a fixed time grid.
+
+    Attributes:
+        trajectories: The fleet under test.
+        dt: Time step; smaller is slower but more accurate.
+        horizon: Simulation end time.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> sim = TimeSteppedSimulator([DoublingTrajectory()], dt=0.01,
+        ...                            horizon=20.0)
+        >>> t = sim.first_visit_time(0, -1.0)
+        >>> abs(t - 3.0) < 0.02
+        True
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        dt: float = 0.01,
+        horizon: float = 100.0,
+    ) -> None:
+        trajectories = list(trajectories)
+        if not trajectories:
+            raise InvalidParameterError("need at least one trajectory")
+        if dt <= 0:
+            raise InvalidParameterError(f"dt must be positive, got {dt}")
+        if horizon <= dt:
+            raise InvalidParameterError(
+                f"horizon must exceed dt, got {horizon}"
+            )
+        self.trajectories = trajectories
+        self.dt = float(dt)
+        self.horizon = float(horizon)
+
+    # ------------------------------------------------------------------
+    # single-robot queries
+    # ------------------------------------------------------------------
+
+    def first_visit_time(
+        self, robot_index: int, target: float, tolerance: float = 1e-9
+    ) -> Optional[float]:
+        """First time robot ``robot_index`` stands on ``target``, found by
+        grid scanning plus bisection refinement; ``None`` if not within
+        the horizon."""
+        if not 0 <= robot_index < len(self.trajectories):
+            raise InvalidParameterError(
+                f"robot index out of range: {robot_index}"
+            )
+        trajectory = self.trajectories[robot_index]
+        steps = int(math.ceil(self.horizon / self.dt))
+        prev_t = 0.0
+        prev_gap = trajectory.position_at(0.0) - target
+        if abs(prev_gap) <= tolerance:
+            return 0.0
+        for k in range(1, steps + 1):
+            t = min(k * self.dt, self.horizon)
+            gap = trajectory.position_at(t) - target
+            if gap == 0.0:
+                return t
+            if (gap > 0) != (prev_gap > 0):
+                return self._refine(trajectory, target, prev_t, t, tolerance)
+            if abs(gap) <= self.dt:
+                # possible tangential touch (a turn exactly at the target,
+                # e.g. a robot whose turning point is x): no sign change,
+                # so hunt for a local minimum of |gap| around this step
+                touch = self._find_touch(
+                    trajectory, target, max(0.0, t - self.dt),
+                    min(self.horizon, t + self.dt), tolerance,
+                )
+                if touch is not None:
+                    return touch
+            prev_t, prev_gap = t, gap
+        return None
+
+    @staticmethod
+    def _find_touch(
+        trajectory: Trajectory,
+        target: float,
+        lo: float,
+        hi: float,
+        tolerance: float,
+    ) -> Optional[float]:
+        """Ternary-search a local minimum of ``|position - target|``;
+        return its time if the path actually touches the target there."""
+        for _ in range(80):
+            third = (hi - lo) / 3.0
+            m1, m2 = lo + third, hi - third
+            g1 = abs(trajectory.position_at(m1) - target)
+            g2 = abs(trajectory.position_at(m2) - target)
+            if g1 <= g2:
+                hi = m2
+            else:
+                lo = m1
+            if hi - lo <= tolerance:
+                break
+        mid = 0.5 * (lo + hi)
+        if abs(trajectory.position_at(mid) - target) <= 1e-6:
+            return mid
+        return None
+
+    @staticmethod
+    def _refine(
+        trajectory: Trajectory,
+        target: float,
+        lo: float,
+        hi: float,
+        tolerance: float,
+    ) -> float:
+        """Bisect a bracketing step down to ``tolerance``."""
+        gap_lo = trajectory.position_at(lo) - target
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            gap_mid = trajectory.position_at(mid) - target
+            if gap_mid == 0.0:
+                return mid
+            if (gap_mid > 0) == (gap_lo > 0):
+                lo, gap_lo = mid, gap_mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # fleet queries
+    # ------------------------------------------------------------------
+
+    def first_visit_times(self, target: float) -> List[Optional[float]]:
+        """Per-robot first visit times of ``target`` within the horizon."""
+        return [
+            self.first_visit_time(i, target)
+            for i in range(len(self.trajectories))
+        ]
+
+    def kth_distinct_visit_time(self, target: float, k: int) -> float:
+        """Grid-based ``T_k(target)``; ``inf`` if fewer than ``k`` robots
+        reach the target within the horizon."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        times = sorted(
+            t for t in self.first_visit_times(target) if t is not None
+        )
+        if len(times) < k:
+            return math.inf
+        return times[k - 1]

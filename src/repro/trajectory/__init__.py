@@ -1,0 +1,51 @@
+"""Trajectory engine: lazy unit-speed paths on the line.
+
+Concrete families:
+
+* :class:`~repro.trajectory.linear.LinearTrajectory` — straight runs, the
+  building block of the trivial ``n >= 2f+2`` algorithm;
+* :class:`~repro.trajectory.zigzag.ZigZagTrajectory` /
+  :class:`~repro.trajectory.zigzag.GeometricZigZag` — general and
+  geometric zig-zag strategies;
+* :class:`~repro.trajectory.doubling.DoublingTrajectory` — the classic
+  competitive-ratio-9 strategy;
+* :class:`~repro.trajectory.cone_zigzag.ConeZigZag` — zig-zags defined by
+  the cone ``C_beta`` (Definition 1), including the Definition 4 start-up
+  from the origin;
+* :class:`~repro.trajectory.piecewise.PiecewiseTrajectory` — finite
+  explicit paths.
+
+Fleet-level visit-order statistics (``T_{f+1}``) live in
+:mod:`repro.trajectory.visits`.
+"""
+
+from repro.trajectory.base import MaterializedView, Trajectory
+from repro.trajectory.cone_zigzag import ConeZigZag
+from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory, StationaryTrajectory
+from repro.trajectory.piecewise import PiecewiseTrajectory, waypoints
+from repro.trajectory.visits import (
+    first_visit_times,
+    kth_distinct_visit_time,
+    sorted_finite_visit_times,
+    visiting_order,
+)
+from repro.trajectory.zigzag import GeometricZigZag, ZigZagTrajectory
+
+__all__ = [
+    "ConeZigZag",
+    "DOUBLING_COMPETITIVE_RATIO",
+    "DoublingTrajectory",
+    "GeometricZigZag",
+    "LinearTrajectory",
+    "MaterializedView",
+    "PiecewiseTrajectory",
+    "StationaryTrajectory",
+    "Trajectory",
+    "ZigZagTrajectory",
+    "first_visit_times",
+    "kth_distinct_visit_time",
+    "sorted_finite_visit_times",
+    "visiting_order",
+    "waypoints",
+]

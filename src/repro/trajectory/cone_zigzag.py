@@ -1,0 +1,150 @@
+"""Cone-defined zig-zag movements (Definition 1, Lemma 1, Definition 4).
+
+A robot of the proportional schedule algorithm ``A(n, f)`` has a
+trajectory in three conceptual parts:
+
+1. a *start-up leg* from the origin to its first cone turning point
+   ``tau'`` — travelled at reduced speed ``1/beta`` so that the boundary
+   point ``(tau', beta |tau'|)`` is reached exactly on the cone;
+2. from then on, a unit-speed zig-zag *inside* the cone ``C_beta`` that
+   reverses direction whenever it touches the boundary;
+3. implicitly, the backward extension of Definition 4: the anchor turning
+   point supplied by the schedule may be large, and the constructor walks
+   it backwards (``x -> -x / kappa``) until its magnitude drops below
+   ``inner_radius`` (the known minimum target distance, 1 in the paper).
+
+Lemma 1 guarantees the turning points are
+``x_i = x_first * kappa^i * (-1)^i`` with
+``kappa = (beta + 1)/(beta - 1)``, each visited at time ``beta * |x_i|``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.geometry.point import SpaceTimePoint
+from repro.trajectory.base import Trajectory
+
+__all__ = ["ConeZigZag"]
+
+
+class ConeZigZag(Trajectory):
+    """Zig-zag of a single robot inside the cone ``C_beta``.
+
+    Attributes:
+        cone: The cone ``C_beta`` shared by the whole schedule.
+        anchor: Signed position of one turning point of this robot.  The
+            full (bi-infinite) zig-zag through the cone is determined by
+            any single turning point; the constructor normalizes it.
+        inner_radius: Magnitude below which the backward extension stops
+            (Definition 4 uses the minimum target distance 1).  The first
+            actual turning point of the robot is the last backward
+            extension with ``|x| < inner_radius`` — unless the anchor
+            itself has magnitude exactly ``inner_radius``, which matches
+            the paper's special treatment of robot ``a_0`` (it starts its
+            zig-zag at ``tau_0 = 1`` directly).
+
+    Examples:
+        >>> robot = ConeZigZag(Cone(3.0), anchor=1.0)
+        >>> robot.first_cone_turn
+        1.0
+        >>> robot.first_visit_time(1.0)   # reaches 1 at time beta * 1
+        3.0
+        >>> robot.turning_position(1)     # then turns at -kappa
+        -2.0
+    """
+
+    def __init__(
+        self, cone: Cone, anchor: float, inner_radius: float = 1.0
+    ) -> None:
+        super().__init__()
+        if not isinstance(cone, Cone):
+            raise InvalidParameterError(f"cone must be a Cone, got {cone!r}")
+        if anchor == 0.0 or not math.isfinite(anchor):
+            raise InvalidParameterError(
+                f"anchor must be a nonzero finite real, got {anchor!r}"
+            )
+        if inner_radius <= 0.0:
+            raise InvalidParameterError(
+                f"inner_radius must be positive, got {inner_radius!r}"
+            )
+        self.cone = cone
+        self.anchor = float(anchor)
+        self.inner_radius = float(inner_radius)
+        self.first_cone_turn = self._backward_extend(self.anchor)
+
+    def _backward_extend(self, x: float) -> float:
+        """Walk the anchor backwards through the cone until the magnitude
+        drops below ``inner_radius`` (Definition 4).
+
+        An anchor already at magnitude exactly ``inner_radius`` is kept
+        as-is (robot ``a_0`` of the paper); one strictly inside is also
+        kept.
+        """
+        tol = 1e-12 * (1.0 + abs(x))
+        if abs(x) <= self.inner_radius + tol:
+            return x
+        kappa = self.cone.expansion_factor
+        while abs(x) > self.inner_radius + 1e-12 * (1.0 + abs(x)):
+            x = -x / kappa
+        return x
+
+    # ------------------------------------------------------------------
+    # turning-point formulas (Lemma 1)
+    # ------------------------------------------------------------------
+
+    def turning_position(self, index: int) -> float:
+        """The ``index``-th turning point counted from the first cone
+        turn; ``index`` may be any non-negative integer.
+
+        ``x_i = x_first * kappa^i * (-1)^i`` (Lemma 1).
+        """
+        if index < 0:
+            raise InvalidParameterError(f"index must be >= 0, got {index}")
+        return self.cone.turning_point(self.first_cone_turn, index)
+
+    def turning_time(self, index: int) -> float:
+        """Time of the ``index``-th turning point: ``beta * |x_i|``."""
+        return self.cone.turning_time(self.first_cone_turn, index)
+
+    def turning_points_in_radius(self, radius: float) -> List[SpaceTimePoint]:
+        """All turning points with ``|position| <= radius`` (for plots)."""
+        if radius <= 0:
+            raise InvalidParameterError(f"radius must be positive, got {radius}")
+        points: List[SpaceTimePoint] = []
+        for i in itertools.count():
+            x = self.turning_position(i)
+            if abs(x) > radius:
+                break
+            points.append(SpaceTimePoint(x, self.turning_time(i)))
+        return points
+
+    # ------------------------------------------------------------------
+    # Trajectory interface
+    # ------------------------------------------------------------------
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        # start-up leg: origin -> first cone turn, arriving on the boundary
+        for i in itertools.count():
+            x = self.turning_position(i)
+            yield SpaceTimePoint(x, self.turning_time(i))
+
+    def covers(self, x: float) -> bool:
+        return True
+
+    @property
+    def startup_speed(self) -> float:
+        """Speed of the leg from the origin to the first cone turn
+        (``1 / beta`` by construction)."""
+        return 1.0 / self.cone.beta
+
+    def describe(self) -> str:
+        return (
+            f"ConeZigZag(beta={self.cone.beta:g}, "
+            f"first_turn={self.first_cone_turn:g})"
+        )

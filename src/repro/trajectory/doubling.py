@@ -1,0 +1,52 @@
+"""The classic doubling strategy (Beck/Bellman; competitive ratio 9).
+
+A single robot travels distance 1 in one direction, turns, travels 2 in
+the other, turns, travels 4, and so on: turning points ``(-2)^i`` (up to a
+choice of initial direction and unit).  The paper uses it both as the
+historical baseline and as the optimal strategy for ``n = f + 1`` when all
+robots move *together* (end of Section 1.1).
+
+This module is a thin, self-documenting wrapper over
+:class:`~repro.trajectory.zigzag.GeometricZigZag` with ``kappa = 2``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.zigzag import GeometricZigZag
+
+__all__ = ["DoublingTrajectory", "DOUBLING_COMPETITIVE_RATIO"]
+
+#: The optimal single-robot competitive ratio on the line [Beck & Newman].
+DOUBLING_COMPETITIVE_RATIO = 9.0
+
+
+class DoublingTrajectory(GeometricZigZag):
+    """The doubling strategy, starting toward ``first_direction``.
+
+    Attributes:
+        first_direction: ``+1`` (default) to search right first.
+        unit: Distance of the first turning point; the paper normalizes
+            the minimum target distance to 1, making ``unit=1`` the
+            canonical choice.
+
+    Examples:
+        >>> d = DoublingTrajectory()
+        >>> [round(d.turning_position(i), 1) for i in range(4)]
+        [1.0, -2.0, 4.0, -8.0]
+        >>> d.first_visit_time(-1.0)
+        3.0
+    """
+
+    def __init__(self, first_direction: int = 1, unit: float = 1.0) -> None:
+        if first_direction not in (1, -1):
+            raise InvalidParameterError(
+                f"first_direction must be +1 or -1, got {first_direction!r}"
+            )
+        if unit <= 0:
+            raise InvalidParameterError(f"unit must be positive, got {unit!r}")
+        super().__init__(first_turn=first_direction * unit, kappa=2.0)
+
+    def describe(self) -> str:
+        side = "right" if self.first_turn > 0 else "left"
+        return f"DoublingTrajectory(first={side}, unit={abs(self.first_turn):g})"

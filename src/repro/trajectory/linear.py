@@ -1,0 +1,105 @@
+"""Straight-line trajectories.
+
+The trivial optimal algorithm for ``n >= 2f + 2`` robots (Section 1) sends
+two groups of ``f + 1`` robots straight left and right from the origin;
+each group's member follows a :class:`LinearTrajectory`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import SpaceTimePoint
+from repro.trajectory.base import Trajectory
+
+__all__ = ["LinearTrajectory", "StationaryTrajectory"]
+
+
+class LinearTrajectory(Trajectory):
+    """An infinite straight run from the origin at constant speed.
+
+    Attributes:
+        direction: ``+1`` to search the positive half-line, ``-1`` the
+            negative one.
+        speed: Constant speed in ``(0, 1]``; the paper's robots always use
+            1, but slower runs are useful in tests and generalized
+            schedules.
+        start_time: Time at which the robot leaves the origin (it waits
+            at 0 before that).
+
+    Examples:
+        >>> right = LinearTrajectory(direction=1)
+        >>> right.first_visit_time(5.0)
+        5.0
+        >>> right.first_visit_time(-1.0) is None
+        True
+    """
+
+    #: Chunk length (in time units) per lazily generated vertex.
+    _CHUNK = 1024.0
+
+    def __init__(
+        self, direction: int, speed: float = 1.0, start_time: float = 0.0
+    ) -> None:
+        super().__init__()
+        if direction not in (1, -1):
+            raise InvalidParameterError(
+                f"direction must be +1 or -1, got {direction!r}"
+            )
+        if not 0.0 < speed <= 1.0:
+            raise InvalidParameterError(f"speed must be in (0, 1], got {speed!r}")
+        if start_time < 0:
+            raise InvalidParameterError(
+                f"start_time must be >= 0, got {start_time!r}"
+            )
+        self.direction = direction
+        self.speed = speed
+        self.start_time = start_time
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        if self.start_time > 0:
+            yield SpaceTimePoint(0.0, self.start_time)
+        # Emit geometrically growing waypoints so that ensure_time(T)
+        # materializes O(log T) vertices.
+        span = self._CHUNK
+        while True:
+            t = self.start_time + span
+            yield SpaceTimePoint(self.direction * self.speed * span, t)
+            span *= 2.0
+
+    def covers(self, x: float) -> bool:
+        if x == 0.0:
+            return True
+        return (x > 0) == (self.direction > 0)
+
+    def describe(self) -> str:
+        arrow = "right" if self.direction > 0 else "left"
+        return f"LinearTrajectory({arrow}, speed={self.speed:g})"
+
+
+class StationaryTrajectory(Trajectory):
+    """A robot that never leaves the origin.
+
+    Used in tests and as the degenerate member of padded fleets; it visits
+    exactly one point (the origin) at time 0.
+    """
+
+    _CHUNK = 1024.0
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        t = 0.0
+        yield SpaceTimePoint(0.0, 0.0)
+        while True:
+            t += self._CHUNK
+            yield SpaceTimePoint(0.0, t)
+
+    def covers(self, x: float) -> bool:
+        return x == 0.0
+
+    def describe(self) -> str:
+        return "StationaryTrajectory()"

@@ -1,0 +1,79 @@
+"""Finite, explicitly specified trajectories.
+
+Used for hand-built paths in tests, for adversarial counter-example
+construction in the lower-bound game, and for replaying recorded
+simulation prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import SpaceTimePoint
+from repro.geometry.segment import MotionSegment
+from repro.trajectory.base import Trajectory
+
+__all__ = ["PiecewiseTrajectory", "waypoints"]
+
+
+class PiecewiseTrajectory(Trajectory):
+    """A finite trajectory through explicit space-time waypoints.
+
+    The waypoints must start at time 0, be time-ordered, and respect the
+    unit speed limit (validated eagerly).  After the final waypoint the
+    robot is considered to remain at its last position forever — matching
+    the simulator's clamping convention — but ``covers`` only accounts for
+    positions actually swept by the path.
+
+    Examples:
+        >>> path = PiecewiseTrajectory(waypoints([(0, 0), (2, 2), (-1, 5)]))
+        >>> path.position_at(3.0)
+        1.0
+        >>> path.first_visit_time(-1.0)
+        5.0
+        >>> path.covers(3.0)
+        False
+    """
+
+    def __init__(self, points: Sequence[SpaceTimePoint]) -> None:
+        super().__init__()
+        pts = list(points)
+        if len(pts) < 2:
+            raise InvalidParameterError("need at least two waypoints")
+        if pts[0].time != 0.0:
+            raise InvalidParameterError(
+                f"trajectory must start at time 0, got {pts[0].time!r}"
+            )
+        # validate eagerly so construction fails fast
+        for a, b in zip(pts, pts[1:]):
+            MotionSegment(a, b)
+        self._points: List[SpaceTimePoint] = pts
+        lo = min(p.position for p in pts)
+        hi = max(p.position for p in pts)
+        self._bounds = (lo, hi)
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        return iter(self._points)
+
+    def covers(self, x: float) -> bool:
+        lo, hi = self._bounds
+        return lo <= x <= hi
+
+    @property
+    def end_time(self) -> float:
+        """Time of the final waypoint."""
+        return self._points[-1].time
+
+    def describe(self) -> str:
+        return f"PiecewiseTrajectory({len(self._points)} waypoints)"
+
+
+def waypoints(pairs: Iterable[tuple]) -> List[SpaceTimePoint]:
+    """Convenience: build waypoints from ``(position, time)`` pairs.
+
+    Examples:
+        >>> waypoints([(0, 0), (1, 1)])[1]
+        SpaceTimePoint(position=1.0, time=1.0)
+    """
+    return [SpaceTimePoint(float(x), float(t)) for x, t in pairs]

@@ -1,0 +1,99 @@
+"""Visit-order statistics across a collection of trajectories.
+
+The central quantity of the paper, ``T_{f+1}(x)`` (Definition 3), is the
+time of the visit of point ``x`` by the ``(f+1)``-st *distinct* robot.
+Because a faulty robot behaves identically to a reliable one and faults
+are static, the adversary's best move is to corrupt exactly the first
+``f`` distinct robots that reach the target — so the worst-case detection
+time is the ``(f+1)``-st smallest *first*-visit time among the robots.
+
+These helpers compute first-visit times and their order statistics for
+any sequence of trajectories, independent of how those trajectories were
+constructed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.base import Trajectory
+
+__all__ = [
+    "first_visit_times",
+    "sorted_finite_visit_times",
+    "kth_distinct_visit_time",
+    "visiting_order",
+]
+
+
+def first_visit_times(
+    trajectories: Sequence[Trajectory], x: float
+) -> List[Optional[float]]:
+    """First visit time of ``x`` for each trajectory (``None`` = never).
+
+    Examples:
+        >>> from repro.trajectory.linear import LinearTrajectory
+        >>> fleet = [LinearTrajectory(1), LinearTrajectory(-1)]
+        >>> first_visit_times(fleet, 2.0)
+        [2.0, None]
+    """
+    if not trajectories:
+        raise InvalidParameterError("need at least one trajectory")
+    return [traj.first_visit_time(x) for traj in trajectories]
+
+
+def sorted_finite_visit_times(
+    trajectories: Sequence[Trajectory], x: float
+) -> List[float]:
+    """Sorted list of the finite first-visit times of ``x``."""
+    return sorted(
+        t for t in first_visit_times(trajectories, x) if t is not None
+    )
+
+
+def kth_distinct_visit_time(
+    trajectories: Sequence[Trajectory], x: float, k: int
+) -> float:
+    """Time of the visit of ``x`` by the ``k``-th distinct robot.
+
+    ``k = f + 1`` gives the paper's ``T_{f+1}(x)``.  Returns ``math.inf``
+    when fewer than ``k`` robots ever visit ``x`` — in that case an
+    adversary corrupting the visitors makes the target undetectable, i.e.
+    the algorithm is not a valid search algorithm for that fault budget.
+
+    Examples:
+        >>> from repro.trajectory.doubling import DoublingTrajectory
+        >>> solo = [DoublingTrajectory()]
+        >>> kth_distinct_visit_time(solo, -1.0, 1)
+        3.0
+        >>> kth_distinct_visit_time(solo, -1.0, 2)
+        inf
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if k > len(trajectories):
+        return math.inf
+    times = sorted_finite_visit_times(trajectories, x)
+    if len(times) < k:
+        return math.inf
+    return times[k - 1]
+
+
+def visiting_order(
+    trajectories: Sequence[Trajectory], x: float
+) -> List[int]:
+    """Indices of the trajectories in order of their first visit of ``x``.
+
+    Trajectories that never visit ``x`` are omitted.  Ties are broken by
+    index, which matches the convention that robot identities are fixed
+    and distinct.
+    """
+    timed = [
+        (t, i)
+        for i, t in enumerate(first_visit_times(trajectories, x))
+        if t is not None
+    ]
+    timed.sort()
+    return [i for _, i in timed]

@@ -1,0 +1,211 @@
+"""General zig-zag strategies (Section 1 / Figure 1).
+
+A zig-zag strategy is determined by its sequence of *turning points*
+``x_0, x_1, x_2, ...``: the robot starts at the origin, travels at unit
+speed to ``x_0``, turns around, travels to ``x_1``, and so on.  The
+sequence may be finite or infinite; for the search to cover the whole
+line, the turning points must alternate sides and grow without bound.
+
+:class:`GeometricZigZag` specializes the turning points to a geometric
+progression ``x_{i+1} = -kappa * x_i`` — the "expansion factor
+``kappa``" strategies discussed throughout the paper, of which the
+classic doubling strategy is the ``kappa = 2`` member.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.trajectory.base import Trajectory
+
+__all__ = ["ZigZagTrajectory", "GeometricZigZag"]
+
+
+class ZigZagTrajectory(Trajectory):
+    """A unit-speed zig-zag through an explicit turning-point sequence.
+
+    Attributes:
+        turning_points: Finite list, or any iterable (possibly infinite),
+            of turning positions.  Consecutive turning points must lie on
+            opposite sides of the robot's direction of travel — i.e. each
+            one is a genuine reversal — and must be nonzero.
+        start_time: Time at which the robot leaves the origin.
+
+    Examples:
+        >>> z = ZigZagTrajectory([1.0, -2.0, 4.0, -8.0])
+        >>> z.first_visit_time(1.0)
+        1.0
+        >>> z.first_visit_time(-1.0)
+        3.0
+        >>> z.first_visit_time(3.0)
+        9.0
+    """
+
+    def __init__(
+        self,
+        turning_points: Iterable[float],
+        start_time: float = 0.0,
+        covers_hint: Optional[Callable[[float], bool]] = None,
+    ) -> None:
+        super().__init__()
+        if start_time < 0:
+            raise InvalidParameterError(
+                f"start_time must be >= 0, got {start_time!r}"
+            )
+        self.start_time = start_time
+        self._turning_source = turning_points
+        self._finite_points: Optional[List[float]] = None
+        if isinstance(turning_points, (list, tuple)):
+            self._finite_points = [float(x) for x in turning_points]
+            _validate_turning_points(self._finite_points)
+        self._covers_hint = covers_hint
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        t = self.start_time
+        if t > 0:
+            yield SpaceTimePoint(0.0, t)
+        pos = 0.0
+        prev: Optional[float] = None
+        source: Iterable[float]
+        if self._finite_points is not None:
+            source = self._finite_points
+        else:
+            source = self._turning_source
+        for raw in source:
+            x = float(raw)
+            if x == 0.0:
+                raise TrajectoryError("turning point must be nonzero")
+            if prev is not None:
+                _check_reversal(prev_from=pos_before, at=prev, to=x)
+            pos_before = pos
+            t += abs(x - pos)
+            pos = x
+            prev = x
+            yield SpaceTimePoint(x, t)
+
+    def covers(self, x: float) -> bool:
+        if self._covers_hint is not None:
+            return self._covers_hint(x)
+        if self._finite_points is None:
+            # Infinite source without a hint: assume the canonical growing
+            # alternating pattern, which covers the whole line.
+            return True
+        if x == 0.0:
+            return True
+        lo = min(0.0, min(self._finite_points))
+        hi = max(0.0, max(self._finite_points))
+        return lo <= x <= hi
+
+    def describe(self) -> str:
+        if self._finite_points is not None:
+            head = ", ".join(f"{x:g}" for x in self._finite_points[:4])
+            more = ", ..." if len(self._finite_points) > 4 else ""
+            return f"ZigZagTrajectory([{head}{more}])"
+        return "ZigZagTrajectory(<lazy>)"
+
+
+class GeometricZigZag(Trajectory):
+    """Zig-zag with geometric turning points ``x_i = x0 * (-kappa)^i``.
+
+    This is the family referred to in the paper as strategies with
+    *expansion factor* ``kappa``.  ``GeometricZigZag(1.0, 2.0)`` is the
+    classic doubling strategy with competitive ratio 9 for a single
+    reliable robot.
+
+    Attributes:
+        first_turn: Signed position of the first turning point (its sign
+            selects the side searched first).
+        kappa: Expansion factor, strictly greater than 1.
+        start_time: Departure time from the origin.
+
+    Examples:
+        >>> d = GeometricZigZag(first_turn=1.0, kappa=2.0)
+        >>> [round(v.position, 6) for v in d.vertices_until(20.0)]
+        [0.0, 1.0, -2.0, 4.0]
+    """
+
+    def __init__(
+        self, first_turn: float, kappa: float, start_time: float = 0.0
+    ) -> None:
+        super().__init__()
+        if first_turn == 0.0 or not math.isfinite(first_turn):
+            raise InvalidParameterError(
+                f"first_turn must be a nonzero finite real, got {first_turn!r}"
+            )
+        if not math.isfinite(kappa) or kappa <= 1.0:
+            raise InvalidParameterError(
+                f"expansion factor kappa must be > 1, got {kappa!r}"
+            )
+        if start_time < 0:
+            raise InvalidParameterError(
+                f"start_time must be >= 0, got {start_time!r}"
+            )
+        self.first_turn = float(first_turn)
+        self.kappa = float(kappa)
+        self.start_time = float(start_time)
+
+    def turning_position(self, index: int) -> float:
+        """The ``index``-th turning point, ``x0 * (-kappa)^index``."""
+        if index < 0:
+            raise InvalidParameterError(f"index must be >= 0, got {index}")
+        return self.first_turn * ((-self.kappa) ** index)
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        t = self.start_time
+        if t > 0:
+            yield SpaceTimePoint(0.0, t)
+        pos = 0.0
+        for i in itertools.count():
+            x = self.turning_position(i)
+            t += abs(x - pos)
+            pos = x
+            yield SpaceTimePoint(x, t)
+
+    def covers(self, x: float) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"GeometricZigZag(first_turn={self.first_turn:g}, "
+            f"kappa={self.kappa:g})"
+        )
+
+
+def _validate_turning_points(points: List[float]) -> None:
+    """Validate an explicit turning-point list: nonzero, genuine reversals."""
+    if not points:
+        raise InvalidParameterError("need at least one turning point")
+    pos = 0.0
+    prev: Optional[float] = None
+    prev_from = 0.0
+    for x in points:
+        if x == 0.0 or not math.isfinite(x):
+            raise InvalidParameterError(
+                f"turning points must be nonzero finite reals, got {x!r}"
+            )
+        if prev is not None:
+            _check_reversal(prev_from=prev_from, at=prev, to=x)
+        prev_from = pos
+        pos = x
+        prev = x
+
+
+def _check_reversal(prev_from: float, at: float, to: float) -> None:
+    """Require that the path direction reverses at turning point ``at``."""
+    incoming = at - prev_from
+    outgoing = to - at
+    if incoming == 0.0 or outgoing == 0.0:
+        raise InvalidParameterError(
+            f"degenerate turning point at {at!r} (zero-length leg)"
+        )
+    if (incoming > 0) == (outgoing > 0):
+        raise InvalidParameterError(
+            f"turning point {at!r} does not reverse direction "
+            f"(incoming {incoming:+g}, outgoing {outgoing:+g})"
+        )

@@ -1,0 +1,16 @@
+"""Visualization: ASCII and SVG space-time diagrams.
+
+Regenerates the style of Figures 1-4 (trajectory diagrams, cone overlay)
+and renders Figure 5's curves as terminal line charts.
+"""
+
+from repro.viz.ascii_art import SpaceTimeCanvas, line_chart, render_fleet_diagram
+from repro.viz.svg import fleet_svg, save_fleet_svg
+
+__all__ = [
+    "SpaceTimeCanvas",
+    "fleet_svg",
+    "line_chart",
+    "render_fleet_diagram",
+    "save_fleet_svg",
+]

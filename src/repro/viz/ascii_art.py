@@ -1,0 +1,239 @@
+"""ASCII space-time diagrams (Figures 1-4 style) and simple line charts.
+
+The paper's figures are space-time diagrams: position on the horizontal
+axis, time growing upward.  The renderer draws time growing *downward*
+(natural for terminals) and marks each robot's trajectory with its index
+digit; the cone boundary is drawn with ``.`` and the origin column with
+``|``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.trajectory.base import Trajectory
+
+__all__ = ["SpaceTimeCanvas", "render_fleet_diagram", "line_chart"]
+
+_ROBOT_MARKS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+class SpaceTimeCanvas:
+    """A character canvas mapping space-time coordinates to cells.
+
+    Attributes:
+        width/height: Canvas size in characters.
+        x_range: ``(x_min, x_max)`` spatial window.
+        t_range: ``(t_min, t_max)`` temporal window; time t_min is the
+            top row.
+
+    Examples:
+        >>> canvas = SpaceTimeCanvas(21, 5, (-2, 2), (0, 4))
+        >>> canvas.plot(0.0, 0.0, "*")
+        >>> canvas.render().splitlines()[0][10]
+        '*'
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        x_range: tuple,
+        t_range: tuple,
+    ) -> None:
+        if width < 2 or height < 2:
+            raise InvalidParameterError(
+                f"canvas must be at least 2x2, got {width}x{height}"
+            )
+        x_min, x_max = x_range
+        t_min, t_max = t_range
+        if x_max <= x_min or t_max <= t_min:
+            raise InvalidParameterError(
+                f"empty window: x={x_range}, t={t_range}"
+            )
+        self.width = width
+        self.height = height
+        self.x_min, self.x_max = float(x_min), float(x_max)
+        self.t_min, self.t_max = float(t_min), float(t_max)
+        self._cells: List[List[str]] = [
+            [" "] * width for _ in range(height)
+        ]
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+
+    def column_of(self, x: float) -> Optional[int]:
+        """Canvas column of position ``x`` (None outside the window)."""
+        if not self.x_min <= x <= self.x_max:
+            return None
+        frac = (x - self.x_min) / (self.x_max - self.x_min)
+        return min(int(frac * (self.width - 1) + 0.5), self.width - 1)
+
+    def row_of(self, t: float) -> Optional[int]:
+        """Canvas row of time ``t`` (None outside the window)."""
+        if not self.t_min <= t <= self.t_max:
+            return None
+        frac = (t - self.t_min) / (self.t_max - self.t_min)
+        return min(int(frac * (self.height - 1) + 0.5), self.height - 1)
+
+    # ------------------------------------------------------------------
+    # drawing
+    # ------------------------------------------------------------------
+
+    def plot(self, x: float, t: float, mark: str) -> None:
+        """Place ``mark`` at space-time point ``(x, t)`` if visible."""
+        col = self.column_of(x)
+        row = self.row_of(t)
+        if col is not None and row is not None:
+            self._cells[row][col] = mark[0]
+
+    def draw_segment(
+        self, x0: float, t0: float, x1: float, t1: float, mark: str
+    ) -> None:
+        """Rasterize a straight space-time segment."""
+        steps = 2 * max(self.width, self.height)
+        for i in range(steps + 1):
+            frac = i / steps
+            self.plot(x0 + frac * (x1 - x0), t0 + frac * (t1 - t0), mark)
+
+    def draw_origin_axis(self, mark: str = "|") -> None:
+        """Draw the ``x = 0`` column (without clobbering trajectories)."""
+        col = self.column_of(0.0)
+        if col is None:
+            return
+        for row in range(self.height):
+            if self._cells[row][col] == " ":
+                self._cells[row][col] = mark
+
+    def draw_cone(self, cone: Cone, mark: str = ".") -> None:
+        """Draw the boundary of ``C_beta``."""
+        extent = max(abs(self.x_min), abs(self.x_max))
+        steps = 4 * self.width
+        for i in range(steps + 1):
+            x = -extent + 2 * extent * i / steps
+            t = cone.boundary_time(x)
+            col, row = self.column_of(x), self.row_of(t)
+            if col is not None and row is not None:
+                if self._cells[row][col] == " ":
+                    self._cells[row][col] = mark
+
+    def draw_trajectory(
+        self, trajectory: Trajectory, until: float, mark: str
+    ) -> None:
+        """Rasterize a trajectory up to time ``until``."""
+        for seg in trajectory.segments_until(until):
+            end_t = min(seg.end.time, until)
+            self.draw_segment(
+                seg.start.position,
+                seg.start.time,
+                seg.position_at(end_t),
+                end_t,
+                mark,
+            )
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string (time flows downward)."""
+        return "\n".join("".join(row).rstrip() for row in self._cells)
+
+
+def render_fleet_diagram(
+    trajectories: Sequence[Trajectory],
+    until: float,
+    width: int = 79,
+    height: int = 24,
+    cone: Optional[Cone] = None,
+    x_extent: Optional[float] = None,
+) -> str:
+    """Figure 1-4 style diagram of a fleet's space-time trajectories.
+
+    Each robot is drawn with its index digit.  With ``cone`` given, the
+    ``C_beta`` boundary is overlaid with dots — reproducing the look of
+    Figures 2-4.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> art = render_fleet_diagram([DoublingTrajectory()], until=10.0)
+        >>> "0" in art
+        True
+    """
+    if not trajectories:
+        raise InvalidParameterError("need at least one trajectory")
+    if until <= 0:
+        raise InvalidParameterError(f"until must be positive, got {until}")
+    if len(trajectories) > len(_ROBOT_MARKS):
+        raise InvalidParameterError(
+            f"at most {len(_ROBOT_MARKS)} robots can be rendered"
+        )
+    if x_extent is None:
+        x_extent = max(
+            traj.max_excursion_until(until) for traj in trajectories
+        )
+        x_extent = max(x_extent, 1e-9) * 1.05
+    canvas = SpaceTimeCanvas(
+        width, height, (-x_extent, x_extent), (0.0, until)
+    )
+    if cone is not None:
+        canvas.draw_cone(cone)
+    canvas.draw_origin_axis()
+    for index, trajectory in enumerate(trajectories):
+        canvas.draw_trajectory(trajectory, until, _ROBOT_MARKS[index])
+    header = (
+        f"x in [{-x_extent:.3g}, {x_extent:.3g}], t in [0, {until:.3g}] "
+        "(time flows downward)"
+    )
+    return header + "\n" + canvas.render()
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 70,
+    height: int = 18,
+    mark: str = "*",
+    log_x: bool = False,
+) -> str:
+    """A minimal ASCII line chart (used for Figure 5 text renderings).
+
+    With ``log_x=True`` the horizontal axis is logarithmic — the natural
+    scale for sawtooth profiles whose features repeat geometrically
+    (turning points at ``tau0 * r^j``).
+
+    Examples:
+        >>> chart = line_chart([1, 2, 3], [3, 2, 1], width=20, height=5)
+        >>> len(chart.splitlines())
+        6
+        >>> "log-x" in line_chart([1, 10, 100], [1, 2, 3], log_x=True)
+        True
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise InvalidParameterError(
+            "need matching xs/ys with at least two points"
+        )
+    if any(not math.isfinite(v) for v in list(xs) + list(ys)):
+        raise InvalidParameterError("chart values must be finite")
+    if log_x and any(x <= 0 for x in xs):
+        raise InvalidParameterError("log_x requires strictly positive xs")
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    map_x = (lambda v: math.log(v)) if log_x else (lambda v: v)
+    mapped = [map_x(x) for x in xs]
+    x_min, x_max = min(mapped), max(mapped)
+    if x_max == x_min:
+        raise InvalidParameterError("xs must span a nonzero range")
+    rows = [[" "] * width for _ in range(height)]
+    for x, y in zip(mapped, ys):
+        col = int((x - x_min) / (x_max - x_min) * (width - 1) + 0.5)
+        row = int((y_max - y) / (y_max - y_min) * (height - 1) + 0.5)
+        rows[row][col] = mark
+    body = "\n".join("".join(r).rstrip() for r in rows)
+    scale = "log-x, " if log_x else ""
+    header = (
+        f"y in [{y_min:.4g}, {y_max:.4g}], {scale}x in "
+        f"[{min(xs):.4g}, {max(xs):.4g}]"
+    )
+    return header + "\n" + body

@@ -1,0 +1,121 @@
+"""SVG rendering of space-time diagrams.
+
+Produces standalone SVG documents of fleet trajectories, with optional
+cone overlay — a vector-quality counterpart of the ASCII renderer for
+inclusion in papers or READMEs.  Pure string generation; no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.trajectory.base import Trajectory
+
+__all__ = ["fleet_svg", "save_fleet_svg"]
+
+_COLORS = (
+    "#1b6ca8", "#c43d3d", "#2e8b57", "#8a2be2", "#d2691e",
+    "#008b8b", "#b8860b", "#4b0082", "#708090", "#dc143c",
+)
+
+
+def _map_x(x: float, x_extent: float, width: int, margin: int) -> float:
+    usable = width - 2 * margin
+    return margin + (x + x_extent) / (2 * x_extent) * usable
+
+
+def _map_t(t: float, until: float, height: int, margin: int) -> float:
+    usable = height - 2 * margin
+    return margin + t / until * usable
+
+
+def fleet_svg(
+    trajectories: Sequence[Trajectory],
+    until: float,
+    width: int = 640,
+    height: int = 480,
+    cone: Optional[Cone] = None,
+    x_extent: Optional[float] = None,
+) -> str:
+    """Render a fleet's space-time diagram as an SVG document string.
+
+    Time flows downward (like the ASCII renderer); robot ``i`` is drawn
+    in the ``i``-th palette color with a legend.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> doc = fleet_svg([DoublingTrajectory()], until=10.0)
+        >>> doc.startswith("<svg")
+        True
+        >>> "polyline" in doc
+        True
+    """
+    if not trajectories:
+        raise InvalidParameterError("need at least one trajectory")
+    if until <= 0:
+        raise InvalidParameterError(f"until must be positive, got {until}")
+    margin = 30
+    if x_extent is None:
+        x_extent = max(
+            traj.max_excursion_until(until) for traj in trajectories
+        )
+        x_extent = max(x_extent, 1e-9) * 1.05
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    # origin axis
+    x0 = _map_x(0.0, x_extent, width, margin)
+    parts.append(
+        f'<line x1="{x0:.2f}" y1="{margin}" x2="{x0:.2f}" '
+        f'y2="{height - margin}" stroke="#999" stroke-dasharray="4 3"/>'
+    )
+    # cone boundary
+    if cone is not None:
+        apex_x, apex_y = x0, _map_t(0.0, until, height, margin)
+        for sign in (1.0, -1.0):
+            x_edge = sign * min(x_extent, until / cone.beta)
+            ex = _map_x(x_edge, x_extent, width, margin)
+            ey = _map_t(cone.boundary_time(x_edge), until, height, margin)
+            parts.append(
+                f'<line x1="{apex_x:.2f}" y1="{apex_y:.2f}" '
+                f'x2="{ex:.2f}" y2="{ey:.2f}" stroke="#bbb"/>'
+            )
+    # trajectories
+    for index, trajectory in enumerate(trajectories):
+        color = _COLORS[index % len(_COLORS)]
+        points: List[str] = []
+        segs = trajectory.segments_until(until)
+        if segs:
+            first = segs[0].start
+            points.append(
+                f"{_map_x(first.position, x_extent, width, margin):.2f},"
+                f"{_map_t(first.time, until, height, margin):.2f}"
+            )
+        for seg in segs:
+            end_t = min(seg.end.time, until)
+            points.append(
+                f"{_map_x(seg.position_at(end_t), x_extent, width, margin):.2f},"
+                f"{_map_t(end_t, until, height, margin):.2f}"
+            )
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{width - margin + 4}" y="{margin + 14 * index + 10}" '
+            f'fill="{color}" font-size="11">a_{index}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_fleet_svg(path: str, *args, **kwargs) -> None:
+    """Write :func:`fleet_svg` output to ``path``."""
+    document = fleet_svg(*args, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)

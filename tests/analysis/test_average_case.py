@@ -1,0 +1,61 @@
+"""Unit tests for the average-case Monte Carlo analysis."""
+
+import pytest
+
+from repro.analysis.average_case import (
+    compare_worst_vs_random_faults,
+    estimate_average_ratio,
+)
+from repro.baselines import GroupDoubling
+from repro.errors import InvalidParameterError
+from repro.robots import FixedFaults
+from repro.schedule import ProportionalAlgorithm
+
+
+class TestEstimateAverageRatio:
+    def test_mean_below_worst_case(self):
+        alg = ProportionalAlgorithm(3, 1)
+        result = estimate_average_ratio(alg, trials=200, seed=3)
+        assert result.mean < alg.theoretical_competitive_ratio()
+        assert result.maximum <= alg.theoretical_competitive_ratio() + 1e-9
+        assert result.median <= result.maximum
+
+    def test_deterministic_given_seed(self):
+        alg = ProportionalAlgorithm(3, 1)
+        a = estimate_average_ratio(alg, trials=50, seed=9)
+        b = estimate_average_ratio(alg, trials=50, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        alg = ProportionalAlgorithm(3, 1)
+        with pytest.raises(InvalidParameterError):
+            estimate_average_ratio(alg, trials=0)
+        with pytest.raises(InvalidParameterError):
+            estimate_average_ratio(alg, x_max=1.0)
+
+    def test_undetectable_configuration_rejected(self):
+        """A fault model that kills all reliable coverage raises."""
+        alg = ProportionalAlgorithm(3, 1)
+        with pytest.raises(InvalidParameterError):
+            estimate_average_ratio(
+                alg, fault_model=FixedFaults([0, 1, 2]), trials=5
+            )
+
+
+class TestComparisons:
+    def test_random_faults_beat_adversarial(self):
+        alg = ProportionalAlgorithm(5, 2)
+        adversarial, randomized = compare_worst_vs_random_faults(
+            alg, trials=150, seed=5
+        )
+        assert randomized.mean <= adversarial.mean + 1e-9
+
+    def test_proportional_beats_group_doubling_on_average(self):
+        """The paper's worst-case win carries over to the mean."""
+        prop = estimate_average_ratio(
+            ProportionalAlgorithm(3, 1), trials=200, seed=11
+        )
+        group = estimate_average_ratio(
+            GroupDoubling(3, 1), trials=200, seed=11
+        )
+        assert prop.mean < group.mean

@@ -1,0 +1,142 @@
+"""Unit tests for the k-coverage / tower analysis (Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import coverage_interval, is_covered, tower_profile
+from repro.errors import InvalidParameterError
+from repro.robots import Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.trajectory import DoublingTrajectory, LinearTrajectory
+
+
+def linear_fleet():
+    return Fleet.from_trajectories(
+        [LinearTrajectory(1), LinearTrajectory(-1), LinearTrajectory(1)]
+    )
+
+
+class TestCoverageInterval:
+    def test_linear_fleet(self):
+        fleet = linear_fleet()
+        cov1 = coverage_interval(fleet, 1, 5.0)
+        assert (cov1.left, cov1.right) == (-5.0, 5.0)
+        cov2 = coverage_interval(fleet, 2, 5.0)
+        assert (cov2.left, cov2.right) == (0.0, 5.0)
+        cov3 = coverage_interval(fleet, 3, 5.0)
+        assert (cov3.left, cov3.right) == (0.0, 0.0)
+
+    def test_time_zero_is_origin(self):
+        fleet = linear_fleet()
+        cov = coverage_interval(fleet, 1, 0.0)
+        assert cov.width == 0.0
+        assert cov.contains(0.0)
+
+    def test_doubling_running_extremes(self):
+        fleet = Fleet.from_trajectories([DoublingTrajectory()])
+        cov = coverage_interval(fleet, 1, 4.0)  # reached 1, then -2
+        assert cov.left == pytest.approx(-2.0)
+        assert cov.right == pytest.approx(1.0)
+
+    def test_validation(self):
+        fleet = linear_fleet()
+        with pytest.raises(InvalidParameterError):
+            coverage_interval(fleet, 0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            coverage_interval(fleet, 4, 1.0)
+        with pytest.raises(InvalidParameterError):
+            coverage_interval(fleet, 1, -1.0)
+
+
+class TestTowerIdentity:
+    """The load-bearing identity: (x, t) in T_k  <=>  t_k(x) <= t."""
+
+    @given(
+        st.floats(min_value=-8.0, max_value=8.0),
+        st.floats(min_value=0.1, max_value=40.0),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60)
+    def test_membership_equals_order_statistic(self, x, t, k):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        lhs = is_covered(fleet, k, x, t)
+        rhs = fleet.t_k(x, k) <= t + 1e-9
+        # allow boundary fuzz: disagreement only at the exact boundary
+        if lhs != rhs:
+            assert abs(fleet.t_k(x, k) - t) < 1e-6
+        else:
+            assert lhs == rhs
+
+    def test_figure4_tower_shape(self):
+        """For A(3,1), the 2-coverage tower at the time robot a_1 returns
+        past tau_0 includes tau_0 but not the far frontier."""
+        alg = ProportionalAlgorithm(3, 1)
+        fleet = Fleet.from_algorithm(alg)
+        t_detect = fleet.t_k(1.0, 2)  # T_2(1)
+        assert is_covered(fleet, 2, 1.0, t_detect + 1e-9)
+        assert not is_covered(fleet, 2, 1.0, t_detect - 1e-3)
+
+
+class TestFullCoverageTime:
+    def test_identity_with_order_statistics(self):
+        from repro.analysis.coverage import full_coverage_time
+
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        for radius in (1.0, 2.5, 6.0):
+            t = full_coverage_time(fleet, 2, radius)
+            assert t == max(fleet.t_k(-radius, 2), fleet.t_k(radius, 2))
+
+    def test_binary_search_cross_check(self):
+        """Independent derivation: the smallest t with [-R, R] covered,
+        found by bisection on the monotone coverage interval."""
+        from repro.analysis.coverage import coverage_interval, full_coverage_time
+
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        radius, k = 2.0, 2
+        expected = full_coverage_time(fleet, k, radius)
+        lo, hi = 0.0, 200.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            cov = coverage_interval(fleet, k, mid)
+            if cov.left <= -radius and cov.right >= radius:
+                hi = mid
+            else:
+                lo = mid
+        assert hi == pytest.approx(expected, abs=1e-6)
+
+    def test_one_sided_fleet_is_inf(self):
+        import math
+
+        from repro.analysis.coverage import full_coverage_time
+
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(1)]
+        )
+        assert full_coverage_time(fleet, 1, 3.0) == math.inf
+
+    def test_validation(self):
+        from repro.analysis.coverage import full_coverage_time
+
+        fleet = linear_fleet()
+        with pytest.raises(InvalidParameterError):
+            full_coverage_time(fleet, 1, 0.0)
+        with pytest.raises(InvalidParameterError):
+            full_coverage_time(fleet, 9, 1.0)
+
+
+class TestTowerProfile:
+    def test_monotone_growth(self):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        profile = tower_profile(fleet, 2, [0.5, 2.0, 8.0, 32.0])
+        widths = [cov.width for cov in profile]
+        assert widths == sorted(widths)
+        lefts = [cov.left for cov in profile]
+        assert lefts == sorted(lefts, reverse=True)
+
+    def test_validation(self):
+        fleet = linear_fleet()
+        with pytest.raises(InvalidParameterError):
+            tower_profile(fleet, 1, [])
+        with pytest.raises(InvalidParameterError):
+            tower_profile(fleet, 1, [-1.0])

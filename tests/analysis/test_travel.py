@@ -1,0 +1,69 @@
+"""Unit tests for travel-distance accounting."""
+
+import math
+
+import pytest
+
+from repro.analysis.travel import travel_report
+from repro.errors import InvalidParameterError
+from repro.robots import Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.baselines import TwoGroupAlgorithm
+from repro.trajectory import DoublingTrajectory, LinearTrajectory
+
+
+class TestTravelReport:
+    def test_linear_fleet(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(-1)]
+        )
+        report = travel_report(fleet, until=3.0)
+        assert report.per_robot == pytest.approx([3.0, 3.0])
+        assert report.total == pytest.approx(6.0)
+        assert report.maximum == pytest.approx(3.0)
+        assert report.mean == pytest.approx(3.0)
+
+    def test_doubling_distance(self):
+        fleet = Fleet.from_trajectories([DoublingTrajectory()])
+        # by t=4: +1 then back through 0 down to -2 => 4 total
+        assert travel_report(fleet, 4.0).total == pytest.approx(4.0)
+
+    def test_distance_ratio(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        report = travel_report(fleet, until=6.0)
+        assert report.distance_ratio(3.0) == pytest.approx(2.0)
+        with pytest.raises(InvalidParameterError):
+            report.distance_ratio(0.0)
+
+    def test_validation(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        with pytest.raises(InvalidParameterError):
+            travel_report(fleet, until=-1.0)
+        with pytest.raises(InvalidParameterError):
+            travel_report(fleet, until=math.inf)
+
+
+class TestTradeoff:
+    def test_two_group_energy_at_detection(self):
+        """Two-group: detection at |x|; the winning-side robots drove
+        exactly |x|, everyone drove |x| (all still moving)."""
+        alg = TwoGroupAlgorithm(4, 1)
+        fleet = Fleet.from_algorithm(alg)
+        x = 5.0
+        t = fleet.worst_case_detection_time(x, 1)
+        report = travel_report(fleet, t)
+        assert t == pytest.approx(5.0)
+        assert report.maximum == pytest.approx(5.0)
+        assert report.total == pytest.approx(20.0)
+
+    def test_proportional_trades_energy_for_robots(self):
+        """A(3,1) uses fewer robots than TwoGroup(4,1) but each drives
+        farther than |x| by the time of detection."""
+        alg = ProportionalAlgorithm(3, 1)
+        fleet = Fleet.from_algorithm(alg)
+        x = 5.0
+        t = fleet.worst_case_detection_time(x, 1)
+        report = travel_report(fleet, t)
+        assert report.maximum > x  # zig-zag retracing
+        # but the fleet is smaller: 3 odometers, not 4
+        assert len(report.per_robot) == 3

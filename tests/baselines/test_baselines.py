@@ -1,0 +1,147 @@
+"""Unit tests for the baseline algorithms."""
+
+import math
+
+import pytest
+
+from repro.baselines.group_doubling import GroupDoubling
+from repro.baselines.naive import DelayedGroupDoubling, SplitDoubling
+from repro.baselines.single_doubling import SingleRobotDoubling
+from repro.baselines.two_group import TwoGroupAlgorithm
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+from repro.simulation.adversary import measure_competitive_ratio
+from repro.trajectory.visits import kth_distinct_visit_time
+
+
+class TestSingleRobotDoubling:
+    def test_structure(self):
+        alg = SingleRobotDoubling()
+        assert alg.n == 1 and alg.f == 0
+        assert alg.theoretical_competitive_ratio() == 9.0
+        assert len(alg.build()) == 1
+
+    def test_measured_approaches_nine(self):
+        est = measure_competitive_ratio(
+            SingleRobotDoubling(), fault_budget=0, x_max=2000.0
+        )
+        assert 8.9 < est.value < 9.0  # supremum approached from below
+
+
+class TestGroupDoubling:
+    def test_identical_trajectories(self):
+        alg = GroupDoubling(4, 2)
+        trajs = alg.build()
+        for traj in trajs[1:]:
+            assert traj.first_visit_time(5.0) == trajs[0].first_visit_time(5.0)
+
+    def test_fault_budget_irrelevant(self):
+        """T_{f+1} = T_1 because all robots move together."""
+        alg = GroupDoubling(4, 2)
+        trajs = alg.build()
+        for x in (1.5, -2.0):
+            assert kth_distinct_visit_time(trajs, x, 3) == pytest.approx(
+                kth_distinct_visit_time(trajs, x, 1)
+            )
+
+    def test_needs_reliable_robot(self):
+        with pytest.raises(InvalidParameterError):
+            GroupDoubling(2, 2)
+
+    def test_measured_matches_nine(self):
+        est = measure_competitive_ratio(GroupDoubling(3, 1), x_max=2000.0)
+        assert est.value == pytest.approx(9.0, abs=0.1)
+
+
+class TestTwoGroup:
+    def test_requires_enough_robots(self):
+        with pytest.raises(InvalidParameterError):
+            TwoGroupAlgorithm(3, 1)
+
+    def test_group_sizes_validated(self):
+        with pytest.raises(InvalidParameterError):
+            TwoGroupAlgorithm(4, 1, right_group_size=1)
+        with pytest.raises(InvalidParameterError):
+            TwoGroupAlgorithm(4, 1, right_group_size=3)
+
+    def test_default_split(self):
+        alg = TwoGroupAlgorithm(5, 1)
+        directions = [t.direction for t in alg.build()]
+        assert directions.count(1) == 3
+        assert directions.count(-1) == 2
+
+    def test_competitive_ratio_is_one(self):
+        alg = TwoGroupAlgorithm(4, 1)
+        trajs = alg.build()
+        for x in (1.0, -1.0, 7.3, -42.0):
+            assert kth_distinct_visit_time(trajs, x, 2) == pytest.approx(
+                abs(x)
+            )
+
+    def test_exceeding_budget_kills_detection(self):
+        """With f+1 faults on one side the target there is never found —
+        the algorithm is valid only up to its design budget."""
+        alg = TwoGroupAlgorithm(4, 1)
+        trajs = alg.build()
+        assert kth_distinct_visit_time(trajs, 3.0, 3) == math.inf
+
+
+class TestSplitDoubling:
+    def test_structure(self):
+        alg = SplitDoubling(3, 1)
+        trajs = alg.build()
+        assert len(trajs) == 3
+        firsts = [t.turning_position(0) for t in trajs]
+        assert firsts == [1.0, 1.0, -1.0]
+
+    def test_custom_split(self):
+        alg = SplitDoubling(4, 1, right_size=1)
+        firsts = [t.turning_position(0) for t in alg.build()]
+        assert firsts == [1.0, -1.0, -1.0, -1.0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SplitDoubling(2, 2)
+        with pytest.raises(InvalidParameterError):
+            SplitDoubling(3, 1, right_size=5)
+
+    def test_worse_than_proportional(self, algorithm_3_1):
+        split = measure_competitive_ratio(SplitDoubling(3, 1), x_max=200.0)
+        prop = measure_competitive_ratio(algorithm_3_1, x_max=200.0)
+        assert split.value > prop.value
+
+
+class TestDelayedGroupDoubling:
+    def test_delays_applied(self):
+        alg = DelayedGroupDoubling(3, 1, delay=0.5)
+        trajs = alg.build()
+        assert trajs[0].first_visit_time(1.0) == pytest.approx(1.0)
+        assert trajs[1].first_visit_time(1.0) == pytest.approx(1.5)
+        assert trajs[2].first_visit_time(1.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DelayedGroupDoubling(3, 1, delay=-1.0)
+        with pytest.raises(InvalidParameterError):
+            DelayedGroupDoubling(2, 2)
+
+    def test_worse_than_group_doubling(self):
+        """Staggering in time only adds delay to the (f+1)-st visit."""
+        delayed = measure_competitive_ratio(
+            DelayedGroupDoubling(3, 1, delay=1.0), x_max=200.0
+        )
+        group = measure_competitive_ratio(GroupDoubling(3, 1), x_max=200.0)
+        assert delayed.value > group.value
+
+
+class TestFleetIntegration:
+    def test_all_baselines_build_valid_fleets(self):
+        for alg in (
+            SingleRobotDoubling(),
+            GroupDoubling(3, 1),
+            TwoGroupAlgorithm(4, 1),
+            SplitDoubling(3, 1),
+            DelayedGroupDoubling(3, 1),
+        ):
+            fleet = Fleet.from_algorithm(alg)
+            assert fleet.size == alg.n

@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the suite runs hundreds of property tests;
+# keep each one bounded so the full run stays fast and deterministic.
+settings.register_profile(
+    "suite",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("suite")
+
+
+#: Every (n, f) pair from Table 1 of the paper.
+TABLE1_PAIRS = [
+    (2, 1), (3, 1), (3, 2), (4, 1), (4, 2), (4, 3),
+    (5, 1), (5, 2), (5, 3), (5, 4), (11, 5), (41, 20),
+]
+
+#: The Table 1 pairs in the proportional regime (f < n < 2f + 2).
+PROPORTIONAL_PAIRS = [
+    (2, 1), (3, 1), (3, 2), (4, 2), (4, 3),
+    (5, 2), (5, 3), (5, 4), (11, 5), (41, 20),
+]
+
+#: The Table 1 pairs in the trivial regime (n >= 2f + 2).
+TRIVIAL_PAIRS = [(4, 1), (5, 1)]
+
+
+@pytest.fixture(params=PROPORTIONAL_PAIRS, ids=lambda p: f"n{p[0]}f{p[1]}")
+def proportional_pair(request):
+    """Parametrized (n, f) pair in the proportional regime."""
+    return request.param
+
+
+@pytest.fixture
+def algorithm_3_1():
+    """The A(3, 1) algorithm — small, fast, and fully featured."""
+    from repro.schedule import ProportionalAlgorithm
+
+    return ProportionalAlgorithm(3, 1)
+
+
+@pytest.fixture
+def fleet_3_1(algorithm_3_1):
+    """A fleet built from A(3, 1)."""
+    from repro.robots import Fleet
+
+    return Fleet.from_algorithm(algorithm_3_1)

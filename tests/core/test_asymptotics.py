@@ -1,0 +1,122 @@
+"""Unit tests for Figure 5 curves and Corollary 1/2 envelopes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.asymptotics import (
+    asymptotic_cr,
+    corollary1_upper,
+    corollary2_lower,
+    finite_a_cr,
+    odd_critical_cr,
+)
+from repro.core.competitive_ratio import algorithm_competitive_ratio
+from repro.core.lower_bound import theorem2_lower_bound
+from repro.errors import InvalidParameterError
+
+
+class TestOddCriticalCr:
+    def test_n3_value(self):
+        assert odd_critical_cr(3) == pytest.approx(5.233, abs=0.001)
+
+    def test_matches_theorem1_at_odd_n(self):
+        for f in (1, 2, 3, 5, 10, 50):
+            n = 2 * f + 1
+            assert odd_critical_cr(n) == pytest.approx(
+                algorithm_competitive_ratio(n, f), rel=1e-12
+            )
+
+    def test_tends_to_three(self):
+        assert odd_critical_cr(10**7) == pytest.approx(3.0, abs=1e-4)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            odd_critical_cr(1)
+
+    @given(st.integers(min_value=3, max_value=10000))
+    def test_strictly_decreasing(self, n):
+        assert odd_critical_cr(n + 1) < odd_critical_cr(n)
+
+    @given(st.integers(min_value=3, max_value=10000))
+    def test_above_three(self, n):
+        assert odd_critical_cr(n) > 3.0
+
+
+class TestAsymptoticCr:
+    def test_endpoints(self):
+        assert asymptotic_cr(1.0) == pytest.approx(9.0)
+        assert asymptotic_cr(2.0) == pytest.approx(3.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            asymptotic_cr(0.9)
+        with pytest.raises(InvalidParameterError):
+            asymptotic_cr(2.1)
+
+    @given(st.floats(min_value=1.0, max_value=2.0))
+    def test_between_three_and_nine(self, a):
+        assert 3.0 <= asymptotic_cr(a) <= 9.0 + 1e-9
+
+    @given(st.floats(min_value=1.01, max_value=1.99))
+    def test_decreasing_in_a(self, a):
+        assert asymptotic_cr(a + 0.005) < asymptotic_cr(a) + 1e-12
+
+    def test_finite_convergence(self):
+        """Theorem 1 values converge to the asymptote as n grows with
+        a = n/f fixed (Figure 5 right's claim)."""
+        a = 1.5
+        limits = asymptotic_cr(a)
+        errors = []
+        for f in (10, 100, 1000):
+            n = int(a * f)
+            errors.append(abs(algorithm_competitive_ratio(n, f) - limits))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 0.01
+
+
+class TestFiniteACr:
+    def test_matches_theorem1(self):
+        for n, f in ((5, 3), (11, 5), (41, 20), (7, 4)):
+            assert finite_a_cr(n, f) == pytest.approx(
+                algorithm_competitive_ratio(n, f), rel=1e-12
+            )
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            finite_a_cr(5, 0)
+        with pytest.raises(InvalidParameterError):
+            finite_a_cr(0, 1)
+        with pytest.raises(InvalidParameterError):
+            finite_a_cr(10, 2)  # trivial regime: c <= 2
+
+
+class TestEnvelopes:
+    @given(st.integers(min_value=3, max_value=100000))
+    def test_corollary1_upper_envelope(self, n):
+        """The exact ratio stays below 3 + 4 ln n / n + C/n for C = 4."""
+        assert odd_critical_cr(n) < corollary1_upper(n, constant=4.0)
+
+    @given(st.integers(min_value=3, max_value=5000))
+    def test_corollary2_lower_envelope(self, n):
+        assert corollary2_lower(n) < theorem2_lower_bound(n)
+
+    def test_envelope_shapes(self):
+        # both envelopes tend to 3
+        assert corollary1_upper(10**7) == pytest.approx(3.0, abs=1e-4)
+        assert corollary2_lower(10**7) == pytest.approx(3.0, abs=1e-4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            corollary1_upper(1)
+        with pytest.raises(InvalidParameterError):
+            corollary2_lower(2)
+
+    def test_gap_is_theta_log_over_n(self):
+        """Upper minus lower is Theta(ln n / n): normalized gap bounded."""
+        for n in (101, 1001, 10001):
+            gap = odd_critical_cr(n) - theorem2_lower_bound(n)
+            normalized = gap * n / math.log(n)
+            assert 0.0 < normalized < 6.0

@@ -1,0 +1,141 @@
+"""Unit tests for the Lemma 5 / Theorem 1 competitive-ratio formulas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.competitive_ratio import (
+    SINGLE_ROBOT_CR,
+    algorithm_competitive_ratio,
+    competitive_ratio,
+    schedule_competitive_ratio,
+)
+from repro.core.optimal import optimal_beta
+from repro.errors import InvalidParameterError
+
+from tests.conftest import PROPORTIONAL_PAIRS
+
+#: Paper Table 1 CR values (as printed, 2-3 significant decimals).
+PAPER_CR = {
+    (2, 1): 9.0,
+    (3, 1): 5.24,
+    (3, 2): 9.0,
+    (4, 2): 6.2,
+    (4, 3): 9.0,
+    (5, 2): 4.43,
+    (5, 3): 6.76,
+    (5, 4): 9.0,
+    (11, 5): 3.73,
+    (41, 20): 3.24,
+}
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("pair,expected", sorted(PAPER_CR.items()))
+    def test_matches_table1(self, pair, expected):
+        n, f = pair
+        assert algorithm_competitive_ratio(n, f) == pytest.approx(
+            expected, abs=0.01
+        )
+
+    def test_minimal_fleet_is_exactly_nine(self):
+        for f in (1, 2, 3, 10, 100):
+            assert algorithm_competitive_ratio(f + 1, f) == pytest.approx(
+                9.0, rel=1e-12
+            )
+
+    def test_paper_example_3_1(self):
+        # (8/3) * 4^(1/3) + 1 ~ 5.233 (Section 3)
+        expected = (8 / 3) * 4 ** (1 / 3) + 1
+        assert algorithm_competitive_ratio(3, 1) == pytest.approx(expected)
+
+    def test_rejects_trivial_regime(self):
+        with pytest.raises(InvalidParameterError):
+            algorithm_competitive_ratio(4, 1)
+
+    def test_rejects_hopeless_regime(self):
+        with pytest.raises(InvalidParameterError):
+            algorithm_competitive_ratio(2, 2)
+
+
+class TestLemma5:
+    def test_doubling_case(self):
+        assert schedule_competitive_ratio(3.0, 2, 1) == pytest.approx(9.0)
+
+    def test_equals_theorem1_at_optimal_beta(self):
+        for n, f in PROPORTIONAL_PAIRS:
+            beta = optimal_beta(n, f)
+            assert schedule_competitive_ratio(beta, n, f) == pytest.approx(
+                algorithm_competitive_ratio(n, f), rel=1e-12
+            )
+
+    def test_optimal_beta_minimizes(self):
+        for n, f in PROPORTIONAL_PAIRS:
+            beta_star = optimal_beta(n, f)
+            best = schedule_competitive_ratio(beta_star, n, f)
+            for delta in (-0.3, -0.05, 0.05, 0.3):
+                beta = beta_star + delta
+                if beta <= 1.0:
+                    continue
+                assert schedule_competitive_ratio(beta, n, f) >= best - 1e-12
+
+    def test_invalid_beta(self):
+        with pytest.raises(InvalidParameterError):
+            schedule_competitive_ratio(1.0, 3, 1)
+        with pytest.raises(InvalidParameterError):
+            schedule_competitive_ratio(math.nan, 3, 1)
+
+    @given(
+        st.sampled_from(PROPORTIONAL_PAIRS),
+        st.floats(min_value=1.01, max_value=10.0),
+    )
+    def test_ratio_always_exceeds_three(self, pair, beta):
+        n, f = pair
+        # (beta+1)^e (beta-1)^(1-e) + 1 > 2 + 1 = 3 when e >= 1
+        assert schedule_competitive_ratio(beta, n, f) > 3.0
+
+
+class TestDispatch:
+    def test_trivial_regime_is_one(self):
+        assert competitive_ratio(4, 1) == 1.0
+        assert competitive_ratio(100, 3) == 1.0
+
+    def test_hopeless_regime_is_inf(self):
+        assert competitive_ratio(2, 2) == math.inf
+
+    def test_proportional_delegates(self):
+        assert competitive_ratio(3, 1) == algorithm_competitive_ratio(3, 1)
+
+    def test_single_robot_classic(self):
+        # n=1, f=0 is proportional (1 < 2) and must give the classic 9
+        assert competitive_ratio(1, 0) == pytest.approx(SINGLE_ROBOT_CR)
+
+
+class TestMonotonicity:
+    def test_more_robots_help(self):
+        """For fixed f, the ratio decreases as n grows (until trivial)."""
+        f = 10
+        values = [
+            algorithm_competitive_ratio(n, f)
+            for n in range(f + 1, 2 * f + 2)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_faults_hurt(self):
+        """For fixed n, the ratio increases with the fault budget."""
+        n = 15
+        values = [
+            algorithm_competitive_ratio(n, f)
+            for f in range(7, 15)  # proportional: f < 15 < 2f+2 => f >= 7
+        ]
+        assert values == sorted(values)
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_odd_critical_monotone_to_three(self, f):
+        n = 2 * f + 1
+        value = algorithm_competitive_ratio(n, f)
+        assert value > 3.0
+        if f > 1:
+            assert value < algorithm_competitive_ratio(2 * f - 1, f - 1)

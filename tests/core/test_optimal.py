@@ -1,0 +1,97 @@
+"""Unit tests for the optimal cone slope and expansion factor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.optimal import (
+    check_in_valid_range,
+    optimal_beta,
+    optimal_expansion_factor,
+    optimal_proportionality_ratio,
+)
+from repro.errors import InvalidParameterError
+
+from tests.conftest import PROPORTIONAL_PAIRS
+
+#: Paper Table 1 expansion factors.
+PAPER_EXPANSION = {
+    (2, 1): 2.0,
+    (3, 1): 4.0,
+    (3, 2): 2.0,
+    (4, 2): 3.0,
+    (4, 3): 2.0,
+    (5, 2): 6.0,
+    (5, 3): 8 / 3,   # printed as 2.67
+    (5, 4): 2.0,
+    (11, 5): 12.0,
+    (41, 20): 42.0,
+}
+
+
+class TestOptimalBeta:
+    def test_minimal_fleet_beta_is_three(self):
+        for f in (1, 2, 5):
+            assert optimal_beta(f + 1, f) == pytest.approx(3.0)
+
+    def test_paper_3_1(self):
+        assert optimal_beta(3, 1) == pytest.approx(5 / 3)
+
+    def test_rejects_outside_proportional(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_beta(4, 1)
+        with pytest.raises(InvalidParameterError):
+            optimal_beta(3, 3)
+
+    @given(st.sampled_from(PROPORTIONAL_PAIRS))
+    def test_beta_in_open_interval(self, pair):
+        n, f = pair
+        assert 1.0 < optimal_beta(n, f) <= 3.0
+
+
+class TestExpansionFactor:
+    @pytest.mark.parametrize("pair,expected", sorted(PAPER_EXPANSION.items()))
+    def test_matches_table1(self, pair, expected):
+        n, f = pair
+        assert optimal_expansion_factor(n, f) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_closed_form(self):
+        # (2f+2)/(2f+2-n)
+        for n, f in PROPORTIONAL_PAIRS:
+            assert optimal_expansion_factor(n, f) == pytest.approx(
+                (2 * f + 2) / (2 * f + 2 - n)
+            )
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_odd_critical_is_n_plus_one(self, f):
+        """Paper: for n = 2f+1 the expansion factor is always n + 1."""
+        n = 2 * f + 1
+        assert optimal_expansion_factor(n, f) == pytest.approx(n + 1)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_minimal_fleet_is_two(self, f):
+        """Paper: for n = f+1 the expansion factor is 2 (doubling)."""
+        assert optimal_expansion_factor(f + 1, f) == pytest.approx(2.0)
+
+
+class TestProportionalityRatio:
+    def test_consistent_with_expansion(self):
+        for n, f in PROPORTIONAL_PAIRS:
+            kappa = optimal_expansion_factor(n, f)
+            r = optimal_proportionality_ratio(n, f)
+            assert r**n == pytest.approx(kappa**2, rel=1e-9)
+
+    def test_ratio_above_one(self):
+        for n, f in PROPORTIONAL_PAIRS:
+            assert optimal_proportionality_ratio(n, f) > 1.0
+
+
+class TestValidation:
+    def test_check_in_valid_range(self):
+        assert check_in_valid_range(1.5) == 1.5
+        with pytest.raises(InvalidParameterError):
+            check_in_valid_range(1.0)
+        with pytest.raises(InvalidParameterError):
+            check_in_valid_range(0.0)

@@ -1,0 +1,128 @@
+"""Unit tests for SearchParameters and regime classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import Regime, SearchParameters
+from repro.errors import InvalidParameterError
+
+
+class TestValidation:
+    def test_basic(self):
+        p = SearchParameters(3, 1)
+        assert p.n == 3
+        assert p.f == 1
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(0, 0)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(3, -1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(3.0, 1)
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(3, True)
+
+    def test_frozen(self):
+        p = SearchParameters(3, 1)
+        with pytest.raises(AttributeError):
+            p.n = 5
+
+
+class TestRegimes:
+    @pytest.mark.parametrize(
+        "n,f,regime",
+        [
+            (1, 0, Regime.TRIVIAL),      # 1 >= 2*0+2 is false... see below
+            (2, 0, Regime.TRIVIAL),
+            (4, 1, Regime.TRIVIAL),
+            (5, 1, Regime.TRIVIAL),
+            (2, 1, Regime.PROPORTIONAL),
+            (3, 1, Regime.PROPORTIONAL),
+            (5, 3, Regime.PROPORTIONAL),
+            (41, 20, Regime.PROPORTIONAL),
+            (1, 1, Regime.HOPELESS),
+            (2, 2, Regime.HOPELESS),
+            (3, 5, Regime.HOPELESS),
+        ],
+    )
+    def test_classification(self, n, f, regime):
+        if (n, f) == (1, 0):
+            # n=1, f=0: 1 < 2 so NOT trivial; it's the single-robot case,
+            # which is f < n < 2f+2 = 2 -> proportional
+            assert SearchParameters(1, 0).regime is Regime.PROPORTIONAL
+        else:
+            assert SearchParameters(n, f).regime is regime
+
+    def test_boundary_trivial(self):
+        # n = 2f + 2 exactly is trivial
+        assert SearchParameters(4, 1).regime is Regime.TRIVIAL
+        assert SearchParameters(6, 2).regime is Regime.TRIVIAL
+
+    def test_boundary_proportional(self):
+        # n = 2f + 1 is the last proportional value
+        assert SearchParameters(3, 1).regime is Regime.PROPORTIONAL
+        assert SearchParameters(5, 2).regime is Regime.PROPORTIONAL
+
+
+class TestDerived:
+    def test_special_cases(self):
+        p = SearchParameters(3, 2)
+        assert p.is_minimal_fleet
+        assert not p.is_odd_critical
+        q = SearchParameters(5, 2)
+        assert q.is_odd_critical
+        assert not q.is_minimal_fleet
+
+    def test_visits_required(self):
+        assert SearchParameters(5, 2).visits_required == 3
+
+    def test_fault_fraction(self):
+        assert SearchParameters(4, 1).fault_fraction == pytest.approx(0.25)
+
+    def test_robots_per_fault(self):
+        assert SearchParameters(5, 2).robots_per_fault == pytest.approx(2.5)
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(5, 0).robots_per_fault
+
+    def test_exponent(self):
+        assert SearchParameters(5, 2).exponent() == pytest.approx(1.2)
+
+    def test_require_proportional(self):
+        assert SearchParameters(3, 1).require_proportional()
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(4, 1).require_proportional()
+        with pytest.raises(InvalidParameterError):
+            SearchParameters(2, 2).require_proportional()
+
+    def test_describe_mentions_regime(self):
+        assert "proportional" in SearchParameters(3, 1).describe()
+        assert "trivial" in SearchParameters(4, 1).describe()
+
+
+class TestProperties:
+    @given(st.integers(1, 100), st.integers(0, 100))
+    def test_exactly_one_regime(self, n, f):
+        p = SearchParameters(n, f)
+        checks = [
+            p.regime is Regime.HOPELESS,
+            p.regime is Regime.TRIVIAL,
+            p.regime is Regime.PROPORTIONAL,
+        ]
+        assert sum(checks) == 1
+
+    @given(st.integers(1, 100), st.integers(0, 100))
+    def test_regime_matches_inequalities(self, n, f):
+        p = SearchParameters(n, f)
+        if n <= f:
+            assert p.regime is Regime.HOPELESS
+        elif n >= 2 * f + 2:
+            assert p.regime is Regime.TRIVIAL
+        else:
+            assert f < n < 2 * f + 2
+            assert p.regime is Regime.PROPORTIONAL

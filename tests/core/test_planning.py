@@ -1,0 +1,83 @@
+"""Unit tests for the inverse planning helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.competitive_ratio import competitive_ratio
+from repro.core.planning import max_fault_budget, min_fleet_size
+from repro.errors import InvalidParameterError
+
+
+class TestMaxFaultBudget:
+    def test_trivial_regime_boundary(self):
+        assert max_fault_budget(4, 1.0) == 1
+        assert max_fault_budget(6, 1.0) == 2
+
+    def test_ratio_nine_allows_minimal_fleet(self):
+        for n in (2, 3, 5):
+            assert max_fault_budget(n, 9.0) == n - 1
+
+    def test_none_when_unreachable(self):
+        assert max_fault_budget(1, 0.5) is None
+
+    def test_specific_table1_value(self):
+        # A(5,2) = 4.43 fits ratio 5; A(5,3) = 6.76 does not
+        assert max_fault_budget(5, 5.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            max_fault_budget(0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            max_fault_budget(3, 0.0)
+        with pytest.raises(InvalidParameterError):
+            max_fault_budget(3, float("inf"))
+
+    @given(st.integers(1, 40), st.floats(min_value=1.0, max_value=10.0))
+    def test_answer_is_correct_and_maximal(self, n, max_ratio):
+        f = max_fault_budget(n, max_ratio)
+        if f is None:
+            assert competitive_ratio(n, 0) > max_ratio
+        else:
+            assert competitive_ratio(n, f) <= max_ratio + 1e-9
+            if f + 1 < n:
+                assert competitive_ratio(n, f + 1) > max_ratio - 1e-9
+
+
+class TestMinFleetSize:
+    def test_trivial_target(self):
+        assert min_fleet_size(1, 1.0) == 4
+        assert min_fleet_size(2, 1.0) == 6
+
+    def test_relaxed_target(self):
+        assert min_fleet_size(1, 9.0) == 2
+        assert min_fleet_size(2, 5.0) == 5
+
+    def test_impossible_target(self):
+        assert min_fleet_size(3, 0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            min_fleet_size(-1, 2.0)
+        with pytest.raises(InvalidParameterError):
+            min_fleet_size(2, -1.0)
+        with pytest.raises(InvalidParameterError):
+            min_fleet_size(2, 2.0, n_cap=0)
+
+    @given(st.integers(0, 40), st.floats(min_value=1.0, max_value=10.0))
+    def test_answer_is_correct_and_minimal(self, f, max_ratio):
+        n = min_fleet_size(f, max_ratio)
+        assert n is not None  # max_ratio >= 1 is always achievable
+        assert competitive_ratio(n, f) <= max_ratio + 1e-9
+        if n > f + 1:
+            assert competitive_ratio(n - 1, f) > max_ratio - 1e-9
+
+    @given(st.integers(0, 30))
+    def test_consistency_between_inverses(self, f):
+        """min_fleet_size and max_fault_budget agree: with the returned
+        n, the budget f is affordable at the same ratio."""
+        max_ratio = 4.0
+        n = min_fleet_size(f, max_ratio)
+        assert n is not None
+        budget = max_fault_budget(n, max_ratio)
+        assert budget is not None and budget >= f

@@ -1,0 +1,117 @@
+"""Property tests for the inequality steps used inside the paper's proofs.
+
+The proofs lean on a handful of analytic inequalities; these tests check
+them numerically over wide random ranges, grounding the corollaries.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.asymptotics import odd_critical_cr
+from repro.core.lower_bound import theorem2_residual
+from repro.core.proportional import proportionality_ratio
+
+
+class TestCorollary1Steps:
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_u_n_bound(self, n):
+        """``u_n = (n+1)^(1/n) < (1 + ln(n+1)/n)^2`` (the key step)."""
+        u_n = (n + 1) ** (1.0 / n)
+        bound = (1.0 + math.log(n + 1) / n) ** 2
+        assert u_n < bound
+
+    @given(
+        st.floats(min_value=0.01, max_value=50.0),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_motwani_raghavan_inequality(self, t, n):
+        """``e^t < (1 + t/n)^(n + t/2)`` [MR95, p.435], cited in the
+        Corollary 1 proof.  Compared in log space."""
+        lhs = t
+        rhs = (n + t / 2.0) * math.log1p(t / n)
+        assert lhs < rhs
+
+    @given(st.integers(min_value=3, max_value=10**5))
+    def test_corollary1_rewriting(self, n):
+        """``CR = (2 + 2/n) u_n + 1`` — the identity the proof starts
+        from, with ``u_n = (n+1)^(1/n) = (2/n)^(-1/n) (2+2/n)^(1/n)``."""
+        u_n = (n + 1) ** (1.0 / n)
+        rewritten = (2.0 + 2.0 / n) * u_n + 1.0
+        assert rewritten == pytest.approx(odd_critical_cr(n), rel=1e-12)
+
+
+class TestTheorem2Steps:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_equation_16_recurrence_algebra(self, n, frac):
+        """``x_i = (alpha-1)/2 * x_{i+1}`` follows from the ladder's
+        closed form for any valid alpha."""
+        from repro.core.lower_bound import theorem2_lower_bound
+
+        alpha = 3.0 + frac * (theorem2_lower_bound(n) - 3.0)
+        for i in range(min(n - 1, 6)):
+            x_i = 2.0 ** (i + 1) / ((alpha - 1) ** i * (alpha - 3))
+            x_next = 2.0 ** (i + 2) / ((alpha - 1) ** (i + 1) * (alpha - 3))
+            assert x_i == pytest.approx((alpha - 1) / 2.0 * x_next, rel=1e-9)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_corollary2_witness_strictness(self, n):
+        """``alpha = 3 + 2(ln n - ln ln n)/n`` satisfies the strict
+        residual inequality claimed in the Corollary 2 proof (n >= 3)."""
+        if n < 3:
+            return
+        alpha = 3.0 + 2.0 * (math.log(n) - math.log(math.log(n))) / n
+        if alpha <= 3.0:  # n = 2 region where ln ln n < 0
+            return
+        assert theorem2_residual(alpha, n) < 0
+
+
+class TestLemma2Algebra:
+    @given(
+        st.floats(min_value=1.05, max_value=10.0),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_equation_11_identity_corrected(self, beta, n):
+        """Equation (11) of Lemma 2's proof, with the typo fixed.
+
+        Substituting d from Eq. (6) into Eq. (9), the denominator comes
+        out as ``1 + 4 beta / (beta - 1)^2`` — the paper prints
+        ``(beta^2 - 1)`` there, which does NOT satisfy the identity (try
+        beta = 3, n = 2: 4 != 2.5).  With the corrected denominator the
+        identity holds and solving it recovers ``r^n = kappa^2``, i.e.
+        Lemma 2's Equation (2), so the final result is unaffected.
+        """
+        r = proportionality_ratio(beta, n)
+        r_n = r**n
+        lhs = (4.0 * beta / (beta - 1.0) ** 2) * (r_n / (r_n - 1.0))
+        rhs = 1.0 + 4.0 * beta / (beta - 1.0) ** 2
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_equation_11_as_printed_fails(self):
+        """Regression-pin the typo: the printed form of Eq. (11) is
+        falsified at beta = 3, n = 2 (where everything else checks out:
+        r = 2, kappa = 2, CR = 9)."""
+        beta, n = 3.0, 2
+        r = proportionality_ratio(beta, n)
+        r_n = r**n
+        lhs = (4.0 * beta / (beta - 1.0) ** 2) * (r_n / (r_n - 1.0))
+        rhs_printed = 1.0 + 4.0 * beta / (beta**2 - 1.0)
+        assert lhs != pytest.approx(rhs_printed, rel=1e-3)
+
+    @given(
+        st.floats(min_value=1.05, max_value=10.0),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_lemma2_time_geometry(self, beta, n):
+        """``t_{i+1} = t_i + tau_i beta (r - 1)`` is consistent with all
+        turns lying on the cone boundary (``t = beta tau``)."""
+        r = proportionality_ratio(beta, n)
+        tau_i = 1.7
+        t_i = beta * tau_i
+        t_next = t_i + tau_i * beta * (r - 1.0)
+        assert t_next == pytest.approx(beta * (r * tau_i), rel=1e-12)

@@ -1,0 +1,127 @@
+"""Unit tests for Lemma 2 / Lemma 4 proportional-schedule mathematics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.proportional import (
+    beta_for_ratio,
+    combined_turning_points,
+    proportionality_ratio,
+    robot_anchor_positions,
+    t_f_plus_1_at_turning_point,
+    turning_time,
+)
+from repro.errors import InvalidParameterError
+
+betas = st.floats(min_value=1.05, max_value=10.0)
+ns = st.integers(min_value=1, max_value=40)
+
+
+class TestProportionalityRatio:
+    def test_lemma2_examples(self):
+        # kappa = 2 at beta = 3; r = kappa^(2/n)
+        assert proportionality_ratio(3.0, 2) == pytest.approx(2.0)
+        assert proportionality_ratio(3.0, 4) == pytest.approx(2 ** 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            proportionality_ratio(1.0, 3)
+        with pytest.raises(InvalidParameterError):
+            proportionality_ratio(2.0, 0)
+
+    @given(betas, ns)
+    def test_ratio_above_one(self, beta, n):
+        assert proportionality_ratio(beta, n) > 1.0
+
+    @given(betas, ns)
+    def test_roundtrip_with_beta_for_ratio(self, beta, n):
+        r = proportionality_ratio(beta, n)
+        assert beta_for_ratio(r, n) == pytest.approx(beta, rel=1e-7)
+
+    def test_beta_for_ratio_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            beta_for_ratio(1.0, 3)
+
+    @given(betas, ns)
+    def test_n_turns_span_one_kappa_squared(self, beta, n):
+        """n combined steps advance one robot to its next positive turn:
+        r^n = kappa^2."""
+        r = proportionality_ratio(beta, n)
+        kappa = (beta + 1) / (beta - 1)
+        assert r**n == pytest.approx(kappa**2, rel=1e-8)
+
+
+class TestCombinedTurningPoints:
+    def test_geometric_sequence(self):
+        pts = combined_turning_points(3.0, 2, 5)
+        assert pts == pytest.approx([1.0, 2.0, 4.0, 8.0, 16.0])
+
+    def test_custom_tau0(self):
+        pts = combined_turning_points(3.0, 2, 3, tau0=0.5)
+        assert pts == pytest.approx([0.5, 1.0, 2.0])
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            combined_turning_points(3.0, 2, -1)
+        with pytest.raises(InvalidParameterError):
+            combined_turning_points(3.0, 2, 3, tau0=0.0)
+
+    def test_anchor_positions_prefix(self):
+        assert robot_anchor_positions(3.0, 2) == pytest.approx([1.0, 2.0])
+
+    @given(betas, st.integers(min_value=2, max_value=10))
+    def test_consecutive_differences_proportional(self, beta, n):
+        """Definition 2: the difference ratio is constant at r."""
+        pts = combined_turning_points(beta, n, 3 * n)
+        r = proportionality_ratio(beta, n)
+        diffs = [b - a for a, b in zip(pts, pts[1:])]
+        for d1, d2 in zip(diffs, diffs[1:]):
+            assert d2 / d1 == pytest.approx(r, rel=1e-9)
+
+
+class TestTurningTime:
+    def test_boundary_time(self):
+        assert turning_time(2.5, 4.0) == pytest.approx(10.0)
+        assert turning_time(2.5, -4.0) == pytest.approx(10.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(InvalidParameterError):
+            turning_time(0.9, 1.0)
+
+
+class TestLemma4:
+    def test_doubling_pair(self):
+        # n=2, f=1, beta=3: T_2(tau0) = 9 tau0
+        assert t_f_plus_1_at_turning_point(3.0, 2, 1) == pytest.approx(9.0)
+
+    def test_scales_linearly_in_tau0(self):
+        base = t_f_plus_1_at_turning_point(2.0, 3, 1, tau0=1.0)
+        assert t_f_plus_1_at_turning_point(2.0, 3, 1, tau0=2.5) == (
+            pytest.approx(2.5 * base)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            t_f_plus_1_at_turning_point(1.0, 3, 1)
+        with pytest.raises(InvalidParameterError):
+            t_f_plus_1_at_turning_point(2.0, 3, -1)
+        with pytest.raises(InvalidParameterError):
+            t_f_plus_1_at_turning_point(2.0, 3, 1, tau0=-1.0)
+
+    @given(betas, st.integers(min_value=2, max_value=12))
+    def test_equals_r_power_form(self, beta, n):
+        """Lemma 4's two equivalent forms:
+        T = tau0 (r^(f+1) (beta-1) + 1)."""
+        f = n - 1  # any f works for the identity; pick the minimal fleet
+        r = proportionality_ratio(beta, n)
+        lhs = t_f_plus_1_at_turning_point(beta, n, f)
+        rhs = r ** (f + 1) * (beta - 1.0) + 1.0
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @given(betas, st.integers(min_value=2, max_value=12))
+    def test_more_faults_wait_longer(self, beta, n):
+        values = [
+            t_f_plus_1_at_turning_point(beta, n, f) for f in range(n)
+        ]
+        assert values == sorted(values)

@@ -1,0 +1,65 @@
+"""Unit tests for the ablation experiments."""
+
+import pytest
+
+from repro.core.optimal import optimal_beta
+from repro.errors import InvalidParameterError
+from repro.experiments.ablation import (
+    render_baseline_comparison,
+    render_beta_ablation,
+    run_baseline_comparison,
+    run_beta_ablation,
+)
+
+
+class TestBetaAblation:
+    def test_optimum_included_and_minimal(self):
+        beta_star, points = run_beta_ablation(3, 1, points=7)
+        assert beta_star == pytest.approx(optimal_beta(3, 1))
+        best = min(points, key=lambda p: p.theoretical)
+        assert best.parameter == pytest.approx(beta_star)
+
+    def test_measured_mode(self):
+        _, points = run_beta_ablation(3, 1, points=3, measure=True, x_max=40.0)
+        for p in points:
+            assert p.measured == pytest.approx(p.theoretical, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_beta_ablation(3, 1, points=2)
+        with pytest.raises(InvalidParameterError):
+            run_beta_ablation(4, 1)  # trivial regime
+
+    def test_render(self):
+        beta_star, points = run_beta_ablation(5, 2, points=5)
+        text = render_beta_ablation(5, 2, beta_star, points)
+        assert "beta*" in text
+        assert "yes" in text  # the optimum row is flagged
+
+
+class TestBaselineComparison:
+    def test_proportional_beats_group_doubling(self):
+        rows = run_baseline_comparison(pairs=[(3, 1)], x_max=100.0)
+        by_name = {r.algorithm: r for r in rows}
+        prop = by_name["A(3,1)"]
+        group = by_name["GroupDoubling(3,1)"]
+        assert prop.measured < group.measured
+
+    def test_two_group_wins_when_legal(self):
+        rows = run_baseline_comparison(pairs=[(4, 1)], x_max=50.0)
+        by_name = {r.algorithm: r for r in rows}
+        two_group = by_name["TwoGroup(4,1)"]
+        assert two_group.measured == pytest.approx(1.0)
+        assert all(
+            two_group.measured <= r.measured + 1e-9 for r in rows
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_baseline_comparison(pairs=[])
+
+    def test_render(self):
+        rows = run_baseline_comparison(pairs=[(3, 1)], x_max=40.0)
+        text = render_baseline_comparison(rows)
+        assert "Baseline comparison" in text
+        assert "A(3,1)" in text

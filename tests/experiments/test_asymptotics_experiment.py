@@ -1,0 +1,45 @@
+"""Unit tests for the Corollary 1/2 asymptotics experiment."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.asymptotics import (
+    render_asymptotics,
+    run_asymptotics,
+)
+
+
+class TestRunAsymptotics:
+    def test_bounds_bracket(self):
+        rows = run_asymptotics([5, 11, 101, 1001])
+        for row in rows:
+            assert row.lower_exact <= row.upper_exact
+            assert row.lower_envelope <= row.lower_exact
+            assert row.upper_exact <= row.upper_envelope
+
+    def test_gap_shrinks(self):
+        rows = run_asymptotics([11, 101, 1001, 10001])
+        gaps = [r.gap for r in rows]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_normalized_gap_bounded(self):
+        rows = run_asymptotics([101, 1001, 10001])
+        for row in rows:
+            # the exact upper and lower bounds both behave like
+            # 3 + 2 ln n / n, so the exact gap is ~2 ln ln n / n and the
+            # gap normalized by ln n / n stays well below the envelope
+            # difference of 2 (and above 0)
+            assert 0.2 < row.normalized_gap < 2.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_asymptotics([])
+        with pytest.raises(InvalidParameterError):
+            run_asymptotics([2])
+
+
+class TestRender:
+    def test_render(self):
+        text = render_asymptotics(run_asymptotics([11, 101]))
+        assert "Asymptotic optimality" in text
+        assert "101" in text

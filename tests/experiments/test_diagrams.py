@@ -1,0 +1,59 @@
+"""Unit tests for the Figure 1-4 diagram regeneration."""
+
+from repro.experiments.diagrams import (
+    all_diagrams,
+    figure1_diagram,
+    figure2_diagram,
+    figure3_diagram,
+    figure4_diagram,
+)
+
+
+class TestDiagrams:
+    def test_figure1_mentions_strategy(self):
+        art = figure1_diagram()
+        assert art.startswith("Figure 1")
+        assert "0" in art  # the robot's trace
+
+    def test_figure2_has_cone_dots(self):
+        art = figure2_diagram()
+        assert art.startswith("Figure 2")
+        assert "." in art
+
+    def test_figure3_shows_all_robots(self):
+        art = figure3_diagram(n=4)
+        for mark in "0123":
+            assert mark in art
+
+    def test_figure4_three_robots(self):
+        art = figure4_diagram()
+        for mark in "012":
+            assert mark in art
+
+    def test_all_diagrams_keys(self):
+        diagrams = all_diagrams()
+        assert set(diagrams) == {
+            "figure1", "figure2", "figure3", "figure4",
+            "figure6", "figure7",
+        }
+        assert all(isinstance(v, str) and v for v in diagrams.values())
+
+    def test_figure6_both_classes(self):
+        from repro.experiments.diagrams import figure6_diagram
+
+        art = figure6_diagram()
+        assert "positive" in art and "negative" in art
+        assert "0" in art and "1" in art
+
+    def test_figure7_ladder_markers(self):
+        from repro.experiments.diagrams import figure7_diagram
+
+        art = figure7_diagram(n=4)
+        assert art.count("x") >= 8 + 1  # ±x_0..±x_3 markers plus formula
+        assert "x_0=3.080" in art
+
+    def test_custom_sizes(self):
+        art = figure1_diagram(width=40, height=10)
+        body = art.splitlines()[2:]  # skip title + header
+        assert len(body) == 10
+        assert all(len(line) <= 40 for line in body)

@@ -1,0 +1,41 @@
+"""Unit tests for the CSV exporters."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import CSV_EXPORTERS, export_csv, exportable_ids
+
+
+class TestExporters:
+    def test_ids_sorted_and_nonempty(self):
+        ids = exportable_ids()
+        assert ids == sorted(ids)
+        assert "table1" in ids
+        assert "tower" in ids
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            export_csv("nope")
+
+    @pytest.mark.parametrize(
+        "exp_id", ["figure5_right", "asymptotics", "tower", "ratio_profile"]
+    )
+    def test_fast_exports_well_formed(self, exp_id):
+        csv_text = export_csv(exp_id)
+        lines = csv_text.splitlines()
+        assert len(lines) > 2
+        width = len(lines[0].split(","))
+        assert all(len(line.split(",")) == width for line in lines[1:])
+
+    def test_table1_without_measurement(self):
+        csv_text = export_csv("table1", measure=False)
+        header = csv_text.splitlines()[0]
+        assert header.startswith("n,f,paper_cr")
+        # measured column empty when not measuring
+        first_row = csv_text.splitlines()[1].split(",")
+        measured_index = header.split(",").index("measured_cr")
+        assert first_row[measured_index] == ""
+
+    def test_every_registered_exporter_callable(self):
+        for name, exporter in CSV_EXPORTERS.items():
+            assert callable(exporter), name

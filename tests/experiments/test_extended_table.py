@@ -1,0 +1,50 @@
+"""Unit tests for the extended bounds landscape."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.extended_table import (
+    render_extended_table,
+    run_extended_table,
+)
+
+
+class TestExtendedTable:
+    def test_row_count(self):
+        # sum over n=2..N of (n-1) pairs
+        rows = run_extended_table(6)
+        assert len(rows) == sum(n - 1 for n in range(2, 7))
+
+    def test_gap_nonnegative_everywhere(self):
+        for row in run_extended_table(12):
+            assert row.optimality_gap >= -1e-9, (row.n, row.f)
+
+    def test_provably_optimal_rows_have_zero_gap(self):
+        for row in run_extended_table(8):
+            if row.regime == "trivial" or row.n == row.f + 1:
+                assert row.optimality_gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_proportional_rows_have_schedule_parameters(self):
+        for row in run_extended_table(8):
+            if row.regime == "proportional":
+                assert row.beta is not None and 1.0 < row.beta <= 3.0
+                assert row.expansion is not None and row.expansion >= 2.0
+            else:
+                assert row.beta is None
+                assert row.expansion is None
+
+    def test_all_values_finite(self):
+        for row in run_extended_table(10):
+            assert math.isfinite(row.achieved_cr)
+            assert math.isfinite(row.bound)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_extended_table(1)
+
+    def test_render(self):
+        text = render_extended_table(run_extended_table(4))
+        assert "landscape" in text
+        assert "trivial" in text and "proportional" in text

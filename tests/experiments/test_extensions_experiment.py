@@ -1,0 +1,126 @@
+"""Unit tests for the extension experiments."""
+
+import pytest
+
+from repro.core import algorithm_competitive_ratio
+from repro.errors import InvalidParameterError
+from repro.experiments.extensions import (
+    render_bounded,
+    render_multi_speed,
+    render_scaled_copies,
+    render_turn_cost,
+    run_bounded,
+    run_multi_speed,
+    run_scaled_copies,
+    run_turn_cost,
+)
+
+
+class TestScaledCopiesExperiment:
+    def test_rows(self):
+        rows = run_scaled_copies(pairs=[(3, 1)])
+        row = rows[0]
+        assert row.far_field == pytest.approx(row.theorem1, rel=1e-3)
+        assert row.startup_penalty > 0.1
+
+    def test_render(self):
+        text = render_scaled_copies(run_scaled_copies(pairs=[(3, 1)]))
+        assert "Scaled-copies" in text
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_scaled_copies(pairs=[])
+
+
+class TestTurnCostExperiment:
+    def test_monotone_in_cost(self):
+        rows = run_turn_cost(3, 1, costs=(0.0, 0.5, 1.0), x_max=60.0)
+        values = [v for _, v in rows]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(
+            algorithm_competitive_ratio(3, 1), rel=1e-6
+        )
+
+    def test_render(self):
+        rows = run_turn_cost(3, 1, costs=(0.0, 1.0), x_max=60.0)
+        assert "Turn-cost sweep" in render_turn_cost(3, 1, rows)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_turn_cost(costs=())
+
+
+class TestBoundedExperiment:
+    def test_negative_result(self):
+        rows = run_bounded(3, 1, radii=(2.0, 20.0))
+        for _, value in rows:
+            assert value == pytest.approx(
+                algorithm_competitive_ratio(3, 1), rel=1e-6
+            )
+
+    def test_render(self):
+        assert "negative result" in render_bounded(
+            3, 1, run_bounded(3, 1, radii=(5.0,))
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_bounded(radii=())
+
+
+class TestEvacuationExperiment:
+    def test_rows_structure(self):
+        from repro.experiments.extensions import run_evacuation
+
+        rows = run_evacuation(targets=(2.0, -3.0))
+        assert len(rows) == 3 * 2  # three algorithms, two targets
+        for name, x, det, evac, overhead in rows:
+            assert evac >= det - 1e-9
+            assert overhead >= -1e-9
+
+    def test_two_group_evacuation_is_three(self):
+        from repro.experiments.extensions import run_evacuation
+
+        rows = run_evacuation(targets=(5.0,))
+        two_group = [r for r in rows if r[0].startswith("TwoGroup")][0]
+        assert two_group[3] == pytest.approx(3.0)
+
+    def test_group_doubling_zero_overhead(self):
+        from repro.experiments.extensions import run_evacuation
+
+        rows = run_evacuation(targets=(5.0, -3.0))
+        for r in rows:
+            if r[0].startswith("GroupDoubling"):
+                assert r[4] == pytest.approx(0.0)
+
+    def test_render(self):
+        from repro.experiments.extensions import (
+            render_evacuation,
+            run_evacuation,
+        )
+
+        text = render_evacuation(run_evacuation(targets=(2.0,)))
+        assert "Evacuation" in text
+
+    def test_validation(self):
+        from repro.experiments.extensions import run_evacuation
+
+        with pytest.raises(InvalidParameterError):
+            run_evacuation(targets=())
+
+
+class TestMultiSpeedExperiment:
+    def test_law_holds(self):
+        rows = run_multi_speed(3, 1, slow_speeds=(1.0, 0.5), x_max=60.0)
+        for speed, measured, predicted in rows:
+            assert measured == pytest.approx(predicted, rel=1e-6)
+
+    def test_render(self):
+        rows = run_multi_speed(3, 1, slow_speeds=(0.5,), x_max=60.0)
+        assert "Heterogeneous speeds" in render_multi_speed(3, 1, rows)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_multi_speed(slow_speeds=())
+        with pytest.raises(InvalidParameterError):
+            run_multi_speed(slow_index=7)

@@ -1,0 +1,119 @@
+"""Unit tests for the Figure 5 reproduction."""
+
+import pytest
+
+from repro.core.asymptotics import asymptotic_cr, odd_critical_cr
+from repro.errors import InvalidParameterError
+from repro.experiments.figure5 import (
+    figure5_left,
+    figure5_right,
+    render_figure5_left,
+    render_figure5_right,
+)
+
+
+class TestLeft:
+    def test_default_range(self):
+        points = figure5_left()
+        assert [p.n for p in points] == list(range(3, 21))
+
+    def test_formula_values(self):
+        points = figure5_left()
+        for p in points:
+            assert p.formula_value == pytest.approx(odd_critical_cr(p.n))
+
+    def test_monotone_decreasing(self):
+        values = [p.formula_value for p in figure5_left()]
+        assert values == sorted(values, reverse=True)
+
+    def test_theorem1_only_at_odd(self):
+        for p in figure5_left():
+            if p.n % 2 == 1:
+                assert p.theorem1_value == pytest.approx(p.formula_value)
+            else:
+                assert p.theorem1_value is None
+
+    def test_measured_agrees(self):
+        points = figure5_left(n_min=3, n_max=5, measure=True, x_max=60.0)
+        for p in points:
+            if p.n % 2 == 1:
+                assert p.measured_value == pytest.approx(
+                    p.formula_value, rel=1e-6
+                )
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            figure5_left(n_min=1)
+        with pytest.raises(InvalidParameterError):
+            figure5_left(n_min=10, n_max=5)
+
+    def test_render(self):
+        text = render_figure5_left(figure5_left())
+        assert "Figure 5 (left)" in text
+
+
+class TestConvergenceRate:
+    def test_error_positive_and_decreasing(self):
+        from repro.experiments.figure5 import figure5_right_convergence
+
+        points = figure5_right_convergence()
+        errors = [p.error for p in points]
+        assert all(e > 0 for e in errors)
+        assert errors == sorted(errors, reverse=True)
+
+    def test_theta_one_over_n(self):
+        """Doubling f halves the error: error * n is near-constant."""
+        from repro.experiments.figure5 import figure5_right_convergence
+
+        points = figure5_right_convergence(f_values=(16, 32, 64, 128))
+        scaled = [p.error * p.n for p in points]
+        for s in scaled[1:]:
+            assert s == pytest.approx(scaled[0], rel=0.02)
+
+    def test_other_fault_fractions(self):
+        from repro.experiments.figure5 import figure5_right_convergence
+
+        for a in (1.25, 1.75):
+            points = figure5_right_convergence(a=a, f_values=(16, 64))
+            assert points[-1].error < points[0].error
+
+    def test_validation(self):
+        from repro.experiments.figure5 import figure5_right_convergence
+
+        with pytest.raises(InvalidParameterError):
+            figure5_right_convergence(a=2.0)
+        with pytest.raises(InvalidParameterError):
+            figure5_right_convergence(f_values=())
+
+
+class TestRight:
+    def test_grid_and_endpoints(self):
+        points = figure5_right(grid_points=11)
+        assert len(points) == 11
+        assert points[0].a == 1.0
+        assert points[-1].a == 2.0
+        assert points[0].asymptotic_value == pytest.approx(9.0)
+        assert points[-1].asymptotic_value == pytest.approx(3.0)
+
+    def test_values_match_formula(self):
+        for p in figure5_right(grid_points=9):
+            assert p.asymptotic_value == pytest.approx(asymptotic_cr(p.a))
+
+    def test_finite_n_converges_from_above(self):
+        for p in figure5_right(grid_points=9, finite_f=40):
+            if p.finite_n_value is not None:
+                # finite-n ratio exceeds the asymptote (extra 4/n terms)
+                assert p.finite_n_value > p.asymptotic_value - 1e-9
+                assert p.finite_n_value - p.asymptotic_value < 0.3
+
+    def test_no_finite_without_f(self):
+        points = figure5_right(grid_points=5, finite_f=None)
+        assert all(p.finite_n_value is None for p in points)
+
+    def test_invalid_grid(self):
+        with pytest.raises(InvalidParameterError):
+            figure5_right(grid_points=1)
+
+    def test_render(self):
+        text = render_figure5_right(figure5_right(grid_points=5))
+        assert "Figure 5 (right)" in text

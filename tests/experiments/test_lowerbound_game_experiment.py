@@ -1,0 +1,36 @@
+"""Unit tests for the adversary-game experiment."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.lowerbound_game import (
+    render_lowerbound_game,
+    run_lowerbound_game,
+)
+
+
+class TestRunGame:
+    def test_bound_enforced_everywhere(self):
+        rows = run_lowerbound_game(pairs=[(3, 1), (5, 2)])
+        assert rows
+        assert all(r.bound_enforced for r in rows)
+
+    def test_fault_budget_respected(self):
+        rows = run_lowerbound_game(pairs=[(5, 3)])
+        assert all(len(r.witness_faults) <= r.f for r in rows)
+
+    def test_three_algorithms_per_pair(self):
+        rows = run_lowerbound_game(pairs=[(3, 1)])
+        assert len(rows) == 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_lowerbound_game(pairs=[])
+
+
+class TestRender:
+    def test_render(self):
+        rows = run_lowerbound_game(pairs=[(3, 1)])
+        text = render_lowerbound_game(rows)
+        assert "Theorem 2 adversary game" in text
+        assert "yes" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the ratio-profile (Lemma 3 sawtooth) experiment."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.ratio_profile import (
+    render_ratio_profile,
+    run_ratio_profile,
+)
+
+
+class TestRunRatioProfile:
+    def test_supremum_matches_theorem1(self):
+        result = run_ratio_profile(3, 1, periods=2)
+        assert result.supremum_matches_theorem1
+
+    def test_sawtooth_structure(self):
+        """Within each interval the sampled ratios strictly decrease;
+        at each turning point they jump up."""
+        result = run_ratio_profile(3, 1, periods=1, samples_per_interval=12)
+        per_interval = 12
+        chunks = [
+            result.ratios[i: i + per_interval]
+            for i in range(0, len(result.ratios), per_interval)
+        ]
+        for chunk in chunks:
+            assert list(chunk) == sorted(chunk, reverse=True)
+        # the first sample of each interval (just past the turn) exceeds
+        # the last sample of the previous interval
+        for prev, cur in zip(chunks, chunks[1:]):
+            assert cur[0] > prev[-1]
+
+    def test_all_interval_suprema_equal(self):
+        """Lemma 5: the supremum on every interval is the same."""
+        result = run_ratio_profile(5, 2, periods=2, samples_per_interval=8)
+        per_interval = 8
+        suprema = [
+            result.ratios[i]  # first sample = just past the turn = sup
+            for i in range(0, len(result.ratios), per_interval)
+        ]
+        for s in suprema[1:]:
+            assert s == pytest.approx(suprema[0], rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_ratio_profile(periods=0)
+        with pytest.raises(InvalidParameterError):
+            run_ratio_profile(samples_per_interval=1)
+
+
+class TestRender:
+    def test_render(self):
+        text = render_ratio_profile(run_ratio_profile(3, 1, periods=1))
+        assert "sawtooth" in text
+        assert "match: yes" in text or "match: True" in text

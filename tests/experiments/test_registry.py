@@ -1,0 +1,38 @@
+"""Unit tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_design_md_ids_registered(self):
+        """Every experiment id from DESIGN.md's index is runnable."""
+        expected = {
+            "table1",
+            "figure5_left",
+            "figure5_right",
+            "figures1to4",
+            "corollary1",
+            "corollary2",
+            "ablation_beta",
+            "ablation_baselines",
+            "lowerbound_game",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ids_sorted(self):
+        ids = experiment_ids()
+        assert ids == sorted(ids)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("nope")
+
+    def test_fast_experiments_run(self):
+        # the cheap ones run inline; the expensive ones run in benchmarks
+        for exp_id in ("figure5_right", "figures1to4", "corollary1"):
+            report = run_experiment(exp_id)
+            assert isinstance(report, str)
+            assert report.strip()

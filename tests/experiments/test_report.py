@@ -1,0 +1,66 @@
+"""Unit tests for report rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import format_value, render_csv, render_table
+
+
+class TestFormatValue:
+    def test_float_rounding(self):
+        assert format_value(3.14159, 3) == "3.142"
+
+    def test_integral_float_compact(self):
+        assert format_value(9.0) == "9"
+
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_inf_and_nan(self):
+        assert format_value(math.inf) == "inf"
+        assert format_value(-math.inf) == "-inf"
+        assert format_value(math.nan) == "nan"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # all separator and body lines aligned to the widest cell
+        assert "bbbb" in lines[3]
+
+    def test_title(self):
+        table = render_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [[1]])
+
+    def test_none_cells(self):
+        table = render_table(["a"], [[None]])
+        assert "-" in table
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        assert render_csv(["a", "b"], [[1, 2.5]]) == "a,b\n1,2.5"
+
+    def test_none_is_empty(self):
+        assert render_csv(["a"], [[None]]) == "a\n"
+
+    def test_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            render_csv(["a"], [[1, 2]])

@@ -1,0 +1,49 @@
+"""Unit tests for the tower experiment (Figure 4 region)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.tower import render_tower, run_tower, tower_diagram
+
+
+class TestRunTower:
+    def test_rows_and_growth(self):
+        rows = run_tower(3, 1, time_points=6, until=20.0)
+        assert len(rows) == 6
+        widths = [w for *_, w in rows]
+        assert widths == sorted(widths)
+
+    def test_frontiers_bracket_origin(self):
+        for _, left, right, _ in run_tower(3, 1, time_points=4, until=20.0):
+            assert left <= 0.0 <= right
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_tower(time_points=1)
+        with pytest.raises(InvalidParameterError):
+            run_tower(until=0.0)
+
+
+class TestRender:
+    def test_table(self):
+        text = render_tower(run_tower(3, 1, time_points=3, until=10.0))
+        assert "tower" in text
+
+    def test_diagram_shading(self):
+        art = tower_diagram(until=15.0, width=50, height=14)
+        assert ":" in art          # the shaded region
+        assert "0" in art and "2" in art  # trajectories drawn on top
+
+    def test_diagram_validation(self):
+        with pytest.raises(InvalidParameterError):
+            tower_diagram(until=0.0)
+
+    def test_shading_grows_downward(self):
+        """Later rows (larger t) have at least as much shading."""
+        art = tower_diagram(until=20.0, width=60, height=16)
+        body = art.splitlines()[2:]
+        counts = [line.count(":") for line in body]
+        # not strictly monotone cell-by-cell (trajectories overdraw),
+        # but the last third must out-shade the first third
+        third = len(counts) // 3
+        assert sum(counts[-third:]) > sum(counts[:third])

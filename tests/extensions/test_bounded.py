@@ -1,0 +1,82 @@
+"""Unit tests for the bounded-distance extension."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.extensions.bounded import BoundedDistanceAlgorithm, TruncatedTrajectory
+from repro.robots import Fleet
+from repro.simulation import CompetitiveRatioEstimator
+from repro.trajectory import DoublingTrajectory
+from repro.trajectory.visits import kth_distinct_visit_time
+
+
+class TestTruncatedTrajectory:
+    def test_truncation_point(self):
+        t = TruncatedTrajectory(DoublingTrajectory(), radius=3.0)
+        # follows doubling through (1, -2), then instead of 4 goes to 3
+        assert t.first_visit_time(1.0) == pytest.approx(1.0)
+        assert t.first_visit_time(-2.0) == pytest.approx(4.0)
+        assert t.first_visit_time(3.0) == pytest.approx(9.0)
+
+    def test_closing_sweep(self):
+        t = TruncatedTrajectory(DoublingTrajectory(), radius=3.0)
+        assert t.first_visit_time(-3.0) == pytest.approx(15.0)
+        # trajectory ends after the sweep
+        t.ensure_time(1e9)
+        assert t.is_finite
+        assert t.position_at(1e6) == pytest.approx(-3.0)
+
+    def test_covers_interval_only(self):
+        t = TruncatedTrajectory(DoublingTrajectory(), radius=3.0)
+        assert t.covers(2.9)
+        assert t.covers(-3.0)
+        assert not t.covers(3.1)
+        assert t.first_visit_time(5.0) is None
+
+    def test_full_interval_swept(self):
+        t = TruncatedTrajectory(DoublingTrajectory(), radius=4.0)
+        for x in (-4.0, -1.5, 0.0, 2.2, 4.0):
+            assert t.first_visit_time(x) is not None
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TruncatedTrajectory(DoublingTrajectory(), radius=0.0)
+        with pytest.raises(InvalidParameterError):
+            TruncatedTrajectory("nope", radius=2.0)
+
+
+class TestBoundedAlgorithm:
+    def test_coverage_by_all_robots(self):
+        alg = BoundedDistanceAlgorithm(3, 1, radius=8.0)
+        robots = alg.build()
+        for x in (1.0, -1.0, 4.4, -7.9, 8.0, -8.0):
+            t = kth_distinct_visit_time(robots, x, 3)  # even all three
+            assert math.isfinite(t)
+
+    def test_ratio_unchanged_negative_result(self):
+        """The documented finding: truncation leaves the ratio at the
+        Theorem 1 value for every D."""
+        for radius in (2.0, 10.0, 100.0):
+            alg = BoundedDistanceAlgorithm(3, 1, radius=radius)
+            est = CompetitiveRatioEstimator(
+                Fleet.from_algorithm(alg), 1, x_max=radius
+            ).estimate()
+            assert est.value == pytest.approx(
+                alg.unbounded_competitive_ratio(), rel=1e-6
+            )
+
+    def test_total_travel_is_finite(self):
+        """The real benefit of truncation: robots stop."""
+        alg = BoundedDistanceAlgorithm(3, 1, radius=5.0)
+        for robot in alg.build():
+            robot.ensure_time(1e9)
+            assert robot.is_finite
+            assert robot.total_distance_until(1e9) < 60.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BoundedDistanceAlgorithm(3, 1, radius=0.5)
+        with pytest.raises(InvalidParameterError):
+            BoundedDistanceAlgorithm(4, 1, radius=5.0)

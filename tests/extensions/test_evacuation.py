@@ -1,0 +1,72 @@
+"""Unit tests for the evacuation (group-arrival) extension."""
+
+import pytest
+
+from repro.baselines import GroupDoubling, TwoGroupAlgorithm
+from repro.errors import InvalidParameterError
+from repro.extensions.evacuation import evacuation_time
+from repro.robots import AdversarialFaults, Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.trajectory import LinearTrajectory
+
+
+class TestEvacuationBasics:
+    def test_two_group_breakdown(self):
+        fleet = Fleet.from_algorithm(TwoGroupAlgorithm(4, 1))
+        outcome = evacuation_time(fleet, 10.0)
+        assert outcome.detection_time == pytest.approx(10.0)
+        # the wrong-side group is at -10 and must cross 20
+        assert outcome.evacuation_time == pytest.approx(30.0)
+        assert outcome.assembly_overhead == pytest.approx(20.0)
+        assert outcome.evacuation_ratio == pytest.approx(3.0)
+        assert outcome.straggler is not None
+
+    def test_group_doubling_no_overhead(self):
+        """All robots move together: whoever detects, everyone is there."""
+        fleet = Fleet.from_algorithm(GroupDoubling(3, 1))
+        outcome = evacuation_time(fleet, 3.0, AdversarialFaults(1))
+        assert outcome.assembly_overhead == pytest.approx(0.0)
+        assert outcome.straggler is None
+
+    def test_faulty_robots_still_assemble(self):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        outcome = evacuation_time(fleet, 2.0, AdversarialFaults(1))
+        assert outcome.evacuation_time >= outcome.detection_time
+
+    def test_undetectable_raises(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        with pytest.raises(InvalidParameterError):
+            evacuation_time(fleet, -2.0)
+
+    def test_invalid_target(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        with pytest.raises(InvalidParameterError):
+            evacuation_time(fleet, 0.0)
+
+
+class TestReference14Claims:
+    def test_two_group_evacuation_tends_to_three(self):
+        """Far targets: the opposite group crosses 2|x| after detection
+        at |x| -> ratio -> 3 (the group-search phenomenon of [14])."""
+        fleet = Fleet.from_algorithm(TwoGroupAlgorithm(4, 1))
+        for x in (10.0, 100.0, 1000.0):
+            assert evacuation_time(fleet, x).evacuation_ratio == (
+                pytest.approx(3.0)
+            )
+
+    def test_proportional_evacuation_bounded(self):
+        """A(n,f) robots all live inside C_beta, so the straggler is at
+        distance O(|x|) at detection: the evacuation ratio stays bounded
+        by a constant across targets."""
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        ratios = [
+            evacuation_time(fleet, x, AdversarialFaults(1)).evacuation_ratio
+            for x in (1.0, 2.5, 10.0, 40.0, 160.0)
+        ]
+        assert max(ratios) < 20.0
+
+    def test_detection_ratio_never_exceeds_evacuation(self):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(5, 2))
+        for x in (1.5, -4.0, 12.0):
+            outcome = evacuation_time(fleet, x, AdversarialFaults(2))
+            assert outcome.evacuation_time >= outcome.detection_time

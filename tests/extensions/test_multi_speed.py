@@ -1,0 +1,85 @@
+"""Unit tests for the heterogeneous-speed extension."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.extensions.multi_speed import (
+    MultiSpeedProportionalAlgorithm,
+    SpeedScaledTrajectory,
+)
+from repro.simulation import measure_competitive_ratio
+from repro.trajectory import DoublingTrajectory
+
+
+class TestSpeedScaledTrajectory:
+    def test_time_dilation(self):
+        slow = SpeedScaledTrajectory(DoublingTrajectory(), speed=0.5)
+        assert slow.first_visit_time(1.0) == pytest.approx(2.0)
+        assert slow.first_visit_time(-2.0) == pytest.approx(8.0)
+
+    def test_same_spatial_path(self):
+        base = DoublingTrajectory()
+        slow = SpeedScaledTrajectory(DoublingTrajectory(), speed=0.25)
+        for t in (0.5, 1.0, 3.0):
+            assert slow.position_at(t / 0.25) == pytest.approx(
+                base.position_at(t)
+            )
+
+    def test_speed_limit_respected(self):
+        slow = SpeedScaledTrajectory(DoublingTrajectory(), speed=0.7)
+        for seg in slow.segments_until(20.0):
+            assert seg.speed <= 0.7 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpeedScaledTrajectory(DoublingTrajectory(), speed=0.0)
+        with pytest.raises(InvalidParameterError):
+            SpeedScaledTrajectory(DoublingTrajectory(), speed=1.5)
+        with pytest.raises(InvalidParameterError):
+            SpeedScaledTrajectory("nope", speed=0.5)
+
+
+class TestMultiSpeedAlgorithm:
+    def test_uniform_slowdown_rescales_exactly(self):
+        s = 0.5
+        alg = MultiSpeedProportionalAlgorithm(3, 1, speeds=[s, s, s])
+        measured = measure_competitive_ratio(
+            alg, fault_budget=1, x_max=60.0
+        )
+        assert measured.value == pytest.approx(
+            alg.uniform_speed_competitive_ratio(s), rel=1e-6
+        )
+
+    def test_single_slow_robot_law(self):
+        """One slow robot of speed s -> ratio CR/s while it is pivotal."""
+        from repro.core import algorithm_competitive_ratio
+
+        base = algorithm_competitive_ratio(3, 1)
+        for s in (0.9, 0.75, 0.5):
+            alg = MultiSpeedProportionalAlgorithm(
+                3, 1, speeds=[1.0, s, 1.0]
+            )
+            measured = measure_competitive_ratio(
+                alg, fault_budget=1, x_max=60.0
+            )
+            assert measured.value == pytest.approx(base / s, rel=1e-6)
+
+    def test_full_speed_recovers_theorem1(self):
+        alg = MultiSpeedProportionalAlgorithm(5, 2)
+        measured = measure_competitive_ratio(
+            alg, fault_budget=2, x_max=60.0
+        )
+        from repro.core import algorithm_competitive_ratio
+
+        assert measured.value == pytest.approx(
+            algorithm_competitive_ratio(5, 2), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiSpeedProportionalAlgorithm(3, 1, speeds=[1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            MultiSpeedProportionalAlgorithm(3, 1, speeds=[1.0, 0.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            alg = MultiSpeedProportionalAlgorithm(3, 1)
+            alg.uniform_speed_competitive_ratio(2.0)

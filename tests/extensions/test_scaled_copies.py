@@ -1,0 +1,61 @@
+"""Unit tests for the scaled-copies alternative construction."""
+
+import pytest
+
+from repro.core import algorithm_competitive_ratio
+from repro.errors import InvalidParameterError
+from repro.extensions.scaled_copies import ScaledCopiesAlgorithm
+from repro.robots import Fleet
+from repro.simulation import CompetitiveRatioEstimator
+
+
+class TestScaledCopies:
+    def test_structure(self):
+        alg = ScaledCopiesAlgorithm(3, 1)
+        trajs = alg.build()
+        assert len(trajs) == 3
+        # first turns form the geometric anchor sequence r^i
+        firsts = [t.turning_position(0) for t in trajs]
+        for a, b in zip(firsts, firsts[1:]):
+            assert b / a == pytest.approx(alg.ratio, rel=1e-9)
+
+    def test_shared_expansion_factor(self):
+        alg = ScaledCopiesAlgorithm(5, 2)
+        for traj in alg.build():
+            assert traj.kappa == pytest.approx(alg.expansion_factor)
+
+    def test_no_closed_form_claimed(self):
+        assert ScaledCopiesAlgorithm(3, 1).theoretical_competitive_ratio() is None
+
+    def test_rejects_trivial_regime(self):
+        with pytest.raises(InvalidParameterError):
+            ScaledCopiesAlgorithm(4, 1)
+
+    def test_far_field_matches_theorem1(self):
+        """Asymptotically the construction achieves the Theorem 1 ratio."""
+        alg = ScaledCopiesAlgorithm(3, 1)
+        est = CompetitiveRatioEstimator(
+            Fleet.from_algorithm(alg),
+            fault_budget=1,
+            min_distance=100.0,
+            x_max=5000.0,
+        ).estimate()
+        assert est.value == pytest.approx(
+            algorithm_competitive_ratio(3, 1), rel=1e-3
+        )
+
+    def test_near_field_strictly_worse(self):
+        """Without the cone start-up the ratio near |x| = 1 exceeds the
+        Theorem 1 value — the measured reason for Definition 4."""
+        alg = ScaledCopiesAlgorithm(3, 1)
+        est = CompetitiveRatioEstimator(
+            Fleet.from_algorithm(alg), fault_budget=1, x_max=100.0
+        ).estimate()
+        assert est.value > algorithm_competitive_ratio(3, 1) + 0.1
+        assert abs(est.witness.x) == pytest.approx(1.0)
+
+    def test_asymptotic_accessor(self):
+        alg = ScaledCopiesAlgorithm(5, 3)
+        assert alg.asymptotic_competitive_ratio() == pytest.approx(
+            algorithm_competitive_ratio(5, 3)
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the turn-cost extension."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.extensions.turn_cost import (
+    TurnCostProportionalAlgorithm,
+    TurnCostTrajectory,
+)
+from repro.simulation import measure_competitive_ratio
+from repro.trajectory import DoublingTrajectory, LinearTrajectory, ZigZagTrajectory
+
+
+class TestTurnCostTrajectory:
+    def test_zero_cost_identity(self):
+        base = DoublingTrajectory()
+        wrapped = TurnCostTrajectory(DoublingTrajectory(), cost=0.0)
+        for x in (1.0, -2.0, 3.5, -7.0):
+            assert wrapped.first_visit_time(x) == pytest.approx(
+                base.first_visit_time(x)
+            )
+
+    def test_cumulative_delay(self):
+        t = TurnCostTrajectory(DoublingTrajectory(), cost=0.5)
+        assert t.first_visit_time(1.0) == pytest.approx(1.0)    # 0 turns
+        assert t.first_visit_time(-2.0) == pytest.approx(4.5)   # 1 turn
+        assert t.first_visit_time(4.0) == pytest.approx(11.0)   # 2 turns
+        assert t.first_visit_time(-8.0) == pytest.approx(23.5)  # 3 turns
+
+    def test_pause_at_reversal_point(self):
+        t = TurnCostTrajectory(DoublingTrajectory(), cost=1.0)
+        # during the pause at the first turn (t in [1, 2]) the robot
+        # stays at position 1
+        assert t.position_at(1.5) == pytest.approx(1.0)
+        assert t.position_at(2.5) == pytest.approx(0.5)
+
+    def test_no_pause_without_reversal(self):
+        t = TurnCostTrajectory(LinearTrajectory(1), cost=5.0)
+        assert t.first_visit_time(100.0) == pytest.approx(100.0)
+
+    def test_speed_limit_respected(self):
+        t = TurnCostTrajectory(DoublingTrajectory(), cost=0.3)
+        for seg in t.segments_until(30.0):
+            assert seg.speed <= 1.0 + 1e-9
+
+    def test_covers_delegates(self):
+        t = TurnCostTrajectory(LinearTrajectory(1), cost=1.0)
+        assert t.covers(5.0)
+        assert not t.covers(-5.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TurnCostTrajectory(DoublingTrajectory(), cost=-1.0)
+        with pytest.raises(InvalidParameterError):
+            TurnCostTrajectory("nope", cost=1.0)
+
+    def test_same_side_reversal_also_pays(self):
+        # 3 then 1 reverses even though both positive
+        t = TurnCostTrajectory(ZigZagTrajectory([3.0, 1.0]), cost=1.0)
+        assert t.first_visit_time(1.0) == pytest.approx(1.0)
+        # second visit of 1 happens after the pause at 3
+        assert t.visit_times(1.0, until=10.0)[1] == pytest.approx(6.0)
+
+
+class TestTurnCostAlgorithm:
+    def test_ratio_grows_linearly(self):
+        values = []
+        for cost in (0.0, 0.5, 1.0):
+            alg = TurnCostProportionalAlgorithm(3, 1, cost=cost)
+            values.append(
+                measure_competitive_ratio(
+                    alg, fault_budget=1, x_max=100.0
+                ).value
+            )
+        base = values[0]
+        # slope 2 per unit cost (two pre-paid turns at the |x|=1 witness)
+        assert values[1] == pytest.approx(base + 1.0, abs=1e-6)
+        assert values[2] == pytest.approx(base + 2.0, abs=1e-6)
+
+    def test_zero_cost_recovers_theorem1(self):
+        alg = TurnCostProportionalAlgorithm(5, 2, cost=0.0)
+        measured = measure_competitive_ratio(
+            alg, fault_budget=2, x_max=60.0
+        )
+        assert measured.value == pytest.approx(
+            alg.zero_cost_competitive_ratio(), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TurnCostProportionalAlgorithm(3, 1, cost=-0.1)
+        with pytest.raises(InvalidParameterError):
+            TurnCostProportionalAlgorithm(4, 1, cost=0.5)

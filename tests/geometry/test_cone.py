@@ -1,0 +1,146 @@
+"""Unit tests for repro.geometry.cone (Lemma 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone, beta_for_expansion_factor, expansion_factor
+from repro.geometry.point import SpaceTimePoint
+
+betas = st.floats(min_value=1.01, max_value=50.0)
+anchors = st.floats(min_value=0.01, max_value=100.0)
+
+
+class TestExpansionFactor:
+    def test_doubling_cone(self):
+        assert expansion_factor(3.0) == pytest.approx(2.0)
+
+    def test_paper_a31_cone(self):
+        # A(3,1): beta = 5/3, expansion factor 4 (Table 1)
+        assert expansion_factor(5 / 3) == pytest.approx(4.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(InvalidParameterError):
+            expansion_factor(1.0)
+        with pytest.raises(InvalidParameterError):
+            expansion_factor(0.5)
+
+    def test_inverse_roundtrip(self):
+        for beta in (1.2, 1.5, 2.0, 3.0, 7.0):
+            kappa = expansion_factor(beta)
+            assert beta_for_expansion_factor(kappa) == pytest.approx(beta)
+
+    def test_involution(self):
+        # the map beta <-> kappa is an involution
+        assert beta_for_expansion_factor(3.0) == pytest.approx(2.0)
+        assert expansion_factor(2.0) == pytest.approx(3.0)
+
+    def test_inverse_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            beta_for_expansion_factor(1.0)
+
+    @given(betas)
+    def test_expansion_factor_above_one(self, beta):
+        assert expansion_factor(beta) > 1.0
+
+    @given(betas)
+    def test_roundtrip_property(self, beta):
+        assert beta_for_expansion_factor(
+            expansion_factor(beta)
+        ) == pytest.approx(beta, rel=1e-9)
+
+
+class TestConeBasics:
+    def test_invalid_slope_rejected(self):
+        for bad in (1.0, 0.0, -2.0, math.inf, math.nan):
+            with pytest.raises(InvalidParameterError):
+                Cone(bad)
+
+    def test_boundary_time_symmetric(self):
+        cone = Cone(2.5)
+        assert cone.boundary_time(4.0) == pytest.approx(10.0)
+        assert cone.boundary_time(-4.0) == pytest.approx(10.0)
+
+    def test_boundary_point(self):
+        p = Cone(2.0).boundary_point(-3.0)
+        assert p == SpaceTimePoint(-3.0, 6.0)
+
+    def test_contains_interior(self):
+        cone = Cone(2.0)
+        assert cone.contains(SpaceTimePoint(1.0, 5.0))
+        assert not cone.contains(SpaceTimePoint(5.0, 1.0))
+
+    def test_contains_boundary(self):
+        cone = Cone(2.0)
+        assert cone.contains(SpaceTimePoint(2.0, 4.0))
+        assert cone.is_on_boundary(SpaceTimePoint(2.0, 4.0))
+        assert not cone.is_on_boundary(SpaceTimePoint(2.0, 5.0))
+
+
+class TestTurningPoints:
+    def test_lemma1_sequence(self):
+        cone = Cone(3.0)  # kappa = 2
+        xs = [cone.turning_point(1.0, i) for i in range(5)]
+        assert xs == pytest.approx([1.0, -2.0, 4.0, -8.0, 16.0])
+
+    def test_backward_extension(self):
+        cone = Cone(3.0)
+        assert cone.turning_point(1.0, -1) == pytest.approx(-0.5)
+        assert cone.turning_point(1.0, -2) == pytest.approx(0.25)
+
+    def test_next_previous_inverse(self):
+        cone = Cone(1.8)
+        x = 2.7
+        assert cone.previous_turning_point(
+            cone.next_turning_point(x)
+        ) == pytest.approx(x)
+
+    def test_apex_rejected(self):
+        cone = Cone(2.0)
+        with pytest.raises(InvalidParameterError):
+            cone.next_turning_point(0.0)
+        with pytest.raises(InvalidParameterError):
+            cone.turning_point(0.0, 1)
+
+    def test_turning_times_on_boundary(self):
+        cone = Cone(2.2)
+        for i in range(4):
+            x = cone.turning_point(1.5, i)
+            t = cone.turning_time(1.5, i)
+            assert t == pytest.approx(cone.boundary_time(x))
+
+    def test_travel_time_consistency(self):
+        # leg duration equals the time difference of consecutive turns
+        cone = Cone(2.0)
+        x = 1.0
+        dt = cone.turning_time(x, 1) - cone.turning_time(x, 0)
+        assert cone.travel_time_between_turns(x) == pytest.approx(dt)
+
+    @given(betas, anchors, st.integers(min_value=0, max_value=10))
+    def test_alternating_signs(self, beta, x0, i):
+        cone = Cone(beta)
+        a = cone.turning_point(x0, i)
+        b = cone.turning_point(x0, i + 1)
+        assert a * b < 0  # consecutive turns on opposite sides
+
+    @given(betas, anchors, st.integers(min_value=0, max_value=10))
+    def test_expansion_ratio(self, beta, x0, i):
+        cone = Cone(beta)
+        a = cone.turning_point(x0, i)
+        b = cone.turning_point(x0, i + 1)
+        assert abs(b) / abs(a) == pytest.approx(
+            cone.expansion_factor, rel=1e-9
+        )
+
+    @given(betas, anchors)
+    def test_unit_speed_between_turns(self, beta, x0):
+        # distance between consecutive turns equals elapsed time
+        cone = Cone(beta)
+        for i in range(3):
+            a = cone.turning_point(x0, i)
+            b = cone.turning_point(x0, i + 1)
+            dt = cone.turning_time(x0, i + 1) - cone.turning_time(x0, i)
+            assert abs(b - a) == pytest.approx(dt, rel=1e-9)

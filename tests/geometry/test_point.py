@@ -1,0 +1,123 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.point import ORIGIN, SpaceTimePoint
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+times = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        p = SpaceTimePoint(3.5, 2.0)
+        assert p.position == 3.5
+        assert p.time == 2.0
+
+    def test_origin_constant(self):
+        assert ORIGIN.position == 0.0
+        assert ORIGIN.time == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimePoint(0.0, -1.0)
+
+    def test_nan_position_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimePoint(math.nan, 0.0)
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimePoint(0.0, math.inf)
+
+    def test_frozen(self):
+        p = SpaceTimePoint(1.0, 1.0)
+        with pytest.raises(AttributeError):
+            p.position = 2.0
+
+    def test_equality(self):
+        assert SpaceTimePoint(1.0, 2.0) == SpaceTimePoint(1.0, 2.0)
+        assert SpaceTimePoint(1.0, 2.0) != SpaceTimePoint(1.0, 3.0)
+
+
+class TestOperations:
+    def test_translate(self):
+        p = SpaceTimePoint(1.0, 1.0).translate(dx=2.0, dt=3.0)
+        assert p == SpaceTimePoint(3.0, 4.0)
+
+    def test_translate_default_noop(self):
+        p = SpaceTimePoint(1.0, 1.0)
+        assert p.translate() == p
+
+    def test_distance_is_euclidean(self):
+        a = SpaceTimePoint(0.0, 0.0)
+        b = SpaceTimePoint(3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_spatial_and_temporal_distance(self):
+        a = SpaceTimePoint(-1.0, 2.0)
+        b = SpaceTimePoint(2.0, 7.0)
+        assert a.spatial_distance_to(b) == pytest.approx(3.0)
+        assert a.temporal_distance_to(b) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert SpaceTimePoint(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestReachability:
+    def test_unit_speed_diagonal_reachable(self):
+        assert SpaceTimePoint(5.0, 5.0).is_reachable_from(ORIGIN)
+
+    def test_too_fast_unreachable(self):
+        assert not SpaceTimePoint(5.0, 4.0).is_reachable_from(ORIGIN)
+
+    def test_backwards_in_time_unreachable(self):
+        early = SpaceTimePoint(0.0, 1.0)
+        late = SpaceTimePoint(0.0, 5.0)
+        assert early.is_reachable_from(late) is False
+
+    def test_waiting_is_reachable(self):
+        assert SpaceTimePoint(0.0, 10.0).is_reachable_from(ORIGIN)
+
+    def test_custom_speed(self):
+        p = SpaceTimePoint(1.0, 4.0)
+        assert p.is_reachable_from(ORIGIN, max_speed=0.25)
+        assert not SpaceTimePoint(2.0, 4.0).is_reachable_from(
+            ORIGIN, max_speed=0.25
+        )
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimePoint(1.0, 1.0).is_reachable_from(ORIGIN, max_speed=0.0)
+
+
+class TestProperties:
+    @given(finite, times)
+    def test_distance_to_self_is_zero(self, x, t):
+        p = SpaceTimePoint(x, t)
+        assert p.distance_to(p) == 0.0
+
+    @given(finite, times, finite, times)
+    def test_distance_symmetry(self, x1, t1, x2, t2):
+        a, b = SpaceTimePoint(x1, t1), SpaceTimePoint(x2, t2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, times)
+    def test_reachable_from_self(self, x, t):
+        p = SpaceTimePoint(x, t)
+        assert p.is_reachable_from(p)
+
+    @given(finite, times, st.floats(min_value=0, max_value=1e6))
+    def test_future_point_at_unit_speed_reachable(self, x, t, dt):
+        a = SpaceTimePoint(x, t)
+        b = a.translate(dx=dt, dt=dt)
+        assert b.is_reachable_from(a)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.geometry.polyline."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.geometry.polyline import SpaceTimePolyline, polyline_through
+from repro.geometry.segment import MotionSegment
+
+
+def pts(*pairs):
+    return [SpaceTimePoint(x, t) for x, t in pairs]
+
+
+class TestConstruction:
+    def test_through_points(self):
+        line = polyline_through(pts((0, 0), (2, 2), (0, 4)))
+        assert len(line) == 2
+        assert line.start == SpaceTimePoint(0, 0)
+        assert line.end == SpaceTimePoint(0, 4)
+
+    def test_needs_two_points(self):
+        with pytest.raises(InvalidParameterError):
+            polyline_through(pts((0, 0)))
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimePolyline([])
+
+    def test_discontinuity_rejected(self):
+        a = MotionSegment(SpaceTimePoint(0, 0), SpaceTimePoint(1, 1))
+        b = MotionSegment(SpaceTimePoint(2, 1), SpaceTimePoint(3, 2))
+        with pytest.raises(TrajectoryError):
+            SpaceTimePolyline([a, b])
+
+    def test_overspeed_rejected_via_points(self):
+        with pytest.raises(TrajectoryError):
+            polyline_through(pts((0, 0), (5, 1)))
+
+
+class TestMeasures:
+    def test_total_duration_and_distance(self):
+        line = polyline_through(pts((0, 0), (3, 3), (-1, 7)))
+        assert line.total_duration == pytest.approx(7.0)
+        assert line.total_distance == pytest.approx(7.0)
+
+    def test_waiting_leg_distance(self):
+        line = polyline_through(pts((0, 0), (0, 5), (2, 7)))
+        assert line.total_distance == pytest.approx(2.0)
+
+    def test_bounding_positions(self):
+        line = polyline_through(pts((0, 0), (3, 3), (-2, 8)))
+        assert line.bounding_positions() == (-2.0, 3.0)
+
+    def test_vertices(self):
+        line = polyline_through(pts((0, 0), (1, 1), (0, 2)))
+        assert [v.position for v in line.vertices()] == [0.0, 1.0, 0.0]
+
+
+class TestTurningVertices:
+    def test_reversal_detected(self):
+        line = polyline_through(pts((0, 0), (2, 2), (-1, 5)))
+        turns = line.turning_vertices()
+        assert len(turns) == 1
+        assert turns[0].position == pytest.approx(2.0)
+
+    def test_waiting_not_a_turn(self):
+        line = polyline_through(pts((0, 0), (2, 2), (2, 4), (3, 5)))
+        assert line.turning_vertices() == []
+
+    def test_wait_then_reverse_is_a_turn(self):
+        line = polyline_through(pts((0, 0), (2, 2), (2, 4), (0, 6)))
+        turns = line.turning_vertices()
+        assert len(turns) == 1
+
+
+class TestQueries:
+    def test_position_at_interpolates(self):
+        line = polyline_through(pts((0, 0), (4, 4), (0, 8)))
+        assert line.position_at(2.0) == pytest.approx(2.0)
+        assert line.position_at(6.0) == pytest.approx(2.0)
+
+    def test_position_clamped(self):
+        line = polyline_through(pts((1, 0), (3, 2)))
+        assert line.position_at(-5.0) == pytest.approx(1.0)
+        assert line.position_at(100.0) == pytest.approx(3.0)
+
+    def test_first_visit_time(self):
+        line = polyline_through(pts((0, 0), (4, 4), (-4, 12)))
+        assert line.first_visit_time(2.0) == pytest.approx(2.0)
+        assert line.first_visit_time(-3.0) == pytest.approx(11.0)
+        assert line.first_visit_time(5.0) is None
+
+    def test_visit_times_merges_turn(self):
+        line = polyline_through(pts((0, 0), (2, 2), (0, 4)))
+        # the turn at x=2 is one visit, not two
+        assert line.visit_times(2.0) == pytest.approx([2.0])
+        assert line.visit_times(1.0) == pytest.approx([1.0, 3.0])
+
+    def test_clip_window(self):
+        line = polyline_through(pts((0, 0), (4, 4), (0, 8)))
+        clipped = line.clipped_to_times(2.0, 6.0)
+        assert clipped.start.time == pytest.approx(2.0)
+        assert clipped.end.time == pytest.approx(6.0)
+        assert clipped.start.position == pytest.approx(2.0)
+
+    def test_clip_bad_window(self):
+        line = polyline_through(pts((0, 0), (1, 1)))
+        with pytest.raises(InvalidParameterError):
+            line.clipped_to_times(3.0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            line.clipped_to_times(5.0, 6.0)

@@ -1,0 +1,164 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.geometry.segment import MotionSegment
+
+
+def seg(x0, t0, x1, t1):
+    return MotionSegment(SpaceTimePoint(x0, t0), SpaceTimePoint(x1, t1))
+
+
+class TestConstruction:
+    def test_valid_unit_speed(self):
+        s = seg(0, 0, 3, 3)
+        assert s.speed == pytest.approx(1.0)
+        assert s.is_full_speed
+
+    def test_slow_leg_allowed(self):
+        s = seg(0, 0, 1, 4)
+        assert s.speed == pytest.approx(0.25)
+        assert not s.is_full_speed
+
+    def test_waiting_leg(self):
+        s = seg(2, 1, 2, 5)
+        assert s.speed == 0.0
+        assert s.direction == 0
+
+    def test_overspeed_rejected(self):
+        with pytest.raises(TrajectoryError):
+            seg(0, 0, 5, 1)
+
+    def test_backwards_time_rejected(self):
+        with pytest.raises(TrajectoryError):
+            seg(0, 5, 1, 1)
+
+
+class TestMeasurements:
+    def test_duration_and_displacement(self):
+        s = seg(1, 2, -2, 5)
+        assert s.duration == pytest.approx(3.0)
+        assert s.displacement == pytest.approx(-3.0)
+
+    def test_direction_signs(self):
+        assert seg(0, 0, 2, 2).direction == 1
+        assert seg(0, 0, -2, 2).direction == -1
+        assert seg(1, 0, 1, 2).direction == 0
+
+
+class TestPositionAt:
+    def test_midpoint(self):
+        s = seg(0, 0, 4, 4)
+        assert s.position_at(2.0) == pytest.approx(2.0)
+
+    def test_endpoints(self):
+        s = seg(-1, 1, 3, 5)
+        assert s.position_at(1.0) == pytest.approx(-1.0)
+        assert s.position_at(5.0) == pytest.approx(3.0)
+
+    def test_outside_raises(self):
+        s = seg(0, 0, 1, 1)
+        with pytest.raises(TrajectoryError):
+            s.position_at(2.0)
+
+    def test_waiting_leg_position(self):
+        s = seg(2, 0, 2, 10)
+        assert s.position_at(7.0) == 2.0
+
+
+class TestVisitTime:
+    def test_rightward_visit(self):
+        s = seg(0, 0, 4, 4)
+        assert s.visit_time(3.0) == pytest.approx(3.0)
+
+    def test_leftward_visit(self):
+        s = seg(2, 1, -2, 5)
+        assert s.visit_time(0.0) == pytest.approx(3.0)
+
+    def test_miss_returns_none(self):
+        assert seg(0, 0, 1, 1).visit_time(2.0) is None
+        assert seg(0, 0, 1, 1).visit_time(-0.5) is None
+
+    def test_endpoint_visits(self):
+        s = seg(0, 0, 4, 4)
+        assert s.visit_time(0.0) == pytest.approx(0.0)
+        assert s.visit_time(4.0) == pytest.approx(4.0)
+
+    def test_waiting_leg_visit(self):
+        s = seg(2, 3, 2, 9)
+        assert s.visit_time(2.0) == pytest.approx(3.0)
+        assert s.visit_time(2.5) is None
+
+    def test_covers_position(self):
+        s = seg(-1, 0, 3, 4)
+        assert s.covers_position(0.0)
+        assert s.covers_position(-1.0)
+        assert not s.covers_position(3.5)
+
+    def test_intersect_vertical_line(self):
+        s = seg(0, 0, 4, 4)
+        p = s.intersect_vertical_line(2.5)
+        assert p == SpaceTimePoint(2.5, 2.5)
+        assert s.intersect_vertical_line(9.0) is None
+
+
+class TestClipAndSample:
+    def test_clip_inside(self):
+        s = seg(0, 0, 10, 10)
+        c = s.clipped_to_times(2.0, 5.0)
+        assert c.start == SpaceTimePoint(2.0, 2.0)
+        assert c.end == SpaceTimePoint(5.0, 5.0)
+
+    def test_clip_overlapping_boundary(self):
+        s = seg(0, 0, 4, 4)
+        c = s.clipped_to_times(-5.0, 2.0)
+        assert c.start == SpaceTimePoint(0.0, 0.0)
+        assert c.end.time == pytest.approx(2.0)
+
+    def test_clip_disjoint_raises(self):
+        with pytest.raises(InvalidParameterError):
+            seg(0, 0, 1, 1).clipped_to_times(5.0, 6.0)
+
+    def test_clip_empty_window_raises(self):
+        with pytest.raises(InvalidParameterError):
+            seg(0, 0, 1, 1).clipped_to_times(1.0, 0.5)
+
+    def test_sample_count_and_endpoints(self):
+        s = seg(0, 0, 4, 4)
+        pts = s.sample(5)
+        assert len(pts) == 5
+        assert pts[0] == s.start
+        assert pts[-1] == s.end
+
+    def test_sample_too_few_raises(self):
+        with pytest.raises(InvalidParameterError):
+            seg(0, 0, 1, 1).sample(1)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.booleans(),
+    )
+    def test_visit_time_within_span(self, x0, t0, length, rightward):
+        x1 = x0 + (length if rightward else -length)
+        s = seg(x0, t0, x1, t0 + length)
+        mid = (x0 + x1) / 2.0
+        t = s.visit_time(mid)
+        assert t is not None
+        assert t0 - 1e-9 <= t <= t0 + length + 1e-9
+        assert s.position_at(t) == pytest.approx(mid, abs=1e-6)
+
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=0.1, max_value=50),
+    )
+    def test_speed_never_exceeds_one(self, x0, duration):
+        s = seg(x0, 0, x0 + duration, duration)
+        assert s.speed <= 1.0 + 1e-9

@@ -1,0 +1,52 @@
+"""Numerical verification of the paper's analytic optimization step.
+
+The paper derives ``beta* = (4f+4)/n - 1`` by setting ``F'(beta) = 0``.
+These tests re-derive the optimum numerically — via scipy's golden-section
+minimizer and via high-resolution grid search — and confirm it matches
+the closed form for every proportional Table 1 pair.
+"""
+
+import pytest
+
+scipy_optimize = pytest.importorskip("scipy.optimize")
+
+from repro.core.competitive_ratio import schedule_competitive_ratio
+from repro.core.optimal import optimal_beta
+
+from tests.conftest import PROPORTIONAL_PAIRS
+
+
+class TestNumericalOptimum:
+    @pytest.mark.parametrize("pair", PROPORTIONAL_PAIRS,
+                             ids=lambda p: f"n{p[0]}f{p[1]}")
+    def test_scipy_minimizer_agrees(self, pair):
+        n, f = pair
+        result = scipy_optimize.minimize_scalar(
+            lambda beta: schedule_competitive_ratio(beta, n, f),
+            bounds=(1.0 + 1e-9, 6.0),
+            method="bounded",
+            options={"xatol": 1e-10},
+        )
+        assert result.x == pytest.approx(optimal_beta(n, f), abs=1e-6)
+
+    @pytest.mark.parametrize("pair", [(3, 1), (5, 2), (5, 3)],
+                             ids=lambda p: f"n{p[0]}f{p[1]}")
+    def test_grid_search_agrees(self, pair):
+        n, f = pair
+        grid = [1.001 + i * (4.0 - 1.001) / 20000 for i in range(20001)]
+        best = min(grid, key=lambda b: schedule_competitive_ratio(b, n, f))
+        assert best == pytest.approx(optimal_beta(n, f), abs=1e-3)
+
+    def test_derivative_vanishes_at_optimum(self):
+        """Central finite difference of F at beta* is ~0, and the second
+        difference is positive (a genuine minimum)."""
+        for n, f in PROPORTIONAL_PAIRS:
+            beta = optimal_beta(n, f)
+            h = 1e-6
+            up = schedule_competitive_ratio(beta + h, n, f)
+            down = schedule_competitive_ratio(beta - h, n, f)
+            mid = schedule_competitive_ratio(beta, n, f)
+            first = (up - down) / (2 * h)
+            second = (up - 2 * mid + down) / (h * h)
+            assert abs(first) < 1e-4
+            assert second > 0

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests (hypothesis).
+
+These generate random problem instances — parameters, cone slopes,
+targets — and assert the invariants that tie the closed forms to the
+executable objects.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SearchParameters,
+    algorithm_competitive_ratio,
+    schedule_competitive_ratio,
+)
+from repro.robots import Fleet
+from repro.schedule import CustomBetaAlgorithm, ProportionalAlgorithm
+from repro.trajectory.visits import kth_distinct_visit_time
+
+
+def proportional_pairs(max_f=6):
+    """Strategy generating (n, f) in the proportional regime."""
+    return st.integers(min_value=1, max_value=max_f).flatmap(
+        lambda f: st.integers(min_value=f + 1, max_value=2 * f + 1).map(
+            lambda n: (n, f)
+        )
+    )
+
+
+class TestScheduleInvariants:
+    @given(proportional_pairs())
+    @settings(max_examples=25)
+    def test_detection_never_exceeds_cr_times_distance(self, pair):
+        n, f = pair
+        alg = ProportionalAlgorithm(n, f)
+        robots = alg.build()
+        cr = alg.theoretical_competitive_ratio()
+        for x in (1.0, -1.7, 3.14, -6.5):
+            t = kth_distinct_visit_time(robots, x, f + 1)
+            assert t <= cr * abs(x) * (1 + 1e-9)
+
+    @given(proportional_pairs(), st.floats(min_value=1.0, max_value=12.0))
+    @settings(max_examples=25)
+    def test_ratio_function_exceeds_one(self, pair, x):
+        """Time can never beat distance: K(x) >= 1 everywhere."""
+        n, f = pair
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+        assert fleet.competitive_ratio_at(x, f) >= 1.0
+
+    @given(proportional_pairs(), st.floats(min_value=1.05, max_value=2.95))
+    @settings(max_examples=20)
+    def test_lemma5_holds_for_any_beta(self, pair, beta):
+        """The Lemma 5 closed form upper-bounds the simulated ratio at
+        every probed point, for every cone slope."""
+        n, f = pair
+        alg = CustomBetaAlgorithm(n, f, beta=beta)
+        fleet = Fleet.from_algorithm(alg)
+        bound = schedule_competitive_ratio(beta, n, f)
+        for x in (1.0 + 1e-9, 2.0, -3.3):
+            assert fleet.competitive_ratio_at(x, f) <= bound * (1 + 1e-9)
+
+    @given(proportional_pairs())
+    @settings(max_examples=25)
+    def test_unit_speed_everywhere(self, pair):
+        """Every materialized segment of every robot respects |v| <= 1."""
+        n, f = pair
+        for robot in ProportionalAlgorithm(n, f).build():
+            for seg in robot.segments_until(30.0):
+                assert seg.speed <= 1.0 + 1e-9
+
+    @given(proportional_pairs())
+    @settings(max_examples=25)
+    def test_continuity_of_trajectories(self, pair):
+        """Positions change by at most dt over any dt window."""
+        n, f = pair
+        robots = ProportionalAlgorithm(n, f).build()
+        for robot in robots:
+            prev = robot.position_at(0.0)
+            for k in range(1, 40):
+                t = k * 0.5
+                cur = robot.position_at(t)
+                assert abs(cur - prev) <= 0.5 + 1e-9
+                prev = cur
+
+
+class TestOrderStatisticInvariants:
+    @given(
+        proportional_pairs(),
+        st.floats(min_value=1.0, max_value=8.0),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25)
+    def test_t_k_monotone_in_k(self, pair, x, k):
+        n, f = pair
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+        if k + 1 > n:
+            return
+        assert fleet.t_k(x, k) <= fleet.t_k(x, k + 1) + 1e-12
+
+    @given(proportional_pairs(), st.floats(min_value=1.0, max_value=8.0))
+    @settings(max_examples=25)
+    def test_symmetric_worst_case(self, pair, x):
+        """The combined schedule is mirror-symmetric in distribution:
+        sup K over +x and -x regions agree (Lemma 5's 'by symmetry')
+        — pointwise values differ, but both stay within the bound."""
+        n, f = pair
+        alg = ProportionalAlgorithm(n, f)
+        fleet = Fleet.from_algorithm(alg)
+        bound = alg.theoretical_competitive_ratio() * (1 + 1e-9)
+        assert fleet.competitive_ratio_at(x, f) <= bound
+        assert fleet.competitive_ratio_at(-x, f) <= bound
+
+
+class TestFormulaInvariants:
+    @given(st.integers(min_value=1, max_value=400))
+    def test_theorem1_between_3_and_9(self, f):
+        for n in (f + 1, 2 * f + 1):
+            value = algorithm_competitive_ratio(n, f)
+            assert 3.0 < value <= 9.0 + 1e-12
+
+    @given(proportional_pairs(max_f=30))
+    def test_regime_and_formula_consistency(self, pair):
+        n, f = pair
+        params = SearchParameters(n, f)
+        assert params.is_proportional
+        value = algorithm_competitive_ratio(n, f)
+        assert math.isfinite(value)
+        assert value > 1.0

@@ -1,0 +1,119 @@
+"""Scale stress tests and mutation detection.
+
+Two safety nets:
+
+* **scale** — the engine handles fleets far larger than Table 1's
+  biggest row without losing agreement with the closed forms;
+* **mutation** — deliberately corrupted schedules must NOT match the
+  Theorem 1 value, proving the measured=theory agreement elsewhere is
+  not vacuous.
+"""
+
+import pytest
+
+from repro.core import algorithm_competitive_ratio, optimal_beta
+from repro.geometry import Cone
+from repro.robots import Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.simulation import CompetitiveRatioEstimator, measure_competitive_ratio
+from repro.trajectory import ConeZigZag
+
+
+class TestScale:
+    @pytest.mark.parametrize("pair", [(101, 50), (201, 100), (151, 100)],
+                             ids=lambda p: f"n{p[0]}f{p[1]}")
+    def test_large_fleets_match_theorem1(self, pair):
+        n, f = pair
+        alg = ProportionalAlgorithm(n, f)
+        est = measure_competitive_ratio(alg, x_max=30.0)
+        assert est.matches(alg.theoretical_competitive_ratio(), tol=1e-6)
+
+    def test_large_fleet_expansion_factor(self):
+        alg = ProportionalAlgorithm(201, 100)
+        assert alg.expansion_factor == pytest.approx(202.0, rel=1e-9)
+
+    def test_asymptotic_convergence_visible(self):
+        """CR(2f+1, f) approaches 3 through genuinely simulated fleets."""
+        values = []
+        for f in (10, 50, 100):
+            n = 2 * f + 1
+            est = measure_competitive_ratio(
+                ProportionalAlgorithm(n, f), x_max=20.0
+            )
+            values.append(est.value)
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 3.12
+
+
+class TestMutationDetection:
+    """Corrupt the schedule in each structurally distinct way; the
+    measured ratio must move off the Theorem 1 value."""
+
+    def _measure(self, fleet, f):
+        return CompetitiveRatioEstimator(fleet, f, x_max=100.0).estimate()
+
+    def test_anchor_permutation_is_harmless(self):
+        """Anchors r^(2i) are a *permutation* of the proportional
+        schedule modulo the kappa^2 = r^n cycle — the measured ratio must
+        stay exactly at Theorem 1.  (Guards the estimator against
+        labeling artifacts.)"""
+        n, f = 3, 1
+        cone = Cone(optimal_beta(n, f))
+        r = ProportionalAlgorithm(n, f).proportionality_ratio
+        permuted = Fleet.from_trajectories(
+            [ConeZigZag(cone, (r * r) ** i) for i in range(n)]
+        )
+        est = self._measure(permuted, f)
+        assert est.value == pytest.approx(
+            algorithm_competitive_ratio(n, f), rel=1e-6
+        )
+
+    def test_wrong_anchor_spacing_detected(self):
+        """Clustered anchors (ratio 1.3 instead of r ~ 2.52) leave a wide
+        uncovered gap each cycle and must measure strictly worse."""
+        n, f = 3, 1
+        cone = Cone(optimal_beta(n, f))
+        corrupted = Fleet.from_trajectories(
+            [ConeZigZag(cone, 1.3**i) for i in range(n)]
+        )
+        est = self._measure(corrupted, f)
+        assert est.value > algorithm_competitive_ratio(n, f) + 0.05
+
+    def test_wrong_beta_detected(self):
+        """The right structure at the wrong cone slope is worse."""
+        n, f = 3, 1
+        from repro.schedule import CustomBetaAlgorithm
+
+        mistuned = CustomBetaAlgorithm(n, f, beta=2.5)
+        est = measure_competitive_ratio(mistuned, x_max=100.0)
+        assert est.value > algorithm_competitive_ratio(n, f) + 0.2
+
+    def test_duplicate_anchor_detected(self):
+        """Two robots sharing a turning point wastes one of them."""
+        n, f = 3, 1
+        beta = optimal_beta(n, f)
+        cone = Cone(beta)
+        alg = ProportionalAlgorithm(n, f)
+        r = alg.proportionality_ratio
+        corrupted = Fleet.from_trajectories(
+            [
+                ConeZigZag(cone, 1.0),
+                ConeZigZag(cone, 1.0),   # duplicate of a_0
+                ConeZigZag(cone, r**2),
+            ]
+        )
+        est = self._measure(corrupted, f)
+        assert est.value > algorithm_competitive_ratio(n, f) + 0.05
+
+    def test_missing_robot_detected(self):
+        """Dropping a robot (n-1 trajectories, same fault budget) is
+        catastrophically worse or undetectable."""
+        import math
+
+        alg = ProportionalAlgorithm(3, 1)
+        fleet = Fleet.from_trajectories(alg.build()[:2])
+        est = self._measure(fleet, 1)
+        assert (
+            math.isinf(est.value)
+            or est.value > algorithm_competitive_ratio(3, 1) + 0.1
+        )

@@ -1,0 +1,115 @@
+"""Unit tests for positive/negative trajectory classification (Lemmas 6-7)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.lowerbound.classify import (
+    TrajectoryClass,
+    classify_for,
+    lemma6_applies,
+    lemma7_deadline,
+    lemma7_holds,
+    visits_both_before,
+)
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.zigzag import ZigZagTrajectory
+
+
+class TestClassification:
+    def test_positive_trajectory(self):
+        # goes right past x, then left past -x: order 1, x, -1, -x
+        traj = ZigZagTrajectory([5.0, -5.0])
+        assert classify_for(traj, 2.0) is TrajectoryClass.POSITIVE
+
+    def test_negative_trajectory(self):
+        traj = ZigZagTrajectory([-5.0, 5.0])
+        assert classify_for(traj, 2.0) is TrajectoryClass.NEGATIVE
+
+    def test_neither_when_never_visits(self):
+        assert classify_for(LinearTrajectory(1), 2.0) is TrajectoryClass.NEITHER
+
+    def test_neither_when_interleaved(self):
+        # visits 1, -1, x, -x: neither order
+        traj = ZigZagTrajectory([1.5, -1.5, 5.0, -5.0])
+        assert classify_for(traj, 3.0) is TrajectoryClass.NEITHER
+
+    def test_doubling_is_neither_for_small_x(self):
+        # doubling visits 1, -1 (during leg to -2), then 2...
+        assert classify_for(DoublingTrajectory(), 1.5) is (
+            TrajectoryClass.NEITHER
+        )
+
+    def test_x_must_exceed_one(self):
+        with pytest.raises(InvalidParameterError):
+            classify_for(DoublingTrajectory(), 1.0)
+
+
+class TestVisitsBothBefore:
+    def test_true_case(self):
+        traj = ZigZagTrajectory([5.0, -5.0])
+        assert visits_both_before(traj, 2.0, deadline=100.0)
+
+    def test_strict_deadline(self):
+        traj = ZigZagTrajectory([5.0, -5.0])
+        t_last = traj.first_visit_time(-2.0)
+        assert not visits_both_before(traj, 2.0, deadline=t_last)
+        assert visits_both_before(traj, 2.0, deadline=t_last + 1e-9)
+
+    def test_never_visiting(self):
+        assert not visits_both_before(LinearTrajectory(1), 2.0, 1e9)
+
+    def test_invalid_magnitude(self):
+        with pytest.raises(InvalidParameterError):
+            visits_both_before(LinearTrajectory(1), -1.0, 10.0)
+
+
+class TestLemma6:
+    def test_fast_both_sides_must_classify(self):
+        """A robot visiting ±x before 3x+2 is positive or negative."""
+        x = 2.0
+        traj = ZigZagTrajectory([x + 0.5, -(x + 0.5)])
+        # visits x at 2.0, -x at 2.5+2.5+2 = ... well before 3x+2 = 8
+        assert visits_both_before(traj, x, 3 * x + 2)
+        assert lemma6_applies(traj, x)
+
+    def test_vacuous_when_slow(self):
+        assert lemma6_applies(LinearTrajectory(1), 2.0)
+
+    def test_lemma6_on_paper_algorithms(self, algorithm_3_1):
+        for traj in algorithm_3_1.build():
+            for x in (1.5, 2.0, 4.0, 8.0):
+                assert lemma6_applies(traj, x)
+
+    def test_invalid_x(self):
+        with pytest.raises(InvalidParameterError):
+            lemma6_applies(DoublingTrajectory(), 1.0)
+
+
+class TestLemma7:
+    def test_deadline_formula(self):
+        assert lemma7_deadline(4.0, 2.0) == 10.0
+        with pytest.raises(InvalidParameterError):
+            lemma7_deadline(0.5, 2.0)
+
+    def test_positive_trajectory_is_slow_on_pairs(self):
+        """A positive trajectory for x cannot do ±y before 2x + y."""
+        x, y = 3.0, 2.0
+        traj = ZigZagTrajectory([x + 1, -(x + 1)])
+        assert classify_for(traj, x) is TrajectoryClass.POSITIVE
+        assert lemma7_holds(traj, x, y)
+
+    def test_vacuous_for_neither(self):
+        assert lemma7_holds(LinearTrajectory(1), 2.0, 1.5)
+
+    def test_lemma7_on_paper_algorithms(self, algorithm_3_1):
+        for traj in algorithm_3_1.build():
+            for x in (2.0, 4.0):
+                for y in (1.5, 3.0):
+                    assert lemma7_holds(traj, x, y)
+
+    def test_lemma7_on_doubling(self):
+        d = DoublingTrajectory()
+        for x in (1.5, 3.0, 6.0):
+            for y in (1.0, 2.0, 5.0):
+                assert lemma7_holds(d, x, y)

@@ -1,0 +1,70 @@
+"""Exercising deeper ladder levels of the Theorem 2 game.
+
+All of the library's real algorithms lose to the adversary at ladder
+level 0 (they are too slow at ``±x_0`` already).  This module builds a
+hand-crafted fleet that *survives* level 0 — it covers ``±x_0`` fast
+enough with ``f+1`` robots per side — so the adversary is forced to
+descend to level 1, exercising the induction step of the proof.
+"""
+
+import pytest
+
+from repro.core.lower_bound import theorem2_lower_bound
+from repro.lowerbound.game import TheoremTwoGame
+from repro.lowerbound.ladder import TargetLadder
+from repro.robots.fleet import Fleet
+from repro.trajectory.linear import StationaryTrajectory
+from repro.trajectory.zigzag import ZigZagTrajectory
+
+
+def deep_fleet(alpha: float) -> Fleet:
+    """A 3-robot fleet (f = 1) that passes the level-0 check.
+
+    Ladder for n=3 at alpha just under ~3.76: x_0 ~ 2.63, x_1 ~ 1.91.
+    Robots A and B sweep out to ±2.7 and back across; both sides of
+    ``±x_0`` get two visitors before ``alpha * x_0 ~ 9.9``.  But at
+    ``x_1`` the deadline is ``alpha * x_1 ~ 7.2`` and the returning
+    robot crosses ``∓x_1`` only at ~7.3 — one visitor per side, so the
+    adversary wins at level 1.
+    """
+    sweep = 2.7
+    a = ZigZagTrajectory([sweep, -sweep, 50.0, -400.0])
+    b = ZigZagTrajectory([-sweep, sweep, -50.0, 400.0])
+    c = StationaryTrajectory()
+    return Fleet.from_trajectories([a, b, c])
+
+
+class TestDeepLadder:
+    def test_level0_survived(self):
+        alpha = theorem2_lower_bound(3) - 1e-9
+        fleet = deep_fleet(alpha)
+        game = TheoremTwoGame(fleet, f=1, alpha=alpha)
+        x0 = game.ladder.magnitude(0)
+        assert game.try_level(x0, 0) is None  # the fleet passes level 0
+
+    def test_adversary_wins_at_level_one(self):
+        alpha = theorem2_lower_bound(3) - 1e-9
+        fleet = deep_fleet(alpha)
+        witness = TheoremTwoGame(fleet, f=1, alpha=alpha).play()
+        assert witness.ladder_level == 1
+        assert witness.ratio >= alpha - 1e-6
+        # the witness target is one of ±x_1
+        ladder = TargetLadder(n=3, alpha=alpha)
+        assert abs(witness.target) == pytest.approx(ladder.magnitude(1))
+
+    def test_witness_detection_recomputable(self):
+        alpha = theorem2_lower_bound(3) - 1e-9
+        fleet = deep_fleet(alpha)
+        witness = TheoremTwoGame(fleet, f=1, alpha=alpha).play()
+        detection = fleet.with_faults(witness.faulty_robots).detection_time(
+            witness.target
+        )
+        assert detection == pytest.approx(witness.detection_time)
+
+    def test_pigeonhole_sees_level0_robot(self):
+        """At level 0, some single robot visits both ±x_0 early — the
+        pigeonhole diagnostic must find it."""
+        alpha = theorem2_lower_bound(3) - 1e-9
+        game = TheoremTwoGame(deep_fleet(alpha), f=1, alpha=alpha)
+        diag = dict(game.pigeonhole_robots())
+        assert diag[0] is not None

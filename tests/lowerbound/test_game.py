@@ -1,0 +1,104 @@
+"""Unit tests for the executable Theorem 2 adversary game."""
+
+import pytest
+
+from repro.baselines.group_doubling import GroupDoubling
+from repro.baselines.naive import DelayedGroupDoubling, SplitDoubling
+from repro.core.lower_bound import theorem2_lower_bound
+from repro.errors import InvalidParameterError
+from repro.lowerbound.game import TheoremTwoGame
+from repro.robots.fleet import Fleet
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.schedule.generalized import CustomBetaAlgorithm
+
+
+def game_for(algorithm, f, alpha=None):
+    return TheoremTwoGame(Fleet.from_algorithm(algorithm), f=f, alpha=alpha)
+
+
+class TestConstruction:
+    def test_default_alpha_is_near_root(self, fleet_3_1):
+        game = TheoremTwoGame(fleet_3_1, f=1)
+        assert game.alpha == pytest.approx(theorem2_lower_bound(3), abs=1e-6)
+
+    def test_rejects_trivial_regime(self):
+        from repro.baselines.two_group import TwoGroupAlgorithm
+
+        fleet = Fleet.from_algorithm(TwoGroupAlgorithm(4, 1))
+        with pytest.raises(InvalidParameterError):
+            TheoremTwoGame(fleet, f=1)
+
+    def test_rejects_bad_alpha(self, fleet_3_1):
+        with pytest.raises(InvalidParameterError):
+            TheoremTwoGame(fleet_3_1, f=1, alpha=2.9)
+        # alpha above the Theorem 2 root breaks the ladder
+        with pytest.raises(InvalidParameterError):
+            TheoremTwoGame(fleet_3_1, f=1, alpha=5.0)
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ProportionalAlgorithm(3, 1),
+            lambda: ProportionalAlgorithm(5, 2),
+            lambda: ProportionalAlgorithm(5, 3),
+            lambda: GroupDoubling(3, 1),
+            lambda: SplitDoubling(3, 1),
+            lambda: DelayedGroupDoubling(5, 2, delay=0.7),
+            lambda: CustomBetaAlgorithm(3, 1, beta=2.5),
+        ],
+        ids=["A31", "A52", "A53", "group", "split", "delayed", "custom"],
+    )
+    def test_adversary_always_wins(self, make):
+        algorithm = make()
+        game = game_for(algorithm, algorithm.f)
+        witness = game.play()
+        assert witness.ratio >= game.alpha - 1e-6
+        assert len(witness.faulty_robots) <= algorithm.f
+
+    def test_witness_detection_consistent(self, fleet_3_1):
+        game = TheoremTwoGame(fleet_3_1, f=1)
+        witness = game.play()
+        recomputed = fleet_3_1.with_faults(
+            witness.faulty_robots
+        ).detection_time(witness.target)
+        assert recomputed == pytest.approx(witness.detection_time)
+
+    def test_witness_describe(self, fleet_3_1):
+        witness = TheoremTwoGame(fleet_3_1, f=1).play()
+        assert "target" in witness.describe()
+
+    def test_weaker_alpha_also_enforced(self, fleet_3_1):
+        game = TheoremTwoGame(fleet_3_1, f=1, alpha=3.3)
+        witness = game.play()
+        assert witness.ratio >= 3.3 - 1e-9
+
+
+class TestGameInternals:
+    def test_early_visitors(self, fleet_3_1):
+        game = TheoremTwoGame(fleet_3_1, f=1)
+        # at a generous deadline everybody has visited +1
+        assert game.early_visitors(1.0, 1e6) == {0, 1, 2}
+        assert game.early_visitors(1.0, 0.1) == set()
+
+    def test_try_level_returns_none_when_covered(self):
+        """If f+1 robots visit both sides early, the level yields nothing."""
+        from repro.trajectory.zigzag import ZigZagTrajectory
+
+        # three hand-built robots that all sweep +-4 well before 3.5 * 4
+        fleet = Fleet.from_trajectories(
+            [
+                ZigZagTrajectory([4.5, -6.0]),   # +4 at t=4, -4 at t=13
+                ZigZagTrajectory([4.5, -6.0]),
+                ZigZagTrajectory([-4.5, 6.0]),   # mirrored
+            ]
+        )
+        game = TheoremTwoGame(fleet, f=1, alpha=3.5)
+        assert game.try_level(4.0, level=0) is None
+
+    def test_pigeonhole_diagnostics(self, fleet_3_1):
+        game = TheoremTwoGame(fleet_3_1, f=1)
+        diag = game.pigeonhole_robots()
+        assert len(diag) == 3
+        assert all(level == i for i, (level, _) in enumerate(diag))

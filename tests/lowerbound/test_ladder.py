@@ -1,0 +1,76 @@
+"""Unit tests for the Theorem 2 target ladder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lower_bound import theorem2_lower_bound, theorem2_residual
+from repro.errors import InvalidParameterError
+from repro.lowerbound.ladder import TargetLadder
+
+
+class TestConstruction:
+    def test_basic(self):
+        ladder = TargetLadder(n=3, alpha=3.5)
+        assert ladder.magnitudes() == pytest.approx([4.0, 3.2, 2.56])
+
+    def test_alpha_above_bound_rejected(self):
+        # alpha = 4 violates (alpha-1)^3 (alpha-3) <= 16 (27 > 16)
+        with pytest.raises(InvalidParameterError):
+            TargetLadder(n=3, alpha=4.0)
+
+    def test_alpha_below_three_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TargetLadder(n=3, alpha=2.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            TargetLadder(n=0, alpha=3.5)
+
+    def test_index_bounds(self):
+        ladder = TargetLadder(n=3, alpha=3.5)
+        with pytest.raises(InvalidParameterError):
+            ladder.magnitude(3)
+        with pytest.raises(InvalidParameterError):
+            ladder.magnitude(-1)
+
+
+class TestStructure:
+    def test_equation16_recurrence(self):
+        ladder = TargetLadder(n=5, alpha=3.3)
+        assert ladder.recurrence_holds()
+
+    def test_equation20_ordering(self):
+        ladder = TargetLadder(n=5, alpha=3.3)
+        assert ladder.ordered_descending_above_one()
+
+    def test_all_targets_order(self):
+        ladder = TargetLadder(n=2, alpha=3.8)
+        targets = ladder.all_targets()
+        assert len(targets) == 2 * 2 + 2
+        assert targets[-2:] == [1.0, -1.0]
+        # pairs: (x_i, -x_i)
+        assert targets[0] == -targets[1]
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_valid_alpha_gives_valid_ladder(self, n, frac):
+        # any alpha strictly between 3 and the Theorem 2 root is valid
+        alpha = 3.0 + frac * (theorem2_lower_bound(n) - 3.0 - 1e-9)
+        assert theorem2_residual(alpha, n) <= 0
+        ladder = TargetLadder(n=n, alpha=alpha)
+        assert ladder.recurrence_holds()
+        assert ladder.ordered_descending_above_one()
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_ladder_at_exact_bound(self, n):
+        """The ladder built at (just under) the Theorem 2 root is valid."""
+        alpha = theorem2_lower_bound(n) - 1e-9
+        ladder = TargetLadder(n=n, alpha=alpha)
+        assert ladder.ordered_descending_above_one()
+        # at the exact root, x_{n-1} = (alpha-1)/2 (Equation 18-19)
+        assert ladder.magnitude(n - 1) == pytest.approx(
+            (alpha - 1) / 2, rel=1e-4
+        )

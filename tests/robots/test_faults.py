@@ -1,0 +1,94 @@
+"""Unit tests for fault models."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robots.faults import AdversarialFaults, FixedFaults, RandomFaults
+from repro.robots.fleet import Fleet
+from repro.trajectory.linear import LinearTrajectory
+
+
+def make_fleet(n=4):
+    # alternating directions with decreasing speed
+    return Fleet.from_trajectories(
+        [
+            LinearTrajectory(1 if i % 2 == 0 else -1, speed=1.0 / (1 + i))
+            for i in range(n)
+        ]
+    )
+
+
+class TestAdversarialFaults:
+    def test_corrupts_earliest_visitors(self):
+        fleet = make_fleet()
+        model = AdversarialFaults(1)
+        # target +2: visited by robots 0 (t=2) and 2 (t=6)
+        assert model.assign(fleet, 2.0) == {0}
+
+    def test_detection_equals_order_statistic(self):
+        fleet = make_fleet()
+        model = AdversarialFaults(1)
+        assert model.detection_time(fleet, 2.0) == fleet.t_k(2.0, 2)
+
+    def test_zero_budget_no_faults(self):
+        fleet = make_fleet()
+        assert AdversarialFaults(0).assign(fleet, 1.0) == set()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AdversarialFaults(-1)
+
+    def test_describe(self):
+        assert "f=2" in AdversarialFaults(2).describe()
+
+
+class TestFixedFaults:
+    def test_assignment_independent_of_target(self):
+        fleet = make_fleet()
+        model = FixedFaults([1, 3])
+        assert model.assign(fleet, 2.0) == {1, 3}
+        assert model.assign(fleet, -2.0) == {1, 3}
+        assert model.fault_budget == 2
+
+    def test_out_of_range_rejected_at_assign(self):
+        model = FixedFaults([7])
+        with pytest.raises(InvalidParameterError):
+            model.assign(make_fleet(4), 1.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FixedFaults([-1])
+
+    def test_duplicates_collapse(self):
+        assert FixedFaults([1, 1, 2]).fault_budget == 2
+
+
+class TestRandomFaults:
+    def test_budget_respected(self):
+        fleet = make_fleet(5)
+        model = RandomFaults(2, seed=42)
+        for _ in range(10):
+            assert len(model.assign(fleet, 1.0)) == 2
+
+    def test_seed_reproducibility(self):
+        fleet = make_fleet(5)
+        a = RandomFaults(2, seed=7)
+        b = RandomFaults(2, seed=7)
+        assert [a.assign(fleet, 1.0) for _ in range(5)] == [
+            b.assign(fleet, 1.0) for _ in range(5)
+        ]
+
+    def test_budget_exceeding_fleet_rejected(self):
+        model = RandomFaults(10, seed=0)
+        with pytest.raises(InvalidParameterError):
+            model.assign(make_fleet(3), 1.0)
+
+    def test_random_never_worse_than_adversarial(self):
+        """The adversarial model upper-bounds every fault assignment."""
+        fleet = make_fleet(5)
+        adv = AdversarialFaults(2)
+        rnd = RandomFaults(2, seed=3)
+        for x in (1.0, -2.0, 3.0):
+            worst = adv.detection_time(fleet, x)
+            for _ in range(20):
+                assert rnd.detection_time(fleet, x) <= worst + 1e-9

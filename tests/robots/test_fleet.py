@@ -1,0 +1,139 @@
+"""Unit tests for Fleet visit statistics and detection semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+from repro.robots.robot import Robot
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+
+
+class TestConstruction:
+    def test_from_trajectories(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1), LinearTrajectory(-1)])
+        assert fleet.size == 2
+        assert fleet[0].name == "a_0"
+
+    def test_from_algorithm(self, algorithm_3_1):
+        fleet = Fleet.from_algorithm(algorithm_3_1)
+        assert fleet.size == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Fleet([])
+
+    def test_misindexed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Fleet([Robot(1, LinearTrajectory(1))])
+
+    def test_iteration(self, fleet_3_1):
+        assert [r.index for r in fleet_3_1] == [0, 1, 2]
+        assert len(fleet_3_1) == 3
+
+
+class TestFaultAssignment:
+    def test_with_faults(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(1), LinearTrajectory(-1)]
+        )
+        marked = fleet.with_faults({0, 2})
+        assert marked[0].faulty is True
+        assert marked[1].faulty is False
+        assert marked[2].faulty is True
+        # original unchanged
+        assert fleet[0].faulty is None
+
+    def test_out_of_range_rejected(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        with pytest.raises(InvalidParameterError):
+            fleet.with_faults({3})
+
+
+class TestVisitStatistics:
+    def test_t_k_order(self):
+        fleet = Fleet.from_trajectories(
+            [
+                LinearTrajectory(1, speed=1.0),
+                LinearTrajectory(1, speed=0.5),
+                LinearTrajectory(-1),
+            ]
+        )
+        assert fleet.t_k(2.0, 1) == pytest.approx(2.0)
+        assert fleet.t_k(2.0, 2) == pytest.approx(4.0)
+        assert fleet.t_k(2.0, 3) == math.inf
+
+    def test_visiting_order(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1, speed=0.5), LinearTrajectory(1)]
+        )
+        assert fleet.visiting_order(1.0) == [1, 0]
+
+
+class TestDetection:
+    def test_detection_with_explicit_faults(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(1, speed=0.5)]
+        ).with_faults({0})
+        # robot 0 (fast) is faulty: detection by robot 1 at 2/0.5
+        assert fleet.detection_time(2.0) == pytest.approx(4.0)
+
+    def test_no_reliable_visitor_is_inf(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(-1)]
+        ).with_faults({0})
+        assert fleet.detection_time(2.0) == math.inf
+
+    def test_worst_case_equals_order_statistic(self, fleet_3_1):
+        for x in (1.0, -2.0, 3.3):
+            assert fleet_3_1.worst_case_detection_time(
+                x, 1
+            ) == fleet_3_1.t_k(x, 2)
+
+    def test_worst_fault_assignment_realizes_worst_case(self, fleet_3_1):
+        x = 2.0
+        faults = fleet_3_1.worst_fault_assignment(x, 1)
+        assert len(faults) == 1
+        detection = fleet_3_1.with_faults(faults).detection_time(x)
+        assert detection == pytest.approx(
+            fleet_3_1.worst_case_detection_time(x, 1)
+        )
+
+    def test_zero_budget(self, fleet_3_1):
+        assert fleet_3_1.worst_case_detection_time(2.0, 0) == fleet_3_1.t_k(
+            2.0, 1
+        )
+        assert fleet_3_1.worst_fault_assignment(2.0, 0) == set()
+
+    def test_negative_budget_rejected(self, fleet_3_1):
+        with pytest.raises(InvalidParameterError):
+            fleet_3_1.worst_case_detection_time(1.0, -1)
+        with pytest.raises(InvalidParameterError):
+            fleet_3_1.worst_fault_assignment(1.0, -1)
+
+    def test_competitive_ratio_at(self, fleet_3_1):
+        k = fleet_3_1.competitive_ratio_at(2.0, 1)
+        assert k == fleet_3_1.worst_case_detection_time(2.0, 1) / 2.0
+        with pytest.raises(InvalidParameterError):
+            fleet_3_1.competitive_ratio_at(0.0, 1)
+
+    def test_adversary_optimality(self):
+        """Corrupting the earliest visitors is the worst assignment:
+        no other f-subset delays detection more."""
+        import itertools
+
+        fleet = Fleet.from_trajectories(
+            [DoublingTrajectory(), DoublingTrajectory(first_direction=-1),
+             LinearTrajectory(1)]
+        )
+        x, f = 1.5, 1
+        worst = fleet.worst_case_detection_time(x, f)
+        for subset in itertools.combinations(range(3), f):
+            detection = fleet.with_faults(subset).detection_time(x)
+            assert detection <= worst + 1e-9
+
+    def test_describe(self, fleet_3_1):
+        text = fleet_3_1.describe()
+        assert "a_0" in text and "a_2" in text

@@ -1,0 +1,45 @@
+"""Unit tests for the Robot entity."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robots.robot import Robot
+from repro.trajectory.doubling import DoublingTrajectory
+
+
+class TestRobot:
+    def test_basic(self):
+        r = Robot(2, DoublingTrajectory())
+        assert r.name == "a_2"
+        assert r.faulty is None
+        assert r.can_detect  # undecided counts as reliable
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Robot(-1, DoublingTrajectory())
+        with pytest.raises(InvalidParameterError):
+            Robot(0, "not a trajectory")
+        with pytest.raises(InvalidParameterError):
+            Robot(True, DoublingTrajectory())
+
+    def test_fault_marking(self):
+        r = Robot(0, DoublingTrajectory())
+        faulty = r.as_faulty()
+        reliable = r.as_reliable()
+        assert faulty.faulty is True
+        assert not faulty.can_detect
+        assert reliable.faulty is False
+        assert reliable.can_detect
+        # trajectory is shared, not copied
+        assert faulty.trajectory is r.trajectory
+
+    def test_delegation(self):
+        r = Robot(0, DoublingTrajectory())
+        assert r.position_at(0.5) == pytest.approx(0.5)
+        assert r.first_visit_time(-1.0) == pytest.approx(3.0)
+
+    def test_describe_shows_status(self):
+        r = Robot(0, DoublingTrajectory())
+        assert "undecided" in r.describe()
+        assert "FAULTY" in r.as_faulty().describe()
+        assert "reliable" in r.as_reliable().describe()

@@ -1,0 +1,80 @@
+"""Unit tests for the paper's algorithm A(n, f)."""
+
+import pytest
+
+from repro.core.optimal import optimal_beta, optimal_expansion_factor
+from repro.errors import InvalidParameterError
+from repro.schedule.algorithm import ProportionalAlgorithm
+from repro.trajectory.visits import kth_distinct_visit_time
+
+
+class TestConstruction:
+    def test_rejects_non_proportional(self):
+        with pytest.raises(InvalidParameterError):
+            ProportionalAlgorithm(4, 1)
+        with pytest.raises(InvalidParameterError):
+            ProportionalAlgorithm(3, 3)
+
+    def test_uses_optimal_beta(self, proportional_pair):
+        n, f = proportional_pair
+        alg = ProportionalAlgorithm(n, f)
+        assert alg.beta == pytest.approx(optimal_beta(n, f))
+        assert alg.expansion_factor == pytest.approx(
+            optimal_expansion_factor(n, f), rel=1e-9
+        )
+
+    def test_builds_n_trajectories(self, proportional_pair):
+        n, f = proportional_pair
+        assert len(ProportionalAlgorithm(n, f).build()) == n
+
+    def test_fresh_build_each_call(self, algorithm_3_1):
+        a = algorithm_3_1.build()
+        b = algorithm_3_1.build()
+        assert a[0] is not b[0]
+
+    def test_name_and_describe(self, algorithm_3_1):
+        assert algorithm_3_1.name == "A(3,1)"
+        assert "5.233" in algorithm_3_1.describe()
+
+
+class TestBehavior:
+    def test_all_start_at_origin(self, algorithm_3_1):
+        for traj in algorithm_3_1.build():
+            assert traj.position_at(0.0) == 0.0
+
+    def test_coverage_requirement(self, proportional_pair):
+        """Every |x| >= 1 is eventually visited by f+1 distinct robots
+        (the validity condition for search with f faults)."""
+        import math
+
+        n, f = proportional_pair
+        if n > 11:
+            pytest.skip("large-fleet coverage checked in integration tests")
+        robots = ProportionalAlgorithm(n, f).build()
+        for x in (1.0, -1.0, 2.5, -3.7, 10.0):
+            t = kth_distinct_visit_time(robots, x, f + 1)
+            assert math.isfinite(t)
+
+    def test_detection_time_bounded_by_cr(self, proportional_pair):
+        n, f = proportional_pair
+        if n > 11:
+            pytest.skip("large fleets exercised in integration tests")
+        alg = ProportionalAlgorithm(n, f)
+        robots = alg.build()
+        cr = alg.theoretical_competitive_ratio()
+        for x in (1.0, -1.5, 2.0, -4.2, 7.9):
+            t = kth_distinct_visit_time(robots, x, f + 1)
+            assert t <= cr * abs(x) * (1 + 1e-9)
+
+    def test_lemma4_at_tau0(self, proportional_pair):
+        """T_{f+1}(tau_0) matches Lemma 4's closed form exactly."""
+        from repro.core.proportional import t_f_plus_1_at_turning_point
+
+        n, f = proportional_pair
+        alg = ProportionalAlgorithm(n, f)
+        robots = alg.build()
+        expected = t_f_plus_1_at_turning_point(alg.beta, n, f, tau0=1.0)
+        # just past tau_0 = 1, the (f+1)-st visitor arrives at T_{f+1}
+        x = 1.0 + 1e-9
+        actual = kth_distinct_visit_time(robots, x, f + 1)
+        assert actual == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,61 @@
+"""Unit tests for custom-beta (non-optimal) proportional schedules."""
+
+import pytest
+
+from repro.core.competitive_ratio import (
+    algorithm_competitive_ratio,
+    schedule_competitive_ratio,
+)
+from repro.core.optimal import optimal_beta
+from repro.errors import InvalidParameterError
+from repro.schedule.generalized import CustomBetaAlgorithm
+
+
+class TestCustomBeta:
+    def test_basic(self):
+        alg = CustomBetaAlgorithm(3, 1, beta=2.0)
+        assert alg.beta == 2.0
+        assert len(alg.build()) == 3
+
+    def test_theoretical_cr_is_lemma5(self):
+        alg = CustomBetaAlgorithm(5, 2, beta=1.7)
+        assert alg.theoretical_competitive_ratio() == pytest.approx(
+            schedule_competitive_ratio(1.7, 5, 2)
+        )
+
+    def test_optimal_beta_recovers_theorem1(self):
+        n, f = 5, 3
+        alg = CustomBetaAlgorithm(n, f, beta=optimal_beta(n, f))
+        assert alg.theoretical_competitive_ratio() == pytest.approx(
+            algorithm_competitive_ratio(n, f), rel=1e-12
+        )
+
+    def test_suboptimal_beta_is_worse(self):
+        n, f = 3, 1
+        best = algorithm_competitive_ratio(n, f)
+        for beta in (1.2, 2.2, 2.9):
+            alg = CustomBetaAlgorithm(n, f, beta=beta)
+            assert alg.theoretical_competitive_ratio() > best
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            CustomBetaAlgorithm(3, 1, beta=1.0)
+        with pytest.raises(InvalidParameterError):
+            CustomBetaAlgorithm(4, 1, beta=2.0)  # trivial regime
+
+    def test_name_mentions_beta(self):
+        assert "beta" in CustomBetaAlgorithm(3, 1, beta=2.0).name
+
+    def test_measured_matches_lemma5(self):
+        """The simulated fleet at a non-optimal beta still matches the
+        Lemma 5 closed form — the formula holds for every beta."""
+        from repro.robots import Fleet
+        from repro.simulation import CompetitiveRatioEstimator
+
+        alg = CustomBetaAlgorithm(3, 1, beta=2.4)
+        est = CompetitiveRatioEstimator(
+            Fleet.from_algorithm(alg), fault_budget=1, x_max=80.0
+        )
+        assert est.estimate().value == pytest.approx(
+            alg.theoretical_competitive_ratio(), rel=1e-6
+        )

@@ -1,0 +1,115 @@
+"""Unit tests for the executable proportional schedule S_beta(n)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.proportional import proportionality_ratio
+from repro.errors import InvalidParameterError, ScheduleError
+from repro.schedule.proportional_schedule import ProportionalSchedule
+
+betas = st.floats(min_value=1.1, max_value=5.0)
+ns = st.integers(min_value=1, max_value=8)
+
+
+class TestConstruction:
+    def test_basic(self):
+        sched = ProportionalSchedule(n=3, beta=2.0)
+        assert sched.n == 3
+        assert sched.beta == 2.0
+        assert sched.ratio == pytest.approx(3.0 ** (2 / 3))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            ProportionalSchedule(n=0, beta=2.0)
+        with pytest.raises(InvalidParameterError):
+            ProportionalSchedule(n=3, beta=1.0)
+        with pytest.raises(InvalidParameterError):
+            ProportionalSchedule(n=3, beta=2.0, tau0=-1.0)
+        with pytest.raises(InvalidParameterError):
+            ProportionalSchedule(n=3, beta=2.0, inner_radius=0.0)
+
+    def test_anchor_sequence(self):
+        sched = ProportionalSchedule(n=2, beta=3.0)
+        assert sched.anchors == pytest.approx((1.0, 2.0))
+
+    def test_build_count(self):
+        sched = ProportionalSchedule(n=5, beta=1.5)
+        assert len(sched.build()) == 5
+
+
+class TestDefinition4:
+    def test_robot0_starts_at_tau0(self):
+        sched = ProportionalSchedule(n=3, beta=2.0)
+        robots = sched.build()
+        assert robots[0].first_cone_turn == pytest.approx(1.0)
+
+    def test_others_extended_backward(self):
+        sched = ProportionalSchedule(n=3, beta=2.0)
+        robots = sched.build()
+        for robot in robots[1:]:
+            assert abs(robot.first_cone_turn) < 1.0 + 1e-9
+
+    def test_all_reach_first_turn_on_boundary(self):
+        beta = 2.0
+        sched = ProportionalSchedule(n=4, beta=beta)
+        for robot in sched.build():
+            turn = robot.first_cone_turn
+            assert robot.first_visit_time(turn) == pytest.approx(
+                beta * abs(turn), rel=1e-9
+            )
+
+
+class TestProportionality:
+    def test_verify_passes_for_built_schedules(self):
+        for n, beta in ((2, 3.0), (3, 2.0), (5, 1.4), (4, 1.8)):
+            ProportionalSchedule(n=n, beta=beta).verify_proportionality()
+
+    def test_verify_rejects_bad_count(self):
+        sched = ProportionalSchedule(n=2, beta=3.0)
+        with pytest.raises(InvalidParameterError):
+            sched.verify_proportionality(count=2)
+
+    def test_combined_points_geometric(self):
+        sched = ProportionalSchedule(n=2, beta=3.0)
+        pts = sched.combined_positive_turning_points(5)
+        assert pts == pytest.approx([1.0, 2.0, 4.0, 8.0, 16.0])
+
+    def test_owner_cycles(self):
+        sched = ProportionalSchedule(n=3, beta=2.0)
+        owners = [sched.owner_of_combined_point(j) for j in range(7)]
+        assert owners == [0, 1, 2, 0, 1, 2, 0]
+        with pytest.raises(InvalidParameterError):
+            sched.owner_of_combined_point(-1)
+
+    @given(ns, betas)
+    def test_turning_points_interleave(self, n, beta):
+        """Lemma 2 structure: between two consecutive positive turns of
+        one robot there is exactly one turn of each other robot."""
+        sched = ProportionalSchedule(n=n, beta=beta)
+        robots = sched.build()
+        horizon = sched.tau0 * sched.ratio ** (3 * n)
+        points = []
+        for index, robot in enumerate(robots):
+            for vertex in robot.turning_points_in_radius(horizon):
+                if vertex.position >= sched.tau0 * (1 - 1e-9):
+                    points.append((vertex.position, index))
+        points.sort()
+        owners = [idx for _, idx in points]
+        # owners must cycle 0, 1, ..., n-1, 0, 1, ...
+        for j, owner in enumerate(owners[: 2 * n]):
+            assert owner == j % n
+
+    @given(ns, betas)
+    def test_ratio_matches_core_formula(self, n, beta):
+        sched = ProportionalSchedule(n=n, beta=beta)
+        assert sched.ratio == pytest.approx(
+            proportionality_ratio(beta, n), rel=1e-12
+        )
+
+    def test_verify_detects_corruption(self):
+        """verify_proportionality must actually catch a broken schedule."""
+        sched = ProportionalSchedule(n=3, beta=2.0)
+        sched.ratio = sched.ratio * 1.05  # corrupt the expected ratio
+        with pytest.raises(ScheduleError):
+            sched.verify_proportionality()

@@ -1,0 +1,105 @@
+"""Unit tests for the algorithm admissibility validator."""
+
+import pytest
+
+from repro.baselines import GroupDoubling, SplitDoubling, TwoGroupAlgorithm
+from repro.core import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule import ProportionalAlgorithm, SearchAlgorithm
+from repro.schedule.validation import validate_algorithm
+from repro.trajectory import LinearTrajectory, ZigZagTrajectory
+
+
+class OneSided(SearchAlgorithm):
+    """Invalid: everyone runs right, the left half-line is uncovered."""
+
+    def build(self):
+        return [LinearTrajectory(1) for _ in range(self.n)]
+
+
+class WrongCount(SearchAlgorithm):
+    def build(self):
+        return [LinearTrajectory(1)]
+
+
+class TooFewVisitors(SearchAlgorithm):
+    """Covers the whole line but only once per side: invalid for f >= 1."""
+
+    def build(self):
+        return [
+            ZigZagTrajectory([1.0, -2.0, 4.0, -8.0, 16.0, -32.0]),
+            LinearTrajectory(1),
+            LinearTrajectory(-1),
+        ]
+
+
+class TestValidAlgorithms:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ProportionalAlgorithm(3, 1),
+            lambda: ProportionalAlgorithm(5, 2),
+            lambda: TwoGroupAlgorithm(4, 1),
+            lambda: GroupDoubling(3, 1),
+            lambda: SplitDoubling(3, 1),
+        ],
+        ids=["A31", "A52", "twogroup", "group", "split"],
+    )
+    def test_paper_algorithms_admissible(self, make):
+        report = validate_algorithm(make())
+        assert report.ok, report.describe()
+
+    def test_report_describe(self):
+        report = validate_algorithm(ProportionalAlgorithm(3, 1))
+        assert "ADMISSIBLE" in report.describe()
+        assert report.checked_targets
+
+
+class TestInvalidAlgorithms:
+    def test_one_sided_rejected(self):
+        report = validate_algorithm(OneSided(SearchParameters(3, 1)))
+        assert not report.ok
+        assert any("never visited" in i.message for i in report.issues)
+
+    def test_wrong_count_rejected(self):
+        report = validate_algorithm(WrongCount(SearchParameters(3, 1)))
+        assert not report.ok
+        assert any("returned 1 trajectories" in i.message
+                   for i in report.issues)
+
+    def test_insufficient_coverage_rejected(self):
+        """A fleet where some targets get only f visitors fails.
+
+        With f=1 we need 2 distinct visitors everywhere; the zig-zag
+        robot covers both sides but each straight robot covers one, so
+        points beyond the zig-zag's last turn on the 'wrong' side only
+        ever see one robot... within the finite probe range the zig-zag
+        turns at -32/16, so probes inside are fine; shrink its reach.
+        """
+        report = validate_algorithm(
+            TooFewVisitors(SearchParameters(3, 2))  # need 3 visitors
+        )
+        assert not report.ok
+
+    def test_rejected_report_mentions_rejection(self):
+        report = validate_algorithm(OneSided(SearchParameters(3, 1)))
+        assert "REJECTED" in report.describe()
+
+
+class TestValidationParameters:
+    def test_bad_parameters(self):
+        alg = ProportionalAlgorithm(3, 1)
+        with pytest.raises(InvalidParameterError):
+            validate_algorithm(alg, x_max=1.0)
+        with pytest.raises(InvalidParameterError):
+            validate_algorithm(alg, probes_per_sign=0)
+        with pytest.raises(InvalidParameterError):
+            validate_algorithm(alg, detection_budget_factor=1.0)
+
+    def test_budget_warning(self):
+        """A very tight detection budget triggers warnings but not
+        rejection."""
+        alg = ProportionalAlgorithm(2, 1)  # CR 9
+        report = validate_algorithm(alg, detection_budget_factor=5.0)
+        assert report.ok  # warnings only
+        assert any(i.severity == "warning" for i in report.issues)

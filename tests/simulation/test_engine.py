@@ -1,0 +1,114 @@
+"""Unit tests for the search simulation engine."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robots.faults import AdversarialFaults, FixedFaults
+from repro.robots.fleet import Fleet
+from repro.simulation.engine import SearchSimulation, simulate_search
+from repro.simulation.events import DetectionEvent, TargetVisitEvent, TurnEvent
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+
+
+class TestBasicRuns:
+    def test_single_doubling(self):
+        outcome = simulate_search([DoublingTrajectory()], target=-1.0)
+        assert outcome.detected
+        assert outcome.detection_time == pytest.approx(3.0)
+        assert outcome.detecting_robot == 0
+        assert outcome.competitive_ratio == pytest.approx(3.0)
+
+    def test_adversarial_fault(self, fleet_3_1):
+        sim = SearchSimulation(fleet_3_1, 2.0, AdversarialFaults(1))
+        outcome = sim.run()
+        assert outcome.detected
+        assert len(outcome.faulty_robots) == 1
+        # detection equals the order statistic T_2(2.0)
+        assert outcome.detection_time == pytest.approx(fleet_3_1.t_k(2.0, 2))
+
+    def test_fixed_faults(self):
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1), LinearTrajectory(1, speed=0.5)]
+        )
+        sim = SearchSimulation(fleet, 2.0, FixedFaults([0]))
+        outcome = sim.run()
+        assert outcome.detection_time == pytest.approx(4.0)
+        assert outcome.detecting_robot == 1
+
+    def test_undetectable_target(self):
+        fleet = Fleet.from_trajectories([LinearTrajectory(1)])
+        sim = SearchSimulation(fleet, -2.0)
+        outcome = sim.run()
+        assert not outcome.detected
+        assert outcome.detection_time == math.inf
+        assert outcome.detecting_robot is None
+
+    def test_invalid_target(self, fleet_3_1):
+        with pytest.raises(InvalidParameterError):
+            SearchSimulation(fleet_3_1, 0.0)
+        with pytest.raises(InvalidParameterError):
+            SearchSimulation(fleet_3_1, math.inf)
+
+    def test_invalid_fleet(self):
+        with pytest.raises(InvalidParameterError):
+            SearchSimulation("not a fleet", 1.0)
+
+
+class TestEventLog:
+    def test_events_sorted_and_complete(self, fleet_3_1):
+        sim = SearchSimulation(fleet_3_1, 2.0, AdversarialFaults(1))
+        outcome = sim.run()
+        times = [e.time for e in outcome.events]
+        assert times == sorted(times)
+        assert isinstance(outcome.events[-1], DetectionEvent)
+        assert any(isinstance(e, TurnEvent) for e in outcome.events)
+
+    def test_faulty_visits_logged_as_misses(self, fleet_3_1):
+        sim = SearchSimulation(fleet_3_1, 2.0, AdversarialFaults(1))
+        outcome = sim.run()
+        misses = [
+            e
+            for e in outcome.events
+            if isinstance(e, TargetVisitEvent) and not e.detected
+        ]
+        assert misses  # the corrupted robot passed the target earlier
+        assert all(e.robot_index in outcome.faulty_robots for e in misses)
+
+    def test_without_events(self, fleet_3_1):
+        outcome = SearchSimulation(fleet_3_1, 2.0).run(with_events=False)
+        assert outcome.events == ()
+        assert outcome.detected
+
+    def test_describe_readable(self, fleet_3_1):
+        outcome = SearchSimulation(
+            fleet_3_1, 2.0, AdversarialFaults(1)
+        ).run()
+        text = outcome.describe()
+        assert "target" in text
+        assert "detection" in text
+
+    def test_events_stop_at_detection(self, fleet_3_1):
+        outcome = SearchSimulation(
+            fleet_3_1, 2.0, AdversarialFaults(1)
+        ).run()
+        assert all(
+            e.time <= outcome.detection_time + 1e-9 for e in outcome.events
+        )
+
+
+class TestConvenienceWrapper:
+    def test_simulate_search_defaults(self):
+        outcome = simulate_search(
+            [LinearTrajectory(1), LinearTrajectory(-1)], target=3.0
+        )
+        assert outcome.detection_time == pytest.approx(3.0)
+
+    def test_simulate_search_with_budget(self, algorithm_3_1):
+        outcome = simulate_search(
+            algorithm_3_1.build(), target=1.5, fault_budget=1
+        )
+        assert outcome.detected
+        assert outcome.competitive_ratio <= 5.24

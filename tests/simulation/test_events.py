@@ -1,0 +1,37 @@
+"""Unit tests for simulation event records."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.events import DetectionEvent, Event, TargetVisitEvent, TurnEvent
+
+
+class TestEvents:
+    def test_base_event_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Event(time=-1.0, robot_index=0)
+        with pytest.raises(InvalidParameterError):
+            Event(time=1.0, robot_index=-1)
+
+    def test_robot_name(self):
+        assert Event(1.0, 3).robot_name == "a_3"
+
+    def test_turn_event_describe(self):
+        e = TurnEvent(time=2.5, robot_index=1, position=-3.0)
+        text = e.describe()
+        assert "a_1" in text and "turns" in text and "-3" in text
+
+    def test_visit_event_detected(self):
+        hit = TargetVisitEvent(1.0, 0, 2.0, detected=True)
+        miss = TargetVisitEvent(1.0, 0, 2.0, detected=False)
+        assert "DETECTS" in hit.describe()
+        assert "faulty" in miss.describe()
+
+    def test_detection_event(self):
+        e = DetectionEvent(9.0, 2, 1.0)
+        assert "complete" in e.describe()
+
+    def test_frozen(self):
+        e = TurnEvent(1.0, 0, 1.0)
+        with pytest.raises(AttributeError):
+            e.time = 2.0

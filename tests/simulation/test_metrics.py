@@ -1,0 +1,72 @@
+"""Unit tests for result containers."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.metrics import (
+    CompetitiveRatioEstimate,
+    RatioProfile,
+    RatioSample,
+    SearchOutcome,
+)
+
+
+class TestSearchOutcome:
+    def test_ratio(self):
+        o = SearchOutcome(2.0, 5.0, 0, frozenset())
+        assert o.competitive_ratio == pytest.approx(2.5)
+        assert o.detected
+
+    def test_undetected(self):
+        o = SearchOutcome(2.0, math.inf, None, frozenset({0}))
+        assert not o.detected
+        assert "NEVER" in o.describe()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SearchOutcome(0.0, 1.0, 0, frozenset())
+        with pytest.raises(InvalidParameterError):
+            SearchOutcome(1.0, -1.0, 0, frozenset())
+
+
+class TestRatioSample:
+    def test_ratio(self):
+        s = RatioSample(x=-2.0, detection_time=8.0)
+        assert s.ratio == pytest.approx(4.0)
+
+
+class TestRatioProfile:
+    def test_supremum(self):
+        profile = RatioProfile(
+            [RatioSample(1.0, 3.0), RatioSample(2.0, 10.0), RatioSample(4.0, 8.0)]
+        )
+        assert profile.supremum.x == 2.0
+        assert profile.ratios() == pytest.approx([3.0, 5.0, 2.0])
+
+    def test_empty_supremum_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RatioProfile([]).supremum
+
+
+class TestEstimate:
+    def test_matches_tolerance(self):
+        est = CompetitiveRatioEstimate(
+            value=9.0000001,
+            witness=RatioSample(1.0, 9.0000001),
+            samples_evaluated=10,
+            x_max=100.0,
+        )
+        assert est.matches(9.0)
+        assert not est.matches(8.5)
+
+    def test_describe(self):
+        est = CompetitiveRatioEstimate(
+            value=5.0,
+            witness=RatioSample(2.0, 10.0),
+            samples_evaluated=42,
+            x_max=100.0,
+        )
+        text = est.describe()
+        assert "5" in text and "42" in text

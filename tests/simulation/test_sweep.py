@@ -1,0 +1,87 @@
+"""Unit tests for parameter sweeps."""
+
+import pytest
+
+from repro.core.optimal import optimal_beta
+from repro.errors import InvalidParameterError
+from repro.simulation.sweep import (
+    SweepPoint,
+    beta_sweep,
+    fleet_size_sweep,
+    geometric_grid,
+    target_sweep,
+)
+
+
+class TestGeometricGrid:
+    def test_endpoints_and_spacing(self):
+        grid = geometric_grid(1.0, 16.0, 5)
+        assert grid == pytest.approx([1.0, 2.0, 4.0, 8.0, 16.0])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(0.0, 10.0, 3)
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(2.0, 1.0, 3)
+        with pytest.raises(InvalidParameterError):
+            geometric_grid(1.0, 2.0, 1)
+
+
+class TestTargetSweep:
+    def test_profile_values(self, fleet_3_1):
+        profile = target_sweep(fleet_3_1, 1, [1.0, 2.0, -2.0])
+        assert len(profile.samples) == 3
+        assert profile.samples[0].detection_time == pytest.approx(
+            fleet_3_1.worst_case_detection_time(1.0, 1)
+        )
+
+    def test_empty_rejected(self, fleet_3_1):
+        with pytest.raises(InvalidParameterError):
+            target_sweep(fleet_3_1, 1, [])
+
+
+class TestBetaSweep:
+    def test_theory_only(self):
+        pts = beta_sweep(3, 1, [1.3, 5 / 3, 2.5])
+        assert all(isinstance(p, SweepPoint) for p in pts)
+        assert all(p.measured is None for p in pts)
+        # the optimum is the middle point
+        assert min(pts, key=lambda p: p.theoretical).parameter == 5 / 3
+
+    def test_measured_agrees_with_theory(self):
+        pts = beta_sweep(3, 1, [1.5, 2.0], measure=True, x_max=60.0)
+        for p in pts:
+            assert p.gap() is not None
+            assert p.gap() < 1e-6
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            beta_sweep(3, 1, [])
+
+
+class TestFleetSizeSweep:
+    def test_odd_critical_family(self):
+        pts = fleet_size_sweep([(3, 1), (5, 2), (7, 3), (9, 4)])
+        values = [p.theoretical for p in pts]
+        assert values == sorted(values, reverse=True)  # improves with n
+
+    def test_measured(self):
+        pts = fleet_size_sweep([(3, 1)], measure=True, x_max=60.0)
+        assert pts[0].gap() < 1e-6
+
+    def test_gap_none_without_measurement(self):
+        pts = fleet_size_sweep([(3, 1)])
+        assert pts[0].gap() is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            fleet_size_sweep([])
+
+    def test_optimal_beta_consistency(self):
+        # the sweep's theoretical values use the optimal beta internally
+        from repro.core.competitive_ratio import schedule_competitive_ratio
+
+        pts = fleet_size_sweep([(5, 2)])
+        assert pts[0].theoretical == pytest.approx(
+            schedule_competitive_ratio(optimal_beta(5, 2), 5, 2)
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the time-stepped cross-check simulator."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulation.timestep import TimeSteppedSimulator
+from repro.trajectory.linear import LinearTrajectory, StationaryTrajectory
+from repro.trajectory.zigzag import ZigZagTrajectory
+
+
+class TestGridScanning:
+    def test_simple_crossing(self):
+        sim = TimeSteppedSimulator([LinearTrajectory(1)], dt=0.1, horizon=10.0)
+        t = sim.first_visit_time(0, 5.0)
+        assert t == pytest.approx(5.0, abs=1e-6)
+
+    def test_start_position_counts(self):
+        sim = TimeSteppedSimulator([LinearTrajectory(1)], dt=0.1, horizon=5.0)
+        assert sim.first_visit_time(0, 0.0) == 0.0
+
+    def test_beyond_horizon_is_none(self):
+        sim = TimeSteppedSimulator([LinearTrajectory(1)], dt=0.1, horizon=3.0)
+        assert sim.first_visit_time(0, 5.0) is None
+
+    def test_wrong_direction_is_none(self):
+        sim = TimeSteppedSimulator([LinearTrajectory(1)], dt=0.1, horizon=5.0)
+        assert sim.first_visit_time(0, -1.0) is None
+
+    def test_stationary_robot(self):
+        sim = TimeSteppedSimulator([StationaryTrajectory()], dt=0.1,
+                                   horizon=5.0)
+        assert sim.first_visit_time(0, 0.0) == 0.0
+        assert sim.first_visit_time(0, 1.0) is None
+
+
+class TestTangentialTouch:
+    def test_turn_exactly_at_target(self):
+        """A robot turning exactly at x produces no sign change; the
+        touch detector must still find the visit."""
+        traj = ZigZagTrajectory([2.0, -2.0])
+        sim = TimeSteppedSimulator([traj], dt=0.01, horizon=20.0)
+        t = sim.first_visit_time(0, 2.0)
+        assert t == pytest.approx(2.0, abs=1e-3)
+
+    def test_near_miss_not_reported(self):
+        """Passing within dt of the target without touching must NOT
+        count as a visit."""
+        traj = ZigZagTrajectory([1.995, -5.0])
+        sim = TimeSteppedSimulator([traj], dt=0.01, horizon=30.0)
+        t = sim.first_visit_time(0, 2.0)
+        # the real first visit of 2.0 never happens on the first leg;
+        # the zig-zag turns at 1.995 and goes to -5, never reaching 2
+        assert t is None
+
+    def test_touch_after_near_miss(self):
+        traj = ZigZagTrajectory([1.995, -1.0, 3.0])
+        sim = TimeSteppedSimulator([traj], dt=0.01, horizon=30.0)
+        t = sim.first_visit_time(0, 2.0)
+        # reached on the third leg: 1.995 + 2.995 + 3.0
+        assert t == pytest.approx(1.995 + 2.995 + 3.0, abs=0.05)
+
+
+class TestFleetQueries:
+    def test_kth_visit(self):
+        sim = TimeSteppedSimulator(
+            [LinearTrajectory(1), LinearTrajectory(1, speed=0.5)],
+            dt=0.05,
+            horizon=20.0,
+        )
+        assert sim.kth_distinct_visit_time(4.0, 1) == pytest.approx(
+            4.0, abs=1e-3
+        )
+        assert sim.kth_distinct_visit_time(4.0, 2) == pytest.approx(
+            8.0, abs=1e-3
+        )
+        assert sim.kth_distinct_visit_time(4.0, 3) == math.inf
+
+    def test_first_visit_times_list(self):
+        sim = TimeSteppedSimulator(
+            [LinearTrajectory(1), LinearTrajectory(-1)], dt=0.05,
+            horizon=10.0,
+        )
+        times = sim.first_visit_times(3.0)
+        assert times[0] == pytest.approx(3.0, abs=1e-3)
+        assert times[1] is None
+
+    def test_validation(self):
+        sim = TimeSteppedSimulator([LinearTrajectory(1)], dt=0.1,
+                                   horizon=5.0)
+        with pytest.raises(InvalidParameterError):
+            sim.first_visit_time(-1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sim.kth_distinct_visit_time(1.0, 0)

@@ -1,0 +1,197 @@
+"""Unit tests for the linesearch CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in (
+            "info", "simulate", "ratio", "table1", "figure5",
+            "diagram", "lowerbound", "experiment",
+        ):
+            assert cmd in text
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestInfo:
+    def test_proportional(self, capsys):
+        code, out, _ = run_cli(capsys, "info", "3", "1")
+        assert code == 0
+        assert "proportional" in out
+        assert "beta*" in out
+
+    def test_trivial(self, capsys):
+        code, out, _ = run_cli(capsys, "info", "4", "1")
+        assert code == 0
+        assert "trivial" in out
+        assert "beta*" not in out
+
+
+class TestSimulate:
+    def test_adversarial(self, capsys):
+        code, out, _ = run_cli(capsys, "simulate", "3", "1", "2.0")
+        assert code == 0
+        assert "detection" in out
+
+    def test_random_faults_seeded(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "3", "1", "2.0", "--faults", "random",
+            "--seed", "7",
+        )
+        assert code == 0
+
+    def test_no_faults(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "4", "1", "-3.0", "--faults", "none"
+        )
+        assert code == 0
+        assert "ratio 1" in out
+
+
+class TestRatio:
+    def test_default_beta(self, capsys):
+        code, out, _ = run_cli(capsys, "ratio", "3", "1", "--x-max", "40")
+        assert code == 0
+        assert "agreement with closed form: True" in out
+
+    def test_custom_beta(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "ratio", "3", "1", "--beta", "2.0", "--x-max", "40"
+        )
+        assert code == 0
+        assert "agreement with closed form: True" in out
+
+    def test_beta_in_trivial_regime_errors(self, capsys):
+        code, _, err = run_cli(capsys, "ratio", "4", "1", "--beta", "2.0")
+        assert code == 2
+        assert "error" in err
+
+
+class TestDiagramAndLowerbound:
+    def test_single_figure(self, capsys):
+        code, out, _ = run_cli(capsys, "diagram", "--figure", "2")
+        assert code == 0
+        assert "Figure 2" in out
+
+    def test_all_figures(self, capsys):
+        code, out, _ = run_cli(capsys, "diagram")
+        assert "Figure 1" in out and "Figure 4" in out
+        assert "Figure 6" in out and "Figure 7" in out
+
+    def test_figure7(self, capsys):
+        code, out, _ = run_cli(capsys, "diagram", "--figure", "7")
+        assert code == 0
+        assert "ladder" in out
+
+    def test_svg_output(self, capsys, tmp_path):
+        path = tmp_path / "fig3.svg"
+        code, _, _ = run_cli(
+            capsys, "diagram", "--figure", "3", "--svg", str(path)
+        )
+        assert code == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_lowerbound_game(self, capsys):
+        code, out, _ = run_cli(capsys, "lowerbound", "3", "1")
+        assert code == 0
+        assert "witness" in out
+
+
+class TestFigure5Command:
+    def test_right_side(self, capsys):
+        code, out, _ = run_cli(capsys, "figure5", "--side", "right")
+        assert code == 0
+        assert "asymptotic CR" in out
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment")
+        assert code == 0
+        assert "table1" in out
+
+    def test_unknown_id_errors(self, capsys):
+        code, _, err = run_cli(capsys, "experiment", "bogus")
+        assert code == 2
+        assert "unknown experiment" in err
+
+    def test_run_fast_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "figure5_right")
+        assert code == 0
+        assert "asymptotic CR" in out
+
+
+class TestExportAndValidate:
+    def test_export_list(self, capsys):
+        code, out, _ = run_cli(capsys, "export")
+        assert code == 0
+        assert "table1" in out
+
+    def test_export_stdout(self, capsys):
+        code, out, _ = run_cli(capsys, "export", "figure5_right")
+        assert code == 0
+        assert out.startswith("a,asymptotic_value")
+
+    def test_export_to_file(self, capsys, tmp_path):
+        path = tmp_path / "data.csv"
+        code, out, _ = run_cli(
+            capsys, "export", "tower", "--out", str(path)
+        )
+        assert code == 0
+        assert "wrote" in out
+        assert path.read_text().startswith("time,left,right,width")
+
+    def test_export_unknown_errors(self, capsys):
+        code, _, err = run_cli(capsys, "export", "bogus")
+        assert code == 2
+        assert "no CSV exporter" in err
+
+    def test_validate_ok(self, capsys):
+        code, out, _ = run_cli(capsys, "validate", "3", "1")
+        assert code == 0
+        assert "ADMISSIBLE" in out
+
+    def test_validate_custom_beta(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "validate", "3", "1", "--beta", "2.0"
+        )
+        assert code == 0
+        assert "ADMISSIBLE" in out
+
+
+class TestSchedule:
+    def test_schedule_table(self, capsys):
+        code, out, _ = run_cli(capsys, "schedule", "5", "2")
+        assert code == 0
+        assert "a_4" in out
+        assert "kappa = 6" in out
+
+    def test_schedule_with_diagram(self, capsys):
+        code, out, _ = run_cli(capsys, "schedule", "3", "1", "--diagram")
+        assert code == 0
+        assert "time flows downward" in out
+
+    def test_schedule_turn_count(self, capsys):
+        code, out, _ = run_cli(capsys, "schedule", "3", "1", "--turns", "2")
+        assert code == 0
+        assert "turn 2" in out and "turn 3" not in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,32 @@
+"""Run every module's docstring examples as tests.
+
+The library's doc comments carry runnable examples; this keeps them
+honest without duplicating them in the test files.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {name}"

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run cleanly.
+
+Run as subprocesses with the repository's interpreter so the examples
+are exercised exactly as a user would invoke them.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("search_and_rescue.py", ["--seed", "26"]),
+    ("fault_sweep.py", ["--robots", "5", "--trials", "30"]),
+    ("adversary_game.py", []),
+    ("custom_strategy.py", []),
+]
+
+
+def run_example(name, args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize("name,args", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_diagrams_example(tmp_path):
+    result = run_example("diagrams.py", ["--outdir", str(tmp_path)])
+    assert result.returncode == 0, result.stderr
+    for fig in ("figure2.svg", "figure3.svg", "figure4.svg"):
+        assert (tmp_path / fig).exists()
+
+
+def test_quickstart_agreement_line():
+    result = run_example("quickstart.py", [])
+    assert "agreement             : True" in result.stdout

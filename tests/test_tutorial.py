@@ -1,0 +1,35 @@
+"""Execute every python code block in docs/tutorial.md.
+
+Keeps the tutorial honest: blocks run top to bottom in one shared
+namespace, exactly as a reader following along would experience them.
+"""
+
+import os
+import re
+
+import pytest
+
+TUTORIAL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs",
+    "tutorial.md",
+)
+
+
+def _code_blocks():
+    with open(TUTORIAL, encoding="utf-8") as handle:
+        text = handle.read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_has_blocks():
+    assert len(_code_blocks()) >= 7
+
+
+def test_tutorial_blocks_execute():
+    namespace = {}
+    for index, block in enumerate(_code_blocks()):
+        try:
+            exec(compile(block, f"tutorial-block-{index}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {index} failed: {exc}\n{block}")

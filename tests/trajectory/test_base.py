@@ -1,0 +1,163 @@
+"""Unit tests for the lazy Trajectory base machinery."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.trajectory.base import MaterializedView, Trajectory
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+
+
+class _Finite(Trajectory):
+    """A tiny finite trajectory for base-class testing."""
+
+    def __init__(self, pairs):
+        super().__init__()
+        self._pairs = pairs
+
+    def vertex_iterator(self):
+        return iter(SpaceTimePoint(x, t) for x, t in self._pairs)
+
+    def covers(self, x):
+        lo = min(p[0] for p in self._pairs)
+        hi = max(p[0] for p in self._pairs)
+        return lo <= x <= hi
+
+
+class _Empty(Trajectory):
+    def vertex_iterator(self):
+        return iter(())
+
+    def covers(self, x):
+        return False
+
+
+class _TimeReversed(Trajectory):
+    def vertex_iterator(self):
+        yield SpaceTimePoint(0, 5)
+        yield SpaceTimePoint(0, 1)
+
+    def covers(self, x):
+        return x == 0
+
+
+class TestMaterialization:
+    def test_empty_iterator_raises(self):
+        with pytest.raises(TrajectoryError):
+            _Empty().position_at(0.0)
+
+    def test_non_monotone_time_raises(self):
+        with pytest.raises(TrajectoryError):
+            _TimeReversed().ensure_time(10.0)
+
+    def test_lazy_extension_is_incremental(self):
+        d = DoublingTrajectory()
+        d.ensure_time(1.0)
+        early = len(d.materialized_segments())
+        d.ensure_time(100.0)
+        late = len(d.materialized_segments())
+        assert late > early
+
+    def test_finite_trajectory_exhausts(self):
+        t = _Finite([(0, 0), (2, 2)])
+        t.ensure_time(100.0)
+        assert t.is_finite
+
+    def test_segments_until_filters(self):
+        d = DoublingTrajectory()
+        segs = d.segments_until(4.0)
+        assert all(s.start.time <= 4.0 + 1e-9 for s in segs)
+
+
+class TestPositionAt:
+    def test_before_start_clamps(self):
+        t = _Finite([(0, 0), (3, 3)])
+        assert t.position_at(0.0) == 0.0
+
+    def test_after_finite_end_clamps(self):
+        t = _Finite([(0, 0), (3, 3)])
+        assert t.position_at(50.0) == 3.0
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DoublingTrajectory().position_at(math.inf)
+
+    def test_doubling_positions(self):
+        d = DoublingTrajectory()
+        assert d.position_at(0.5) == pytest.approx(0.5)
+        assert d.position_at(1.0) == pytest.approx(1.0)  # first turn
+        assert d.position_at(2.0) == pytest.approx(0.0)  # heading left
+        assert d.position_at(4.0) == pytest.approx(-2.0)  # second turn
+
+
+class TestVisits:
+    def test_first_visit_never_covered(self):
+        right = LinearTrajectory(1)
+        assert right.first_visit_time(-3.0) is None
+
+    def test_first_visit_at_start(self):
+        assert LinearTrajectory(1).first_visit_time(0.0) == 0.0
+
+    def test_covers_but_path_ends_raises(self):
+        class Lying(_Finite):
+            def covers(self, x):
+                return True
+
+        t = Lying([(0, 0), (1, 1)])
+        with pytest.raises(TrajectoryError):
+            t.first_visit_time(10.0)
+
+    def test_visit_times_multiple(self):
+        d = DoublingTrajectory()
+        times = d.visit_times(0.5, until=12.0)
+        # out (0.5), back (1.5), out again (2.0 + ... at t=6.5)
+        assert times[0] == pytest.approx(0.5)
+        assert times[1] == pytest.approx(1.5)
+        assert len(times) >= 3
+
+    def test_visit_count(self):
+        d = DoublingTrajectory()
+        assert d.visit_count(0.5, until=2.0) == 2
+
+    def test_infinite_position_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DoublingTrajectory().first_visit_time(math.nan)
+
+
+class TestDerivedMeasures:
+    def test_max_excursion(self):
+        d = DoublingTrajectory()
+        assert d.max_excursion_until(1.0) == pytest.approx(1.0)
+        assert d.max_excursion_until(4.0) == pytest.approx(2.0)
+
+    def test_total_distance(self):
+        d = DoublingTrajectory()
+        # to +1 (1), back through 0 to -2 (3): total 4 by t=4
+        assert d.total_distance_until(4.0) == pytest.approx(4.0)
+
+    def test_turning_points_until(self):
+        d = DoublingTrajectory()
+        turns = d.turning_points_until(12.0)
+        assert [round(v.position, 6) for v in turns] == [1.0, -2.0, 4.0]
+
+
+class TestMaterializedView:
+    def test_view_snapshot(self):
+        d = DoublingTrajectory()
+        view = d.view_until(4.0)
+        assert isinstance(view, MaterializedView)
+        assert view.duration == pytest.approx(4.0)
+        assert view.bounding_positions() == (pytest.approx(-2.0), 1.0)
+
+    def test_view_needs_segments(self):
+        with pytest.raises(InvalidParameterError):
+            MaterializedView([])
+
+    def test_view_vertices(self):
+        view = DoublingTrajectory().view_until(4.0)
+        positions = [v.position for v in view.vertices]
+        assert positions[0] == 0.0
+        assert positions[-1] == pytest.approx(-2.0)

@@ -1,0 +1,137 @@
+"""Unit tests for cone-defined zig-zags (Definitions 1 and 4, Lemma 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.trajectory.cone_zigzag import ConeZigZag
+
+betas = st.floats(min_value=1.05, max_value=10.0)
+anchors = st.floats(min_value=0.05, max_value=50.0)
+
+
+class TestConstruction:
+    def test_invalid_inputs(self):
+        cone = Cone(2.0)
+        with pytest.raises(InvalidParameterError):
+            ConeZigZag("not a cone", anchor=1.0)
+        with pytest.raises(InvalidParameterError):
+            ConeZigZag(cone, anchor=0.0)
+        with pytest.raises(InvalidParameterError):
+            ConeZigZag(cone, anchor=1.0, inner_radius=0.0)
+
+    def test_anchor_at_inner_radius_kept(self):
+        # matches the paper's robot a_0: starts its zig-zag at tau_0 = 1
+        robot = ConeZigZag(Cone(3.0), anchor=1.0, inner_radius=1.0)
+        assert robot.first_cone_turn == pytest.approx(1.0)
+
+    def test_anchor_inside_kept(self):
+        robot = ConeZigZag(Cone(3.0), anchor=0.3)
+        assert robot.first_cone_turn == pytest.approx(0.3)
+
+    def test_backward_extension_one_step(self):
+        # anchor 2 with kappa 2: backward -> -1... wait |−1| == radius,
+        # strictly "less than 1" requires another step? The paper keeps
+        # magnitudes strictly below 1, but magnitude exactly 1 is the
+        # boundary case: backward extension stops as soon as |x| <= 1.
+        robot = ConeZigZag(Cone(3.0), anchor=2.0)
+        assert robot.first_cone_turn == pytest.approx(-1.0)
+
+    def test_backward_extension_two_steps(self):
+        robot = ConeZigZag(Cone(3.0), anchor=4.0)  # 4 -> -2 -> 1
+        assert robot.first_cone_turn == pytest.approx(1.0)
+
+    def test_backward_extension_negative_anchor(self):
+        robot = ConeZigZag(Cone(3.0), anchor=-4.0)  # -4 -> 2 -> -1
+        assert robot.first_cone_turn == pytest.approx(-1.0)
+
+
+class TestLemma1:
+    def test_turning_sequence(self):
+        robot = ConeZigZag(Cone(3.0), anchor=1.0)
+        assert [robot.turning_position(i) for i in range(4)] == pytest.approx(
+            [1.0, -2.0, 4.0, -8.0]
+        )
+
+    def test_turning_times_on_boundary(self):
+        beta = 2.5
+        robot = ConeZigZag(Cone(beta), anchor=1.0)
+        for i in range(5):
+            assert robot.turning_time(i) == pytest.approx(
+                beta * abs(robot.turning_position(i))
+            )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConeZigZag(Cone(2.0), anchor=1.0).turning_position(-1)
+
+    def test_turning_points_in_radius(self):
+        robot = ConeZigZag(Cone(3.0), anchor=1.0)
+        pts = robot.turning_points_in_radius(5.0)
+        assert [p.position for p in pts] == pytest.approx([1.0, -2.0, 4.0])
+        with pytest.raises(InvalidParameterError):
+            robot.turning_points_in_radius(0.0)
+
+
+class TestStartup:
+    def test_startup_speed_is_one_over_beta(self):
+        beta = 2.0
+        robot = ConeZigZag(Cone(beta), anchor=1.0)
+        assert robot.startup_speed == pytest.approx(0.5)
+        # position halfway through the startup leg
+        t_arrive = beta * 1.0
+        assert robot.position_at(t_arrive / 2) == pytest.approx(0.5)
+
+    def test_reaches_first_turn_on_boundary(self):
+        beta = 2.0
+        robot = ConeZigZag(Cone(beta), anchor=1.0)
+        assert robot.first_visit_time(1.0) == pytest.approx(beta)
+
+    def test_stays_inside_cone_after_entry(self):
+        beta = 1.8
+        cone = Cone(beta)
+        robot = ConeZigZag(cone, anchor=1.0)
+        entry_time = robot.turning_time(0)
+        for k in range(1, 60):
+            t = entry_time + k * 0.7
+            x = robot.position_at(t)
+            assert t + 1e-6 >= cone.boundary_time(x)
+
+
+class TestProperties:
+    @given(betas, anchors)
+    def test_first_cone_turn_within_radius(self, beta, anchor):
+        robot = ConeZigZag(Cone(beta), anchor=anchor, inner_radius=1.0)
+        assert abs(robot.first_cone_turn) <= 1.0 + 1e-9
+
+    @given(betas, anchors)
+    def test_anchor_is_still_a_turning_point(self, beta, anchor):
+        # backward extension must preserve the original anchor in the
+        # turning sequence (it only rewinds whole reflections)
+        robot = ConeZigZag(Cone(beta), anchor=anchor, inner_radius=1.0)
+        found = False
+        for i in range(200):
+            x = robot.turning_position(i)
+            if abs(x - anchor) <= 1e-6 * (1 + abs(anchor)):
+                found = True
+                break
+            if abs(x) > abs(anchor) * (1 + 1e-6):
+                break
+        assert found
+
+    @given(betas, anchors, st.floats(min_value=-30, max_value=30))
+    def test_covers_all_positions(self, beta, anchor, x):
+        robot = ConeZigZag(Cone(beta), anchor=anchor)
+        t = robot.first_visit_time(x)
+        assert t is not None
+        assert robot.position_at(t) == pytest.approx(x, abs=1e-6)
+
+    @given(betas, anchors)
+    def test_visits_turn_points_at_boundary_times(self, beta, anchor):
+        robot = ConeZigZag(Cone(beta), anchor=anchor)
+        for i in range(3):
+            x = robot.turning_position(i)
+            t = robot.first_visit_time(x)
+            assert t == pytest.approx(robot.turning_time(i), rel=1e-9)

@@ -1,0 +1,64 @@
+"""Unit tests for the doubling strategy and its competitive ratio."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+
+
+class TestDoubling:
+    def test_turning_points(self):
+        d = DoublingTrajectory()
+        assert [d.turning_position(i) for i in range(5)] == pytest.approx(
+            [1.0, -2.0, 4.0, -8.0, 16.0]
+        )
+
+    def test_first_direction_left(self):
+        d = DoublingTrajectory(first_direction=-1)
+        assert d.turning_position(0) == -1.0
+        assert d.first_visit_time(-1.0) == pytest.approx(1.0)
+
+    def test_custom_unit(self):
+        d = DoublingTrajectory(unit=2.0)
+        assert d.turning_position(0) == 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            DoublingTrajectory(first_direction=0)
+        with pytest.raises(InvalidParameterError):
+            DoublingTrajectory(unit=-1.0)
+
+    def test_turn_arrival_times(self):
+        d = DoublingTrajectory()
+        # t_j = 3 * 2^j - 2 for the standard doubling walk
+        for j in range(5):
+            turn = d.turning_position(j)
+            assert d.first_visit_time(turn) == pytest.approx(3 * 2**j - 2)
+
+
+class TestCompetitiveRatio:
+    def test_ratio_approaches_nine(self):
+        """The classic ratio: just past turning point 2^i the detour costs
+        (9 * 2^i - 2), so the ratio tends to 9 from below."""
+        d = DoublingTrajectory()
+        eps = 1e-9
+        ratios = []
+        for i in range(2, 12, 2):
+            x = 2.0**i * (1 + eps)
+            ratios.append(d.first_visit_time(x) / x)
+        assert ratios == sorted(ratios)  # increasing toward 9
+        assert ratios[-1] < DOUBLING_COMPETITIVE_RATIO
+        assert ratios[-1] == pytest.approx(9.0, abs=0.01)
+
+    def test_ratio_formula_at_turn(self):
+        d = DoublingTrajectory()
+        i = 6
+        x = 2.0**i * (1 + 1e-12)
+        assert d.first_visit_time(x) == pytest.approx(9 * 2**i - 2, rel=1e-6)
+
+    def test_worst_case_is_just_past_turns(self):
+        """Between turning points the ratio decreases (Lemma 3 logic)."""
+        d = DoublingTrajectory()
+        x0 = 4.0 * (1 + 1e-9)
+        x1 = 5.5
+        assert d.first_visit_time(x0) / x0 > d.first_visit_time(x1) / x1

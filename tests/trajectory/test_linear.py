@@ -1,0 +1,76 @@
+"""Unit tests for linear and stationary trajectories."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.linear import LinearTrajectory, StationaryTrajectory
+
+
+class TestLinearTrajectory:
+    def test_rightward_visits(self):
+        t = LinearTrajectory(1)
+        assert t.first_visit_time(7.5) == pytest.approx(7.5)
+        assert t.first_visit_time(0.0) == 0.0
+        assert t.first_visit_time(-1.0) is None
+
+    def test_leftward_visits(self):
+        t = LinearTrajectory(-1)
+        assert t.first_visit_time(-4.0) == pytest.approx(4.0)
+        assert t.first_visit_time(4.0) is None
+
+    def test_large_targets_lazy(self):
+        t = LinearTrajectory(1)
+        assert t.first_visit_time(1e6) == pytest.approx(1e6)
+
+    def test_slow_run(self):
+        t = LinearTrajectory(1, speed=0.5)
+        assert t.first_visit_time(2.0) == pytest.approx(4.0)
+        assert t.position_at(6.0) == pytest.approx(3.0)
+
+    def test_delayed_start(self):
+        t = LinearTrajectory(1, start_time=3.0)
+        assert t.position_at(2.0) == 0.0
+        assert t.first_visit_time(1.0) == pytest.approx(4.0)
+
+    def test_invalid_direction(self):
+        with pytest.raises(InvalidParameterError):
+            LinearTrajectory(0)
+        with pytest.raises(InvalidParameterError):
+            LinearTrajectory(2)
+
+    def test_invalid_speed(self):
+        with pytest.raises(InvalidParameterError):
+            LinearTrajectory(1, speed=0.0)
+        with pytest.raises(InvalidParameterError):
+            LinearTrajectory(1, speed=1.5)
+
+    def test_invalid_start_time(self):
+        with pytest.raises(InvalidParameterError):
+            LinearTrajectory(1, start_time=-1.0)
+
+    @given(
+        st.sampled_from([1, -1]),
+        st.floats(min_value=0.1, max_value=1.0),
+        st.floats(min_value=0.1, max_value=1e4),
+    )
+    def test_visit_time_formula(self, direction, speed, distance):
+        t = LinearTrajectory(direction, speed=speed)
+        x = direction * distance
+        assert t.first_visit_time(x) == pytest.approx(
+            distance / speed, rel=1e-9
+        )
+
+
+class TestStationaryTrajectory:
+    def test_never_moves(self):
+        t = StationaryTrajectory()
+        assert t.position_at(100.0) == 0.0
+        assert t.first_visit_time(0.0) == 0.0
+        assert t.first_visit_time(1.0) is None
+
+    def test_covers_only_origin(self):
+        t = StationaryTrajectory()
+        assert t.covers(0.0)
+        assert not t.covers(1e-9)

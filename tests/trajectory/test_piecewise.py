@@ -1,0 +1,53 @@
+"""Unit tests for explicit piecewise trajectories."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.trajectory.piecewise import PiecewiseTrajectory, waypoints
+
+
+class TestWaypoints:
+    def test_builder(self):
+        pts = waypoints([(0, 0), (1.5, 2)])
+        assert pts[1].position == 1.5
+        assert pts[1].time == 2.0
+
+
+class TestPiecewiseTrajectory:
+    def test_basic_path(self):
+        path = PiecewiseTrajectory(waypoints([(0, 0), (2, 2), (-1, 5)]))
+        assert path.position_at(1.0) == pytest.approx(1.0)
+        assert path.position_at(3.5) == pytest.approx(0.5)
+        assert path.end_time == 5.0
+
+    def test_clamps_after_end(self):
+        path = PiecewiseTrajectory(waypoints([(0, 0), (1, 1)]))
+        assert path.position_at(100.0) == pytest.approx(1.0)
+
+    def test_first_visit(self):
+        path = PiecewiseTrajectory(waypoints([(0, 0), (3, 3), (0, 6)]))
+        assert path.first_visit_time(2.0) == pytest.approx(2.0)
+        assert path.first_visit_time(5.0) is None
+
+    def test_covers_bounds(self):
+        path = PiecewiseTrajectory(waypoints([(0, 0), (3, 3), (-1, 7)]))
+        assert path.covers(3.0)
+        assert path.covers(-1.0)
+        assert not path.covers(3.1)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseTrajectory(waypoints([(0, 0)]))
+
+    def test_must_start_at_time_zero(self):
+        with pytest.raises(InvalidParameterError):
+            PiecewiseTrajectory(waypoints([(0, 1), (1, 2)]))
+
+    def test_speed_limit_validated_eagerly(self):
+        with pytest.raises(TrajectoryError):
+            PiecewiseTrajectory(waypoints([(0, 0), (10, 1)]))
+
+    def test_waiting_allowed(self):
+        path = PiecewiseTrajectory(waypoints([(0, 0), (0, 5), (1, 6)]))
+        assert path.position_at(4.0) == 0.0
+        assert path.first_visit_time(1.0) == pytest.approx(6.0)

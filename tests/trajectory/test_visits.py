@@ -1,0 +1,82 @@
+"""Unit tests for fleet-level visit-order statistics (T_{f+1})."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.trajectory.visits import (
+    first_visit_times,
+    kth_distinct_visit_time,
+    sorted_finite_visit_times,
+    visiting_order,
+)
+
+
+class TestFirstVisitTimes:
+    def test_mixed_fleet(self):
+        fleet = [LinearTrajectory(1), LinearTrajectory(-1)]
+        assert first_visit_times(fleet, 2.0) == [2.0, None]
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            first_visit_times([], 1.0)
+
+
+class TestOrderStatistics:
+    def test_kth_visit_ordering(self):
+        fleet = [
+            LinearTrajectory(1, speed=1.0),
+            LinearTrajectory(1, speed=0.5),
+            LinearTrajectory(1, speed=0.25),
+        ]
+        assert kth_distinct_visit_time(fleet, 2.0, 1) == pytest.approx(2.0)
+        assert kth_distinct_visit_time(fleet, 2.0, 2) == pytest.approx(4.0)
+        assert kth_distinct_visit_time(fleet, 2.0, 3) == pytest.approx(8.0)
+
+    def test_insufficient_visitors_is_inf(self):
+        fleet = [LinearTrajectory(1)]
+        assert kth_distinct_visit_time(fleet, -1.0, 1) == math.inf
+        assert kth_distinct_visit_time(fleet, 1.0, 2) == math.inf
+
+    def test_k_larger_than_fleet(self):
+        fleet = [DoublingTrajectory()]
+        assert kth_distinct_visit_time(fleet, 1.0, 5) == math.inf
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            kth_distinct_visit_time([LinearTrajectory(1)], 1.0, 0)
+
+    def test_sorted_times(self):
+        fleet = [LinearTrajectory(1, speed=0.5), LinearTrajectory(1)]
+        assert sorted_finite_visit_times(fleet, 3.0) == pytest.approx(
+            [3.0, 6.0]
+        )
+
+    @given(st.integers(min_value=1, max_value=5))
+    def test_kth_visit_monotone_in_k(self, n):
+        fleet = [
+            LinearTrajectory(1, speed=1.0 / (i + 1)) for i in range(n)
+        ]
+        times = [
+            kth_distinct_visit_time(fleet, 1.0, k) for k in range(1, n + 1)
+        ]
+        assert times == sorted(times)
+
+
+class TestVisitingOrder:
+    def test_order_and_omission(self):
+        fleet = [
+            LinearTrajectory(-1),            # never visits +2
+            LinearTrajectory(1, speed=0.5),  # arrives at 4
+            LinearTrajectory(1),             # arrives at 2
+        ]
+        assert visiting_order(fleet, 2.0) == [2, 1]
+
+    def test_tie_broken_by_index(self):
+        fleet = [LinearTrajectory(1), LinearTrajectory(1)]
+        assert visiting_order(fleet, 1.0) == [0, 1]

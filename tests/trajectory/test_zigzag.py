@@ -1,0 +1,128 @@
+"""Unit tests for zig-zag trajectories."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.trajectory.zigzag import GeometricZigZag, ZigZagTrajectory
+
+kappas = st.floats(min_value=1.05, max_value=10.0)
+units = st.floats(min_value=0.1, max_value=10.0)
+
+
+class TestZigZagTrajectory:
+    def test_basic_visits(self):
+        z = ZigZagTrajectory([1.0, -2.0, 4.0])
+        assert z.first_visit_time(1.0) == pytest.approx(1.0)
+        assert z.first_visit_time(-2.0) == pytest.approx(4.0)
+        assert z.first_visit_time(4.0) == pytest.approx(10.0)
+
+    def test_start_delay(self):
+        z = ZigZagTrajectory([1.0, -2.0], start_time=2.0)
+        assert z.first_visit_time(1.0) == pytest.approx(3.0)
+        assert z.position_at(1.0) == pytest.approx(0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ZigZagTrajectory([1.0], start_time=-1.0)
+
+    def test_zero_turning_point_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ZigZagTrajectory([1.0, 0.0])
+
+    def test_non_reversing_rejected(self):
+        # 1 then 3 continues rightward: not a turn
+        with pytest.raises(InvalidParameterError):
+            ZigZagTrajectory([1.0, 3.0])
+
+    def test_same_side_but_reversing_allowed(self):
+        # 3 then 1 is a genuine reversal even though both positive
+        z = ZigZagTrajectory([3.0, 1.0])
+        assert z.first_visit_time(1.0) == pytest.approx(1.0)
+        assert z.visit_times(1.0, until=10.0) == pytest.approx([1.0, 5.0])
+
+    def test_finite_covers(self):
+        z = ZigZagTrajectory([2.0, -1.0])
+        assert z.covers(1.5)
+        assert z.covers(-1.0)
+        assert not z.covers(3.0)
+        assert not z.covers(-2.0)
+
+    def test_lazy_infinite_source(self):
+        def turns():
+            x = 1.0
+            while True:
+                yield x
+                x *= -2.0
+
+        z = ZigZagTrajectory(turns())
+        assert z.covers(100.0)  # assumed for lazy sources
+        assert z.first_visit_time(-2.0) == pytest.approx(4.0)
+
+    def test_covers_hint(self):
+        def turns():
+            while True:
+                yield 1.0
+                yield -1.0
+
+        z = ZigZagTrajectory(turns(), covers_hint=lambda x: abs(x) <= 1.0)
+        assert not z.covers(2.0)
+        assert z.first_visit_time(2.0) is None
+
+
+class TestGeometricZigZag:
+    def test_doubling_equivalence(self):
+        g = GeometricZigZag(first_turn=1.0, kappa=2.0)
+        assert [g.turning_position(i) for i in range(4)] == pytest.approx(
+            [1.0, -2.0, 4.0, -8.0]
+        )
+
+    def test_leftward_start(self):
+        g = GeometricZigZag(first_turn=-1.0, kappa=2.0)
+        assert g.first_visit_time(-1.0) == pytest.approx(1.0)
+        assert g.first_visit_time(1.0) == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricZigZag(first_turn=0.0, kappa=2.0)
+        with pytest.raises(InvalidParameterError):
+            GeometricZigZag(first_turn=1.0, kappa=1.0)
+        with pytest.raises(InvalidParameterError):
+            GeometricZigZag(first_turn=1.0, kappa=2.0, start_time=-0.5)
+        with pytest.raises(InvalidParameterError):
+            GeometricZigZag(first_turn=1.0, kappa=2.0).turning_position(-1)
+
+    def test_covers_everything(self):
+        g = GeometricZigZag(first_turn=1.0, kappa=1.5)
+        assert g.covers(1e9)
+        assert g.covers(-1e9)
+
+    @given(units, kappas)
+    def test_turn_magnitudes_grow_geometrically(self, unit, kappa):
+        g = GeometricZigZag(first_turn=unit, kappa=kappa)
+        for i in range(4):
+            ratio = abs(g.turning_position(i + 1)) / abs(g.turning_position(i))
+            assert ratio == pytest.approx(kappa, rel=1e-9)
+
+    @given(units, kappas)
+    def test_turn_times_are_cumulative_distances(self, unit, kappa):
+        g = GeometricZigZag(first_turn=unit, kappa=kappa)
+        # time of i-th turn = |x_0| + sum |x_j - x_{j-1}|
+        expected = abs(g.turning_position(0))
+        g.ensure_time(0.0)
+        for i in range(3):
+            t = g.first_visit_time(g.turning_position(i))
+            # first visit of a turning point happens exactly at the turn
+            # (it is the farthest excursion so far)
+            assert t == pytest.approx(expected, rel=1e-9)
+            expected += abs(
+                g.turning_position(i + 1) - g.turning_position(i)
+            )
+
+    @given(units, kappas, st.floats(min_value=-20, max_value=20))
+    def test_every_point_eventually_visited(self, unit, kappa, x):
+        g = GeometricZigZag(first_turn=unit, kappa=kappa)
+        t = g.first_visit_time(x)
+        assert t is not None
+        assert g.position_at(t) == pytest.approx(x, abs=1e-6)

@@ -1,0 +1,105 @@
+"""Unit tests for the ASCII renderer."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.viz.ascii_art import SpaceTimeCanvas, line_chart, render_fleet_diagram
+
+
+class TestCanvas:
+    def test_mapping(self):
+        canvas = SpaceTimeCanvas(21, 11, (-10, 10), (0, 10))
+        assert canvas.column_of(0.0) == 10
+        assert canvas.column_of(-10.0) == 0
+        assert canvas.column_of(10.0) == 20
+        assert canvas.row_of(0.0) == 0
+        assert canvas.row_of(10.0) == 10
+
+    def test_outside_window_is_none(self):
+        canvas = SpaceTimeCanvas(10, 10, (-1, 1), (0, 1))
+        assert canvas.column_of(2.0) is None
+        assert canvas.row_of(-0.5) is None
+
+    def test_plot_and_render(self):
+        canvas = SpaceTimeCanvas(11, 3, (-5, 5), (0, 2))
+        canvas.plot(0.0, 0.0, "*")
+        lines = canvas.render().splitlines()
+        assert lines[0][5] == "*"
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpaceTimeCanvas(1, 5, (-1, 1), (0, 1))
+        with pytest.raises(InvalidParameterError):
+            SpaceTimeCanvas(5, 5, (1, -1), (0, 1))
+
+    def test_draw_segment_endpoints(self):
+        canvas = SpaceTimeCanvas(21, 21, (-10, 10), (0, 20))
+        canvas.draw_segment(0, 0, 10, 10, "#")
+        art = canvas.render()
+        assert "#" in art
+
+    def test_origin_axis_respects_content(self):
+        canvas = SpaceTimeCanvas(11, 3, (-5, 5), (0, 2))
+        canvas.plot(0.0, 0.0, "X")
+        canvas.draw_origin_axis()
+        lines = canvas.render().splitlines()
+        assert lines[0][5] == "X"  # not clobbered
+        assert lines[1][5] == "|"
+
+    def test_draw_cone(self):
+        canvas = SpaceTimeCanvas(41, 21, (-10, 10), (0, 20))
+        canvas.draw_cone(Cone(2.0))
+        assert "." in canvas.render()
+
+
+class TestFleetDiagram:
+    def test_basic_render(self):
+        art = render_fleet_diagram([DoublingTrajectory()], until=10.0)
+        assert "0" in art
+        assert "time flows downward" in art
+
+    def test_multiple_robots_distinct_marks(self):
+        art = render_fleet_diagram(
+            [LinearTrajectory(1), LinearTrajectory(-1)], until=5.0
+        )
+        assert "0" in art and "1" in art
+
+    def test_with_cone(self):
+        art = render_fleet_diagram(
+            [DoublingTrajectory()], until=10.0, cone=Cone(3.0)
+        )
+        assert "." in art
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            render_fleet_diagram([], until=5.0)
+        with pytest.raises(InvalidParameterError):
+            render_fleet_diagram([DoublingTrajectory()], until=0.0)
+
+    def test_explicit_extent(self):
+        art = render_fleet_diagram(
+            [LinearTrajectory(1)], until=4.0, x_extent=10.0
+        )
+        assert "[-10, 10]" in art
+
+
+class TestLineChart:
+    def test_renders_marks(self):
+        chart = line_chart([1, 2, 3, 4], [4, 3, 2, 1], width=20, height=6)
+        assert chart.count("*") == 4
+        assert "y in [1, 4]" in chart
+
+    def test_flat_series_handled(self):
+        chart = line_chart([1, 2], [5, 5], width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart([1], [1])
+        with pytest.raises(InvalidParameterError):
+            line_chart([1, 2], [1, float("inf")])
+        with pytest.raises(InvalidParameterError):
+            line_chart([1, 1], [1, 2])

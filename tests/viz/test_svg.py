@@ -1,0 +1,40 @@
+"""Unit tests for the SVG renderer."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.cone import Cone
+from repro.trajectory.doubling import DoublingTrajectory
+from repro.trajectory.linear import LinearTrajectory
+from repro.viz.svg import fleet_svg, save_fleet_svg
+
+
+class TestFleetSvg:
+    def test_valid_document(self):
+        doc = fleet_svg([DoublingTrajectory()], until=10.0)
+        assert doc.startswith("<svg")
+        assert doc.rstrip().endswith("</svg>")
+        assert "polyline" in doc
+
+    def test_legend_per_robot(self):
+        doc = fleet_svg(
+            [LinearTrajectory(1), LinearTrajectory(-1)], until=5.0
+        )
+        assert "a_0" in doc and "a_1" in doc
+
+    def test_cone_rendered(self):
+        doc = fleet_svg([DoublingTrajectory()], until=10.0, cone=Cone(3.0))
+        # two boundary lines plus the dashed origin axis
+        assert doc.count("<line") >= 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            fleet_svg([], until=5.0)
+        with pytest.raises(InvalidParameterError):
+            fleet_svg([DoublingTrajectory()], until=-1.0)
+
+    def test_save_to_file(self, tmp_path):
+        path = tmp_path / "diagram.svg"
+        save_fleet_svg(str(path), [DoublingTrajectory()], until=8.0)
+        content = path.read_text()
+        assert content.startswith("<svg")
