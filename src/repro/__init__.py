@@ -57,6 +57,7 @@ from repro.errors import (
     AdversaryError,
     ExperimentError,
     InvalidParameterError,
+    InvariantViolationError,
     LineSearchError,
     ScheduleError,
     SimulationError,
@@ -66,11 +67,23 @@ from repro.geometry import Cone, SpaceTimePoint
 from repro.lowerbound import AdversaryWitness, TargetLadder, TheoremTwoGame
 from repro.robots import (
     AdversarialFaults,
+    BehavioralFaults,
+    ByzantineFalseAlarmFault,
+    CrashDetectionFault,
+    CrashStopFault,
+    FaultBehavior,
     FaultModel,
     FixedFaults,
     Fleet,
+    ProbabilisticDetectionFault,
     RandomFaults,
     Robot,
+)
+from repro.robustness import (
+    CampaignReport,
+    ScenarioSpec,
+    chaos_scenarios,
+    run_campaign,
 )
 from repro.schedule import (
     CustomBetaAlgorithm,
@@ -98,27 +111,36 @@ __all__ = [
     "AdversarialFaults",
     "AdversaryError",
     "AdversaryWitness",
+    "BehavioralFaults",
+    "ByzantineFalseAlarmFault",
+    "CampaignReport",
     "CompetitiveRatioEstimator",
     "Cone",
     "ConeZigZag",
+    "CrashDetectionFault",
+    "CrashStopFault",
     "CustomBetaAlgorithm",
     "DelayedGroupDoubling",
     "DoublingTrajectory",
     "ExperimentError",
+    "FaultBehavior",
     "FaultModel",
     "FixedFaults",
     "Fleet",
     "GeometricZigZag",
     "GroupDoubling",
     "InvalidParameterError",
+    "InvariantViolationError",
     "LineSearchError",
     "LinearTrajectory",
     "PiecewiseTrajectory",
+    "ProbabilisticDetectionFault",
     "ProportionalAlgorithm",
     "ProportionalSchedule",
     "RandomFaults",
     "Regime",
     "Robot",
+    "ScenarioSpec",
     "ScheduleError",
     "SearchAlgorithm",
     "SearchParameters",
@@ -136,6 +158,7 @@ __all__ = [
     "__version__",
     "algorithm_competitive_ratio",
     "asymptotic_cr",
+    "chaos_scenarios",
     "competitive_ratio",
     "lower_bound",
     "max_fault_budget",
@@ -145,6 +168,7 @@ __all__ = [
     "optimal_beta",
     "optimal_expansion_factor",
     "proportionality_ratio",
+    "run_campaign",
     "schedule_competitive_ratio",
     "simulate_search",
     "theorem2_lower_bound",

@@ -12,7 +12,9 @@ Subcommands:
 * ``schedule`` — inspect an ``A(n, f)`` schedule's turning points;
 * ``validate`` — admissibility check for a configuration;
 * ``experiment`` — run any experiment from the registry by id;
-* ``export`` — write experiment data as CSV.
+* ``export`` — write experiment data as CSV;
+* ``chaos`` — run a seeded fault-injection campaign across the fault
+  taxonomy with per-scenario isolation and invariant checking.
 """
 
 from __future__ import annotations
@@ -120,6 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="turning points shown per robot")
     p_sched.add_argument("--diagram", action="store_true",
                          help="also draw the space-time diagram")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign"
+    )
+    p_chaos.add_argument(
+        "--pairs", nargs="+", default=["3,1", "4,2", "5,3"],
+        metavar="N,F", help="fleet parameter pairs (default: 3,1 4,2 5,3)",
+    )
+    p_chaos.add_argument(
+        "--targets", nargs="+", type=float,
+        default=[1.0, -1.5, 2.5, -4.0, 7.0],
+        help="target positions probed per pair",
+    )
+    p_chaos.add_argument(
+        "--faults", nargs="+", default=None,
+        help="fault spec strings (default: the whole taxonomy)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="master seed for the campaign")
+    p_chaos.add_argument("--no-invariants", action="store_true",
+                         help="skip the runtime invariant audit")
+    p_chaos.add_argument("--max-failures", type=int, default=10,
+                         help="failures shown in the report")
     return parser
 
 
@@ -325,6 +350,33 @@ def _cmd_schedule(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from repro.robustness import FAULT_KINDS, chaos_scenarios, run_campaign
+
+    pairs = []
+    for raw in args.pairs:
+        try:
+            n_text, f_text = raw.split(",")
+            pairs.append((int(n_text), int(f_text)))
+        except ValueError:
+            raise LineSearchError(
+                f"--pairs entries must look like N,F — got {raw!r}"
+            ) from None
+    scenarios = chaos_scenarios(
+        pairs,
+        args.targets,
+        faults=tuple(args.faults) if args.faults else FAULT_KINDS,
+        seed=args.seed,
+    )
+    report = run_campaign(
+        scenarios, check_invariants=not args.no_invariants
+    )
+    return (
+        f"{len(scenarios)} scenarios (seed {args.seed})\n"
+        + report.describe(max_failures=args.max_failures)
+    )
+
+
 _DISPATCH = {
     "info": _cmd_info,
     "simulate": _cmd_simulate,
@@ -337,6 +389,7 @@ _DISPATCH = {
     "export": _cmd_export,
     "validate": _cmd_validate,
     "schedule": _cmd_schedule,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -42,6 +42,7 @@ from repro.core.optimal import (
 )
 from repro.core.parameters import Regime, SearchParameters
 from repro.core.planning import max_fault_budget, min_fleet_size
+from repro.core.tolerance import TIME_RTOL, times_close
 from repro.core.proportional import (
     beta_for_ratio,
     combined_turning_points,
@@ -55,6 +56,7 @@ __all__ = [
     "Regime",
     "SINGLE_ROBOT_CR",
     "SearchParameters",
+    "TIME_RTOL",
     "algorithm_competitive_ratio",
     "asymptotic_cr",
     "beta_for_ratio",
@@ -77,5 +79,6 @@ __all__ = [
     "t_f_plus_1_at_turning_point",
     "theorem2_lower_bound",
     "theorem2_residual",
+    "times_close",
     "turning_time",
 ]

@@ -1,0 +1,36 @@
+"""Shared numeric tolerances for time comparisons.
+
+Detection times, visit times, and turning times are computed analytically
+(closed-form intersections of unit-speed legs), so two quantities that
+are mathematically equal differ at most by floating-point round-off that
+grows with magnitude.  Every "are these the same instant?" comparison in
+the library therefore uses the same *relative* tolerance, anchored at 1
+so that times near zero are compared absolutely:
+
+    |a - b| <= TIME_RTOL * (1 + max(|a|, |b|))
+
+Centralizing the expression keeps the engine, the schedule validator,
+and the invariant checker consistent — a disagreement between them about
+what counts as "simultaneous" would make the invariant checker reject
+outcomes the engine considers exact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIME_RTOL", "times_close"]
+
+#: Relative tolerance for comparing analytically computed times (and the
+#: matching slack for unit-speed and origin-start checks).
+TIME_RTOL = 1e-9
+
+
+def times_close(a: float, b: float, rtol: float = TIME_RTOL) -> bool:
+    """Whether two time stamps are equal up to analytic round-off.
+
+    Examples:
+        >>> times_close(3.0, 3.0 + 1e-12)
+        True
+        >>> times_close(3.0, 3.1)
+        False
+    """
+    return abs(a - b) <= rtol * (1.0 + max(abs(a), abs(b)))

@@ -14,6 +14,7 @@ __all__ = [
     "TrajectoryError",
     "ScheduleError",
     "SimulationError",
+    "InvariantViolationError",
     "AdversaryError",
     "ExperimentError",
 ]
@@ -47,6 +48,17 @@ class ScheduleError(LineSearchError):
 
 class SimulationError(LineSearchError):
     """The simulation engine reached an inconsistent state."""
+
+
+class InvariantViolationError(SimulationError):
+    """A simulation outcome failed a runtime invariant audit.
+
+    Raised by :mod:`repro.simulation.invariants` when an event log or
+    detection time contradicts the model: events out of order, a leg
+    faster than unit speed, a robot not starting at the origin, or a
+    claimed detection inconsistent with ``T_{f+1}``.  The message lists
+    every violated invariant.
+    """
 
 
 class AdversaryError(LineSearchError):

@@ -1,13 +1,25 @@
-"""Robots, fleets, and fault models.
+"""Robots, fleets, fault models, and fault behaviors.
 
 * :class:`~repro.robots.robot.Robot` — identity + trajectory + fault flag;
 * :class:`~repro.robots.fleet.Fleet` — the collection the simulator runs,
   with the ``T_{f+1}`` visit statistics;
-* :mod:`repro.robots.faults` — adversarial / fixed / random fault models.
+* :mod:`repro.robots.faults` — adversarial / fixed / random / behavioral
+  fault models (who is faulty);
+* :mod:`repro.robots.behaviors` — the generalized fault taxonomy (how a
+  faulty robot misbehaves): crash-detection, crash-stop, Byzantine false
+  alarms, probabilistic detection.
 """
 
+from repro.robots.behaviors import (
+    ByzantineFalseAlarmFault,
+    CrashDetectionFault,
+    CrashStopFault,
+    FaultBehavior,
+    ProbabilisticDetectionFault,
+)
 from repro.robots.faults import (
     AdversarialFaults,
+    BehavioralFaults,
     FaultModel,
     FixedFaults,
     RandomFaults,
@@ -17,9 +29,15 @@ from repro.robots.robot import Robot
 
 __all__ = [
     "AdversarialFaults",
+    "BehavioralFaults",
+    "ByzantineFalseAlarmFault",
+    "CrashDetectionFault",
+    "CrashStopFault",
+    "FaultBehavior",
     "FaultModel",
     "FixedFaults",
     "Fleet",
+    "ProbabilisticDetectionFault",
     "RandomFaults",
     "Robot",
 ]

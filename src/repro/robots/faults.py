@@ -14,23 +14,53 @@ Two further models support experiments beyond the worst case:
   Carlo comparisons of average-case vs worst-case detection time.
 
 All models answer the same question: *given a fleet and a target, which
-robots are faulty?* — via :meth:`FaultModel.assign`.
+robots are faulty and how do they misbehave?* — via
+:meth:`FaultModel.behaviors`, which maps each faulty index to a
+:class:`~repro.robots.behaviors.FaultBehavior`.  For the three models
+above every faulty robot gets the paper's
+:class:`~repro.robots.behaviors.CrashDetectionFault`; the generalized
+taxonomy (crash-stop, Byzantine false alarms, probabilistic detection)
+is assigned explicitly with :class:`BehavioralFaults`.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Set
+from typing import Dict, Mapping, Optional, Sequence, Set
 
 from repro.errors import InvalidParameterError
+from repro.robots.behaviors import (
+    ByzantineFalseAlarmFault,
+    CrashDetectionFault,
+    CrashStopFault,
+    FaultBehavior,
+    ProbabilisticDetectionFault,
+)
 from repro.robots.fleet import Fleet
 
-__all__ = ["FaultModel", "AdversarialFaults", "FixedFaults", "RandomFaults"]
+__all__ = [
+    "FaultModel",
+    "AdversarialFaults",
+    "FixedFaults",
+    "RandomFaults",
+    "BehavioralFaults",
+    # re-exported taxonomy, so the whole fault axis imports from one place
+    "FaultBehavior",
+    "CrashDetectionFault",
+    "CrashStopFault",
+    "ByzantineFalseAlarmFault",
+    "ProbabilisticDetectionFault",
+]
 
 
 class FaultModel(ABC):
     """Strategy deciding the faulty subset for a fleet and target."""
+
+    #: Whether repeated :meth:`assign`/:meth:`behaviors` calls may differ
+    #: (e.g. fresh random draws).  Campaign runners use this to decide
+    #: which failed scenarios deserve a retry.
+    is_stochastic: bool = False
 
     def __init__(self, fault_budget: int) -> None:
         if fault_budget < 0:
@@ -43,14 +73,32 @@ class FaultModel(ABC):
     def assign(self, fleet: Fleet, target: float) -> Set[int]:
         """Return the indices of the faulty robots (at most the budget)."""
 
+    def behaviors(self, fleet: Fleet, target: float) -> Dict[int, FaultBehavior]:
+        """Map each faulty index to its fault behavior.
+
+        The default wraps :meth:`assign` and gives every faulty robot
+        the paper's crash-detection semantics.  Stochastic models draw a
+        fresh assignment per call, so engines must call *either* this
+        *or* :meth:`assign` once per scenario, never both.
+        """
+        return {i: CrashDetectionFault() for i in self.assign(fleet, target)}
+
     def detection_time(self, fleet: Fleet, target: float) -> float:
         """Detection time of ``target`` under this model's assignment."""
-        faulty = self.assign(fleet, target)
-        return fleet.with_faults(faulty).detection_time(target)
+        return fleet.with_fault_behaviors(
+            self.behaviors(fleet, target)
+        ).detection_time(target)
 
     def describe(self) -> str:
         """One-line summary."""
         return f"{type(self).__name__}(f={self.fault_budget})"
+
+    def _check_budget_fits(self, fleet: Fleet) -> None:
+        if self.fault_budget > fleet.size:
+            raise InvalidParameterError(
+                f"fault budget {self.fault_budget} exceeds fleet size "
+                f"{fleet.size}"
+            )
 
 
 class AdversarialFaults(FaultModel):
@@ -69,6 +117,7 @@ class AdversarialFaults(FaultModel):
     """
 
     def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        self._check_budget_fits(fleet)
         return fleet.worst_fault_assignment(target, self.fault_budget)
 
 
@@ -79,6 +128,8 @@ class FixedFaults(FaultModel):
         >>> model = FixedFaults([0, 2])
         >>> model.fault_budget
         2
+        >>> model.describe()
+        'FixedFaults(indices=[0, 2])'
     """
 
     def __init__(self, faulty_indices: Sequence[int]) -> None:
@@ -99,6 +150,9 @@ class FixedFaults(FaultModel):
             )
         return set(self.faulty_indices)
 
+    def describe(self) -> str:
+        return f"FixedFaults(indices={sorted(self.faulty_indices)})"
+
 
 class RandomFaults(FaultModel):
     """A uniformly random ``f``-subset of the fleet.
@@ -109,6 +163,8 @@ class RandomFaults(FaultModel):
 
     Examples:
         >>> model = RandomFaults(1, seed=7)
+        >>> model.describe()
+        'RandomFaults(f=1, seed=7)'
         >>> from repro.trajectory import LinearTrajectory
         >>> fleet = Fleet.from_trajectories(
         ...     [LinearTrajectory(1), LinearTrajectory(-1), LinearTrajectory(1)]
@@ -117,14 +173,74 @@ class RandomFaults(FaultModel):
         1
     """
 
+    is_stochastic = True
+
     def __init__(self, fault_budget: int, seed: Optional[int] = None) -> None:
         super().__init__(fault_budget)
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def assign(self, fleet: Fleet, target: float) -> Set[int]:
-        if self.fault_budget > fleet.size:
-            raise InvalidParameterError(
-                f"fault budget {self.fault_budget} exceeds fleet size "
-                f"{fleet.size}"
-            )
+        self._check_budget_fits(fleet)
         return set(self._rng.sample(range(fleet.size), self.fault_budget))
+
+    def describe(self) -> str:
+        return f"RandomFaults(f={self.fault_budget}, seed={self.seed})"
+
+
+class BehavioralFaults(FaultModel):
+    """An explicit per-robot assignment of fault behaviors.
+
+    The entry point to the generalized taxonomy: map robot indices to
+    :class:`~repro.robots.behaviors.FaultBehavior` instances and hand
+    the model to the engine.
+
+    Examples:
+        >>> model = BehavioralFaults({0: CrashStopFault(2.0)})
+        >>> model.fault_budget
+        1
+        >>> from repro.trajectory import LinearTrajectory
+        >>> fleet = Fleet.from_trajectories(
+        ...     [LinearTrajectory(1), LinearTrajectory(-1), LinearTrajectory(1)]
+        ... )
+        >>> sorted(model.assign(fleet, 1.0))
+        [0]
+    """
+
+    def __init__(self, behavior_map: Mapping[int, FaultBehavior]) -> None:
+        behaviors = dict(behavior_map)
+        if any(i < 0 for i in behaviors):
+            raise InvalidParameterError(
+                f"fault indices must be non-negative, got {sorted(behaviors)}"
+            )
+        for index, behavior in behaviors.items():
+            if not isinstance(behavior, FaultBehavior):
+                raise InvalidParameterError(
+                    f"behavior for robot {index} must be a FaultBehavior, "
+                    f"got {behavior!r}"
+                )
+        super().__init__(len(behaviors))
+        self.behavior_map = behaviors
+
+    @property
+    def is_stochastic(self) -> bool:  # type: ignore[override]
+        return any(b.is_stochastic for b in self.behavior_map.values())
+
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        out_of_range = set(self.behavior_map) - set(range(fleet.size))
+        if out_of_range:
+            raise InvalidParameterError(
+                f"fault indices out of range for fleet of {fleet.size}: "
+                f"{sorted(out_of_range)}"
+            )
+        return set(self.behavior_map)
+
+    def behaviors(self, fleet: Fleet, target: float) -> Dict[int, FaultBehavior]:
+        self.assign(fleet, target)  # range validation
+        return dict(self.behavior_map)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{i}: {b.kind}" for i, b in sorted(self.behavior_map.items())
+        )
+        return f"BehavioralFaults({{{parts}}})"

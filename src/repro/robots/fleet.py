@@ -13,9 +13,19 @@ The fleet is the unit the simulator operates on.  Its central queries:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import InvalidParameterError
+from repro.robots.behaviors import FaultBehavior
 from repro.robots.robot import Robot
 from repro.trajectory.base import Trajectory
 from repro.trajectory.visits import (
@@ -108,6 +118,32 @@ class Fleet:
             ]
         )
 
+    def with_fault_behaviors(
+        self, behaviors: Mapping[int, FaultBehavior]
+    ) -> "Fleet":
+        """Copy of the fleet with per-robot fault behaviors attached.
+
+        Robots named in ``behaviors`` become faulty with the given
+        behavior; all others become reliable.  Passing every faulty
+        index with :class:`~repro.robots.behaviors.CrashDetectionFault`
+        is exactly equivalent to :meth:`with_faults`.
+        """
+        unknown = set(behaviors) - set(range(self.size))
+        if unknown:
+            raise InvalidParameterError(
+                f"fault indices out of range: {sorted(unknown)}"
+            )
+        return Fleet(
+            [
+                (
+                    r.as_faulty(behavior=behaviors[r.index])
+                    if r.index in behaviors
+                    else r.as_reliable()
+                )
+                for r in self._robots
+            ]
+        )
+
     # ------------------------------------------------------------------
     # visit statistics
     # ------------------------------------------------------------------
@@ -133,16 +169,17 @@ class Fleet:
     # ------------------------------------------------------------------
 
     def detection_time(self, x: float) -> float:
-        """First visit of ``x`` by a robot currently marked reliable.
+        """First *genuine* detection of a target at ``x``.
 
-        Robots with undecided fault status count as reliable.  Returns
-        ``inf`` when no reliable robot ever visits ``x``.
+        Robots with undecided fault status count as reliable; faulty
+        robots contribute according to their fault behavior (the paper's
+        crash-detection default never detects, a crash-stop robot
+        detects until it halts, …).  Returns ``inf`` when no robot ever
+        detects ``x``.
         """
         best = math.inf
         for robot in self._robots:
-            if not robot.can_detect:
-                continue
-            t = robot.first_visit_time(x)
+            t = robot.detection_time_for(x)
             if t is not None and t < best:
                 best = t
         return best

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import InvalidParameterError
+from repro.robots.behaviors import FaultBehavior
 from repro.trajectory.base import Trajectory
 
 __all__ = ["Robot"]
@@ -30,6 +31,10 @@ class Robot:
         faulty: Whether this robot fails to detect the target.  ``None``
             means "not yet decided" — useful when the adversary assigns
             faults after inspecting trajectories.
+        behavior: *How* a faulty robot misbehaves.  ``None`` on a faulty
+            robot means the paper's model (crash-detection: full
+            trajectory, no detections).  Only faulty robots carry a
+            behavior.
 
     Examples:
         >>> from repro.trajectory import DoublingTrajectory
@@ -43,6 +48,7 @@ class Robot:
     index: int
     trajectory: Trajectory
     faulty: Optional[bool] = field(default=None)
+    behavior: Optional[FaultBehavior] = field(default=None)
 
     def __post_init__(self) -> None:
         if not isinstance(self.index, int) or isinstance(self.index, bool):
@@ -55,6 +61,17 @@ class Robot:
             raise InvalidParameterError(
                 f"trajectory must be a Trajectory, got {self.trajectory!r}"
             )
+        if self.behavior is not None and not isinstance(
+            self.behavior, FaultBehavior
+        ):
+            raise InvalidParameterError(
+                f"behavior must be a FaultBehavior, got {self.behavior!r}"
+            )
+        if self.behavior is not None and self.faulty is not True:
+            raise InvalidParameterError(
+                "only faulty robots carry a fault behavior"
+            )
+        self._effective: Optional[Trajectory] = None
 
     @property
     def name(self) -> str:
@@ -70,17 +87,44 @@ class Robot:
         """
         return self.faulty is not True
 
+    @property
+    def effective_trajectory(self) -> Trajectory:
+        """The trajectory the robot actually follows.
+
+        Identical to :attr:`trajectory` unless the fault behavior alters
+        motion (e.g. a crash-stop truncation).  Cached so repeated
+        queries share materialized segments.
+        """
+        if self.behavior is None:
+            return self.trajectory
+        if self._effective is None:
+            self._effective = self.behavior.apply_trajectory(self.trajectory)
+        return self._effective
+
     def position_at(self, time: float) -> float:
-        """Delegate to the trajectory."""
-        return self.trajectory.position_at(time)
+        """Delegate to the effective trajectory."""
+        return self.effective_trajectory.position_at(time)
 
     def first_visit_time(self, x: float) -> Optional[float]:
-        """Delegate to the trajectory."""
+        """Delegate to the (planned) trajectory."""
         return self.trajectory.first_visit_time(x)
 
-    def as_faulty(self) -> "Robot":
+    def detection_time_for(self, x: float) -> Optional[float]:
+        """When this robot *genuinely* detects a target at ``x``.
+
+        ``None`` means never: the robot is faulty in the paper's sense,
+        its behavior suppresses every detection, or it simply never
+        reaches ``x``.
+        """
+        if self.behavior is not None:
+            return self.behavior.detection_time(self.trajectory, x)
+        if self.faulty is True:
+            return None
+        return self.trajectory.first_visit_time(x)
+
+    def as_faulty(self, behavior: Optional[FaultBehavior] = None) -> "Robot":
         """Copy of this robot marked faulty (trajectory shared)."""
-        return Robot(self.index, self.trajectory, faulty=True)
+        return Robot(self.index, self.trajectory, faulty=True, behavior=behavior)
 
     def as_reliable(self) -> "Robot":
         """Copy of this robot marked reliable (trajectory shared)."""
@@ -89,4 +133,6 @@ class Robot:
     def describe(self) -> str:
         """One-line summary for reports."""
         status = {None: "undecided", True: "FAULTY", False: "reliable"}[self.faulty]
+        if self.behavior is not None:
+            status += f", {self.behavior.kind}"
         return f"{self.name} [{status}]: {self.trajectory.describe()}"

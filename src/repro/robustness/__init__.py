@@ -1,0 +1,39 @@
+"""Fault injection, chaos campaigns, and graceful degradation.
+
+The robustness layer hardens the reproduction beyond the paper's single
+fault model: it runs large seeded batches of scenarios across the whole
+fault taxonomy (:mod:`repro.robots.behaviors`), isolates every failure
+into a structured, replayable report entry instead of aborting the
+sweep, and cross-checks engine outputs against the runtime invariants
+in :mod:`repro.simulation.invariants`.
+
+Entry points:
+
+* :func:`~repro.robustness.campaign.chaos_scenarios` — build the seeded
+  grid of fleets × targets × fault specs;
+* :func:`~repro.robustness.campaign.run_campaign` — execute with
+  per-scenario fault isolation and retry-once for stochastic scenarios;
+* ``linesearch chaos`` — the same from the command line.
+"""
+
+from repro.robustness.campaign import (
+    FAULT_KINDS,
+    CampaignReport,
+    Scenario,
+    ScenarioResult,
+    ScenarioSpec,
+    build_scenario,
+    chaos_scenarios,
+    run_campaign,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_scenario",
+    "chaos_scenarios",
+    "run_campaign",
+]

@@ -1,0 +1,390 @@
+"""Chaos campaigns: seeded scenario batches with per-scenario isolation.
+
+A *campaign* executes many search scenarios — fleets × targets × fault
+specs — and never lets one bad scenario abort the sweep.  Each scenario
+runs inside its own fault boundary: any exception (a broken fault model,
+a speed-violating trajectory, an invariant audit failure, …) is captured
+into a structured :class:`ScenarioResult` carrying the error class, the
+seed, and the declarative :class:`ScenarioSpec`, so every failure is
+replayable in isolation.  Stochastic scenarios that fail are retried
+once before being recorded — a transient unlucky draw should not
+pollute a robustness report.
+
+The declarative layer is deliberately small: a :class:`ScenarioSpec`
+names an ``(n, f)`` fleet (built with the paper's regime rules), a
+target, a fault spec string, and a seed.  Fault spec strings cover the
+whole taxonomy::
+
+    none                   no faults
+    adversarial            the paper's worst-case adversary, budget f
+    random                 uniformly random f-subset (seeded)
+    fixed                  robots 0..f-1 are crash-detection faulty
+    crash_stop:T           robots 0..f-1 halt at T*(i+1)
+    byzantine:T1;T2;...    robots 0..f-1 raise false alarms at the T_i
+    probabilistic:P        robots 0..f-1 detect each visit w.p. P (seeded)
+
+Programmatic callers can bypass the DSL entirely by handing
+:func:`run_campaign` arbitrary :class:`Scenario` objects whose ``build``
+callables produce any fleet/fault-model pair — including deliberately
+broken ones, which is exactly how the test suite chaos-tests the engine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError, LineSearchError
+from repro.robots.faults import (
+    AdversarialFaults,
+    BehavioralFaults,
+    ByzantineFalseAlarmFault,
+    CrashStopFault,
+    FaultModel,
+    FixedFaults,
+    ProbabilisticDetectionFault,
+    RandomFaults,
+)
+from repro.robots.fleet import Fleet
+from repro.simulation.engine import SearchSimulation
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignReport",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_scenario",
+    "chaos_scenarios",
+    "run_campaign",
+]
+
+#: Fault spec kinds understood by :class:`ScenarioSpec`.
+FAULT_KINDS = (
+    "none",
+    "adversarial",
+    "random",
+    "fixed",
+    "crash_stop",
+    "byzantine",
+    "probabilistic",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative recipe for one scenario — everything a replay needs.
+
+    Examples:
+        >>> spec = ScenarioSpec(n=3, f=1, target=2.0, fault="adversarial", seed=7)
+        >>> spec.describe()
+        'A(3,1) target=2 fault=adversarial seed=7'
+    """
+
+    n: int
+    f: int
+    target: float
+    fault: str = "adversarial"
+    seed: Optional[int] = None
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"A({self.n},{self.f}) target={self.target:g} "
+            f"fault={self.fault} seed={self.seed}"
+        )
+
+
+@dataclass
+class Scenario:
+    """An executable scenario: a spec plus the factory realizing it.
+
+    ``build`` is called fresh on every attempt (including retries) and
+    returns the fleet and fault model to simulate.  Custom scenarios may
+    pair any spec with any factory — the spec is documentation and
+    replay metadata, the factory is the truth.
+    """
+
+    spec: ScenarioSpec
+    build: Callable[[], Tuple[Fleet, FaultModel]]
+    stochastic: bool = False
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The isolated outcome of one scenario, success or failure."""
+
+    spec: ScenarioSpec
+    ok: bool
+    attempts: int = 1
+    detection_time: Optional[float] = None
+    competitive_ratio: Optional[float] = None
+    detecting_robot: Optional[int] = None
+    faulty_robots: Tuple[int, ...] = ()
+    error: Optional[str] = None
+    error_message: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line summary."""
+        if self.ok:
+            detection = (
+                f"T={self.detection_time:.6g}"
+                if self.detection_time is not None
+                and math.isfinite(self.detection_time)
+                else "undetected"
+            )
+            return f"ok   {self.spec.describe()}: {detection}"
+        retried = " (retried)" if self.attempts > 1 else ""
+        return (
+            f"FAIL {self.spec.describe()}: {self.error}: "
+            f"{self.error_message}{retried}"
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated results of a campaign, failures isolated and replayable."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of scenarios executed."""
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> int:
+        """Number of scenarios that completed without error."""
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def failed(self) -> int:
+        """Number of scenarios captured as failures."""
+        return self.total - self.succeeded
+
+    def failures(self) -> List[ScenarioResult]:
+        """The failed results, in execution order."""
+        return [r for r in self.results if not r.ok]
+
+    def error_counts(self) -> Dict[str, int]:
+        """Failure tally per error class."""
+        counts: Dict[str, int] = {}
+        for result in self.failures():
+            counts[result.error or "?"] = counts.get(result.error or "?", 0) + 1
+        return counts
+
+    def describe(self, max_failures: int = 10) -> str:
+        """Multi-line campaign summary."""
+        lines = [
+            f"chaos campaign: {self.succeeded}/{self.total} scenarios ok, "
+            f"{self.failed} failure(s) isolated"
+        ]
+        for error, count in sorted(self.error_counts().items()):
+            lines.append(f"  {error}: {count}")
+        shown = self.failures()[:max_failures]
+        if shown:
+            lines.append("first failures (replay via spec + seed):")
+            lines.extend("  " + r.describe() for r in shown)
+            hidden = self.failed - len(shown)
+            if hidden > 0:
+                lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# spec realization
+# ----------------------------------------------------------------------
+
+def _algorithm_for(n: int, f: int):
+    from repro.baselines import TwoGroupAlgorithm
+    from repro.core import SearchParameters
+    from repro.schedule import ProportionalAlgorithm
+
+    params = SearchParameters(n, f)
+    if params.is_proportional:
+        return ProportionalAlgorithm(n, f)
+    return TwoGroupAlgorithm(n, f)
+
+
+def _fault_model_for(spec: ScenarioSpec) -> Tuple[FaultModel, bool]:
+    """Realize the fault spec string; returns ``(model, stochastic)``."""
+    kind, _, argument = spec.fault.partition(":")
+    seed = spec.seed
+    if kind == "none":
+        return AdversarialFaults(0), False
+    if kind == "adversarial":
+        return AdversarialFaults(spec.f), False
+    if kind == "random":
+        return RandomFaults(spec.f, seed=seed), True
+    if kind == "fixed":
+        if argument:
+            indices = [int(i) for i in argument.split(",")]
+        else:
+            indices = list(range(spec.f))
+        return FixedFaults(indices), False
+    if kind == "crash_stop":
+        halt = float(argument) if argument else 2.0
+        return (
+            BehavioralFaults(
+                {i: CrashStopFault(halt * (i + 1)) for i in range(spec.f)}
+            ),
+            False,
+        )
+    if kind == "byzantine":
+        alarms = (
+            [float(t) for t in argument.split(";")] if argument else [0.5, 1.5]
+        )
+        return (
+            BehavioralFaults(
+                {i: ByzantineFalseAlarmFault(alarms) for i in range(spec.f)}
+            ),
+            False,
+        )
+    if kind == "probabilistic":
+        p = float(argument) if argument else 0.5
+        base = seed if seed is not None else 0
+        return (
+            BehavioralFaults(
+                {
+                    i: ProbabilisticDetectionFault(p, seed=base + i)
+                    for i in range(spec.f)
+                }
+            ),
+            True,
+        )
+    raise InvalidParameterError(
+        f"unknown fault spec {spec.fault!r}; kinds: {', '.join(FAULT_KINDS)}"
+    )
+
+
+def build_scenario(spec: ScenarioSpec) -> Scenario:
+    """Realize a declarative spec into an executable scenario.
+
+    Examples:
+        >>> scenario = build_scenario(ScenarioSpec(3, 1, 2.0, "crash_stop:1.5"))
+        >>> fleet, model = scenario.build()
+        >>> fleet.size
+        3
+    """
+
+    def factory() -> Tuple[Fleet, FaultModel]:
+        model, _ = _fault_model_for(spec)
+        return Fleet.from_algorithm(_algorithm_for(spec.n, spec.f)), model
+
+    _, stochastic = _fault_model_for(spec)
+    return Scenario(spec=spec, build=factory, stochastic=stochastic)
+
+
+def chaos_scenarios(
+    pairs: Sequence[Tuple[int, int]],
+    targets: Sequence[float],
+    faults: Sequence[str] = FAULT_KINDS,
+    seed: int = 0,
+) -> List[Scenario]:
+    """The full seeded grid of scenarios: pairs × targets × fault specs.
+
+    Per-scenario seeds are drawn from a master generator, so the whole
+    campaign is reproducible from ``seed`` alone and every entry is
+    replayable from its own recorded seed.
+
+    Examples:
+        >>> grid = chaos_scenarios([(3, 1)], [1.0, -2.0], ["none", "random"])
+        >>> len(grid)
+        4
+    """
+    master = random.Random(seed)
+    scenarios: List[Scenario] = []
+    for n, f in pairs:
+        for target in targets:
+            for fault in faults:
+                spec = ScenarioSpec(
+                    n=n,
+                    f=f,
+                    target=target,
+                    fault=fault,
+                    seed=master.randrange(2**32),
+                )
+                scenarios.append(build_scenario(spec))
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def _run_once(scenario: Scenario, check_invariants: bool):
+    fleet, model = scenario.build()
+    simulation = SearchSimulation(
+        fleet,
+        scenario.spec.target,
+        fault_model=model,
+        check_invariants=check_invariants,
+    )
+    return simulation.run(with_events=check_invariants)
+
+
+def run_campaign(
+    scenarios: Iterable[Scenario],
+    check_invariants: bool = True,
+    retry_stochastic: bool = True,
+) -> CampaignReport:
+    """Execute scenarios with per-scenario fault isolation.
+
+    A scenario that raises — during fleet construction, fault
+    assignment, simulation, or the invariant audit — is captured as a
+    failed :class:`ScenarioResult` and the campaign continues.
+    Stochastic scenarios get one retry before their failure is recorded.
+
+    Examples:
+        >>> report = run_campaign(chaos_scenarios([(3, 1)], [2.0], ["none"]))
+        >>> report.succeeded, report.failed
+        (1, 0)
+    """
+    report = CampaignReport()
+    for scenario in scenarios:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = _run_once(scenario, check_invariants)
+            except Exception as exc:
+                may_retry = (
+                    retry_stochastic and scenario.stochastic and attempts == 1
+                )
+                if may_retry:
+                    continue
+                error_class = (
+                    type(exc).__name__
+                    if isinstance(exc, LineSearchError)
+                    else f"{type(exc).__module__}.{type(exc).__name__}"
+                )
+                report.results.append(
+                    ScenarioResult(
+                        spec=scenario.spec,
+                        ok=False,
+                        attempts=attempts,
+                        error=error_class,
+                        error_message=str(exc),
+                    )
+                )
+                break
+            ratio = (
+                outcome.competitive_ratio
+                if math.isfinite(outcome.detection_time)
+                else None
+            )
+            report.results.append(
+                ScenarioResult(
+                    spec=scenario.spec,
+                    ok=True,
+                    attempts=attempts,
+                    detection_time=outcome.detection_time,
+                    competitive_ratio=ratio,
+                    detecting_robot=outcome.detecting_robot,
+                    faulty_robots=tuple(sorted(outcome.faulty_robots)),
+                )
+            )
+            break
+    return report

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.core.tolerance import TIME_RTOL
 from repro.errors import InvalidParameterError
 from repro.robots.fleet import Fleet
 from repro.schedule.base import SearchAlgorithm
@@ -132,7 +133,7 @@ def validate_algorithm(
 
     for index, trajectory in enumerate(trajectories):
         start_pos = trajectory.position_at(0.0)
-        if abs(start_pos) > 1e-9:
+        if abs(start_pos) > TIME_RTOL:
             report.issues.append(
                 ValidationIssue(
                     "error",
@@ -142,7 +143,7 @@ def validate_algorithm(
         # speed-limit sampling (materialization raises on violations,
         # so reaching here without TrajectoryError already checks legs)
         for seg in trajectory.segments_until(min(4.0 * x_max, 100.0)):
-            if seg.speed > 1.0 + 1e-9:
+            if seg.speed > 1.0 + TIME_RTOL:
                 report.issues.append(
                     ValidationIssue(
                         "error",

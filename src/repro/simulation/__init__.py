@@ -5,7 +5,9 @@
 * :class:`~repro.simulation.adversary.CompetitiveRatioEstimator` — the
   executable Lemma 5: measure ``sup K(x)`` by probing turning points;
 * :mod:`repro.simulation.sweep` — series data (beta sweeps, fleet-size
-  sweeps, target profiles) for experiments and figures.
+  sweeps, target profiles) for experiments and figures;
+* :mod:`repro.simulation.invariants` — runtime audits of engine outputs
+  (chronology, unit speed, origin start, detection consistency).
 """
 
 from repro.simulation.adversary import (
@@ -14,10 +16,17 @@ from repro.simulation.adversary import (
 )
 from repro.simulation.engine import SearchSimulation, simulate_search
 from repro.simulation.events import (
+    CrashEvent,
     DetectionEvent,
     Event,
+    FalseAlarmEvent,
     TargetVisitEvent,
     TurnEvent,
+)
+from repro.simulation.invariants import (
+    InvariantViolation,
+    audit_outcome,
+    check_outcome,
 )
 from repro.simulation.metrics import (
     CompetitiveRatioEstimate,
@@ -37,8 +46,11 @@ from repro.simulation.timestep import TimeSteppedSimulator
 __all__ = [
     "CompetitiveRatioEstimate",
     "CompetitiveRatioEstimator",
+    "CrashEvent",
     "DetectionEvent",
     "Event",
+    "FalseAlarmEvent",
+    "InvariantViolation",
     "RatioProfile",
     "RatioSample",
     "SearchOutcome",
@@ -47,7 +59,9 @@ __all__ = [
     "TargetVisitEvent",
     "TimeSteppedSimulator",
     "TurnEvent",
+    "audit_outcome",
     "beta_sweep",
+    "check_outcome",
     "fleet_size_sweep",
     "geometric_grid",
     "measure_competitive_ratio",

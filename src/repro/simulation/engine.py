@@ -9,7 +9,13 @@ error.
 
 The engine is the executable counterpart of Definition 3: with the
 adversarial fault model, the detection time it reports equals
-``T_{f+1}(x)``.
+``T_{f+1}(x)``.  Generalized fault behaviors (crash-stop, Byzantine
+false alarms, probabilistic detection — see
+:mod:`repro.robots.behaviors`) are honored through the same path: each
+robot contributes its *genuine* detection time, crash-stop truncations
+shape the rendered trajectory, and spurious Byzantine claims appear in
+the log as :class:`~repro.simulation.events.FalseAlarmEvent` without
+ever terminating the search.
 """
 
 from __future__ import annotations
@@ -17,10 +23,18 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional
 
+from repro.core.tolerance import times_close
 from repro.errors import InvalidParameterError, SimulationError
 from repro.robots.faults import AdversarialFaults, FaultModel
 from repro.robots.fleet import Fleet
-from repro.simulation.events import DetectionEvent, Event, TargetVisitEvent, TurnEvent
+from repro.simulation.events import (
+    CrashEvent,
+    DetectionEvent,
+    Event,
+    FalseAlarmEvent,
+    TargetVisitEvent,
+    TurnEvent,
+)
 from repro.simulation.metrics import SearchOutcome
 
 __all__ = ["SearchSimulation", "simulate_search"]
@@ -36,6 +50,11 @@ class SearchSimulation:
             normalization to callers).
         fault_model: Strategy deciding the faulty subset; defaults to the
             paper's worst-case adversary with budget 0 (no faults).
+        check_invariants: When true, every :meth:`run` audits its own
+            outcome with :func:`repro.simulation.invariants.check_outcome`
+            and raises :class:`~repro.errors.InvariantViolationError` on
+            any inconsistency.  Off by default — the audit re-derives
+            visit statistics and roughly doubles the per-scenario cost.
 
     Examples:
         >>> from repro.schedule import ProportionalAlgorithm
@@ -57,6 +76,7 @@ class SearchSimulation:
         fleet: Fleet,
         target: float,
         fault_model: Optional[FaultModel] = None,
+        check_invariants: bool = False,
     ) -> None:
         if not isinstance(fleet, Fleet):
             raise InvalidParameterError(f"fleet must be a Fleet, got {fleet!r}")
@@ -67,38 +87,59 @@ class SearchSimulation:
         self.fleet = fleet
         self.target = float(target)
         self.fault_model = fault_model or AdversarialFaults(0)
+        self.check_invariants = bool(check_invariants)
 
     def run(self, with_events: bool = True) -> SearchOutcome:
         """Execute the scenario.
 
         Args:
-            with_events: Whether to reconstruct the event log (turns and
-                target visits up to detection).  Disable for bulk
-                measurements where only the detection time matters.
+            with_events: Whether to reconstruct the event log (turns,
+                target visits, crashes, and false alarms up to
+                detection).  Disable for bulk measurements where only
+                the detection time matters; ignored (forced on) when
+                ``check_invariants`` is set, since the audit needs the
+                log.
 
         Raises:
             SimulationError: if the fault model returns more faults than
                 its own budget (a broken model).
+            InvariantViolationError: if ``check_invariants`` is set and
+                the outcome fails its audit.
         """
-        faulty = frozenset(self.fault_model.assign(self.fleet, self.target))
+        # A stochastic model redraws per call, so ask for the behavior
+        # map exactly once and derive everything else from it.
+        assignment = self.fault_model.behaviors(self.fleet, self.target)
+        faulty = frozenset(assignment)
         if len(faulty) > self.fault_model.fault_budget:
             raise SimulationError(
                 f"fault model assigned {len(faulty)} faults, more than its "
                 f"budget {self.fault_model.fault_budget}"
             )
-        assigned = self.fleet.with_faults(faulty)
+        assigned = self.fleet.with_fault_behaviors(assignment)
         detection_time = assigned.detection_time(self.target)
         detecting_robot = self._detecting_robot(assigned, detection_time)
         events: List[Event] = []
-        if with_events and math.isfinite(detection_time):
+        if (with_events or self.check_invariants) and math.isfinite(
+            detection_time
+        ):
             events = self._build_events(assigned, detection_time, detecting_robot)
-        return SearchOutcome(
+        outcome = SearchOutcome(
             target=self.target,
             detection_time=detection_time,
             detecting_robot=detecting_robot,
             faulty_robots=faulty,
             events=tuple(events),
         )
+        if self.check_invariants:
+            from repro.simulation.invariants import check_outcome
+
+            fault_budget = (
+                self.fault_model.fault_budget
+                if isinstance(self.fault_model, AdversarialFaults)
+                else None
+            )
+            check_outcome(outcome, fleet=assigned, fault_budget=fault_budget)
+        return outcome
 
     # ------------------------------------------------------------------
     # internals
@@ -110,15 +151,11 @@ class SearchSimulation:
         if not math.isfinite(detection_time):
             return None
         for robot in assigned:
-            if not robot.can_detect:
-                continue
-            t = robot.first_visit_time(self.target)
-            if t is not None and abs(t - detection_time) <= 1e-9 * (
-                1.0 + detection_time
-            ):
+            t = robot.detection_time_for(self.target)
+            if t is not None and times_close(t, detection_time):
                 return robot.index
         raise SimulationError(
-            "no reliable robot found at the computed detection time — "
+            "no robot found detecting at the computed detection time — "
             "inconsistent trajectory state"
         )
 
@@ -130,25 +167,42 @@ class SearchSimulation:
     ) -> List[Event]:
         events: List[Event] = []
         for robot in assigned:
-            for vertex in robot.trajectory.turning_points_until(detection_time):
+            trajectory = robot.effective_trajectory
+            genuine = robot.detection_time_for(self.target)
+            for vertex in trajectory.turning_points_until(detection_time):
                 if vertex.time <= detection_time:
                     events.append(
                         TurnEvent(vertex.time, robot.index, vertex.position)
                     )
-            for t in robot.trajectory.visit_times(self.target, detection_time):
+            for t in trajectory.visit_times(self.target, detection_time):
                 is_detection = (
                     robot.index == detecting_robot
-                    and abs(t - detection_time) <= 1e-9 * (1.0 + detection_time)
+                    and times_close(t, detection_time)
                 )
                 if is_detection:
                     continue  # rendered as the final DetectionEvent below
-                # Any reliable robot's visit in the log is necessarily a
-                # (tied) detection; faulty robots' visits are misses.
+                # A visit detects exactly when the robot's behavior says
+                # this is its genuine detection instant; every other
+                # logged visit is a miss (faulty robot, failed
+                # probabilistic draw, or post-detection tie).
+                detected = genuine is not None and times_close(t, genuine)
                 events.append(
                     TargetVisitEvent(
-                        t, robot.index, self.target, detected=robot.can_detect
+                        t, robot.index, self.target, detected=detected
                     )
                 )
+            if robot.behavior is not None:
+                halt = robot.behavior.halt_time
+                if halt is not None and halt <= detection_time:
+                    events.append(
+                        CrashEvent(halt, robot.index, trajectory.position_at(halt))
+                    )
+                for t in robot.behavior.false_alarm_times(
+                    trajectory, self.target, until=detection_time
+                ):
+                    events.append(
+                        FalseAlarmEvent(t, robot.index, trajectory.position_at(t))
+                    )
         if detecting_robot is not None:
             events.append(
                 DetectionEvent(detection_time, detecting_robot, self.target)

@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["Event", "TurnEvent", "TargetVisitEvent", "DetectionEvent"]
+__all__ = [
+    "Event",
+    "TurnEvent",
+    "TargetVisitEvent",
+    "DetectionEvent",
+    "CrashEvent",
+    "FalseAlarmEvent",
+]
 
 
 @dataclass(frozen=True)
@@ -87,4 +94,36 @@ class DetectionEvent(Event):
         return (
             f"t={self.time:.6g}: search complete — {self.robot_name} found "
             f"the target at x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class CrashEvent(Event):
+    """A crash-stop robot halted permanently at ``position``."""
+
+    position: float
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: {self.robot_name} crashes and halts at "
+            f"x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class FalseAlarmEvent(Event):
+    """A Byzantine robot falsely announced a detection.
+
+    Attributes:
+        position: Where the robot was when it raised the alarm — in
+            general *not* the target position, which is how hindsight
+            exposes the lie.
+    """
+
+    position: float
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: {self.robot_name} raises a FALSE alarm at "
+            f"x={self.position:.6g}"
         )

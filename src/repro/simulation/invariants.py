@@ -1,0 +1,283 @@
+"""Runtime invariant auditing for simulation outcomes.
+
+The engine computes detection times analytically, so its outputs obey a
+set of model-level invariants *by construction* — unless a trajectory,
+fault model, or future refactor breaks an assumption silently.  This
+module makes those invariants executable:
+
+* **chronology** — the event log is sorted by time and contains no
+  event after the claimed detection;
+* **origin start** — every robot starts at the origin at time 0;
+* **unit speed** — no rendered leg exceeds speed 1;
+* **detection consistency** — a finite detection time is at least
+  ``|target|``, is carried by exactly one
+  :class:`~repro.simulation.events.DetectionEvent` naming the detecting
+  robot, agrees with that robot's genuine detection semantics, and (for
+  the paper's adversarial model) equals ``T_{f+1}(target)``;
+* **no post-hoc detections** — no robot's visit is marked detected
+  strictly before or after the claimed detection time, and false alarms
+  never masquerade as detections.
+
+Use :func:`audit_outcome` to collect violations without raising, or
+:func:`check_outcome` (also reachable as
+``SearchSimulation(..., check_invariants=True)``) to raise
+:class:`~repro.errors.InvariantViolationError` on the first audit that
+fails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.tolerance import TIME_RTOL, times_close
+from repro.errors import InvariantViolationError
+from repro.robots.fleet import Fleet
+from repro.simulation.events import DetectionEvent, FalseAlarmEvent, TargetVisitEvent
+from repro.simulation.metrics import SearchOutcome
+
+__all__ = ["InvariantViolation", "audit_outcome", "check_outcome"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant: a short identifier plus the evidence."""
+
+    invariant: str
+    message: str
+
+    def describe(self) -> str:
+        """Human-readable line."""
+        return f"[{self.invariant}] {self.message}"
+
+
+def audit_outcome(
+    outcome: SearchOutcome,
+    fleet: Optional[Fleet] = None,
+    fault_budget: Optional[int] = None,
+) -> List[InvariantViolation]:
+    """Audit a simulation outcome; return every violated invariant.
+
+    Args:
+        outcome: The outcome (event log included) to audit.
+        fleet: The *assigned* fleet the outcome came from, enabling the
+            trajectory-level checks (origin start, unit speed, detection
+            agreement).  Omit to audit a bare event log.
+        fault_budget: When the scenario used the paper's adversarial
+            model, its budget ``f``; enables the exact
+            ``T_{f+1}(target)`` cross-check.
+
+    Examples:
+        >>> from repro.simulation.engine import simulate_search
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> audit_outcome(simulate_search([DoublingTrajectory()], -1.0))
+        []
+    """
+    violations: List[InvariantViolation] = []
+    _check_chronology(outcome, violations)
+    _check_detection_events(outcome, violations)
+    if fleet is not None:
+        _check_fleet_consistency(outcome, fleet, violations)
+        if fault_budget is not None:
+            expected = fleet.t_k(outcome.target, fault_budget + 1)
+            if not _same_time(outcome.detection_time, expected):
+                violations.append(
+                    InvariantViolation(
+                        "t_f_plus_1",
+                        f"detection time {outcome.detection_time!r} differs "
+                        f"from T_{{f+1}}({outcome.target:.6g}) = {expected!r}",
+                    )
+                )
+    return violations
+
+
+def check_outcome(
+    outcome: SearchOutcome,
+    fleet: Optional[Fleet] = None,
+    fault_budget: Optional[int] = None,
+) -> None:
+    """Audit an outcome and raise on any violation.
+
+    Raises:
+        InvariantViolationError: listing every violated invariant.
+    """
+    violations = audit_outcome(outcome, fleet=fleet, fault_budget=fault_budget)
+    if violations:
+        summary = "; ".join(v.describe() for v in violations)
+        raise InvariantViolationError(
+            f"{len(violations)} invariant violation(s): {summary}"
+        )
+
+
+# ----------------------------------------------------------------------
+# individual audits
+# ----------------------------------------------------------------------
+
+def _same_time(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return times_close(a, b)
+
+
+def _check_chronology(
+    outcome: SearchOutcome, violations: List[InvariantViolation]
+) -> None:
+    events = outcome.events
+    for before, after in zip(events, events[1:]):
+        if after.time < before.time - TIME_RTOL * (1.0 + abs(before.time)):
+            violations.append(
+                InvariantViolation(
+                    "chronology",
+                    f"event at t={after.time:.6g} logged after event at "
+                    f"t={before.time:.6g}",
+                )
+            )
+            break
+    if outcome.detected:
+        horizon = outcome.detection_time
+        for event in events:
+            if event.time > horizon * (1.0 + TIME_RTOL) + TIME_RTOL:
+                violations.append(
+                    InvariantViolation(
+                        "event_horizon",
+                        f"event at t={event.time:.6g} lies after the claimed "
+                        f"detection at t={horizon:.6g}",
+                    )
+                )
+                break
+
+
+def _check_detection_events(
+    outcome: SearchOutcome, violations: List[InvariantViolation]
+) -> None:
+    detections = [e for e in outcome.events if isinstance(e, DetectionEvent)]
+    if outcome.detected:
+        if outcome.detection_time + TIME_RTOL < abs(outcome.target):
+            violations.append(
+                InvariantViolation(
+                    "speed_of_search",
+                    f"detection at t={outcome.detection_time:.6g} beats the "
+                    f"unit-speed bound |x|={abs(outcome.target):.6g}",
+                )
+            )
+        if outcome.events:
+            if len(detections) != 1:
+                violations.append(
+                    InvariantViolation(
+                        "single_detection",
+                        f"expected exactly one DetectionEvent, got "
+                        f"{len(detections)}",
+                    )
+                )
+            for event in detections:
+                if not _same_time(event.time, outcome.detection_time):
+                    violations.append(
+                        InvariantViolation(
+                            "detection_time_mismatch",
+                            f"DetectionEvent at t={event.time:.6g} disagrees "
+                            f"with detection_time={outcome.detection_time:.6g}",
+                        )
+                    )
+                if (
+                    outcome.detecting_robot is not None
+                    and event.robot_index != outcome.detecting_robot
+                ):
+                    violations.append(
+                        InvariantViolation(
+                            "detecting_robot_mismatch",
+                            f"DetectionEvent names a_{event.robot_index} but "
+                            f"the outcome credits a_{outcome.detecting_robot}",
+                        )
+                    )
+    elif detections:
+        violations.append(
+            InvariantViolation(
+                "phantom_detection",
+                "outcome reports no detection but the log contains "
+                f"{len(detections)} DetectionEvent(s)",
+            )
+        )
+    for event in outcome.events:
+        if isinstance(event, TargetVisitEvent) and event.detected:
+            if outcome.detected and not _same_time(
+                event.time, outcome.detection_time
+            ):
+                violations.append(
+                    InvariantViolation(
+                        "detection_order",
+                        f"a_{event.robot_index} has a detecting visit at "
+                        f"t={event.time:.6g}, which is not the claimed "
+                        f"detection time t={outcome.detection_time:.6g}",
+                    )
+                )
+        if isinstance(event, FalseAlarmEvent) and outcome.detected:
+            if (
+                outcome.detecting_robot is not None
+                and event.robot_index == outcome.detecting_robot
+                and _same_time(event.time, outcome.detection_time)
+            ):
+                violations.append(
+                    InvariantViolation(
+                        "false_alarm_detects",
+                        f"a_{event.robot_index}'s false alarm coincides with "
+                        "the claimed detection",
+                    )
+                )
+
+
+def _check_fleet_consistency(
+    outcome: SearchOutcome, fleet: Fleet, violations: List[InvariantViolation]
+) -> None:
+    horizon = (
+        outcome.detection_time
+        if outcome.detected
+        else max(
+            (e.time for e in outcome.events), default=2.0 * abs(outcome.target)
+        )
+    )
+    for robot in fleet:
+        trajectory = robot.effective_trajectory
+        start = trajectory.start
+        if abs(start.position) > TIME_RTOL or abs(start.time) > TIME_RTOL:
+            violations.append(
+                InvariantViolation(
+                    "origin_start",
+                    f"a_{robot.index} starts at x={start.position:.6g}, "
+                    f"t={start.time:.6g} instead of the origin at time 0",
+                )
+            )
+        for segment in trajectory.segments_until(horizon):
+            if segment.speed > 1.0 + TIME_RTOL:
+                violations.append(
+                    InvariantViolation(
+                        "unit_speed",
+                        f"a_{robot.index} moves at speed {segment.speed:.6g} "
+                        f"on the leg starting t={segment.start.time:.6g}",
+                    )
+                )
+                break
+    if outcome.detected and outcome.detecting_robot is not None:
+        if not (0 <= outcome.detecting_robot < fleet.size):
+            violations.append(
+                InvariantViolation(
+                    "unknown_robot",
+                    f"detecting robot a_{outcome.detecting_robot} is not in "
+                    f"the fleet of {fleet.size}",
+                )
+            )
+        else:
+            robot = fleet[outcome.detecting_robot]
+            genuine = robot.detection_time_for(outcome.target)
+            if genuine is None or not _same_time(
+                genuine, outcome.detection_time
+            ):
+                violations.append(
+                    InvariantViolation(
+                        "detection_consistency",
+                        f"a_{robot.index} cannot genuinely detect "
+                        f"x={outcome.target:.6g} at "
+                        f"t={outcome.detection_time:.6g} "
+                        f"(its own detection time is {genuine!r})",
+                    )
+                )

@@ -22,6 +22,7 @@ Fleet-level visit-order statistics (``T_{f+1}``) live in
 from repro.trajectory.base import MaterializedView, Trajectory
 from repro.trajectory.cone_zigzag import ConeZigZag
 from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+from repro.trajectory.halted import HaltedTrajectory
 from repro.trajectory.linear import LinearTrajectory, StationaryTrajectory
 from repro.trajectory.piecewise import PiecewiseTrajectory, waypoints
 from repro.trajectory.visits import (
@@ -37,6 +38,7 @@ __all__ = [
     "DOUBLING_COMPETITIVE_RATIO",
     "DoublingTrajectory",
     "GeometricZigZag",
+    "HaltedTrajectory",
     "LinearTrajectory",
     "MaterializedView",
     "PiecewiseTrajectory",

@@ -29,10 +29,12 @@ class TestCorollary1Steps:
     )
     def test_motwani_raghavan_inequality(self, t, n):
         """``e^t < (1 + t/n)^(n + t/2)`` [MR95, p.435], cited in the
-        Corollary 1 proof.  Compared in log space."""
+        Corollary 1 proof.  Compared in log space; the analytic margin is
+        ``~t^3/(12 n^2)``, which underflows double precision for tiny
+        ``t/n``, so equality at float resolution is accepted."""
         lhs = t
         rhs = (n + t / 2.0) * math.log1p(t / n)
-        assert lhs < rhs
+        assert lhs < rhs or math.isclose(lhs, rhs, rel_tol=1e-15)
 
     @given(st.integers(min_value=3, max_value=10**5))
     def test_corollary1_rewriting(self, n):

@@ -1,6 +1,8 @@
 """Unit tests for fault models."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.robots.faults import AdversarialFaults, FixedFaults, RandomFaults
@@ -40,6 +42,11 @@ class TestAdversarialFaults:
 
     def test_describe(self):
         assert "f=2" in AdversarialFaults(2).describe()
+
+    def test_budget_exceeding_fleet_rejected(self):
+        model = AdversarialFaults(10)
+        with pytest.raises(InvalidParameterError):
+            model.assign(make_fleet(3), 1.0)
 
 
 class TestFixedFaults:
@@ -92,3 +99,56 @@ class TestRandomFaults:
             worst = adv.detection_time(fleet, x)
             for _ in range(20):
                 assert rnd.detection_time(fleet, x) <= worst + 1e-9
+
+    def test_describe_includes_seed(self):
+        assert RandomFaults(2, seed=7).describe() == "RandomFaults(f=2, seed=7)"
+        assert "seed=None" in RandomFaults(1).describe()
+
+
+class TestDescribeDistinguishesModels:
+    def test_fixed_faults_indices_visible(self):
+        described = FixedFaults([2, 0]).describe()
+        assert described == "FixedFaults(indices=[0, 2])"
+        assert FixedFaults([1]).describe() != FixedFaults([2]).describe()
+
+    def test_random_faults_seed_visible(self):
+        assert RandomFaults(2, seed=1).describe() != RandomFaults(
+            2, seed=2
+        ).describe()
+
+
+class TestBudgetEdgeCases:
+    def test_zero_budget_detection_is_first_visit(self):
+        """f = 0: detection at the very first visit, any model."""
+        fleet = make_fleet(4)
+        for model in (AdversarialFaults(0), FixedFaults([]), RandomFaults(0)):
+            assert model.detection_time(fleet, 2.0) == fleet.t_k(2.0, 1)
+
+    def test_all_but_one_faulty(self):
+        """f = n - 1: detection is the last distinct visitor's time."""
+        fleet = make_fleet(4)
+        n = fleet.size
+        adv = AdversarialFaults(n - 1)
+        # target +2 is visited by the two right-going robots only, so
+        # corrupting any n-1 robots leaves it undetectable
+        assert adv.detection_time(fleet, 2.0) == fleet.t_k(2.0, n)
+
+    def test_full_budget_assignment_allowed(self):
+        fleet = make_fleet(3)
+        model = RandomFaults(3, seed=0)
+        assert len(model.assign(fleet, 1.0)) == 3
+
+    @given(
+        budget=st.integers(min_value=0, max_value=5),
+        target=st.floats(
+            min_value=0.5, max_value=8.0, allow_nan=False, allow_infinity=False
+        ),
+        sign=st.sampled_from([1.0, -1.0]),
+    )
+    def test_worst_case_detection_monotone_in_budget(self, budget, target, sign):
+        """More faults can only delay worst-case detection (Definition 3)."""
+        fleet = make_fleet(6)
+        x = sign * target
+        earlier = fleet.worst_case_detection_time(x, budget)
+        later = fleet.worst_case_detection_time(x, budget + 1)
+        assert later >= earlier

@@ -1,0 +1,1 @@
+"""Tests for the robustness (chaos campaign) subsystem."""

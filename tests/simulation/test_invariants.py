@@ -1,0 +1,145 @@
+"""Tests for the runtime invariant checker."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import SearchParameters
+from repro.errors import InvariantViolationError
+from repro.robots import AdversarialFaults, BehavioralFaults, Fleet
+from repro.robots.behaviors import ByzantineFalseAlarmFault
+from repro.schedule import ProportionalAlgorithm
+from repro.simulation import (
+    DetectionEvent,
+    FalseAlarmEvent,
+    SearchSimulation,
+    TargetVisitEvent,
+    audit_outcome,
+    check_outcome,
+)
+from repro.simulation.metrics import SearchOutcome
+
+PROPORTIONAL_PAIRS = [(2, 1), (3, 1), (3, 2), (4, 3), (5, 2), (5, 3), (6, 5)]
+
+
+def run_scenario(n=3, f=1, target=2.0):
+    fleet = Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+    sim = SearchSimulation(fleet, target, AdversarialFaults(f))
+    return fleet.with_faults(sim.fault_model.assign(fleet, target)), sim.run()
+
+
+def corrupt(outcome, **overrides):
+    return dataclasses.replace(outcome, **overrides)
+
+
+class TestCleanOutcomesPass:
+    @pytest.mark.parametrize("n,f", PROPORTIONAL_PAIRS)
+    def test_seed_schedules_have_no_violations(self, n, f):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+        for target in (1.0, -1.5, 3.0, -6.5):
+            sim = SearchSimulation(
+                fleet, target, AdversarialFaults(f), check_invariants=True
+            )
+            outcome = sim.run()
+            assigned = fleet.with_faults(outcome.faulty_robots)
+            assert (
+                audit_outcome(outcome, fleet=assigned, fault_budget=f) == []
+            )
+
+    def test_check_outcome_accepts_clean_log(self):
+        assigned, outcome = run_scenario()
+        check_outcome(outcome, fleet=assigned, fault_budget=1)
+
+
+class TestCorruptedLogsRejected:
+    def test_shuffled_chronology(self):
+        _, outcome = run_scenario()
+        bad = corrupt(outcome, events=tuple(reversed(outcome.events)))
+        violations = audit_outcome(bad)
+        assert "chronology" in {v.invariant for v in violations}
+        with pytest.raises(InvariantViolationError, match="chronology"):
+            check_outcome(bad)
+
+    def test_event_after_detection(self):
+        _, outcome = run_scenario()
+        late = TargetVisitEvent(
+            time=outcome.detection_time * 3.0,
+            robot_index=0,
+            position=outcome.target,
+            detected=False,
+        )
+        bad = corrupt(outcome, events=tuple(outcome.events) + (late,))
+        assert "event_horizon" in {v.invariant for v in audit_outcome(bad)}
+
+    def test_faster_than_light_detection(self):
+        _, outcome = run_scenario(target=4.0)
+        bad = corrupt(outcome, detection_time=1.0)
+        assert "speed_of_search" in {v.invariant for v in audit_outcome(bad)}
+
+    def test_duplicate_detection_events(self):
+        _, outcome = run_scenario()
+        extra = DetectionEvent(
+            time=outcome.detection_time,
+            robot_index=outcome.detecting_robot,
+            position=outcome.target,
+        )
+        bad = corrupt(outcome, events=tuple(outcome.events) + (extra,))
+        assert "single_detection" in {v.invariant for v in audit_outcome(bad)}
+
+    def test_phantom_detection(self):
+        _, outcome = run_scenario()
+        bad = corrupt(outcome, detection_time=float("inf"))
+        assert "phantom_detection" in {v.invariant for v in audit_outcome(bad)}
+
+    def test_wrong_detecting_robot(self):
+        assigned, outcome = run_scenario()
+        other = next(
+            i for i in range(assigned.size) if i != outcome.detecting_robot
+        )
+        bad = corrupt(outcome, detecting_robot=other)
+        names = {v.invariant for v in audit_outcome(bad, fleet=assigned)}
+        assert "detecting_robot_mismatch" in names
+        assert "detection_consistency" in names
+
+    def test_detection_time_drift_caught_against_t_f_plus_1(self):
+        assigned, outcome = run_scenario()
+        drifted = corrupt(
+            outcome,
+            detection_time=outcome.detection_time * 1.001,
+            events=(),
+        )
+        violations = audit_outcome(drifted, fleet=assigned, fault_budget=1)
+        assert "t_f_plus_1" in {v.invariant for v in violations}
+
+    def test_false_alarm_cannot_carry_detection(self):
+        _, outcome = run_scenario()
+        lie = FalseAlarmEvent(
+            time=outcome.detection_time,
+            robot_index=outcome.detecting_robot,
+            position=outcome.target,
+        )
+        events = tuple(e for e in outcome.events if not isinstance(e, DetectionEvent))
+        bad = corrupt(outcome, events=events + (lie,))
+        assert "false_alarm_detects" in {v.invariant for v in audit_outcome(bad)}
+
+
+class TestEngineIntegration:
+    def test_engine_flag_checks_transparently(self):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(4, 2))
+        checked = SearchSimulation(
+            fleet, -3.0, AdversarialFaults(2), check_invariants=True
+        ).run()
+        plain = SearchSimulation(fleet, -3.0, AdversarialFaults(2)).run()
+        assert checked.detection_time == plain.detection_time
+
+    def test_engine_flag_covers_behavioral_models(self):
+        fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        model = BehavioralFaults({0: ByzantineFalseAlarmFault([0.25])})
+        outcome = SearchSimulation(
+            fleet, 2.0, model, check_invariants=True
+        ).run()
+        assert outcome.detected
+
+    def test_bare_outcome_auditable(self):
+        outcome = SearchOutcome(2.0, 4.0, 1, frozenset({0}), ())
+        assert audit_outcome(outcome) == []

@@ -17,7 +17,7 @@ class TestParser:
         text = parser.format_help()
         for cmd in (
             "info", "simulate", "ratio", "table1", "figure5",
-            "diagram", "lowerbound", "experiment",
+            "diagram", "lowerbound", "experiment", "chaos",
         ):
             assert cmd in text
 
@@ -195,3 +195,36 @@ class TestVersion:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestChaos:
+    def test_small_campaign_all_ok(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chaos",
+            "--pairs", "3,1",
+            "--targets", "1.0", "-2.0",
+            "--faults", "none", "adversarial", "fixed",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "6 scenarios (seed 3)" in out
+        assert "6/6 scenarios ok" in out
+        assert "0 failure(s) isolated" in out
+
+    def test_bad_pair_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--pairs", "banana")
+        assert code == 2
+        assert "pair" in err.lower() or "banana" in err
+
+    def test_seed_changes_scenarios_not_outcome_count(self, capsys):
+        _, out_a, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "random", "--seed", "1",
+        )
+        _, out_b, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "random", "--seed", "2",
+        )
+        assert "1 scenarios (seed 1)" in out_a
+        assert "1 scenarios (seed 2)" in out_b
