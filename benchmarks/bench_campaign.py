@@ -1,0 +1,66 @@
+"""Campaign executor benchmarks: sequential vs parallel throughput.
+
+Not a paper artifact — these quantify the execution substrate behind
+``linesearch chaos``: how fast a seeded scenario grid drains through
+the in-process path, the worker pool, and the journaled path.  The
+assertions pin the resilience contract (identical reports regardless
+of execution mode) while the timings expose the parallel speedup and
+the journal's durability overhead.
+"""
+
+from repro.robustness import CampaignExecutor, chaos_scenarios
+
+
+def _grid():
+    """A seeded 63-scenario grid over the full fault taxonomy."""
+    return chaos_scenarios(
+        pairs=[(3, 1), (4, 2), (5, 3)],
+        targets=[1.0, -1.5, 2.5],
+        seed=2026,
+    )
+
+
+def test_bench_sequential_campaign(benchmark):
+    """Baseline: the historical in-process path."""
+    report = benchmark(lambda: CampaignExecutor(jobs=1).execute(_grid()))
+    assert report.total == len(_grid())
+    assert report.failed == 0
+
+
+def test_bench_parallel_campaign(benchmark):
+    """The worker pool: 4 processes over the same grid."""
+    report = benchmark(lambda: CampaignExecutor(jobs=4).execute(_grid()))
+    assert report.total == len(_grid())
+    assert report.failed == 0
+    # the resilience contract: parallel == sequential, byte for byte
+    assert (
+        report.to_json() == CampaignExecutor(jobs=1).execute(_grid()).to_json()
+    )
+
+
+def test_bench_journaled_campaign(benchmark, tmp_path):
+    """Durability tax: atomic flush + fsync on every outcome."""
+    counter = [0]
+
+    def journaled():
+        counter[0] += 1
+        path = str(tmp_path / f"journal-{counter[0]}.jsonl")
+        return CampaignExecutor(journal_path=path).execute(_grid())
+
+    report = benchmark(journaled)
+    assert report.failed == 0
+
+
+def test_bench_resume_from_complete_journal(benchmark, tmp_path):
+    """Resume should be nearly free: every scenario is skipped."""
+    path = str(tmp_path / "journal.jsonl")
+    CampaignExecutor(journal_path=path).execute(_grid())
+
+    def resume():
+        return CampaignExecutor(journal_path=path, resume=True).execute(
+            _grid()
+        )
+
+    report = benchmark(resume)
+    assert report.total == len(_grid())
+    assert report.failed == 0

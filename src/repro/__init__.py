@@ -55,13 +55,17 @@ from repro.core import (
 )
 from repro.errors import (
     AdversaryError,
+    CampaignError,
     ExperimentError,
     InvalidParameterError,
     InvariantViolationError,
+    JournalError,
     LineSearchError,
+    ScenarioTimeoutError,
     ScheduleError,
     SimulationError,
     TrajectoryError,
+    WorkerCrashError,
 )
 from repro.geometry import Cone, SpaceTimePoint
 from repro.lowerbound import AdversaryWitness, TargetLadder, TheoremTwoGame
@@ -80,7 +84,10 @@ from repro.robots import (
     Robot,
 )
 from repro.robustness import (
+    CampaignExecutor,
+    CampaignJournal,
     CampaignReport,
+    RetryPolicy,
     ScenarioSpec,
     chaos_scenarios,
     run_campaign,
@@ -113,6 +120,9 @@ __all__ = [
     "AdversaryWitness",
     "BehavioralFaults",
     "ByzantineFalseAlarmFault",
+    "CampaignError",
+    "CampaignExecutor",
+    "CampaignJournal",
     "CampaignReport",
     "CompetitiveRatioEstimator",
     "Cone",
@@ -131,6 +141,7 @@ __all__ = [
     "GroupDoubling",
     "InvalidParameterError",
     "InvariantViolationError",
+    "JournalError",
     "LineSearchError",
     "LinearTrajectory",
     "PiecewiseTrajectory",
@@ -139,8 +150,10 @@ __all__ = [
     "ProportionalSchedule",
     "RandomFaults",
     "Regime",
+    "RetryPolicy",
     "Robot",
     "ScenarioSpec",
+    "ScenarioTimeoutError",
     "ScheduleError",
     "SearchAlgorithm",
     "SearchParameters",
@@ -154,6 +167,7 @@ __all__ = [
     "Trajectory",
     "TrajectoryError",
     "TwoGroupAlgorithm",
+    "WorkerCrashError",
     "ZigZagTrajectory",
     "__version__",
     "algorithm_competitive_ratio",

@@ -14,7 +14,13 @@ Subcommands:
 * ``experiment`` — run any experiment from the registry by id;
 * ``export`` — write experiment data as CSV;
 * ``chaos`` — run a seeded fault-injection campaign across the fault
-  taxonomy with per-scenario isolation and invariant checking.
+  taxonomy with per-scenario isolation and invariant checking, on the
+  resilient executor: parallel workers (``--jobs``), watchdog timeouts
+  (``--timeout``), retry budgets (``--retries``), and a crash-safe
+  journal (``--journal`` / ``--resume``).
+
+Exit codes: ``0`` success, ``1`` a chaos campaign recorded failures
+(suppressed by ``--allow-failures``), ``2`` usage or domain error.
 """
 
 from __future__ import annotations
@@ -145,6 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the runtime invariant audit")
     p_chaos.add_argument("--max-failures", type=int, default=10,
                          help="failures shown in the report")
+    p_chaos.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default: 1, in-process)")
+    p_chaos.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-scenario wall-clock budget; overdue "
+                              "scenarios are killed and recorded as "
+                              "ScenarioTimeoutError failures")
+    p_chaos.add_argument("--retries", type=int, default=1,
+                         help="retries for failed stochastic scenarios "
+                              "(default: 1)")
+    p_chaos.add_argument("--journal", type=str, default=None,
+                         metavar="PATH",
+                         help="append every outcome to this crash-safe "
+                              "JSONL journal")
+    p_chaos.add_argument("--resume", action="store_true",
+                         help="skip scenarios already recorded in "
+                              "--journal (requires --journal)")
+    p_chaos.add_argument("--report-json", type=str, default=None,
+                         metavar="PATH",
+                         help="also write the full CampaignReport as JSON")
+    p_chaos.add_argument("--allow-failures", action="store_true",
+                         help="exit 0 even when scenarios fail")
     return parser
 
 
@@ -350,9 +378,18 @@ def _cmd_schedule(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_chaos(args: argparse.Namespace) -> str:
-    from repro.robustness import FAULT_KINDS, chaos_scenarios, run_campaign
+def _cmd_chaos(args: argparse.Namespace):
+    from repro.robustness import (
+        FAULT_KINDS,
+        CampaignExecutor,
+        RetryPolicy,
+        chaos_scenarios,
+    )
 
+    if args.resume and not args.journal:
+        raise LineSearchError("--resume requires --journal PATH")
+    if args.retries < 0:
+        raise LineSearchError("--retries must be >= 0")
     pairs = []
     for raw in args.pairs:
         try:
@@ -368,13 +405,27 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
         faults=tuple(args.faults) if args.faults else FAULT_KINDS,
         seed=args.seed,
     )
-    report = run_campaign(
+    executor = CampaignExecutor(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retry_policy=RetryPolicy(max_attempts=1 + args.retries),
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    report = executor.execute(
         scenarios, check_invariants=not args.no_invariants
     )
-    return (
-        f"{len(scenarios)} scenarios (seed {args.seed})\n"
-        + report.describe(max_failures=args.max_failures)
-    )
+    lines = [f"{len(scenarios)} scenarios (seed {args.seed})"]
+    if args.journal:
+        verb = "resumed from" if args.resume else "journaled to"
+        lines.append(f"{verb} {args.journal}")
+    lines.append(report.describe(max_failures=args.max_failures))
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        lines.append(f"wrote {args.report_json}")
+    code = 0 if (report.failed == 0 or args.allow_failures) else 1
+    return "\n".join(lines), code
 
 
 _DISPATCH = {
@@ -394,7 +445,12 @@ _DISPATCH = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Subcommands return either a string (exit code 0) or a
+    ``(string, code)`` pair — ``chaos`` uses the latter so CI can gate
+    on campaign failures.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -402,6 +458,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except LineSearchError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
     try:
         print(output)
     except BrokenPipeError:
@@ -410,8 +469,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.close()
         except Exception:
             pass
-        return 0
-    return 0
+        return code
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

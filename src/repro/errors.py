@@ -17,6 +17,10 @@ __all__ = [
     "InvariantViolationError",
     "AdversaryError",
     "ExperimentError",
+    "CampaignError",
+    "ScenarioTimeoutError",
+    "WorkerCrashError",
+    "JournalError",
 ]
 
 
@@ -72,3 +76,39 @@ class AdversaryError(LineSearchError):
 
 class ExperimentError(LineSearchError):
     """An experiment was configured inconsistently or failed to run."""
+
+
+class CampaignError(LineSearchError):
+    """The campaign execution substrate itself failed.
+
+    Base class for errors raised *around* a scenario by the resilient
+    executor (:mod:`repro.robustness.executor`) — as opposed to errors
+    raised *inside* a scenario, which are captured into its
+    ``ScenarioResult`` under their own class.
+    """
+
+
+class ScenarioTimeoutError(CampaignError):
+    """A scenario exceeded its wall-clock budget and was killed.
+
+    The executor's watchdog terminates the worker process running an
+    overdue scenario and records this error on the scenario's result;
+    the rest of the sweep continues.
+    """
+
+
+class WorkerCrashError(CampaignError):
+    """A worker process died while running a scenario.
+
+    The in-flight scenario is requeued once (excluding the dead
+    runner); a second crash records this error on its result.
+    """
+
+
+class JournalError(CampaignError):
+    """A campaign journal could not be read or does not match.
+
+    Raised when a resume is requested from a missing or unreadable
+    journal file, or when the journal header identifies a format this
+    library does not understand.
+    """

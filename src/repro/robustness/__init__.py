@@ -12,8 +12,15 @@ Entry points:
 * :func:`~repro.robustness.campaign.chaos_scenarios` — build the seeded
   grid of fleets × targets × fault specs;
 * :func:`~repro.robustness.campaign.run_campaign` — execute with
-  per-scenario fault isolation and retry-once for stochastic scenarios;
-* ``linesearch chaos`` — the same from the command line.
+  per-scenario fault isolation and a configurable retry policy;
+* :class:`~repro.robustness.executor.CampaignExecutor` — the resilient
+  execution substrate: parallel worker processes, watchdog timeouts,
+  crash recovery, and a crash-safe journal with resume;
+* :class:`~repro.robustness.journal.CampaignJournal` — the durable
+  JSONL record a killed campaign restarts from;
+* ``linesearch chaos`` — the same from the command line
+  (``--jobs``, ``--timeout``, ``--retries``, ``--journal``,
+  ``--resume``).
 """
 
 from repro.robustness.campaign import (
@@ -25,15 +32,22 @@ from repro.robustness.campaign import (
     build_scenario,
     chaos_scenarios,
     run_campaign,
+    scenario_key,
 )
+from repro.robustness.executor import CampaignExecutor, RetryPolicy
+from repro.robustness.journal import CampaignJournal
 
 __all__ = [
     "FAULT_KINDS",
+    "CampaignExecutor",
+    "CampaignJournal",
     "CampaignReport",
+    "RetryPolicy",
     "Scenario",
     "ScenarioResult",
     "ScenarioSpec",
     "build_scenario",
     "chaos_scenarios",
     "run_campaign",
+    "scenario_key",
 ]

@@ -31,10 +31,12 @@ broken ones, which is exactly how the test suite chaos-tests the engine.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError, LineSearchError
 from repro.robots.faults import (
@@ -59,6 +61,7 @@ __all__ = [
     "build_scenario",
     "chaos_scenarios",
     "run_campaign",
+    "scenario_key",
 ]
 
 #: Fault spec kinds understood by :class:`ScenarioSpec`.
@@ -96,6 +99,46 @@ class ScenarioSpec:
             f"fault={self.fault} seed={self.seed}"
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; inverse of :meth:`from_dict`."""
+        return {
+            "n": self.n,
+            "f": self.f,
+            "target": self.target,
+            "fault": self.fault,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            n=int(data["n"]),
+            f=int(data["f"]),
+            target=float(data["target"]),
+            fault=str(data["fault"]),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+        )
+
+
+def scenario_key(spec: ScenarioSpec) -> str:
+    """Deterministic identity of a spec, stable across processes and runs.
+
+    The campaign journal keys every outcome by this digest so a resumed
+    campaign can recognize already-completed scenarios regardless of
+    execution order, worker placement, or interpreter restarts.
+
+    Examples:
+        >>> a = scenario_key(ScenarioSpec(3, 1, 2.0, "none", 7))
+        >>> b = scenario_key(ScenarioSpec(3, 1, 2.0, "none", 7))
+        >>> a == b
+        True
+        >>> a == scenario_key(ScenarioSpec(3, 1, 2.0, "none", 8))
+        False
+    """
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
 
 @dataclass
 class Scenario:
@@ -114,7 +157,13 @@ class Scenario:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """The isolated outcome of one scenario, success or failure."""
+    """The isolated outcome of one scenario, success or failure.
+
+    ``attempt_errors`` records the error class and message of *every*
+    failed attempt, not just the last one — a scenario that succeeded
+    on its second try still carries the transient error that cost it
+    the first attempt.
+    """
 
     spec: ScenarioSpec
     ok: bool
@@ -125,6 +174,7 @@ class ScenarioResult:
     faulty_robots: Tuple[int, ...] = ()
     error: Optional[str] = None
     error_message: Optional[str] = None
+    attempt_errors: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         """One-line summary."""
@@ -140,6 +190,47 @@ class ScenarioResult:
         return (
             f"FAIL {self.spec.describe()}: {self.error}: "
             f"{self.error_message}{retried}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; inverse of :meth:`from_dict`.
+
+        Non-finite detection times (an undetected target) are encoded
+        as strings so the output stays strict JSON.
+        """
+        detection = self.detection_time
+        if detection is not None and not math.isfinite(detection):
+            detection = repr(detection)
+        return {
+            "spec": self.spec.to_dict(),
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "detection_time": detection,
+            "competitive_ratio": self.competitive_ratio,
+            "detecting_robot": self.detecting_robot,
+            "faulty_robots": list(self.faulty_robots),
+            "error": self.error,
+            "error_message": self.error_message,
+            "attempt_errors": list(self.attempt_errors),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        detection = data.get("detection_time")
+        if isinstance(detection, str):
+            detection = float(detection)
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            ok=bool(data["ok"]),
+            attempts=int(data.get("attempts", 1)),
+            detection_time=detection,
+            competitive_ratio=data.get("competitive_ratio"),
+            detecting_robot=data.get("detecting_robot"),
+            faulty_robots=tuple(data.get("faulty_robots", ())),
+            error=data.get("error"),
+            error_message=data.get("error_message"),
+            attempt_errors=tuple(data.get("attempt_errors", ())),
         )
 
 
@@ -191,6 +282,44 @@ class CampaignReport:
             if hidden > 0:
                 lines.append(f"  ... and {hidden} more")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; inverse of :meth:`from_dict`."""
+        return {
+            "format": "linesearch-campaign-report",
+            "version": 1,
+            "total": self.total,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            results=[ScenarioResult.from_dict(r) for r in data["results"]]
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the report as a durable JSON artifact.
+
+        The encoding is canonical (sorted keys), so two reports with
+        equal results serialize byte-identically — the resume tests
+        rely on this.
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        Examples:
+            >>> report = CampaignReport()
+            >>> CampaignReport.from_json(report.to_json()).total
+            0
+        """
+        return cls.from_dict(json.loads(text))
 
 
 # ----------------------------------------------------------------------
@@ -259,8 +388,28 @@ def _fault_model_for(spec: ScenarioSpec) -> Tuple[FaultModel, bool]:
     )
 
 
+@dataclass(frozen=True)
+class _SpecRealizer:
+    """Picklable scenario factory: realize ``spec`` on every call.
+
+    A module-level class rather than a closure so spec-built scenarios
+    survive pickling — the parallel executor ships them to worker
+    processes by value.
+    """
+
+    spec: ScenarioSpec
+
+    def __call__(self) -> Tuple[Fleet, FaultModel]:
+        model, _ = _fault_model_for(self.spec)
+        algorithm = _algorithm_for(self.spec.n, self.spec.f)
+        return Fleet.from_algorithm(algorithm), model
+
+
 def build_scenario(spec: ScenarioSpec) -> Scenario:
     """Realize a declarative spec into an executable scenario.
+
+    The returned scenario's factory is picklable, so it can be
+    dispatched to the parallel executor's worker processes as-is.
 
     Examples:
         >>> scenario = build_scenario(ScenarioSpec(3, 1, 2.0, "crash_stop:1.5"))
@@ -268,13 +417,8 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
         >>> fleet.size
         3
     """
-
-    def factory() -> Tuple[Fleet, FaultModel]:
-        model, _ = _fault_model_for(spec)
-        return Fleet.from_algorithm(_algorithm_for(spec.n, spec.f)), model
-
     _, stochastic = _fault_model_for(spec)
-    return Scenario(spec=spec, build=factory, stochastic=stochastic)
+    return Scenario(spec=spec, build=_SpecRealizer(spec), stochastic=stochastic)
 
 
 def chaos_scenarios(
@@ -325,66 +469,44 @@ def _run_once(scenario: Scenario, check_invariants: bool):
     return simulation.run(with_events=check_invariants)
 
 
+def error_class_of(exc: BaseException) -> str:
+    """The error label recorded on results: bare name for library errors,
+    module-qualified for foreign exceptions."""
+    if isinstance(exc, LineSearchError):
+        return type(exc).__name__
+    return f"{type(exc).__module__}.{type(exc).__name__}"
+
+
 def run_campaign(
     scenarios: Iterable[Scenario],
     check_invariants: bool = True,
     retry_stochastic: bool = True,
+    retry_policy=None,
+    executor=None,
 ) -> CampaignReport:
     """Execute scenarios with per-scenario fault isolation.
 
     A scenario that raises — during fleet construction, fault
     assignment, simulation, or the invariant audit — is captured as a
-    failed :class:`ScenarioResult` and the campaign continues.
-    Stochastic scenarios get one retry before their failure is recorded.
+    failed :class:`ScenarioResult` and the campaign continues.  By
+    default stochastic scenarios get one retry before their failure is
+    recorded; pass a :class:`~repro.robustness.executor.RetryPolicy`
+    to change attempts/backoff, or a fully configured
+    :class:`~repro.robustness.executor.CampaignExecutor` via
+    ``executor=`` for parallel workers, watchdog timeouts, and the
+    crash-safe journal.
 
     Examples:
         >>> report = run_campaign(chaos_scenarios([(3, 1)], [2.0], ["none"]))
         >>> report.succeeded, report.failed
         (1, 0)
     """
-    report = CampaignReport()
-    for scenario in scenarios:
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                outcome = _run_once(scenario, check_invariants)
-            except Exception as exc:
-                may_retry = (
-                    retry_stochastic and scenario.stochastic and attempts == 1
-                )
-                if may_retry:
-                    continue
-                error_class = (
-                    type(exc).__name__
-                    if isinstance(exc, LineSearchError)
-                    else f"{type(exc).__module__}.{type(exc).__name__}"
-                )
-                report.results.append(
-                    ScenarioResult(
-                        spec=scenario.spec,
-                        ok=False,
-                        attempts=attempts,
-                        error=error_class,
-                        error_message=str(exc),
-                    )
-                )
-                break
-            ratio = (
-                outcome.competitive_ratio
-                if math.isfinite(outcome.detection_time)
-                else None
+    from repro.robustness.executor import CampaignExecutor, RetryPolicy
+
+    if executor is None:
+        if retry_policy is None:
+            retry_policy = (
+                RetryPolicy() if retry_stochastic else RetryPolicy.none()
             )
-            report.results.append(
-                ScenarioResult(
-                    spec=scenario.spec,
-                    ok=True,
-                    attempts=attempts,
-                    detection_time=outcome.detection_time,
-                    competitive_ratio=ratio,
-                    detecting_robot=outcome.detecting_robot,
-                    faulty_robots=tuple(sorted(outcome.faulty_robots)),
-                )
-            )
-            break
-    return report
+        executor = CampaignExecutor(retry_policy=retry_policy)
+    return executor.execute(scenarios, check_invariants=check_invariants)

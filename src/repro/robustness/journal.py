@@ -1,0 +1,196 @@
+"""Crash-safe campaign journal: durable JSONL, atomic flushes, resume.
+
+Every scenario outcome a campaign produces is appended to a journal so
+that a crash — of the driver, the machine, or a ``kill -9`` mid-sweep —
+throws away at most the scenarios still in flight.  Restarting with
+``resume`` skips every journaled scenario and reproduces the exact
+report an uninterrupted run would have produced (scenarios are seeded,
+so replayed and resumed results are identical).
+
+Durability model
+----------------
+The journal is a JSONL file: one header line identifying the format,
+then one entry per completed scenario.  A flush never mutates the live
+file in place — the full contents are written to a sibling temp file
+and atomically renamed over the journal (``os.replace``), so readers
+never observe a torn write.  Flushes happen on every record; an
+``fsync`` (of both the file and its directory) happens every
+``checkpoint_every`` records, bounding the window a power loss can
+erase.  The loader additionally tolerates a truncated or corrupt
+trailing line, recovering every complete entry before it.
+
+Identity
+--------
+Entries are keyed by :func:`~repro.robustness.campaign.scenario_key`,
+the deterministic digest of the scenario's declarative spec.  Resume
+matches journaled entries against the campaign's scenario list by key,
+consuming duplicates in order, so a grid containing repeated specs
+still resumes correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import JournalError
+from repro.robustness.campaign import Scenario, ScenarioResult, scenario_key
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+]
+
+JOURNAL_FORMAT = "linesearch-campaign-journal"
+JOURNAL_VERSION = 1
+
+
+def _fsync_directory(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class CampaignJournal:
+    """Append-only record of scenario outcomes with atomic persistence.
+
+    Examples:
+        >>> import tempfile, os
+        >>> from repro.robustness.campaign import ScenarioSpec, ScenarioResult
+        >>> path = os.path.join(tempfile.mkdtemp(), "journal.jsonl")
+        >>> journal = CampaignJournal(path)
+        >>> spec = ScenarioSpec(3, 1, 2.0, "none", 7)
+        >>> journal.record(0, ScenarioResult(spec=spec, ok=True))
+        >>> len(CampaignJournal.load(path).entries)
+        1
+    """
+
+    def __init__(self, path: str, checkpoint_every: int = 1):
+        if checkpoint_every < 1:
+            raise JournalError("checkpoint_every must be >= 1")
+        self.path = path
+        self.checkpoint_every = checkpoint_every
+        self.entries: List[Dict[str, Any]] = []
+        self._records_since_checkpoint = 0
+
+    # -- persistence ---------------------------------------------------
+
+    def _lines(self) -> Iterable[str]:
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION}
+        yield json.dumps(header, sort_keys=True)
+        for entry in self.entries:
+            yield json.dumps(entry, sort_keys=True)
+
+    def flush(self, fsync: bool = False) -> None:
+        """Write the full journal to a temp file and atomically rename.
+
+        The live journal file therefore always holds a complete,
+        well-formed prefix of the campaign — a crash between flushes
+        loses only unflushed entries, never corrupts flushed ones.
+        """
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for line in self._lines():
+                handle.write(line + "\n")
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        if fsync:
+            _fsync_directory(self.path)
+
+    def record(self, index: int, result: ScenarioResult) -> None:
+        """Append one outcome and persist it.
+
+        Every record triggers an atomic flush; every
+        ``checkpoint_every``-th record additionally fsyncs the file and
+        its directory, so at most ``checkpoint_every - 1`` outcomes sit
+        in the OS page cache at any moment.
+        """
+        self.entries.append(
+            {
+                "key": scenario_key(result.spec),
+                "index": index,
+                "result": result.to_dict(),
+            }
+        )
+        self._records_since_checkpoint += 1
+        checkpoint = self._records_since_checkpoint >= self.checkpoint_every
+        self.flush(fsync=checkpoint)
+        if checkpoint:
+            self._records_since_checkpoint = 0
+
+    # -- recovery ------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str, checkpoint_every: int = 1) -> "CampaignJournal":
+        """Read a journal back, recovering past a torn trailing line.
+
+        Raises :class:`~repro.errors.JournalError` if the file is
+        missing or its header names a format we do not understand.
+        """
+        if not os.path.exists(path):
+            raise JournalError(f"no journal at {path!r}")
+        journal = cls(path, checkpoint_every=checkpoint_every)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise JournalError(f"journal {path!r} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise JournalError(f"journal {path!r} has a corrupt header") from None
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != JOURNAL_FORMAT
+        ):
+            raise JournalError(f"{path!r} is not a campaign journal")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {path!r} has version {header.get('version')!r}; "
+                f"this library reads version {JOURNAL_VERSION}"
+            )
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn final write — everything before it is good
+            if not isinstance(entry, dict) or "result" not in entry:
+                break
+            journal.entries.append(entry)
+        return journal
+
+    def results(self) -> List[ScenarioResult]:
+        """Every journaled outcome, in record order."""
+        return [ScenarioResult.from_dict(e["result"]) for e in self.entries]
+
+    def match(
+        self, scenarios: Iterable[Scenario]
+    ) -> Dict[int, ScenarioResult]:
+        """Pair journaled outcomes with the campaign's scenario list.
+
+        Returns ``{scenario index: recorded result}`` for every
+        scenario whose spec key appears in the journal.  Duplicate
+        specs are consumed in journal order, one entry per occurrence.
+        """
+        by_key: Dict[str, List[ScenarioResult]] = {}
+        for entry in self.entries:
+            by_key.setdefault(entry["key"], []).append(
+                ScenarioResult.from_dict(entry["result"])
+            )
+        completed: Dict[int, ScenarioResult] = {}
+        for index, scenario in enumerate(scenarios):
+            bucket = by_key.get(scenario_key(scenario.spec))
+            if bucket:
+                completed[index] = bucket.pop(0)
+        return completed

@@ -1,0 +1,167 @@
+"""Tests for the crash-safe campaign journal: durability and recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.robustness import (
+    CampaignJournal,
+    CampaignReport,
+    ScenarioResult,
+    ScenarioSpec,
+    build_scenario,
+    scenario_key,
+)
+
+
+def make_result(seed=1, ok=True, target=2.0):
+    spec = ScenarioSpec(3, 1, target, "none", seed)
+    if ok:
+        return ScenarioResult(
+            spec=spec,
+            ok=True,
+            detection_time=4.25,
+            competitive_ratio=2.125,
+            detecting_robot=0,
+            faulty_robots=(1,),
+        )
+    return ScenarioResult(
+        spec=spec,
+        ok=False,
+        attempts=2,
+        error="SimulationError",
+        error_message="boom",
+        attempt_errors=("RuntimeError: flaky", "SimulationError: boom"),
+    )
+
+
+class TestScenarioKey:
+    def test_deterministic_and_distinct(self):
+        a = ScenarioSpec(3, 1, 2.0, "random", 7)
+        assert scenario_key(a) == scenario_key(ScenarioSpec(3, 1, 2.0, "random", 7))
+        assert scenario_key(a) != scenario_key(ScenarioSpec(3, 1, 2.0, "random", 8))
+        assert scenario_key(a) != scenario_key(ScenarioSpec(3, 1, -2.0, "random", 7))
+
+    def test_key_survives_serialization_round_trip(self):
+        spec = ScenarioSpec(5, 3, -4.0, "probabilistic:0.5", 123)
+        assert scenario_key(ScenarioSpec.from_dict(spec.to_dict())) == scenario_key(spec)
+
+
+class TestResultRoundTrip:
+    def test_success_round_trips(self):
+        result = make_result(ok=True)
+        assert ScenarioResult.from_dict(result.to_dict()) == result
+
+    def test_failure_round_trips_with_attempt_errors(self):
+        result = make_result(ok=False)
+        back = ScenarioResult.from_dict(result.to_dict())
+        assert back == result
+        assert back.attempt_errors == ("RuntimeError: flaky", "SimulationError: boom")
+
+    def test_infinite_detection_time_round_trips_as_strict_json(self):
+        result = ScenarioResult(
+            spec=ScenarioSpec(3, 1, 2.0, "none", 1),
+            ok=True,
+            detection_time=float("inf"),
+        )
+        text = json.dumps(result.to_dict())  # must not need Infinity literals
+        assert "Infinity" not in text
+        assert ScenarioResult.from_dict(json.loads(text)) == result
+
+
+class TestReportRoundTrip:
+    def test_report_json_round_trips(self):
+        report = CampaignReport(results=[make_result(1), make_result(2, ok=False)])
+        back = CampaignReport.from_json(report.to_json())
+        assert back == report
+        assert back.to_json() == report.to_json()
+
+    def test_report_json_is_canonical(self):
+        a = CampaignReport(results=[make_result(5)])
+        b = CampaignReport(results=[make_result(5)])
+        assert a.to_json() == b.to_json()
+
+
+class TestJournalPersistence:
+    def test_record_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        journal.record(0, make_result(1))
+        journal.record(1, make_result(2, ok=False))
+        loaded = CampaignJournal.load(path)
+        assert loaded.results() == [make_result(1), make_result(2, ok=False)]
+
+    def test_flush_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        journal.record(0, make_result())
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_torn_trailing_line_recovered(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        for i in range(3):
+            journal.record(i, make_result(i))
+        # simulate a crash mid-write: chop the last line in half
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        torn = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(torn)
+        loaded = CampaignJournal.load(path)
+        assert loaded.results() == [make_result(0), make_result(1)]
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            CampaignJournal.load(str(tmp_path / "nope.jsonl"))
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(JournalError):
+            CampaignJournal.load(str(path))
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(JournalError):
+            CampaignJournal.load(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"format": "linesearch-campaign-journal", "version": 99}\n'
+        )
+        with pytest.raises(JournalError):
+            CampaignJournal.load(str(path))
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(JournalError):
+            CampaignJournal(str(tmp_path / "j.jsonl"), checkpoint_every=0)
+
+
+class TestJournalMatching:
+    def test_match_pairs_results_with_scenarios(self, tmp_path):
+        scenarios = [
+            build_scenario(ScenarioSpec(3, 1, 2.0, "none", seed))
+            for seed in (1, 2, 3)
+        ]
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        journal.record(1, ScenarioResult(spec=scenarios[1].spec, ok=True))
+        completed = CampaignJournal.load(path).match(scenarios)
+        assert set(completed) == {1}
+        assert completed[1].spec == scenarios[1].spec
+
+    def test_duplicate_specs_consumed_in_order(self, tmp_path):
+        spec = ScenarioSpec(3, 1, 2.0, "none", 7)
+        scenarios = [build_scenario(spec), build_scenario(spec)]
+        path = str(tmp_path / "journal.jsonl")
+        journal = CampaignJournal(path)
+        journal.record(0, ScenarioResult(spec=spec, ok=True, attempts=1))
+        completed = CampaignJournal.load(path).match(scenarios)
+        # only one journaled entry: only the first occurrence is matched
+        assert set(completed) == {0}

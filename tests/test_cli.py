@@ -217,6 +217,70 @@ class TestChaos:
         assert code == 2
         assert "pair" in err.lower() or "banana" in err
 
+    def test_failures_exit_1_for_ci_gating(self, capsys):
+        # (3, 3) is invalid (needs n >= 2f + 2): the scenario fails and
+        # is isolated, and the campaign exit code must reflect it
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,3", "--targets", "1.0",
+            "--faults", "none", "--seed", "1",
+        )
+        assert code == 1
+        assert "1 failure(s) isolated" in out
+
+    def test_allow_failures_opts_out_of_gating(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,3", "--targets", "1.0",
+            "--faults", "none", "--seed", "1", "--allow-failures",
+        )
+        assert code == 0
+        assert "1 failure(s) isolated" in out
+
+    def test_resume_requires_journal(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--resume")
+        assert code == 2
+        assert "--journal" in err
+
+    def test_negative_retries_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--retries", "-1")
+        assert code == 2
+        assert "retries" in err
+
+    def test_parallel_jobs_match_sequential(self, capsys):
+        args = (
+            "chaos", "--pairs", "3,1", "4,2", "--targets", "1.0", "-2.0",
+            "--seed", "5",
+        )
+        code_seq, out_seq, _ = run_cli(capsys, *args)
+        code_par, out_par, _ = run_cli(capsys, *args, "--jobs", "2")
+        assert (code_seq, out_seq) == (code_par, out_par)
+
+    def test_journal_resume_and_report_json(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        report_path = str(tmp_path / "report.json")
+        base = (
+            "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "random", "--seed", "8",
+            "--journal", journal,
+        )
+        code, out, _ = run_cli(capsys, *base, "--report-json", report_path)
+        assert code == 0
+        assert f"journaled to {journal}" in out
+
+        from repro.robustness import CampaignReport
+
+        with open(report_path, encoding="utf-8") as handle:
+            first = CampaignReport.from_json(handle.read())
+        assert first.total == 2
+
+        code, out, _ = run_cli(
+            capsys, *base, "--resume", "--report-json", report_path
+        )
+        assert code == 0
+        assert f"resumed from {journal}" in out
+        with open(report_path, encoding="utf-8") as handle:
+            resumed = CampaignReport.from_json(handle.read())
+        assert resumed == first
+
     def test_seed_changes_scenarios_not_outcome_count(self, capsys):
         _, out_a, _ = run_cli(
             capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
