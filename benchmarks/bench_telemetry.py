@@ -1,0 +1,126 @@
+"""Telemetry overhead benchmarks: the zero-overhead-when-disabled pledge.
+
+The observability layer promises that instrumenting the simulation hot
+path costs effectively nothing until someone enables collection.  These
+benchmarks hold it to that: the disabled-path helpers are timed
+directly, scaled by how many call sites one ``simulate_search`` run
+actually hits, and asserted under 2% of the run itself.  The enabled
+path is measured for information (it is allowed to cost real time) and
+pinned to the correctness contract instead: a campaign run under full
+telemetry produces the exact report of an uninstrumented one.
+"""
+
+import timeit
+
+from repro.observability import instrument as obs
+from repro.robustness import CampaignExecutor, chaos_scenarios
+from repro.schedule import ProportionalAlgorithm
+from repro.simulation import SearchSimulation
+from repro.robots import AdversarialFaults, Fleet
+
+#: Disabled-path helper invocations per SearchSimulation.run():
+#: obs.current() once, obs.span() five times (run + four phases; the
+#: invariants span only opens when auditing).  Generous by one.
+_HELPER_CALLS_PER_RUN = 7
+
+#: The pledge: disabled telemetry costs less than this fraction of one
+#: simulation run.
+_OVERHEAD_BUDGET = 0.02
+
+
+def _simulation():
+    return SearchSimulation(
+        Fleet.from_algorithm(ProportionalAlgorithm(3, 1)),
+        target=2.0,
+        fault_model=AdversarialFaults(1),
+    )
+
+
+def _grid():
+    return chaos_scenarios(
+        pairs=[(3, 1), (5, 2)],
+        targets=[1.0, -1.5, 2.5],
+        seed=2026,
+    )
+
+
+def test_bench_simulation_telemetry_disabled(benchmark):
+    """Baseline: the instrumented engine with collection off."""
+    assert not obs.is_enabled()
+    sim = _simulation()
+    outcome = benchmark(sim.run)
+    assert outcome.detected
+
+
+def test_bench_simulation_telemetry_enabled(benchmark):
+    """The same engine with spans and metrics actually collected."""
+    sim = _simulation()
+
+    def run_collected():
+        obs.enable()
+        try:
+            return sim.run()
+        finally:
+            obs.disable()
+
+    outcome = benchmark(run_collected)
+    assert outcome.detected
+
+
+def test_bench_disabled_overhead_under_two_percent(benchmark):
+    """The acceptance criterion, measured robustly.
+
+    Timing instrumented-vs-stripped builds head to head drowns in
+    scheduler noise at the microsecond scale, so measure the two
+    factors separately: the cost of one disabled helper call (a global
+    load plus an ``is None`` test) and the duration of one simulation
+    run, then bound helper-calls-per-run x helper-cost against the
+    budget.
+    """
+    assert not obs.is_enabled()
+    sim = _simulation()
+
+    # cost of one disabled helper call, best of 5 x 200k
+    loops = 200_000
+    helper_cost = min(
+        timeit.repeat(
+            "span('x'); count('c'); observe('h', 0.0)",
+            globals={
+                "span": obs.span,
+                "count": obs.count,
+                "observe": obs.observe,
+            },
+            repeat=5,
+            number=loops,
+        )
+    ) / (3 * loops)
+
+    # duration of one full simulation run, best-of from the benchmark
+    benchmark(sim.run)
+    run_seconds = benchmark.stats.stats.min
+
+    overhead = _HELPER_CALLS_PER_RUN * helper_cost / run_seconds
+    benchmark.extra_info["helper_cost_ns"] = helper_cost * 1e9
+    benchmark.extra_info["overhead_fraction"] = overhead
+    assert overhead < _OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {overhead:.2%} of a simulation run "
+        f"({helper_cost * 1e9:.0f}ns per helper call); "
+        f"budget is {_OVERHEAD_BUDGET:.0%}"
+    )
+
+
+def test_bench_campaign_telemetry_enabled(benchmark):
+    """A full campaign under collection, pinned to report equivalence."""
+    control = CampaignExecutor(jobs=1).execute(_grid())
+
+    def run_collected():
+        obs.enable()
+        try:
+            return CampaignExecutor(jobs=1).execute(_grid())
+        finally:
+            obs.disable()
+
+    report = benchmark(run_collected)
+    assert report.failed == 0
+    # telemetry must never perturb results: same grid, same report
+    assert report.to_json() == control.to_json()

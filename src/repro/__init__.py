@@ -69,6 +69,13 @@ from repro.errors import (
 )
 from repro.geometry import Cone, SpaceTimePoint
 from repro.lowerbound import AdversaryWitness, TargetLadder, TheoremTwoGame
+from repro.observability import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    disable_telemetry,
+    enable_telemetry,
+)
 from repro.robots import (
     AdversarialFaults,
     BehavioralFaults,
@@ -144,6 +151,7 @@ __all__ = [
     "JournalError",
     "LineSearchError",
     "LinearTrajectory",
+    "MetricsRegistry",
     "PiecewiseTrajectory",
     "ProbabilisticDetectionFault",
     "ProportionalAlgorithm",
@@ -163,7 +171,9 @@ __all__ = [
     "SpaceTimePoint",
     "SplitDoubling",
     "TargetLadder",
+    "Telemetry",
     "TheoremTwoGame",
+    "Tracer",
     "Trajectory",
     "TrajectoryError",
     "TwoGroupAlgorithm",
@@ -174,6 +184,8 @@ __all__ = [
     "asymptotic_cr",
     "chaos_scenarios",
     "competitive_ratio",
+    "disable_telemetry",
+    "enable_telemetry",
     "lower_bound",
     "max_fault_budget",
     "measure_competitive_ratio",

@@ -16,8 +16,12 @@ Subcommands:
 * ``chaos`` — run a seeded fault-injection campaign across the fault
   taxonomy with per-scenario isolation and invariant checking, on the
   resilient executor: parallel workers (``--jobs``), watchdog timeouts
-  (``--timeout``), retry budgets (``--retries``), and a crash-safe
-  journal (``--journal`` / ``--resume``).
+  (``--timeout``), retry budgets (``--retries``), a crash-safe
+  journal (``--journal`` / ``--resume``), and full telemetry capture
+  (``--telemetry-dir`` writes a JSONL span trace, a Prometheus text
+  file, and a human summary);
+* ``telemetry`` — summarize a trace file written by
+  ``chaos --telemetry-dir``: where the wall-clock time went, by span.
 
 Exit codes: ``0`` success, ``1`` a chaos campaign recorded failures
 (suppressed by ``--allow-failures``), ``2`` usage or domain error.
@@ -173,6 +177,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the full CampaignReport as JSON")
     p_chaos.add_argument("--allow-failures", action="store_true",
                          help="exit 0 even when scenarios fail")
+    p_chaos.add_argument("--telemetry-dir", type=str, default=None,
+                         metavar="DIR",
+                         help="collect spans and metrics for the whole "
+                              "campaign and write trace.jsonl, "
+                              "metrics.prom, and summary.txt into DIR")
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="summarize a telemetry trace written by chaos --telemetry-dir",
+    )
+    p_tel.add_argument("trace", type=str,
+                       help="path to a trace.jsonl file")
+    p_tel.add_argument("--top", type=int, default=20,
+                       help="span names shown, by total time (default: 20)")
     return parser
 
 
@@ -412,9 +430,23 @@ def _cmd_chaos(args: argparse.Namespace):
         journal_path=args.journal,
         resume=args.resume,
     )
-    report = executor.execute(
-        scenarios, check_invariants=not args.no_invariants
-    )
+    telemetry = previous = None
+    if args.telemetry_dir:
+        from repro.observability import Telemetry, configure
+
+        telemetry = Telemetry(
+            metadata={"command": "chaos", "seed": args.seed}
+        )
+        previous = configure(telemetry)
+    try:
+        report = executor.execute(
+            scenarios, check_invariants=not args.no_invariants
+        )
+    finally:
+        if telemetry is not None:
+            from repro.observability import configure
+
+            configure(previous)
     lines = [f"{len(scenarios)} scenarios (seed {args.seed})"]
     if args.journal:
         verb = "resumed from" if args.resume else "journaled to"
@@ -424,8 +456,49 @@ def _cmd_chaos(args: argparse.Namespace):
         with open(args.report_json, "w", encoding="utf-8") as handle:
             handle.write(report.to_json() + "\n")
         lines.append(f"wrote {args.report_json}")
+    if telemetry is not None:
+        lines.append(_write_telemetry(args.telemetry_dir, telemetry))
     code = 0 if (report.failed == 0 or args.allow_failures) else 1
     return "\n".join(lines), code
+
+
+def _write_telemetry(directory: str, telemetry) -> str:
+    """Write the campaign's trace, Prometheus file, and summary to
+    ``directory``; returns a one-line confirmation."""
+    import os
+
+    from repro.observability import (
+        summary,
+        write_prometheus,
+        write_trace_jsonl,
+    )
+
+    os.makedirs(directory, exist_ok=True)
+    trace_path = os.path.join(directory, "trace.jsonl")
+    prom_path = os.path.join(directory, "metrics.prom")
+    summary_path = os.path.join(directory, "summary.txt")
+    span_count = write_trace_jsonl(trace_path, telemetry)
+    write_prometheus(prom_path, telemetry)
+    with open(summary_path, "w", encoding="utf-8") as handle:
+        handle.write(
+            summary(
+                telemetry.tracer.records(), metadata=telemetry.metadata
+            )
+            + "\n"
+        )
+    return (
+        f"telemetry: {span_count} spans -> {trace_path}, "
+        f"metrics -> {prom_path}, summary -> {summary_path}"
+    )
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> str:
+    from repro.observability import read_trace_jsonl, summary
+
+    metadata, spans = read_trace_jsonl(args.trace)
+    if not spans:
+        return f"trace {args.trace} holds no spans"
+    return summary(spans, top=args.top, metadata=metadata)
 
 
 _DISPATCH = {
@@ -441,6 +514,7 @@ _DISPATCH = {
     "validate": _cmd_validate,
     "schedule": _cmd_schedule,
     "chaos": _cmd_chaos,
+    "telemetry": _cmd_telemetry,
 }
 
 

@@ -1,0 +1,92 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The telemetry spine of the reproduction.  Simulations, sweeps, and
+chaos campaigns are instrumented with nested spans and a metrics
+registry; both are **off by default** and cost a single ``is None``
+test per call site until enabled (see
+:mod:`repro.observability.instrument`).  When enabled, the campaign
+executor's worker processes flush their spans and metric snapshots
+back through their result pipes, so one trace covers the whole fleet.
+
+Entry points:
+
+* :func:`~repro.observability.instrument.enable` /
+  :func:`~repro.observability.instrument.disable` — switch collection
+  on and off; :class:`~repro.observability.instrument.Telemetry`
+  bundles one tracer, one registry, and run metadata;
+* :class:`~repro.observability.tracing.Tracer` — nested spans with
+  monotonic timing, thread-safe, process-portable records;
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters,
+  gauges, fixed-bucket histograms, exact cross-process merging;
+* :mod:`repro.observability.export` — JSONL traces, the Prometheus
+  text format, and a human ``summary()`` table;
+* ``linesearch chaos --telemetry-dir OUT`` and
+  ``linesearch telemetry OUT/trace.jsonl`` — the same from the CLI.
+"""
+
+from repro.observability.export import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    read_trace_jsonl,
+    summary,
+    to_prometheus,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.observability.instrument import (
+    Telemetry,
+    configure,
+    count,
+    current,
+    disable,
+    enable,
+    gauge_set,
+    instrumented,
+    is_enabled,
+    observe,
+    span,
+)
+from repro.observability.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import SpanRecord, Tracer, children_of, roots
+
+#: Aliases exported at the package top level for discoverability.
+enable_telemetry = enable
+disable_telemetry = disable
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Telemetry",
+    "Tracer",
+    "children_of",
+    "configure",
+    "count",
+    "current",
+    "disable",
+    "disable_telemetry",
+    "enable",
+    "enable_telemetry",
+    "gauge_set",
+    "instrumented",
+    "is_enabled",
+    "observe",
+    "read_trace_jsonl",
+    "roots",
+    "span",
+    "summary",
+    "to_prometheus",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,243 @@
+"""Telemetry exporters: JSONL traces, Prometheus text format, summaries.
+
+Three consumers, three formats:
+
+* **machines replaying a run** read the JSONL trace — a header line
+  identifying the format and the library version, then one span per
+  line (:func:`write_trace_jsonl` / :func:`read_trace_jsonl`);
+* **monitoring systems** scrape the Prometheus text exposition written
+  by :func:`write_prometheus` — counters, gauges, and histograms with
+  cumulative ``_bucket`` series, plus a ``linesearch_build_info`` gauge
+  carrying the library version as a label;
+* **humans** read :func:`summary` — an aligned table aggregating span
+  durations by name (count / total / mean / max), the thing you look
+  at when a sweep is mysteriously slow.
+
+Examples:
+    >>> from repro.observability.instrument import Telemetry
+    >>> telemetry = Telemetry()
+    >>> telemetry.metrics.counter("scenarios_completed_total", "done").inc(5)
+    >>> text = to_prometheus(telemetry)
+    >>> 'scenarios_completed_total 5' in text
+    True
+    >>> 'linesearch_build_info{version=' in text
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.errors import InvalidParameterError
+from repro.observability.instrument import Telemetry
+from repro.observability.metrics import Counter, Gauge, Histogram
+from repro.observability.tracing import SpanRecord
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "read_trace_jsonl",
+    "summary",
+    "to_prometheus",
+    "write_prometheus",
+    "write_trace_jsonl",
+]
+
+TRACE_FORMAT = "linesearch-trace"
+TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSONL trace
+# ----------------------------------------------------------------------
+
+def write_trace_jsonl(
+    path: str,
+    telemetry: Telemetry,
+    extra_metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write every finished span to ``path`` as JSONL; returns the span count.
+
+    Line 1 is a header: format name, trace version, and the telemetry
+    metadata (library version, python version, ...).  Every following
+    line is one span dict.
+    """
+    records = telemetry.tracer.records()
+    header = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "metadata": dict(telemetry.metadata, **(extra_metadata or {})),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_trace_jsonl(
+    path: str,
+) -> Tuple[Dict[str, Any], List[SpanRecord]]:
+    """Read a trace written by :func:`write_trace_jsonl`.
+
+    Returns ``(metadata, spans)``.  Raises
+    :class:`~repro.errors.InvalidParameterError` when the file is
+    missing or is not a linesearch trace.
+    """
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"no trace file at {path!r}")
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise InvalidParameterError(f"trace {path!r} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise InvalidParameterError(
+            f"trace {path!r} has a corrupt header"
+        ) from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise InvalidParameterError(f"{path!r} is not a linesearch trace")
+    if header.get("version") != TRACE_VERSION:
+        raise InvalidParameterError(
+            f"trace {path!r} has version {header.get('version')!r}; "
+            f"this library reads version {TRACE_VERSION}"
+        )
+    spans = [
+        SpanRecord.from_dict(json.loads(line))
+        for line in lines[1:]
+        if line.strip()
+    ]
+    return header.get("metadata", {}), spans
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if value != int(value) else str(int(value))
+
+
+def to_prometheus(telemetry: Telemetry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Includes a ``linesearch_build_info`` gauge whose labels carry the
+    telemetry metadata (library version and python version), the
+    conventional way to attach build identity to a scrape.
+    """
+    lines: List[str] = []
+    version = str(telemetry.metadata.get("version", __version__))
+    python = str(telemetry.metadata.get("python", ""))
+    lines.append(
+        "# HELP linesearch_build_info build/version metadata of the "
+        "telemetry producer"
+    )
+    lines.append("# TYPE linesearch_build_info gauge")
+    lines.append(
+        'linesearch_build_info{version="%s",python="%s"} 1'
+        % (_escape_label(version), _escape_label(python))
+    )
+    for metric in telemetry.metrics.metrics():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = metric.series() or {(): 0.0}
+            for key in sorted(series):
+                lines.append(
+                    f"{metric.name}{_format_labels(key)} "
+                    f"{_format_value(series[key])}"
+                )
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            counts = metric.bucket_counts()
+            for bound, bucket in zip(metric.buckets, counts):
+                cumulative += bucket
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += counts[-1]
+            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum())}")
+            lines.append(f"{metric.name}_count {metric.count()}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, telemetry: Telemetry) -> None:
+    """Write :func:`to_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(telemetry))
+
+
+# ----------------------------------------------------------------------
+# human summary
+# ----------------------------------------------------------------------
+
+def summary(
+    spans: Iterable[SpanRecord],
+    top: int = 20,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Aggregate spans by name into an aligned where-did-time-go table.
+
+    Rows are sorted by total duration, descending — the first row is
+    the biggest consumer of wall-clock time.
+
+    Examples:
+        >>> from repro.observability.tracing import Tracer
+        >>> tracer = Tracer()
+        >>> with tracer.span("simulate"):
+        ...     pass
+        >>> print(summary(tracer.records()).splitlines()[0])
+        span | count | total s | mean s | max s
+    """
+    from repro.experiments.report import render_table
+
+    aggregate: Dict[str, List[float]] = {}
+    for record in spans:
+        aggregate.setdefault(record.name, []).append(record.duration)
+    rows = []
+    for name, durations in aggregate.items():
+        rows.append(
+            [
+                name,
+                len(durations),
+                sum(durations),
+                sum(durations) / len(durations),
+                max(durations),
+            ]
+        )
+    rows.sort(key=lambda row: row[2], reverse=True)
+    hidden = max(0, len(rows) - top)
+    table = render_table(
+        ["span", "count", "total s", "mean s", "max s"],
+        rows[:top],
+        precision=6,
+    )
+    parts = []
+    if metadata:
+        version = metadata.get("version")
+        if version:
+            parts.append(f"trace from linesearch {version}")
+    parts.append(table)
+    if hidden:
+        parts.append(f"... and {hidden} more span name(s)")
+    return "\n".join(parts)

@@ -1,0 +1,306 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A deliberately small, dependency-free metrics core in the Prometheus
+style: metrics are named, carry help text, optionally split by label
+sets, and aggregate cheaply under a single registry lock.  Histograms
+use *fixed* buckets declared at creation, so merging snapshots from
+worker processes is exact — bucket counts add, no re-binning.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain dicts: picklable
+for the executor's result pipes, JSON-ready for artifacts, and the
+input format of :meth:`MetricsRegistry.merge` on the parent side.
+
+Examples:
+    >>> registry = MetricsRegistry()
+    >>> done = registry.counter("scenarios_completed_total", "finished scenarios")
+    >>> done.inc()
+    >>> done.inc(2, fault="random")
+    >>> done.value()
+    3.0
+    >>> done.value(fault="random")
+    2.0
+    >>> wall = registry.histogram("scenario_wall_seconds", "per-scenario wall",
+    ...                           buckets=(0.1, 1.0, 10.0))
+    >>> wall.observe(0.05); wall.observe(3.0)
+    >>> wall.count(), wall.sum()
+    (2, 3.05)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram buckets for wall-clock timings, in seconds — spans
+#: the microsecond engine hot path through multi-minute campaign sweeps.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/help/lock plumbing for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        if not name or not name.replace("_", "a").isalnum():
+            raise InvalidParameterError(
+                f"metric names are [a-zA-Z0-9_]+, got {name!r}"
+            )
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise InvalidParameterError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value: the labeled series, or the sum of all series."""
+        with self._lock:
+            if labels:
+                return self._values.get(_label_key(labels), 0.0)
+            return sum(self._values.values())
+
+    def series(self) -> Dict[_LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (pool size, queue depth, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock):
+        super().__init__(name, help_text, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            if labels:
+                return self._values.get(_label_key(labels), 0.0)
+            return sum(self._values.values())
+
+    def series(self) -> Dict[_LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram: cumulative bucket counts, sum, and count.
+
+    Buckets are upper bounds (exclusive of ``+Inf``, which is implicit);
+    they are fixed at creation so cross-process merges add exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ):
+        super().__init__(name, help_text, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds or len(set(bounds)) != len(bounds):
+            raise InvalidParameterError(
+                f"histogram buckets must be distinct and non-empty, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self._counts: List[int] = [0] * (len(bounds) + 1)  # + overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation.  (Labels are accepted for API symmetry
+        but histograms aggregate over them — one series per histogram.)"""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is overflow."""
+        with self._lock:
+            return list(self._counts)
+
+    def mean(self) -> Optional[float]:
+        with self._lock:
+            return self._sum / self._count if self._count else None
+
+
+class MetricsRegistry:
+    """Named home of every metric, with get-or-create semantics.
+
+    Asking for an existing name returns the existing metric (the hot
+    path never re-registers); asking with a conflicting kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise InvalidParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, threading.Lock(), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def metrics(self) -> List[_Metric]:
+        """Every registered metric, sorted by name."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- cross-process aggregation ------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict state of every metric — picklable and JSON-ready.
+
+        Examples:
+            >>> registry = MetricsRegistry()
+            >>> registry.counter("runs_total", "runs").inc(3)
+            >>> snap = registry.snapshot()
+            >>> snap["runs_total"]["kind"], snap["runs_total"]["series"]
+            ('counter', [[[], 3.0]])
+        """
+        out: Dict[str, Any] = {}
+        for metric in self.metrics():
+            entry: Dict[str, Any] = {"kind": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = metric.bucket_counts()
+                entry["sum"] = metric.sum()
+                entry["count"] = metric.count()
+            else:
+                entry["series"] = [
+                    [[list(pair) for pair in key], value]
+                    for key, value in sorted(metric.series().items())
+                ]
+            out[metric.name] = entry
+        return out
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms add; gauges take the incoming value
+        (last-writer-wins, appropriate for worker-reported state).
+        Unknown metrics are created with the snapshot's help text.
+
+        Examples:
+            >>> a, b = MetricsRegistry(), MetricsRegistry()
+            >>> a.counter("runs_total").inc(1); b.counter("runs_total").inc(2)
+            >>> a.merge(b.snapshot())
+            >>> a.counter("runs_total").value()
+            3.0
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                counter = self.counter(name, entry.get("help", ""))
+                for raw_key, value in entry.get("series", []):
+                    labels = {k: v for k, v in raw_key}
+                    counter.inc(value, **labels)
+            elif kind == "gauge":
+                gauge = self.gauge(name, entry.get("help", ""))
+                for raw_key, value in entry.get("series", []):
+                    labels = {k: v for k, v in raw_key}
+                    gauge.set(value, **labels)
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, entry.get("help", ""),
+                    buckets=entry.get("buckets", DEFAULT_TIME_BUCKETS),
+                )
+                if tuple(entry.get("buckets", ())) != histogram.buckets:
+                    raise InvalidParameterError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                with histogram._lock:
+                    for i, c in enumerate(entry.get("counts", [])):
+                        histogram._counts[i] += c
+                    histogram._sum += entry.get("sum", 0.0)
+                    histogram._count += entry.get("count", 0)
+            else:
+                raise InvalidParameterError(
+                    f"cannot merge metric {name!r} of kind {kind!r}"
+                )

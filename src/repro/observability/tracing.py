@@ -1,0 +1,285 @@
+"""Span-based tracing: nested, monotonic-clock timed, process-portable.
+
+A *span* is one timed unit of work — a simulation phase, a campaign
+scenario, a journal flush.  Spans nest: while a span is open on the
+current thread, any span opened beneath it records that span as its
+parent, so a finished trace is a forest whose roots are the outermost
+operations.  Timing uses :func:`time.perf_counter` (monotonic, never
+wall-clock), so spans are immune to NTP jumps.
+
+Two properties make the tracer safe in the executor's world:
+
+* **thread safety** — the open-span stack is thread-local and the
+  finished-record list is guarded by a lock, so concurrent threads
+  trace independently without interleaving corruption;
+* **process portability** — finished spans are plain dicts (via
+  :meth:`SpanRecord.to_dict`) whose ids embed the producing pid, so a
+  worker process can flush its spans through the result pipe and the
+  parent can :meth:`~Tracer.adopt` them under its own scenario span
+  without id collisions.
+
+Examples:
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner", phase="detect") as inner:
+    ...         pass
+    >>> records = tracer.records()
+    >>> [r.name for r in records]       # children finish first
+    ['inner', 'outer']
+    >>> records[0].parent_id == records[1].span_id
+    True
+    >>> records[0].attributes["phase"]
+    'detect'
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "roots",
+    "children_of",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, lineage, timing, and attributes.
+
+    ``start`` is a :func:`time.perf_counter` reading — meaningful only
+    relative to other spans from the same process (``pid``); durations
+    are comparable everywhere.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start: float
+    duration: float
+    pid: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form: picklable, JSON-ready; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            span_id=str(data["span_id"]),
+            parent_id=data.get("parent_id"),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            pid=int(data.get("pid", 0)),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class _ActiveSpan:
+    """An open span: a context manager that records itself on exit.
+
+    Returned by :meth:`Tracer.span`; also usable directly to attach
+    attributes discovered mid-flight via :meth:`set`.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "_start", "attributes")
+
+    def __init__(self, tracer: "Tracer", name: str, parent_id: Optional[str],
+                 attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._new_id()
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self._start = 0.0
+
+    def set(self, **attributes: Any) -> "_ActiveSpan":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, duration)
+        return False
+
+
+class Tracer:
+    """Collects finished spans; hands out nested :class:`_ActiveSpan` handles.
+
+    Span ids are ``"{pid:x}:{counter:x}"`` — unique within a process by
+    the counter, across processes by the pid — so traces merged from
+    worker processes never collide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span as a context manager, nested under the thread's
+        currently open span (if any)."""
+        return _ActiveSpan(self, name, self.current_span_id(), attributes)
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost span open on this thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    def _new_id(self) -> str:
+        return f"{os.getpid():x}:{next(self._counter):x}"
+
+    def _push(self, span: _ActiveSpan) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: _ActiveSpan, duration: float) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start=span._start,
+            duration=duration,
+            pid=os.getpid(),
+            attributes=span.attributes,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- direct recording & cross-process merge ------------------------
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        start: Optional[float] = None,
+        parent_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> str:
+        """Record an already-measured span without opening a context.
+
+        The executor uses this for pooled scenarios: the work happened
+        in a worker process, the parent only observed its wall clock.
+        Returns the new span's id so worker spans can be adopted under it.
+        """
+        record = SpanRecord(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=(
+                parent_id if parent_id is not None else self.current_span_id()
+            ),
+            start=time.perf_counter() - duration if start is None else start,
+            duration=duration,
+            pid=os.getpid(),
+            attributes=attributes,
+        )
+        with self._lock:
+            self._records.append(record)
+        return record.span_id
+
+    def adopt(
+        self,
+        records: Iterable[Dict[str, Any]],
+        parent_id: Optional[str] = None,
+    ) -> int:
+        """Merge span dicts produced by another process.
+
+        Root spans (``parent_id is None``) are re-parented under
+        ``parent_id``, so a worker's trace hangs off the parent's
+        scenario span; non-root lineage is preserved untouched.
+        Returns the number of spans adopted.
+        """
+        adopted = []
+        for data in records:
+            record = SpanRecord.from_dict(data)
+            if record.parent_id is None and parent_id is not None:
+                record = SpanRecord(
+                    name=record.name,
+                    span_id=record.span_id,
+                    parent_id=parent_id,
+                    start=record.start,
+                    duration=record.duration,
+                    pid=record.pid,
+                    attributes=record.attributes,
+                )
+            adopted.append(record)
+        with self._lock:
+            self._records.extend(adopted)
+        return len(adopted)
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of every finished span, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return all finished spans as plain dicts.
+
+        This is the worker-side flush: the dicts travel through the
+        result pipe and the parent tracer :meth:`adopt`\\ s them.
+        """
+        with self._lock:
+            records, self._records = self._records, []
+        return [r.to_dict() for r in records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def roots(records: Iterable[SpanRecord]) -> List[SpanRecord]:
+    """The forest roots: spans whose parent is absent from ``records``.
+
+    Examples:
+        >>> tracer = Tracer()
+        >>> with tracer.span("a"):
+        ...     with tracer.span("b"):
+        ...         pass
+        >>> [r.name for r in roots(tracer.records())]
+        ['a']
+    """
+    records = list(records)
+    known = {r.span_id for r in records}
+    return [r for r in records if r.parent_id not in known]
+
+
+def children_of(
+    records: Iterable[SpanRecord], span_id: str
+) -> List[SpanRecord]:
+    """Direct children of ``span_id`` within ``records``."""
+    return [r for r in records if r.parent_id == span_id]

@@ -26,6 +26,12 @@ results.  :class:`CampaignExecutor` replaces it with:
   persisted through :class:`~repro.robustness.journal.CampaignJournal`;
   ``resume=True`` skips journaled scenarios and reproduces the exact
   report of an uninterrupted run.
+* **Telemetry** — when :mod:`repro.observability` collection is
+  enabled, every scenario traces a span (worker attempts flush theirs
+  back through the result pipes and are re-parented under it) and the
+  executor counts completions, failures, retries, watchdog kills, and
+  worker crashes; disabled, the instrumentation costs one ``is None``
+  test per call site.
 
 Results are assembled in scenario order regardless of completion
 order, so parallel and sequential runs of the same seeded grid produce
@@ -44,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import InvalidParameterError
+from repro.observability import instrument as obs
 from repro.robustness.campaign import (
     CampaignReport,
     Scenario,
@@ -136,27 +143,58 @@ class RetryPolicy:
 # ----------------------------------------------------------------------
 
 def _attempt_payload(
-    scenario: Scenario, check_invariants: bool
+    scenario: Scenario, check_invariants: bool, telemetry: bool = False
 ) -> Dict[str, Any]:
-    """Run one attempt and flatten the outcome into a picklable dict."""
+    """Run one attempt and flatten the outcome into a picklable dict.
+
+    With ``telemetry=True`` (the worker-process path) the attempt runs
+    under a *fresh* in-memory :class:`~repro.observability.instrument.
+    Telemetry`, whose finished spans and metric snapshot are flushed
+    into the payload under ``"telemetry"`` — this is how traces cross
+    the worker's result pipe back to the parent.  Inline attempts run
+    under whatever telemetry is ambient and carry nothing extra.
+    """
     import math
 
+    previous = active = None
+    if telemetry:
+        active = obs.Telemetry()
+        previous = obs.configure(active)
     try:
-        outcome = _run_once(scenario, check_invariants)
-    except Exception as exc:
-        return {
-            "ok": False,
-            "error": error_class_of(exc),
-            "error_message": str(exc),
+        with obs.span(
+            "campaign.attempt",
+            fault=scenario.spec.fault,
+            seed=scenario.spec.seed,
+        ) as attempt_span:
+            try:
+                outcome = _run_once(scenario, check_invariants)
+            except Exception as exc:
+                attempt_span.set(error=error_class_of(exc))
+                payload: Dict[str, Any] = {
+                    "ok": False,
+                    "error": error_class_of(exc),
+                    "error_message": str(exc),
+                }
+            else:
+                detected = math.isfinite(outcome.detection_time)
+                payload = {
+                    "ok": True,
+                    "detection_time": outcome.detection_time,
+                    "competitive_ratio": (
+                        outcome.competitive_ratio if detected else None
+                    ),
+                    "detecting_robot": outcome.detecting_robot,
+                    "faulty_robots": tuple(sorted(outcome.faulty_robots)),
+                }
+    finally:
+        if telemetry:
+            obs.configure(previous)
+    if active is not None:
+        payload["telemetry"] = {
+            "spans": active.tracer.drain(),
+            "metrics": active.metrics.snapshot(),
         }
-    detected = math.isfinite(outcome.detection_time)
-    return {
-        "ok": True,
-        "detection_time": outcome.detection_time,
-        "competitive_ratio": outcome.competitive_ratio if detected else None,
-        "detecting_robot": outcome.detecting_robot,
-        "faulty_robots": tuple(sorted(outcome.faulty_robots)),
-    }
+    return payload
 
 
 def _result_from_payload(
@@ -186,8 +224,13 @@ def _result_from_payload(
     )
 
 
-def _worker_main(conn, check_invariants: bool) -> None:
+def _worker_main(
+    conn, check_invariants: bool, telemetry_enabled: bool = False
+) -> None:
     """Worker process loop: receive pickled scenarios, send payloads."""
+    # On fork platforms the child inherits the parent's live telemetry;
+    # drop it so worker attempts trace into their own fresh sinks.
+    obs.configure(None)
     while True:
         try:
             message = conn.recv()
@@ -198,7 +241,15 @@ def _worker_main(conn, check_invariants: bool) -> None:
         index, blob = message
         scenario = pickle.loads(blob)
         try:
-            conn.send((index, _attempt_payload(scenario, check_invariants)))
+            conn.send(
+                (
+                    index,
+                    _attempt_payload(
+                        scenario, check_invariants,
+                        telemetry=telemetry_enabled,
+                    ),
+                )
+            )
         except (BrokenPipeError, OSError):  # parent went away
             break
 
@@ -217,8 +268,10 @@ class _Task:
     attempts: int = 0
     crashes: int = 0
     not_before: float = 0.0
+    elapsed: float = 0.0
     errors: List[str] = field(default_factory=list)
     excluded_workers: Set[int] = field(default_factory=set)
+    span_blobs: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class _Worker:
@@ -309,32 +362,50 @@ class CampaignExecutor:
         the same seeded grid produce identical reports.
         """
         scenarios = list(scenarios)
-        journal, completed = self._open_journal(scenarios)
-        results: Dict[int, ScenarioResult] = dict(completed)
+        telemetry = obs.current()
+        with obs.span(
+            "campaign.execute", scenarios=len(scenarios), jobs=self.jobs
+        ):
+            journal, completed = self._open_journal(scenarios)
+            results: Dict[int, ScenarioResult] = dict(completed)
 
-        def record(index: int, result: ScenarioResult) -> None:
-            results[index] = result
-            if journal is not None:
-                journal.record(index, result)
+            def record(index: int, result: ScenarioResult) -> None:
+                results[index] = result
+                if telemetry is not None:
+                    obs.count("scenarios_completed_total")
+                    if not result.ok:
+                        obs.count(
+                            "scenarios_failed_total",
+                            error=result.error or "?",
+                        )
+                    if result.attempts > 1:
+                        obs.count(
+                            "scenario_retries_total", result.attempts - 1
+                        )
+                if journal is not None:
+                    journal.record(index, result)
 
-        remaining = [
-            (i, s) for i, s in enumerate(scenarios) if i not in completed
-        ]
-        if self.jobs == 1 and self.timeout is None:
-            self._run_inline(remaining, check_invariants, record)
-        else:
-            pooled, inline = [], []
-            for index, scenario in remaining:
-                try:
-                    blob = pickle.dumps(scenario)
-                except Exception:
-                    inline.append((index, scenario))
-                else:
-                    pooled.append(_Task(index, scenario, blob))
-            self._run_pool(pooled, check_invariants, record)
-            # ad-hoc scenarios (unpicklable factories) cannot cross a
-            # process boundary; they run here without a watchdog
-            self._run_inline(inline, check_invariants, record)
+            remaining = [
+                (i, s) for i, s in enumerate(scenarios) if i not in completed
+            ]
+            if telemetry is not None:
+                obs.gauge_set("campaign_scenarios_total", len(scenarios))
+                obs.gauge_set("campaign_scenarios_resumed", len(completed))
+            if self.jobs == 1 and self.timeout is None:
+                self._run_inline(remaining, check_invariants, record)
+            else:
+                pooled, inline = [], []
+                for index, scenario in remaining:
+                    try:
+                        blob = pickle.dumps(scenario)
+                    except Exception:
+                        inline.append((index, scenario))
+                    else:
+                        pooled.append(_Task(index, scenario, blob))
+                self._run_pool(pooled, check_invariants, record)
+                # ad-hoc scenarios (unpicklable factories) cannot cross a
+                # process boundary; they run here without a watchdog
+                self._run_inline(inline, check_invariants, record)
 
         return CampaignReport(
             results=[results[i] for i in sorted(results)]
@@ -364,10 +435,35 @@ class CampaignExecutor:
         for index, scenario in tasks:
             attempts = 0
             errors: List[str] = []
-            while True:
-                attempts += 1
-                payload = _attempt_payload(scenario, check_invariants)
-                if payload["ok"]:
+            started = time.monotonic() if obs.is_enabled() else 0.0
+            with obs.span(
+                "campaign.scenario",
+                index=index,
+                fault=scenario.spec.fault,
+            ) as scenario_span:
+                while True:
+                    attempts += 1
+                    payload = _attempt_payload(scenario, check_invariants)
+                    if payload["ok"]:
+                        scenario_span.set(ok=True, attempts=attempts)
+                        record(
+                            index,
+                            _result_from_payload(
+                                scenario, payload, attempts, errors
+                            ),
+                        )
+                        break
+                    errors.append(
+                        f"{payload['error']}: {payload['error_message']}"
+                    )
+                    if self.retry_policy.should_retry(scenario, attempts):
+                        pause = self.retry_policy.delay(
+                            attempts, scenario.spec.seed
+                        )
+                        if pause > 0:
+                            time.sleep(pause)
+                        continue
+                    scenario_span.set(ok=False, attempts=attempts)
                     record(
                         index,
                         _result_from_payload(
@@ -375,21 +471,10 @@ class CampaignExecutor:
                         ),
                     )
                     break
-                errors.append(
-                    f"{payload['error']}: {payload['error_message']}"
+            if obs.is_enabled():
+                obs.observe(
+                    "scenario_wall_seconds", time.monotonic() - started
                 )
-                if self.retry_policy.should_retry(scenario, attempts):
-                    pause = self.retry_policy.delay(
-                        attempts, scenario.spec.seed
-                    )
-                    if pause > 0:
-                        time.sleep(pause)
-                    continue
-                record(
-                    index,
-                    _result_from_payload(scenario, payload, attempts, errors),
-                )
-                break
 
     # -- pooled execution ----------------------------------------------
 
@@ -449,7 +534,7 @@ class CampaignExecutor:
         self._next_worker_ident += 1
         process = context.Process(
             target=_worker_main,
-            args=(child_conn, check_invariants),
+            args=(child_conn, check_invariants, obs.is_enabled()),
             daemon=True,
             name=f"campaign-worker-{ident}",
         )
@@ -492,9 +577,11 @@ class CampaignExecutor:
         except (EOFError, OSError, pickle.UnpicklingError):
             return  # a crash — the liveness sweep will handle it
         worker.task = None
+        self._ingest_attempt_telemetry(task, worker, payload)
         if payload["ok"]:
-            record(
-                task.index,
+            self._record_pooled(
+                task,
+                record,
                 _result_from_payload(
                     task.scenario, payload, task.attempts, task.errors
                 ),
@@ -507,12 +594,58 @@ class CampaignExecutor:
             )
             pending.append(task)
         else:
-            record(
-                task.index,
+            self._record_pooled(
+                task,
+                record,
                 _result_from_payload(
                     task.scenario, payload, task.attempts, task.errors
                 ),
             )
+
+    @staticmethod
+    def _ingest_attempt_telemetry(
+        task: _Task, worker: _Worker, payload: Dict[str, Any]
+    ) -> None:
+        """Fold one worker attempt's telemetry into the parent's state.
+
+        Metric snapshots merge immediately (they are additive and must
+        survive even if the scenario is later requeued); spans
+        accumulate on the task and are adopted under its
+        ``campaign.scenario`` span when the final result is recorded.
+        """
+        telemetry = obs.current()
+        if telemetry is None:
+            return
+        task.elapsed += time.monotonic() - worker.started
+        blob = payload.get("telemetry")
+        if blob:
+            telemetry.metrics.merge(blob.get("metrics", {}))
+            task.span_blobs.extend(blob.get("spans", ()))
+
+    @staticmethod
+    def _record_pooled(task: _Task, record, result: ScenarioResult) -> None:
+        """Record a pooled scenario's result, materializing its span.
+
+        The scenario's work happened in worker processes; the parent
+        records a ``campaign.scenario`` span covering the observed wall
+        clock and adopts the workers' attempt spans beneath it, so the
+        merged trace nests exactly like an inline run's.
+        """
+        telemetry = obs.current()
+        if telemetry is not None:
+            span_id = telemetry.tracer.record_span(
+                "campaign.scenario",
+                duration=task.elapsed,
+                index=task.index,
+                fault=task.scenario.spec.fault,
+                ok=result.ok,
+                attempts=result.attempts,
+            )
+            if task.span_blobs:
+                telemetry.tracer.adopt(task.span_blobs, parent_id=span_id)
+                task.span_blobs = []
+            obs.observe("scenario_wall_seconds", task.elapsed)
+        record(task.index, result)
 
     def _handle_timeout(self, worker, workers, pending, record) -> None:
         if worker.conn.poll():  # the result raced the watchdog — take it
@@ -524,8 +657,12 @@ class CampaignExecutor:
             f"scenario exceeded its wall-clock budget of {self.timeout:g}s"
         )
         task.errors.append(f"ScenarioTimeoutError: {message}")
-        record(
-            task.index,
+        if obs.is_enabled():
+            task.elapsed += time.monotonic() - worker.started
+            obs.count("watchdog_timeouts_total")
+        self._record_pooled(
+            task,
+            record,
             ScenarioResult(
                 spec=task.scenario.spec,
                 ok=False,
@@ -540,6 +677,9 @@ class CampaignExecutor:
     def _handle_crash(self, worker, workers, pending, record) -> None:
         task = worker.task
         exitcode = worker.process.exitcode
+        if obs.is_enabled():
+            task.elapsed += time.monotonic() - worker.started
+            obs.count("worker_crashes_total")
         self._retire(worker, workers)
         task.errors.append(
             f"WorkerCrashError: worker died (exit code {exitcode})"
@@ -550,8 +690,9 @@ class CampaignExecutor:
             task.not_before = 0.0
             pending.append(task)
             return
-        record(
-            task.index,
+        self._record_pooled(
+            task,
+            record,
             ScenarioResult(
                 spec=task.scenario.spec,
                 ok=False,

@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Dict, Iterable, List
 
 from repro.errors import JournalError
+from repro.observability import instrument as obs
 from repro.robustness.campaign import Scenario, ScenarioResult, scenario_key
 
 __all__ = [
@@ -96,6 +98,7 @@ class CampaignJournal:
         well-formed prefix of the campaign — a crash between flushes
         loses only unflushed entries, never corrupts flushed ones.
         """
+        started = time.perf_counter() if obs.is_enabled() else 0.0
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for line in self._lines():
@@ -106,6 +109,11 @@ class CampaignJournal:
         os.replace(tmp_path, self.path)
         if fsync:
             _fsync_directory(self.path)
+        if obs.is_enabled():
+            obs.count("journal_flushes_total", fsync=fsync)
+            obs.observe(
+                "journal_flush_seconds", time.perf_counter() - started
+            )
 
     def record(self, index: int, result: ScenarioResult) -> None:
         """Append one outcome and persist it.

@@ -21,10 +21,12 @@ ever terminating the search.
 from __future__ import annotations
 
 import math
+import time
 from typing import Iterable, List, Optional
 
 from repro.core.tolerance import times_close
 from repro.errors import InvalidParameterError, SimulationError
+from repro.observability import instrument as obs
 from repro.robots.faults import AdversarialFaults, FaultModel
 from repro.robots.fleet import Fleet
 from repro.simulation.events import (
@@ -106,39 +108,70 @@ class SearchSimulation:
             InvariantViolationError: if ``check_invariants`` is set and
                 the outcome fails its audit.
         """
-        # A stochastic model redraws per call, so ask for the behavior
-        # map exactly once and derive everything else from it.
-        assignment = self.fault_model.behaviors(self.fleet, self.target)
-        faulty = frozenset(assignment)
-        if len(faulty) > self.fault_model.fault_budget:
-            raise SimulationError(
-                f"fault model assigned {len(faulty)} faults, more than its "
-                f"budget {self.fault_model.fault_budget}"
-            )
-        assigned = self.fleet.with_fault_behaviors(assignment)
-        detection_time = assigned.detection_time(self.target)
-        detecting_robot = self._detecting_robot(assigned, detection_time)
-        events: List[Event] = []
-        if (with_events or self.check_invariants) and math.isfinite(
-            detection_time
-        ):
-            events = self._build_events(assigned, detection_time, detecting_robot)
-        outcome = SearchOutcome(
+        telemetry = obs.current()
+        started = time.perf_counter() if telemetry is not None else 0.0
+        with obs.span(
+            "simulation.run",
             target=self.target,
-            detection_time=detection_time,
-            detecting_robot=detecting_robot,
-            faulty_robots=faulty,
-            events=tuple(events),
-        )
-        if self.check_invariants:
-            from repro.simulation.invariants import check_outcome
-
-            fault_budget = (
-                self.fault_model.fault_budget
-                if isinstance(self.fault_model, AdversarialFaults)
-                else None
+            n=self.fleet.size,
+            fault_model=type(self.fault_model).__name__,
+        ):
+            # A stochastic model redraws per call, so ask for the behavior
+            # map exactly once and derive everything else from it.
+            with obs.span("simulation.adversary"):
+                assignment = self.fault_model.behaviors(
+                    self.fleet, self.target
+                )
+                faulty = frozenset(assignment)
+            if len(faulty) > self.fault_model.fault_budget:
+                raise SimulationError(
+                    f"fault model assigned {len(faulty)} faults, more than "
+                    f"its budget {self.fault_model.fault_budget}"
+                )
+            with obs.span("simulation.trajectories"):
+                assigned = self.fleet.with_fault_behaviors(assignment)
+            with obs.span("simulation.visits"):
+                detection_time = assigned.detection_time(self.target)
+                detecting_robot = self._detecting_robot(
+                    assigned, detection_time
+                )
+            events: List[Event] = []
+            if (with_events or self.check_invariants) and math.isfinite(
+                detection_time
+            ):
+                with obs.span("simulation.events"):
+                    events = self._build_events(
+                        assigned, detection_time, detecting_robot
+                    )
+            outcome = SearchOutcome(
+                target=self.target,
+                detection_time=detection_time,
+                detecting_robot=detecting_robot,
+                faulty_robots=faulty,
+                events=tuple(events),
             )
-            check_outcome(outcome, fleet=assigned, fault_budget=fault_budget)
+            if self.check_invariants:
+                from repro.simulation.invariants import check_outcome
+
+                fault_budget = (
+                    self.fault_model.fault_budget
+                    if isinstance(self.fault_model, AdversarialFaults)
+                    else None
+                )
+                with obs.span("simulation.invariants"):
+                    check_outcome(
+                        outcome, fleet=assigned, fault_budget=fault_budget
+                    )
+        if telemetry is not None:
+            obs.count("simulation_runs_total")
+            obs.count(
+                "simulation_visits_computed_total",
+                sum(1 for e in events if isinstance(e, TargetVisitEvent))
+                + (1 if detecting_robot is not None and events else 0),
+            )
+            obs.observe(
+                "simulation_wall_seconds", time.perf_counter() - started
+            )
         return outcome
 
     # ------------------------------------------------------------------
@@ -207,7 +240,16 @@ class SearchSimulation:
             events.append(
                 DetectionEvent(detection_time, detecting_robot, self.target)
             )
-        events.sort(key=lambda e: (e.time, e.robot_index))
+        # Chronological, ties broken by robot index — except the final
+        # DetectionEvent, which closes the log even when another robot's
+        # visit ties the detection instant exactly.
+        events.sort(
+            key=lambda e: (
+                e.time,
+                isinstance(e, DetectionEvent),
+                e.robot_index,
+            )
+        )
         return events
 
 

@@ -21,6 +21,7 @@ from repro.core.competitive_ratio import (
     schedule_competitive_ratio,
 )
 from repro.errors import InvalidParameterError
+from repro.observability import instrument as obs
 from repro.robots.fleet import Fleet
 from repro.schedule.algorithm import ProportionalAlgorithm
 from repro.schedule.generalized import CustomBetaAlgorithm
@@ -88,10 +89,12 @@ def target_sweep(
     """
     if not targets:
         raise InvalidParameterError("targets must be non-empty")
-    samples = [
-        RatioSample(x, fleet.worst_case_detection_time(x, fault_budget))
-        for x in targets
-    ]
+    with obs.span("sweep.target_sweep", points=len(targets)):
+        samples = [
+            RatioSample(x, fleet.worst_case_detection_time(x, fault_budget))
+            for x in targets
+        ]
+    obs.count("sweep_points_total", len(targets))
     return RatioProfile(samples)
 
 
@@ -115,16 +118,18 @@ def beta_sweep(
     if not betas:
         raise InvalidParameterError("betas must be non-empty")
     points: List[SweepPoint] = []
-    for beta in betas:
-        theoretical = schedule_competitive_ratio(beta, n, f)
-        measured = None
-        if measure:
-            algorithm = CustomBetaAlgorithm(n, f, beta)
-            estimator = CompetitiveRatioEstimator(
-                Fleet.from_algorithm(algorithm), f, x_max=x_max
-            )
-            measured = estimator.estimate().value
-        points.append(SweepPoint(beta, theoretical, measured))
+    with obs.span("sweep.beta_sweep", points=len(betas), measure=measure):
+        for beta in betas:
+            theoretical = schedule_competitive_ratio(beta, n, f)
+            measured = None
+            if measure:
+                algorithm = CustomBetaAlgorithm(n, f, beta)
+                estimator = CompetitiveRatioEstimator(
+                    Fleet.from_algorithm(algorithm), f, x_max=x_max
+                )
+                measured = estimator.estimate().value
+            points.append(SweepPoint(beta, theoretical, measured))
+    obs.count("sweep_points_total", len(betas))
     return points
 
 
@@ -145,14 +150,16 @@ def fleet_size_sweep(
     if not pairs:
         raise InvalidParameterError("pairs must be non-empty")
     points: List[SweepPoint] = []
-    for n, f in pairs:
-        theoretical = algorithm_competitive_ratio(n, f)
-        measured = None
-        if measure:
-            algorithm = ProportionalAlgorithm(n, f)
-            estimator = CompetitiveRatioEstimator(
-                Fleet.from_algorithm(algorithm), f, x_max=x_max
-            )
-            measured = estimator.estimate().value
-        points.append(SweepPoint(float(n), theoretical, measured))
+    with obs.span("sweep.fleet_size_sweep", points=len(pairs), measure=measure):
+        for n, f in pairs:
+            theoretical = algorithm_competitive_ratio(n, f)
+            measured = None
+            if measure:
+                algorithm = ProportionalAlgorithm(n, f)
+                estimator = CompetitiveRatioEstimator(
+                    Fleet.from_algorithm(algorithm), f, x_max=x_max
+                )
+                measured = estimator.estimate().value
+            points.append(SweepPoint(float(n), theoretical, measured))
+    obs.count("sweep_points_total", len(pairs))
     return points

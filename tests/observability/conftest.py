@@ -1,0 +1,20 @@
+"""Observability fixtures: every test runs with a clean global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import instrument as obs
+
+
+@pytest.fixture(autouse=True)
+def reset_telemetry():
+    """Disable telemetry before and after each test.
+
+    The instrumentation facade holds module-global state; a test that
+    enables it and fails mid-way must not leak collection into its
+    neighbors.
+    """
+    previous = obs.configure(None)
+    yield
+    obs.configure(previous)

@@ -1,0 +1,188 @@
+"""Unit tests for telemetry exporters."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro._version import __version__
+from repro.errors import InvalidParameterError
+from repro.observability.export import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    read_trace_jsonl,
+    summary,
+    to_prometheus,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.observability.instrument import Telemetry
+from repro.observability.tracing import Tracer
+
+
+def _telemetry_with_spans():
+    telemetry = Telemetry()
+    with telemetry.tracer.span("outer", kind="test"):
+        with telemetry.tracer.span("inner"):
+            pass
+    return telemetry
+
+
+class TestTraceJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        telemetry = _telemetry_with_spans()
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace_jsonl(path, telemetry)
+        assert written == 2
+        metadata, spans = read_trace_jsonl(path)
+        assert metadata["version"] == __version__
+        assert metadata["library"] == "linesearch"
+        assert sorted(s.name for s in spans) == ["inner", "outer"]
+        assert spans == telemetry.tracer.records()
+
+    def test_header_line_is_first(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, _telemetry_with_spans())
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_VERSION
+
+    def test_extra_metadata_merged(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(
+            path, Telemetry(), extra_metadata={"command": "chaos"}
+        )
+        metadata, spans = read_trace_jsonl(path)
+        assert metadata["command"] == "chaos"
+        assert spans == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            read_trace_jsonl(str(tmp_path / "nope.jsonl"))
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(InvalidParameterError):
+            read_trace_jsonl(str(path))
+
+    def test_wrong_format_raises(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(InvalidParameterError):
+            read_trace_jsonl(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"format": TRACE_FORMAT, "version": 99}) + "\n"
+        )
+        with pytest.raises(InvalidParameterError):
+            read_trace_jsonl(str(path))
+
+
+class TestPrometheus:
+    def test_build_info_carries_version(self):
+        text = to_prometheus(Telemetry())
+        assert f'version="{__version__}"' in text
+        assert text.splitlines()[2].startswith("linesearch_build_info{")
+
+    def test_counter_rendering(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("done_total", "finished").inc(4)
+        text = to_prometheus(telemetry)
+        assert "# HELP done_total finished" in text
+        assert "# TYPE done_total counter" in text
+        assert "\ndone_total 4\n" in text
+
+    def test_labeled_series_sorted_and_escaped(self):
+        telemetry = Telemetry()
+        c = telemetry.metrics.counter("fails_total")
+        c.inc(1, fault='quo"te')
+        c.inc(2, fault="byzantine")
+        text = to_prometheus(telemetry)
+        assert 'fails_total{fault="byzantine"} 2' in text
+        assert 'fails_total{fault="quo\\"te"} 1' in text
+        assert text.index("byzantine") < text.index("quo")
+
+    def test_histogram_buckets_cumulative(self):
+        telemetry = Telemetry()
+        h = telemetry.metrics.histogram("wall", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        text = to_prometheus(telemetry)
+        assert 'wall_bucket{le="1"} 1' in text
+        assert 'wall_bucket{le="10"} 2' in text
+        assert 'wall_bucket{le="+Inf"} 3' in text
+        assert "wall_sum 105.5" in text
+        assert "wall_count 3" in text
+
+    def test_well_known_metrics_have_help(self):
+        text = to_prometheus(Telemetry())
+        assert (
+            "# HELP scenarios_completed_total campaign scenarios recorded"
+            in text
+        )
+        assert "# TYPE scenario_wall_seconds histogram" in text
+
+    def test_every_sample_line_parses(self):
+        telemetry = _telemetry_with_spans()
+        telemetry.metrics.counter("done_total").inc(2, fault="none")
+        telemetry.metrics.histogram("wall", buckets=(1.0,)).observe(0.5)
+        for line in to_prometheus(telemetry).splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            bare = name_part.split("{")[0]
+            assert bare.replace("_", "a").isalnum()
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(path, Telemetry())
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "linesearch_build_info" in handle.read()
+
+
+class TestSummary:
+    def test_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("sim"):
+                pass
+        with tracer.span("sweep"):
+            pass
+        text = summary(tracer.records())
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "span"
+        body = [l for l in lines[2:] if l.strip()]
+        assert len(body) == 2
+        counts = {
+            row.split("|")[0].strip(): int(row.split("|")[1].strip())
+            for row in body
+        }
+        assert counts == {"sim": 3, "sweep": 1}
+
+    def test_sorted_by_total_descending(self):
+        tracer = Tracer()
+        tracer.record_span("small", duration=0.1)
+        tracer.record_span("big", duration=9.0)
+        body = summary(tracer.records()).splitlines()[2:]
+        assert body[0].split("|")[0].strip() == "big"
+
+    def test_top_truncates(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record_span(f"s{i}", duration=float(i + 1))
+        text = summary(tracer.records(), top=2)
+        assert "and 3 more span name(s)" in text
+
+    def test_metadata_version_prefix(self):
+        tracer = Tracer()
+        tracer.record_span("x", duration=1.0)
+        text = summary(tracer.records(), metadata={"version": "9.9.9"})
+        assert text.splitlines()[0] == "trace from linesearch 9.9.9"

@@ -1,0 +1,116 @@
+"""Unit tests for the zero-overhead instrumentation facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._version import __version__
+from repro.observability import instrument as obs
+from repro.observability.instrument import (
+    WELL_KNOWN_METRICS,
+    Telemetry,
+    _NOOP_SPAN,
+)
+
+
+class TestConfiguration:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert obs.current() is None
+
+    def test_enable_disable_round_trip(self):
+        telemetry = obs.enable()
+        assert obs.is_enabled()
+        assert obs.current() is telemetry
+        assert obs.disable() is telemetry
+        assert not obs.is_enabled()
+
+    def test_enable_with_explicit_instance(self):
+        mine = Telemetry(metadata={"run": "42"})
+        assert obs.enable(mine) is mine
+        assert obs.current() is mine
+
+    def test_configure_returns_previous(self):
+        first = obs.enable()
+        second = Telemetry()
+        assert obs.configure(second) is first
+        assert obs.configure(None) is second
+
+    def test_metadata_defaults_and_overrides(self):
+        telemetry = Telemetry(metadata={"command": "chaos"})
+        assert telemetry.metadata["library"] == "linesearch"
+        assert telemetry.metadata["version"] == __version__
+        assert telemetry.metadata["command"] == "chaos"
+
+    def test_well_known_metrics_preregistered(self):
+        telemetry = Telemetry()
+        for kind, names in WELL_KNOWN_METRICS.items():
+            for name in names:
+                metric = telemetry.metrics.get(name)
+                assert metric is not None, name
+                assert metric.kind == kind
+                assert metric.help  # self-describing exports
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop(self):
+        assert obs.span("anything") is _NOOP_SPAN
+        assert obs.span("other", k=1) is _NOOP_SPAN
+
+    def test_noop_span_full_protocol(self):
+        with obs.span("x") as span:
+            assert span.set(a=1) is span
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("x"):
+                raise RuntimeError("propagates")
+
+    def test_metric_helpers_are_noops(self):
+        obs.count("c_total")
+        obs.observe("h", 1.0)
+        obs.gauge_set("g", 2.0)
+        # nothing was recorded anywhere: enabling afterwards starts fresh
+        telemetry = obs.enable()
+        assert telemetry.metrics.counter("c_total").value() == 0.0
+
+
+class TestEnabledPath:
+    def test_span_routes_to_tracer(self):
+        telemetry = obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        names = [r.name for r in telemetry.tracer.records()]
+        assert names == ["inner", "outer"]
+
+    def test_count_observe_gauge(self):
+        telemetry = obs.enable()
+        obs.count("c_total")
+        obs.count("c_total", 2, fault="none")
+        obs.observe("h_seconds", 0.25)
+        obs.gauge_set("g", 7)
+        assert telemetry.metrics.counter("c_total").value() == 3.0
+        assert telemetry.metrics.histogram("h_seconds").count() == 1
+        assert telemetry.metrics.gauge("g").value() == 7.0
+
+
+class TestInstrumentedDecorator:
+    def test_passthrough_when_disabled(self):
+        @obs.instrumented("math.triple")
+        def triple(x):
+            return 3 * x
+
+        assert triple(4) == 12
+        assert triple.__name__ == "triple"
+
+    def test_traces_when_enabled(self):
+        @obs.instrumented("math.triple", flavor="test")
+        def triple(x):
+            return 3 * x
+
+        telemetry = obs.enable()
+        assert triple(2) == 6
+        (record,) = telemetry.tracer.records()
+        assert record.name == "math.triple"
+        assert record.attributes == {"flavor": "test"}

@@ -1,0 +1,186 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        c = registry.counter("runs_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series(self):
+        c = MetricsRegistry().counter("fails_total")
+        c.inc(fault="random")
+        c.inc(2, fault="byzantine")
+        assert c.value(fault="random") == 1.0
+        assert c.value(fault="byzantine") == 2.0
+        assert c.value() == 3.0  # unlabeled query sums all series
+
+    def test_label_order_irrelevant(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1.0
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1)
+
+    def test_bad_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError):
+            registry.counter("bad name")
+        with pytest.raises(InvalidParameterError):
+            registry.counter("")
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3.0
+
+    def test_labeled(self):
+        g = MetricsRegistry().gauge("workers")
+        g.set(2, state="busy")
+        g.set(1, state="idle")
+        assert g.value(state="busy") == 2.0
+        assert g.value() == 3.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = MetricsRegistry().histogram("t", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts() == [2, 1, 1]  # last slot is overflow
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(106.2)
+        assert h.mean() == pytest.approx(106.2 / 4)
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("t", buckets=(1.0,))
+        assert h.count() == 0 and h.sum() == 0.0 and h.mean() is None
+
+    def test_buckets_sorted_and_distinct(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", buckets=(10.0, 1.0))
+        assert h.buckets == (1.0, 10.0)
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("u", buckets=(1.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("v", buckets=())
+
+    def test_boundary_is_inclusive(self):
+        h = MetricsRegistry().histogram("t", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts() == [1, 0, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("x_total")
+
+    def test_metrics_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.gauge("aa")
+        assert [m.name for m in registry.metrics()] == ["aa", "zz"]
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        c = registry.counter("a_total")
+        assert registry.get("a_total") is c
+        assert registry.get("missing") is None
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", "runs").inc(2, fault="none")
+        registry.gauge("depth").set(4)
+        registry.histogram("wall", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        # must survive a JSON round trip unchanged
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["runs_total"]["kind"] == "counter"
+        assert snap["wall"]["counts"] == [1, 0]
+
+    def test_merge_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("runs_total").inc(1, fault="none")
+        b.counter("runs_total").inc(2, fault="none")
+        b.counter("runs_total").inc(5, fault="random")
+        a.merge(b.snapshot())
+        assert a.counter("runs_total").value(fault="none") == 3.0
+        assert a.counter("runs_total").value(fault="random") == 5.0
+
+    def test_merge_histograms_add_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, values in ((a, (0.5, 5.0)), (b, (0.7, 50.0))):
+            h = registry.histogram("wall", buckets=(1.0, 10.0))
+            for v in values:
+                h.observe(v)
+        a.merge(b.snapshot())
+        merged = a.histogram("wall", buckets=(1.0, 10.0))
+        assert merged.bucket_counts() == [2, 1, 1]
+        assert merged.count() == 4
+        assert merged.sum() == pytest.approx(56.2)
+
+    def test_merge_gauges_last_writer_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(1)
+        b.gauge("depth").set(9)
+        a.merge(b.snapshot())
+        assert a.gauge("depth").value() == 9.0
+
+    def test_merge_creates_unknown_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("new_total", "helpful").inc(3)
+        a.merge(b.snapshot())
+        assert a.counter("new_total").value() == 3.0
+        assert a.get("new_total").help == "helpful"
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("wall", buckets=(1.0,))
+        b.histogram("wall", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(InvalidParameterError):
+            a.merge(b.snapshot())
+
+    def test_merge_unknown_kind_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MetricsRegistry().merge({"x": {"kind": "mystery"}})
+
+    def test_merge_round_trip_identity(self):
+        # merging a snapshot into an empty registry reproduces it
+        a = MetricsRegistry()
+        a.counter("c_total").inc(7)
+        a.histogram("h", buckets=DEFAULT_TIME_BUCKETS).observe(0.02)
+        b = MetricsRegistry()
+        b.merge(a.snapshot())
+        assert b.snapshot() == a.snapshot()

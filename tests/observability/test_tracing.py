@@ -1,0 +1,204 @@
+"""Unit tests for the span tracer."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.observability.tracing import (
+    SpanRecord,
+    Tracer,
+    children_of,
+    roots,
+)
+
+
+class TestSpanLifecycle:
+    def test_single_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            assert len(tracer) == 0  # still open
+        records = tracer.records()
+        assert [r.name for r in records] == ["work"]
+        assert records[0].parent_id is None
+        assert records[0].duration >= 0.0
+        assert records[0].pid == os.getpid()
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records()
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_three_levels_of_nesting(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["c"].parent_id == by_name["b"].span_id
+        assert by_name["b"].parent_id == by_name["a"].span_id
+        assert by_name["a"].parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["first"].parent_id == by_name["parent"].span_id
+        assert by_name["second"].parent_id == by_name["parent"].span_id
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id() == outer.span_id
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id() == inner.span_id
+            assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", phase="setup") as span:
+            span.set(items=4, phase="run")
+        (record,) = tracer.records()
+        assert record.attributes == {"phase": "run", "items": 4}
+
+    def test_exception_records_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (record,) = tracer.records()
+        assert record.attributes["error"] == "ValueError"
+
+    def test_span_ids_unique_and_embed_pid(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [r.span_id for r in tracer.records()]
+        assert len(set(ids)) == 5
+        assert all(i.startswith(f"{os.getpid():x}:") for i in ids)
+
+
+class TestSpanRecord:
+    def test_dict_round_trip(self):
+        record = SpanRecord(
+            name="n", span_id="1:2", parent_id="1:1",
+            start=0.5, duration=0.25, pid=7,
+            attributes={"k": "v"},
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_from_dict_defaults(self):
+        record = SpanRecord.from_dict(
+            {"name": "n", "span_id": "1:1", "start": 0.0, "duration": 1.0}
+        )
+        assert record.parent_id is None
+        assert record.pid == 0
+        assert record.attributes == {}
+
+
+class TestRecordSpanAndAdopt:
+    def test_record_span_retroactive(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            span_id = tracer.record_span("pooled", duration=1.5, ok=True)
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["pooled"].span_id == span_id
+        assert by_name["pooled"].duration == 1.5
+        assert by_name["pooled"].parent_id == by_name["parent"].span_id
+        assert by_name["pooled"].attributes == {"ok": True}
+
+    def test_adopt_reparents_roots_only(self):
+        worker = Tracer()
+        with worker.span("attempt"):
+            with worker.span("sim"):
+                pass
+        blobs = worker.drain()
+        assert len(worker) == 0  # drain empties
+
+        parent = Tracer()
+        anchor = parent.record_span("scenario", duration=2.0)
+        adopted = parent.adopt(blobs, parent_id=anchor)
+        assert adopted == 2
+        by_name = {r.name: r for r in parent.records()}
+        # the worker root hangs off the anchor; the nested span's
+        # worker-side lineage is preserved untouched
+        assert by_name["attempt"].parent_id == anchor
+        assert by_name["sim"].parent_id == by_name["attempt"].span_id
+
+    def test_adopt_without_parent_keeps_roots(self):
+        worker = Tracer()
+        with worker.span("solo"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.drain())
+        (record,) = parent.records()
+        assert record.parent_id is None
+
+
+class TestForestHelpers:
+    def test_roots_and_children(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        records = tracer.records()
+        (root,) = roots(records)
+        assert root.name == "a"
+        assert sorted(r.name for r in children_of(records, root.span_id)) == [
+            "b", "c",
+        ]
+
+    def test_orphan_counts_as_root(self):
+        records = [
+            SpanRecord("orphan", "1:9", "1:404", 0.0, 1.0, 1),
+        ]
+        assert [r.name for r in roots(records)] == ["orphan"]
+
+
+class TestThreadSafety:
+    def test_threads_trace_independently(self):
+        tracer = Tracer()
+        errors = []
+
+        def work(tag):
+            try:
+                for _ in range(50):
+                    with tracer.span(f"outer-{tag}") as outer:
+                        with tracer.span(f"inner-{tag}") as inner:
+                            assert inner.parent_id == outer.span_id
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        records = tracer.records()
+        assert len(records) == 4 * 50 * 2
+        # every inner span's parent is an outer span with the same tag
+        by_id = {r.span_id: r for r in records}
+        for r in records:
+            if r.name.startswith("inner-"):
+                tag = r.name.split("-")[1]
+                assert by_id[r.parent_id].name == f"outer-{tag}"

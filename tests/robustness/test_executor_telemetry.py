@@ -1,0 +1,262 @@
+"""Telemetry integration tests for the campaign executor.
+
+These pin the observability contract of PR 3: executor counters agree
+with the campaign report, traces nest identically for inline and pooled
+runs, and worker spans cross the process boundary intact.
+"""
+
+import os
+
+import pytest
+
+from repro.observability import instrument as obs
+from repro.observability.tracing import children_of, roots
+from repro.robots import Fleet
+from repro.robots.faults import AdversarialFaults
+from repro.robustness import (
+    CampaignExecutor,
+    RetryPolicy,
+    Scenario,
+    ScenarioSpec,
+    chaos_scenarios,
+)
+from repro.trajectory import LinearTrajectory
+
+from tests.robustness.test_executor import (
+    _healthy_fleet,
+    crashing_scenario,
+    hanging_scenario,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_telemetry():
+    previous = obs.configure(None)
+    yield
+    obs.configure(previous)
+
+
+def _grid():
+    return chaos_scenarios(
+        [(3, 1)], [1.0, -2.0], ["none", "adversarial", "random"], seed=11
+    )
+
+
+def _by_name(records):
+    out = {}
+    for r in records:
+        out.setdefault(r.name, []).append(r)
+    return out
+
+
+class TestInlineTelemetry:
+    def test_counters_match_report(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor().execute(_grid())
+        counters = telemetry.metrics
+        assert counters.counter("scenarios_completed_total").value() == (
+            report.total
+        )
+        assert counters.counter("scenarios_failed_total").value() == (
+            report.failed
+        )
+        assert counters.counter("simulation_runs_total").value() >= (
+            report.total
+        )
+        assert counters.gauge("campaign_scenarios_total").value() == (
+            report.total
+        )
+        assert counters.histogram("scenario_wall_seconds").count() == (
+            report.total
+        )
+
+    def test_span_forest_nests_per_scenario(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor().execute(_grid())
+        records = telemetry.tracer.records()
+        by_name = _by_name(records)
+        (execute,) = by_name["campaign.execute"]
+        assert [r.name for r in roots(records)] == ["campaign.execute"]
+        assert len(by_name["campaign.scenario"]) == report.total
+        for scenario_span in by_name["campaign.scenario"]:
+            assert scenario_span.parent_id == execute.span_id
+            attempts = children_of(records, scenario_span.span_id)
+            assert attempts and all(
+                a.name == "campaign.attempt" for a in attempts
+            )
+            for attempt in attempts:
+                phases = {
+                    r.name for r in children_of(records, attempt.span_id)
+                }
+                assert "simulation.run" in phases
+
+    def test_simulation_phase_spans_present(self):
+        telemetry = obs.enable()
+        CampaignExecutor().execute(_grid()[:1])
+        by_name = _by_name(telemetry.tracer.records())
+        (run,) = by_name["simulation.run"]
+        phases = {
+            r.name
+            for r in children_of(telemetry.tracer.records(), run.span_id)
+        }
+        assert {
+            "simulation.adversary",
+            "simulation.trajectories",
+            "simulation.visits",
+        } <= phases
+
+    def test_retries_counted(self):
+        calls = []
+
+        def flaky_build():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return _healthy_fleet()
+
+        scenario = Scenario(
+            spec=ScenarioSpec(2, 0, 1.0, "random", 5),
+            build=flaky_build,
+            stochastic=True,
+        )
+        telemetry = obs.enable()
+        report = CampaignExecutor(
+            retry_policy=RetryPolicy(max_attempts=3)
+        ).execute([scenario])
+        assert report.results[0].ok and report.results[0].attempts == 3
+        assert telemetry.metrics.counter("scenario_retries_total").value() == 2
+        # the counter equals sum(attempts - 1) over the report
+        assert telemetry.metrics.counter("scenario_retries_total").value() == (
+            sum(r.attempts - 1 for r in report.results)
+        )
+
+    def test_journal_flushes_counted(self, tmp_path):
+        telemetry = obs.enable()
+        CampaignExecutor(
+            journal_path=str(tmp_path / "journal.jsonl")
+        ).execute(_grid()[:2])
+        flushes = telemetry.metrics.counter("journal_flushes_total")
+        # one creation flush + one per recorded scenario
+        assert flushes.value() == 3
+        assert telemetry.metrics.histogram("journal_flush_seconds").count() == 3
+
+
+class TestPooledTelemetry:
+    def test_counters_aggregate_across_workers(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor(jobs=2, timeout=60.0).execute(_grid())
+        assert telemetry.metrics.counter(
+            "scenarios_completed_total"
+        ).value() == report.total
+        # worker-side simulation metrics merged through the result pipes
+        assert telemetry.metrics.counter(
+            "simulation_runs_total"
+        ).value() >= report.total
+        assert telemetry.metrics.histogram(
+            "simulation_wall_seconds"
+        ).count() >= report.total
+
+    def test_spans_nest_across_worker_boundary(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor(jobs=2, timeout=60.0).execute(_grid())
+        records = telemetry.tracer.records()
+        by_name = _by_name(records)
+        (execute,) = by_name["campaign.execute"]
+        assert [r.name for r in roots(records)] == ["campaign.execute"]
+        assert len(by_name["campaign.scenario"]) == report.total
+
+        parent_pid = os.getpid()
+        attempts = by_name["campaign.attempt"]
+        assert attempts
+        scenario_ids = {r.span_id for r in by_name["campaign.scenario"]}
+        for attempt in attempts:
+            # the attempt ran in a worker process...
+            assert attempt.pid != parent_pid
+            # ...but hangs off a parent-side scenario span
+            assert attempt.parent_id in scenario_ids
+            run_spans = [
+                r
+                for r in children_of(records, attempt.span_id)
+                if r.name == "simulation.run"
+            ]
+            assert run_spans
+            assert all(r.pid == attempt.pid for r in run_spans)
+        for scenario_span in by_name["campaign.scenario"]:
+            assert scenario_span.pid == parent_pid
+            assert scenario_span.parent_id == execute.span_id
+
+    def test_parallel_and_sequential_reports_agree_under_telemetry(self):
+        def grid():
+            return chaos_scenarios(
+                [(3, 1), (5, 2)], [1.0, -1.5], ["none", "random"], seed=21
+            )
+
+        obs.enable()
+        sequential = CampaignExecutor(jobs=1).execute(grid())
+        obs.enable()  # fresh sinks for the parallel leg
+        parallel = CampaignExecutor(jobs=3, timeout=60.0).execute(grid())
+        assert sequential.to_json() == parallel.to_json()
+
+
+class TestFailurePathTelemetry:
+    def test_watchdog_timeout_counted_and_errors_recorded(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor(jobs=2, timeout=1.0).execute(
+            [hanging_scenario()] + _grid()[:2]
+        )
+        assert telemetry.metrics.counter(
+            "watchdog_timeouts_total"
+        ).value() == 1
+        assert telemetry.metrics.counter(
+            "scenarios_failed_total"
+        ).value(error="ScenarioTimeoutError") == 1
+        failure = report.failures()[0]
+        # regression: the losing attempt's error is in the history
+        assert failure.attempt_errors
+        assert "ScenarioTimeoutError" in failure.attempt_errors[-1]
+        # the timed-out scenario still materialized a trace span
+        timeout_spans = [
+            r
+            for r in telemetry.tracer.records()
+            if r.name == "campaign.scenario" and not r.attributes.get("ok")
+        ]
+        assert len(timeout_spans) == 1
+
+    def test_worker_crash_counted(self):
+        telemetry = obs.enable()
+        report = CampaignExecutor(jobs=2, timeout=60.0).execute(
+            [crashing_scenario()] + _grid()[:2]
+        )
+        # dispatched twice (requeue-once policy), crashed both times
+        assert telemetry.metrics.counter(
+            "worker_crashes_total"
+        ).value() == 2
+        assert telemetry.metrics.counter(
+            "scenarios_failed_total"
+        ).value(error="WorkerCrashError") == 1
+        failure = report.failures()[0]
+        assert len(failure.attempt_errors) == 2
+        assert all(
+            "WorkerCrashError" in e for e in failure.attempt_errors
+        )
+
+
+class TestDisabledTelemetry:
+    def test_execute_without_telemetry_collects_nothing(self):
+        report = CampaignExecutor(jobs=2, timeout=60.0).execute(_grid()[:2])
+        assert report.failed == 0
+        assert obs.current() is None
+
+    def test_inline_fleet_scenarios_unaffected(self):
+        fleet, faults = (
+            Fleet.from_trajectories(
+                [LinearTrajectory(1), LinearTrajectory(-1)]
+            ),
+            AdversarialFaults(0),
+        )
+        scenario = Scenario(
+            spec=ScenarioSpec(2, 0, 1.0, "none", 1),
+            build=lambda: (fleet, faults),
+        )
+        report = CampaignExecutor().execute([scenario])
+        assert report.results[0].ok

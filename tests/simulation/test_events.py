@@ -1,9 +1,14 @@
-"""Unit tests for simulation event records."""
+"""Unit tests for simulation event records and their ordering guarantees."""
 
 import pytest
 
 from repro.errors import InvalidParameterError
+from repro.robots.faults import AdversarialFaults
+from repro.robots.fleet import Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.simulation.engine import SearchSimulation, simulate_search
 from repro.simulation.events import DetectionEvent, Event, TargetVisitEvent, TurnEvent
+from repro.trajectory import DoublingTrajectory
 
 
 class TestEvents:
@@ -35,3 +40,66 @@ class TestEvents:
         e = TurnEvent(1.0, 0, 1.0)
         with pytest.raises(AttributeError):
             e.time = 2.0
+
+
+class TestEventOrdering:
+    """The engine's event-log contract: chronological, detection last."""
+
+    def _outcomes(self):
+        for n, f in [(3, 1), (5, 2)]:
+            fleet = Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+            for target in [1.0, -1.0, 1.5, 2.0, -2.0, 3.7, 0.25, -8.0]:
+                sim = SearchSimulation(
+                    fleet, target, fault_model=AdversarialFaults(f)
+                )
+                yield sim.run()
+
+    def test_times_non_decreasing(self):
+        for outcome in self._outcomes():
+            times = [e.time for e in outcome.events]
+            assert times == sorted(times), outcome.target
+
+    def test_equal_times_ordered_by_robot_index(self):
+        for outcome in self._outcomes():
+            events = outcome.events
+            for a, b in zip(events, events[1:]):
+                if a.time == b.time and not isinstance(b, DetectionEvent):
+                    assert a.robot_index <= b.robot_index
+
+    def test_detection_event_is_last(self):
+        for outcome in self._outcomes():
+            assert outcome.events, outcome.target
+            assert isinstance(outcome.events[-1], DetectionEvent)
+            detections = [
+                e for e in outcome.events if isinstance(e, DetectionEvent)
+            ]
+            assert len(detections) == 1
+
+    def test_detection_last_even_on_exact_tie(self):
+        # Two identical trajectories reach the target simultaneously:
+        # robot 1's visit ties the detection instant of robot 0, and a
+        # plain (time, robot_index) sort would put the visit after the
+        # detection.  The contract says detection closes the log.
+        outcome = simulate_search(
+            [DoublingTrajectory(), DoublingTrajectory()], target=-1.0
+        )
+        events = outcome.events
+        assert isinstance(events[-1], DetectionEvent)
+        tied_visit = [
+            e
+            for e in events
+            if isinstance(e, TargetVisitEvent)
+            and e.time == outcome.detection_time
+        ]
+        assert tied_visit, "expected a visit tying the detection instant"
+        assert all(e.robot_index == 1 for e in tied_visit)
+
+    def test_detection_time_is_max_event_time(self):
+        for outcome in self._outcomes():
+            assert outcome.events[-1].time == pytest.approx(
+                outcome.detection_time
+            )
+            assert all(
+                e.time <= outcome.detection_time + 1e-9
+                for e in outcome.events
+            )

@@ -17,7 +17,7 @@ class TestParser:
         text = parser.format_help()
         for cmd in (
             "info", "simulate", "ratio", "table1", "figure5",
-            "diagram", "lowerbound", "experiment", "chaos",
+            "diagram", "lowerbound", "experiment", "chaos", "telemetry",
         ):
             assert cmd in text
 
@@ -196,6 +196,15 @@ class TestVersion:
             main(["--version"])
         assert exc.value.code == 0
 
+    def test_version_output_names_library_and_version(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        out = capsys.readouterr().out
+        assert "linesearch" in out
+        assert __version__ in out
+
 
 class TestChaos:
     def test_small_campaign_all_ok(self, capsys):
@@ -281,6 +290,125 @@ class TestChaos:
             resumed = CampaignReport.from_json(handle.read())
         assert resumed == first
 
+class TestTelemetryCLI:
+    def _run_chaos(self, capsys, tmp_path, *extra):
+        telemetry_dir = str(tmp_path / "telemetry")
+        report_path = str(tmp_path / "report.json")
+        code, out, _ = run_cli(
+            capsys,
+            "chaos",
+            "--pairs", "3,1",
+            "--targets", "1.0", "-2.0",
+            "--faults", "none", "random",
+            "--seed", "8",
+            "--telemetry-dir", telemetry_dir,
+            "--report-json", report_path,
+            *extra,
+        )
+        return code, out, telemetry_dir, report_path
+
+    def test_artifacts_written_and_parseable(self, capsys, tmp_path):
+        code, out, telemetry_dir, _ = self._run_chaos(capsys, tmp_path)
+        assert code == 0
+        assert "telemetry:" in out
+        import os
+
+        for name in ("trace.jsonl", "metrics.prom", "summary.txt"):
+            assert os.path.exists(os.path.join(telemetry_dir, name)), name
+
+        from repro.observability import read_trace_jsonl
+
+        metadata, spans = read_trace_jsonl(
+            os.path.join(telemetry_dir, "trace.jsonl")
+        )
+        assert metadata["command"] == "chaos"
+        assert metadata["seed"] == 8
+        assert spans
+        assert any(s.name == "campaign.execute" for s in spans)
+
+    def test_prom_counter_matches_report_total(self, capsys, tmp_path):
+        # the PR's acceptance criterion: scenarios_completed_total in
+        # the Prometheus export equals the campaign report's total
+        code, _, telemetry_dir, report_path = self._run_chaos(
+            capsys, tmp_path, "--jobs", "2"
+        )
+        assert code == 0
+        import json
+        import os
+        import re
+
+        with open(report_path, encoding="utf-8") as handle:
+            total = len(json.load(handle)["results"])
+        with open(
+            os.path.join(telemetry_dir, "metrics.prom"), encoding="utf-8"
+        ) as handle:
+            prom = handle.read()
+        match = re.search(
+            r"^scenarios_completed_total (\d+)$", prom, re.MULTILINE
+        )
+        assert match, prom
+        assert int(match.group(1)) == total
+        assert 'linesearch_build_info{version="' in prom
+
+    def test_telemetry_subcommand_summarizes_trace(self, capsys, tmp_path):
+        import os
+
+        _, _, telemetry_dir, _ = self._run_chaos(capsys, tmp_path)
+        code, out, _ = run_cli(
+            capsys,
+            "telemetry",
+            os.path.join(telemetry_dir, "trace.jsonl"),
+        )
+        assert code == 0
+        assert "trace from linesearch" in out
+        assert "campaign.execute" in out
+        assert "simulation.run" in out
+
+    def test_telemetry_subcommand_top_truncates(self, capsys, tmp_path):
+        import os
+
+        _, _, telemetry_dir, _ = self._run_chaos(capsys, tmp_path)
+        code, out, _ = run_cli(
+            capsys,
+            "telemetry",
+            os.path.join(telemetry_dir, "trace.jsonl"),
+            "--top", "2",
+        )
+        assert code == 0
+        assert "more span name(s)" in out
+
+    def test_telemetry_missing_trace_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "telemetry", str(tmp_path / "nope.jsonl")
+        )
+        assert code == 2
+        assert "no trace file" in err
+
+    def test_chaos_without_telemetry_dir_leaves_state_disabled(
+        self, capsys
+    ):
+        from repro.observability import instrument as obs
+
+        run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--seed", "1",
+        )
+        assert obs.current() is None
+
+    def test_chaos_restores_ambient_telemetry(self, capsys, tmp_path):
+        # the chaos command must restore whatever telemetry was active
+        # before it swapped in its own
+        from repro.observability import instrument as obs
+
+        ambient = obs.enable()
+        try:
+            self._run_chaos(capsys, tmp_path)
+            assert obs.current() is ambient
+        finally:
+            obs.configure(None)
+
+
+class TestChaosMore:
     def test_seed_changes_scenarios_not_outcome_count(self, capsys):
         _, out_a, _ = run_cli(
             capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
