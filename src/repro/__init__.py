@@ -30,6 +30,11 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.batch import (
+    BatchEvaluator,
+    available_backends,
+    compile_trajectory,
+)
 from repro.baselines import (
     DelayedGroupDoubling,
     GroupDoubling,
@@ -55,6 +60,7 @@ from repro.core import (
 )
 from repro.errors import (
     AdversaryError,
+    BatchError,
     CampaignError,
     ExperimentError,
     InvalidParameterError,
@@ -125,6 +131,8 @@ __all__ = [
     "AdversarialFaults",
     "AdversaryError",
     "AdversaryWitness",
+    "BatchError",
+    "BatchEvaluator",
     "BehavioralFaults",
     "ByzantineFalseAlarmFault",
     "CampaignError",
@@ -182,7 +190,9 @@ __all__ = [
     "__version__",
     "algorithm_competitive_ratio",
     "asymptotic_cr",
+    "available_backends",
     "chaos_scenarios",
+    "compile_trajectory",
     "competitive_ratio",
     "disable_telemetry",
     "enable_telemetry",

@@ -1,0 +1,280 @@
+"""Backend dispatch: one kernel contract, two implementations.
+
+The batch subsystem must work in two worlds:
+
+* a **bare venv** — the library's core has no dependencies
+  (``pyproject.toml`` ships an empty ``dependencies`` list), so the
+  :class:`PureBackend` implements every kernel in dependency-free
+  Python;
+* a **scientific venv** — when the ``scientific`` extra (numpy) is
+  installed, :class:`NumpyBackend` evaluates the same kernels with
+  vectorized primitives and is auto-selected by :func:`get_backend`.
+
+Both backends implement the *same selection rule* (first segment whose
+running positional envelope reaches the target — via a sorted sweep in
+pure Python, via ``searchsorted`` on the cumulative max/min in numpy)
+and the *same crossing expression* with the same operand order, so
+their outputs are bit-for-bit identical, not merely close.  The
+snapshot tests in ``tests/batch/test_backends.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from repro.batch.compile import CompiledFleet
+from repro.batch.kernels import (
+    SEG_EPS,
+    START_RTOL,
+    first_visit_row,
+    kth_smallest_per_column,
+    min_excluding_rows,
+)
+from repro.errors import BatchError, InvalidParameterError
+
+__all__ = [
+    "BatchBackend",
+    "PureBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+]
+
+#: Cached numpy module (or False after a failed import attempt).
+_NUMPY: Any = None
+
+
+def _numpy_module():
+    """Import numpy once; return the module or ``None``."""
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy  # type: ignore[import-not-found]
+
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = False
+    return _NUMPY or None
+
+
+class BatchBackend(ABC):
+    """Kernel contract shared by every backend.
+
+    A backend turns a :class:`~repro.batch.compile.CompiledFleet` and a
+    sorted target grid into an opaque *visit matrix* (one row per robot,
+    one column per target) and answers order-statistic queries on it.
+    The matrix type is backend-private; callers only ever see plain
+    ``List[float]`` rows, with ``math.inf`` marking never-visits.
+    """
+
+    #: Stable identifier used by :func:`get_backend` and reports.
+    name: str = "?"
+
+    @abstractmethod
+    def first_visit_matrix(
+        self, fleet: CompiledFleet, xs_sorted: Sequence[float]
+    ) -> Any:
+        """Per-robot first-visit times over the sorted grid (opaque)."""
+
+    @abstractmethod
+    def kth_smallest(self, matrix: Any, k: int) -> List[float]:
+        """Column-wise ``k``-th smallest — ``T_k`` per target."""
+
+    @abstractmethod
+    def min_excluding(self, matrix: Any, excluded: Set[int]) -> List[float]:
+        """Column-wise min over non-excluded rows — detection times
+        under an explicit crash-detection fault set."""
+
+    @abstractmethod
+    def row(self, matrix: Any, index: int) -> List[float]:
+        """One robot's first-visit times as a plain float list."""
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PureBackend(BatchBackend):
+    """Dependency-free reference backend (always available).
+
+    Examples:
+        >>> from repro.batch.compile import compile_fleet
+        >>> from repro.trajectory import LinearTrajectory
+        >>> fleet = compile_fleet(
+        ...     [LinearTrajectory(1), LinearTrajectory(-1)], -4.0, 4.0
+        ... )
+        >>> backend = PureBackend()
+        >>> m = backend.first_visit_matrix(fleet, [-2.0, 3.0])
+        >>> backend.kth_smallest(m, 1)
+        [2.0, 3.0]
+        >>> backend.kth_smallest(m, 2)
+        [inf, inf]
+    """
+
+    name = "pure"
+
+    def first_visit_matrix(
+        self, fleet: CompiledFleet, xs_sorted: Sequence[float]
+    ) -> List[List[float]]:
+        return [
+            first_visit_row(compiled, xs_sorted)
+            for compiled in fleet.trajectories
+        ]
+
+    def kth_smallest(self, matrix: List[List[float]], k: int) -> List[float]:
+        return kth_smallest_per_column(matrix, k)
+
+    def min_excluding(
+        self, matrix: List[List[float]], excluded: Set[int]
+    ) -> List[float]:
+        return min_excluding_rows(matrix, excluded)
+
+    def row(self, matrix: List[List[float]], index: int) -> List[float]:
+        return list(matrix[index])
+
+
+class NumpyBackend(BatchBackend):
+    """Vectorized backend; requires the ``scientific`` extra.
+
+    Selection is expressed with ``searchsorted`` on the cumulative
+    positional envelope: for a target above the start, the first segment
+    whose running max reaches it is the first segment ever to sweep it —
+    and because the cumulative max *strictly increased* there, that
+    segment's own endpoints straddle the target, so the shared crossing
+    expression is division-safe.  Symmetrically below the start via the
+    cumulative min.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        np = _numpy_module()
+        if np is None:
+            raise BatchError(
+                "numpy backend requested but numpy is not installed; "
+                "install the 'scientific' extra or use backend='pure'"
+            )
+        self._np = np
+
+    def first_visit_matrix(
+        self, fleet: CompiledFleet, xs_sorted: Sequence[float]
+    ) -> Any:
+        np = self._np
+        xs = np.asarray(xs_sorted, dtype=np.float64)
+        return np.vstack(
+            [self._first_visit_array(c, xs) for c in fleet.trajectories]
+        )
+
+    def _first_visit_array(self, compiled, xs) -> Any:
+        np = self._np
+        times = np.full(xs.shape, np.inf, dtype=np.float64)
+        s = compiled.start_position
+        # Same start rule and the same float expression as the pure
+        # kernel (and the engine): relative tolerance around the start.
+        at_start = np.abs(xs - s) <= START_RTOL * (1.0 + np.abs(xs))
+        times[at_start] = compiled.start_time
+        count = compiled.segment_count
+        if count == 0:
+            return times
+        x0 = np.asarray(compiled.x0, dtype=np.float64)
+        t0 = np.asarray(compiled.t0, dtype=np.float64)
+        x1 = np.asarray(compiled.x1, dtype=np.float64)
+        t1 = np.asarray(compiled.t1, dtype=np.float64)
+        upper = np.maximum.accumulate(x1)
+        lower = np.minimum.accumulate(x1)
+        above = (xs > s) & ~at_start
+        if above.any():
+            x = xs[above]
+            # First segment whose running max reaches x - SEG_EPS: the
+            # identical predicate (same rounding) as the pure kernel's
+            # `xs[next_up] - SEG_EPS <= x1`.
+            j = np.searchsorted(upper, x - SEG_EPS, side="left")
+            hit = j < count
+            jj = j[hit]
+            t = np.full(x.shape, np.inf, dtype=np.float64)
+            frac = (x[hit] - x0[jj]) / (x1[jj] - x0[jj])
+            frac = np.minimum(frac, 1.0)
+            t[hit] = t0[jj] + frac * (t1[jj] - t0[jj])
+            times[above] = t
+        below = (xs < s) & ~at_start
+        if below.any():
+            x = xs[below]
+            j = np.searchsorted(-lower, -(x + SEG_EPS), side="left")
+            hit = j < count
+            jj = j[hit]
+            t = np.full(x.shape, np.inf, dtype=np.float64)
+            frac = (x[hit] - x0[jj]) / (x1[jj] - x0[jj])
+            frac = np.minimum(frac, 1.0)
+            t[hit] = t0[jj] + frac * (t1[jj] - t0[jj])
+            times[below] = t
+        return times
+
+    def kth_smallest(self, matrix: Any, k: int) -> List[float]:
+        np = self._np
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if k > matrix.shape[0]:
+            return [math.inf] * matrix.shape[1]
+        return np.sort(matrix, axis=0)[k - 1].tolist()
+
+    def min_excluding(self, matrix: Any, excluded: Set[int]) -> List[float]:
+        np = self._np
+        unknown = {i for i in excluded if i < 0 or i >= matrix.shape[0]}
+        if unknown:
+            raise InvalidParameterError(
+                f"excluded row indices out of range: {sorted(unknown)}"
+            )
+        if len(excluded) == matrix.shape[0]:
+            return [math.inf] * matrix.shape[1]
+        keep = [i for i in range(matrix.shape[0]) if i not in excluded]
+        return np.min(matrix[keep], axis=0).tolist()
+
+    def row(self, matrix: Any, index: int) -> List[float]:
+        return matrix[index].tolist()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends usable in this environment.
+
+    ``"pure"`` is always present; ``"numpy"`` appears when the
+    ``scientific`` extra is importable.
+
+    Examples:
+        >>> "pure" in available_backends()
+        True
+    """
+    names = ["pure"]
+    if _numpy_module() is not None:
+        names.append("numpy")
+    return tuple(names)
+
+
+def get_backend(name: Optional[str] = None) -> BatchBackend:
+    """Resolve a backend by name, or auto-select the fastest available.
+
+    Args:
+        name: ``"pure"``, ``"numpy"``, or ``None`` for auto-selection
+            (numpy when importable, pure otherwise).
+
+    Raises:
+        BatchError: when ``"numpy"`` is requested but not installed.
+        InvalidParameterError: on an unknown name.
+
+    Examples:
+        >>> get_backend("pure").name
+        'pure'
+        >>> get_backend().name in available_backends()
+        True
+    """
+    if name is None:
+        return NumpyBackend() if _numpy_module() is not None else PureBackend()
+    if name == "pure":
+        return PureBackend()
+    if name == "numpy":
+        return NumpyBackend()
+    raise InvalidParameterError(
+        f"unknown batch backend {name!r}; available: "
+        f"{', '.join(available_backends())}"
+    )

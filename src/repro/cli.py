@@ -13,6 +13,12 @@ Subcommands:
 * ``validate`` — admissibility check for a configuration;
 * ``experiment`` — run any experiment from the registry by id;
 * ``export`` — write experiment data as CSV;
+* ``batch`` — the batch evaluation subsystem: ``batch backends``
+  lists the kernel backends usable here, ``batch ratio`` measures a
+  competitive ratio through the vectorized kernels, ``batch sweep``
+  evaluates a ratio profile over a geometric target grid, and
+  ``batch parity`` replays a seeded grid through both the kernels and
+  the event engine, gating (exit 1) on any disagreement;
 * ``chaos`` — run a seeded fault-injection campaign across the fault
   taxonomy with per-scenario isolation and invariant checking, on the
   resilient executor: parallel workers (``--jobs``), watchdog timeouts
@@ -133,6 +139,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--diagram", action="store_true",
                          help="also draw the space-time diagram")
 
+    p_batch = sub.add_parser(
+        "batch", help="batch evaluation: vectorized kernels + parity"
+    )
+    batch_sub = p_batch.add_subparsers(dest="batch_command", required=True)
+
+    batch_sub.add_parser(
+        "backends", help="list the kernel backends usable here"
+    )
+
+    pb_ratio = batch_sub.add_parser(
+        "ratio", help="competitive ratio through the batch kernels"
+    )
+    pb_ratio.add_argument("n", type=int)
+    pb_ratio.add_argument("f", type=int)
+    pb_ratio.add_argument("--backend", choices=("pure", "numpy"),
+                          default=None,
+                          help="kernel backend (default: auto-select)")
+    pb_ratio.add_argument("--x-max", type=float, default=200.0)
+
+    pb_sweep = batch_sub.add_parser(
+        "sweep", help="ratio profile over a geometric target grid"
+    )
+    pb_sweep.add_argument("n", type=int)
+    pb_sweep.add_argument("f", type=int)
+    pb_sweep.add_argument("--points", type=int, default=10000,
+                          help="targets per sign (default: 10000)")
+    pb_sweep.add_argument("--x-max", type=float, default=100.0)
+    pb_sweep.add_argument("--backend", choices=("pure", "numpy"),
+                          default=None,
+                          help="kernel backend (default: auto-select)")
+
+    pb_parity = batch_sub.add_parser(
+        "parity", help="replay a seeded grid through batch AND the engine"
+    )
+    pb_parity.add_argument(
+        "--pairs", nargs="+", default=None, metavar="N,F",
+        help="regimes compared (default: the built-in six)",
+    )
+    pb_parity.add_argument("--targets", type=int, default=40,
+                           help="seeded targets per regime (default: 40)")
+    pb_parity.add_argument("--fault-sets", type=int, default=5,
+                           help="fault assignments per target (default: 5)")
+    pb_parity.add_argument("--seed", type=int, default=2016)
+    pb_parity.add_argument("--x-max", type=float, default=32.0)
+    pb_parity.add_argument("--backend", choices=("pure", "numpy"),
+                           default=None,
+                           help="kernel backend (default: auto-select)")
+    pb_parity.add_argument("--report-json", type=str, default=None,
+                           metavar="PATH",
+                           help="write the full parity report as JSON")
+
     p_chaos = sub.add_parser(
         "chaos", help="run a seeded fault-injection campaign"
     )
@@ -151,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="master seed for the campaign")
+    p_chaos.add_argument("--method", choices=("event", "batch"),
+                         default="event",
+                         help="scenario evaluation path; 'batch' uses "
+                              "the analytic kernels where the fault "
+                              "model allows (implies the invariant "
+                              "audit stays on the engine)")
     p_chaos.add_argument("--no-invariants", action="store_true",
                          help="skip the runtime invariant audit")
     p_chaos.add_argument("--max-failures", type=int, default=10,
@@ -396,6 +459,105 @@ def _cmd_schedule(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_pairs(raw_pairs):
+    pairs = []
+    for raw in raw_pairs:
+        try:
+            n_text, f_text = raw.split(",")
+            pairs.append((int(n_text), int(f_text)))
+        except ValueError:
+            raise LineSearchError(
+                f"--pairs entries must look like N,F — got {raw!r}"
+            ) from None
+    return pairs
+
+
+def _cmd_batch(args: argparse.Namespace):
+    from repro.batch import BatchEvaluator, available_backends
+
+    if args.batch_command == "backends":
+        lines = [f"available batch backends: {', '.join(available_backends())}"]
+        lines.append(
+            "auto-selection prefers numpy when the 'scientific' extra "
+            "is installed"
+        )
+        return "\n".join(lines)
+
+    if args.batch_command == "ratio":
+        from repro.schedule import algorithm_for
+
+        algorithm = algorithm_for(args.n, args.f)
+        evaluator = BatchEvaluator(algorithm, backend=args.backend)
+        estimate = evaluator.estimate(x_max=args.x_max)
+        theory = algorithm.theoretical_competitive_ratio()
+        lines = [
+            algorithm.describe(),
+            f"backend: {evaluator.backend.name}",
+            estimate.describe(),
+        ]
+        if theory is not None:
+            lines.append(
+                f"agreement with closed form: {estimate.matches(theory)}"
+            )
+        return "\n".join(lines)
+
+    if args.batch_command == "sweep":
+        from repro.robots import Fleet
+        from repro.schedule import algorithm_for
+        from repro.simulation.sweep import geometric_grid, target_sweep
+
+        if args.points < 2:
+            raise LineSearchError("--points must be >= 2")
+        algorithm = algorithm_for(args.n, args.f)
+        fleet = Fleet.from_algorithm(algorithm)
+        grid = geometric_grid(1.0, args.x_max, args.points)
+        targets = grid + [-x for x in grid]
+        # Route through the sweep's batch path; backend override via a
+        # dedicated evaluator when requested.
+        if args.backend is None:
+            profile = target_sweep(
+                fleet, args.f, targets, method="batch"
+            )
+        else:
+            evaluator = BatchEvaluator(
+                fleet, fault_budget=args.f, backend=args.backend
+            )
+            profile = evaluator.ratio_profile(targets)
+        worst = profile.supremum
+        return "\n".join(
+            [
+                algorithm.describe(),
+                f"{len(targets)} targets in [1, {args.x_max:g}] "
+                "(both signs, geometric)",
+                f"sup K(x) = {worst.ratio:.9g} at x = {worst.x:.9g}",
+            ]
+        )
+
+    if args.batch_command == "parity":
+        from repro.batch import run_parity_harness
+        from repro.batch.parity import DEFAULT_PAIRS
+
+        pairs = (
+            _parse_pairs(args.pairs) if args.pairs else list(DEFAULT_PAIRS)
+        )
+        report = run_parity_harness(
+            pairs=pairs,
+            targets_per_pair=args.targets,
+            fault_sets_per_target=args.fault_sets,
+            seed=args.seed,
+            backend=args.backend,
+            x_max=args.x_max,
+        )
+        lines = [report.describe()]
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            lines.append(f"wrote {args.report_json}")
+        return "\n".join(lines), 0 if report.passed else 1
+
+    raise LineSearchError(f"unknown batch subcommand {args.batch_command!r}")
+
+
 def _cmd_chaos(args: argparse.Namespace):
     from repro.robustness import (
         FAULT_KINDS,
@@ -408,20 +570,13 @@ def _cmd_chaos(args: argparse.Namespace):
         raise LineSearchError("--resume requires --journal PATH")
     if args.retries < 0:
         raise LineSearchError("--retries must be >= 0")
-    pairs = []
-    for raw in args.pairs:
-        try:
-            n_text, f_text = raw.split(",")
-            pairs.append((int(n_text), int(f_text)))
-        except ValueError:
-            raise LineSearchError(
-                f"--pairs entries must look like N,F — got {raw!r}"
-            ) from None
+    pairs = _parse_pairs(args.pairs)
     scenarios = chaos_scenarios(
         pairs,
         args.targets,
         faults=tuple(args.faults) if args.faults else FAULT_KINDS,
         seed=args.seed,
+        method=args.method,
     )
     executor = CampaignExecutor(
         jobs=args.jobs,
@@ -513,6 +668,7 @@ _DISPATCH = {
     "export": _cmd_export,
     "validate": _cmd_validate,
     "schedule": _cmd_schedule,
+    "batch": _cmd_batch,
     "chaos": _cmd_chaos,
     "telemetry": _cmd_telemetry,
 }

@@ -21,6 +21,7 @@ __all__ = [
     "ScenarioTimeoutError",
     "WorkerCrashError",
     "JournalError",
+    "BatchError",
 ]
 
 
@@ -111,4 +112,14 @@ class JournalError(CampaignError):
     Raised when a resume is requested from a missing or unreadable
     journal file, or when the journal header identifies a format this
     library does not understand.
+    """
+
+
+class BatchError(LineSearchError):
+    """The batch evaluation subsystem could not complete a request.
+
+    Raised by :mod:`repro.batch` when a trajectory cannot be compiled
+    into segment arrays within the segment budget, when a requested
+    backend is unavailable, or when kernels are asked about targets
+    outside the compiled coverage window.
     """

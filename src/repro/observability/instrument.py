@@ -79,6 +79,9 @@ WELL_KNOWN_METRICS = {
         "worker_crashes_total": "worker processes that died mid-scenario",
         "journal_flushes_total": "campaign journal flushes, by fsync",
         "sweep_points_total": "parameter-sweep points evaluated",
+        "batch_points_total": "targets evaluated through the batch kernels",
+        "batch_compiles_total":
+            "fleet compilations into batch segment arrays",
     },
     "histogram": {
         "simulation_wall_seconds": "wall-clock time of one simulation run",

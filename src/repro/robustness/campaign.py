@@ -148,11 +148,18 @@ class Scenario:
     returns the fleet and fault model to simulate.  Custom scenarios may
     pair any spec with any factory — the spec is documentation and
     replay metadata, the factory is the truth.
+
+    ``method="batch"`` opts the scenario into the analytic fast path of
+    :mod:`repro.batch` where its semantics are expressible there — the
+    pure crash-detection fault models, with invariant auditing off.
+    Everything else (behavioral faults, audited runs) silently uses the
+    event engine, which remains the oracle.
     """
 
     spec: ScenarioSpec
     build: Callable[[], Tuple[Fleet, FaultModel]]
     stochastic: bool = False
+    method: str = "event"
 
 
 @dataclass(frozen=True)
@@ -327,14 +334,9 @@ class CampaignReport:
 # ----------------------------------------------------------------------
 
 def _algorithm_for(n: int, f: int):
-    from repro.baselines import TwoGroupAlgorithm
-    from repro.core import SearchParameters
-    from repro.schedule import ProportionalAlgorithm
+    from repro.schedule import algorithm_for
 
-    params = SearchParameters(n, f)
-    if params.is_proportional:
-        return ProportionalAlgorithm(n, f)
-    return TwoGroupAlgorithm(n, f)
+    return algorithm_for(n, f)
 
 
 def _fault_model_for(spec: ScenarioSpec) -> Tuple[FaultModel, bool]:
@@ -405,7 +407,7 @@ class _SpecRealizer:
         return Fleet.from_algorithm(algorithm), model
 
 
-def build_scenario(spec: ScenarioSpec) -> Scenario:
+def build_scenario(spec: ScenarioSpec, method: str = "event") -> Scenario:
     """Realize a declarative spec into an executable scenario.
 
     The returned scenario's factory is picklable, so it can be
@@ -417,8 +419,17 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
         >>> fleet.size
         3
     """
+    if method not in ("event", "batch"):
+        raise InvalidParameterError(
+            f"method must be 'event' or 'batch', got {method!r}"
+        )
     _, stochastic = _fault_model_for(spec)
-    return Scenario(spec=spec, build=_SpecRealizer(spec), stochastic=stochastic)
+    return Scenario(
+        spec=spec,
+        build=_SpecRealizer(spec),
+        stochastic=stochastic,
+        method=method,
+    )
 
 
 def chaos_scenarios(
@@ -426,12 +437,17 @@ def chaos_scenarios(
     targets: Sequence[float],
     faults: Sequence[str] = FAULT_KINDS,
     seed: int = 0,
+    method: str = "event",
 ) -> List[Scenario]:
     """The full seeded grid of scenarios: pairs × targets × fault specs.
 
     Per-scenario seeds are drawn from a master generator, so the whole
     campaign is reproducible from ``seed`` alone and every entry is
     replayable from its own recorded seed.
+
+    ``method="batch"`` marks every generated scenario for the analytic
+    fast path; scenarios whose fault model the batch subsystem cannot
+    express (behavioral faults) still run through the engine.
 
     Examples:
         >>> grid = chaos_scenarios([(3, 1)], [1.0, -2.0], ["none", "random"])
@@ -450,7 +466,7 @@ def chaos_scenarios(
                     fault=fault,
                     seed=master.randrange(2**32),
                 )
-                scenarios.append(build_scenario(spec))
+                scenarios.append(build_scenario(spec, method=method))
     return scenarios
 
 
@@ -458,8 +474,59 @@ def chaos_scenarios(
 # execution
 # ----------------------------------------------------------------------
 
+def _batch_outcome(fleet: Fleet, model: FaultModel, target: float):
+    """Run one scenario through the batch kernels, or ``None`` when its
+    fault model is not expressible there.
+
+    Only the pure crash-detection models qualify (exact types — a
+    subclass may override semantics): the adversarial worst case maps to
+    ``T_{f+1}``, and fixed/random subsets map to a column min over the
+    reliable robots.  Behavioral models (crash-stop, Byzantine,
+    probabilistic) shape trajectories or detection draws in ways the
+    first-visit matrix does not capture, so they stay on the engine.
+    """
+    import math as _math
+
+    from repro.batch import BatchEvaluator
+    from repro.core.tolerance import times_close
+    from repro.simulation.metrics import SearchOutcome
+
+    if type(model) is AdversarialFaults:
+        evaluator = BatchEvaluator(fleet, fault_budget=model.fault_budget)
+        detection_time = evaluator.search_times([target])[0]
+        faulty = frozenset(model.assign(fleet, target))
+    elif type(model) in (FixedFaults, RandomFaults):
+        faulty = frozenset(model.assign(fleet, target))
+        evaluator = BatchEvaluator(fleet, fault_budget=model.fault_budget)
+        detection_time = evaluator.detection_times([target], faulty)[0]
+    else:
+        return None
+    detecting = None
+    if _math.isfinite(detection_time):
+        for robot in fleet:
+            if robot.index in faulty:
+                continue
+            t = robot.trajectory.first_visit_time(target)
+            if t is not None and times_close(t, detection_time):
+                detecting = robot.index
+                break
+    return SearchOutcome(
+        target=target,
+        detection_time=detection_time,
+        detecting_robot=detecting,
+        faulty_robots=faulty,
+        events=(),
+    )
+
+
 def _run_once(scenario: Scenario, check_invariants: bool):
     fleet, model = scenario.build()
+    # The batch fast path produces no event log, so the invariant audit
+    # (which needs one) forces the engine; the engine is the oracle.
+    if getattr(scenario, "method", "event") == "batch" and not check_invariants:
+        outcome = _batch_outcome(fleet, model, scenario.spec.target)
+        if outcome is not None:
+            return outcome
     simulation = SearchSimulation(
         fleet,
         scenario.spec.target,

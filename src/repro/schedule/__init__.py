@@ -28,4 +28,30 @@ __all__ = [
     "ValidationIssue",
     "ValidationReport",
     "validate_algorithm",
+    "algorithm_for",
 ]
+
+
+def algorithm_for(n: int, f: int) -> SearchAlgorithm:
+    """The paper's regime rule as a factory: the right algorithm for
+    ``(n, f)``.
+
+    Returns :class:`ProportionalAlgorithm` when ``f < n < 2f + 2``
+    (the proportional regime of Theorem 1) and the trivial ratio-1
+    :class:`~repro.baselines.two_group.TwoGroupAlgorithm` when
+    ``n >= 2f + 2``.  The campaign realizers, the CLI, and the batch
+    parity harness all share this single dispatch point.
+
+    Examples:
+        >>> type(algorithm_for(3, 1)).__name__
+        'ProportionalAlgorithm'
+        >>> type(algorithm_for(6, 2)).__name__
+        'TwoGroupAlgorithm'
+    """
+    from repro.baselines import TwoGroupAlgorithm
+    from repro.core import SearchParameters
+
+    params = SearchParameters(n, f)
+    if params.is_proportional:
+        return ProportionalAlgorithm(n, f)
+    return TwoGroupAlgorithm(n, f)

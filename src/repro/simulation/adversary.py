@@ -57,6 +57,11 @@ class CompetitiveRatioEstimator:
             ``turn_horizon_factor * x_max`` — enough to see every turn at
             ``|position| <= x_max`` for any algorithm whose turn times
             grow at most linearly with position (all algorithms here).
+        method: ``"event"`` (default) evaluates each probe with the
+            per-target visit machinery; ``"batch"`` routes whole probe
+            sets through :class:`~repro.batch.evaluate.BatchEvaluator`
+            (same candidates, same results within
+            :mod:`repro.core.tolerance` bounds, one kernel pass).
 
     Examples:
         >>> from repro.schedule import ProportionalAlgorithm
@@ -77,6 +82,7 @@ class CompetitiveRatioEstimator:
         x_max: float = 200.0,
         grid_points: int = 64,
         turn_horizon_factor: float = 8.0,
+        method: str = "event",
     ) -> None:
         if fault_budget < 0:
             raise InvalidParameterError(
@@ -98,12 +104,18 @@ class CompetitiveRatioEstimator:
             raise InvalidParameterError(
                 f"turn_horizon_factor must be > 1, got {turn_horizon_factor}"
             )
+        if method not in ("event", "batch"):
+            raise InvalidParameterError(
+                f"method must be 'event' or 'batch', got {method!r}"
+            )
         self.fleet = fleet
         self.fault_budget = fault_budget
         self.min_distance = float(min_distance)
         self.x_max = float(x_max)
         self.grid_points = grid_points
         self.turn_horizon_factor = float(turn_horizon_factor)
+        self.method = method
+        self._batch_evaluator = None
 
     # ------------------------------------------------------------------
     # candidate generation
@@ -150,9 +162,22 @@ class CompetitiveRatioEstimator:
     # measurement
     # ------------------------------------------------------------------
 
+    def _batch(self):
+        """The lazily built batch evaluator (``method="batch"`` only)."""
+        if self._batch_evaluator is None:
+            from repro.batch import BatchEvaluator
+
+            self._batch_evaluator = BatchEvaluator(
+                self.fleet, fault_budget=self.fault_budget
+            )
+        return self._batch_evaluator
+
     def ratio_at(self, x: float) -> RatioSample:
         """Evaluate ``K(x)`` (worst-case over fault assignments)."""
-        t = self.fleet.worst_case_detection_time(x, self.fault_budget)
+        if self.method == "batch":
+            t = self._batch().search_times([x])[0]
+        else:
+            t = self.fleet.worst_case_detection_time(x, self.fault_budget)
         return RatioSample(x=x, detection_time=t)
 
     def profile(self, targets: Optional[Sequence[float]] = None) -> RatioProfile:
@@ -160,6 +185,8 @@ class CompetitiveRatioEstimator:
         xs = list(targets) if targets is not None else self.candidate_targets()
         if not xs:
             raise InvalidParameterError("no targets to probe")
+        if self.method == "batch":
+            return self._batch().ratio_profile(xs)
         return RatioProfile([self.ratio_at(x) for x in xs])
 
     def estimate(self) -> CompetitiveRatioEstimate:

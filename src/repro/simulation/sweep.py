@@ -13,6 +13,7 @@ Three sweep families used by the experiment harness:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -61,15 +62,47 @@ class SweepPoint:
 def geometric_grid(lo: float, hi: float, count: int) -> List[float]:
     """``count`` geometrically spaced values from ``lo`` to ``hi``.
 
+    Degenerate requests are rejected with a specific message rather
+    than silently producing empty, constant, or non-finite grids:
+    non-finite or non-positive bounds, reversed bounds (``hi <= lo``
+    would make the "geometric ratio" shrink or collapse to 1), fewer
+    than two points, and bounds so extreme that the spacing ratio
+    underflows to exactly 1 at float precision.
+
     Examples:
         >>> geometric_grid(1.0, 8.0, 4)
         [1.0, 2.0, 4.0, 8.0]
+        >>> geometric_grid(2.0, 2.0, 3)
+        Traceback (most recent call last):
+          ...
+        repro.errors.InvalidParameterError: bounds are reversed or \
+equal: need lo < hi, got lo=2.0, hi=2.0
     """
-    if lo <= 0 or hi <= lo:
-        raise InvalidParameterError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise InvalidParameterError(
+            f"bounds must be finite, got lo={lo!r}, hi={hi!r}"
+        )
+    if lo <= 0:
+        raise InvalidParameterError(
+            f"geometric spacing needs a positive lower bound, got lo={lo!r}"
+        )
+    if hi <= lo:
+        raise InvalidParameterError(
+            f"bounds are reversed or equal: need lo < hi, "
+            f"got lo={lo!r}, hi={hi!r}"
+        )
     if count < 2:
-        raise InvalidParameterError(f"count must be >= 2, got {count}")
+        raise InvalidParameterError(
+            f"a geometric grid needs at least 2 points "
+            f"(a single-point grid has no spacing), got count={count}"
+        )
     ratio = (hi / lo) ** (1.0 / (count - 1))
+    if ratio == 1.0:
+        raise InvalidParameterError(
+            f"spacing ratio underflowed to 1.0 at float precision for "
+            f"[{lo!r}, {hi!r}] with count={count}; widen the bounds or "
+            "reduce the point count"
+        )
     return [lo * ratio**i for i in range(count)]
 
 
@@ -77,8 +110,19 @@ def target_sweep(
     fleet: Fleet,
     fault_budget: int,
     targets: Sequence[float],
+    method: str = "event",
 ) -> RatioProfile:
     """Evaluate ``K(x)`` over an explicit target grid.
+
+    Args:
+        fleet: The robots under test.
+        fault_budget: Worst-case fault count ``f``.
+        targets: Target grid (any order).
+        method: ``"event"`` (default) computes each point with the
+            per-target visit machinery; ``"batch"`` routes the whole
+            grid through :class:`~repro.batch.evaluate.BatchEvaluator`
+            — same results within :mod:`repro.core.tolerance` bounds,
+            one kernel pass instead of ``len(targets)`` traversals.
 
     Examples:
         >>> from repro.schedule import ProportionalAlgorithm
@@ -86,14 +130,34 @@ def target_sweep(
         >>> profile = target_sweep(fleet, 1, [1.0, 1.5, 2.0, 3.0])
         >>> len(profile.samples)
         4
+        >>> fast = target_sweep(fleet, 1, [1.0, 1.5, 2.0, 3.0], method="batch")
+        >>> [round(r, 9) for r in fast.ratios()] == [
+        ...     round(r, 9) for r in profile.ratios()
+        ... ]
+        True
     """
     if not targets:
         raise InvalidParameterError("targets must be non-empty")
-    with obs.span("sweep.target_sweep", points=len(targets)):
-        samples = [
-            RatioSample(x, fleet.worst_case_detection_time(x, fault_budget))
-            for x in targets
-        ]
+    if method not in ("event", "batch"):
+        raise InvalidParameterError(
+            f"method must be 'event' or 'batch', got {method!r}"
+        )
+    with obs.span("sweep.target_sweep", points=len(targets), method=method):
+        if method == "batch":
+            from repro.batch import BatchEvaluator
+
+            evaluator = BatchEvaluator(fleet, fault_budget=fault_budget)
+            times = evaluator.search_times(targets)
+            samples = [
+                RatioSample(float(x), t) for x, t in zip(targets, times)
+            ]
+        else:
+            samples = [
+                RatioSample(
+                    x, fleet.worst_case_detection_time(x, fault_budget)
+                )
+                for x in targets
+            ]
     obs.count("sweep_points_total", len(targets))
     return RatioProfile(samples)
 

@@ -10,6 +10,24 @@ time is the ``(f+1)``-st smallest *first*-visit time among the robots.
 These helpers compute first-visit times and their order statistics for
 any sequence of trajectories, independent of how those trajectories were
 constructed.
+
+Tie semantics (pinned; the event and batch paths share it)
+----------------------------------------------------------
+
+Distinctness is by robot *identity*, never by time tolerance: two robots
+arriving at the same instant are two distinct visitors, so with ``k``
+exact simultaneous arrivals ``T_k = T_1`` — e.g. the two-group algorithm
+(``n >= 2f + 2``) sends ``f + 1`` robots together each way precisely so
+that ``T_{f+1}(x) = |x|``.  :data:`repro.core.tolerance.TIME_RTOL` plays
+no role in *counting* visitors; it only governs whether two computed
+times are reported as the same instant.  Consistently,
+:func:`visiting_order` breaks exact ties by robot index, and the engine's
+event log orders tied events by robot index with the closing
+``DetectionEvent`` last.  The batch kernels
+(:mod:`repro.batch.kernels`) inherit the same semantics mechanically:
+the ``k``-th smallest entry of a first-visit column counts tied entries
+separately.  ``tests/trajectory/test_visit_ties.py`` holds both paths
+to this contract.
 """
 
 from __future__ import annotations
@@ -62,6 +80,10 @@ def kth_distinct_visit_time(
     when fewer than ``k`` robots ever visit ``x`` — in that case an
     adversary corrupting the visitors makes the target undetectable, i.e.
     the algorithm is not a valid search algorithm for that fault budget.
+
+    Robots arriving at exactly the same instant count separately (see
+    the module docstring): ``k`` simultaneous arrivals give
+    ``T_k = T_1``, not ``inf``.
 
     Examples:
         >>> from repro.trajectory.doubling import DoublingTrajectory

@@ -1,0 +1,131 @@
+"""Backend dispatch tests, including pure-vs-numpy bit-for-bit parity."""
+
+import math
+
+import pytest
+
+from repro.batch.backend import (
+    NumpyBackend,
+    PureBackend,
+    available_backends,
+    get_backend,
+)
+from repro.batch.compile import compile_fleet
+from repro.errors import BatchError, InvalidParameterError
+from repro.schedule import ProportionalAlgorithm, algorithm_for
+from repro.trajectory import LinearTrajectory
+
+try:
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:
+    HAS_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="requires the scientific extra (numpy)"
+)
+
+
+def grids():
+    """Snapshot grids exercising starts, duplicates, and never-visits."""
+    return [
+        [-7.5, -2.0, -1.0, 0.0, 0.0, 0.5, 1.0, 3.25, 7.5],
+        [x / 8.0 for x in range(-60, 61)],
+        [-1e-6, 1e-6, 30.0, -30.0 + 1e-9],
+    ]
+
+
+class TestDispatch:
+    def test_pure_always_available(self):
+        assert "pure" in available_backends()
+        assert get_backend("pure").name == "pure"
+
+    def test_backend_list_matches_environment(self):
+        expected = ("pure", "numpy") if HAS_NUMPY else ("pure",)
+        assert available_backends() == expected
+
+    @needs_numpy
+    def test_numpy_resolvable_when_importable(self):
+        assert get_backend("numpy").name == "numpy"
+
+    def test_auto_selection(self):
+        assert get_backend(None).name == (
+            "numpy" if HAS_NUMPY else "pure"
+        )
+
+    @pytest.mark.skipif(HAS_NUMPY, reason="only meaningful without numpy")
+    def test_numpy_request_fails_clearly_without_numpy(self):
+        with pytest.raises(BatchError, match="scientific"):
+            get_backend("numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            get_backend("fortran")
+
+    def test_describe(self):
+        assert "pure" in PureBackend().describe()
+
+
+@needs_numpy
+class TestBitForBitParity:
+    @pytest.mark.parametrize("pair", [(2, 1), (3, 1), (5, 2), (6, 2)])
+    def test_matrices_identical(self, pair):
+        n, f = pair
+        fleet = compile_fleet(algorithm_for(n, f).build(), -32.0, 32.0)
+        pure = PureBackend()
+        fast = NumpyBackend()
+        for xs in grids():
+            xs_sorted = sorted(xs)
+            m_pure = pure.first_visit_matrix(fleet, xs_sorted)
+            m_fast = fast.first_visit_matrix(fleet, xs_sorted)
+            for i in range(fleet.size):
+                row_pure = pure.row(m_pure, i)
+                row_fast = fast.row(m_fast, i)
+                # Exact equality on purpose: both backends compute the
+                # crossing with the same expression and operand order.
+                assert row_pure == row_fast
+
+    def test_order_statistics_identical(self):
+        fleet = compile_fleet(
+            ProportionalAlgorithm(3, 1).build(), -32.0, 32.0
+        )
+        pure = PureBackend()
+        fast = NumpyBackend()
+        xs_sorted = sorted(grids()[1])
+        m_pure = pure.first_visit_matrix(fleet, xs_sorted)
+        m_fast = fast.first_visit_matrix(fleet, xs_sorted)
+        for k in (1, 2, 3, 4):
+            assert pure.kth_smallest(m_pure, k) == fast.kth_smallest(
+                m_fast, k
+            )
+        for excluded in (set(), {0}, {1, 2}, {0, 1, 2}):
+            assert pure.min_excluding(
+                m_pure, excluded
+            ) == fast.min_excluding(m_fast, excluded)
+
+
+@needs_numpy
+class TestNumpyBackendEdges:
+    def test_zero_segment_trajectory(self):
+        # A fleet member that never leaves the origin compiles to zero
+        # segments; the vectorized path must not index into empty arrays.
+        from tests.batch.test_compile import StationaryTrajectory
+
+        fleet = compile_fleet(
+            [StationaryTrajectory(), LinearTrajectory(1)], -2.0, 2.0
+        )
+        backend = NumpyBackend()
+        m = backend.first_visit_matrix(fleet, [-1.0, 0.0, 1.0])
+        assert backend.row(m, 0) == [math.inf, 0.0, math.inf]
+        assert backend.row(m, 1) == [math.inf, 0.0, 1.0]
+
+    def test_kth_and_exclusion_validation(self):
+        fleet = compile_fleet([LinearTrajectory(1)], -1.0, 1.0)
+        backend = NumpyBackend()
+        m = backend.first_visit_matrix(fleet, [0.5])
+        with pytest.raises(InvalidParameterError, match="k"):
+            backend.kth_smallest(m, 0)
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            backend.min_excluding(m, {5})
+        assert backend.kth_smallest(m, 2) == [math.inf]

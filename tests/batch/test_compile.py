@@ -1,0 +1,140 @@
+"""Unit tests for trajectory compilation into segment arrays."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.batch.compile import (
+    CompiledFleet,
+    CompiledTrajectory,
+    compile_fleet,
+    compile_trajectory,
+)
+from repro.errors import BatchError, InvalidParameterError
+from repro.geometry import SpaceTimePoint
+from repro.schedule import ProportionalAlgorithm
+from repro.trajectory import (
+    DoublingTrajectory,
+    GeometricZigZag,
+    LinearTrajectory,
+    Trajectory,
+)
+
+
+class StationaryTrajectory(Trajectory):
+    """A robot that never moves: one vertex, zero segments."""
+
+    def vertex_iterator(self):
+        yield SpaceTimePoint(0.0, 0.0)
+
+    def covers(self, x):
+        return x == 0.0
+
+
+class HaltedTrajectory(Trajectory):
+    """Walks to +1 and stops there forever (finite vertex chain)."""
+
+    def vertex_iterator(self):
+        yield SpaceTimePoint(0.0, 0.0)
+        yield SpaceTimePoint(1.0, 1.0)
+
+    def covers(self, x):
+        return 0.0 <= x <= 1.0
+
+
+class CreepingTrajectory(Trajectory):
+    """Oscillates with bounded amplitude: infinitely many segments,
+    never covers anything beyond [-1, 1]."""
+
+    def vertex_iterator(self):
+        yield SpaceTimePoint(0.0, 0.0)
+        for i in itertools.count(1):
+            yield SpaceTimePoint(1.0 if i % 2 else -1.0, float(2 * i - 1))
+
+    def covers(self, x):
+        return -1.0 <= x <= 1.0
+
+
+class TestCompileTrajectory:
+    def test_doubling_reference_visits(self):
+        compiled = compile_trajectory(DoublingTrajectory(), -4.0, 4.0)
+        traj = DoublingTrajectory()
+        for x in (-4.0, -1.0, -0.5, 0.0, 0.25, 1.0, 2.0, 4.0):
+            expected = traj.first_visit_time(x)
+            got = compiled.first_visit(x)
+            if expected is None:
+                assert got == math.inf
+            else:
+                assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_swept_interval_contains_window_when_coverable(self):
+        compiled = compile_trajectory(GeometricZigZag(1.0, 2.0), -16.0, 16.0)
+        assert compiled.swept_lo <= -16.0
+        assert compiled.swept_hi >= 16.0
+        assert compiled.check_window(-16.0, 16.0)
+        assert not compiled.check_window(-32.0, 16.0)
+
+    def test_one_sided_trajectory(self):
+        compiled = compile_trajectory(LinearTrajectory(1), -10.0, 10.0)
+        assert compiled.swept_hi >= 10.0
+        assert compiled.swept_lo == 0.0
+        assert compiled.first_visit(-1.0) == math.inf
+        assert compiled.first_visit(3.0) == 3.0
+
+    def test_stationary_trajectory_terminates(self):
+        compiled = compile_trajectory(StationaryTrajectory(), -5.0, 5.0)
+        assert compiled.segment_count == 0
+        assert compiled.first_visit(0.0) == 0.0
+        assert compiled.first_visit(1.0) == math.inf
+
+    def test_halted_trajectory_terminates(self):
+        compiled = compile_trajectory(HaltedTrajectory(), -5.0, 5.0)
+        assert compiled.first_visit(0.5) == 0.5
+        assert compiled.first_visit(2.0) == math.inf
+
+    def test_bounded_oscillation_terminates(self):
+        # Infinite path, bounded coverage: the covers() bisection must
+        # stop compilation once [-1, 1] is swept.
+        compiled = compile_trajectory(CreepingTrajectory(), -100.0, 100.0)
+        assert compiled.swept_lo == -1.0
+        assert compiled.swept_hi == 1.0
+        assert compiled.segment_count <= 4
+        assert compiled.first_visit(50.0) == math.inf
+
+    def test_max_segments_budget_enforced(self):
+        with pytest.raises(BatchError, match="segments"):
+            compile_trajectory(
+                GeometricZigZag(1.0, 2.0), -1e6, 1e6, max_segments=3
+            )
+
+    def test_window_validation(self):
+        traj = LinearTrajectory(1)
+        with pytest.raises(InvalidParameterError, match="finite"):
+            compile_trajectory(traj, -math.inf, 1.0)
+        with pytest.raises(InvalidParameterError, match="reversed"):
+            compile_trajectory(traj, 2.0, -2.0)
+        with pytest.raises(InvalidParameterError, match="max_segments"):
+            compile_trajectory(traj, -1.0, 1.0, max_segments=0)
+        with pytest.raises(InvalidParameterError, match="Trajectory"):
+            compile_trajectory("not a trajectory", -1.0, 1.0)
+
+    def test_compiled_is_plain_frozen_data(self):
+        compiled = compile_trajectory(DoublingTrajectory(), -2.0, 2.0)
+        assert isinstance(compiled, CompiledTrajectory)
+        with pytest.raises(AttributeError):
+            compiled.start_time = 1.0
+        assert "segments" in compiled.describe()
+
+
+class TestCompileFleet:
+    def test_fleet_shape(self):
+        fleet = compile_fleet(ProportionalAlgorithm(3, 1).build(), -8.0, 8.0)
+        assert isinstance(fleet, CompiledFleet)
+        assert fleet.size == 3
+        assert fleet.segment_count >= 3
+        assert "3 robots" in fleet.describe()
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            compile_fleet([], -1.0, 1.0)

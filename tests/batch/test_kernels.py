@@ -1,0 +1,89 @@
+"""Unit tests for the pure-Python array kernels."""
+
+import math
+
+import pytest
+
+from repro.batch.compile import compile_trajectory
+from repro.batch.kernels import (
+    first_visit_row,
+    kth_smallest_per_column,
+    min_excluding_rows,
+)
+from repro.errors import InvalidParameterError
+from repro.trajectory import (
+    DoublingTrajectory,
+    GeometricZigZag,
+    LinearTrajectory,
+)
+
+
+class TestFirstVisitRow:
+    def test_matches_scalar_reference_on_doubling(self):
+        compiled = compile_trajectory(DoublingTrajectory(), -8.0, 8.0)
+        xs = sorted([-8.0, -3.0, -1.0, -0.25, 0.0, 0.5, 1.0, 2.0, 7.0])
+        row = first_visit_row(compiled, xs)
+        for x, t in zip(xs, row):
+            assert t == compiled.first_visit(x)
+
+    def test_matches_scalar_reference_on_zigzag(self):
+        compiled = compile_trajectory(GeometricZigZag(1.0, 2.0), -16.0, 16.0)
+        xs = [x / 4.0 for x in range(-64, 65)]
+        row = first_visit_row(compiled, xs)
+        for x, t in zip(xs, row):
+            assert t == compiled.first_visit(x)
+
+    def test_start_targets_get_start_time(self):
+        compiled = compile_trajectory(LinearTrajectory(1), -2.0, 2.0)
+        row = first_visit_row(compiled, [-1.0, 0.0, 0.0, 1.0])
+        assert row[0] == math.inf
+        assert row[1] == 0.0
+        assert row[2] == 0.0
+        assert row[3] == 1.0
+
+    def test_unreached_targets_are_inf(self):
+        compiled = compile_trajectory(LinearTrajectory(-1), -4.0, 4.0)
+        assert first_visit_row(compiled, [1.0, 2.0]) == [math.inf, math.inf]
+
+    def test_empty_grid(self):
+        compiled = compile_trajectory(LinearTrajectory(1), -1.0, 1.0)
+        assert first_visit_row(compiled, []) == []
+
+
+class TestKthSmallestPerColumn:
+    def test_order_statistics(self):
+        rows = [[1.0, 5.0, math.inf], [3.0, 2.0, math.inf]]
+        assert kth_smallest_per_column(rows, 1) == [1.0, 2.0, math.inf]
+        assert kth_smallest_per_column(rows, 2) == [3.0, 5.0, math.inf]
+
+    def test_k_exceeding_rows_gives_inf(self):
+        rows = [[1.0, 2.0]]
+        assert kth_smallest_per_column(rows, 2) == [math.inf, math.inf]
+
+    def test_ties_count_separately(self):
+        rows = [[4.0], [4.0], [4.0]]
+        assert kth_smallest_per_column(rows, 3) == [4.0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError, match="k"):
+            kth_smallest_per_column([[1.0]], 0)
+        with pytest.raises(InvalidParameterError, match="row"):
+            kth_smallest_per_column([], 1)
+
+
+class TestMinExcludingRows:
+    def test_excludes_faulty_rows(self):
+        rows = [[1.0, 4.0], [2.0, 3.0], [5.0, 1.0]]
+        assert min_excluding_rows(rows, set()) == [1.0, 1.0]
+        assert min_excluding_rows(rows, {0}) == [2.0, 1.0]
+        assert min_excluding_rows(rows, {0, 2}) == [2.0, 3.0]
+
+    def test_all_excluded_gives_inf(self):
+        rows = [[1.0], [2.0]]
+        assert min_excluding_rows(rows, {0, 1}) == [math.inf]
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            min_excluding_rows([[1.0]], {2})
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            min_excluding_rows([[1.0]], {-1})

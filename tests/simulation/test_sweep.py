@@ -26,6 +26,63 @@ class TestGeometricGrid:
         with pytest.raises(InvalidParameterError):
             geometric_grid(1.0, 2.0, 1)
 
+    def test_negative_lower_bound_rejected(self):
+        with pytest.raises(
+            InvalidParameterError, match="positive lower bound"
+        ):
+            geometric_grid(-1.0, 10.0, 3)
+
+    def test_equal_bounds_rejected_with_clear_message(self):
+        with pytest.raises(
+            InvalidParameterError, match="reversed or equal"
+        ):
+            geometric_grid(5.0, 5.0, 3)
+
+    def test_non_finite_bounds_rejected(self):
+        import math
+
+        with pytest.raises(InvalidParameterError, match="finite"):
+            geometric_grid(1.0, math.inf, 3)
+        with pytest.raises(InvalidParameterError, match="finite"):
+            geometric_grid(math.nan, 2.0, 3)
+
+    def test_zero_and_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError, match="count"):
+            geometric_grid(1.0, 2.0, 0)
+        with pytest.raises(InvalidParameterError, match="count"):
+            geometric_grid(1.0, 2.0, -4)
+
+    def test_ratio_underflow_rejected_not_silent(self):
+        # A span so tiny the per-step ratio rounds to exactly 1.0 would
+        # silently produce a constant grid; it must be rejected instead.
+        import math
+
+        lo = 1.0
+        hi = math.nextafter(lo, 2.0)
+        with pytest.raises(InvalidParameterError, match="underflowed"):
+            geometric_grid(lo, hi, 1000)
+
+    def test_tiny_but_resolvable_span_stays_monotone(self):
+        grid = geometric_grid(1.0, 1.0 + 1e-12, 4)
+        assert len(grid) == 4
+        assert grid[0] == 1.0
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+
+class TestTargetSweepBatchMethod:
+    def test_batch_matches_event(self, fleet_3_1):
+        targets = geometric_grid(1.0, 64.0, 9)
+        event = target_sweep(fleet_3_1, 1, targets, method="event")
+        batch = target_sweep(fleet_3_1, 1, targets, method="batch")
+        for a, b in zip(event.samples, batch.samples):
+            assert b.detection_time == pytest.approx(
+                a.detection_time, rel=1e-9
+            )
+
+    def test_unknown_method_rejected(self, fleet_3_1):
+        with pytest.raises(InvalidParameterError, match="method"):
+            target_sweep(fleet_3_1, 1, [1.0], method="quantum")
+
 
 class TestTargetSweep:
     def test_profile_values(self, fleet_3_1):

@@ -33,5 +33,9 @@ def test_api_doc_covers_key_items():
         "theorem2_lower_bound",
         "validate_algorithm",
         "evacuation_time",
+        "BatchEvaluator",
+        "compile_trajectory",
+        "available_backends",
+        "run_parity_harness",
     ):
         assert name in text, name
