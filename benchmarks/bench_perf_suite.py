@@ -1,0 +1,87 @@
+"""The unified suite runner exercised as a benchmark itself.
+
+``repro.perf.suite`` is the tracked-benchmark entry point the other
+``bench_*`` scripts predate: one registry of seeded workloads, timed
+with warmup + repeats under telemetry, emitting fingerprinted
+``BENCH_<suite>.json`` records gated by ``linesearch perf compare``.
+This module runs the quick suite end to end and asserts the *shape*
+of the record — every workload measured or skipped, counters proving
+the work actually happened — without touching the committed baselines
+(it writes to a scratch path).
+
+Runs standalone (no pytest plugins required)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py
+
+or as plain pytest tests (``pytest benchmarks/bench_perf_suite.py``).
+To refresh the committed baselines instead, use the CLI::
+
+    PYTHONPATH=src python -m repro.cli perf run --suite quick
+    PYTHONPATH=src python -m repro.cli perf run --suite engine
+    PYTHONPATH=src python -m repro.cli perf run --suite campaign
+"""
+
+import os
+import tempfile
+
+from repro.perf import (
+    compare_reports,
+    load_suite_report,
+    run_suite,
+    workload_names,
+    write_suite_report,
+)
+
+REPEATS = 3
+WARMUP = 1
+
+
+def run_quick(repeats=REPEATS, warmup=WARMUP):
+    """One quick-suite record, every registered workload attempted."""
+    return run_suite("quick", repeats=repeats, warmup=warmup)
+
+
+def test_quick_suite_covers_every_workload():
+    record = run_quick(repeats=1, warmup=0)
+    covered = set(record["workloads"]) | set(record["skipped"])
+    assert covered == set(workload_names())
+    for entry in record["workloads"].values():
+        assert entry["seconds"]["median"] > 0
+
+
+def test_counters_prove_the_work_happened():
+    record = run_quick(repeats=1, warmup=0)
+    sweep = record["workloads"]["engine_sweep"]["counters"]
+    assert sweep["sweep_points_total"] == 200
+    campaign = record["workloads"]["campaign_executor"]["counters"]
+    assert campaign["scenarios_completed_total"] == 4
+
+
+def test_record_round_trips_and_self_compares_clean():
+    record = run_quick(repeats=2, warmup=0)
+    with tempfile.TemporaryDirectory() as scratch:
+        path = write_suite_report(
+            record, os.path.join(scratch, "BENCH_quick.json")
+        )
+        loaded = load_suite_report(path)
+    report = compare_reports(loaded, loaded)
+    assert report.passed
+    assert report.fingerprint_matches
+
+
+def main():
+    record = run_quick()
+    for name in sorted(record["workloads"]):
+        seconds = record["workloads"][name]["seconds"]
+        print(
+            f"{name:>20}: median {seconds['median']:.6f}s  "
+            f"(min {seconds['min']:.6f}s over {record['repeats']} repeats)"
+        )
+    for name, reason in sorted(record["skipped"].items()):
+        print(f"{name:>20}: skipped ({reason})")
+    report = compare_reports(record, record)
+    print("self-compare:", "PASS" if report.passed else "FAIL")
+
+
+if __name__ == "__main__":
+    main()

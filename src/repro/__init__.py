@@ -82,6 +82,11 @@ from repro.observability import (
     disable_telemetry,
     enable_telemetry,
 )
+from repro.perf import (
+    compare_reports,
+    profile_spans,
+    run_suite,
+)
 from repro.robots import (
     AdversarialFaults,
     BehavioralFaults,
@@ -192,6 +197,7 @@ __all__ = [
     "asymptotic_cr",
     "available_backends",
     "chaos_scenarios",
+    "compare_reports",
     "compile_trajectory",
     "competitive_ratio",
     "disable_telemetry",
@@ -203,8 +209,10 @@ __all__ = [
     "odd_critical_cr",
     "optimal_beta",
     "optimal_expansion_factor",
+    "profile_spans",
     "proportionality_ratio",
     "run_campaign",
+    "run_suite",
     "schedule_competitive_ratio",
     "simulate_search",
     "theorem2_lower_bound",

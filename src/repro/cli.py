@@ -26,11 +26,21 @@ Subcommands:
   journal (``--journal`` / ``--resume``), and full telemetry capture
   (``--telemetry-dir`` writes a JSONL span trace, a Prometheus text
   file, and a human summary);
-* ``telemetry`` — summarize a trace file written by
-  ``chaos --telemetry-dir``: where the wall-clock time went, by span.
+* ``telemetry`` — summarize a telemetry artifact written by
+  ``chaos --telemetry-dir``: a ``trace.jsonl`` span trace (where the
+  wall-clock time went, by span) or a ``metrics.prom`` file
+  (counters/gauges table plus estimated histogram quantiles);
+* ``perf`` — the performance observatory: ``perf run`` times a named
+  workload suite and writes a fingerprinted ``BENCH_<suite>.json``
+  record, ``perf compare`` gates a candidate record against a
+  baseline with noise-aware thresholds (exit 1 on regression),
+  ``perf report`` pretty-prints a record, and ``perf flamegraph``
+  converts a span trace into collapsed-stack text for flamegraph
+  tools.
 
 Exit codes: ``0`` success, ``1`` a chaos campaign recorded failures
-(suppressed by ``--allow-failures``), ``2`` usage or domain error.
+(suppressed by ``--allow-failures``) or a perf comparison found a
+regression, ``2`` usage or domain error.
 """
 
 from __future__ import annotations
@@ -251,9 +261,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize a telemetry trace written by chaos --telemetry-dir",
     )
     p_tel.add_argument("trace", type=str,
-                       help="path to a trace.jsonl file")
+                       help="path to a trace.jsonl or metrics.prom file")
     p_tel.add_argument("--top", type=int, default=20,
-                       help="span names shown, by total time (default: 20)")
+                       help="rows shown, by total time / value (default: 20)")
+
+    p_perf = sub.add_parser(
+        "perf", help="performance observatory: suites, baselines, flamegraphs"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    pp_run = perf_sub.add_parser(
+        "run", help="time a workload suite, write BENCH_<suite>.json"
+    )
+    pp_run.add_argument("--suite", default="quick",
+                        help="suite name (default: quick; see --list)")
+    pp_run.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per workload (default: 5)")
+    pp_run.add_argument("--warmup", type=int, default=None,
+                        help="untimed warmup runs per workload (default: 1)")
+    pp_run.add_argument("--workload", action="append", default=None,
+                        metavar="NAME",
+                        help="restrict to this workload (repeatable)")
+    pp_run.add_argument("--quick", action="store_true",
+                        help="force the reduced parameter sets (CI smoke)")
+    pp_run.add_argument("--out", type=str, default=None, metavar="PATH",
+                        help="record path (default: "
+                             "benchmarks/BENCH_<suite>.json)")
+    pp_run.add_argument("--list", action="store_true",
+                        help="list suites and workloads, run nothing")
+
+    pp_cmp = perf_sub.add_parser(
+        "compare", help="gate a candidate record against a baseline"
+    )
+    pp_cmp.add_argument("baseline", type=str,
+                        help="baseline BENCH_*.json record")
+    pp_cmp.add_argument("candidate", type=str,
+                        help="candidate BENCH_*.json record")
+    pp_cmp.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="relative slowdown gate (default: 0.25 = 25%%)")
+    pp_cmp.add_argument("--noise-stdevs", type=float, default=3.0,
+                        help="pooled-stdev noise gate (default: 3.0)")
+
+    pp_rep = perf_sub.add_parser(
+        "report", help="pretty-print a BENCH_*.json record"
+    )
+    pp_rep.add_argument("record", type=str, help="a BENCH_*.json record")
+
+    pp_flame = perf_sub.add_parser(
+        "flamegraph",
+        help="collapsed-stack text (flamegraph input) from a span trace",
+    )
+    pp_flame.add_argument("trace", type=str,
+                          help="path to a trace.jsonl file")
+    pp_flame.add_argument("--out", type=str, default=None, metavar="PATH",
+                          help="write here instead of stdout")
     return parser
 
 
@@ -589,6 +651,7 @@ def _cmd_chaos(args: argparse.Namespace):
     if args.telemetry_dir:
         from repro.observability import Telemetry, configure
 
+        _prepare_telemetry_dir(args.telemetry_dir)
         telemetry = Telemetry(
             metadata={"command": "chaos", "seed": args.seed}
         )
@@ -617,6 +680,24 @@ def _cmd_chaos(args: argparse.Namespace):
     return "\n".join(lines), code
 
 
+def _prepare_telemetry_dir(directory: str) -> None:
+    """Create ``directory`` (nested paths included) before the campaign
+    runs, turning unwritable/obstructed paths into a clean usage error
+    instead of a traceback after minutes of completed work."""
+    import os
+
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise LineSearchError(
+            f"cannot create --telemetry-dir {directory!r}: {exc}"
+        ) from None
+    if not os.access(directory, os.W_OK):
+        raise LineSearchError(
+            f"--telemetry-dir {directory!r} is not writable"
+        )
+
+
 def _write_telemetry(directory: str, telemetry) -> str:
     """Write the campaign's trace, Prometheus file, and summary to
     ``directory``; returns a one-line confirmation."""
@@ -628,19 +709,26 @@ def _write_telemetry(directory: str, telemetry) -> str:
         write_trace_jsonl,
     )
 
-    os.makedirs(directory, exist_ok=True)
+    _prepare_telemetry_dir(directory)
     trace_path = os.path.join(directory, "trace.jsonl")
     prom_path = os.path.join(directory, "metrics.prom")
     summary_path = os.path.join(directory, "summary.txt")
-    span_count = write_trace_jsonl(trace_path, telemetry)
-    write_prometheus(prom_path, telemetry)
-    with open(summary_path, "w", encoding="utf-8") as handle:
-        handle.write(
-            summary(
-                telemetry.tracer.records(), metadata=telemetry.metadata
+    try:
+        span_count = write_trace_jsonl(trace_path, telemetry)
+        write_prometheus(prom_path, telemetry)
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                summary(
+                    telemetry.tracer.records(),
+                    metadata=telemetry.metadata,
+                    metrics=telemetry.metrics,
+                )
+                + "\n"
             )
-            + "\n"
-        )
+    except OSError as exc:
+        raise LineSearchError(
+            f"cannot write telemetry into {directory!r}: {exc}"
+        ) from None
     return (
         f"telemetry: {span_count} spans -> {trace_path}, "
         f"metrics -> {prom_path}, summary -> {summary_path}"
@@ -648,12 +736,140 @@ def _write_telemetry(directory: str, telemetry) -> str:
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> str:
-    from repro.observability import read_trace_jsonl, summary
+    import os
 
+    from repro.errors import InvalidParameterError
+    from repro.observability import (
+        prometheus_summary,
+        read_trace_jsonl,
+        summary,
+    )
+
+    if not os.path.exists(args.trace):
+        raise InvalidParameterError(f"no trace file at {args.trace!r}")
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        head = handle.read(1 << 20)
+    # Sniff the artifact kind: traces open with a JSON header object,
+    # Prometheus text opens with a # comment (or a bare sample line).
+    if not head.lstrip().startswith("{"):
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            return prometheus_summary(handle.read(), top=args.top)
     metadata, spans = read_trace_jsonl(args.trace)
     if not spans:
         return f"trace {args.trace} holds no spans"
     return summary(spans, top=args.top, metadata=metadata)
+
+
+def _cmd_perf(args: argparse.Namespace):
+    from repro.perf import (
+        compare_reports,
+        load_suite_report,
+        profile_spans,
+        run_suite,
+        suite_names,
+        workload_names,
+        write_suite_report,
+    )
+
+    if args.perf_command == "run":
+        from repro.perf.suite import (
+            DEFAULT_REPEATS,
+            DEFAULT_WARMUP,
+            SUITES,
+        )
+
+        if args.list:
+            lines = ["suites:"]
+            for name in suite_names():
+                size, members = SUITES[name]
+                lines.append(f"  {name} ({size}): {', '.join(members)}")
+            lines.append("workloads: " + ", ".join(workload_names()))
+            return "\n".join(lines)
+        report = run_suite(
+            args.suite,
+            repeats=(
+                DEFAULT_REPEATS if args.repeats is None else args.repeats
+            ),
+            warmup=DEFAULT_WARMUP if args.warmup is None else args.warmup,
+            only=args.workload,
+            quick=args.quick,
+        )
+        path = write_suite_report(report, args.out)
+        lines = []
+        for name in sorted(report["workloads"]):
+            seconds = report["workloads"][name]["seconds"]
+            lines.append(
+                f"{name:>20}: median {seconds['median']:.6f}s "
+                f"(min {seconds['min']:.6f}s, "
+                f"stdev {seconds['stdev']:.2g}s)"
+            )
+        for name, reason in sorted(report.get("skipped", {}).items()):
+            lines.append(f"{name:>20}: skipped ({reason})")
+        lines.append(
+            f"wrote {path} ({len(report['workloads'])} workload(s), "
+            f"suite {report['suite']!r}, size {report['size']!r})"
+        )
+        return "\n".join(lines)
+
+    if args.perf_command == "compare":
+        baseline = load_suite_report(args.baseline)
+        candidate = load_suite_report(args.candidate)
+        report = compare_reports(
+            baseline,
+            candidate,
+            max_regression=args.max_regression,
+            noise_stdevs=args.noise_stdevs,
+        )
+        return report.describe(), 0 if report.passed else 1
+
+    if args.perf_command == "report":
+        record = load_suite_report(args.record)
+        fingerprint = record.get("fingerprint", {})
+        lines = [
+            f"suite {record['suite']!r} (size {record.get('size')!r}, "
+            f"{record.get('repeats')} repeats, "
+            f"{record.get('warmup')} warmup)",
+            "fingerprint: " + ", ".join(
+                f"{k}={fingerprint[k]}" for k in sorted(fingerprint)
+            ),
+        ]
+        from repro.experiments.report import render_table
+
+        rows = []
+        for name in sorted(record.get("workloads", {})):
+            entry = record["workloads"][name]
+            seconds = entry["seconds"]
+            rows.append([
+                name, seconds["min"], seconds["median"], seconds["mean"],
+                seconds["stdev"],
+            ])
+        lines.append(render_table(
+            ["workload", "min s", "median s", "mean s", "stdev s"],
+            rows,
+            precision=6,
+        ))
+        for name, reason in sorted(record.get("skipped", {}).items()):
+            lines.append(f"skipped {name}: {reason}")
+        return "\n".join(lines)
+
+    if args.perf_command == "flamegraph":
+        from repro.observability import read_trace_jsonl
+        from repro.perf import collapsed_stacks, write_collapsed
+
+        metadata, spans = read_trace_jsonl(args.trace)
+        if not spans:
+            return f"trace {args.trace} holds no spans"
+        if args.out:
+            count = write_collapsed(args.out, spans)
+            hottest = profile_spans(spans).stats[0]
+            return (
+                f"wrote {count} collapsed stack(s) to {args.out} "
+                f"(hottest span: {hottest.name}, "
+                f"{hottest.self_time:.6f}s self)"
+            )
+        return "\n".join(collapsed_stacks(spans))
+
+    raise LineSearchError(f"unknown perf subcommand {args.perf_command!r}")
 
 
 _DISPATCH = {
@@ -671,6 +887,7 @@ _DISPATCH = {
     "batch": _cmd_batch,
     "chaos": _cmd_chaos,
     "telemetry": _cmd_telemetry,
+    "perf": _cmd_perf,
 }
 
 

@@ -25,8 +25,11 @@ Entry points:
 """
 
 from repro.observability.export import (
+    QUANTILE_POINTS,
     TRACE_FORMAT,
     TRACE_VERSION,
+    parse_prometheus,
+    prometheus_summary,
     read_trace_jsonl,
     summary,
     to_prometheus,
@@ -52,8 +55,17 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
 )
-from repro.observability.tracing import SpanRecord, Tracer, children_of, roots
+from repro.observability.tracing import (
+    SpanRecord,
+    Tracer,
+    child_index,
+    children_of,
+    roots,
+    self_durations,
+    walk_tree,
+)
 
 #: Aliases exported at the package top level for discoverability.
 enable_telemetry = enable
@@ -65,11 +77,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QUANTILE_POINTS",
     "SpanRecord",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "Telemetry",
     "Tracer",
+    "child_index",
     "children_of",
     "configure",
     "count",
@@ -82,11 +96,16 @@ __all__ = [
     "instrumented",
     "is_enabled",
     "observe",
+    "parse_prometheus",
+    "prometheus_summary",
+    "quantile_from_buckets",
     "read_trace_jsonl",
     "roots",
+    "self_durations",
     "span",
     "summary",
     "to_prometheus",
+    "walk_tree",
     "write_prometheus",
     "write_trace_jsonl",
 ]

@@ -11,7 +11,15 @@ Three consumers, three formats:
   carrying the library version as a label;
 * **humans** read :func:`summary` — an aligned table aggregating span
   durations by name (count / total / mean / max), the thing you look
-  at when a sweep is mysteriously slow.
+  at when a sweep is mysteriously slow — and
+  :func:`prometheus_summary`, the same service for a ``metrics.prom``
+  file (counters/gauges table plus estimated histogram quantiles,
+  reparsed via :func:`parse_prometheus`).
+
+Histogram quantiles everywhere in this module are *estimates*
+interpolated within the fixed buckets (see
+:func:`~repro.observability.metrics.quantile_from_buckets`); they are
+exact only when the true quantile sits on a bucket bound.
 
 Examples:
     >>> from repro.observability.instrument import Telemetry
@@ -29,23 +37,36 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro._version import __version__
 from repro.errors import InvalidParameterError
 from repro.observability.instrument import Telemetry
-from repro.observability.metrics import Counter, Gauge, Histogram
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.observability.tracing import SpanRecord
 
 __all__ = [
+    "QUANTILE_POINTS",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "parse_prometheus",
+    "prometheus_summary",
     "read_trace_jsonl",
     "summary",
     "to_prometheus",
     "write_prometheus",
     "write_trace_jsonl",
 ]
+
+#: Quantiles reported for fixed-bucket histograms, everywhere they are
+#: summarized (the ``.prom`` comment line, ``summary()``, the CLI).
+QUANTILE_POINTS: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 TRACE_FORMAT = "linesearch-trace"
 TRACE_VERSION = 1
@@ -87,6 +108,12 @@ def read_trace_jsonl(
     Returns ``(metadata, spans)``.  Raises
     :class:`~repro.errors.InvalidParameterError` when the file is
     missing or is not a linesearch trace.
+
+    Blank lines anywhere are skipped.  A *torn final line* — the
+    half-written tail a crashed producer leaves behind — is silently
+    dropped, mirroring the campaign journal's recovery rule; a corrupt
+    line anywhere *before* the end means the file is damaged, not
+    merely truncated, and raises.
     """
     if not os.path.exists(path):
         raise InvalidParameterError(f"no trace file at {path!r}")
@@ -107,11 +134,24 @@ def read_trace_jsonl(
             f"trace {path!r} has version {header.get('version')!r}; "
             f"this library reads version {TRACE_VERSION}"
         )
-    spans = [
-        SpanRecord.from_dict(json.loads(line))
-        for line in lines[1:]
+    body = [
+        (number, line)
+        for number, line in enumerate(lines[1:], start=2)
         if line.strip()
     ]
+    spans: List[SpanRecord] = []
+    for position, (number, line) in enumerate(body):
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("span lines are JSON objects")
+            spans.append(SpanRecord.from_dict(data))
+        except (ValueError, KeyError, TypeError):
+            if position == len(body) - 1:
+                break  # torn final line: a crash mid-write, tolerated
+            raise InvalidParameterError(
+                f"trace {path!r} has a corrupt span on line {number}"
+            ) from None
     return header.get("metadata", {}), spans
 
 
@@ -178,7 +218,28 @@ def to_prometheus(telemetry: Telemetry) -> str:
             lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{metric.name}_sum {_format_value(metric.sum())}")
             lines.append(f"{metric.name}_count {metric.count()}")
+            estimates = _quantile_estimates(metric)
+            if estimates:
+                # a comment, not a sample: these are bucket-interpolated
+                # estimates (exact only at bucket bounds), and histogram
+                # families must expose only _bucket/_sum/_count series
+                lines.append(
+                    f"# {metric.name} estimated quantiles "
+                    "(interpolated within fixed buckets, exact only at "
+                    "bucket bounds): " + estimates
+                )
     return "\n".join(lines) + "\n"
+
+
+def _quantile_estimates(histogram: Histogram) -> str:
+    """``p50=... p90=... p99=...`` for a histogram, or ``""`` if empty."""
+    parts = []
+    for q in QUANTILE_POINTS:
+        value = histogram.estimate_quantile(q)
+        if value is None:
+            return ""
+        parts.append(f"p{int(q * 100)}={value:.6g}")
+    return " ".join(parts)
 
 
 def write_prometheus(path: str, telemetry: Telemetry) -> None:
@@ -195,11 +256,16 @@ def summary(
     spans: Iterable[SpanRecord],
     top: int = 20,
     metadata: Optional[Dict[str, Any]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> str:
     """Aggregate spans by name into an aligned where-did-time-go table.
 
     Rows are sorted by total duration, descending — the first row is
-    the biggest consumer of wall-clock time.
+    the biggest consumer of wall-clock time.  Passing the run's
+    ``metrics`` registry appends a second table of estimated histogram
+    quantiles (p50/p90/p99, interpolated within the fixed buckets —
+    see :func:`~repro.observability.metrics.quantile_from_buckets` for
+    why they are estimates, not sample quantiles).
 
     Examples:
         >>> from repro.observability.tracing import Tracer
@@ -240,4 +306,221 @@ def summary(
     parts.append(table)
     if hidden:
         parts.append(f"... and {hidden} more span name(s)")
+    if metrics is not None:
+        quantile_rows = []
+        for metric in metrics.metrics():
+            if isinstance(metric, Histogram) and metric.count():
+                quantile_rows.append(
+                    [metric.name, metric.count()]
+                    + [metric.estimate_quantile(q) for q in QUANTILE_POINTS]
+                )
+        if quantile_rows:
+            parts.append(
+                "histogram quantiles (estimated from fixed buckets):"
+            )
+            parts.append(
+                render_table(
+                    ["histogram", "count"]
+                    + [f"~p{int(q * 100)}" for q in QUANTILE_POINTS],
+                    quantile_rows,
+                    precision=6,
+                )
+            )
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing (the .prom side of `linesearch telemetry`)
+# ----------------------------------------------------------------------
+
+_UNESCAPE = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def _unescape_label(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        pair = value[i:i + 2]
+        if pair in _UNESCAPE:
+            out.append(_UNESCAPE[pair])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    for match in re.finditer(r'(\w+)="((?:[^"\\]|\\.)*)"', text):
+        labels[match.group(1)] = _unescape_label(match.group(2))
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse a Prometheus text exposition back into metric families.
+
+    The inverse of :func:`to_prometheus`, to the extent the format
+    allows: returns ``{family_name: {"kind", "help", "samples"}}``
+    where each sample is ``(metric_name, labels_dict, value)``.
+    Histogram ``_bucket``/``_sum``/``_count`` series are grouped under
+    their family name.  Lines that are neither comments nor parseable
+    samples raise :class:`~repro.errors.InvalidParameterError`.
+
+    Examples:
+        >>> from repro.observability.instrument import Telemetry
+        >>> telemetry = Telemetry()
+        >>> telemetry.metrics.counter("runs_total", "runs").inc(3)
+        >>> families = parse_prometheus(to_prometheus(telemetry))
+        >>> families["runs_total"]["kind"], families["runs_total"]["samples"]
+        ('counter', [('runs_total', {}, 3.0)])
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = re.match(r"#\s+(HELP|TYPE)\s+(\w+)\s+(.*)", line)
+            if match:
+                directive, name, rest = match.groups()
+                if directive == "TYPE":
+                    kinds[name] = rest.strip()
+                else:
+                    helps[name] = rest
+            continue
+        match = re.match(
+            r"([a-zA-Z_][a-zA-Z0-9_]*)(\{.*\})?\s+(\S+)$", line
+        )
+        if not match:
+            raise InvalidParameterError(
+                f"unparseable Prometheus sample on line {number}: {line!r}"
+            )
+        name, label_text, raw_value = match.groups()
+        try:
+            value = float(raw_value.replace("+Inf", "inf"))
+        except ValueError:
+            raise InvalidParameterError(
+                f"bad sample value on line {number}: {raw_value!r}"
+            ) from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in kinds:
+                family = name[: -len(suffix)]
+                break
+        entry = families.setdefault(
+            family,
+            {
+                "kind": kinds.get(family, "untyped"),
+                "help": helps.get(family, ""),
+                "samples": [],
+            },
+        )
+        entry["samples"].append(
+            (name, _parse_labels(label_text or ""), value)
+        )
+    return families
+
+
+def _histogram_quantiles_from_samples(
+    family: str, samples
+) -> Optional[Tuple[float, ...]]:
+    """Reconstruct ``QUANTILE_POINTS`` estimates from parsed samples."""
+    from repro.observability.metrics import quantile_from_buckets
+
+    buckets = sorted(
+        (float(labels["le"]), value)
+        for name, labels, value in samples
+        if name == f"{family}_bucket" and "le" in labels
+        and math.isfinite(float(labels["le"]))
+    )
+    totals = [
+        value for name, labels, value in samples
+        if name == f"{family}_count"
+    ]
+    if not buckets or not totals:
+        return None
+    bounds = tuple(b for b, _ in buckets)
+    cumulative = [int(c) for _, c in buckets]
+    counts = [cumulative[0]] + [
+        hi - lo for lo, hi in zip(cumulative, cumulative[1:])
+    ]
+    counts.append(int(totals[0]) - cumulative[-1])
+    estimates = tuple(
+        quantile_from_buckets(bounds, counts, q) for q in QUANTILE_POINTS
+    )
+    return None if any(e is None for e in estimates) else estimates
+
+
+def prometheus_summary(text: str, top: int = 20) -> str:
+    """Human tables for a ``metrics.prom`` file.
+
+    Counters and gauges land in one value table (labeled series each
+    on their own row, sorted by value within a family, ``top`` rows
+    shown); histograms get count/sum/mean plus the estimated
+    p50/p90/p99 reconstructed from their cumulative buckets — the same
+    bucket-interpolation estimates as :func:`summary`, with the same
+    exactness caveat.
+
+    Examples:
+        >>> from repro.observability.instrument import Telemetry
+        >>> telemetry = Telemetry()
+        >>> telemetry.metrics.counter("runs_total", "runs").inc(3)
+        >>> print(prometheus_summary(to_prometheus(telemetry)).splitlines()[0])
+        metric | kind | value
+    """
+    from repro.experiments.report import render_table
+
+    families = parse_prometheus(text)
+    value_rows: List[List[Any]] = []
+    histogram_rows: List[List[Any]] = []
+    for family in sorted(families):
+        entry = families[family]
+        if entry["kind"] == "histogram":
+            sums = [v for n, _, v in entry["samples"]
+                    if n == f"{family}_sum"]
+            counts = [v for n, _, v in entry["samples"]
+                      if n == f"{family}_count"]
+            if not counts or counts[0] == 0:
+                continue
+            row: List[Any] = [
+                family, int(counts[0]), sums[0] if sums else 0.0,
+                (sums[0] / counts[0]) if sums else 0.0,
+            ]
+            estimates = _histogram_quantiles_from_samples(
+                family, entry["samples"]
+            )
+            row.extend(estimates if estimates else ["?"] * len(QUANTILE_POINTS))
+            histogram_rows.append(row)
+        else:
+            rows = []
+            for name, labels, value in entry["samples"]:
+                label_text = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                shown = f"{name}{{{label_text}}}" if labels else name
+                rows.append([shown, entry["kind"], value])
+            rows.sort(key=lambda r: (-(r[2]), r[0]))
+            value_rows.extend(rows)
+    parts = []
+    hidden = max(0, len(value_rows) - top)
+    parts.append(
+        render_table(
+            ["metric", "kind", "value"], value_rows[:top], precision=6
+        )
+    )
+    if hidden:
+        parts.append(f"... and {hidden} more series")
+    if histogram_rows:
+        parts.append("")
+        parts.append("histograms (quantiles estimated from fixed buckets):")
+        parts.append(
+            render_table(
+                ["histogram", "count", "sum", "mean"]
+                + [f"~p{int(q * 100)}" for q in QUANTILE_POINTS],
+                histogram_rows,
+                precision=6,
+            )
+        )
     return "\n".join(parts)

@@ -39,6 +39,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "quantile_from_buckets",
 ]
 
 #: Default histogram buckets for wall-clock timings, in seconds — spans
@@ -48,6 +49,59 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 )
 
 _LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+) -> Optional[float]:
+    """Estimated ``q``-quantile of a fixed-bucket histogram.
+
+    ``bounds`` are the finite upper bounds, ``counts`` the per-bucket
+    (non-cumulative) observation counts with the overflow bucket last,
+    i.e. ``len(counts) == len(bounds) + 1``.
+
+    **This is an estimate, not the sample quantile.**  The histogram
+    only remembers which bucket each observation fell into, so the
+    quantile is linearly interpolated *within* its bucket (assuming
+    observations spread uniformly there); it is exact only when the
+    true quantile lands on a bucket boundary.  Two documented edge
+    rules: the first bucket's lower edge is taken as ``0`` (or its
+    bound, if negative), and a quantile landing in the overflow bucket
+    is clamped to the largest finite bound — an underestimate.
+    Returns ``None`` for an empty histogram.
+
+    Examples:
+        >>> quantile_from_buckets((1.0, 2.0, 4.0), (2, 2, 0, 0), 0.5)
+        1.0
+        >>> quantile_from_buckets((1.0, 2.0, 4.0), (0, 4, 0, 0), 0.5)
+        1.5
+        >>> quantile_from_buckets((1.0,), (0, 3), 0.99)   # overflow clamp
+        1.0
+        >>> quantile_from_buckets((1.0,), (0, 0), 0.5) is None
+        True
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"quantile must be in [0, 1], got {q!r}")
+    if len(counts) != len(bounds) + 1:
+        raise InvalidParameterError(
+            f"need {len(bounds) + 1} bucket counts (overflow last), "
+            f"got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, bucket in enumerate(counts[:-1]):
+        if cumulative + bucket >= rank and bucket > 0:
+            lo = bounds[i - 1] if i > 0 else min(0.0, bounds[0])
+            hi = bounds[i]
+            fraction = (rank - cumulative) / bucket
+            return lo + (hi - lo) * max(0.0, min(1.0, fraction))
+        cumulative += bucket
+    return float(bounds[-1])
 
 
 def _label_key(labels: Dict[str, Any]) -> _LabelKey:
@@ -182,6 +236,22 @@ class Histogram(_Metric):
     def mean(self) -> Optional[float]:
         with self._lock:
             return self._sum / self._count if self._count else None
+
+    def estimate_quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile — see :func:`quantile_from_buckets`
+        for the interpolation rule and its exactness caveats.
+
+        Examples:
+            >>> import threading
+            >>> h = Histogram("wall", "", threading.Lock(), buckets=(1.0, 2.0))
+            >>> for v in (0.5, 1.5, 1.5, 1.5):
+            ...     h.observe(v)
+            >>> h.estimate_quantile(0.5)
+            1.3333333333333333
+        """
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_buckets(self.buckets, counts, q)
 
 
 class MetricsRegistry:

@@ -1,0 +1,58 @@
+"""Performance observatory: profiling, tracked suites, regression gates.
+
+Layered on :mod:`repro.observability`, this package turns raw telemetry
+into decisions about speed:
+
+* :mod:`repro.perf.profile` — aggregate a span forest into self-time /
+  total-time / call-count tables (:func:`profile_spans`) and
+  flamegraph-compatible collapsed-stack text
+  (:func:`collapsed_stacks` / :func:`write_collapsed`);
+* :mod:`repro.perf.suite` — named, seeded workload suites timed with
+  warmup + repeats under telemetry, emitting fingerprinted
+  ``benchmarks/BENCH_<suite>.json`` records (:func:`run_suite`);
+* :mod:`repro.perf.compare` — noise-aware baseline comparison
+  producing a pass/fail report (:func:`compare_reports`), the CI
+  regression gate.
+
+From the CLI: ``linesearch perf run|compare|report|flamegraph``.
+"""
+
+from repro.perf.compare import (
+    CompareReport,
+    WorkloadDelta,
+    compare_reports,
+)
+from repro.perf.profile import (
+    ProfileReport,
+    SpanStats,
+    collapsed_stacks,
+    profile_spans,
+    write_collapsed,
+)
+from repro.perf.suite import (
+    Workload,
+    load_suite_report,
+    machine_fingerprint,
+    run_suite,
+    suite_names,
+    workload_names,
+    write_suite_report,
+)
+
+__all__ = [
+    "CompareReport",
+    "ProfileReport",
+    "SpanStats",
+    "Workload",
+    "WorkloadDelta",
+    "collapsed_stacks",
+    "compare_reports",
+    "load_suite_report",
+    "machine_fingerprint",
+    "profile_spans",
+    "run_suite",
+    "suite_names",
+    "workload_names",
+    "write_collapsed",
+    "write_suite_report",
+]

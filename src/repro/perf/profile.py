@@ -1,0 +1,174 @@
+"""Deterministic span profiling: trace forests → tables and flamegraphs.
+
+The tracer records *what happened*; this module answers *where the
+time went*.  Two views of the same span forest:
+
+* :func:`profile_spans` — aggregate by span name into
+  :class:`SpanStats` (call count, total time, **self time** = total
+  minus direct children), rendered by :meth:`ProfileReport.render` as
+  the table you read first;
+* :func:`collapsed_stacks` — one line per unique root-to-span path,
+  ``a;b;c <self-µs>``, the collapsed-stack text every flamegraph tool
+  (Brendan Gregg's ``flamegraph.pl``, speedscope, inferno) ingests.
+
+Everything is computed from the finished records alone, so profiling
+works identically on a live :class:`~repro.observability.tracing.Tracer`
+and on a ``trace.jsonl`` file read back with
+:func:`~repro.observability.export.read_trace_jsonl` — including
+traces merged from the campaign executor's worker processes.  Output
+ordering is deterministic: stats sort by self time (then name),
+collapsed lines sort lexicographically.
+
+Examples:
+    >>> from repro.observability.tracing import Tracer
+    >>> tracer = Tracer()
+    >>> outer = tracer.record_span("campaign", duration=3.0)
+    >>> _ = tracer.record_span("scenario", duration=2.0, parent_id=outer)
+    >>> report = profile_spans(tracer.records())
+    >>> [(s.name, s.count, s.total, s.self_time) for s in report.stats]
+    [('scenario', 1, 2.0, 2.0), ('campaign', 1, 3.0, 1.0)]
+    >>> collapsed_stacks(tracer.records())
+    ['campaign 1000000', 'campaign;scenario 2000000']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.observability.tracing import (
+    SpanRecord,
+    self_durations,
+    walk_tree,
+)
+
+__all__ = [
+    "ProfileReport",
+    "SpanStats",
+    "collapsed_stacks",
+    "profile_spans",
+    "write_collapsed",
+]
+
+#: Collapsed-stack values are integer microseconds of self time.
+COLLAPSED_SCALE = 1_000_000
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregated timing of every span sharing one name.
+
+    ``total`` sums full durations; ``self_time`` sums durations minus
+    each span's direct children — the time the spans spent in their
+    own code, the number a flamegraph's box widths are built from.
+    """
+
+    name: str
+    count: int
+    total: float
+    self_time: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        """Mean full duration per call."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Per-name :class:`SpanStats`, sorted by self time descending."""
+
+    stats: Tuple[SpanStats, ...]
+
+    @property
+    def total_self_time(self) -> float:
+        """Sum of all self times == total traced wall-clock time."""
+        return sum(s.self_time for s in self.stats)
+
+    def by_name(self) -> Dict[str, SpanStats]:
+        """Stats keyed by span name."""
+        return {s.name: s for s in self.stats}
+
+    def render(self, top: int = 30) -> str:
+        """Aligned table of the ``top`` hottest span names by self time."""
+        from repro.experiments.report import render_table
+
+        wall = self.total_self_time
+        rows = []
+        for s in self.stats[:top]:
+            share = (100.0 * s.self_time / wall) if wall > 0 else 0.0
+            rows.append(
+                [s.name, s.count, s.self_time, f"{share:.1f}%",
+                 s.total, s.mean, s.max]
+            )
+        table = render_table(
+            ["span", "calls", "self s", "self %", "total s", "mean s",
+             "max s"],
+            rows,
+            precision=6,
+        )
+        hidden = max(0, len(self.stats) - top)
+        if hidden:
+            table += f"\n... and {hidden} more span name(s)"
+        return table
+
+
+def profile_spans(records: Iterable[SpanRecord]) -> ProfileReport:
+    """Aggregate a span forest into a :class:`ProfileReport`.
+
+    Examples:
+        >>> from repro.observability.tracing import Tracer
+        >>> tracer = Tracer()
+        >>> for _ in range(3):
+        ...     _ = tracer.record_span("sim", duration=1.0)
+        >>> profile_spans(tracer.records()).stats[0].count
+        3
+    """
+    records = list(records)
+    self_by_id = self_durations(records)
+    aggregate: Dict[str, List[float]] = {}
+    for record in records:
+        entry = aggregate.setdefault(record.name, [0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record.duration
+        entry[2] += self_by_id[record.span_id]
+        entry[3] = max(entry[3], record.duration)
+    stats = [
+        SpanStats(name, int(e[0]), e[1], e[2], e[3])
+        for name, e in aggregate.items()
+    ]
+    stats.sort(key=lambda s: (-s.self_time, s.name))
+    return ProfileReport(stats=tuple(stats))
+
+
+def collapsed_stacks(records: Iterable[SpanRecord]) -> List[str]:
+    """Collapsed-stack lines: ``root;child;... <self-time-µs>``.
+
+    One line per unique name path through the forest; spans sharing a
+    path pool their self time, so the values sum to the total traced
+    time and feed straight into flamegraph renderers (which treat the
+    number as the sample count for that stack).  Lines are sorted, so
+    identical traces produce identical files.
+    """
+    records = list(records)
+    self_by_id = self_durations(records)
+    totals: Dict[str, int] = {}
+    for path, span in walk_tree(records):
+        key = ";".join(path)
+        value = int(round(self_by_id[span.span_id] * COLLAPSED_SCALE))
+        totals[key] = totals.get(key, 0) + value
+    return [f"{key} {totals[key]}" for key in sorted(totals)]
+
+
+def write_collapsed(path: str, records: Iterable[SpanRecord]) -> int:
+    """Write :func:`collapsed_stacks` lines to ``path``; returns the
+    line count.  Feed the file to any flamegraph tool, e.g.::
+
+        flamegraph.pl --countname us collapsed.txt > flame.svg
+    """
+    lines = collapsed_stacks(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

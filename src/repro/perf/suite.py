@@ -1,0 +1,445 @@
+"""Benchmark suites: named, seeded workloads run under telemetry.
+
+An airspeed-velocity-style tracked suite without the infrastructure: a
+registry of :class:`Workload` objects — each a deterministic, seeded
+slice of the system (engine sweep, batch kernels per backend, fleet
+compilation, campaign executor, a chaos scenario) — grouped into named
+*suites* (``quick``/``full`` plus per-subsystem cuts) and timed with
+warmup + repeats.  :func:`run_suite` emits a versioned record carrying:
+
+* a **machine fingerprint** (python version/implementation, platform,
+  cpu count, numpy presence) so a baseline is never compared blind
+  across machines;
+* per-workload **timing stats** (min/median/mean/stdev over the
+  repeats, plus the raw samples);
+* the key **telemetry counters** the workload incremented, so a
+  "2x faster" result that silently computed half the points is caught.
+
+Records are written to ``benchmarks/BENCH_<suite>.json`` by default
+and compared by :mod:`repro.perf.compare`.  Workloads run with
+telemetry *enabled* — the timed number includes tracing overhead,
+uniformly, which is what a regression gate wants (the shipped
+configuration, not an idealized one).
+
+Examples:
+    >>> suite_names()
+    ['batch', 'campaign', 'engine', 'full', 'quick']
+    >>> "engine_sweep" in workload_names()
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.errors import InvalidParameterError
+from repro.observability import instrument as obs
+from repro.observability.instrument import Telemetry
+from repro.observability.metrics import Counter
+
+__all__ = [
+    "SUITE_FORMAT",
+    "SUITE_VERSION",
+    "Workload",
+    "load_suite_report",
+    "machine_fingerprint",
+    "run_suite",
+    "suite_names",
+    "workload_names",
+    "write_suite_report",
+]
+
+SUITE_FORMAT = "linesearch-bench-suite"
+SUITE_VERSION = 1
+
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmarkable unit: a setup returning the timed callable.
+
+    ``setup(params)`` does everything that must stay *outside* the
+    timed region (building fleets, compiling kernels, generating
+    grids) and returns a zero-argument callable that is then timed.
+    ``full`` and ``quick`` are the two parameter sets; ``requires``
+    names a batch backend that must be available, else the workload is
+    skipped (and recorded as skipped).
+    """
+
+    name: str
+    description: str
+    setup: Callable[[Dict[str, Any]], Callable[[], Any]]
+    full: Dict[str, Any] = field(default_factory=dict)
+    quick: Dict[str, Any] = field(default_factory=dict)
+    requires: Optional[str] = None
+
+    def params(self, size: str) -> Dict[str, Any]:
+        """The parameter set for ``size`` (``"full"`` or ``"quick"``)."""
+        return dict(self.full if size == "full" else self.quick)
+
+
+# ----------------------------------------------------------------------
+# workload implementations (heavy imports stay inside the setups)
+# ----------------------------------------------------------------------
+
+def _symmetric_grid(points: int, x_max: float) -> List[float]:
+    from repro.simulation.sweep import geometric_grid
+
+    half = geometric_grid(1.0, x_max, max(2, points // 2))
+    return half + [-x for x in half]
+
+
+def _setup_engine_sweep(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.robots import Fleet
+    from repro.schedule import ProportionalAlgorithm
+    from repro.simulation.sweep import target_sweep
+
+    fleet = Fleet.from_algorithm(
+        ProportionalAlgorithm(params["n"], params["f"])
+    )
+    targets = _symmetric_grid(params["points"], params["x_max"])
+    fleet.worst_case_detection_time(targets[0], params["f"])  # materialize
+    return lambda: target_sweep(fleet, params["f"], targets, method="event")
+
+
+def _make_batch_setup(backend: str):
+    def setup(params: Dict[str, Any]) -> Callable[[], Any]:
+        from repro.batch import BatchEvaluator
+        from repro.robots import Fleet
+        from repro.schedule import ProportionalAlgorithm
+
+        fleet = Fleet.from_algorithm(
+            ProportionalAlgorithm(params["n"], params["f"])
+        )
+        targets = _symmetric_grid(params["points"], params["x_max"])
+        evaluator = BatchEvaluator(
+            fleet, fault_budget=params["f"], backend=backend
+        )
+        evaluator.search_times(targets[:2])  # compile outside the timer
+        return lambda: evaluator.search_times(targets)
+
+    return setup
+
+
+def _setup_batch_compile(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.batch.compile import compile_fleet
+    from repro.schedule import ProportionalAlgorithm
+
+    trajectories = ProportionalAlgorithm(params["n"], params["f"]).build()
+    span = params["x_max"]
+    return lambda: compile_fleet(trajectories, -span, span)
+
+
+def _setup_campaign_executor(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.robustness import (
+        CampaignExecutor,
+        RetryPolicy,
+        chaos_scenarios,
+    )
+
+    scenarios = chaos_scenarios(
+        [tuple(p) for p in params["pairs"]],
+        params["targets"],
+        faults=tuple(params["faults"]),
+        seed=params["seed"],
+    )
+
+    def run():
+        executor = CampaignExecutor(
+            jobs=1, retry_policy=RetryPolicy(max_attempts=1)
+        )
+        return executor.execute(scenarios, check_invariants=True)
+
+    return run
+
+
+def _setup_chaos_scenario(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.robustness.campaign import ScenarioSpec, build_scenario
+    from repro.simulation import SearchSimulation
+
+    scenario = build_scenario(
+        ScenarioSpec(
+            n=params["n"],
+            f=params["f"],
+            target=params["target"],
+            fault=params["fault"],
+            seed=params["seed"],
+        )
+    )
+
+    def run():
+        fleet, model = scenario.build()
+        return SearchSimulation(
+            fleet, params["target"], fault_model=model,
+            check_invariants=True,
+        ).run()
+
+    return run
+
+
+WORKLOADS: Tuple[Workload, ...] = (
+    Workload(
+        name="engine_sweep",
+        description="per-target event-engine ratio sweep, A(3,1)",
+        setup=_setup_engine_sweep,
+        full={"n": 3, "f": 1, "points": 2000, "x_max": 100.0},
+        quick={"n": 3, "f": 1, "points": 200, "x_max": 100.0},
+    ),
+    Workload(
+        name="batch_pure",
+        description="batch kernels, pure-python backend, one grid pass",
+        setup=_make_batch_setup("pure"),
+        full={"n": 3, "f": 1, "points": 10000, "x_max": 100.0},
+        quick={"n": 3, "f": 1, "points": 1000, "x_max": 100.0},
+        requires="pure",
+    ),
+    Workload(
+        name="batch_numpy",
+        description="batch kernels, numpy backend, one grid pass",
+        setup=_make_batch_setup("numpy"),
+        full={"n": 3, "f": 1, "points": 10000, "x_max": 100.0},
+        quick={"n": 3, "f": 1, "points": 1000, "x_max": 100.0},
+        requires="numpy",
+    ),
+    Workload(
+        name="batch_compile",
+        description="fleet -> segment-array compilation over one window",
+        setup=_setup_batch_compile,
+        full={"n": 5, "f": 2, "x_max": 64.0},
+        quick={"n": 3, "f": 1, "x_max": 16.0},
+    ),
+    Workload(
+        name="campaign_executor",
+        description="inline campaign executor over a deterministic grid",
+        setup=_setup_campaign_executor,
+        full={
+            "pairs": [[3, 1], [4, 2], [5, 3]],
+            "targets": [1.0, -1.5, 2.5, -4.0],
+            "faults": ["none", "adversarial", "fixed"],
+            "seed": 2016,
+        },
+        quick={
+            "pairs": [[3, 1]],
+            "targets": [1.0, -2.0],
+            "faults": ["none", "adversarial"],
+            "seed": 2016,
+        },
+    ),
+    Workload(
+        name="chaos_scenario",
+        description="one byzantine chaos scenario through the engine",
+        setup=_setup_chaos_scenario,
+        full={"n": 4, "f": 2, "target": 3.0,
+              "fault": "byzantine:1.0;2.5", "seed": 11},
+        quick={"n": 4, "f": 2, "target": 3.0,
+               "fault": "byzantine:1.0;2.5", "seed": 11},
+    ),
+)
+
+_WORKLOADS_BY_NAME = {w.name: w for w in WORKLOADS}
+
+#: Suite name → (size, workload names).  ``quick`` is the CI-sized cut
+#: of everything; the per-subsystem suites run full-size workloads.
+SUITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "quick": ("quick", tuple(w.name for w in WORKLOADS)),
+    "full": ("full", tuple(w.name for w in WORKLOADS)),
+    "engine": ("full", ("engine_sweep", "chaos_scenario")),
+    "batch": ("full", ("batch_pure", "batch_numpy", "batch_compile")),
+    "campaign": ("full", ("campaign_executor", "chaos_scenario")),
+}
+
+
+def suite_names() -> List[str]:
+    """The registered suite names, sorted."""
+    return sorted(SUITES)
+
+
+def workload_names() -> List[str]:
+    """The registered workload names, in registry order."""
+    return [w.name for w in WORKLOADS]
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Identity of the machine a record was measured on.
+
+    Compared (not gated) by :mod:`repro.perf.compare`: numbers from
+    different fingerprints are still comparable, but the report says so.
+    """
+    numpy_version: Optional[str] = None
+    try:
+        import numpy  # type: ignore
+
+        numpy_version = str(numpy.__version__)
+    except ImportError:
+        pass
+    return {
+        "library": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+    }
+
+
+def _timing_stats(samples: Sequence[float]) -> Dict[str, float]:
+    return {
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "mean": statistics.fmean(samples),
+        "stdev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+    }
+
+
+def _measure(
+    workload: Workload, params: Dict[str, Any], repeats: int, warmup: int
+) -> Tuple[List[float], Dict[str, float]]:
+    """Time ``repeats`` runs under a fresh telemetry; returns
+    ``(samples, nonzero counters)``."""
+    fn = workload.setup(params)
+    for _ in range(warmup):
+        fn()
+    telemetry = Telemetry()
+    previous = obs.configure(telemetry)
+    samples: List[float] = []
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+    finally:
+        obs.configure(previous)
+    counters = {
+        metric.name: metric.value()
+        for metric in telemetry.metrics.metrics()
+        if isinstance(metric, Counter) and metric.value()
+    }
+    return samples, counters
+
+
+def run_suite(
+    suite: str = "quick",
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    only: Optional[Sequence[str]] = None,
+    quick: bool = False,
+) -> Dict[str, Any]:
+    """Run one suite and return its versioned record.
+
+    Args:
+        suite: A name from :func:`suite_names`.
+        repeats: Timed runs per workload (stats are over these).
+        warmup: Untimed runs before the repeats (JIT-less Python still
+            warms caches: lazy trajectory materialization, allocators).
+        only: Restrict to these workload names within the suite.
+        quick: Force the reduced parameter sets regardless of suite —
+            the CI smoke switch.
+    """
+    if suite not in SUITES:
+        raise InvalidParameterError(
+            f"unknown suite {suite!r}; choose from {suite_names()}"
+        )
+    if repeats < 1:
+        raise InvalidParameterError("repeats must be >= 1")
+    if warmup < 0:
+        raise InvalidParameterError("warmup must be >= 0")
+    size, names = SUITES[suite]
+    if quick:
+        size = "quick"
+    if only is not None:
+        unknown = sorted(set(only) - set(names))
+        if unknown:
+            raise InvalidParameterError(
+                f"workload(s) {unknown} not in suite {suite!r}; "
+                f"it holds {list(names)}"
+            )
+        names = tuple(n for n in names if n in set(only))
+
+    from repro.batch import available_backends
+
+    backends = available_backends()
+    workloads: Dict[str, Any] = {}
+    skipped: Dict[str, str] = {}
+    for name in names:
+        workload = _WORKLOADS_BY_NAME[name]
+        if workload.requires and workload.requires not in backends:
+            skipped[name] = f"backend {workload.requires!r} unavailable"
+            continue
+        params = workload.params(size)
+        with obs.span("perf.workload", workload=name, size=size):
+            samples, counters = _measure(workload, params, repeats, warmup)
+        workloads[name] = {
+            "description": workload.description,
+            "size": size,
+            "params": params,
+            "samples": samples,
+            "seconds": _timing_stats(samples),
+            "counters": counters,
+        }
+    return {
+        "format": SUITE_FORMAT,
+        "version": SUITE_VERSION,
+        "suite": suite,
+        "size": size,
+        "repeats": repeats,
+        "warmup": warmup,
+        "fingerprint": machine_fingerprint(),
+        "workloads": workloads,
+        "skipped": skipped,
+    }
+
+
+def default_output_path(suite: str) -> str:
+    """Where ``perf run`` writes by default: ``benchmarks/BENCH_<suite>.json``."""
+    return os.path.join("benchmarks", f"BENCH_{suite}.json")
+
+
+def write_suite_report(
+    report: Dict[str, Any], path: Optional[str] = None
+) -> str:
+    """Write a suite record as stable, diff-friendly JSON; returns the path."""
+    if path is None:
+        path = default_output_path(report.get("suite", "suite"))
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_suite_report(path: str) -> Dict[str, Any]:
+    """Read and validate a record written by :func:`write_suite_report`."""
+    if not os.path.exists(path):
+        raise InvalidParameterError(f"no benchmark record at {path!r}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError:
+            raise InvalidParameterError(
+                f"{path!r} is not valid JSON"
+            ) from None
+    if (
+        not isinstance(report, dict)
+        or report.get("format") != SUITE_FORMAT
+    ):
+        raise InvalidParameterError(
+            f"{path!r} is not a linesearch benchmark record"
+        )
+    if report.get("version") != SUITE_VERSION:
+        raise InvalidParameterError(
+            f"record {path!r} has version {report.get('version')!r}; "
+            f"this library reads version {SUITE_VERSION}"
+        )
+    return report

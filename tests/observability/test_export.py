@@ -186,3 +186,247 @@ class TestSummary:
         tracer.record_span("x", duration=1.0)
         text = summary(tracer.records(), metadata={"version": "9.9.9"})
         assert text.splitlines()[0] == "trace from linesearch 9.9.9"
+
+
+class TestLabelEscaping:
+    def _prom_for(self, value):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("odd_total", "odd labels").inc(
+            1, tag=value
+        )
+        return to_prometheus(telemetry)
+
+    def test_quotes_escaped(self):
+        assert 'tag="say \\"hi\\""' in self._prom_for('say "hi"')
+
+    def test_backslashes_escaped(self):
+        assert 'tag="a\\\\b"' in self._prom_for("a\\b")
+
+    def test_newlines_escaped(self):
+        text = self._prom_for("line1\nline2")
+        assert 'tag="line1\\nline2"' in text
+        # the exposition stays one-sample-per-line
+        sample_lines = [
+            l for l in text.splitlines() if l.startswith("odd_total")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_round_trip_through_parser(self):
+        from repro.observability.export import parse_prometheus
+
+        nasty = 'say "hi"\\to\nyou'
+        families = parse_prometheus(self._prom_for(nasty))
+        (_, labels, value), = families["odd_total"]["samples"]
+        assert labels["tag"] == nasty
+        assert value == 1.0
+
+
+class TestEmptyRegistry:
+    def test_truly_empty_registry_exports_build_info_only(self):
+        import types
+
+        from repro.observability.metrics import MetricsRegistry
+
+        # Telemetry() pre-registers the well-known metrics, so an empty
+        # registry needs a bare stand-in with the same attributes
+        bare = types.SimpleNamespace(
+            metrics=MetricsRegistry(), metadata={}
+        )
+        text = to_prometheus(bare)
+        samples = [
+            l for l in text.splitlines()
+            if l.strip() and not l.startswith("#")
+        ]
+        assert len(samples) == 1
+        assert samples[0].startswith("linesearch_build_info{")
+        assert text.endswith("\n")
+
+
+class TestTornTraceLines:
+    def _write_trace(self, tmp_path, extra_lines):
+        telemetry = _telemetry_with_spans()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, telemetry)
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in extra_lines:
+                handle.write(line)
+        return path
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = self._write_trace(tmp_path, ['{"name": "half'])
+        _, spans = read_trace_jsonl(path)
+        assert sorted(s.name for s in spans) == ["inner", "outer"]
+
+    def test_torn_final_line_missing_keys_tolerated(self, tmp_path):
+        # valid JSON, but not a span record: still the torn-tail rule
+        path = self._write_trace(tmp_path, ['{"no": "span keys"}'])
+        _, spans = read_trace_jsonl(path)
+        assert len(spans) == 2
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = self._write_trace(
+            tmp_path, ['garbage not json\n', '{"also": "broken"}\n']
+        )
+        # another valid span after the garbage makes it interior
+        telemetry = _telemetry_with_spans()
+        record = telemetry.tracer.records()[0]
+        import json as _json
+
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(_json.dumps(record.to_dict()) + "\n")
+        with pytest.raises(InvalidParameterError, match="corrupt span"):
+            read_trace_jsonl(path)
+
+    def test_corrupt_line_error_reports_line_number(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, Telemetry())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("broken\n")
+            handle.write('{"name": "x", "span_id": "1", "start": 0, '
+                         '"duration": 0}\n')
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            read_trace_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self._write_trace(tmp_path, ["\n", "   \n", "\n"])
+        _, spans = read_trace_jsonl(path)
+        assert len(spans) == 2
+
+    def test_header_only_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, Telemetry())
+        metadata, spans = read_trace_jsonl(path)
+        assert spans == []
+        assert metadata["library"] == "linesearch"
+
+
+class TestHistogramQuantiles:
+    def _telemetry_with_histogram(self):
+        telemetry = Telemetry()
+        h = telemetry.metrics.histogram(
+            "wall_seconds", "wall", buckets=(0.001, 0.01, 0.1)
+        )
+        for value in (0.0005, 0.004, 0.004, 0.05):
+            h.observe(value)
+        return telemetry
+
+    def test_prom_carries_quantile_comment(self):
+        text = to_prometheus(self._telemetry_with_histogram())
+        (comment,) = [
+            l for l in text.splitlines()
+            if l.startswith("# wall_seconds estimated quantiles")
+        ]
+        assert "interpolated within fixed buckets" in comment
+        assert "p50=" in comment and "p90=" in comment and "p99=" in comment
+
+    def test_empty_histogram_gets_no_comment(self):
+        telemetry = Telemetry()
+        telemetry.metrics.histogram("wall_seconds", "wall", buckets=(1.0,))
+        text = to_prometheus(telemetry)
+        assert "estimated quantiles" not in text
+
+    def test_quantile_comment_not_a_sample(self):
+        # histogram families must expose only _bucket/_sum/_count series
+        from repro.observability.export import parse_prometheus
+
+        text = to_prometheus(self._telemetry_with_histogram())
+        samples = parse_prometheus(text)["wall_seconds"]["samples"]
+        names = {name for name, _, _ in samples}
+        assert names == {
+            "wall_seconds_bucket", "wall_seconds_sum", "wall_seconds_count",
+        }
+
+    def test_summary_metrics_table(self):
+        telemetry = self._telemetry_with_histogram()
+        with telemetry.tracer.span("work"):
+            pass
+        text = summary(
+            telemetry.tracer.records(), metrics=telemetry.metrics
+        )
+        assert "histogram quantiles (estimated from fixed buckets):" in text
+        assert "wall_seconds" in text
+        assert "~p50" in text and "~p99" in text
+
+    def test_summary_without_metrics_unchanged(self):
+        telemetry = _telemetry_with_spans()
+        text = summary(telemetry.tracer.records())
+        assert "histogram quantiles" not in text
+
+
+class TestParsePrometheus:
+    def test_round_trip_families(self):
+        from repro.observability.export import parse_prometheus
+
+        telemetry = Telemetry()
+        telemetry.metrics.counter("runs_total", "runs").inc(3)
+        telemetry.metrics.gauge("workers", "busy").set(2)
+        families = parse_prometheus(to_prometheus(telemetry))
+        assert families["runs_total"]["kind"] == "counter"
+        assert families["workers"]["kind"] == "gauge"
+        assert ("runs_total", {}, 3.0) in families["runs_total"]["samples"]
+
+    def test_histogram_series_grouped_under_family(self):
+        from repro.observability.export import parse_prometheus
+
+        telemetry = Telemetry()
+        telemetry.metrics.histogram(
+            "wall_seconds", "wall", buckets=(1.0,)
+        ).observe(0.5)
+        families = parse_prometheus(to_prometheus(telemetry))
+        assert "wall_seconds" in families
+        assert "wall_seconds_bucket" not in families
+        inf_buckets = [
+            (labels, value)
+            for name, labels, value in families["wall_seconds"]["samples"]
+            if name == "wall_seconds_bucket" and labels["le"] == "+Inf"
+        ]
+        assert inf_buckets == [({"le": "+Inf"}, 1.0)]
+
+    def test_unparseable_sample_raises(self):
+        from repro.observability.export import parse_prometheus
+
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            parse_prometheus("ok_total 1\nthis is not a sample\n")
+
+    def test_bad_value_raises(self):
+        from repro.observability.export import parse_prometheus
+
+        with pytest.raises(InvalidParameterError, match="value"):
+            parse_prometheus("ok_total notanumber\n")
+
+
+class TestPrometheusSummary:
+    def test_tables(self):
+        from repro.observability.export import prometheus_summary
+
+        telemetry = Telemetry()
+        telemetry.metrics.counter("runs_total", "runs").inc(9)
+        telemetry.metrics.histogram(
+            "wall_seconds", "wall", buckets=(0.01, 0.1)
+        ).observe(0.05)
+        text = prometheus_summary(to_prometheus(telemetry))
+        assert "runs_total" in text
+        assert "histograms (quantiles estimated from fixed buckets):" in text
+        assert "wall_seconds" in text
+
+    def test_labeled_series_own_rows_sorted_by_value(self):
+        from repro.observability.export import prometheus_summary
+
+        telemetry = Telemetry()
+        c = telemetry.metrics.counter("fails_total", "fails")
+        c.inc(1, fault="random")
+        c.inc(5, fault="byzantine")
+        text = prometheus_summary(to_prometheus(telemetry))
+        byz = text.index("fails_total{fault=byzantine}")
+        rnd = text.index("fails_total{fault=random}")
+        assert byz < rnd
+
+    def test_top_truncates_series(self):
+        from repro.observability.export import prometheus_summary
+
+        telemetry = Telemetry()
+        gauge = telemetry.metrics.gauge("depth", "levels")
+        for i in range(30):
+            gauge.set(i, level=str(i))
+        text = prometheus_summary(to_prometheus(telemetry), top=5)
+        assert "more series" in text

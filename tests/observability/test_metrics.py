@@ -13,6 +13,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_buckets,
 )
 
 
@@ -184,3 +185,57 @@ class TestSnapshotMerge:
         b = MetricsRegistry()
         b.merge(a.snapshot())
         assert b.snapshot() == a.snapshot()
+
+
+class TestQuantileEstimation:
+    def test_exact_at_bucket_bound(self):
+        # 2 of 4 observations at or below 1.0: p50 sits on the bound
+        assert quantile_from_buckets((1.0, 2.0), (2, 2, 0), 0.5) == 1.0
+
+    def test_interpolates_within_bucket(self):
+        # all mass in (1.0, 2.0]: p50 is the bucket midpoint
+        assert quantile_from_buckets(
+            (1.0, 2.0), (0, 4, 0), 0.5
+        ) == pytest.approx(1.5)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        # mass in [0, 2.0]: p50 interpolated from 0, not -inf
+        assert quantile_from_buckets(
+            (2.0,), (4, 0), 0.5
+        ) == pytest.approx(1.0)
+
+    def test_negative_first_bound_is_its_own_edge(self):
+        value = quantile_from_buckets((-2.0, 2.0), (0, 4, 0), 0.5)
+        assert value == pytest.approx(0.0)
+
+    def test_overflow_clamps_to_largest_bound(self):
+        assert quantile_from_buckets((1.0, 5.0), (0, 0, 3), 0.9) == 5.0
+
+    def test_empty_returns_none(self):
+        assert quantile_from_buckets((1.0,), (0, 0), 0.5) is None
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            quantile_from_buckets((1.0,), (1, 0), 1.5)
+        with pytest.raises(InvalidParameterError):
+            quantile_from_buckets((1.0,), (1, 0), -0.1)
+
+    def test_histogram_method_matches_module_function(self):
+        h = MetricsRegistry().histogram("wall", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 9.0):
+            h.observe(v)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.estimate_quantile(q) == quantile_from_buckets(
+                h.buckets, h.bucket_counts(), q
+            )
+
+    def test_empty_histogram_method(self):
+        h = MetricsRegistry().histogram("wall", buckets=(1.0,))
+        assert h.estimate_quantile(0.5) is None
+
+    def test_estimate_monotone_in_q(self):
+        h = MetricsRegistry().histogram("wall", buckets=(0.5, 1.0, 2.0))
+        for v in (0.1, 0.6, 0.7, 1.5, 1.9, 5.0):
+            h.observe(v)
+        points = [h.estimate_quantile(q / 10) for q in range(11)]
+        assert points == sorted(points)

@@ -1,0 +1,158 @@
+"""Unit tests for noise-aware baseline comparison."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.perf import CompareReport, compare_reports
+
+
+def _record(fingerprint=None, **workloads):
+    """Build a minimal suite record: name=(median, stdev) pairs."""
+    return {
+        "format": "linesearch-bench-suite",
+        "version": 1,
+        "fingerprint": fingerprint or {},
+        "workloads": {
+            name: {"seconds": {"median": median, "stdev": stdev}}
+            for name, (median, stdev) in workloads.items()
+        },
+    }
+
+
+class TestVerdicts:
+    def test_identical_records_pass(self):
+        record = _record(w=(1.0, 0.01))
+        report = compare_reports(record, record)
+        assert report.passed
+        assert report.deltas[0].status == "ok"
+        assert report.deltas[0].relative_delta == pytest.approx(0.0)
+
+    def test_small_slowdown_within_relative_gate(self):
+        report = compare_reports(
+            _record(w=(1.0, 0.0)), _record(w=(1.2, 0.0))
+        )
+        assert report.passed  # +20% < 25%
+
+    def test_regression_past_both_gates_fails(self):
+        report = compare_reports(
+            _record(w=(1.0, 0.001)), _record(w=(2.0, 0.001))
+        )
+        assert not report.passed
+        assert report.regressions[0].name == "w"
+        assert report.deltas[0].percent == "+100.0%"
+
+    def test_noise_gate_suppresses_jittery_regression(self):
+        # +50% beats the relative gate, but the spread swallows it:
+        # pooled stdev = 0.5 -> 3 stdevs = 1.5 > delta of 0.5
+        report = compare_reports(
+            _record(w=(1.0, 0.5)), _record(w=(1.5, 0.5))
+        )
+        assert report.passed
+        assert report.deltas[0].status == "ok"
+
+    def test_improvement_reported_not_gated(self):
+        report = compare_reports(
+            _record(w=(2.0, 0.001)), _record(w=(1.0, 0.001))
+        )
+        assert report.passed
+        assert report.deltas[0].status == "improved"
+
+    def test_missing_and_new_are_non_fatal(self):
+        report = compare_reports(
+            _record(gone=(1.0, 0.0), stays=(1.0, 0.0)),
+            _record(stays=(1.0, 0.0), added=(1.0, 0.0)),
+        )
+        assert report.passed
+        by_name = {d.name: d.status for d in report.deltas}
+        assert by_name == {
+            "gone": "missing", "stays": "ok", "added": "new",
+        }
+
+    def test_pooled_noise_value(self):
+        report = compare_reports(
+            _record(w=(1.0, 0.3)), _record(w=(1.0, 0.4))
+        )
+        expected = math.sqrt((0.3 ** 2 + 0.4 ** 2) / 2.0)
+        assert report.deltas[0].noise == pytest.approx(expected)
+
+    def test_threshold_is_max_of_gates(self):
+        # relative gate alone (tiny stdev): 30% fails at default 25%
+        assert not compare_reports(
+            _record(w=(1.0, 1e-9)), _record(w=(1.3, 1e-9))
+        ).passed
+        # same delta passes when max_regression is raised
+        assert compare_reports(
+            _record(w=(1.0, 1e-9)), _record(w=(1.3, 1e-9)),
+            max_regression=0.5,
+        ).passed
+
+
+class TestFingerprint:
+    def test_match(self):
+        fp = {"python": "3.11.7"}
+        report = compare_reports(
+            _record(fingerprint=fp, w=(1.0, 0.0)),
+            _record(fingerprint=fp, w=(1.0, 0.0)),
+        )
+        assert report.fingerprint_matches
+        assert report.fingerprint_diff == ()
+
+    def test_mismatch_surfaced_not_gated(self):
+        report = compare_reports(
+            _record(fingerprint={"python": "3.11.7"}, w=(1.0, 0.0)),
+            _record(fingerprint={"python": "3.12.0"}, w=(1.0, 0.0)),
+        )
+        assert report.passed
+        assert not report.fingerprint_matches
+        assert report.fingerprint_diff == ("python",)
+        assert "fingerprint mismatch" in report.describe()
+
+
+class TestDescribe:
+    def test_contains_table_and_verdict(self):
+        report = compare_reports(
+            _record(w=(1.0, 0.001)), _record(w=(2.0, 0.001))
+        )
+        text = report.describe()
+        assert "thresholds" in text
+        assert "workload" in text and "status" in text
+        assert "FAIL: 1 regression(s): w" in text
+
+    def test_pass_line(self):
+        record = _record(w=(1.0, 0.01))
+        text = compare_reports(record, record).describe()
+        assert text.endswith("PASS: no workload regressed past the "
+                             "thresholds")
+
+
+class TestValidation:
+    def test_bad_thresholds(self):
+        record = _record(w=(1.0, 0.0))
+        with pytest.raises(InvalidParameterError, match="max_regression"):
+            compare_reports(record, record, max_regression=0.0)
+        with pytest.raises(InvalidParameterError, match="noise_stdevs"):
+            compare_reports(record, record, noise_stdevs=-1.0)
+
+    def test_missing_workloads_mapping(self):
+        with pytest.raises(InvalidParameterError, match="workloads"):
+            compare_reports({}, _record(w=(1.0, 0.0)))
+
+    def test_missing_median(self):
+        broken = {"workloads": {"w": {"seconds": {}}}}
+        with pytest.raises(InvalidParameterError, match="median"):
+            compare_reports(broken, broken)
+
+    def test_nonpositive_baseline_median(self):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            compare_reports(_record(w=(0.0, 0.0)), _record(w=(1.0, 0.0)))
+
+    def test_report_is_frozen(self):
+        record = _record(w=(1.0, 0.01))
+        report = compare_reports(record, record)
+        assert isinstance(report, CompareReport)
+        with pytest.raises(AttributeError):
+            report.deltas = ()

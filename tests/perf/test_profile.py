@@ -1,0 +1,157 @@
+"""Unit tests for span profiling and collapsed-stack output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.tracing import SpanRecord, Tracer
+from repro.perf import (
+    ProfileReport,
+    collapsed_stacks,
+    profile_spans,
+    write_collapsed,
+)
+from repro.perf.profile import COLLAPSED_SCALE
+
+
+def _span(name, span_id, parent_id, duration, pid=1, start=0.0):
+    return SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        start=start,
+        duration=duration,
+        pid=pid,
+    )
+
+
+def _forest():
+    """campaign(5.0) -> scenario(3.0) -> sim(2.0); plus lone extra(1.0)."""
+    return [
+        _span("campaign", "a", None, 5.0),
+        _span("scenario", "b", "a", 3.0),
+        _span("sim", "c", "b", 2.0),
+        _span("extra", "d", None, 1.0),
+    ]
+
+
+class TestProfileSpans:
+    def test_self_time_subtracts_direct_children(self):
+        report = profile_spans(_forest())
+        by_name = report.by_name()
+        assert by_name["campaign"].self_time == pytest.approx(2.0)
+        assert by_name["scenario"].self_time == pytest.approx(1.0)
+        assert by_name["sim"].self_time == pytest.approx(2.0)
+        assert by_name["extra"].self_time == pytest.approx(1.0)
+
+    def test_self_times_sum_to_total_duration(self):
+        report = profile_spans(_forest())
+        assert report.total_self_time == pytest.approx(6.0)
+
+    def test_aggregates_spans_sharing_a_name(self):
+        tracer = Tracer()
+        for duration in (1.0, 2.0, 3.0):
+            tracer.record_span("sim", duration=duration)
+        stats = profile_spans(tracer.records()).by_name()["sim"]
+        assert stats.count == 3
+        assert stats.total == pytest.approx(6.0)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.max == pytest.approx(3.0)
+
+    def test_sorted_by_self_time_then_name(self):
+        records = [
+            _span("b", "1", None, 2.0),
+            _span("a", "2", None, 2.0),
+            _span("c", "3", None, 5.0),
+        ]
+        names = [s.name for s in profile_spans(records).stats]
+        assert names == ["c", "a", "b"]
+
+    def test_negative_self_time_clamped(self):
+        # child reported longer than its parent (clock skew): clamp to 0
+        records = [
+            _span("parent", "p", None, 1.0),
+            _span("child", "c", "p", 4.0),
+        ]
+        by_name = profile_spans(records).by_name()
+        assert by_name["parent"].self_time == 0.0
+
+    def test_empty_records(self):
+        report = profile_spans([])
+        assert report.stats == ()
+        assert report.total_self_time == 0.0
+        # header-only table, no rows, no crash on the 0-wall division
+        assert "span" in report.render()
+
+    def test_render_lists_hottest_first(self):
+        text = profile_spans(_forest()).render()
+        assert "span" in text and "self s" in text
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[2].startswith(("campaign", "sim"))
+
+    def test_render_top_truncates(self):
+        text = profile_spans(_forest()).render(top=2)
+        assert "... and 2 more span name(s)" in text
+
+    def test_report_is_frozen(self):
+        report = profile_spans(_forest())
+        assert isinstance(report, ProfileReport)
+        with pytest.raises(AttributeError):
+            report.stats = ()
+
+
+class TestCollapsedStacks:
+    def test_paths_and_values(self):
+        lines = collapsed_stacks(_forest())
+        assert lines == [
+            f"campaign {2 * COLLAPSED_SCALE}",
+            f"campaign;scenario {COLLAPSED_SCALE}",
+            f"campaign;scenario;sim {2 * COLLAPSED_SCALE}",
+            f"extra {COLLAPSED_SCALE}",
+        ]
+
+    def test_merges_identical_paths(self):
+        records = [
+            _span("root", "r", None, 3.0),
+            _span("leaf", "l1", "r", 1.0),
+            _span("leaf", "l2", "r", 1.0),
+        ]
+        lines = collapsed_stacks(records)
+        assert f"root;leaf {2 * COLLAPSED_SCALE}" in lines
+
+    def test_values_sum_to_total_traced_time(self):
+        lines = collapsed_stacks(_forest())
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == 6 * COLLAPSED_SCALE
+
+    def test_adopted_cross_pid_orphans_become_roots(self):
+        # a worker span whose parent id is not in the record set
+        records = [
+            _span("local", "a", None, 1.0, pid=1),
+            _span("worker", "w", "gone", 2.0, pid=99),
+        ]
+        lines = collapsed_stacks(records)
+        assert f"worker {2 * COLLAPSED_SCALE}" in lines
+
+    def test_deterministic_ordering(self):
+        records = _forest()
+        assert collapsed_stacks(records) == collapsed_stacks(
+            list(reversed(records))
+        )
+
+    def test_write_collapsed_round_trip(self, tmp_path):
+        path = str(tmp_path / "collapsed.txt")
+        count = write_collapsed(path, _forest())
+        assert count == 4
+        with open(path) as handle:
+            assert handle.read().splitlines() == collapsed_stacks(_forest())
+
+    def test_live_tracer_matches_record_profile(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        lines = collapsed_stacks(tracer.records())
+        assert [l.rsplit(" ", 1)[0] for l in lines] == [
+            "outer", "outer;inner",
+        ]

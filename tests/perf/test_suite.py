@@ -1,0 +1,174 @@
+"""Unit tests for the benchmark suite runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.errors import InvalidParameterError
+from repro.perf import (
+    load_suite_report,
+    machine_fingerprint,
+    run_suite,
+    suite_names,
+    workload_names,
+    write_suite_report,
+)
+from repro.perf.suite import (
+    SUITE_FORMAT,
+    SUITE_VERSION,
+    SUITES,
+    WORKLOADS,
+    default_output_path,
+)
+
+FINGERPRINT_KEYS = {
+    "library", "python", "implementation", "platform", "machine",
+    "cpu_count", "numpy",
+}
+
+
+class TestRegistry:
+    def test_suite_names_sorted(self):
+        assert suite_names() == sorted(SUITES)
+        assert "quick" in suite_names() and "full" in suite_names()
+
+    def test_every_suite_member_is_registered(self):
+        known = set(workload_names())
+        for size, members in SUITES.values():
+            assert size in ("quick", "full")
+            assert set(members) <= known
+
+    def test_workloads_have_both_parameter_sets(self):
+        for workload in WORKLOADS:
+            assert workload.params("full") is not workload.full
+            assert isinstance(workload.params("quick"), dict)
+
+
+class TestFingerprint:
+    def test_keys_and_library_version(self):
+        fingerprint = machine_fingerprint()
+        assert set(fingerprint) == FINGERPRINT_KEYS
+        assert fingerprint["library"] == __version__
+        assert fingerprint["cpu_count"] >= 1
+
+    def test_json_serializable(self):
+        json.dumps(machine_fingerprint())
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def quick_record(self):
+        # one real run shared by the class: the quick suite at minimal
+        # repeats still exercises every workload end to end
+        return run_suite("quick", repeats=2, warmup=1)
+
+    def test_record_shape(self, quick_record):
+        assert quick_record["format"] == SUITE_FORMAT
+        assert quick_record["version"] == SUITE_VERSION
+        assert quick_record["suite"] == "quick"
+        assert quick_record["size"] == "quick"
+        assert quick_record["repeats"] == 2
+        assert quick_record["warmup"] == 1
+        assert set(quick_record["fingerprint"]) == FINGERPRINT_KEYS
+
+    def test_every_workload_ran_or_was_skipped(self, quick_record):
+        covered = set(quick_record["workloads"]) | set(
+            quick_record["skipped"]
+        )
+        assert covered == set(workload_names())
+
+    def test_timing_stats(self, quick_record):
+        for name, entry in quick_record["workloads"].items():
+            assert len(entry["samples"]) == 2
+            seconds = entry["seconds"]
+            assert 0 < seconds["min"] <= seconds["median"]
+            assert seconds["stdev"] >= 0
+            assert entry["size"] == "quick"
+            assert entry["params"]
+
+    def test_counters_capture_work_done(self, quick_record):
+        workloads = quick_record["workloads"]
+        # 200-point quick grid, 2 repeats
+        assert workloads["engine_sweep"]["counters"][
+            "sweep_points_total"] == 400
+        if "batch_pure" in workloads:
+            assert workloads["batch_pure"]["counters"][
+                "batch_points_total"] == 2000
+        assert workloads["campaign_executor"]["counters"][
+            "scenarios_completed_total"] == 8
+        assert workloads["chaos_scenario"]["counters"][
+            "simulation_runs_total"] == 2
+
+    def test_record_json_serializable(self, quick_record):
+        json.dumps(quick_record)
+
+    def test_only_restricts(self):
+        record = run_suite(
+            "quick", repeats=1, warmup=0, only=["batch_compile"]
+        )
+        assert list(record["workloads"]) == ["batch_compile"]
+
+    def test_quick_forces_reduced_size(self):
+        record = run_suite(
+            "engine", repeats=1, warmup=0, quick=True,
+            only=["chaos_scenario"],
+        )
+        assert record["size"] == "quick"
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown suite"):
+            run_suite("nope")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(InvalidParameterError, match="not in suite"):
+            run_suite("quick", only=["nope"])
+
+    def test_workload_outside_suite_rejected(self):
+        with pytest.raises(InvalidParameterError, match="not in suite"):
+            run_suite("batch", only=["engine_sweep"])
+
+    def test_bad_repeats_and_warmup(self):
+        with pytest.raises(InvalidParameterError, match="repeats"):
+            run_suite("quick", repeats=0)
+        with pytest.raises(InvalidParameterError, match="warmup"):
+            run_suite("quick", warmup=-1)
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path):
+        record = run_suite(
+            "quick", repeats=1, warmup=0, only=["batch_compile"]
+        )
+        path = str(tmp_path / "sub" / "BENCH_quick.json")
+        assert write_suite_report(record, path) == path
+        assert load_suite_report(path) == record
+
+    def test_default_path(self):
+        assert default_output_path("quick").endswith("BENCH_quick.json")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="no benchmark"):
+            load_suite_report(str(tmp_path / "absent.json"))
+
+    def test_non_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            load_suite_report(str(path))
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(InvalidParameterError, match="not a linesearch"):
+            load_suite_report(str(path))
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "format": SUITE_FORMAT, "version": SUITE_VERSION + 1,
+        }))
+        with pytest.raises(InvalidParameterError, match="version"):
+            load_suite_report(str(path))

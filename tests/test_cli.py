@@ -18,6 +18,7 @@ class TestParser:
         for cmd in (
             "info", "simulate", "ratio", "table1", "figure5",
             "diagram", "lowerbound", "experiment", "chaos", "telemetry",
+            "perf",
         ):
             assert cmd in text
 
@@ -420,3 +421,192 @@ class TestChaosMore:
         )
         assert "1 scenarios (seed 1)" in out_a
         assert "1 scenarios (seed 2)" in out_b
+
+
+class TestTelemetryDirHandling:
+    def test_nested_directories_created(self, capsys, tmp_path):
+        nested = str(tmp_path / "a" / "b" / "telemetry")
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--telemetry-dir", nested,
+        )
+        assert code == 0
+        import os
+
+        assert os.path.exists(os.path.join(nested, "trace.jsonl"))
+
+    def test_unwritable_path_is_a_clean_error(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        code, _, err = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none",
+            "--telemetry-dir", str(blocker / "sub"),
+        )
+        assert code == 2
+        assert "error:" in err
+        assert "telemetry-dir" in err
+        assert "Traceback" not in err
+
+
+class TestTelemetryPromSummary:
+    def test_prom_file_summarized(self, capsys, tmp_path):
+        from repro.observability import write_prometheus
+        from repro.observability.instrument import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.metrics.counter(
+            "scenarios_completed_total", "done"
+        ).inc(4)
+        telemetry.metrics.histogram(
+            "scenario_wall_seconds", "wall", buckets=(0.01, 0.1)
+        ).observe(0.05)
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(path, telemetry)
+
+        code, out, _ = run_cli(capsys, "telemetry", path)
+        assert code == 0
+        assert "scenarios_completed_total" in out
+        assert "counter" in out
+        assert "~p50" in out
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "telemetry", str(tmp_path / "absent.prom")
+        )
+        assert code == 2
+        assert "no trace file" in err
+
+
+class TestPerfCLI:
+    def _run_quick(self, capsys, tmp_path, name="bench.json"):
+        out_path = str(tmp_path / name)
+        code, out, _ = run_cli(
+            capsys, "perf", "run", "--suite", "quick",
+            "--repeats", "2", "--warmup", "0",
+            "--workload", "batch_compile", "--out", out_path,
+        )
+        return code, out, out_path
+
+    def test_list_runs_nothing(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "perf", "run", "--list")
+        assert code == 0
+        assert "quick" in out and "engine_sweep" in out
+        assert not list(tmp_path.iterdir())
+
+    def test_run_writes_fingerprinted_record(self, capsys, tmp_path):
+        import json
+        import platform
+
+        code, out, out_path = self._run_quick(capsys, tmp_path)
+        assert code == 0
+        assert "wrote" in out and "batch_compile" in out
+        record = json.load(open(out_path))
+        assert record["format"] == "linesearch-bench-suite"
+        assert record["fingerprint"]["python"] == platform.python_version()
+        assert "cpu_count" in record["fingerprint"]
+        seconds = record["workloads"]["batch_compile"]["seconds"]
+        assert seconds["median"] > 0
+
+    def test_compare_same_record_passes(self, capsys, tmp_path):
+        _, _, out_path = self._run_quick(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "perf", "compare", out_path, out_path)
+        assert code == 0
+        assert "PASS" in out
+
+    def test_compare_injected_regression_fails(self, capsys, tmp_path):
+        import json
+
+        _, _, base_path = self._run_quick(capsys, tmp_path)
+        record = json.load(open(base_path))
+        seconds = record["workloads"]["batch_compile"]["seconds"]
+        seconds["median"] *= 10
+        seconds["stdev"] = 0.0
+        slow_path = str(tmp_path / "slow.json")
+        json.dump(record, open(slow_path, "w"))
+
+        code, out, _ = run_cli(capsys, "perf", "compare", base_path, slow_path)
+        assert code == 1
+        assert "FAIL" in out and "batch_compile" in out
+
+        # the reverse direction is an improvement, not a failure
+        code, out, _ = run_cli(capsys, "perf", "compare", slow_path, base_path)
+        assert code == 0
+        assert "improved" in out
+
+    def test_compare_missing_file_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "perf", "compare",
+            str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        )
+        assert code == 2
+        assert "no benchmark record" in err
+
+    def test_report_pretty_prints(self, capsys, tmp_path):
+        _, _, out_path = self._run_quick(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "perf", "report", out_path)
+        assert code == 0
+        assert "fingerprint:" in out
+        assert "median s" in out and "batch_compile" in out
+
+    def test_run_unknown_suite_exits_2(self, capsys):
+        code, _, err = run_cli(capsys, "perf", "run", "--suite", "nope")
+        assert code == 2
+        assert "unknown suite" in err
+
+
+class TestPerfFlamegraph:
+    def _trace_from_chaos(self, capsys, tmp_path):
+        telemetry_dir = str(tmp_path / "telemetry")
+        code, _, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "adversarial", "--seed", "5",
+            "--telemetry-dir", telemetry_dir,
+        )
+        assert code == 0
+        import os
+
+        return os.path.join(telemetry_dir, "trace.jsonl")
+
+    def test_roots_match_trace_root_spans(self, capsys, tmp_path):
+        # acceptance criterion: collapsed-stack roots == the root spans
+        # of the scenario trace in the JSONL file
+        trace = self._trace_from_chaos(capsys, tmp_path)
+        flame_path = str(tmp_path / "flame.txt")
+        code, out, _ = run_cli(
+            capsys, "perf", "flamegraph", trace, "--out", flame_path,
+        )
+        assert code == 0
+        assert "collapsed stack" in out
+
+        with open(flame_path) as handle:
+            lines = handle.read().splitlines()
+        flame_roots = {line.split(" ")[0].split(";")[0] for line in lines}
+
+        from repro.observability import read_trace_jsonl
+        from repro.observability.tracing import roots
+
+        _, spans = read_trace_jsonl(trace)
+        trace_roots = {s.name for s in roots(spans)}
+        assert flame_roots == trace_roots
+        assert "campaign.execute" in flame_roots
+
+    def test_stdout_mode(self, capsys, tmp_path):
+        trace = self._trace_from_chaos(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "perf", "flamegraph", trace)
+        assert code == 0
+        assert any(
+            line.startswith("campaign.execute ")
+            for line in out.splitlines()
+        )
+        # every line is "<stack> <integer>"
+        for line in out.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 0
+
+    def test_missing_trace_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "perf", "flamegraph", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 2
+        assert "no trace file" in err
