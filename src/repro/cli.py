@@ -26,6 +26,12 @@ Subcommands:
   journal (``--journal`` / ``--resume``), and full telemetry capture
   (``--telemetry-dir`` writes a JSONL span trace, a Prometheus text
   file, and a human summary);
+* ``serve`` — run the long-lived search service: a threaded HTTP
+  server with a bounded admission queue (explicit ``overloaded``
+  shedding), per-client rate limits, per-request deadlines, a
+  scenario-fingerprint result cache, graceful drain on SIGTERM, and
+  crash-safe restart that resumes interrupted campaigns
+  byte-identically from their journals;
 * ``telemetry`` — summarize a telemetry artifact written by
   ``chaos --telemetry-dir``: a ``trace.jsonl`` span trace (where the
   wall-clock time went, by span) or a ``metrics.prom`` file
@@ -254,6 +260,63 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="DIR",
                          help="collect spans and metrics for the whole "
                               "campaign and write trace.jsonl, "
+                              "metrics.prom, and summary.txt into DIR")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived search service (HTTP, crash-safe)",
+    )
+    p_serve.add_argument("--state-dir", required=True, metavar="DIR",
+                         help="durable state directory (job manifest, "
+                              "journals, reports); restart resumes "
+                              "interrupted campaigns from it")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8347,
+                         help="bind port; 0 picks a free port "
+                              "(default: 8347)")
+    p_serve.add_argument("--port-file", type=str, default=None,
+                         metavar="PATH",
+                         help="write the chosen port here once bound "
+                              "(for scripts using --port 0)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker threads executing jobs "
+                              "(default: 2)")
+    p_serve.add_argument("--queue-capacity", type=int, default=16,
+                         help="admission queue bound; beyond it "
+                              "submissions get 'overloaded' "
+                              "(default: 16)")
+    p_serve.add_argument("--rate-capacity", type=float, default=None,
+                         help="per-client token-bucket burst size "
+                              "(default: rate limiting off)")
+    p_serve.add_argument("--rate-per-second", type=float, default=10.0,
+                         help="per-client token refill rate "
+                              "(default: 10)")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="result-cache entries; 0 disables "
+                              "(default: 4096)")
+    p_serve.add_argument("--default-deadline", type=float, default=300.0,
+                         help="deadline for submissions that carry "
+                              "none, seconds (default: 300)")
+    p_serve.add_argument("--max-deadline", type=float, default=3600.0,
+                         help="ceiling on client deadlines "
+                              "(default: 3600)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-scenario watchdog budget forwarded "
+                              "to the executor")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="executor worker processes per campaign "
+                              "(default: 1, in-process)")
+    p_serve.add_argument("--method", choices=("event", "batch"),
+                         default="event",
+                         help="evaluation path for submissions that "
+                              "don't choose (default: event)")
+    p_serve.add_argument("--no-parity-check", action="store_true",
+                         help="skip the startup engine-parity harness")
+    p_serve.add_argument("--telemetry-dir", type=str, default=None,
+                         metavar="DIR",
+                         help="on drain, write trace.jsonl, "
                               "metrics.prom, and summary.txt into DIR")
 
     p_tel = sub.add_parser(
@@ -656,10 +719,19 @@ def _cmd_chaos(args: argparse.Namespace):
             metadata={"command": "chaos", "seed": args.seed}
         )
         previous = configure(telemetry)
+    from repro.errors import CampaignInterrupted
+
+    interrupted = None
     try:
         report = executor.execute(
             scenarios, check_invariants=not args.no_invariants
         )
+    except CampaignInterrupted as exc:
+        # SIGTERM (an orchestrator draining us): the journal is already
+        # checkpointed; report what completed and exit cleanly so the
+        # next invocation can --resume.
+        interrupted = exc
+        report = exc.report
     finally:
         if telemetry is not None:
             from repro.observability import configure
@@ -669,6 +741,8 @@ def _cmd_chaos(args: argparse.Namespace):
     if args.journal:
         verb = "resumed from" if args.resume else "journaled to"
         lines.append(f"{verb} {args.journal}")
+    if interrupted is not None:
+        lines.append(f"interrupted: {interrupted}")
     lines.append(report.describe(max_failures=args.max_failures))
     if args.report_json:
         with open(args.report_json, "w", encoding="utf-8") as handle:
@@ -676,7 +750,13 @@ def _cmd_chaos(args: argparse.Namespace):
         lines.append(f"wrote {args.report_json}")
     if telemetry is not None:
         lines.append(_write_telemetry(args.telemetry_dir, telemetry))
-    code = 0 if (report.failed == 0 or args.allow_failures) else 1
+    if interrupted is not None:
+        # A journaled interrupt is a clean checkpoint (resume continues
+        # it); an unjournaled one lost work and must not look like
+        # success to automation.
+        code = 0 if args.journal else 1
+    else:
+        code = 0 if (report.failed == 0 or args.allow_failures) else 1
     return "\n".join(lines), code
 
 
@@ -733,6 +813,61 @@ def _write_telemetry(directory: str, telemetry) -> str:
         f"telemetry: {span_count} spans -> {trace_path}, "
         f"metrics -> {prom_path}, summary -> {summary_path}"
     )
+
+
+def _cmd_serve(args: argparse.Namespace):
+    import os
+
+    from repro.service.server import LineSearchService, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        rate_capacity=args.rate_capacity,
+        rate_per_second=args.rate_per_second,
+        cache_size=args.cache_size,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        scenario_timeout=args.timeout,
+        executor_jobs=args.jobs,
+        default_method=args.method,
+        parity_check=not args.no_parity_check,
+    )
+    telemetry = previous = None
+    if args.telemetry_dir:
+        from repro.observability import Telemetry, configure
+
+        _prepare_telemetry_dir(args.telemetry_dir)
+        telemetry = Telemetry(
+            metadata={"command": "serve", "state_dir": args.state_dir}
+        )
+        previous = configure(telemetry)
+    try:
+        service = LineSearchService(config)
+        service.start()
+        if args.port_file:
+            tmp = args.port_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(f"{service.port}\n")
+            os.replace(tmp, args.port_file)
+        print(
+            f"linesearch service listening on {service.address} "
+            f"(state: {config.state_dir})",
+            flush=True,
+        )
+        code = service.serve_forever()
+    finally:
+        if telemetry is not None:
+            from repro.observability import configure
+
+            configure(previous)
+    lines = [f"drained; state preserved in {config.state_dir}"]
+    if telemetry is not None:
+        lines.append(_write_telemetry(args.telemetry_dir, telemetry))
+    return "\n".join(lines), code
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> str:
@@ -886,6 +1021,7 @@ _DISPATCH = {
     "schedule": _cmd_schedule,
     "batch": _cmd_batch,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "telemetry": _cmd_telemetry,
     "perf": _cmd_perf,
 }

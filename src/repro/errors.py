@@ -18,6 +18,7 @@ __all__ = [
     "AdversaryError",
     "ExperimentError",
     "CampaignError",
+    "CampaignInterrupted",
     "ScenarioTimeoutError",
     "WorkerCrashError",
     "JournalError",
@@ -87,6 +88,24 @@ class CampaignError(LineSearchError):
     raised *inside* a scenario, which are captured into its
     ``ScenarioResult`` under their own class.
     """
+
+
+class CampaignInterrupted(CampaignError):
+    """A campaign was stopped cooperatively before every scenario ran.
+
+    Raised by :class:`~repro.robustness.executor.CampaignExecutor` when
+    a SIGTERM arrives (or a ``stop_check`` callback fires) mid-campaign.
+    The journal — when one is configured — has been checkpointed with an
+    ``fsync`` before this is raised, so a follow-up run with ``resume``
+    continues exactly where this one stopped.  ``report`` carries the
+    completed results, ``remaining`` the number of scenarios that never
+    ran.
+    """
+
+    def __init__(self, message: str, report=None, remaining: int = 0):
+        super().__init__(message)
+        self.report = report
+        self.remaining = remaining
 
 
 class ScenarioTimeoutError(CampaignError):

@@ -77,7 +77,26 @@ WELL_KNOWN_METRICS = {
         "watchdog_timeouts_total":
             "scenarios killed by the executor's wall-clock watchdog",
         "worker_crashes_total": "worker processes that died mid-scenario",
+        "campaign_interrupts_total":
+            "campaigns stopped cooperatively (SIGTERM / stop_check) "
+            "after a journal checkpoint",
         "journal_flushes_total": "campaign journal flushes, by fsync",
+        "service_requests_total":
+            "service requests handled, by endpoint and status",
+        "service_jobs_submitted_total": "jobs admitted by the service",
+        "service_jobs_completed_total":
+            "jobs finished by the service, by final status",
+        "service_cache_hits_total":
+            "scenario results served from the fingerprint cache",
+        "service_cache_misses_total":
+            "scenario results the fingerprint cache could not serve",
+        "service_overload_rejections_total":
+            "submissions rejected because the admission queue was full",
+        "service_rate_limited_total":
+            "submissions rejected by a client's token bucket",
+        "service_deadline_expirations_total":
+            "jobs cancelled because their deadline passed",
+        "service_drains_total": "graceful drains begun (SIGTERM/SIGINT)",
         "sweep_points_total": "parameter-sweep points evaluated",
         "batch_points_total": "targets evaluated through the batch kernels",
         "batch_compiles_total":
@@ -87,11 +106,17 @@ WELL_KNOWN_METRICS = {
         "simulation_wall_seconds": "wall-clock time of one simulation run",
         "scenario_wall_seconds": "wall-clock time of one campaign scenario",
         "journal_flush_seconds": "wall-clock time of one journal flush",
+        "service_request_seconds":
+            "wall-clock time spent handling one service request",
+        "service_job_seconds": "wall-clock time one job spent executing",
     },
     "gauge": {
         "campaign_scenarios_total": "scenarios in the current campaign",
         "campaign_scenarios_resumed":
             "scenarios skipped because the journal already held them",
+        "service_queue_depth": "jobs waiting in the admission queue",
+        "service_workers_alive": "service worker threads currently alive",
+        "service_jobs_running": "jobs currently executing",
     },
 }
 

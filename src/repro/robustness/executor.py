@@ -45,11 +45,13 @@ import multiprocessing.connection
 import os
 import pickle
 import random
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.errors import InvalidParameterError
+from repro.errors import CampaignInterrupted, InvalidParameterError
 from repro.observability import instrument as obs
 from repro.robustness.campaign import (
     CampaignReport,
@@ -318,6 +320,14 @@ class CampaignExecutor:
             A missing journal file starts a fresh run (so ``resume``
             is safe to pass unconditionally in CI loops).
         checkpoint_every: fsync the journal every N records.
+        handle_sigterm: install a SIGTERM handler for the duration of
+            :meth:`execute` (main thread only) that stops the campaign
+            cooperatively: no new scenarios are dispatched, in-flight
+            pooled scenarios are requeued (left un-journaled for the
+            next ``resume``), the journal is checkpointed with an
+            ``fsync``, and :class:`~repro.errors.CampaignInterrupted`
+            is raised carrying the partial report.  The previous
+            handler is restored on exit either way.
 
     Examples:
         >>> from repro.robustness.campaign import chaos_scenarios
@@ -335,18 +345,24 @@ class CampaignExecutor:
         journal_path: Optional[str] = None,
         resume: bool = False,
         checkpoint_every: int = 1,
+        handle_sigterm: bool = True,
     ):
         if jobs < 1:
             raise InvalidParameterError("jobs must be >= 1")
         if timeout is not None and timeout <= 0:
             raise InvalidParameterError("timeout must be positive")
+        if checkpoint_every < 1:
+            raise InvalidParameterError("checkpoint_every must be >= 1")
         self.jobs = jobs
         self.timeout = timeout
         self.retry_policy = retry_policy or RetryPolicy()
         self.journal_path = journal_path
         self.resume = resume
         self.checkpoint_every = checkpoint_every
+        self.handle_sigterm = handle_sigterm
         self._next_worker_ident = 0
+        self._stop_requested = False
+        self._stop_check: Optional[Callable[[], bool]] = None
 
     # -- public API ----------------------------------------------------
 
@@ -354,61 +370,155 @@ class CampaignExecutor:
         self,
         scenarios: Iterable[Scenario],
         check_invariants: bool = True,
+        stop_check: Optional[Callable[[], bool]] = None,
+        on_result: Optional[Callable[[int, ScenarioResult], None]] = None,
     ) -> CampaignReport:
         """Run the campaign and return its report.
 
         Results appear in scenario order regardless of worker
         completion order, so parallel, sequential, and resumed runs of
         the same seeded grid produce identical reports.
+
+        Args:
+            stop_check: polled between scenarios (and on every pool
+                sweep); returning ``True`` stops the campaign the same
+                way a SIGTERM does — journal checkpoint, then
+                :class:`~repro.errors.CampaignInterrupted` with the
+                partial report.  This is how the serving layer
+                propagates deadlines and drain requests.
+            on_result: called as ``on_result(index, result)`` the
+                moment each scenario's outcome is recorded (journal
+                included), in completion order — the hook behind
+                progress streaming and result caches.
         """
         scenarios = list(scenarios)
         telemetry = obs.current()
-        with obs.span(
-            "campaign.execute", scenarios=len(scenarios), jobs=self.jobs
-        ):
-            journal, completed = self._open_journal(scenarios)
-            results: Dict[int, ScenarioResult] = dict(completed)
+        self._stop_requested = False
+        self._stop_check = stop_check
+        restore_handler = self._install_sigterm()
+        try:
+            with obs.span(
+                "campaign.execute", scenarios=len(scenarios), jobs=self.jobs
+            ):
+                journal, completed = self._open_journal(scenarios)
+                results: Dict[int, ScenarioResult] = dict(completed)
 
-            def record(index: int, result: ScenarioResult) -> None:
-                results[index] = result
+                def record(index: int, result: ScenarioResult) -> None:
+                    results[index] = result
+                    if telemetry is not None:
+                        obs.count("scenarios_completed_total")
+                        if not result.ok:
+                            obs.count(
+                                "scenarios_failed_total",
+                                error=result.error or "?",
+                            )
+                        if result.attempts > 1:
+                            obs.count(
+                                "scenario_retries_total", result.attempts - 1
+                            )
+                    if journal is not None:
+                        journal.record(index, result)
+                    if on_result is not None:
+                        on_result(index, result)
+
+                remaining = [
+                    (i, s)
+                    for i, s in enumerate(scenarios)
+                    if i not in completed
+                ]
                 if telemetry is not None:
-                    obs.count("scenarios_completed_total")
-                    if not result.ok:
-                        obs.count(
-                            "scenarios_failed_total",
-                            error=result.error or "?",
-                        )
-                    if result.attempts > 1:
-                        obs.count(
-                            "scenario_retries_total", result.attempts - 1
-                        )
-                if journal is not None:
-                    journal.record(index, result)
-
-            remaining = [
-                (i, s) for i, s in enumerate(scenarios) if i not in completed
-            ]
-            if telemetry is not None:
-                obs.gauge_set("campaign_scenarios_total", len(scenarios))
-                obs.gauge_set("campaign_scenarios_resumed", len(completed))
-            if self.jobs == 1 and self.timeout is None:
-                self._run_inline(remaining, check_invariants, record)
-            else:
-                pooled, inline = [], []
-                for index, scenario in remaining:
-                    try:
-                        blob = pickle.dumps(scenario)
-                    except Exception:
-                        inline.append((index, scenario))
-                    else:
-                        pooled.append(_Task(index, scenario, blob))
-                self._run_pool(pooled, check_invariants, record)
-                # ad-hoc scenarios (unpicklable factories) cannot cross a
-                # process boundary; they run here without a watchdog
-                self._run_inline(inline, check_invariants, record)
+                    obs.gauge_set("campaign_scenarios_total", len(scenarios))
+                    obs.gauge_set(
+                        "campaign_scenarios_resumed", len(completed)
+                    )
+                if self.jobs == 1 and self.timeout is None:
+                    self._run_inline(remaining, check_invariants, record)
+                else:
+                    pooled, inline = [], []
+                    for index, scenario in remaining:
+                        try:
+                            blob = pickle.dumps(scenario)
+                        except Exception:
+                            inline.append((index, scenario))
+                        else:
+                            pooled.append(_Task(index, scenario, blob))
+                    self._run_pool(pooled, check_invariants, record)
+                    # ad-hoc scenarios (unpicklable factories) cannot cross a
+                    # process boundary; they run here without a watchdog
+                    self._run_inline(inline, check_invariants, record)
+                if self._stopping():
+                    self._checkpoint_and_interrupt(
+                        journal, results, len(scenarios)
+                    )
+        finally:
+            restore_handler()
+            self._stop_check = None
 
         return CampaignReport(
             results=[results[i] for i in sorted(results)]
+        )
+
+    # -- cooperative stop ----------------------------------------------
+
+    def _install_sigterm(self) -> Callable[[], None]:
+        """Install the graceful-stop SIGTERM handler when possible.
+
+        Signal handlers can only live in the main thread; elsewhere
+        (the serving layer's worker threads) the executor relies on
+        ``stop_check`` instead.  Returns a restore callback.
+        """
+        if (
+            not self.handle_sigterm
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return lambda: None
+
+        def _on_sigterm(signum, frame):
+            self._stop_requested = True
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return lambda: None
+        return lambda: signal.signal(signal.SIGTERM, previous)
+
+    def _stopping(self) -> bool:
+        """Whether a SIGTERM or the caller's ``stop_check`` asked us to
+        stop dispatching new work."""
+        if self._stop_requested:
+            return True
+        if self._stop_check is not None and self._stop_check():
+            self._stop_requested = True
+            return True
+        return False
+
+    @staticmethod
+    def _checkpoint_and_interrupt(
+        journal: Optional[CampaignJournal],
+        results: Dict[int, ScenarioResult],
+        total: int,
+    ) -> None:
+        """Durably checkpoint what completed, then raise
+        :class:`~repro.errors.CampaignInterrupted`."""
+        if journal is not None:
+            journal.flush(fsync=True)
+        if obs.is_enabled():
+            obs.count("campaign_interrupts_total")
+        remaining = total - len(results)
+        report = CampaignReport(
+            results=[results[i] for i in sorted(results)]
+        )
+        raise CampaignInterrupted(
+            f"campaign stopped with {remaining} of {total} scenario(s) "
+            "not yet run"
+            + (
+                "; the journal is checkpointed — rerun with resume to "
+                "continue"
+                if journal is not None
+                else ""
+            ),
+            report=report,
+            remaining=remaining,
         )
 
     # -- journal -------------------------------------------------------
@@ -433,6 +543,8 @@ class CampaignExecutor:
 
     def _run_inline(self, tasks, check_invariants, record) -> None:
         for index, scenario in tasks:
+            if self._stopping():
+                return
             attempts = 0
             errors: List[str] = []
             started = time.monotonic() if obs.is_enabled() else 0.0
@@ -457,6 +569,10 @@ class CampaignExecutor:
                         f"{payload['error']}: {payload['error_message']}"
                     )
                     if self.retry_policy.should_retry(scenario, attempts):
+                        if self._stopping():
+                            # requeue: leave the scenario un-journaled
+                            # so a resumed run retries it from scratch
+                            return
                         pause = self.retry_policy.delay(
                             attempts, scenario.spec.seed
                         )
@@ -486,6 +602,11 @@ class CampaignExecutor:
         workers: List[_Worker] = []
         try:
             while pending or any(w.task is not None for w in workers):
+                if self._stopping():
+                    # Drain: stop dispatching; in-flight scenarios are
+                    # abandoned un-journaled (the pool teardown kills
+                    # their workers) so a resumed run requeues them.
+                    return
                 now = time.monotonic()
                 self._grow_pool(workers, pending, context, check_invariants)
                 for worker in list(workers):

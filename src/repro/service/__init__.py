@@ -1,0 +1,72 @@
+"""Search-as-a-service: a fault-tolerant concurrent front-end.
+
+The rest of the library is batch: build scenarios, run them, read a
+report.  This package turns that into a *system that takes traffic* —
+a long-running threaded HTTP server (stdlib only) through which many
+simultaneous clients submit scenarios and campaigns, poll or stream
+progress, and fetch results, with the same robustness story the paper
+demands of its robots:
+
+* **Bounded admission** — a fixed-capacity queue in front of the
+  workers; when it is full, submissions get an explicit ``overloaded``
+  rejection immediately instead of queueing without bound
+  (:mod:`repro.service.queueing`).
+* **Per-client rate limiting** — token buckets keyed by client id
+  (:mod:`repro.service.ratelimit`).
+* **Deadlines** — every job carries one; expired jobs are cancelled,
+  queued or mid-campaign, and the remaining budget propagates into the
+  :class:`~repro.robustness.executor.CampaignExecutor` watchdog.
+* **Result caching** — an LRU keyed by the journal's ``scenario_key``
+  fingerprint serves repeated scenarios without recomputation
+  (:mod:`repro.service.cache`).
+* **Graceful drain** — SIGTERM stops admission, checkpoints every
+  in-flight campaign's journal, and exits 0; nothing is torn.
+* **Crash-safe restart** — ``kill -9`` loses at most the scenarios in
+  flight; restarting on the same state directory requeues interrupted
+  jobs and resumes them byte-identically from their JSONL journals,
+  serving already-computed scenarios from the warmed cache.
+
+Quickstart::
+
+    linesearch serve --state-dir state --port 8080
+
+    from repro.service import ServiceClient
+    client = ServiceClient("127.0.0.1", 8080)
+    job = client.submit_campaign(pairs=[(3, 1)], targets=[1.0, -2.0])
+    report = client.wait(job["job_id"])
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.chaos import ChaosReport, run_service_chaos
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    ERROR_CODES,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    Submission,
+    parse_submission,
+)
+from repro.service.queueing import AdmissionQueue, Job, JobRegistry
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import LineSearchService, ServiceConfig
+
+__all__ = [
+    "ERROR_CODES",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "AdmissionQueue",
+    "ChaosReport",
+    "Job",
+    "JobRegistry",
+    "LineSearchService",
+    "RateLimiter",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "Submission",
+    "TokenBucket",
+    "parse_submission",
+    "run_service_chaos",
+]

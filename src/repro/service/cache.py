@@ -1,0 +1,141 @@
+"""Scenario-fingerprint result cache: bounded LRU with hit/miss counters.
+
+The cache key is :func:`~repro.robustness.campaign.scenario_key` — the
+same deterministic digest the campaign journal uses — so anything ever
+journaled can be served again without recomputation.  That identity is
+what makes the cache *correct*: a scenario spec fully determines its
+outcome (seeds included), so equal keys imply equal results.  The
+property tests in ``tests/robustness/test_scenario_key_property.py``
+pin that contract; drift there would mean wrong answers served.
+
+The cache is strictly bounded (LRU eviction at ``max_entries``) and
+thread-safe; it never grows with traffic.  On server restart it is
+*warmed* from the campaign journals in the state directory, which is
+how a resumed campaign's already-computed scenarios are served as
+cache hits rather than recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import InvalidParameterError
+from repro.observability import instrument as obs
+from repro.robustness.campaign import ScenarioResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of ``scenario_key`` → result.
+
+    Only successful results are cached — a failure may be transient
+    (a flaky stochastic draw, a watchdog kill under load) and must not
+    be served as the scenario's answer forever.
+
+    Examples:
+        >>> from repro.robustness.campaign import ScenarioSpec, ScenarioResult
+        >>> cache = ResultCache(max_entries=2)
+        >>> spec = ScenarioSpec(3, 1, 2.0, "none", 7)
+        >>> cache.put("k1", ScenarioResult(spec=spec, ok=True))
+        >>> cache.get("k1") is not None
+        True
+        >>> cache.get("missing") is None
+        True
+        >>> cache.stats()["hits"], cache.stats()["misses"]
+        (1, 1)
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise InvalidParameterError(
+                "cache max_entries must be >= 1 "
+                "(disable the cache at the service layer instead)"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[ScenarioResult]:
+        """The cached result for ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                obs.count("service_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            obs.count("service_cache_hits_total")
+            return result
+
+    def put(self, key: str, result: ScenarioResult) -> None:
+        """Insert ``key`` → ``result``, evicting the LRU entry at capacity.
+
+        Failed results are ignored (see class docstring).
+        """
+        if not result.ok:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters and occupancy, for readiness output."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "capacity": self.max_entries,
+            }
+
+    # -- warm-up -------------------------------------------------------
+
+    def warm_from_journal(self, path: str) -> int:
+        """Load every successful outcome of one campaign journal.
+
+        Tolerates missing or unreadable journals (returns 0) — warming
+        is best-effort; a cold cache only costs recomputation.
+        """
+        from repro.errors import JournalError
+        from repro.robustness.journal import CampaignJournal
+
+        if not os.path.exists(path):
+            return 0
+        try:
+            journal = CampaignJournal.load(path)
+        except (JournalError, OSError):
+            return 0
+        loaded = 0
+        for entry in journal.entries:
+            try:
+                result = ScenarioResult.from_dict(entry["result"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if result.ok:
+                self.put(str(entry.get("key")), result)
+                loaded += 1
+        return loaded
+
+    def warm_from_journals(self, paths: Iterable[str]) -> int:
+        """Warm from many journals; returns total results loaded."""
+        return sum(self.warm_from_journal(path) for path in paths)

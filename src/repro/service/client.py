@@ -1,0 +1,215 @@
+"""A small stdlib HTTP client for the search service.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` around the wire
+protocol of :mod:`repro.service.protocol`: submit scenarios or
+campaigns, poll jobs, block until completion, stream progress events,
+and read health/readiness/metrics.  Server-side refusals
+(``overloaded``, ``rate_limited``, ``shutting_down``, ...) surface as
+:class:`~repro.service.protocol.ServiceError` with the wire error
+code, so callers branch on ``exc.code`` rather than parsing messages.
+
+The client is deliberately thin — no retries, no backoff, no pooling —
+because the tests and the chaos harness need to observe the server's
+raw behaviour (an ``overloaded`` refusal must stay visible, not be
+retried away).  Production callers can layer policy on top.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import LineSearchError
+from repro.service.protocol import ERROR_CODES, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.LineSearchService`.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8347"`` (no trailing slash
+            needed).
+        timeout: socket timeout per request, seconds.
+        client_id: the client identity sent with submissions — the
+            unit of server-side rate limiting.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 client_id: str = "anonymous"):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise _error_from(exc) from None
+        except urllib.error.URLError as exc:
+            raise ConnectionError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- submission ----------------------------------------------------
+
+    def submit_scenario(self, spec: Dict[str, Any],
+                        **options: Any) -> Dict[str, Any]:
+        """Submit one scenario spec (``{"n", "f", "target", ...}``).
+
+        Returns the acceptance body: either ``{"cached": true,
+        "result": {...}}`` served straight from the result cache, or
+        ``{"cached": false, "job_id": ...}`` for a queued job.
+        """
+        payload = {"spec": spec, "client": self.client_id, **options}
+        return self._request("POST", "/v1/scenarios", payload)
+
+    def submit_campaign(self, specs: Optional[List[Dict[str, Any]]] = None,
+                        **options: Any) -> Dict[str, Any]:
+        """Submit a campaign: an explicit ``specs`` list, or grid
+        fields (``pairs=``, ``targets=``, ``faults=``, ``seed=``)
+        passed as keyword options."""
+        payload: Dict[str, Any] = {"client": self.client_id, **options}
+        if specs is not None:
+            payload["specs"] = specs
+        return self._request("POST", "/v1/campaigns", payload)
+
+    # -- jobs ----------------------------------------------------------
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/jobs")
+
+    def poll(self, job_id: str) -> Dict[str, Any]:
+        """The job's current state/progress view."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The terminal report envelope; ``conflict`` if not done yet."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll_interval: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the report envelope.
+
+        Raises :class:`TimeoutError` if the job is still live after
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.poll(job_id)
+            if view["state"] in ("done", "failed", "deadline_exceeded"):
+                return self.result(job_id)
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def stream(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Yield progress events (JSON objects) until the stream ends.
+
+        The first event is a ``snapshot`` of the job view; the stream
+        closes when the job is terminal or the server drains.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise _error_from(exc) from None
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def ready(self) -> Dict[str, Any]:
+        """The readiness body; a not-ready 503 returns the body (with
+        ``ready: false``) rather than raising — the body says why."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/readyz",
+            headers={"Accept": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                return json.loads(exc.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                raise _error_from(exc) from None
+        except urllib.error.URLError as exc:
+            raise ConnectionError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def metrics(self) -> str:
+        """The live Prometheus exposition text."""
+        request = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise _error_from(exc) from None
+
+    def wait_ready(self, timeout: float = 10.0,
+                   poll_interval: float = 0.05) -> Dict[str, Any]:
+        """Block until the server answers ready; for tests/startup."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                body = self.ready()
+                if body.get("ready"):
+                    return body
+            except (ConnectionError, LineSearchError) as exc:
+                last = exc
+            time.sleep(poll_interval)
+        raise TimeoutError(
+            f"service at {self.base_url} not ready after {timeout}s"
+            + (f" (last error: {last})" if last else "")
+        )
+
+
+def _error_from(exc: urllib.error.HTTPError) -> Exception:
+    """Convert an HTTP error response into the matching ServiceError."""
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+        code = body.get("error")
+        message = body.get("message", "")
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        code, message = None, ""
+    if code in ERROR_CODES:
+        return ServiceError(code, message or f"HTTP {exc.code}")
+    return LineSearchError(f"HTTP {exc.code}: {message or exc.reason}")

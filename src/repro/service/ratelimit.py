@@ -1,0 +1,143 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+A :class:`TokenBucket` holds up to ``capacity`` tokens and refills at
+``refill_rate`` tokens per second; each admission costs one token.
+Bursts up to ``capacity`` are allowed, sustained throughput converges
+to ``refill_rate``.  The :class:`RateLimiter` keeps one bucket per
+client id, bounded: the least-recently-seen client's bucket is evicted
+once ``max_clients`` distinct ids have been seen, so an adversary
+minting client ids cannot grow server memory without bound.
+
+Both classes validate their configuration at construction — a
+zero-capacity bucket or a non-positive refill rate would otherwise
+deny (or admit) everything silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket over a monotonic clock.
+
+    Examples:
+        >>> clock = [0.0]
+        >>> bucket = TokenBucket(capacity=2, refill_rate=1.0,
+        ...                      clock=lambda: clock[0])
+        >>> bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()
+        (True, True, False)
+        >>> clock[0] = 1.0   # one second later: one token back
+        >>> bucket.try_acquire()
+        True
+    """
+
+    __slots__ = ("capacity", "refill_rate", "_clock", "_tokens", "_stamp",
+                 "_lock")
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity <= 0:
+            raise InvalidParameterError(
+                f"token bucket capacity must be positive, got {capacity!r}"
+            )
+        if refill_rate <= 0:
+            raise InvalidParameterError(
+                f"token bucket refill_rate must be positive, "
+                f"got {refill_rate!r}"
+            )
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            self.capacity, self._tokens + elapsed * self.refill_rate
+        )
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (after refill), for introspection."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class RateLimiter:
+    """One token bucket per client id, with bounded client tracking.
+
+    Examples:
+        >>> limiter = RateLimiter(capacity=1, refill_rate=0.001)
+        >>> limiter.allow("alice"), limiter.allow("alice")
+        (True, False)
+        >>> limiter.allow("bob")   # a different client has its own bucket
+        True
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_rate: float,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_clients < 1:
+            raise InvalidParameterError(
+                f"max_clients must be >= 1, got {max_clients!r}"
+            )
+        # Validate capacity/rate eagerly (not at first request) by
+        # constructing a throwaway bucket.
+        TokenBucket(capacity, refill_rate, clock=clock)
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def allow(self, client: str) -> bool:
+        """Whether ``client`` may submit now; consumes a token if so."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.capacity, self.refill_rate, clock=self._clock
+                )
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(client)
+        return bucket.try_acquire()
+
+    def stats(self) -> Dict[str, Any]:
+        """Tracked-client count and configuration, for readiness output."""
+        with self._lock:
+            return {
+                "clients_tracked": len(self._buckets),
+                "capacity": self.capacity,
+                "refill_per_second": self.refill_rate,
+            }

@@ -1,0 +1,179 @@
+"""Tests for cooperative stop and SIGTERM handling in the executor.
+
+The satellite fix under test: ``CampaignExecutor`` used to ignore
+SIGTERM entirely — an orchestrator draining a node lost all in-flight
+campaign state.  Now SIGTERM (and the programmatic ``stop_check``)
+checkpoints the journal, leaves unfinished scenarios un-journaled for
+requeue, and surfaces :class:`CampaignInterrupted` carrying the
+partial report.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.errors import CampaignInterrupted, InvalidParameterError
+from repro.robustness import (
+    CampaignExecutor,
+    CampaignJournal,
+    chaos_scenarios,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _scenarios(count=8, seed=13):
+    targets = [1.0 + 0.5 * t for t in range(count // 2)]
+    return chaos_scenarios([(3, 1), (4, 2)], targets, ["none"], seed=seed)
+
+
+class TestConstructionValidation:
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(InvalidParameterError, match="checkpoint_every"):
+            CampaignExecutor(checkpoint_every=0)
+
+
+class TestStopCheck:
+    def test_stop_check_interrupts_and_reports_partial(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        scenarios = _scenarios(8)
+        done = []
+
+        executor = CampaignExecutor(
+            journal_path=journal, handle_sigterm=False
+        )
+        with pytest.raises(CampaignInterrupted) as info:
+            executor.execute(
+                scenarios,
+                stop_check=lambda: len(done) >= 3,
+                on_result=lambda index, result: done.append(index),
+            )
+        exc = info.value
+        assert exc.remaining == len(scenarios) - len(exc.report.results)
+        assert 0 < len(exc.report.results) < len(scenarios)
+        # everything reported is durably journaled; nothing else is
+        entries = CampaignJournal.load(journal).entries
+        assert len(entries) == len(exc.report.results)
+
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        scenarios = _scenarios(8)
+        baseline = CampaignExecutor(handle_sigterm=False).execute(
+            _scenarios(8)
+        )
+
+        done = []
+        with pytest.raises(CampaignInterrupted):
+            CampaignExecutor(
+                journal_path=journal, handle_sigterm=False
+            ).execute(
+                scenarios,
+                stop_check=lambda: len(done) >= 3,
+                on_result=lambda index, result: done.append(index),
+            )
+        resumed = CampaignExecutor(
+            journal_path=journal, resume=True, handle_sigterm=False
+        ).execute(_scenarios(8))
+        assert resumed.to_json() == baseline.to_json()
+
+    def test_stop_before_first_scenario_reports_empty(self):
+        executor = CampaignExecutor(handle_sigterm=False)
+        with pytest.raises(CampaignInterrupted) as info:
+            executor.execute(_scenarios(4), stop_check=lambda: True)
+        assert info.value.report.results == []
+        assert info.value.remaining == 4
+
+    def test_on_result_sees_every_result_in_order(self):
+        seen = []
+        report = CampaignExecutor(handle_sigterm=False).execute(
+            _scenarios(6),
+            on_result=lambda index, result: seen.append(index),
+        )
+        assert seen == list(range(len(report.results)))
+
+
+SIGTERM_DRIVER = textwrap.dedent(
+    """
+    import sys
+    from repro.robustness import CampaignExecutor, chaos_scenarios
+    from repro.errors import CampaignInterrupted
+
+    journal, ready_flag = sys.argv[1], sys.argv[2]
+    targets = [1.0 + 0.25 * t for t in range(50)]
+    scenarios = chaos_scenarios([(3, 1), (4, 2)], targets, ["none"], seed=3)
+
+    started = []
+    def on_result(index, result):
+        if not started:
+            started.append(True)
+            open(ready_flag, "w").close()  # signal: mid-campaign now
+
+    executor = CampaignExecutor(journal_path=journal)
+    try:
+        executor.execute(scenarios, on_result=on_result)
+    except CampaignInterrupted as exc:
+        print(f"interrupted with {len(exc.report.results)} done")
+        sys.exit(0)
+    print("finished uninterrupted")
+    sys.exit(3)
+    """
+)
+
+
+class TestSigterm:
+    """SIGTERM against a live campaign process: flush and exit 0."""
+
+    def test_sigterm_checkpoints_and_exits_zero(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        ready_flag = str(tmp_path / "ready")
+        script = tmp_path / "driver.py"
+        script.write_text(SIGTERM_DRIVER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+
+        process = subprocess.Popen(
+            [sys.executable, str(script), journal, ready_flag],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while not os.path.exists(ready_flag):
+                assert process.poll() is None, process.communicate()[1]
+                assert time.monotonic() < deadline, "campaign never started"
+                time.sleep(0.005)
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=60.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+        assert process.returncode == 0, err
+        assert "interrupted" in out
+
+        # the checkpoint is durable and resumable: no torn lines, and
+        # the resumed run completes with every scenario accounted for
+        entries = CampaignJournal.load(journal).entries
+        assert 0 < len(entries) < 100
+        targets = [1.0 + 0.25 * t for t in range(50)]
+        scenarios = chaos_scenarios(
+            [(3, 1), (4, 2)], targets, ["none"], seed=3
+        )
+        resumed = CampaignExecutor(
+            journal_path=journal, resume=True, handle_sigterm=False
+        ).execute(scenarios)
+        baseline = CampaignExecutor(handle_sigterm=False).execute(
+            chaos_scenarios([(3, 1), (4, 2)], targets, ["none"], seed=3)
+        )
+        assert resumed.to_json() == baseline.to_json()

@@ -1,0 +1,146 @@
+"""Property tests pinning the ``scenario_key`` stability contract.
+
+``scenario_key`` is the identity under the campaign journal, the
+service result cache, and resume-after-crash matching.  Three
+properties keep those subsystems honest:
+
+1. the key is a pure function of the spec — stable across processes
+   (no ``PYTHONHASHSEED`` dependence) and across construction or
+   insertion order;
+2. any change to any parameter changes the key (no two distinct specs
+   may collide onto one cached result);
+3. the key round-trips through serialization: a spec rebuilt from its
+   ``to_dict`` form keys identically, which is exactly what journal
+   resume and cache warm-up rely on.
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, strategies as st
+
+from repro.robustness import ScenarioSpec, scenario_key
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+FAULTS = [
+    "none", "adversarial", "random", "fixed:0", "crash_stop",
+    "byzantine", "probabilistic:0.3",
+]
+
+
+def spec_strategy():
+    return st.builds(
+        ScenarioSpec,
+        n=st.integers(min_value=2, max_value=60),
+        f=st.integers(min_value=0, max_value=20),
+        target=st.floats(
+            min_value=-100.0, max_value=100.0,
+            allow_nan=False, allow_infinity=False,
+        ).filter(lambda t: t != 0.0),
+        fault=st.sampled_from(FAULTS),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+
+
+class TestStability:
+    @given(spec=spec_strategy())
+    def test_key_is_deterministic_per_spec(self, spec):
+        rebuilt = ScenarioSpec(
+            n=spec.n, f=spec.f, target=spec.target,
+            fault=spec.fault, seed=spec.seed,
+        )
+        assert scenario_key(spec) == scenario_key(rebuilt)
+
+    @given(spec=spec_strategy())
+    def test_key_survives_serialization_round_trip(self, spec):
+        assert scenario_key(
+            ScenarioSpec.from_dict(spec.to_dict())
+        ) == scenario_key(spec)
+
+    @given(specs=st.lists(spec_strategy(), min_size=2, max_size=8))
+    def test_key_independent_of_evaluation_order(self, specs):
+        forward = [scenario_key(s) for s in specs]
+        backward = [scenario_key(s) for s in reversed(specs)]
+        assert forward == list(reversed(backward))
+
+    def test_key_is_short_stable_hex(self):
+        key = scenario_key(ScenarioSpec(3, 1, 2.0, "none", 7))
+        assert len(key) == 16
+        int(key, 16)  # hex or raise
+
+
+class TestSensitivity:
+    @given(spec=spec_strategy())
+    def test_any_parameter_change_changes_the_key(self, spec):
+        base = scenario_key(spec)
+        variants = [
+            ScenarioSpec(spec.n + 1, spec.f, spec.target, spec.fault,
+                         spec.seed),
+            ScenarioSpec(spec.n, spec.f + 1, spec.target, spec.fault,
+                         spec.seed),
+            ScenarioSpec(spec.n, spec.f, spec.target + 1.0, spec.fault,
+                         spec.seed),
+            ScenarioSpec(spec.n, spec.f, spec.target,
+                         "fixed:1" if spec.fault != "fixed:1"
+                         else "fixed:0", spec.seed),
+            ScenarioSpec(spec.n, spec.f, spec.target, spec.fault,
+                         (spec.seed + 1) % 2**32),
+        ]
+        for variant in variants:
+            assert scenario_key(variant) != base, variant
+
+    @given(specs=st.lists(spec_strategy(), min_size=2, max_size=16,
+                          unique=True))
+    def test_distinct_specs_never_collide(self, specs):
+        keys = {scenario_key(s) for s in specs}
+        assert len(keys) == len(specs)
+
+
+CROSS_PROCESS_SCRIPT = """
+import json, sys
+from repro.robustness import ScenarioSpec, scenario_key
+specs = json.loads(sys.stdin.read())
+print(json.dumps([scenario_key(ScenarioSpec.from_dict(s)) for s in specs]))
+"""
+
+
+class TestCrossProcess:
+    def test_keys_stable_across_processes_and_hash_seeds(self, tmp_path):
+        """The journal/cache identity must not depend on anything
+        process-local: run the same specs through fresh interpreters
+        with different ``PYTHONHASHSEED`` values and demand identical
+        keys everywhere."""
+        import json
+
+        specs = [
+            ScenarioSpec(3, 1, 2.0, "none", 7),
+            ScenarioSpec(4, 2, -1.5, "byzantine", 123456),
+            ScenarioSpec(41, 20, 99.25, "probabilistic:0.3", 2**31),
+            ScenarioSpec(2, 0, 0.125, "fixed:0", 0),
+        ]
+        payload = json.dumps([s.to_dict() for s in specs])
+        local = [scenario_key(s) for s in specs]
+
+        script = tmp_path / "keys.py"
+        script.write_text(CROSS_PROCESS_SCRIPT)
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+            env["PYTHONHASHSEED"] = hash_seed
+            out = subprocess.run(
+                [sys.executable, str(script)],
+                input=payload,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+                check=True,
+            )
+            assert json.loads(out.stdout) == local, (
+                f"keys drifted under PYTHONHASHSEED={hash_seed}"
+            )

@@ -1,0 +1,84 @@
+"""Tests for token-bucket rate limiting."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_config_validated_at_construction(self):
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            TokenBucket(capacity=0, refill_rate=1.0)
+        with pytest.raises(InvalidParameterError, match="refill_rate"):
+            TokenBucket(capacity=1, refill_rate=0.0)
+        with pytest.raises(InvalidParameterError, match="refill_rate"):
+            TokenBucket(capacity=1, refill_rate=-2.0)
+
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=3, refill_rate=1.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2, refill_rate=2.0, clock=clock)
+        bucket.try_acquire(), bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.now = 0.5  # half a second at 2/s -> one token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(capacity=2, refill_rate=100.0, clock=clock)
+        clock.now = 1000.0
+        assert bucket.available() == pytest.approx(2.0)
+
+
+class TestRateLimiter:
+    def test_config_validated_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            RateLimiter(capacity=0, refill_rate=1.0)
+        with pytest.raises(InvalidParameterError):
+            RateLimiter(capacity=1, refill_rate=-1.0)
+        with pytest.raises(InvalidParameterError, match="max_clients"):
+            RateLimiter(capacity=1, refill_rate=1.0, max_clients=0)
+
+    def test_clients_are_isolated(self):
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=1, refill_rate=0.001, clock=clock)
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")
+
+    def test_client_tracking_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(
+            capacity=1, refill_rate=0.001, max_clients=4, clock=clock
+        )
+        for ident in range(100):
+            limiter.allow(f"client-{ident}")
+        assert limiter.stats()["clients_tracked"] == 4
+
+    def test_evicted_client_gets_a_fresh_bucket(self):
+        # eviction forgives history: an evicted client that returns is
+        # treated as new (full burst) rather than still-empty
+        clock = FakeClock()
+        limiter = RateLimiter(
+            capacity=1, refill_rate=0.001, max_clients=1, clock=clock
+        )
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        limiter.allow("bob")  # evicts alice
+        assert limiter.allow("alice")
