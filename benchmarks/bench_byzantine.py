@@ -1,0 +1,194 @@
+"""Confirmation-protocol overhead: Byzantine commit vs crash detection.
+
+Runs the same ``(n, f)`` x target grid two ways — the crash-fault event
+engine (detection terminates the search) and the Byzantine confirmation
+protocol under worst-case lying robots (termination needs ``f + 1``
+confirming votes) — and writes both overheads to ``BENCH_byzantine.json``:
+
+* **commit overhead**: the measured commit-time competitive ratio per
+  pair under *silent* worst-case liars against the closed-form
+  ``2 rho + 1`` bound of arXiv:1611.08209 (the protocol's price in
+  *search time* — the bound's regime: silence maximizes commit delay
+  that lying cannot);
+* **alarm overhead**: the same ratios under liars that also *raise*
+  false alarms — each refuted alarm diverts verifiers, so these may
+  exceed the silent bound by the (bounded) refutation delays;
+* **wall overhead**: protocol-simulation seconds over engine seconds
+  (its price in *simulation throughput*).
+
+The assertions are the subsystem's acceptance bar: every silent-case
+commit ratio stays within the closed-form bound, every run commits on
+the true target only, and the protocol simulation stays within
+``MAX_WALL_OVERHEAD`` of the plain engine.
+
+Runs standalone (no pytest plugins required)::
+
+    PYTHONPATH=src python benchmarks/bench_byzantine.py
+
+or as plain pytest tests (``pytest benchmarks/bench_byzantine.py``).
+"""
+
+import json
+import math
+import os
+import time
+
+from repro.byzantine import ByzantineSearchSimulation, worst_case_liars
+from repro.core import byzantine_confirmation_bound
+from repro.robots import (
+    AdversarialFaults,
+    BehavioralFaults,
+    ByzantineAdversary,
+    CrashDetectionFault,
+    Fleet,
+)
+from repro.schedule import ByzantineConfirmationAlgorithm
+from repro.simulation import SearchSimulation
+
+#: The acceptance bar on simulation throughput: the confirmation
+#: protocol (claims, verifier diversion, votes) may cost at most this
+#: factor over the plain crash-fault engine on the same grid.
+MAX_WALL_OVERHEAD = 30.0
+
+#: Tolerance on the commit-ratio bound check (relative).
+BOUND_RTOL = 1e-9
+
+#: The pinned grid: every pair satisfies n >= 2f + 1.
+PAIRS = ((3, 1), (5, 2), (7, 3))
+TARGETS = (2.0, -3.0, 5.0, -9.0)
+
+OUTPUT = os.path.join(os.path.dirname(__file__), "BENCH_byzantine.json")
+
+
+def time_call(fn, repeats=3):
+    """Best-of-``repeats`` wall time of ``fn()`` (seconds)."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _crash_sweep(pairs=PAIRS, targets=TARGETS):
+    for n, f in pairs:
+        fleet = Fleet.from_algorithm(ByzantineConfirmationAlgorithm(n, f))
+        for target in targets:
+            SearchSimulation(
+                fleet, target, fault_model=AdversarialFaults(f)
+            ).run()
+
+
+def _byzantine_sweep(pairs=PAIRS, targets=TARGETS):
+    for n, f in pairs:
+        algorithm = ByzantineConfirmationAlgorithm(n, f)
+        for target in targets:
+            ByzantineSearchSimulation(
+                Fleet.from_algorithm(algorithm),
+                target,
+                fault_model=ByzantineAdversary(f),
+            ).run()
+
+
+def _silent_worst_case(fleet, target, f):
+    """Silent liars on the first ``f`` visitors — the bound's regime."""
+    return BehavioralFaults(
+        {i: CrashDetectionFault() for i in worst_case_liars(fleet, target, f)}
+    )
+
+
+def measure_commit_ratios(pairs=PAIRS, targets=TARGETS):
+    """Per-pair sup of the measured commit-time competitive ratio, under
+    silent worst-case liars (gated by the closed-form ``2 rho + 1``
+    bound) and under alarm-raising liars (reported, truth-gated only)."""
+    ratios = {}
+    for n, f in pairs:
+        algorithm = ByzantineConfirmationAlgorithm(n, f)
+        silent_sup = alarm_sup = 0.0
+        for target in targets:
+            fleet = Fleet.from_algorithm(algorithm)
+            for label, model in (
+                ("silent", _silent_worst_case(fleet, target, f)),
+                ("alarm", ByzantineAdversary(f)),
+            ):
+                outcome = ByzantineSearchSimulation(
+                    Fleet.from_algorithm(algorithm), target, fault_model=model
+                ).run()
+                assert outcome.committed_truthfully, (
+                    f"({n},{f}) {label} target {target}: committed "
+                    f"{outcome.committed_position} != target"
+                )
+                if label == "silent":
+                    silent_sup = max(silent_sup, outcome.competitive_ratio)
+                else:
+                    alarm_sup = max(alarm_sup, outcome.competitive_ratio)
+        ratios[f"{n},{f}"] = {
+            "silent_sup": silent_sup,
+            "alarm_sup": alarm_sup,
+            "bound": byzantine_confirmation_bound(n, f),
+        }
+    return ratios
+
+
+def run_benchmark(repeats=3):
+    """Time both sweeps and measure commit ratios; return the report."""
+    seconds = {
+        "crash_engine": time_call(_crash_sweep, repeats),
+        "byzantine_protocol": time_call(_byzantine_sweep, repeats),
+    }
+    return {
+        "format": "linesearch-bench-byzantine",
+        "version": 1,
+        "pairs": [list(p) for p in PAIRS],
+        "targets": list(TARGETS),
+        "repeats": repeats,
+        "seconds": seconds,
+        "wall_overhead": seconds["byzantine_protocol"]
+        / seconds["crash_engine"],
+        "commit_ratios": measure_commit_ratios(),
+    }
+
+
+def write_report(report, path=OUTPUT):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_bench_byzantine_commit_within_bound():
+    """Silent-case commit ratios stay within the closed-form bound."""
+    for key, entry in measure_commit_ratios().items():
+        assert entry["silent_sup"] <= entry["bound"] * (1 + BOUND_RTOL), (
+            f"pair ({key}): silent sup {entry['silent_sup']:.6f} "
+            f"exceeds bound {entry['bound']:.6f}"
+        )
+
+
+def test_bench_byzantine_wall_overhead():
+    """Protocol simulation stays within the throughput budget."""
+    report = run_benchmark()
+    write_report(report)
+    assert report["wall_overhead"] <= MAX_WALL_OVERHEAD, (
+        f"confirmation protocol costs {report['wall_overhead']:.1f}x the "
+        f"crash engine (budget {MAX_WALL_OVERHEAD}x); see {OUTPUT}"
+    )
+
+
+def main():
+    report = run_benchmark()
+    path = write_report(report)
+    for name, secs in sorted(report["seconds"].items()):
+        print(f"{name:>20}: {secs:.4f}s")
+    print(f"{'wall overhead':>20}: {report['wall_overhead']:.2f}x")
+    for pair, entry in sorted(report["commit_ratios"].items()):
+        print(
+            f"{'commit CR ' + pair:>20}: silent {entry['silent_sup']:.4f} "
+            f"(bound {entry['bound']:.4f}), "
+            f"alarms {entry['alarm_sup']:.4f}"
+        )
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,12 @@ faulty (they traverse but never detect).  This package implements:
 * the **Theorem 2 lower bound** both as a root solve and as an
   executable adversary game;
 * experiment harnesses regenerating **Table 1 and Figure 5** (plus the
-  illustrative Figures 1-4).
+  illustrative Figures 1-4);
+* a **Byzantine confirmation layer** (arXiv:1611.08209): claims commit
+  only after ``f + 1`` confirming votes, with the closed-form
+  ``2 rho + 1`` commit-time bound and lying-robot chaos campaigns;
+* an **expected-time objective** for probabilistic detection faults
+  (arXiv:2303.15608).
 
 Quickstart::
 
@@ -42,14 +47,26 @@ from repro.baselines import (
     SplitDoubling,
     TwoGroupAlgorithm,
 )
+from repro.byzantine import (
+    ByzantineOutcome,
+    ByzantineSearchSimulation,
+    ConfirmationProtocol,
+    simulate_byzantine_search,
+)
 from repro.core import (
+    ExpectedTimeEstimate,
     Regime,
     SearchParameters,
     algorithm_competitive_ratio,
     asymptotic_cr,
+    byzantine_confirmation_bound,
+    byzantine_quorum,
     competitive_ratio,
+    expected_competitive_ratio,
+    expected_detection_time,
     lower_bound,
     max_fault_budget,
+    min_byzantine_fleet,
     min_fleet_size,
     odd_critical_cr,
     optimal_beta,
@@ -90,6 +107,7 @@ from repro.perf import (
 from repro.robots import (
     AdversarialFaults,
     BehavioralFaults,
+    ByzantineAdversary,
     ByzantineFalseAlarmFault,
     CrashDetectionFault,
     CrashStopFault,
@@ -111,6 +129,7 @@ from repro.robustness import (
     run_campaign,
 )
 from repro.schedule import (
+    ByzantineConfirmationAlgorithm,
     CustomBetaAlgorithm,
     ProportionalAlgorithm,
     ProportionalSchedule,
@@ -139,7 +158,12 @@ __all__ = [
     "BatchError",
     "BatchEvaluator",
     "BehavioralFaults",
+    "ByzantineAdversary",
+    "ByzantineConfirmationAlgorithm",
     "ByzantineFalseAlarmFault",
+    "ByzantineOutcome",
+    "ByzantineSearchSimulation",
+    "ConfirmationProtocol",
     "CampaignError",
     "CampaignExecutor",
     "CampaignJournal",
@@ -152,6 +176,7 @@ __all__ = [
     "CustomBetaAlgorithm",
     "DelayedGroupDoubling",
     "DoublingTrajectory",
+    "ExpectedTimeEstimate",
     "ExperimentError",
     "FaultBehavior",
     "FaultModel",
@@ -196,15 +221,20 @@ __all__ = [
     "algorithm_competitive_ratio",
     "asymptotic_cr",
     "available_backends",
+    "byzantine_confirmation_bound",
+    "byzantine_quorum",
     "chaos_scenarios",
     "compare_reports",
     "compile_trajectory",
     "competitive_ratio",
     "disable_telemetry",
     "enable_telemetry",
+    "expected_competitive_ratio",
+    "expected_detection_time",
     "lower_bound",
     "max_fault_budget",
     "measure_competitive_ratio",
+    "min_byzantine_fleet",
     "min_fleet_size",
     "odd_critical_cr",
     "optimal_beta",
@@ -214,6 +244,7 @@ __all__ = [
     "run_campaign",
     "run_suite",
     "schedule_competitive_ratio",
+    "simulate_byzantine_search",
     "simulate_search",
     "theorem2_lower_bound",
 ]

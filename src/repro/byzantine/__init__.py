@@ -1,0 +1,59 @@
+"""Byzantine-tolerant search: voting/confirmation protocols.
+
+The first *algorithmic* robustness layer of the reproduction: instead
+of trusting the first detection announcement (fatal when robots can
+lie — arXiv:1611.08209), a claimed detection is only **committed**
+after ``f + 1`` independent robot confirmations at the claimed point,
+and refuted lies send the diverted verifiers back to their schedules.
+
+* :mod:`repro.byzantine.protocol` — the claim/vote state machine;
+* :mod:`repro.byzantine.simulate` — the event simulation with
+  verifier diversion and refute-resume delay accounting;
+* :mod:`repro.byzantine.outcome` — :class:`ByzantineOutcome`, the
+  protocol-aware :class:`~repro.simulation.metrics.SearchOutcome`;
+* :mod:`repro.byzantine.invariants` — "no termination on an
+  unconfirmed claim" audits;
+* :mod:`repro.byzantine.predictor` — semi-analytic commit times for
+  validating the simulation against arXiv:1611.08209's bounds.
+
+The matching closed forms live in :mod:`repro.core.byzantine`, the
+schedule wrapper in :mod:`repro.schedule.byzantine`, and campaign /
+service / CLI wiring in :mod:`repro.robustness.campaign`,
+:mod:`repro.service`, and ``linesearch chaos --protocol confirmation``.
+"""
+
+from repro.byzantine.invariants import (
+    audit_byzantine_outcome,
+    check_byzantine_outcome,
+)
+from repro.byzantine.outcome import ByzantineOutcome
+from repro.byzantine.predictor import (
+    predicted_commit_ratio,
+    predicted_commit_time,
+    worst_case_liars,
+)
+from repro.byzantine.protocol import (
+    ClaimRecord,
+    ClaimState,
+    ConfirmationProtocol,
+    Vote,
+)
+from repro.byzantine.simulate import (
+    ByzantineSearchSimulation,
+    simulate_byzantine_search,
+)
+
+__all__ = [
+    "ByzantineOutcome",
+    "ByzantineSearchSimulation",
+    "ClaimRecord",
+    "ClaimState",
+    "ConfirmationProtocol",
+    "Vote",
+    "audit_byzantine_outcome",
+    "check_byzantine_outcome",
+    "predicted_commit_ratio",
+    "predicted_commit_time",
+    "simulate_byzantine_search",
+    "worst_case_liars",
+]

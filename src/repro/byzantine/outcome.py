@@ -1,0 +1,73 @@
+"""Outcome container for confirmation-protocol runs.
+
+:class:`ByzantineOutcome` extends the engine's
+:class:`~repro.simulation.metrics.SearchOutcome` — same detection
+time / detecting robot / competitive-ratio surface (so executors,
+reports, and invariant plumbing treat it uniformly) — with the
+protocol-level facts: the committed position, the quorum in force, and
+how many claims were raised and refuted along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulation.metrics import SearchOutcome
+
+__all__ = ["ByzantineOutcome"]
+
+
+@dataclass(frozen=True)
+class ByzantineOutcome(SearchOutcome):
+    """Result of one confirmation-protocol search.
+
+    Attributes (beyond :class:`SearchOutcome`):
+        committed_position: Position of the committed claim, or ``None``
+            when the search never terminated.  Under the protocol's
+            guarantee this equals ``target`` whenever at most ``f``
+            robots lie.
+        quorum: Votes that were required to commit (``f + 1``).
+        claims_raised: Total claims opened (genuine + lies).
+        claims_refuted: Claims exposed as lies and discarded.
+
+    ``detection_time`` is the *commit* time — the instant the quorum
+    was reached — and ``detecting_robot`` is the claimant of the
+    committed claim, so ``competitive_ratio`` measures the full
+    protocol cost including verification travel and refuted-lie
+    diversions.
+
+    Examples:
+        >>> outcome = ByzantineOutcome(
+        ...     2.0, 8.0, 1, frozenset({0}),
+        ...     committed_position=2.0, quorum=2, claims_raised=3,
+        ...     claims_refuted=2,
+        ... )
+        >>> outcome.competitive_ratio
+        4.0
+        >>> outcome.committed_truthfully
+        True
+    """
+
+    committed_position: Optional[float] = None
+    quorum: int = 1
+    claims_raised: int = 0
+    claims_refuted: int = 0
+
+    @property
+    def committed_truthfully(self) -> bool:
+        """Whether the committed position is the true target."""
+        if self.committed_position is None:
+            return False
+        return abs(self.committed_position - self.target) <= 1e-9 * (
+            1.0 + abs(self.target)
+        )
+
+    def describe(self) -> str:
+        base = super().describe()
+        extra = (
+            f"protocol: quorum={self.quorum}, claims={self.claims_raised} "
+            f"({self.claims_refuted} refuted), committed at "
+            f"{'x=%.6g' % self.committed_position if self.committed_position is not None else 'never'}"
+        )
+        return base + "\n" + extra

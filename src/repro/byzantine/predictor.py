@@ -1,0 +1,148 @@
+"""Semi-analytic commit-time predictions for the confirmation protocol.
+
+Used to validate the event simulation against theory without
+circularity: everything here is computed directly from the *planned*
+trajectories — visit orders, positions at a given instant — with none
+of the claim/vote/diversion machinery of
+:mod:`repro.byzantine.simulate`.
+
+The worst adversary against the protocol that cannot profit from lying
+(every lie is refuted and only costs the liars their own alarms) is
+the paper's crash adversary: corrupt the first ``f`` visitors of the
+target and stay silent.  Then:
+
+* the first genuine claim is raised at ``t* = T_{f+1}(x)`` by the
+  ``(f+1)``-st visitor (the claimant votes "present" on the spot);
+* liars in the verifier pool vote "absent" (at most ``f`` such votes —
+  never enough to refute);
+* the commit lands when the ``f``-th *reliable* non-claimant pool
+  member reaches ``x``: commit time = ``t* +`` (``f``-th smallest
+  travel distance among those verifiers at ``t*``).
+
+:func:`predicted_commit_time` computes exactly that, and
+:func:`predicted_commit_ratio` divides by ``|x|``.  The acceptance
+test drives the full event simulation over a target grid and demands
+agreement with these numbers, plus compliance with the closed-form
+``2 rho + 1`` bound of
+:func:`repro.core.byzantine.byzantine_confirmation_bound`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.byzantine import byzantine_quorum, min_byzantine_fleet
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+
+__all__ = [
+    "worst_case_liars",
+    "predicted_commit_time",
+    "predicted_commit_ratio",
+]
+
+
+def worst_case_liars(fleet: Fleet, target: float, f: int) -> Sequence[int]:
+    """The adversary's optimal liar placement: the first ``f`` visitors.
+
+    Identical in spirit to
+    :meth:`~repro.robots.fleet.Fleet.worst_fault_assignment` — robots
+    corrupted here suppress the earliest genuine claims, delaying the
+    first commit as much as silent faults possibly can.
+
+    Examples:
+        >>> from repro.schedule import algorithm_for
+        >>> fleet = Fleet.from_algorithm(algorithm_for(3, 1))
+        >>> len(worst_case_liars(fleet, 2.0, 1))
+        1
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    return tuple(fleet.visiting_order(target)[:f])
+
+
+def predicted_commit_time(
+    fleet: Fleet, target: float, f: int, liars: Optional[Sequence[int]] = None
+) -> float:
+    """Commit time under silent worst-case liars, from trajectories alone.
+
+    Args:
+        fleet: The crash-fault schedule fleet (``n >= 2f + 1``).
+        target: True target position.
+        f: Fault budget the protocol tolerates.
+        liars: Liar indices; defaults to :func:`worst_case_liars`.
+
+    Examples:
+        >>> from repro.schedule import algorithm_for
+        >>> fleet = Fleet.from_algorithm(algorithm_for(4, 1))
+        >>> t = predicted_commit_time(fleet, 2.0, 1)
+        >>> t >= fleet.worst_case_detection_time(2.0, 1)
+        True
+    """
+    n = fleet.size
+    if n < min_byzantine_fleet(f):
+        raise InvalidParameterError(
+            f"predictor needs n >= 2f + 1 = {min_byzantine_fleet(f)}, "
+            f"got n = {n}"
+        )
+    liar_set = set(worst_case_liars(fleet, target, f) if liars is None else liars)
+    if len(liar_set) > f:
+        raise InvalidParameterError(
+            f"{len(liar_set)} liars exceed the budget f = {f}"
+        )
+
+    # First genuine claim: earliest reliable visitor of the target.
+    first_visits = fleet.first_visit_times(target)
+    claimant = None
+    t_star = None
+    for index in fleet.visiting_order(target):
+        if index in liar_set:
+            continue
+        claimant = index
+        t_star = first_visits[index]
+        break
+    if claimant is None or t_star is None:
+        raise InvalidParameterError(
+            "no reliable robot ever visits the target — invalid schedule"
+        )
+
+    quorum = byzantine_quorum(f)
+    if quorum <= 1:
+        return t_star  # the claimant's own vote commits immediately
+
+    # Verifier pool: the 2f+1 robots nearest the claim at t*, the
+    # claimant included (it stands on the target).
+    positions = [traj.position_at(t_star) for traj in fleet.trajectories]
+    ranked = sorted(range(n), key=lambda i: (abs(positions[i] - target), i))
+    pool = ranked[: min(n, 2 * f + 1)]
+
+    # Reliable non-claimant pool members arrive in distance order; the
+    # (quorum - 1)-th such arrival is the deciding "present" vote.
+    reliable_travels = sorted(
+        abs(positions[i] - target)
+        for i in pool
+        if i != claimant and i not in liar_set
+    )
+    needed = quorum - 1
+    if len(reliable_travels) < needed:
+        raise InvalidParameterError(
+            "verifier pool has too few reliable robots — liar budget "
+            "exceeds the protocol's tolerance"
+        )
+    return t_star + reliable_travels[needed - 1]
+
+
+def predicted_commit_ratio(
+    fleet: Fleet, target: float, f: int, liars: Optional[Sequence[int]] = None
+) -> float:
+    """``predicted_commit_time / |target|``.
+
+    Examples:
+        >>> from repro.schedule import algorithm_for
+        >>> fleet = Fleet.from_algorithm(algorithm_for(4, 1))
+        >>> from repro.core import byzantine_confirmation_bound
+        >>> ratio = predicted_commit_ratio(fleet, 3.0, 1)
+        >>> ratio <= byzantine_confirmation_bound(4, 1)
+        True
+    """
+    return predicted_commit_time(fleet, target, f, liars) / abs(target)

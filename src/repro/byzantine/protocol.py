@@ -1,0 +1,188 @@
+"""The confirmation-protocol state machine (arXiv:1611.08209).
+
+Pure bookkeeping, no trajectories: a :class:`ConfirmationProtocol`
+tracks claims through their life cycle
+
+    ``PENDING --(f+1 "present" votes)--> COMMITTED``
+    ``PENDING --(f+1 "absent"  votes)--> REFUTED``
+
+A *claim* is a robot asserting "the target is at ``p``".  Verifier
+robots travel to ``p`` and vote; with at most ``f`` liars, ``f + 1``
+matching votes always contain a reliable one, so the machine's
+terminal states are trustworthy: a committed claim is true and a
+refuted claim is false.  The motion side — which robots divert, when
+they arrive, what the diversion costs — lives in
+:mod:`repro.byzantine.simulate`; this module only enforces the voting
+rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.core.byzantine import byzantine_quorum, min_byzantine_fleet
+from repro.errors import InvalidParameterError, SimulationError
+
+__all__ = [
+    "ClaimState",
+    "Vote",
+    "ClaimRecord",
+    "ConfirmationProtocol",
+]
+
+
+class ClaimState(enum.Enum):
+    """Life-cycle states of a claimed detection."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    REFUTED = "refuted"
+
+
+@dataclass(frozen=True)
+class Vote:
+    """One robot's verdict on one claim."""
+
+    robot_index: int
+    time: float
+    present: bool
+
+
+@dataclass
+class ClaimRecord:
+    """A claim and every vote cast on it.
+
+    Attributes:
+        claimant: Index of the robot that raised the claim.
+        position: The claimed target position.
+        claim_time: When the claim was raised (the claimant's own
+            "present" vote is cast at this instant).
+        votes: All votes in casting order.
+        state: Current life-cycle state.
+        resolve_time: Time of the quorum-reaching vote, once resolved.
+    """
+
+    claimant: int
+    position: float
+    claim_time: float
+    votes: List[Vote] = field(default_factory=list)
+    state: ClaimState = ClaimState.PENDING
+    resolve_time: Optional[float] = None
+    #: Verifier pool and their (arrival, robot, travel) triples — filled
+    #: in by the motion layer for diversion accounting.
+    pool: tuple = ()
+    arrivals: tuple = ()
+
+    @property
+    def present_votes(self) -> int:
+        return sum(1 for v in self.votes if v.present)
+
+    @property
+    def absent_votes(self) -> int:
+        return sum(1 for v in self.votes if not v.present)
+
+    @property
+    def voters(self) -> Set[int]:
+        return {v.robot_index for v in self.votes}
+
+    def describe(self) -> str:
+        return (
+            f"claim(x={self.position:.6g} by a_{self.claimant} at "
+            f"t={self.claim_time:.6g}: {self.present_votes} present / "
+            f"{self.absent_votes} absent, {self.state.value})"
+        )
+
+
+class ConfirmationProtocol:
+    """Voting rules for a fleet of ``n`` robots with ``f`` possible liars.
+
+    Validates the fleet is large enough (``n >= 2f + 1``, see
+    :func:`repro.core.byzantine.min_byzantine_fleet`), exposes the
+    quorum and verification-pool sizes, and enforces one-vote-per-robot
+    and no-votes-after-resolution.
+
+    Examples:
+        >>> protocol = ConfirmationProtocol(n=5, f=2)
+        >>> protocol.quorum, protocol.pool_size
+        (3, 5)
+        >>> claim = protocol.open_claim(claimant=1, position=4.0, time=6.0)
+        >>> claim.state is ClaimState.PENDING
+        True
+        >>> _ = protocol.cast_vote(claim, robot_index=0, time=7.0, present=True)
+        >>> protocol.cast_vote(claim, robot_index=3, time=8.0, present=True)
+        <ClaimState.COMMITTED: 'committed'>
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        if f < 0:
+            raise InvalidParameterError(f"f must be >= 0, got {f}")
+        if n < min_byzantine_fleet(f):
+            raise InvalidParameterError(
+                f"confirmation protocol needs n >= 2f + 1 = "
+                f"{min_byzantine_fleet(f)} robots to tolerate {f} liars, "
+                f"got n = {n}"
+            )
+        self.n = int(n)
+        self.f = int(f)
+        #: Matching votes that resolve a claim.
+        self.quorum = byzantine_quorum(f)
+        #: Verifiers diverted per claim — small enough to keep the rest
+        #: of the fleet searching, large enough that reliable voters
+        #: alone can always reach the quorum.
+        self.pool_size = min(self.n, 2 * self.f + 1)
+
+    def open_claim(
+        self, claimant: int, position: float, time: float
+    ) -> ClaimRecord:
+        """Raise a claim; the claimant immediately votes "present"."""
+        if not 0 <= claimant < self.n:
+            raise InvalidParameterError(
+                f"claimant index {claimant} out of range for n={self.n}"
+            )
+        record = ClaimRecord(
+            claimant=claimant, position=float(position), claim_time=float(time)
+        )
+        self.cast_vote(record, claimant, time, present=True)
+        return record
+
+    def cast_vote(
+        self,
+        record: ClaimRecord,
+        robot_index: int,
+        time: float,
+        present: bool,
+    ) -> ClaimState:
+        """Record a vote and return the claim's (possibly new) state."""
+        if record.state is not ClaimState.PENDING:
+            raise SimulationError(
+                f"vote on already-{record.state.value} {record.describe()}"
+            )
+        if not 0 <= robot_index < self.n:
+            raise InvalidParameterError(
+                f"voter index {robot_index} out of range for n={self.n}"
+            )
+        if robot_index in record.voters:
+            raise SimulationError(
+                f"robot a_{robot_index} voted twice on {record.describe()}"
+            )
+        if time < record.claim_time:
+            raise SimulationError(
+                f"vote at t={time:.6g} precedes the claim at "
+                f"t={record.claim_time:.6g}"
+            )
+        record.votes.append(Vote(robot_index, float(time), bool(present)))
+        if record.present_votes >= self.quorum:
+            record.state = ClaimState.COMMITTED
+            record.resolve_time = float(time)
+        elif record.absent_votes >= self.quorum:
+            record.state = ClaimState.REFUTED
+            record.resolve_time = float(time)
+        return record.state
+
+    def describe(self) -> str:
+        return (
+            f"ConfirmationProtocol(n={self.n}, f={self.f}, "
+            f"quorum={self.quorum}, pool={self.pool_size})"
+        )

@@ -230,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "the analytic kernels where the fault "
                               "model allows (implies the invariant "
                               "audit stays on the engine)")
+    p_chaos.add_argument("--protocol", choices=("none", "confirmation"),
+                         default="none",
+                         help="termination protocol; 'confirmation' "
+                              "requires n >= 2f+1 per pair and commits "
+                              "a detection only after f+1 confirming "
+                              "votes (Byzantine-tolerant)")
     p_chaos.add_argument("--no-invariants", action="store_true",
                          help="skip the runtime invariant audit")
     p_chaos.add_argument("--max-failures", type=int, default=10,
@@ -702,6 +708,7 @@ def _cmd_chaos(args: argparse.Namespace):
         faults=tuple(args.faults) if args.faults else FAULT_KINDS,
         seed=args.seed,
         method=args.method,
+        protocol=args.protocol,
     )
     executor = CampaignExecutor(
         jobs=args.jobs,
@@ -737,7 +744,10 @@ def _cmd_chaos(args: argparse.Namespace):
             from repro.observability import configure
 
             configure(previous)
-    lines = [f"{len(scenarios)} scenarios (seed {args.seed})"]
+    protocol_note = (
+        f", protocol {args.protocol}" if args.protocol != "none" else ""
+    )
+    lines = [f"{len(scenarios)} scenarios (seed {args.seed}{protocol_note})"]
     if args.journal:
         verb = "resumed from" if args.resume else "journaled to"
         lines.append(f"{verb} {args.journal}")

@@ -9,13 +9,27 @@ quantities Sections 3 and 4 derive analytically:
 * :mod:`repro.core.optimal` — the optimizing cone slope and expansion
   factor;
 * :mod:`repro.core.lower_bound` — Theorem 2 and Corollary 2;
-* :mod:`repro.core.asymptotics` — Figure 5 curves and Corollary 1.
+* :mod:`repro.core.asymptotics` — Figure 5 curves and Corollary 1;
+* :mod:`repro.core.byzantine` — quorum/fleet constants and the
+  confirmation-protocol bound for lying robots (arXiv:1611.08209);
+* :mod:`repro.core.expected_time` — expected-time objectives for
+  probabilistic detection faults (arXiv:2303.15608).
 
 The executable counterparts (trajectories, simulation, adversary games)
 live in the sibling subpackages and are required by the test suite to
 agree with these formulas.
 """
 
+from repro.core.byzantine import (
+    byzantine_confirmation_bound,
+    byzantine_quorum,
+    min_byzantine_fleet,
+)
+from repro.core.expected_time import (
+    ExpectedTimeEstimate,
+    expected_competitive_ratio,
+    expected_detection_time,
+)
 from repro.core.asymptotics import (
     asymptotic_cr,
     corollary1_upper,
@@ -53,6 +67,7 @@ from repro.core.proportional import (
 )
 
 __all__ = [
+    "ExpectedTimeEstimate",
     "Regime",
     "SINGLE_ROBOT_CR",
     "SearchParameters",
@@ -60,14 +75,19 @@ __all__ = [
     "algorithm_competitive_ratio",
     "asymptotic_cr",
     "beta_for_ratio",
+    "byzantine_confirmation_bound",
+    "byzantine_quorum",
     "combined_turning_points",
     "competitive_ratio",
     "corollary1_upper",
     "corollary2_alpha",
     "corollary2_lower",
+    "expected_competitive_ratio",
+    "expected_detection_time",
     "finite_a_cr",
     "lower_bound",
     "max_fault_budget",
+    "min_byzantine_fleet",
     "min_fleet_size",
     "odd_critical_cr",
     "optimal_beta",

@@ -1,0 +1,115 @@
+"""Closed forms for Byzantine-tolerant search (arXiv:1611.08209).
+
+Crash-faulty robots merely stay silent; *Byzantine* robots lie — they
+can claim a detection at a point the target is not at.  "Search on a
+Line by Byzantine Robots" (Czyzowicz, Gasieniec, Kosowski,
+Kranakis, Krizanc, Narayanan; arXiv:1611.08209) shows that no
+protocol can distinguish truth from lies unless honest robots
+outnumber liars at every decision, which yields the two structural
+constants of the voting layer:
+
+* a claim is *committed* only after ``f + 1`` robots independently
+  confirm it (:func:`byzantine_quorum`) — at most ``f`` liars exist,
+  so at least one confirming robot is reliable;
+* a fleet needs ``n >= 2f + 1`` robots (:func:`min_byzantine_fleet`)
+  so that any pool of ``2f + 1`` verifiers contains a reliable
+  majority and every claim is eventually committed or refuted.
+
+:func:`byzantine_confirmation_bound` is the competitive-ratio bound of
+the confirmation protocol this repo implements on top of the paper's
+crash-fault schedules (see :mod:`repro.byzantine.protocol` for the
+derivation): with ``rho = competitive_ratio(n, f)`` the crash-fault
+ratio, the committed time is at most ``(2 rho + 1) |x|`` for a target
+at ``x``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.competitive_ratio import competitive_ratio
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "byzantine_quorum",
+    "min_byzantine_fleet",
+    "byzantine_confirmation_bound",
+]
+
+
+def byzantine_quorum(f: int) -> int:
+    """Votes required to commit or refute a claim under ``f`` liars.
+
+    With at most ``f`` Byzantine robots, ``f + 1`` matching votes
+    always include at least one reliable robot, so a committed claim
+    is true and a refuted claim is false.  Fewer votes can be entirely
+    fabricated.
+
+    Examples:
+        >>> byzantine_quorum(0)
+        1
+        >>> byzantine_quorum(3)
+        4
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    return f + 1
+
+
+def min_byzantine_fleet(f: int) -> int:
+    """Smallest fleet that can resolve every claim under ``f`` liars.
+
+    A verification pool of ``2f + 1`` robots contains at least
+    ``f + 1`` reliable ones, so truthful votes alone reach the quorum
+    of :func:`byzantine_quorum` and no claim can dangle forever.  With
+    ``n <= 2f`` robots the ``f`` liars can deadlock a claim (``f``
+    fabricated confirmations vs. at most ``f`` honest refutations),
+    matching the impossibility bound of arXiv:1611.08209.
+
+    Examples:
+        >>> min_byzantine_fleet(0)
+        1
+        >>> min_byzantine_fleet(2)
+        5
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    return 2 * f + 1
+
+
+def byzantine_confirmation_bound(n: int, f: int) -> float:
+    """Competitive-ratio bound of the confirmation protocol.
+
+    The protocol runs the crash-fault schedule for ``(n, f)`` and
+    commits a claim at position ``p`` once ``f + 1`` robots have
+    visited ``p`` and voted.  Liars never detect, so the first
+    *truthful* claim happens no later than ``T_{f+1}(x) <= rho |x|``
+    where ``rho = competitive_ratio(n, f)`` — among the first ``f + 1``
+    visitors of the target at least one is reliable for any liar
+    placement.  Gathering the quorum costs at most one more traversal
+    from a robot still within distance ``rho |x| + |x|`` of ``p``
+    (all robots start at the origin and move at unit speed), so
+
+        ``T_commit(x) <= rho |x| + (rho |x| + |x|) = (2 rho + 1) |x|``.
+
+    Requires ``n >= 2f + 1`` (:func:`min_byzantine_fleet`); smaller
+    fleets cannot resolve claims and the bound is infinite.
+
+    Examples:
+        >>> byzantine_confirmation_bound(4, 1)   # rho = 1 (trivial regime)
+        3.0
+        >>> round(byzantine_confirmation_bound(3, 1), 3)   # rho = 5.233
+        11.466
+        >>> byzantine_confirmation_bound(2, 1)
+        inf
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if n < min_byzantine_fleet(f):
+        return math.inf
+    rho = competitive_ratio(n, f)
+    if not math.isfinite(rho):
+        return math.inf
+    return 2.0 * rho + 1.0

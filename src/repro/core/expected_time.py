@@ -1,0 +1,232 @@
+"""Expected-time objectives for probabilistic faults (arXiv:2303.15608).
+
+The paper's competitive ratio is worst-case: the adversary silences
+``f`` robots forever.  "Overcoming Probabilistic Faults in Disoriented
+Linear Search" (arXiv:2303.15608) studies the gentler model where
+*every* visit of the target detects it independently with probability
+``p`` — a robot can walk over the target and miss it, but repeated
+visits eventually succeed.  The natural objective is then the
+*expected* detection time
+
+    ``E[T(x)] = sum_k  t_k * p * (1 - p)^(k - 1)``
+
+where ``t_1 <= t_2 <= ...`` is the time-merged sequence of visits to
+``x`` across the whole fleet.
+
+For zigzag schedules the visit times grow geometrically, say
+``t_{k+1} <= kappa * t_k``; the series converges iff
+``kappa * (1 - p) < 1``.  :func:`expected_detection_time` sums the
+series with a lazily doubled horizon, detects divergence (the terms
+stop shrinking), and reports everything in an
+:class:`ExpectedTimeEstimate`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ExpectedTimeEstimate", "expected_detection_time", "expected_competitive_ratio"]
+
+#: Relative tail size below which the series is considered summed.
+_TAIL_RTOL = 1e-9
+
+#: Horizon doublings before giving up on convergence.
+_MAX_DOUBLINGS = 60
+
+#: Consecutive non-decreasing terms that flag a divergent series.
+_DIVERGENCE_RUN = 8
+
+
+@dataclass(frozen=True)
+class ExpectedTimeEstimate:
+    """Result of summing the expected-detection-time series at one target.
+
+    Attributes:
+        target: the target position the series was evaluated at.
+        probability: per-visit detection probability ``p``.
+        expected_time: ``E[T(x)]``; ``inf`` when the series diverges.
+        visits_used: number of merged fleet visits that entered the sum.
+        horizon: simulated time horizon the visits were collected up to.
+        diverged: ``True`` when the terms stopped shrinking — the
+            schedule revisits too slowly for this ``p`` and the
+            expectation is infinite (``kappa * (1 - p) >= 1``).
+    """
+
+    target: float
+    probability: float
+    expected_time: float
+    visits_used: int
+    horizon: float
+    diverged: bool
+
+    @property
+    def expected_ratio(self) -> float:
+        """Expected competitive ratio ``E[T(x)] / |x|``."""
+        return self.expected_time / abs(self.target)
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "probability": self.probability,
+            "expected_time": self.expected_time,
+            "expected_ratio": self.expected_ratio,
+            "visits_used": self.visits_used,
+            "horizon": self.horizon,
+            "diverged": self.diverged,
+        }
+
+    def describe(self) -> str:
+        if self.diverged:
+            return (
+                f"E[T({self.target:g})] diverges at p={self.probability:g} "
+                f"({self.visits_used} visits examined)"
+            )
+        return (
+            f"E[T({self.target:g})] = {self.expected_time:.6g} at "
+            f"p={self.probability:g} ({self.visits_used} visits, "
+            f"ratio {self.expected_ratio:.4g})"
+        )
+
+
+def _merged_visits(fleet, target: float, until: float) -> List[float]:
+    """Time-sorted fleet visits to ``target`` up to ``until``."""
+    merged: List[float] = []
+    for trajectory in fleet.trajectories:
+        merged.extend(trajectory.visit_times(target, until))
+    merged.sort()
+    return merged
+
+
+def expected_detection_time(
+    fleet,
+    target: float,
+    probability: float,
+    *,
+    rtol: float = _TAIL_RTOL,
+) -> ExpectedTimeEstimate:
+    """Expected detection time of ``target`` under per-visit probability ``p``.
+
+    Sums ``sum_k t_k p (1-p)^(k-1)`` over the merged fleet visit
+    sequence, doubling the collection horizon until the remaining tail
+    is relatively smaller than ``rtol`` (or divergence is detected).
+
+    ``probability = 1`` reduces to the first visit time exactly;
+    ``probability`` must be in ``(0, 1]``.
+
+    Examples:
+        >>> from repro.robots import Fleet
+        >>> from repro.schedule import algorithm_for
+        >>> fleet = Fleet.from_algorithm(algorithm_for(4, 1))
+        >>> est = expected_detection_time(fleet, 3.0, 1.0)
+        >>> est.expected_time == fleet.detection_time(3.0)
+        True
+        >>> est.diverged
+        False
+    """
+    if not math.isfinite(target) or target == 0.0:
+        raise InvalidParameterError(
+            f"target must be a finite nonzero real, got {target!r}"
+        )
+    if not (0.0 < probability <= 1.0):
+        raise InvalidParameterError(
+            f"probability must be in (0, 1], got {probability!r}"
+        )
+    if not (0.0 < rtol < 1.0):
+        raise InvalidParameterError(f"rtol must be in (0, 1), got {rtol!r}")
+
+    first = [t for t in fleet.first_visit_times(target) if t is not None]
+    if not first:
+        raise InvalidParameterError(
+            f"no robot in the fleet ever visits target {target!r}"
+        )
+    horizon = max(2.0 * abs(target), min(first) * 2.0, 1.0)
+
+    total = 0.0
+    visits_used = 0
+    survival = 1.0  # (1 - p)^visits_used
+    last_term: Optional[float] = None
+    nondecreasing_run = 0
+
+    for _ in range(_MAX_DOUBLINGS):
+        visits = _merged_visits(fleet, target, horizon)
+        # consume only the visits not already summed
+        for t in visits[visits_used:]:
+            term = t * probability * survival
+            total += term
+            survival *= 1.0 - probability
+            visits_used += 1
+            if last_term is not None and term >= last_term and term > 0.0:
+                nondecreasing_run += 1
+                if nondecreasing_run >= _DIVERGENCE_RUN:
+                    return ExpectedTimeEstimate(
+                        target=target,
+                        probability=probability,
+                        expected_time=math.inf,
+                        visits_used=visits_used,
+                        horizon=horizon,
+                        diverged=True,
+                    )
+            else:
+                nondecreasing_run = 0
+            last_term = term
+        # tail bound: every remaining visit happens after `horizon`,
+        # and the probability any is needed is `survival`; if the
+        # series converges the tail is within a constant of this.
+        if survival == 0.0 or (
+            visits_used > 0 and survival * horizon <= rtol * max(total, 1e-300)
+        ):
+            return ExpectedTimeEstimate(
+                target=target,
+                probability=probability,
+                expected_time=total,
+                visits_used=visits_used,
+                horizon=horizon,
+                diverged=False,
+            )
+        horizon *= 2.0
+
+    # Horizon budget exhausted without the tail closing: the revisit
+    # rate is too slow for this p — report divergence rather than an
+    # arbitrarily truncated (and misleadingly finite) sum.
+    return ExpectedTimeEstimate(
+        target=target,
+        probability=probability,
+        expected_time=math.inf,
+        visits_used=visits_used,
+        horizon=horizon,
+        diverged=True,
+    )
+
+
+def expected_competitive_ratio(
+    fleet,
+    targets,
+    probability: float,
+    *,
+    rtol: float = _TAIL_RTOL,
+) -> Tuple[float, List[ExpectedTimeEstimate]]:
+    """Supremum of ``E[T(x)] / |x|`` over ``targets``, with the samples.
+
+    The probabilistic analogue of the worst-case competitive ratio:
+    evaluates :func:`expected_detection_time` at every target and
+    returns the largest expected ratio together with all per-target
+    estimates.  Any divergent target makes the ratio ``inf``.
+
+    Examples:
+        >>> from repro.robots import Fleet
+        >>> from repro.schedule import algorithm_for
+        >>> fleet = Fleet.from_algorithm(algorithm_for(4, 1))
+        >>> ratio, samples = expected_competitive_ratio(fleet, [1.0, -2.0], 1.0)
+        >>> ratio
+        1.0
+    """
+    estimates = [
+        expected_detection_time(fleet, x, probability, rtol=rtol) for x in targets
+    ]
+    if not estimates:
+        raise InvalidParameterError("targets must be non-empty")
+    return max(e.expected_ratio for e in estimates), estimates

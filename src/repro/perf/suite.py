@@ -23,7 +23,7 @@ configuration, not an idealized one).
 
 Examples:
     >>> suite_names()
-    ['batch', 'campaign', 'engine', 'full', 'quick']
+    ['batch', 'byzantine', 'campaign', 'engine', 'full', 'quick']
     >>> "engine_sweep" in workload_names()
     True
 """
@@ -186,6 +186,26 @@ def _setup_chaos_scenario(params: Dict[str, Any]) -> Callable[[], Any]:
     return run
 
 
+def _setup_byzantine_protocol(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.byzantine import ByzantineSearchSimulation
+    from repro.robots import ByzantineAdversary, Fleet
+    from repro.schedule import ByzantineConfirmationAlgorithm
+
+    algorithm = ByzantineConfirmationAlgorithm(params["n"], params["f"])
+    adversary = ByzantineAdversary(
+        params["f"], alarm_times=tuple(params["alarm_times"])
+    )
+    target = params["target"]
+
+    def run():
+        fleet = Fleet.from_algorithm(algorithm)
+        return ByzantineSearchSimulation(
+            fleet, target, fault_model=adversary, check_invariants=True,
+        ).run()
+
+    return run
+
+
 WORKLOADS: Tuple[Workload, ...] = (
     Workload(
         name="engine_sweep",
@@ -243,6 +263,13 @@ WORKLOADS: Tuple[Workload, ...] = (
         quick={"n": 4, "f": 2, "target": 3.0,
                "fault": "byzantine:1.0;2.5", "seed": 11},
     ),
+    Workload(
+        name="byzantine_protocol",
+        description="confirmation protocol vs worst-case liars, one run",
+        setup=_setup_byzantine_protocol,
+        full={"n": 7, "f": 3, "target": 9.0, "alarm_times": [1.0, 3.0]},
+        quick={"n": 5, "f": 2, "target": 3.0, "alarm_times": [1.0, 3.0]},
+    ),
 )
 
 _WORKLOADS_BY_NAME = {w.name: w for w in WORKLOADS}
@@ -255,6 +282,7 @@ SUITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "engine": ("full", ("engine_sweep", "chaos_scenario")),
     "batch": ("full", ("batch_pure", "batch_numpy", "batch_compile")),
     "campaign": ("full", ("campaign_executor", "chaos_scenario")),
+    "byzantine": ("full", ("byzantine_protocol", "chaos_scenario")),
 }
 
 

@@ -20,6 +20,7 @@ from repro.robots.behaviors import (
 from repro.robots.faults import (
     AdversarialFaults,
     BehavioralFaults,
+    ByzantineAdversary,
     FaultModel,
     FixedFaults,
     RandomFaults,
@@ -30,6 +31,7 @@ from repro.robots.robot import Robot
 __all__ = [
     "AdversarialFaults",
     "BehavioralFaults",
+    "ByzantineAdversary",
     "ByzantineFalseAlarmFault",
     "CrashDetectionFault",
     "CrashStopFault",

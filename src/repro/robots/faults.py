@@ -42,6 +42,7 @@ from repro.robots.fleet import Fleet
 __all__ = [
     "FaultModel",
     "AdversarialFaults",
+    "ByzantineAdversary",
     "FixedFaults",
     "RandomFaults",
     "BehavioralFaults",
@@ -119,6 +120,58 @@ class AdversarialFaults(FaultModel):
     def assign(self, fleet: Fleet, target: float) -> Set[int]:
         self._check_budget_fits(fleet)
         return fleet.worst_fault_assignment(target, self.fault_budget)
+
+
+class ByzantineAdversary(FaultModel):
+    """Worst-case *lying* adversary: corrupt the first visitors, lie loudly.
+
+    The strongest placement against the confirmation protocol (see
+    :mod:`repro.byzantine.predictor`) mirrors the paper's crash
+    adversary — corrupt the first ``f`` distinct visitors of the target
+    so the earliest genuine claims vanish — but here every corrupted
+    robot also emits false alarms on the given schedule, forcing
+    refutation rounds that delay the honest search.
+
+    Examples:
+        >>> from repro.schedule import ProportionalAlgorithm
+        >>> fleet = Fleet.from_algorithm(ProportionalAlgorithm(3, 1))
+        >>> adv = ByzantineAdversary(1, alarm_times=[1.0, 4.0])
+        >>> sorted(adv.assign(fleet, 2.0)) == sorted(
+        ...     fleet.worst_fault_assignment(2.0, 1)
+        ... )
+        True
+        >>> all(
+        ...     isinstance(b, ByzantineFalseAlarmFault)
+        ...     for b in adv.behaviors(fleet, 2.0).values()
+        ... )
+        True
+    """
+
+    def __init__(
+        self, fault_budget: int, alarm_times: Sequence[float] = (1.0, 3.0)
+    ) -> None:
+        super().__init__(fault_budget)
+        # validate eagerly via the behavior's own constructor
+        self.alarm_times = tuple(
+            ByzantineFalseAlarmFault(alarm_times).alarm_times
+        )
+
+    def assign(self, fleet: Fleet, target: float) -> Set[int]:
+        self._check_budget_fits(fleet)
+        return fleet.worst_fault_assignment(target, self.fault_budget)
+
+    def behaviors(self, fleet: Fleet, target: float) -> Dict[int, FaultBehavior]:
+        return {
+            i: ByzantineFalseAlarmFault(self.alarm_times)
+            for i in self.assign(fleet, target)
+        }
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{t:.6g}" for t in self.alarm_times)
+        return (
+            f"ByzantineAdversary(f={self.fault_budget}, "
+            f"alarm_times=[{rendered}])"
+        )
 
 
 class FixedFaults(FaultModel):

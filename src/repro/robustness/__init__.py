@@ -25,6 +25,7 @@ Entry points:
 
 from repro.robustness.campaign import (
     FAULT_KINDS,
+    PROTOCOLS,
     CampaignReport,
     Scenario,
     ScenarioResult,
@@ -39,6 +40,7 @@ from repro.robustness.journal import CampaignJournal
 
 __all__ = [
     "FAULT_KINDS",
+    "PROTOCOLS",
     "CampaignExecutor",
     "CampaignJournal",
     "CampaignReport",

@@ -21,7 +21,16 @@ whole taxonomy::
     fixed                  robots 0..f-1 are crash-detection faulty
     crash_stop:T           robots 0..f-1 halt at T*(i+1)
     byzantine:T1;T2;...    robots 0..f-1 raise false alarms at the T_i
+    byzantine_adversarial:T1;T2;...
+                           worst-case liar placement: the f first
+                           visitors of the target lie at the T_i
     probabilistic:P        robots 0..f-1 detect each visit w.p. P (seeded)
+
+A spec may additionally name a ``protocol``: ``"none"`` (the engine's
+first-detection termination) or ``"confirmation"`` — the Byzantine
+voting layer of :mod:`repro.byzantine`, under which a claim commits
+only after ``f + 1`` confirmations and lying robots cannot terminate
+the search at a false point.
 
 Programmatic callers can bypass the DSL entirely by handing
 :func:`run_campaign` arbitrary :class:`Scenario` objects whose ``build``
@@ -42,6 +51,7 @@ from repro.errors import InvalidParameterError, LineSearchError
 from repro.robots.faults import (
     AdversarialFaults,
     BehavioralFaults,
+    ByzantineAdversary,
     ByzantineFalseAlarmFault,
     CrashStopFault,
     FaultModel,
@@ -54,6 +64,7 @@ from repro.simulation.engine import SearchSimulation
 
 __all__ = [
     "FAULT_KINDS",
+    "PROTOCOLS",
     "CampaignReport",
     "Scenario",
     "ScenarioResult",
@@ -72,8 +83,12 @@ FAULT_KINDS = (
     "fixed",
     "crash_stop",
     "byzantine",
+    "byzantine_adversarial",
     "probabilistic",
 )
+
+#: Termination protocols understood by :class:`ScenarioSpec`.
+PROTOCOLS = ("none", "confirmation")
 
 
 @dataclass(frozen=True)
@@ -91,23 +106,35 @@ class ScenarioSpec:
     target: float
     fault: str = "adversarial"
     seed: Optional[int] = None
+    protocol: str = "none"
 
     def describe(self) -> str:
         """One-line summary."""
+        suffix = (
+            f" protocol={self.protocol}" if self.protocol != "none" else ""
+        )
         return (
             f"A({self.n},{self.f}) target={self.target:g} "
-            f"fault={self.fault} seed={self.seed}"
+            f"fault={self.fault} seed={self.seed}{suffix}"
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready representation; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready representation; inverse of :meth:`from_dict`.
+
+        The default ``protocol="none"`` is *omitted* so every digest,
+        journal key, and golden report produced before the protocol
+        field existed stays byte-identical.
+        """
+        data = {
             "n": self.n,
             "f": self.f,
             "target": self.target,
             "fault": self.fault,
             "seed": self.seed,
         }
+        if self.protocol != "none":
+            data["protocol"] = self.protocol
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
@@ -118,6 +145,7 @@ class ScenarioSpec:
             target=float(data["target"]),
             fault=str(data["fault"]),
             seed=None if data.get("seed") is None else int(data["seed"]),
+            protocol=str(data.get("protocol", "none")),
         )
 
 
@@ -373,6 +401,11 @@ def _fault_model_for(spec: ScenarioSpec) -> Tuple[FaultModel, bool]:
             ),
             False,
         )
+    if kind == "byzantine_adversarial":
+        alarms = (
+            [float(t) for t in argument.split(";")] if argument else [0.5, 1.5]
+        )
+        return ByzantineAdversary(spec.f, alarm_times=alarms), False
     if kind == "probabilistic":
         p = float(argument) if argument else 0.5
         base = seed if seed is not None else 0
@@ -403,7 +436,12 @@ class _SpecRealizer:
 
     def __call__(self) -> Tuple[Fleet, FaultModel]:
         model, _ = _fault_model_for(self.spec)
-        algorithm = _algorithm_for(self.spec.n, self.spec.f)
+        if self.spec.protocol == "confirmation":
+            from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
+
+            algorithm = ByzantineConfirmationAlgorithm(self.spec.n, self.spec.f)
+        else:
+            algorithm = _algorithm_for(self.spec.n, self.spec.f)
         return Fleet.from_algorithm(algorithm), model
 
 
@@ -423,6 +461,11 @@ def build_scenario(spec: ScenarioSpec, method: str = "event") -> Scenario:
         raise InvalidParameterError(
             f"method must be 'event' or 'batch', got {method!r}"
         )
+    if spec.protocol not in PROTOCOLS:
+        raise InvalidParameterError(
+            f"unknown protocol {spec.protocol!r}; "
+            f"protocols: {', '.join(PROTOCOLS)}"
+        )
     _, stochastic = _fault_model_for(spec)
     return Scenario(
         spec=spec,
@@ -438,6 +481,7 @@ def chaos_scenarios(
     faults: Sequence[str] = FAULT_KINDS,
     seed: int = 0,
     method: str = "event",
+    protocol: str = "none",
 ) -> List[Scenario]:
     """The full seeded grid of scenarios: pairs × targets × fault specs.
 
@@ -448,6 +492,10 @@ def chaos_scenarios(
     ``method="batch"`` marks every generated scenario for the analytic
     fast path; scenarios whose fault model the batch subsystem cannot
     express (behavioral faults) still run through the engine.
+    ``protocol="confirmation"`` runs every scenario under the Byzantine
+    voting layer — confirmation scenarios always use the event-level
+    protocol simulation, since the batch kernels have no claim/vote
+    semantics.
 
     Examples:
         >>> grid = chaos_scenarios([(3, 1)], [1.0, -2.0], ["none", "random"])
@@ -465,6 +513,7 @@ def chaos_scenarios(
                     target=target,
                     fault=fault,
                     seed=master.randrange(2**32),
+                    protocol=protocol,
                 )
                 scenarios.append(build_scenario(spec, method=method))
     return scenarios
@@ -521,6 +570,20 @@ def _batch_outcome(fleet: Fleet, model: FaultModel, target: float):
 
 def _run_once(scenario: Scenario, check_invariants: bool):
     fleet, model = scenario.build()
+    if getattr(scenario.spec, "protocol", "none") == "confirmation":
+        # The confirmation protocol is inherently event-level (claims,
+        # votes, diversions): ``method="batch"`` scenarios fall back to
+        # the protocol simulation here, and the *service* rejects the
+        # combination up front so API clients are never silently
+        # downgraded.
+        from repro.byzantine.simulate import ByzantineSearchSimulation
+
+        return ByzantineSearchSimulation(
+            fleet,
+            scenario.spec.target,
+            fault_model=model,
+            check_invariants=check_invariants,
+        ).run()
     # The batch fast path produces no event log, so the invariant audit
     # (which needs one) forces the engine; the engine is the oracle.
     if getattr(scenario, "method", "event") == "batch" and not check_invariants:

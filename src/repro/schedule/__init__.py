@@ -12,6 +12,7 @@
 
 from repro.schedule.algorithm import ProportionalAlgorithm
 from repro.schedule.base import SearchAlgorithm
+from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
 from repro.schedule.generalized import CustomBetaAlgorithm
 from repro.schedule.proportional_schedule import ProportionalSchedule
 from repro.schedule.validation import (
@@ -21,6 +22,7 @@ from repro.schedule.validation import (
 )
 
 __all__ = [
+    "ByzantineConfirmationAlgorithm",
     "CustomBetaAlgorithm",
     "ProportionalAlgorithm",
     "ProportionalSchedule",

@@ -1,0 +1,96 @@
+"""The Byzantine confirmation algorithm: crash schedule + voting layer.
+
+arXiv:1611.08209's protocol separates *motion* from *decision*: robots
+move exactly as in the crash-fault schedule for ``(n, f)`` — the paper's
+``A(n, f)`` in the proportional regime, the two-group schedule in the
+trivial one — and the Byzantine tolerance comes from the confirmation
+layer (claims, verifier diversion, ``f + 1`` votes) enforced at run
+time by :class:`~repro.byzantine.simulate.ByzantineSearchSimulation`.
+
+:class:`ByzantineConfirmationAlgorithm` packages that pairing as a
+:class:`~repro.schedule.base.SearchAlgorithm`: it builds the underlying
+crash schedule's trajectories, requires ``n >= 2f + 1`` so every claim
+resolves, and reports the closed-form
+:func:`~repro.core.byzantine.byzantine_confirmation_bound` as its
+theoretical competitive ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.byzantine import (
+    byzantine_confirmation_bound,
+    byzantine_quorum,
+    min_byzantine_fleet,
+)
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+
+__all__ = ["ByzantineConfirmationAlgorithm"]
+
+
+class ByzantineConfirmationAlgorithm(SearchAlgorithm):
+    """Crash-fault motion schedule hardened by the confirmation protocol.
+
+    Attributes:
+        inner: The underlying crash-fault algorithm whose trajectories
+            the robots follow.
+        quorum: Confirmations needed to commit a claim (``f + 1``).
+
+    Examples:
+        >>> algo = ByzantineConfirmationAlgorithm(5, 2)
+        >>> algo.quorum
+        3
+        >>> len(algo.build())
+        5
+        >>> from repro.core import byzantine_confirmation_bound
+        >>> algo.theoretical_competitive_ratio() == byzantine_confirmation_bound(5, 2)
+        True
+        >>> ByzantineConfirmationAlgorithm(4, 2)
+        Traceback (most recent call last):
+            ...
+        repro.errors.InvalidParameterError: confirmation protocol needs n >= 2f + 1 = 5 robots to tolerate 2 liars, got n = 4
+    """
+
+    def __init__(self, n: int, f: int) -> None:
+        if f < 0:
+            raise InvalidParameterError(f"f must be >= 0, got {f}")
+        if n < min_byzantine_fleet(f):
+            raise InvalidParameterError(
+                f"confirmation protocol needs n >= 2f + 1 = "
+                f"{min_byzantine_fleet(f)} robots to tolerate {f} liars, "
+                f"got n = {n}"
+            )
+        super().__init__(SearchParameters(n, f))
+        from repro.schedule import algorithm_for
+
+        self.inner = algorithm_for(n, f)
+        self.quorum = byzantine_quorum(f)
+
+    @property
+    def name(self) -> str:
+        return f"ByzantineConfirmation[{self.inner.name}]"
+
+    def build(self) -> List[Trajectory]:
+        """The underlying crash schedule's trajectories, unchanged.
+
+        The Byzantine tolerance is behavioral (claims and votes at run
+        time), not geometric — exactly the protocol/motion split of
+        arXiv:1611.08209.
+        """
+        return self.inner.build()
+
+    def theoretical_competitive_ratio(self) -> float:
+        """The ``2 rho + 1`` commit-time bound."""
+        return byzantine_confirmation_bound(self.n, self.f)
+
+    def describe(self) -> str:
+        return (
+            super().describe()
+            + f"\n  motion: {self.inner.describe()}"
+            + f"\n  protocol: quorum {self.quorum} of n={self.n} "
+            f"(pool {min(self.n, 2 * self.f + 1)})"
+        )

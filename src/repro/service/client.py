@@ -8,10 +8,13 @@ and read health/readiness/metrics.  Server-side refusals
 :class:`~repro.service.protocol.ServiceError` with the wire error
 code, so callers branch on ``exc.code`` rather than parsing messages.
 
-The client is deliberately thin — no retries, no backoff, no pooling —
-because the tests and the chaos harness need to observe the server's
-raw behaviour (an ``overloaded`` refusal must stay visible, not be
-retried away).  Production callers can layer policy on top.
+The client is deliberately thin — by default no retries, no backoff,
+no pooling — because the tests and the chaos harness need to observe
+the server's raw behaviour (an ``overloaded`` refusal must stay
+visible, not be retried away).  Callers that *want* policy opt in with
+``max_retries``: admission refusals (``overloaded``/``rate_limited``)
+are then retried honoring the server's ``Retry-After`` hint, capped at
+``max_backoff`` seconds per sleep.
 """
 
 from __future__ import annotations
@@ -37,18 +40,50 @@ class ServiceClient:
         timeout: socket timeout per request, seconds.
         client_id: the client identity sent with submissions — the
             unit of server-side rate limiting.
+        max_retries: how many times to retry an ``overloaded`` or
+            ``rate_limited`` refusal before surfacing it.  0 (the
+            default) keeps the raw no-retry behaviour.
+        max_backoff: cap, in seconds, on any single backoff sleep —
+            a server hint above the cap is clamped, not trusted.
     """
 
+    #: Wire codes that mean "try again later", eligible for backoff.
+    _RETRYABLE = ("overloaded", "rate_limited")
+
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 client_id: str = "anonymous"):
+                 client_id: str = "anonymous", max_retries: int = 0,
+                 max_backoff: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        self.max_retries = max_retries
+        self.max_backoff = max_backoff
 
     # -- plumbing ------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if (exc.code not in self._RETRYABLE
+                        or attempts >= self.max_retries):
+                    raise
+                attempts += 1
+                time.sleep(self._backoff_delay(exc, attempts))
+
+    def _backoff_delay(self, exc: ServiceError, attempt: int) -> float:
+        """Honor the server's ``Retry-After`` hint, clamped to
+        ``max_backoff``; fall back to doubling from 0.1s without one."""
+        hint = exc.retry_after
+        if hint is None or hint <= 0:
+            hint = 0.1 * (2 ** (attempt - 1))
+        return min(float(hint), self.max_backoff)
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -202,8 +237,25 @@ class ServiceClient:
         )
 
 
+def _retry_after_of(exc: urllib.error.HTTPError,
+                    body: Dict[str, Any]) -> Optional[float]:
+    """The server's retry hint: the ``Retry-After`` header (seconds
+    form) when present, else the JSON body's ``retry_after`` field."""
+    header = exc.headers.get("Retry-After") if exc.headers else None
+    if header is not None:
+        try:
+            return float(header)
+        except ValueError:
+            pass  # HTTP-date form: fall through to the body hint
+    hint = body.get("retry_after")
+    if isinstance(hint, (int, float)):
+        return float(hint)
+    return None
+
+
 def _error_from(exc: urllib.error.HTTPError) -> Exception:
     """Convert an HTTP error response into the matching ServiceError."""
+    body: Dict[str, Any] = {}
     try:
         body = json.loads(exc.read().decode("utf-8"))
         code = body.get("error")
@@ -211,5 +263,6 @@ def _error_from(exc: urllib.error.HTTPError) -> Exception:
     except (json.JSONDecodeError, UnicodeDecodeError, OSError):
         code, message = None, ""
     if code in ERROR_CODES:
-        return ServiceError(code, message or f"HTTP {exc.code}")
+        return ServiceError(code, message or f"HTTP {exc.code}",
+                            retry_after=_retry_after_of(exc, body))
     return LineSearchError(f"HTTP {exc.code}: {message or exc.reason}")

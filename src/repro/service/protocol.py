@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import LineSearchError
-from repro.robustness.campaign import FAULT_KINDS, ScenarioSpec
+from repro.robustness.campaign import FAULT_KINDS, PROTOCOLS, ScenarioSpec
 
 __all__ = [
     "ERROR_CODES",
@@ -93,13 +93,22 @@ TERMINAL_STATES = ("done", "failed", "deadline_exceeded")
 
 
 class ServiceError(LineSearchError):
-    """A request the service refuses, with a wire-protocol error code."""
+    """A request the service refuses, with a wire-protocol error code.
 
-    def __init__(self, code: str, message: str):
+    ``retry_after`` (seconds, optional) tells the client when retrying
+    is worthwhile; the server surfaces it both as a ``Retry-After``
+    header and in the JSON envelope on ``rate_limited`` and
+    ``overloaded`` responses.
+    """
+
+    def __init__(
+        self, code: str, message: str, retry_after: Optional[float] = None
+    ):
         if code not in ERROR_CODES:
             raise ValueError(f"unknown service error code {code!r}")
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
     @property
     def http_status(self) -> int:
@@ -107,7 +116,22 @@ class ServiceError(LineSearchError):
 
     def body(self) -> Dict[str, Any]:
         """The JSON error envelope for this failure."""
-        return {"ok": False, "error": self.code, "message": str(self)}
+        body: Dict[str, Any] = {
+            "ok": False, "error": self.code, "message": str(self)
+        }
+        if self.retry_after is not None:
+            body["retry_after"] = self.retry_after
+        return body
+
+    def headers(self) -> Dict[str, str]:
+        """Extra HTTP headers for this failure (``Retry-After``)."""
+        if self.retry_after is None:
+            return {}
+        # HTTP Retry-After takes integer seconds; round up so clients
+        # never retry before the window reopens.
+        import math as _math
+
+        return {"Retry-After": str(max(1, _math.ceil(self.retry_after)))}
 
 
 def http_status_for(code: str) -> int:
@@ -170,7 +194,7 @@ def _bad(message: str) -> ServiceError:
 def _parse_spec(entry: Any) -> ScenarioSpec:
     if not isinstance(entry, dict):
         raise _bad(f"each spec must be an object, got {type(entry).__name__}")
-    unknown = set(entry) - {"n", "f", "target", "fault", "seed"}
+    unknown = set(entry) - {"n", "f", "target", "fault", "seed", "protocol"}
     if unknown:
         raise _bad(f"unknown spec field(s): {', '.join(sorted(unknown))}")
     try:
@@ -181,6 +205,7 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
                 "target": entry["target"],
                 "fault": entry.get("fault", "adversarial"),
                 "seed": entry.get("seed"),
+                "protocol": entry.get("protocol", "none"),
             }
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -193,6 +218,17 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
     if kind not in FAULT_KINDS:
         raise _bad(
             f"unknown fault kind {kind!r}; kinds: {', '.join(FAULT_KINDS)}"
+        )
+    if spec.protocol not in PROTOCOLS:
+        raise _bad(
+            f"unknown protocol {spec.protocol!r}; "
+            f"protocols: {', '.join(PROTOCOLS)}"
+        )
+    if spec.protocol == "confirmation" and spec.n < 2 * spec.f + 1:
+        raise _bad(
+            f"the confirmation protocol needs n >= 2f + 1 = "
+            f"{2 * spec.f + 1} robots to tolerate {spec.f} liars, "
+            f"got n = {spec.n}"
         )
     return spec
 
@@ -215,6 +251,9 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
         seed = int(payload.get("seed", 0))
     except (TypeError, ValueError):
         raise _bad("'seed' must be an integer") from None
+    protocol = payload.get("protocol", "none")
+    if not isinstance(protocol, str):
+        raise _bad("'protocol' must be a string")
     master = random.Random(seed)
     specs: List[ScenarioSpec] = []
     for pair in pairs:
@@ -230,6 +269,7 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
                         target=float(target),
                         fault=str(fault),
                         seed=master.randrange(2**32),
+                        protocol=protocol,
                     )
                 )
     return [_parse_spec(spec.to_dict()) for spec in specs]
@@ -254,7 +294,11 @@ def parse_submission(
       grid.
 
     Common optional fields: ``method`` (``"event"`` or ``"batch"``),
-    ``check_invariants``, ``client``, ``deadline`` (seconds).
+    ``check_invariants``, ``client``, ``deadline`` (seconds).  Specs may
+    carry ``protocol`` (``"none"`` or ``"confirmation"`` — the Byzantine
+    voting layer; grid submissions set it once at the top level).
+    Confirmation scenarios are event-only: combining them with
+    ``method="batch"`` is refused with ``bad_request``.
 
     Examples:
         >>> sub = parse_submission({"spec": {"n": 3, "f": 1, "target": 2.0}})
@@ -293,6 +337,16 @@ def parse_submission(
     method = str(payload.get("method", default_method))
     if method not in ("event", "batch"):
         raise _bad(f"method must be 'event' or 'batch', got {method!r}")
+    # The confirmation protocol is claim/vote/diversion event
+    # machinery; the batch kernels cannot express it, and the server
+    # refuses rather than silently downgrading the client's choice.
+    if method == "batch" and any(
+        spec.protocol == "confirmation" for spec in specs
+    ):
+        raise _bad(
+            "method 'batch' cannot run confirmation-protocol scenarios; "
+            "use method 'event' for protocol='confirmation'"
+        )
     # The batch fast path needs the invariant audit off (the audit
     # requires an event log only the engine produces); default
     # accordingly but let the client force either.

@@ -257,6 +257,11 @@ class JobRegistry:
         ``state`` lets the caller write the envelope *before* flipping
         the job's visible state, so a poller that observes a terminal
         job can always fetch its result.
+
+        Scenarios that needed more than one attempt are surfaced at the
+        top level under ``attempt_errors`` (scenario description → the
+        per-attempt error strings) so flakiness is visible without
+        walking every nested result.
         """
         envelope: Dict[str, Any] = {
             "format": "linesearch-service-report",
@@ -270,6 +275,13 @@ class JobRegistry:
             envelope["message"] = job.message
         if job.report is not None:
             envelope["report"] = job.report.to_dict()
+            flaky = {
+                result.spec.describe(): list(result.attempt_errors)
+                for result in job.report.results
+                if result.attempt_errors
+            }
+            if flaky:
+                envelope["attempt_errors"] = flaky
         _atomic_write(
             self.report_path(job.id),
             json.dumps(envelope, indent=2, sort_keys=True) + "\n",

@@ -86,6 +86,22 @@ class TokenBucket:
             self._refill(self._clock())
             return self._tokens
 
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` are available (0 when they already are).
+
+        Examples:
+            >>> clock = [0.0]
+            >>> bucket = TokenBucket(capacity=1, refill_rate=0.5,
+            ...                      clock=lambda: clock[0])
+            >>> _ = bucket.try_acquire()
+            >>> bucket.seconds_until()
+            2.0
+        """
+        with self._lock:
+            self._refill(self._clock())
+            missing = max(0.0, tokens - self._tokens)
+            return missing / self.refill_rate
+
 
 class RateLimiter:
     """One token bucket per client id, with bounded client tracking.
@@ -132,6 +148,18 @@ class RateLimiter:
                     self._buckets.popitem(last=False)
             self._buckets.move_to_end(client)
         return bucket.try_acquire()
+
+    def retry_after(self, client: str) -> float:
+        """Seconds until ``client`` could acquire a token again.
+
+        For a client never seen (or evicted) the bucket would be fresh
+        and full, so the wait is 0.
+        """
+        with self._lock:
+            bucket = self._buckets.get(client)
+        if bucket is None:
+            return 0.0
+        return bucket.seconds_until()
 
     def stats(self) -> Dict[str, Any]:
         """Tracked-client count and configuration, for readiness output."""

@@ -117,6 +117,8 @@ class ServiceConfig:
             and report it in readiness; batch submissions are refused
             if it failed.
         max_scenarios_per_job: per-submission scenario bound.
+        overload_retry_after: hint (seconds) sent in the
+            ``Retry-After`` header with ``overloaded`` refusals.
         enable_telemetry: collect ``service.*`` spans and counters.
 
     Examples:
@@ -142,6 +144,7 @@ class ServiceConfig:
     default_method: str = "event"
     parity_check: bool = True
     max_scenarios_per_job: int = 10000
+    overload_retry_after: float = 1.0
     enable_telemetry: bool = True
 
     def __post_init__(self):
@@ -178,6 +181,10 @@ class ServiceConfig:
         if self.max_scenarios_per_job < 1:
             raise InvalidParameterError(
                 "max_scenarios_per_job must be >= 1"
+            )
+        if self.overload_retry_after <= 0:
+            raise InvalidParameterError(
+                "overload_retry_after must be positive"
             )
 
 
@@ -420,6 +427,7 @@ class LineSearchService:
             raise ServiceError(
                 "rate_limited",
                 f"client {submission.client!r} is over its rate limit",
+                retry_after=self.limiter.retry_after(submission.client),
             )
         # Single scenarios are answered straight from the cache when
         # possible — no job, no queue slot, no recomputation.
@@ -441,6 +449,7 @@ class LineSearchService:
                     "overloaded",
                     f"the admission queue is full "
                     f"({self.queue.capacity} job(s)); retry with backoff",
+                    retry_after=self.config.overload_retry_after,
                 )
             job = self.registry.create(submission)
             accepted = self.queue.offer(job)
@@ -707,11 +716,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # request logging goes through telemetry, not stderr
 
-    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         data = dumps(body)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -741,7 +757,7 @@ class _Handler(BaseHTTPRequestHandler):
                 status, endpoint = self._route(method, path)
         except ServiceError as exc:
             status = exc.http_status
-            self._safe_send(status, exc.body())
+            self._safe_send(status, exc.body(), exc.headers())
         except BrokenPipeError:
             status = 499  # client went away mid-response
         except Exception as exc:  # noqa: BLE001 - never kill the thread
@@ -762,9 +778,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "service_request_seconds", time.monotonic() - started
             )
 
-    def _safe_send(self, status: int, body: Dict[str, Any]) -> None:
+    def _safe_send(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         try:
-            self._send_json(status, body)
+            self._send_json(status, body, headers)
         except (BrokenPipeError, OSError):
             pass
 

@@ -16,12 +16,16 @@ from repro.simulation.adversary import (
 )
 from repro.simulation.engine import SearchSimulation, simulate_search
 from repro.simulation.events import (
+    ClaimEvent,
+    CommitEvent,
     CrashEvent,
     DetectionEvent,
     Event,
     FalseAlarmEvent,
+    RefuteEvent,
     TargetVisitEvent,
     TurnEvent,
+    VoteEvent,
 )
 from repro.simulation.invariants import (
     InvariantViolation,
@@ -44,6 +48,8 @@ from repro.simulation.sweep import (
 from repro.simulation.timestep import TimeSteppedSimulator
 
 __all__ = [
+    "ClaimEvent",
+    "CommitEvent",
     "CompetitiveRatioEstimate",
     "CompetitiveRatioEstimator",
     "CrashEvent",
@@ -51,6 +57,8 @@ __all__ = [
     "Event",
     "FalseAlarmEvent",
     "InvariantViolation",
+    "RefuteEvent",
+    "VoteEvent",
     "RatioProfile",
     "RatioSample",
     "SearchOutcome",

@@ -20,6 +20,10 @@ __all__ = [
     "DetectionEvent",
     "CrashEvent",
     "FalseAlarmEvent",
+    "ClaimEvent",
+    "VoteEvent",
+    "CommitEvent",
+    "RefuteEvent",
 ]
 
 
@@ -126,4 +130,86 @@ class FalseAlarmEvent(Event):
         return (
             f"t={self.time:.6g}: {self.robot_name} raises a FALSE alarm at "
             f"x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class ClaimEvent(Event):
+    """A robot claimed a detection at ``position``, opening verification.
+
+    Under the confirmation protocol a claim is an *assertion*, not a
+    termination: verifiers are diverted to ``position`` and vote.  The
+    claimant may be reliable (claiming the true target) or Byzantine
+    (lying about an arbitrary point).
+    """
+
+    position: float
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: {self.robot_name} claims a detection at "
+            f"x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class VoteEvent(Event):
+    """A verifier arrived at a claimed point and voted.
+
+    Attributes:
+        position: The claimed point being verified.
+        present: The robot's vote — ``True`` for "target is here".
+            Reliable robots vote what they sense; Byzantine robots vote
+            adversarially.
+    """
+
+    position: float
+    present: bool
+
+    def describe(self) -> str:
+        verdict = "confirms" if self.present else "disputes"
+        return (
+            f"t={self.time:.6g}: {self.robot_name} {verdict} the claim at "
+            f"x={self.position:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class CommitEvent(Event):
+    """A claim reached the ``f + 1`` confirmation quorum: search over.
+
+    Attributes:
+        position: The committed target position.
+        votes: Number of "present" votes gathered (>= quorum).
+    """
+
+    position: float
+    votes: int
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: claim at x={self.position:.6g} COMMITTED "
+            f"with {self.votes} confirmations ({self.robot_name} decisive)"
+        )
+
+
+@dataclass(frozen=True)
+class RefuteEvent(Event):
+    """A claim reached ``f + 1`` "absent" votes: exposed as a lie.
+
+    Verifiers abandon the claimed point and resume their search
+    trajectories (delayed by the diversion).
+
+    Attributes:
+        position: The refuted claimed position.
+        votes: Number of "absent" votes gathered (>= quorum).
+    """
+
+    position: float
+    votes: int
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.6g}: claim at x={self.position:.6g} REFUTED "
+            f"with {self.votes} disputes ({self.robot_name} decisive)"
         )

@@ -1,0 +1,141 @@
+"""Acceptance tests: simulation vs semi-analytic theory vs closed form.
+
+This is the subsystem's validation contract (see ISSUE acceptance
+criteria): on a pinned ``(n, f)`` grid,
+
+1. under worst-case *silent* liars the event simulation's commit time
+   agrees with :func:`repro.byzantine.predictor.predicted_commit_time`
+   — a number computed purely from the planned trajectories, with none
+   of the claim/vote machinery;
+2. every measured commit ratio stays within the closed-form
+   ``2 rho + 1`` bound of arXiv:1611.08209;
+3. under worst-case *lying* liars (seeded alarms, adversarial
+   placement) the search terminates on the true target in 100% of
+   scenarios.
+"""
+
+import pytest
+
+from repro.byzantine import (
+    ByzantineSearchSimulation,
+    predicted_commit_ratio,
+    predicted_commit_time,
+    worst_case_liars,
+)
+from repro.core import byzantine_confirmation_bound, competitive_ratio
+from repro.core.tolerance import times_close
+from repro.robots import (
+    BehavioralFaults,
+    ByzantineAdversary,
+    CrashDetectionFault,
+    Fleet,
+)
+from repro.schedule import ByzantineConfirmationAlgorithm, algorithm_for
+
+#: The pinned validation grid: proportional and trivial regimes, at and
+#: above the protocol's 2f+1 minimum.
+PAIRS = ((3, 1), (4, 1), (5, 2), (7, 3), (8, 3))
+
+TARGETS = (1.5, -1.5, 2.0, -3.0, 5.0, -5.0, 9.0, -9.0)
+
+
+def _silent_liars(fleet, target, f):
+    return BehavioralFaults(
+        {i: CrashDetectionFault() for i in worst_case_liars(fleet, target, f)}
+    )
+
+
+@pytest.mark.parametrize("n,f", PAIRS, ids=lambda v: str(v))
+class TestSimulationMatchesPredictor:
+    def test_commit_times_agree_exactly(self, n, f):
+        fleet = Fleet.from_algorithm(algorithm_for(n, f))
+        for target in TARGETS:
+            predicted = predicted_commit_time(fleet, target, f)
+            outcome = ByzantineSearchSimulation(
+                Fleet.from_algorithm(algorithm_for(n, f)),
+                target,
+                fault_model=_silent_liars(fleet, target, f),
+                check_invariants=True,
+            ).run()
+            assert outcome.committed_truthfully, (n, f, target)
+            assert times_close(outcome.detection_time, predicted), (
+                f"({n},{f}) x={target}: simulated "
+                f"{outcome.detection_time!r} != predicted {predicted!r}"
+            )
+
+    def test_measured_ratio_within_closed_form_bound(self, n, f):
+        fleet = Fleet.from_algorithm(algorithm_for(n, f))
+        bound = byzantine_confirmation_bound(n, f)
+        assert bound == 2.0 * competitive_ratio(n, f) + 1.0
+        for target in TARGETS:
+            outcome = ByzantineSearchSimulation(
+                Fleet.from_algorithm(algorithm_for(n, f)),
+                target,
+                fault_model=_silent_liars(fleet, target, f),
+            ).run()
+            ratio = outcome.detection_time / abs(target)
+            assert ratio <= bound * (1 + 1e-9), (
+                f"({n},{f}) x={target}: ratio {ratio:.6f} over bound "
+                f"{bound:.6f}"
+            )
+
+    def test_lying_adversary_always_commits_on_the_truth(self, n, f):
+        """The 100%-true-target acceptance criterion: seeded adversarial
+        liar placement, alarms and all, never terminates falsely."""
+        for seed_alarms in ([0.5, 2.0], [1.0, 3.0, 7.0]):
+            for target in TARGETS:
+                outcome = ByzantineSearchSimulation(
+                    Fleet.from_algorithm(ByzantineConfirmationAlgorithm(n, f)),
+                    target,
+                    fault_model=ByzantineAdversary(
+                        f, alarm_times=seed_alarms
+                    ),
+                    check_invariants=True,
+                ).run()
+                assert outcome.committed_truthfully, (
+                    f"({n},{f}) x={target} alarms={seed_alarms}: "
+                    f"terminated at {outcome.committed_position!r}"
+                )
+                # every raised alarm is refuted; alarms scheduled past
+                # the commit instant simply never fire
+                assert outcome.claims_refuted <= f * len(seed_alarms)
+                assert (
+                    outcome.claims_raised
+                    == outcome.claims_refuted + 1
+                )
+
+
+class TestPredictorSelfChecks:
+    def test_predicted_ratio_divides_by_target(self):
+        fleet = Fleet.from_algorithm(algorithm_for(4, 1))
+        assert predicted_commit_ratio(fleet, 4.0, 1) == pytest.approx(
+            predicted_commit_time(fleet, 4.0, 1) / 4.0
+        )
+
+    def test_worst_case_liars_are_the_first_visitors(self):
+        fleet = Fleet.from_algorithm(algorithm_for(5, 2))
+        liars = worst_case_liars(fleet, 3.0, 2)
+        assert tuple(liars) == tuple(fleet.visiting_order(3.0)[:2])
+
+    def test_explicit_liars_accepted_up_to_budget(self):
+        fleet = Fleet.from_algorithm(algorithm_for(5, 2))
+        t_default = predicted_commit_time(fleet, 3.0, 2)
+        t_weaker = predicted_commit_time(
+            fleet, 3.0, 2, liars=worst_case_liars(fleet, 3.0, 2)[:1]
+        )
+        # a weaker adversary can only commit sooner or equally
+        assert t_weaker <= t_default + 1e-12
+
+    def test_liar_budget_overflow_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        fleet = Fleet.from_algorithm(algorithm_for(5, 2))
+        with pytest.raises(InvalidParameterError):
+            predicted_commit_time(fleet, 3.0, 2, liars=(0, 1, 2))
+
+    def test_fleet_below_minimum_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        fleet = Fleet.from_algorithm(algorithm_for(4, 2))
+        with pytest.raises(InvalidParameterError):
+            predicted_commit_time(fleet, 3.0, 2)

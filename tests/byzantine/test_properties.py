@@ -1,0 +1,176 @@
+"""Property tests for the Byzantine layer's safety budgets.
+
+Three contracts, fuzzed rather than spot-checked:
+
+1. **false-alarm budget** — however the adversary schedules its lies,
+   the log never carries more false alarms than liars x alarms, every
+   one is refuted, and the commit is truthful;
+2. **liar budget** — :class:`~repro.robots.faults.BehavioralFaults`'s
+   budget guards make more than ``f`` liars unrepresentable against a
+   ``2f + 1`` fleet: the protocol refuses the fleet before a single
+   event is simulated;
+3. **cross-process determinism** — confirmation outcomes are identical
+   under different ``PYTHONHASHSEED`` values (no dict-order or hash
+   dependence in claim scheduling, pool ranking, or vote order).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.byzantine import ByzantineSearchSimulation, ConfirmationProtocol
+from repro.errors import InvalidParameterError
+from repro.robots import (
+    BehavioralFaults,
+    ByzantineAdversary,
+    ByzantineFalseAlarmFault,
+    Fleet,
+)
+from repro.schedule import algorithm_for
+from repro.simulation.events import CommitEvent, FalseAlarmEvent, RefuteEvent
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+PAIRS = ((3, 1), (5, 2), (7, 3))
+
+alarm_times = st.lists(
+    st.floats(min_value=0.0, max_value=30.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=4,
+)
+
+targets = st.floats(
+    min_value=1.0, max_value=12.0, allow_nan=False, allow_infinity=False
+).flatmap(lambda x: st.sampled_from([x, -x]))
+
+
+class TestFalseAlarmBudget:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=st.sampled_from(PAIRS), target=targets, alarms=alarm_times)
+    def test_alarm_budget_never_exceeded(self, pair, target, alarms):
+        n, f = pair
+        outcome = ByzantineSearchSimulation(
+            Fleet.from_algorithm(algorithm_for(n, f)),
+            target,
+            fault_model=ByzantineAdversary(f, alarm_times=alarms),
+            check_invariants=True,
+        ).run()
+        logged_alarms = [
+            e for e in outcome.events if isinstance(e, FalseAlarmEvent)
+        ]
+        refutes = [e for e in outcome.events if isinstance(e, RefuteEvent)]
+        # budget: at most f liars x len(alarms) scheduled lies
+        assert len(logged_alarms) <= f * len(alarms)
+        # every logged lie was refuted, none committed
+        assert len(refutes) == len(logged_alarms)
+        commits = [e for e in outcome.events if isinstance(e, CommitEvent)]
+        assert len(commits) == 1
+        assert outcome.committed_truthfully
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=st.sampled_from(PAIRS), target=targets, alarms=alarm_times)
+    def test_liar_count_never_exceeds_f(self, pair, target, alarms):
+        n, f = pair
+        outcome = ByzantineSearchSimulation(
+            Fleet.from_algorithm(algorithm_for(n, f)),
+            target,
+            fault_model=ByzantineAdversary(f, alarm_times=alarms),
+        ).run()
+        assert len(outcome.faulty_robots) <= f
+
+
+class TestLiarBudgetGuards:
+    @settings(max_examples=20, deadline=None)
+    @given(extra=st.integers(min_value=1, max_value=3))
+    def test_over_budget_behavioral_map_is_unrepresentable(self, extra):
+        """f+extra liars raise the model's budget past what a 2f+1
+        fleet can tolerate; the protocol refuses at construction."""
+        n, f = 5, 2
+        fleet = Fleet.from_algorithm(algorithm_for(n, f))
+        liars = BehavioralFaults(
+            {
+                i: ByzantineFalseAlarmFault([1.0])
+                for i in range(min(n, f + extra))
+            }
+        )
+        assert liars.fault_budget > f
+        with pytest.raises(InvalidParameterError):
+            ByzantineSearchSimulation(fleet, 3.0, liars)
+
+    def test_protocol_quorum_always_beats_the_budget(self):
+        for n, f in PAIRS:
+            protocol = ConfirmationProtocol(n, f)
+            # f liars can neither commit a lie (need f+1 presents) nor
+            # refute the truth (need f+1 absents)
+            assert protocol.quorum == f + 1 > f
+            assert protocol.pool_size - f >= protocol.quorum - 0  # reliable pool
+
+
+CROSS_PROCESS_SCRIPT = """
+import json, sys
+from repro.byzantine import ByzantineSearchSimulation
+from repro.robots import ByzantineAdversary, Fleet
+from repro.schedule import algorithm_for
+
+results = []
+for n, f, target, alarms in json.loads(sys.stdin.read()):
+    outcome = ByzantineSearchSimulation(
+        Fleet.from_algorithm(algorithm_for(n, f)),
+        target,
+        fault_model=ByzantineAdversary(f, alarm_times=alarms),
+    ).run()
+    results.append(
+        {
+            "detection_time": repr(outcome.detection_time),
+            "detecting_robot": outcome.detecting_robot,
+            "committed_position": repr(outcome.committed_position),
+            "claims_raised": outcome.claims_raised,
+            "claims_refuted": outcome.claims_refuted,
+            "faulty": sorted(outcome.faulty_robots),
+            "events": len(outcome.events),
+        }
+    )
+print(json.dumps(results))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_confirmation_outcomes_identical_across_hash_seeds(
+        self, tmp_path
+    ):
+        """Commit times, claim counts, and liar placements must not
+        depend on anything process-local."""
+        cases = [
+            [3, 1, 2.0, [0.5, 2.0]],
+            [5, 2, -3.5, [1.0, 3.0]],
+            [7, 3, 9.0, [0.25, 1.25, 6.0]],
+        ]
+        payload = json.dumps(cases)
+        script = tmp_path / "byz.py"
+        script.write_text(CROSS_PROCESS_SCRIPT)
+        seen = []
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+            env["PYTHONHASHSEED"] = hash_seed
+            out = subprocess.run(
+                [sys.executable, str(script)],
+                input=payload,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+                check=True,
+            )
+            seen.append(json.loads(out.stdout))
+        assert seen[0] == seen[1] == seen[2], (
+            "confirmation outcomes drifted across PYTHONHASHSEED values"
+        )

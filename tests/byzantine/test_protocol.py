@@ -1,0 +1,101 @@
+"""Unit tests for the confirmation-protocol state machine."""
+
+import pytest
+
+from repro.byzantine import ClaimState, ConfirmationProtocol
+from repro.errors import InvalidParameterError, SimulationError
+
+
+class TestConstruction:
+    def test_quorum_and_pool(self):
+        protocol = ConfirmationProtocol(n=7, f=3)
+        assert protocol.quorum == 4
+        assert protocol.pool_size == 7
+
+    def test_pool_clamped_to_fleet(self):
+        assert ConfirmationProtocol(n=3, f=1).pool_size == 3
+
+    def test_zero_faults_commits_solo(self):
+        protocol = ConfirmationProtocol(n=1, f=0)
+        claim = protocol.open_claim(claimant=0, position=2.0, time=5.0)
+        assert claim.state is ClaimState.COMMITTED
+        assert claim.resolve_time == 5.0
+
+    @pytest.mark.parametrize("n,f", [(2, 1), (4, 2), (6, 3), (0, 0)])
+    def test_fleet_too_small_rejected(self, n, f):
+        with pytest.raises(InvalidParameterError):
+            ConfirmationProtocol(n=n, f=f)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConfirmationProtocol(n=3, f=-1)
+
+
+class TestVoting:
+    def test_claimant_votes_present_at_open(self):
+        protocol = ConfirmationProtocol(n=5, f=2)
+        claim = protocol.open_claim(claimant=1, position=4.0, time=6.0)
+        assert claim.present_votes == 1
+        assert claim.voters == {1}
+        assert claim.state is ClaimState.PENDING
+
+    def test_commit_at_quorum_present(self):
+        protocol = ConfirmationProtocol(n=5, f=2)
+        claim = protocol.open_claim(1, 4.0, 6.0)
+        protocol.cast_vote(claim, 0, 7.0, present=True)
+        state = protocol.cast_vote(claim, 2, 8.5, present=True)
+        assert state is ClaimState.COMMITTED
+        assert claim.resolve_time == 8.5
+
+    def test_refute_at_quorum_absent(self):
+        protocol = ConfirmationProtocol(n=5, f=2)
+        claim = protocol.open_claim(1, 4.0, 6.0)
+        for voter, t in ((0, 7.0), (2, 7.5), (3, 8.0)):
+            state = protocol.cast_vote(claim, voter, t, present=False)
+        assert state is ClaimState.REFUTED
+        assert claim.absent_votes == 3
+
+    def test_mixed_votes_need_full_quorum(self):
+        protocol = ConfirmationProtocol(n=7, f=3)
+        claim = protocol.open_claim(0, 2.0, 1.0)
+        protocol.cast_vote(claim, 1, 2.0, present=False)
+        protocol.cast_vote(claim, 2, 3.0, present=True)
+        protocol.cast_vote(claim, 3, 4.0, present=False)
+        protocol.cast_vote(claim, 4, 5.0, present=True)
+        assert claim.state is ClaimState.PENDING
+        assert protocol.cast_vote(claim, 5, 6.0, present=True) is (
+            ClaimState.COMMITTED
+        )
+
+    def test_double_vote_rejected(self):
+        protocol = ConfirmationProtocol(n=3, f=1)
+        claim = protocol.open_claim(0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            protocol.cast_vote(claim, 0, 2.0, present=True)
+
+    def test_vote_after_resolution_rejected(self):
+        protocol = ConfirmationProtocol(n=3, f=1)
+        claim = protocol.open_claim(0, 1.0, 1.0)
+        protocol.cast_vote(claim, 1, 2.0, present=True)
+        assert claim.state is ClaimState.COMMITTED
+        with pytest.raises(SimulationError):
+            protocol.cast_vote(claim, 2, 3.0, present=True)
+
+    def test_vote_before_claim_time_rejected(self):
+        protocol = ConfirmationProtocol(n=3, f=1)
+        claim = protocol.open_claim(0, 1.0, 5.0)
+        with pytest.raises(SimulationError):
+            protocol.cast_vote(claim, 1, 4.0, present=True)
+
+    def test_out_of_range_indices_rejected(self):
+        protocol = ConfirmationProtocol(n=3, f=1)
+        with pytest.raises(InvalidParameterError):
+            protocol.open_claim(3, 1.0, 1.0)
+        claim = protocol.open_claim(0, 1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            protocol.cast_vote(claim, -1, 2.0, present=True)
+
+    def test_describe_mentions_quorum(self):
+        text = ConfirmationProtocol(n=5, f=2).describe()
+        assert "quorum=3" in text
+        assert "pool=5" in text

@@ -1,0 +1,220 @@
+"""Behavioral tests for the confirmation-protocol event simulation."""
+
+import math
+
+import pytest
+
+from repro.byzantine import (
+    ByzantineSearchSimulation,
+    simulate_byzantine_search,
+)
+from repro.errors import InvalidParameterError
+from repro.observability import Telemetry
+from repro.observability import instrument as obs
+from repro.robots import (
+    BehavioralFaults,
+    ByzantineAdversary,
+    ByzantineFalseAlarmFault,
+    CrashDetectionFault,
+    CrashStopFault,
+    Fleet,
+    ProbabilisticDetectionFault,
+)
+from repro.schedule import algorithm_for
+from repro.simulation.events import (
+    ClaimEvent,
+    CommitEvent,
+    FalseAlarmEvent,
+    RefuteEvent,
+    VoteEvent,
+)
+from repro.trajectory import LinearTrajectory
+
+
+def _fleet(n, f):
+    return Fleet.from_algorithm(algorithm_for(n, f))
+
+
+class TestFaultFreeRuns:
+    def test_commits_on_the_true_target(self):
+        outcome = simulate_byzantine_search(_fleet(3, 1), 2.0)
+        assert outcome.committed_truthfully
+        assert outcome.claims_refuted == 0
+
+    def test_zero_faults_commit_equals_first_visit(self):
+        fleet = _fleet(4, 1)
+        outcome = ByzantineSearchSimulation(fleet, 3.0).run()
+        # the default fault model has budget 0: quorum 1, the genuine
+        # claimant's own vote commits instantly
+        assert outcome.quorum == 1
+        assert outcome.detection_time == pytest.approx(
+            fleet.detection_time(3.0), rel=1e-12
+        )
+
+    def test_commit_time_exceeds_crash_detection_under_faults(self):
+        fleet = _fleet(5, 2)
+        liars = BehavioralFaults(
+            {0: CrashDetectionFault(), 1: CrashDetectionFault()}
+        )
+        outcome = ByzantineSearchSimulation(fleet, 4.0, liars).run()
+        assert outcome.committed_truthfully
+        # confirmation needs f extra arrivals beyond the first reliable
+        # visit, so it can never beat the crash-fault detection time
+        assert outcome.detection_time >= fleet.worst_case_detection_time(
+            4.0, 2
+        ) - 1e-9
+
+    def test_event_log_shape(self):
+        outcome = simulate_byzantine_search(_fleet(5, 2), -3.0)
+        kinds = [type(e) for e in outcome.events]
+        assert ClaimEvent in kinds
+        assert CommitEvent in kinds
+        assert kinds.count(CommitEvent) == 1
+        # the log is chronologically sorted
+        times = [e.time for e in outcome.events]
+        assert times == sorted(times)
+
+
+class TestLyingRobots:
+    def test_every_alarm_is_refuted_then_truth_commits(self):
+        fleet = _fleet(5, 2)
+        liars = BehavioralFaults(
+            {
+                0: ByzantineFalseAlarmFault([1.0, 3.0]),
+                1: ByzantineFalseAlarmFault([2.0]),
+            }
+        )
+        outcome = ByzantineSearchSimulation(fleet, 4.0, liars).run()
+        assert outcome.committed_truthfully
+        assert outcome.claims_refuted == 3
+        assert outcome.claims_raised == 4
+        refutes = [e for e in outcome.events if isinstance(e, RefuteEvent)]
+        alarms = [e for e in outcome.events if isinstance(e, FalseAlarmEvent)]
+        assert len(refutes) == 3
+        assert len(alarms) == 3
+
+    def test_single_liar_cannot_terminate_the_search(self):
+        fleet = _fleet(3, 1)
+        liars = BehavioralFaults({0: ByzantineFalseAlarmFault([0.5])})
+        outcome = ByzantineSearchSimulation(fleet, 2.0, liars).run()
+        assert outcome.committed_truthfully
+        commit = next(
+            e for e in outcome.events if isinstance(e, CommitEvent)
+        )
+        assert commit.position == pytest.approx(2.0)
+
+    def test_worst_case_adversary_commits_truthfully(self):
+        for n, f in ((3, 1), (5, 2), (7, 3)):
+            for target in (2.0, -3.5, 6.0):
+                outcome = ByzantineSearchSimulation(
+                    _fleet(n, f), target,
+                    fault_model=ByzantineAdversary(f),
+                    check_invariants=True,
+                ).run()
+                assert outcome.committed_truthfully, (n, f, target)
+                assert outcome.quorum == f + 1
+
+    def test_refutation_diversions_delay_the_commit(self):
+        fleet_quiet = _fleet(5, 2)
+        fleet_noisy = _fleet(5, 2)
+        silent = BehavioralFaults(
+            {0: CrashDetectionFault(), 1: CrashDetectionFault()}
+        )
+        noisy = BehavioralFaults(
+            {
+                0: ByzantineFalseAlarmFault([0.5, 1.5, 2.5]),
+                1: ByzantineFalseAlarmFault([1.0, 2.0, 3.0]),
+            }
+        )
+        quiet_outcome = ByzantineSearchSimulation(
+            fleet_quiet, 4.0, silent
+        ).run()
+        noisy_outcome = ByzantineSearchSimulation(
+            fleet_noisy, 4.0, noisy
+        ).run()
+        assert noisy_outcome.committed_truthfully
+        assert (
+            noisy_outcome.detection_time >= quiet_outcome.detection_time
+        )
+
+
+class TestOtherFaultBehaviors:
+    def test_crash_stop_verifiers_never_vote_after_halt(self):
+        fleet = _fleet(5, 2)
+        model = BehavioralFaults(
+            {0: CrashStopFault(0.25), 1: CrashStopFault(0.25)}
+        )
+        outcome = ByzantineSearchSimulation(fleet, 4.0, model).run()
+        assert outcome.committed_truthfully
+        halted_votes = [
+            e
+            for e in outcome.events
+            if isinstance(e, VoteEvent)
+            and e.robot_index in (0, 1)
+            and e.time > 0.5 + 0.25  # halt + any conceivable travel slack
+        ]
+        assert not halted_votes
+
+    def test_probabilistic_runs_are_replayable(self):
+        def run():
+            model = BehavioralFaults(
+                {
+                    0: ProbabilisticDetectionFault(0.4, seed=11),
+                    1: ProbabilisticDetectionFault(0.4, seed=12),
+                }
+            )
+            return ByzantineSearchSimulation(_fleet(5, 2), 3.0, model).run()
+
+        first, second = run(), run()
+        assert first.detection_time == second.detection_time
+        assert first.claims_raised == second.claims_raised
+        assert len(first.events) == len(second.events)
+
+
+class TestEdges:
+    def test_undetectable_target_reports_inf(self):
+        # three right-bound robots never reach a left target; f=0 so
+        # the protocol itself is satisfiable, the schedule just never
+        # produces a claim
+        fleet = Fleet.from_trajectories(
+            [LinearTrajectory(1.0) for _ in range(3)]
+        )
+        outcome = ByzantineSearchSimulation(fleet, -2.0).run()
+        assert not outcome.detected
+        assert outcome.committed_position is None
+        assert math.isinf(outcome.detection_time)
+
+    def test_fleet_below_protocol_minimum_rejected(self):
+        fleet = _fleet(3, 1)
+        model = BehavioralFaults(
+            {0: CrashDetectionFault(), 1: CrashDetectionFault()}
+        )
+        with pytest.raises(InvalidParameterError):
+            ByzantineSearchSimulation(fleet, 2.0, model)  # n=3 < 2*2+1
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ByzantineSearchSimulation(_fleet(3, 1), 0.0)
+        with pytest.raises(InvalidParameterError):
+            ByzantineSearchSimulation(_fleet(3, 1), math.inf)
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        previous = obs.configure(telemetry)
+        try:
+            simulate_byzantine_search(
+                _fleet(3, 1), 2.0,
+                BehavioralFaults({0: ByzantineFalseAlarmFault([0.5])}),
+            )
+        finally:
+            obs.configure(previous)
+        from repro.observability.metrics import Counter
+
+        counters = {
+            m.name: m.value()
+            for m in telemetry.metrics.metrics()
+            if isinstance(m, Counter)
+        }
+        assert counters.get("byzantine_runs_total") == 1
+        assert counters.get("byzantine_claims_total", 0) >= 2
+        assert counters.get("byzantine_refutes_total", 0) >= 1

@@ -1,0 +1,73 @@
+"""Closed forms of the Byzantine layer (arXiv:1611.08209)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    byzantine_confirmation_bound,
+    byzantine_quorum,
+    competitive_ratio,
+    min_byzantine_fleet,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestQuorum:
+    def test_quorum_is_f_plus_one(self):
+        for f in range(0, 10):
+            assert byzantine_quorum(f) == f + 1
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            byzantine_quorum(-1)
+
+
+class TestMinFleet:
+    def test_min_fleet_is_two_f_plus_one(self):
+        for f in range(0, 10):
+            assert min_byzantine_fleet(f) == 2 * f + 1
+
+    def test_reliable_majority_in_minimum_fleet(self):
+        # the defining property: a pool of 2f+1 holds >= f+1 reliable
+        for f in range(0, 10):
+            assert min_byzantine_fleet(f) - f >= byzantine_quorum(f)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            min_byzantine_fleet(-2)
+
+
+class TestConfirmationBound:
+    def test_bound_is_two_rho_plus_one(self):
+        for n, f in ((3, 1), (4, 1), (5, 2), (7, 3), (8, 3), (9, 4)):
+            rho = competitive_ratio(n, f)
+            assert byzantine_confirmation_bound(n, f) == pytest.approx(
+                2.0 * rho + 1.0
+            )
+
+    def test_trivial_regime_bound_is_three(self):
+        # n >= 2f+2 gives rho = 1, so the protocol pays exactly 2+1
+        for n, f in ((4, 1), (6, 2), (8, 3), (10, 4)):
+            assert byzantine_confirmation_bound(n, f) == 3.0
+
+    def test_infinite_below_minimum_fleet(self):
+        for n, f in ((1, 1), (2, 1), (4, 2), (6, 3)):
+            assert math.isinf(byzantine_confirmation_bound(n, f))
+
+    def test_fault_free_bounds(self):
+        # f = 0, n = 1: the classic cow-path ratio 9 -> 2*9 + 1
+        assert byzantine_confirmation_bound(1, 0) == 19.0
+        # f = 0, n = 2: one robot per direction, rho = 1
+        assert byzantine_confirmation_bound(2, 0) == 3.0
+
+    def test_monotone_in_f_for_fixed_n(self):
+        n = 9
+        bounds = [byzantine_confirmation_bound(n, f) for f in range(0, 5)]
+        assert bounds == sorted(bounds)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            byzantine_confirmation_bound(0, 0)
+        with pytest.raises(InvalidParameterError):
+            byzantine_confirmation_bound(3, -1)

@@ -1,0 +1,135 @@
+"""Expected-time objectives under probabilistic faults (arXiv:2303.15608)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ExpectedTimeEstimate,
+    expected_competitive_ratio,
+    expected_detection_time,
+)
+from repro.errors import InvalidParameterError
+from repro.robots import Fleet
+from repro.schedule import algorithm_for
+
+
+def _fleet(n, f):
+    return Fleet.from_algorithm(algorithm_for(n, f))
+
+
+class TestPointEstimates:
+    def test_certain_detection_reduces_to_first_visit(self):
+        fleet = _fleet(4, 1)
+        for target in (1.0, -2.5, 6.0):
+            est = expected_detection_time(fleet, target, 1.0)
+            assert est.expected_time == fleet.detection_time(target)
+            assert not est.diverged
+            assert est.visits_used >= 1
+
+    def test_expected_time_decreases_as_p_grows(self):
+        fleet = _fleet(3, 1)
+        target = 2.0
+        times = [
+            expected_detection_time(fleet, target, p).expected_time
+            for p in (0.5, 0.6, 0.8, 1.0)
+        ]
+        assert all(math.isfinite(t) for t in times)
+        assert times == sorted(times, reverse=True)
+
+    def test_expected_time_at_least_first_visit(self):
+        fleet = _fleet(5, 2)
+        target = -3.0
+        first = fleet.detection_time(target)
+        est = expected_detection_time(fleet, target, 0.7)
+        assert est.expected_time >= first
+
+    def test_sparse_schedule_diverges_for_tiny_p(self):
+        # a single zigzag robot revisits with geometric gaps (kappa ~ 4);
+        # kappa * (1 - p) >= 1 makes the expectation infinite
+        fleet = _fleet(1, 0)
+        est = expected_detection_time(fleet, 2.0, 0.05)
+        assert est.diverged
+        assert math.isinf(est.expected_time)
+        assert math.isinf(est.expected_ratio)
+
+    def test_dense_fleet_converges_where_sparse_diverges(self):
+        # the single zigzag robot's revisit gaps are too sparse at
+        # p = 0.5, but five proportional robots overlap their sweeps
+        p = 0.5
+        sparse = expected_detection_time(_fleet(1, 0), 2.0, p)
+        dense = expected_detection_time(_fleet(5, 2), 2.0, p)
+        assert sparse.diverged
+        assert not dense.diverged
+        assert math.isfinite(dense.expected_time)
+
+    def test_trivial_regime_never_revisits_so_diverges_below_one(self):
+        # n >= 2f+2 sends robots straight out: the target sees only
+        # finitely many visits, so any miss probability is fatal
+        est = expected_detection_time(_fleet(6, 2), 2.0, 0.9)
+        assert est.diverged
+        certain = expected_detection_time(_fleet(6, 2), 2.0, 1.0)
+        assert not certain.diverged
+
+    def test_estimate_round_trips_to_dict(self):
+        est = expected_detection_time(_fleet(5, 2), 3.0, 0.9)
+        payload = est.to_dict()
+        assert payload["target"] == 3.0
+        assert payload["probability"] == 0.9
+        assert payload["expected_ratio"] == pytest.approx(
+            est.expected_time / 3.0
+        )
+        assert payload["diverged"] is False
+
+    def test_describe_mentions_divergence(self):
+        est = expected_detection_time(_fleet(1, 0), 2.0, 0.05)
+        assert "diverges" in est.describe()
+
+
+class TestExpectedRatio:
+    def test_certain_detection_trivial_regime_ratio_is_one(self):
+        ratio, samples = expected_competitive_ratio(
+            _fleet(4, 1), [1.0, -2.0, 5.0], 1.0
+        )
+        assert ratio == 1.0
+        assert len(samples) == 3
+        assert all(isinstance(s, ExpectedTimeEstimate) for s in samples)
+
+    def test_ratio_is_supremum_of_samples(self):
+        ratio, samples = expected_competitive_ratio(
+            _fleet(5, 2), [1.0, -3.0, 7.0], 0.8
+        )
+        assert ratio == max(s.expected_ratio for s in samples)
+
+    def test_any_divergent_target_makes_ratio_infinite(self):
+        ratio, samples = expected_competitive_ratio(
+            _fleet(1, 0), [2.0], 0.05
+        )
+        assert math.isinf(ratio)
+        assert samples[0].diverged
+
+
+class TestValidation:
+    def test_zero_probability_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_detection_time(_fleet(4, 1), 2.0, 0.0)
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_detection_time(_fleet(4, 1), 2.0, 1.5)
+
+    def test_origin_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_detection_time(_fleet(4, 1), 0.0, 0.5)
+
+    def test_non_finite_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_detection_time(_fleet(4, 1), math.inf, 0.5)
+
+    def test_bad_rtol_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_detection_time(_fleet(4, 1), 2.0, 0.5, rtol=2.0)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            expected_competitive_ratio(_fleet(4, 1), [], 0.5)

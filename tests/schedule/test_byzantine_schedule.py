@@ -1,0 +1,76 @@
+"""Unit tests for the Byzantine confirmation schedule family."""
+
+import math
+
+import pytest
+
+from repro.core import byzantine_confirmation_bound
+from repro.errors import InvalidParameterError
+from repro.schedule import (
+    ByzantineConfirmationAlgorithm,
+    algorithm_for,
+)
+
+PAIRS = ((3, 1), (4, 1), (5, 2), (7, 3), (8, 3))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n,f", PAIRS, ids=lambda v: str(v))
+    def test_wraps_the_crash_schedule_for_the_pair(self, n, f):
+        algo = ByzantineConfirmationAlgorithm(n, f)
+        assert algo.n == n
+        assert algo.f == f
+        assert algo.quorum == f + 1
+        assert algo.inner.name == algorithm_for(n, f).name
+
+    def test_name_brackets_the_motion_schedule(self):
+        algo = ByzantineConfirmationAlgorithm(5, 2)
+        assert algo.name == f"ByzantineConfirmation[{algo.inner.name}]"
+
+    @pytest.mark.parametrize(
+        "n,f", ((2, 1), (4, 2), (6, 3), (1, 1)), ids=lambda v: str(v)
+    )
+    def test_below_minimum_fleet_rejected(self, n, f):
+        with pytest.raises(InvalidParameterError, match="2f \\+ 1"):
+            ByzantineConfirmationAlgorithm(n, f)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ByzantineConfirmationAlgorithm(3, -1)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("n,f", PAIRS, ids=lambda v: str(v))
+    def test_motion_identical_to_crash_schedule(self, n, f):
+        """The protocol/motion split: Byzantine tolerance is behavioral,
+        the planned trajectories are the crash schedule's exactly."""
+        ours = ByzantineConfirmationAlgorithm(n, f).build()
+        theirs = algorithm_for(n, f).build()
+        assert len(ours) == len(theirs) == n
+        for a, b in zip(ours, theirs):
+            for t in (0.0, 0.5, 1.0, 3.0, 7.5, 20.0):
+                assert a.position_at(t) == pytest.approx(b.position_at(t))
+
+    def test_fresh_trajectories_each_build(self):
+        algo = ByzantineConfirmationAlgorithm(3, 1)
+        assert algo.build()[0] is not algo.build()[0]
+
+
+class TestTheory:
+    @pytest.mark.parametrize("n,f", PAIRS, ids=lambda v: str(v))
+    def test_theoretical_ratio_is_the_confirmation_bound(self, n, f):
+        algo = ByzantineConfirmationAlgorithm(n, f)
+        assert algo.theoretical_competitive_ratio() == (
+            byzantine_confirmation_bound(n, f)
+        )
+        assert math.isfinite(algo.theoretical_competitive_ratio())
+
+    def test_describe_mentions_quorum_and_pool(self):
+        text = ByzantineConfirmationAlgorithm(7, 3).describe()
+        assert "quorum 4" in text
+        assert "pool 7" in text
+
+    def test_pool_clamped_to_fleet_size(self):
+        # n = 2f+1 exactly: the pool is the whole fleet
+        text = ByzantineConfirmationAlgorithm(5, 2).describe()
+        assert "pool 5" in text

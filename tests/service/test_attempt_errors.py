@@ -1,0 +1,113 @@
+"""Flaky-scenario visibility: ``attempt_errors`` in the report envelope."""
+
+import pytest
+
+from repro.robustness import CampaignReport
+from repro.robustness.campaign import ScenarioResult, ScenarioSpec
+from repro.service.queueing import JobRegistry
+from repro.service.protocol import parse_submission
+
+from tests.service.test_server import _start
+
+
+def _submission():
+    return parse_submission(
+        {"specs": [{"n": 3, "f": 1, "target": 2.0, "seed": 1}]}
+    )
+
+
+def _flaky_result():
+    return ScenarioResult(
+        spec=ScenarioSpec(3, 1, 2.0, "random", 1),
+        ok=True,
+        attempts=2,
+        detection_time=10.5,
+        competitive_ratio=5.25,
+        attempt_errors=("SimulationError: transient blip",),
+    )
+
+
+def _clean_result():
+    return ScenarioResult(
+        spec=ScenarioSpec(3, 1, -2.0, "none", 2),
+        ok=True,
+        detection_time=10.5,
+    )
+
+
+class TestEnvelopeSurface:
+    def test_flaky_results_surfaced_at_top_level(self, tmp_path):
+        registry = JobRegistry(str(tmp_path))
+        job = registry.create(_submission())
+        job.report = CampaignReport(
+            results=[_flaky_result(), _clean_result()]
+        )
+        job.set_state("done")
+        registry.write_report(job)
+
+        envelope = registry.load_report(job.id)
+        flaky = envelope["attempt_errors"]
+        key = _flaky_result().spec.describe()
+        assert flaky == {key: ["SimulationError: transient blip"]}
+
+    def test_clean_report_omits_the_key(self, tmp_path):
+        registry = JobRegistry(str(tmp_path))
+        job = registry.create(_submission())
+        job.report = CampaignReport(results=[_clean_result()])
+        job.set_state("done")
+        registry.write_report(job)
+        assert "attempt_errors" not in registry.load_report(job.id)
+
+    def test_nested_results_still_carry_their_own_errors(self, tmp_path):
+        registry = JobRegistry(str(tmp_path))
+        job = registry.create(_submission())
+        job.report = CampaignReport(results=[_flaky_result()])
+        job.set_state("done")
+        registry.write_report(job)
+        envelope = registry.load_report(job.id)
+        nested = envelope["report"]["results"][0]["attempt_errors"]
+        assert nested == ["SimulationError: transient blip"]
+
+
+class TestServedEnvelope:
+    def test_http_result_carries_attempt_errors(self, tmp_path):
+        """The fetch path end to end: a terminal job whose report holds
+        a retried scenario serves its ``attempt_errors`` over HTTP."""
+        service, client = _start(tmp_path)
+        try:
+            body = client.submit_campaign(
+                specs=[{"n": 3, "f": 1, "target": 2.0, "seed": 5}]
+            )
+            client.wait(body["job_id"], timeout=60.0)
+            # rewrite the terminal envelope with a flaky result through
+            # the server's own registry — the same writer the worker
+            # pipeline uses
+            job = service.registry.get(body["job_id"])
+            job.report = CampaignReport(
+                results=[_flaky_result(), _clean_result()]
+            )
+            service.registry.write_report(job)
+
+            envelope = client.result(body["job_id"])
+            key = _flaky_result().spec.describe()
+            assert envelope["attempt_errors"] == {
+                key: ["SimulationError: transient blip"]
+            }
+            nested = envelope["report"]["results"][0]["attempt_errors"]
+            assert nested == ["SimulationError: transient blip"]
+        finally:
+            service.stop()
+
+    def test_successful_served_job_omits_attempt_errors(self, tmp_path):
+        service, client = _start(tmp_path)
+        try:
+            body = client.submit_campaign(
+                specs=[{"n": 3, "f": 1, "target": 2.0, "seed": 5}]
+            )
+            if body.get("cached"):
+                pytest.skip("served from cache; no envelope written")
+            envelope = client.wait(body["job_id"], timeout=60.0)
+            assert envelope["report"]["failed"] == 0
+            assert "attempt_errors" not in envelope
+        finally:
+            service.stop()

@@ -245,6 +245,44 @@ class TestChaos:
         assert code == 0
         assert "1 failure(s) isolated" in out
 
+    def test_confirmation_protocol_campaign_all_ok(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chaos",
+            "--pairs", "3,1", "5,2",
+            "--targets", "2.0", "-3.0",
+            "--faults", "byzantine_adversarial:0.5;1.5",
+            "--protocol", "confirmation",
+            "--seed", "9",
+        )
+        assert code == 0
+        assert "protocol confirmation" in out
+        assert "4/4 scenarios ok" in out
+
+    def test_default_protocol_not_mentioned(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--seed", "2",
+        )
+        assert code == 0
+        assert "protocol" not in out
+
+    def test_confirmation_below_minimum_fleet_is_isolated(self, capsys):
+        # (4, 2) violates n >= 2f + 1: the scenario fails at realize
+        # time, is isolated, and gates the exit code
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "4,2", "--targets", "1.0",
+            "--faults", "none", "--protocol", "confirmation", "--seed", "1",
+        )
+        assert code == 1
+        assert "1 failure(s) isolated" in out
+
+    def test_unknown_protocol_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["chaos", "--protocol", "paxos"])
+        assert info.value.code == 2
+        assert "paxos" in capsys.readouterr().err
+
     def test_resume_requires_journal(self, capsys):
         code, _, err = run_cli(capsys, "chaos", "--resume")
         assert code == 2
