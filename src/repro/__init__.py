@@ -35,6 +35,17 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.async_sched import (
+    ActivationScheduler,
+    AdversarialScheduler,
+    AsyncScheduler,
+    EventEngine,
+    FsyncScheduler,
+    SsyncScheduler,
+    run_async_parity,
+    run_degradation_sweep,
+    scheduler_from_spec,
+)
 from repro.batch import (
     BatchEvaluator,
     available_backends,
@@ -152,9 +163,12 @@ from repro.trajectory import (
 )
 
 __all__ = [
+    "ActivationScheduler",
     "AdversarialFaults",
+    "AdversarialScheduler",
     "AdversaryError",
     "AdversaryWitness",
+    "AsyncScheduler",
     "BatchError",
     "BatchEvaluator",
     "BehavioralFaults",
@@ -163,7 +177,6 @@ __all__ = [
     "ByzantineFalseAlarmFault",
     "ByzantineOutcome",
     "ByzantineSearchSimulation",
-    "ConfirmationProtocol",
     "CampaignError",
     "CampaignExecutor",
     "CampaignJournal",
@@ -171,17 +184,20 @@ __all__ = [
     "CompetitiveRatioEstimator",
     "Cone",
     "ConeZigZag",
+    "ConfirmationProtocol",
     "CrashDetectionFault",
     "CrashStopFault",
     "CustomBetaAlgorithm",
     "DelayedGroupDoubling",
     "DoublingTrajectory",
+    "EventEngine",
     "ExpectedTimeEstimate",
     "ExperimentError",
     "FaultBehavior",
     "FaultModel",
     "FixedFaults",
     "Fleet",
+    "FsyncScheduler",
     "GeometricZigZag",
     "GroupDoubling",
     "InvalidParameterError",
@@ -208,6 +224,7 @@ __all__ = [
     "SingleRobotDoubling",
     "SpaceTimePoint",
     "SplitDoubling",
+    "SsyncScheduler",
     "TargetLadder",
     "Telemetry",
     "TheoremTwoGame",
@@ -225,8 +242,8 @@ __all__ = [
     "byzantine_quorum",
     "chaos_scenarios",
     "compare_reports",
-    "compile_trajectory",
     "competitive_ratio",
+    "compile_trajectory",
     "disable_telemetry",
     "enable_telemetry",
     "expected_competitive_ratio",
@@ -241,9 +258,12 @@ __all__ = [
     "optimal_expansion_factor",
     "profile_spans",
     "proportionality_ratio",
+    "run_async_parity",
     "run_campaign",
+    "run_degradation_sweep",
     "run_suite",
     "schedule_competitive_ratio",
+    "scheduler_from_spec",
     "simulate_byzantine_search",
     "simulate_search",
     "theorem2_lower_bound",

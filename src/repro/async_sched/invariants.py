@@ -1,0 +1,146 @@
+"""Invariant audits for event-engine (scheduled-time) outcomes.
+
+The log-level invariants of :mod:`repro.simulation.invariants` —
+chronology, detection-event consistency, minimum search time — apply to
+wall-clock event logs unchanged, because the event engine emits the
+same event types in the same order contract.  The *fleet-level* checks
+of that module do **not** apply: they re-derive visit statistics from
+trajectories in plan time, and under a non-trivial schedule wall times
+legitimately differ.  This module supplies the scheduled-time
+replacements, keyed off the engine's
+:class:`~repro.async_sched.engine.AsyncRunRecord`:
+
+- ``wall_not_before_plan`` — scheduling can only delay: every robot's
+  wall detection instant is at least its plan instant.
+- ``delay_nonnegative`` — accrued idle offsets are finite and ``>= 0``.
+- ``wall_detection_consistency`` — the outcome's detection time equals
+  the minimum wall genuine detection, achieved by the reported robot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.async_sched.engine import AsyncRunRecord
+from repro.core.tolerance import TIME_RTOL, times_close
+from repro.errors import InvariantViolationError
+from repro.simulation.invariants import InvariantViolation, audit_outcome
+from repro.simulation.metrics import SearchOutcome
+
+__all__ = ["audit_async_outcome", "check_async_outcome"]
+
+
+def audit_async_outcome(
+    outcome: SearchOutcome,
+    record: Optional[AsyncRunRecord] = None,
+) -> List[InvariantViolation]:
+    """Audit an event-engine outcome; return every violated invariant.
+
+    Runs the log-level audit of
+    :func:`repro.simulation.invariants.audit_outcome` (no fleet — see
+    module docstring) plus the scheduled-time checks when a ``record``
+    is supplied.
+    """
+    violations = audit_outcome(outcome)
+    if record is None:
+        return violations
+    _check_delays(record, violations)
+    _check_wall_vs_plan(record, violations)
+    _check_wall_detection(outcome, record, violations)
+    return violations
+
+
+def check_async_outcome(
+    outcome: SearchOutcome,
+    record: Optional[AsyncRunRecord] = None,
+) -> None:
+    """Audit an event-engine outcome and raise on any violation.
+
+    Raises:
+        InvariantViolationError: listing every violated invariant.
+    """
+    violations = audit_async_outcome(outcome, record=record)
+    if violations:
+        summary = "; ".join(v.describe() for v in violations)
+        raise InvariantViolationError(
+            f"{len(violations)} invariant violation(s): {summary}"
+        )
+
+
+def _check_delays(
+    record: AsyncRunRecord, violations: List[InvariantViolation]
+) -> None:
+    for index, delay in enumerate(record.delays):
+        if delay is None:
+            continue
+        if not (math.isfinite(delay) and delay >= 0.0):
+            violations.append(
+                InvariantViolation(
+                    "delay_nonnegative",
+                    f"robot {index} accrued invalid idle delay {delay!r}",
+                )
+            )
+
+
+def _check_wall_vs_plan(
+    record: AsyncRunRecord, violations: List[InvariantViolation]
+) -> None:
+    pairs = zip(record.plan_detection_times, record.wall_detection_times)
+    for index, (plan_t, wall_t) in enumerate(pairs):
+        if plan_t is None or wall_t is None:
+            if (plan_t is None) != (wall_t is None):
+                violations.append(
+                    InvariantViolation(
+                        "wall_not_before_plan",
+                        f"robot {index} has plan/wall detection mismatch: "
+                        f"plan={plan_t!r}, wall={wall_t!r}",
+                    )
+                )
+            continue
+        if wall_t < plan_t - TIME_RTOL * (1.0 + abs(plan_t)):
+            violations.append(
+                InvariantViolation(
+                    "wall_not_before_plan",
+                    f"robot {index} detects at wall time {wall_t!r} before "
+                    f"its plan time {plan_t!r}; scheduling can only delay",
+                )
+            )
+
+
+def _check_wall_detection(
+    outcome: SearchOutcome,
+    record: AsyncRunRecord,
+    violations: List[InvariantViolation],
+) -> None:
+    walls = [t for t in record.wall_detection_times if t is not None]
+    expected = min(walls) if walls else math.inf
+    actual = outcome.detection_time
+    if math.isinf(expected) or math.isinf(actual):
+        agree = expected == actual
+    else:
+        agree = times_close(expected, actual)
+    if not agree:
+        violations.append(
+            InvariantViolation(
+                "wall_detection_consistency",
+                f"outcome detection time {actual!r} != minimum wall "
+                f"genuine detection {expected!r}",
+            )
+        )
+        return
+    if outcome.detected:
+        robot = outcome.detecting_robot
+        wall = (
+            record.wall_detection_times[robot]
+            if robot is not None and robot < len(record.wall_detection_times)
+            else None
+        )
+        if wall is None or not times_close(wall, actual):
+            violations.append(
+                InvariantViolation(
+                    "wall_detection_consistency",
+                    f"detecting robot {robot!r} has wall genuine detection "
+                    f"{wall!r}, not the outcome detection time {actual!r}",
+                )
+            )

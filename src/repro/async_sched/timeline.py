@@ -1,0 +1,183 @@
+"""Per-robot wall-clock ↔ plan-time maps built from scheduler slices.
+
+The event engine separates *what* a robot does (its analytic plan
+trajectory, parameterized by **plan time**) from *when* it gets to do it
+(the activation schedule, parameterized by **wall time**).  A
+:class:`Timeline` is the bridge: a lazy, monotone, piecewise-linear map
+assembled from the ``(gap, burst)`` slices an activation scheduler
+yields for one robot.  During a gap the robot is frozen (plan time does
+not advance); during a burst plan time advances 1:1 with wall time.
+
+Exactness contract (the FSYNC parity harness depends on it): the wall
+time of a plan instant inside burst ``k`` is computed as
+``plan_t + offset_k`` where ``offset_k`` is the *cumulative sum of the
+gaps* before that burst — never as ``burst_start_wall + (plan_t - τ)``,
+which would round differently.  When every gap is ``0.0`` the offset is
+exactly ``0.0`` and ``plan_t + 0.0`` is bit-identical to ``plan_t``, so
+an FSYNC timeline reproduces continuous-engine times exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import InvalidParameterError, SimulationError
+
+__all__ = ["Timeline"]
+
+#: Slices a single :meth:`Timeline.ensure_plan`/``ensure_wall`` call may
+#: pull before giving up — a guard against a quantum so small relative
+#: to the horizon that materializing the timeline would never finish.
+_MAX_SLICES = 2_000_000
+
+
+class Timeline:
+    """Lazy wall↔plan map for one robot, fed by scheduler slices.
+
+    Args:
+        slices: Iterator of ``(gap, burst)`` pairs — wall-time idle gap
+            (``>= 0``) followed by an active burst advancing plan time
+            by ``burst`` (``> 0``).  Must be effectively infinite: the
+            timeline pulls as many slices as its queries need.
+
+    Examples:
+        >>> from itertools import repeat
+        >>> fsync = Timeline(repeat((0.0, 0.5)))
+        >>> fsync.wall_of(3.7)
+        3.7
+        >>> delayed = Timeline(iter([(1.0, 0.5), (0.0, 0.5)] * 100))
+        >>> delayed.wall_of(0.25)   # one gap of 1.0 before the burst
+        1.25
+        >>> delayed.plan_of(0.5)    # still idle at wall 0.5
+        0.0
+    """
+
+    __slots__ = ("_slices", "_plan_ends", "_wall_ends", "_offsets")
+
+    def __init__(self, slices: Iterable[Tuple[float, float]]) -> None:
+        self._slices: Iterator[Tuple[float, float]] = iter(slices)
+        #: Plan time at the end of burst ``k`` (strictly increasing).
+        self._plan_ends: List[float] = []
+        #: Wall time at the end of burst ``k`` (= plan end + offset).
+        self._wall_ends: List[float] = []
+        #: Cumulative idle offset during burst ``k`` (non-decreasing).
+        self._offsets: List[float] = []
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+
+    def _pull(self) -> None:
+        try:
+            gap, burst = next(self._slices)
+        except StopIteration:
+            raise SimulationError(
+                "activation scheduler exhausted its slices; schedulers "
+                "must yield (gap, burst) pairs forever"
+            ) from None
+        if not (math.isfinite(gap) and gap >= 0.0):
+            raise InvalidParameterError(
+                f"activation gap must be finite and >= 0, got {gap!r}"
+            )
+        if not (math.isfinite(burst) and burst > 0.0):
+            raise InvalidParameterError(
+                f"activation burst must be finite and > 0, got {burst!r}"
+            )
+        offset = (self._offsets[-1] if self._offsets else 0.0) + gap
+        plan_end = (self._plan_ends[-1] if self._plan_ends else 0.0) + burst
+        self._offsets.append(offset)
+        self._plan_ends.append(plan_end)
+        self._wall_ends.append(plan_end + offset)
+
+    def ensure_plan(self, plan_t: float) -> None:
+        """Materialize bursts until plan time ``plan_t`` is covered."""
+        pulls = 0
+        while not self._plan_ends or self._plan_ends[-1] < plan_t:
+            if pulls >= _MAX_SLICES:
+                raise SimulationError(
+                    f"timeline needed more than {_MAX_SLICES} slices to "
+                    f"reach plan time {plan_t:g}; the scheduler quantum "
+                    "is too small for this horizon"
+                )
+            self._pull()
+            pulls += 1
+
+    def ensure_wall(self, wall_t: float) -> None:
+        """Materialize bursts until wall time ``wall_t`` is covered."""
+        pulls = 0
+        while not self._wall_ends or self._wall_ends[-1] < wall_t:
+            if pulls >= _MAX_SLICES:
+                raise SimulationError(
+                    f"timeline needed more than {_MAX_SLICES} slices to "
+                    f"reach wall time {wall_t:g}; the scheduler quantum "
+                    "is too small for this horizon"
+                )
+            self._pull()
+            pulls += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def wall_of(self, plan_t: float) -> float:
+        """Earliest wall time at which the robot reaches plan time
+        ``plan_t`` — exact (``plan_t + 0.0``) when no gap precedes it."""
+        if not math.isfinite(plan_t):
+            raise InvalidParameterError(
+                f"plan time must be finite, got {plan_t!r}"
+            )
+        if plan_t <= 0.0:
+            return plan_t
+        self.ensure_plan(plan_t)
+        index = bisect_left(self._plan_ends, plan_t)
+        return plan_t + self._offsets[index]
+
+    def plan_of(self, wall_t: float) -> float:
+        """Plan-time progress of the robot at wall time ``wall_t``
+        (frozen during gaps)."""
+        if not math.isfinite(wall_t):
+            raise InvalidParameterError(
+                f"wall time must be finite, got {wall_t!r}"
+            )
+        if wall_t <= 0.0:
+            return 0.0
+        self.ensure_wall(wall_t)
+        index = bisect_left(self._wall_ends, wall_t)
+        plan_start = self._plan_ends[index - 1] if index else 0.0
+        wall_start = plan_start + self._offsets[index]
+        if wall_t <= wall_start:
+            return plan_start  # inside the gap before burst ``index``
+        return wall_t - self._offsets[index]
+
+    def offset_at(self, plan_t: float) -> float:
+        """Cumulative idle delay accrued by plan time ``plan_t``."""
+        if plan_t <= 0.0:
+            self.ensure_plan(math.ulp(0.0))
+            return self._offsets[0]
+        self.ensure_plan(plan_t)
+        return self._offsets[bisect_left(self._plan_ends, plan_t)]
+
+    # ------------------------------------------------------------------
+    # introspection (audits, tests)
+    # ------------------------------------------------------------------
+
+    @property
+    def bursts(self) -> Tuple[Tuple[float, float, float], ...]:
+        """Materialized ``(plan_start, plan_end, offset)`` bursts."""
+        out = []
+        start = 0.0
+        for end, offset in zip(self._plan_ends, self._offsets):
+            out.append((start, end, offset))
+            start = end
+        return tuple(out)
+
+    def describe(self) -> str:
+        """One-line summary of the materialized prefix."""
+        if not self._plan_ends:
+            return "Timeline(unmaterialized)"
+        return (
+            f"Timeline({len(self._plan_ends)} bursts, plan<="
+            f"{self._plan_ends[-1]:.6g}, delay={self._offsets[-1]:.6g})"
+        )

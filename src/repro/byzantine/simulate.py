@@ -39,6 +39,16 @@ Fault semantics during verification:
   their halt time;
 * probabilistic robots vote truthfully about false points and sense
   the true target with their seeded per-visit probability.
+
+Scheduled-time composition: pass ``timelines`` (one
+:class:`~repro.async_sched.timeline.Timeline` per robot, e.g. from
+:func:`repro.async_sched.engine.timelines_for`) and every *plan-derived*
+instant — genuine detections, Byzantine alarm times, crash-stop halt
+checks — is mapped through the robot's wall↔plan map before entering
+the protocol.  Claim verification itself stays in wall time: a claim is
+an announcement that *wakes* the diverted robots, so diversion travel
+and voting proceed at unit speed regardless of the activation schedule
+(the scheduler governs searching, not responding to an alarm).
 """
 
 from __future__ import annotations
@@ -102,6 +112,10 @@ class ByzantineSearchSimulation:
         check_invariants: Audit the outcome with
             :func:`repro.byzantine.invariants.check_byzantine_outcome`
             after every run.
+        timelines: Optional per-robot wall↔plan maps composing the
+            protocol with an activation scheduler (see module
+            docstring).  ``None`` means synchronous time (identity
+            maps), which preserves the original semantics exactly.
 
     Examples:
         >>> from repro.schedule import algorithm_for
@@ -122,12 +136,18 @@ class ByzantineSearchSimulation:
         target: float,
         fault_model: Optional[FaultModel] = None,
         check_invariants: bool = False,
+        timelines: Optional[list] = None,
     ) -> None:
         if not isinstance(fleet, Fleet):
             raise InvalidParameterError(f"fleet must be a Fleet, got {fleet!r}")
         if target == 0.0 or not math.isfinite(target):
             raise InvalidParameterError(
                 f"target must be a nonzero finite real, got {target!r}"
+            )
+        if timelines is not None and len(timelines) != fleet.size:
+            raise InvalidParameterError(
+                f"need one timeline per robot ({fleet.size}), got "
+                f"{len(timelines)}"
             )
         self.fleet = fleet
         self.target = float(target)
@@ -138,6 +158,7 @@ class ByzantineSearchSimulation:
         self.fault_model = fault_model
         self.protocol = ConfirmationProtocol(fleet.size, fault_model.fault_budget)
         self.check_invariants = bool(check_invariants)
+        self._timelines = list(timelines) if timelines is not None else None
 
     # ------------------------------------------------------------------
     # run
@@ -288,9 +309,25 @@ class ByzantineSearchSimulation:
     # pieces
     # ------------------------------------------------------------------
 
+    def _wall_of(self, i: int, plan_t: float) -> float:
+        """Wall time of a plan instant of robot ``i`` (identity when no
+        scheduler timelines were supplied)."""
+        if self._timelines is None:
+            return plan_t
+        return self._timelines[i].wall_of(plan_t)
+
+    def _plan_of(self, i: int, wall_t: float) -> float:
+        """Plan progress of robot ``i`` at a wall instant (identity when
+        no scheduler timelines were supplied)."""
+        if self._timelines is None:
+            return wall_t
+        return self._timelines[i].plan_of(wall_t)
+
     def _position(self, plans, delays, i: int, t: float) -> float:
         """Searching position of robot ``i`` at absolute time ``t``."""
-        return plans[i].position_at(max(0.0, t - delays[i]))
+        return plans[i].position_at(
+            self._plan_of(i, max(0.0, t - delays[i]))
+        )
 
     def _next_candidate(
         self, now, plans, delays, behaviors, genuine_base,
@@ -301,13 +338,13 @@ class ByzantineSearchSimulation:
         for i, base in enumerate(genuine_base):
             if base is None:
                 continue
-            t = max(base + delays[i], now)
+            t = max(self._wall_of(i, base) + delays[i], now)
             if best is None or (t, i) < (best.time, best.claimant):
                 best = _Candidate(t, i, self.target, True, None)
         for (i, ordinal, base) in pending_alarms:
             if (i, ordinal) in consumed:
                 continue
-            t = max(base + delays[i], now)
+            t = max(self._wall_of(i, base) + delays[i], now)
             if best is None or (t, i) < (best.time, best.claimant):
                 # the lie: "the target is right here, where I stand"
                 position = self._position(plans, delays, i, t)
@@ -340,8 +377,9 @@ class ByzantineSearchSimulation:
             arrival = t_c + travel
             behavior = behaviors.get(j)
             if isinstance(behavior, CrashStopFault):
-                # a crashed robot neither travels nor votes
-                if arrival - delays[j] > behavior.halt_time:
+                # a crashed robot neither travels nor votes; the halt is
+                # a plan instant, so compare in plan time
+                if self._plan_of(j, arrival - delays[j]) > behavior.halt_time:
                     continue
             arrivals.append((arrival, j, travel))
         arrivals.sort()

@@ -206,6 +206,65 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="PATH",
                            help="write the full parity report as JSON")
 
+    p_async = sub.add_parser(
+        "async",
+        help="discrete-event scheduling: CR-degradation sweeps + parity",
+    )
+    async_sub = p_async.add_subparsers(dest="async_command", required=True)
+
+    pa_sweep = async_sub.add_parser(
+        "sweep",
+        help="competitive-ratio degradation as activation delays grow",
+    )
+    pa_sweep.add_argument("n", type=int)
+    pa_sweep.add_argument("f", type=int)
+    pa_sweep.add_argument(
+        "--scheduler", choices=("ssync", "async", "adversarial"),
+        default="adversarial",
+        help="activation scheduler family swept over the delay knob "
+             "(default: adversarial — the greedy target-aware delayer)",
+    )
+    pa_sweep.add_argument(
+        "--delays", nargs="+", type=float, default=[0.0, 0.5, 1.0, 2.0],
+        help="max-delay knob values (default: 0 0.5 1 2)",
+    )
+    pa_sweep.add_argument("--quantum", type=float, default=0.5,
+                          help="plan time per activation burst "
+                               "(default: 0.5)")
+    pa_sweep.add_argument("--seed", type=int, default=0)
+    pa_sweep.add_argument("--x-max", type=float, default=8.0,
+                          help="largest |target| probed (default: 8)")
+    pa_sweep.add_argument("--points", type=int, default=12,
+                          help="targets probed, both signs "
+                               "(default: 12)")
+    pa_sweep.add_argument(
+        "--speeds", nargs="+", type=float, default=None,
+        help="per-robot speeds in (0, 1] (multi-speed fleets; "
+             "default: unit speed)",
+    )
+    pa_sweep.add_argument("--report-json", type=str, default=None,
+                          metavar="PATH",
+                          help="write the full degradation report as JSON")
+
+    pa_parity = async_sub.add_parser(
+        "parity",
+        help="prove the FSYNC event engine reproduces the continuous "
+             "engine bit-exactly",
+    )
+    pa_parity.add_argument(
+        "--pairs", nargs="+", default=None, metavar="N,F",
+        help="regimes compared (default: the built-in six)",
+    )
+    pa_parity.add_argument("--targets", type=int, default=12,
+                           help="seeded targets per regime (default: 12)")
+    pa_parity.add_argument("--seed", type=int, default=2016)
+    pa_parity.add_argument("--x-max", type=float, default=16.0)
+    pa_parity.add_argument("--quantum", type=float, default=0.5,
+                           help="FSYNC round length (default: 0.5)")
+    pa_parity.add_argument("--report-json", type=str, default=None,
+                           metavar="PATH",
+                           help="write the full parity report as JSON")
+
     p_chaos = sub.add_parser(
         "chaos", help="run a seeded fault-injection campaign"
     )
@@ -236,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "requires n >= 2f+1 per pair and commits "
                               "a detection only after f+1 confirming "
                               "votes (Byzantine-tolerant)")
+    p_chaos.add_argument("--mode", type=str, default="sync",
+                         metavar="SPEC",
+                         help="activation timing: 'sync' (default) or a "
+                              "scheduler spec like "
+                              "'event:adversarial:1.0' routing every "
+                              "scenario through the discrete-event "
+                              "engine (incompatible with "
+                              "--method batch)")
     p_chaos.add_argument("--no-invariants", action="store_true",
                          help="skip the runtime invariant audit")
     p_chaos.add_argument("--max-failures", type=int, default=10,
@@ -689,6 +756,52 @@ def _cmd_batch(args: argparse.Namespace):
     raise LineSearchError(f"unknown batch subcommand {args.batch_command!r}")
 
 
+def _cmd_async(args: argparse.Namespace):
+    if args.async_command == "sweep":
+        from repro.async_sched import run_degradation_sweep
+
+        report = run_degradation_sweep(
+            args.n,
+            args.f,
+            delays=tuple(args.delays),
+            scheduler=args.scheduler,
+            quantum=args.quantum,
+            seed=args.seed,
+            x_max=args.x_max,
+            points=args.points,
+            speeds=args.speeds,
+        )
+        lines = [report.describe()]
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            lines.append(f"wrote {args.report_json}")
+        return "\n".join(lines)
+
+    if args.async_command == "parity":
+        from repro.async_sched import run_async_parity
+        from repro.async_sched.parity import DEFAULT_PAIRS
+
+        pairs = (
+            _parse_pairs(args.pairs) if args.pairs else list(DEFAULT_PAIRS)
+        )
+        report = run_async_parity(
+            pairs=pairs,
+            targets_per_pair=args.targets,
+            seed=args.seed,
+            x_max=args.x_max,
+            quantum=args.quantum,
+        )
+        lines = [report.describe()]
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            lines.append(f"wrote {args.report_json}")
+        return "\n".join(lines), 0 if report.passed else 1
+
+    raise LineSearchError(f"unknown async subcommand {args.async_command!r}")
+
+
 def _cmd_chaos(args: argparse.Namespace):
     from repro.robustness import (
         FAULT_KINDS,
@@ -701,6 +814,11 @@ def _cmd_chaos(args: argparse.Namespace):
         raise LineSearchError("--resume requires --journal PATH")
     if args.retries < 0:
         raise LineSearchError("--retries must be >= 0")
+    if args.mode != "sync" and args.method == "batch":
+        raise LineSearchError(
+            "--method batch cannot run scheduled-time scenarios; "
+            "drop --mode or use --method event"
+        )
     pairs = _parse_pairs(args.pairs)
     scenarios = chaos_scenarios(
         pairs,
@@ -709,6 +827,7 @@ def _cmd_chaos(args: argparse.Namespace):
         seed=args.seed,
         method=args.method,
         protocol=args.protocol,
+        mode=args.mode,
     )
     executor = CampaignExecutor(
         jobs=args.jobs,
@@ -747,7 +866,11 @@ def _cmd_chaos(args: argparse.Namespace):
     protocol_note = (
         f", protocol {args.protocol}" if args.protocol != "none" else ""
     )
-    lines = [f"{len(scenarios)} scenarios (seed {args.seed}{protocol_note})"]
+    mode_note = f", mode {args.mode}" if args.mode != "sync" else ""
+    lines = [
+        f"{len(scenarios)} scenarios "
+        f"(seed {args.seed}{protocol_note}{mode_note})"
+    ]
     if args.journal:
         verb = "resumed from" if args.resume else "journaled to"
         lines.append(f"{verb} {args.journal}")
@@ -1030,6 +1153,7 @@ _DISPATCH = {
     "validate": _cmd_validate,
     "schedule": _cmd_schedule,
     "batch": _cmd_batch,
+    "async": _cmd_async,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "telemetry": _cmd_telemetry,

@@ -101,9 +101,16 @@ WELL_KNOWN_METRICS = {
         "batch_points_total": "targets evaluated through the batch kernels",
         "batch_compiles_total":
             "fleet compilations into batch segment arrays",
+        "async_runs_total": "discrete-event engine runs executed",
+        "async_activations_total":
+            "activation bursts materialized across event-engine timelines",
+        "async_sweep_points_total":
+            "CR-degradation sweep points evaluated",
     },
     "histogram": {
         "simulation_wall_seconds": "wall-clock time of one simulation run",
+        "async_wall_seconds":
+            "wall-clock time of one discrete-event engine run",
         "scenario_wall_seconds": "wall-clock time of one campaign scenario",
         "journal_flush_seconds": "wall-clock time of one journal flush",
         "service_request_seconds":

@@ -23,7 +23,7 @@ configuration, not an idealized one).
 
 Examples:
     >>> suite_names()
-    ['batch', 'byzantine', 'campaign', 'engine', 'full', 'quick']
+    ['async', 'batch', 'byzantine', 'campaign', 'engine', 'full', 'quick']
     >>> "engine_sweep" in workload_names()
     True
 """
@@ -206,6 +206,34 @@ def _setup_byzantine_protocol(params: Dict[str, Any]) -> Callable[[], Any]:
     return run
 
 
+def _setup_async_engine(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.async_sched import EventEngine, scheduler_from_spec
+    from repro.robots import AdversarialFaults, Fleet
+    from repro.schedule import ProportionalAlgorithm
+
+    fleet = Fleet.from_algorithm(
+        ProportionalAlgorithm(params["n"], params["f"])
+    )
+    targets = _symmetric_grid(params["points"], params["x_max"])
+    scheduler = scheduler_from_spec(params["scheduler"])
+    budget = params["f"]
+    fleet.worst_case_detection_time(targets[0], budget)  # materialize
+
+    def run():
+        return [
+            EventEngine(
+                fleet,
+                x,
+                scheduler=scheduler,
+                fault_model=AdversarialFaults(budget),
+                seed=params["seed"],
+            ).run(with_events=False)
+            for x in targets
+        ]
+
+    return run
+
+
 WORKLOADS: Tuple[Workload, ...] = (
     Workload(
         name="engine_sweep",
@@ -264,6 +292,16 @@ WORKLOADS: Tuple[Workload, ...] = (
                "fault": "byzantine:1.0;2.5", "seed": 11},
     ),
     Workload(
+        name="async_engine",
+        description="discrete-event engine under the adversarial "
+                    "scheduler, per-target runs, A(3,1)",
+        setup=_setup_async_engine,
+        full={"n": 3, "f": 1, "points": 800, "x_max": 100.0,
+              "scheduler": "event:adversarial:1.0", "seed": 0},
+        quick={"n": 3, "f": 1, "points": 120, "x_max": 100.0,
+               "scheduler": "event:adversarial:1.0", "seed": 0},
+    ),
+    Workload(
         name="byzantine_protocol",
         description="confirmation protocol vs worst-case liars, one run",
         setup=_setup_byzantine_protocol,
@@ -283,6 +321,7 @@ SUITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "batch": ("full", ("batch_pure", "batch_numpy", "batch_compile")),
     "campaign": ("full", ("campaign_executor", "chaos_scenario")),
     "byzantine": ("full", ("byzantine_protocol", "chaos_scenario")),
+    "async": ("full", ("async_engine", "engine_sweep")),
 }
 
 

@@ -32,6 +32,15 @@ voting layer of :mod:`repro.byzantine`, under which a claim commits
 only after ``f + 1`` confirmations and lying robots cannot terminate
 the search at a false point.
 
+A spec may also name a ``mode``: ``"sync"`` (the default continuous
+synchronous engine) or an activation-scheduler spec such as
+``"event"``, ``"event:adversarial:1.0"``, or ``"event:ssync:0.5"`` —
+the discrete-event engine of :mod:`repro.async_sched`, where robots
+advance their plans only when the scheduler activates them (see
+:func:`repro.async_sched.scheduler_from_spec` for the grammar).
+Confirmation-protocol scenarios compose: the Byzantine simulation
+receives the scheduler's per-robot timelines.
+
 Programmatic callers can bypass the DSL entirely by handing
 :func:`run_campaign` arbitrary :class:`Scenario` objects whose ``build``
 callables produce any fleet/fault-model pair — including deliberately
@@ -107,12 +116,15 @@ class ScenarioSpec:
     fault: str = "adversarial"
     seed: Optional[int] = None
     protocol: str = "none"
+    mode: str = "sync"
 
     def describe(self) -> str:
         """One-line summary."""
         suffix = (
             f" protocol={self.protocol}" if self.protocol != "none" else ""
         )
+        if self.mode != "sync":
+            suffix += f" mode={self.mode}"
         return (
             f"A({self.n},{self.f}) target={self.target:g} "
             f"fault={self.fault} seed={self.seed}{suffix}"
@@ -121,9 +133,9 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation; inverse of :meth:`from_dict`.
 
-        The default ``protocol="none"`` is *omitted* so every digest,
-        journal key, and golden report produced before the protocol
-        field existed stays byte-identical.
+        The defaults ``protocol="none"`` and ``mode="sync"`` are
+        *omitted* so every digest, journal key, and golden report
+        produced before those fields existed stays byte-identical.
         """
         data = {
             "n": self.n,
@@ -134,6 +146,8 @@ class ScenarioSpec:
         }
         if self.protocol != "none":
             data["protocol"] = self.protocol
+        if self.mode != "sync":
+            data["mode"] = self.mode
         return data
 
     @classmethod
@@ -146,6 +160,7 @@ class ScenarioSpec:
             fault=str(data["fault"]),
             seed=None if data.get("seed") is None else int(data["seed"]),
             protocol=str(data.get("protocol", "none")),
+            mode=str(data.get("mode", "sync")),
         )
 
 
@@ -466,6 +481,12 @@ def build_scenario(spec: ScenarioSpec, method: str = "event") -> Scenario:
             f"unknown protocol {spec.protocol!r}; "
             f"protocols: {', '.join(PROTOCOLS)}"
         )
+    if spec.mode != "sync":
+        # Eagerly parse so a bad mode fails at build time, not inside a
+        # worker process mid-campaign.
+        from repro.async_sched.schedulers import scheduler_from_spec
+
+        scheduler_from_spec(spec.mode)
     _, stochastic = _fault_model_for(spec)
     return Scenario(
         spec=spec,
@@ -482,6 +503,7 @@ def chaos_scenarios(
     seed: int = 0,
     method: str = "event",
     protocol: str = "none",
+    mode: str = "sync",
 ) -> List[Scenario]:
     """The full seeded grid of scenarios: pairs × targets × fault specs.
 
@@ -495,7 +517,10 @@ def chaos_scenarios(
     ``protocol="confirmation"`` runs every scenario under the Byzantine
     voting layer — confirmation scenarios always use the event-level
     protocol simulation, since the batch kernels have no claim/vote
-    semantics.
+    semantics.  A non-default ``mode`` (an activation-scheduler spec,
+    e.g. ``"event:adversarial:1.0"``) runs every scenario through the
+    discrete-event engine; the per-scenario seed also seeds the
+    scheduler, so the whole campaign stays replayable from its spec.
 
     Examples:
         >>> grid = chaos_scenarios([(3, 1)], [1.0, -2.0], ["none", "random"])
@@ -514,6 +539,7 @@ def chaos_scenarios(
                     fault=fault,
                     seed=master.randrange(2**32),
                     protocol=protocol,
+                    mode=mode,
                 )
                 scenarios.append(build_scenario(spec, method=method))
     return scenarios
@@ -570,6 +596,7 @@ def _batch_outcome(fleet: Fleet, model: FaultModel, target: float):
 
 def _run_once(scenario: Scenario, check_invariants: bool):
     fleet, model = scenario.build()
+    mode = getattr(scenario.spec, "mode", "sync")
     if getattr(scenario.spec, "protocol", "none") == "confirmation":
         # The confirmation protocol is inherently event-level (claims,
         # votes, diversions): ``method="batch"`` scenarios fall back to
@@ -578,12 +605,38 @@ def _run_once(scenario: Scenario, check_invariants: bool):
         # downgraded.
         from repro.byzantine.simulate import ByzantineSearchSimulation
 
+        timelines = None
+        if mode != "sync":
+            from repro.async_sched.engine import timelines_for
+            from repro.async_sched.schedulers import scheduler_from_spec
+
+            timelines = timelines_for(
+                [r.effective_trajectory for r in fleet],
+                scheduler_from_spec(mode),
+                scenario.spec.target,
+                seed=scenario.spec.seed or 0,
+            )
         return ByzantineSearchSimulation(
             fleet,
             scenario.spec.target,
             fault_model=model,
             check_invariants=check_invariants,
+            timelines=timelines,
         ).run()
+    if mode != "sync":
+        # Scheduled-time scenarios always render through the discrete-
+        # event engine — the batch kernels have no notion of wall time.
+        from repro.async_sched.engine import EventEngine
+        from repro.async_sched.schedulers import scheduler_from_spec
+
+        return EventEngine(
+            fleet,
+            scenario.spec.target,
+            scheduler=scheduler_from_spec(mode),
+            fault_model=model,
+            seed=scenario.spec.seed or 0,
+            check_invariants=check_invariants,
+        ).run(with_events=check_invariants)
     # The batch fast path produces no event log, so the invariant audit
     # (which needs one) forces the engine; the engine is the oracle.
     if getattr(scenario, "method", "event") == "batch" and not check_invariants:

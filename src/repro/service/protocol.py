@@ -37,7 +37,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import LineSearchError
+from repro.errors import InvalidParameterError, LineSearchError
 from repro.robustness.campaign import FAULT_KINDS, PROTOCOLS, ScenarioSpec
 
 __all__ = [
@@ -194,7 +194,9 @@ def _bad(message: str) -> ServiceError:
 def _parse_spec(entry: Any) -> ScenarioSpec:
     if not isinstance(entry, dict):
         raise _bad(f"each spec must be an object, got {type(entry).__name__}")
-    unknown = set(entry) - {"n", "f", "target", "fault", "seed", "protocol"}
+    unknown = set(entry) - {
+        "n", "f", "target", "fault", "seed", "protocol", "mode"
+    }
     if unknown:
         raise _bad(f"unknown spec field(s): {', '.join(sorted(unknown))}")
     try:
@@ -206,6 +208,7 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
                 "fault": entry.get("fault", "adversarial"),
                 "seed": entry.get("seed"),
                 "protocol": entry.get("protocol", "none"),
+                "mode": entry.get("mode", "sync"),
             }
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -230,6 +233,13 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
             f"{2 * spec.f + 1} robots to tolerate {spec.f} liars, "
             f"got n = {spec.n}"
         )
+    if spec.mode != "sync":
+        from repro.async_sched.schedulers import scheduler_from_spec
+
+        try:
+            scheduler_from_spec(spec.mode)
+        except (InvalidParameterError, TypeError, ValueError) as exc:
+            raise _bad(f"invalid scheduler mode {spec.mode!r}: {exc}") from None
     return spec
 
 
@@ -254,6 +264,9 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
     protocol = payload.get("protocol", "none")
     if not isinstance(protocol, str):
         raise _bad("'protocol' must be a string")
+    mode = payload.get("mode", "sync")
+    if not isinstance(mode, str):
+        raise _bad("'mode' must be a string")
     master = random.Random(seed)
     specs: List[ScenarioSpec] = []
     for pair in pairs:
@@ -270,6 +283,7 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
                         fault=str(fault),
                         seed=master.randrange(2**32),
                         protocol=protocol,
+                        mode=mode,
                     )
                 )
     return [_parse_spec(spec.to_dict()) for spec in specs]
@@ -296,8 +310,10 @@ def parse_submission(
     Common optional fields: ``method`` (``"event"`` or ``"batch"``),
     ``check_invariants``, ``client``, ``deadline`` (seconds).  Specs may
     carry ``protocol`` (``"none"`` or ``"confirmation"`` — the Byzantine
-    voting layer; grid submissions set it once at the top level).
-    Confirmation scenarios are event-only: combining them with
+    voting layer) and ``mode`` (``"sync"`` or an activation-scheduler
+    spec like ``"event:adversarial:1.0"`` — the scheduled-time engine);
+    grid submissions set each once at the top level.  Confirmation and
+    scheduled-time scenarios are event-only: combining either with
     ``method="batch"`` is refused with ``bad_request``.
 
     Examples:
@@ -346,6 +362,13 @@ def parse_submission(
         raise _bad(
             "method 'batch' cannot run confirmation-protocol scenarios; "
             "use method 'event' for protocol='confirmation'"
+        )
+    # Likewise the batch kernels have no notion of activation schedules
+    # or wall time, so scheduled-time scenarios are event-only.
+    if method == "batch" and any(spec.mode != "sync" for spec in specs):
+        raise _bad(
+            "method 'batch' cannot run scheduled-time scenarios; "
+            "use method 'event' for mode != 'sync'"
         )
     # The batch fast path needs the invariant audit off (the audit
     # requires an event log only the engine produces); default

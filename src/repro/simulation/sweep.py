@@ -111,6 +111,8 @@ def target_sweep(
     fault_budget: int,
     targets: Sequence[float],
     method: str = "event",
+    scheduler=None,
+    seed: int = 0,
 ) -> RatioProfile:
     """Evaluate ``K(x)`` over an explicit target grid.
 
@@ -123,6 +125,15 @@ def target_sweep(
             grid through :class:`~repro.batch.evaluate.BatchEvaluator`
             — same results within :mod:`repro.core.tolerance` bounds,
             one kernel pass instead of ``len(targets)`` traversals.
+        scheduler: Optional activation scheduler (an
+            :class:`~repro.async_sched.schedulers.ActivationScheduler`
+            or a spec string like ``"event:adversarial:1.0"``): each
+            point runs through the discrete-event engine of
+            :mod:`repro.async_sched` and the profile reports
+            *wall-clock* ratios under that schedule.  Incompatible with
+            ``method="batch"`` (the kernels have no notion of wall
+            time).
+        seed: Scheduler seed (only used with ``scheduler``).
 
     Examples:
         >>> from repro.schedule import ProportionalAlgorithm
@@ -135,6 +146,12 @@ def target_sweep(
         ...     round(r, 9) for r in profile.ratios()
         ... ]
         True
+        >>> slow = target_sweep(
+        ...     fleet, 1, [1.0, 1.5, 2.0, 3.0],
+        ...     scheduler="event:adversarial:1.0",
+        ... )
+        >>> all(s >= r for s, r in zip(slow.ratios(), profile.ratios()))
+        True
     """
     if not targets:
         raise InvalidParameterError("targets must be non-empty")
@@ -142,8 +159,38 @@ def target_sweep(
         raise InvalidParameterError(
             f"method must be 'event' or 'batch', got {method!r}"
         )
+    if scheduler is not None and method == "batch":
+        raise InvalidParameterError(
+            "method='batch' cannot be combined with an activation "
+            "scheduler; the batch kernels have no notion of wall time"
+        )
     with obs.span("sweep.target_sweep", points=len(targets), method=method):
-        if method == "batch":
+        if scheduler is not None:
+            from repro.async_sched.engine import EventEngine
+            from repro.async_sched.schedulers import (
+                ActivationScheduler,
+                scheduler_from_spec,
+            )
+            from repro.robots.faults import AdversarialFaults
+
+            if not isinstance(scheduler, ActivationScheduler):
+                scheduler = scheduler_from_spec(scheduler)
+            samples = [
+                RatioSample(
+                    float(x),
+                    EventEngine(
+                        fleet,
+                        x,
+                        scheduler=scheduler,
+                        fault_model=AdversarialFaults(fault_budget),
+                        seed=seed,
+                    )
+                    .run(with_events=False)
+                    .detection_time,
+                )
+                for x in targets
+            ]
+        elif method == "batch":
             from repro.batch import BatchEvaluator
 
             evaluator = BatchEvaluator(fleet, fault_budget=fault_budget)

@@ -1,0 +1,77 @@
+"""Scheduler timelines composed with the Byzantine confirmation protocol."""
+
+import math
+
+from repro.async_sched import (
+    AdversarialScheduler,
+    FsyncScheduler,
+    timelines_for,
+)
+from repro.byzantine import ByzantineSearchSimulation
+from repro.byzantine.invariants import check_byzantine_outcome
+from repro.robots import ByzantineAdversary, Fleet
+from repro.schedule import ByzantineConfirmationAlgorithm
+
+
+def build(n=4, f=1):
+    fleet = Fleet.from_algorithm(ByzantineConfirmationAlgorithm(n, f))
+    adversary = ByzantineAdversary(f, alarm_times=(1.0, 3.0))
+    return fleet, adversary
+
+
+def timelines(fleet, scheduler, target, seed=0):
+    return timelines_for(
+        [r.effective_trajectory for r in fleet], scheduler, target, seed
+    )
+
+
+class TestComposition:
+    def test_fsync_timelines_change_nothing(self):
+        target = 3.0
+        fleet_a, adversary_a = build()
+        plain = ByzantineSearchSimulation(
+            fleet_a, target, fault_model=adversary_a
+        ).run()
+        fleet_b, adversary_b = build()
+        scheduled = ByzantineSearchSimulation(
+            fleet_b,
+            target,
+            fault_model=adversary_b,
+            timelines=timelines(fleet_b, FsyncScheduler(), target),
+        ).run()
+        assert scheduled.detection_time == plain.detection_time
+        assert (
+            scheduled.committed_truthfully == plain.committed_truthfully
+        )
+
+    def test_adversarial_timelines_delay_but_stay_truthful(self):
+        target = 3.0
+        fleet_a, adversary_a = build()
+        plain = ByzantineSearchSimulation(
+            fleet_a, target, fault_model=adversary_a
+        ).run()
+        fleet_b, adversary_b = build()
+        outcome = ByzantineSearchSimulation(
+            fleet_b,
+            target,
+            fault_model=adversary_b,
+            timelines=timelines(
+                fleet_b, AdversarialScheduler(1.0), target
+            ),
+        ).run()
+        assert math.isfinite(outcome.detection_time)
+        assert outcome.detection_time > plain.detection_time
+        assert outcome.committed_truthfully
+        check_byzantine_outcome(outcome)
+
+    def test_timelines_length_validated(self):
+        import pytest
+
+        from repro.errors import InvalidParameterError
+
+        fleet, adversary = build()
+        with pytest.raises(InvalidParameterError):
+            ByzantineSearchSimulation(
+                fleet, 3.0, fault_model=adversary,
+                timelines=timelines(fleet, FsyncScheduler(), 3.0)[:-1],
+            )

@@ -1,0 +1,97 @@
+"""Scheduled-time scenarios through the campaign stack."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robustness import ScenarioSpec, chaos_scenarios
+from repro.robustness.campaign import build_scenario, run_campaign
+from repro.robustness.journal import scenario_key
+
+
+class TestSpecSerialization:
+    def test_mode_omitted_when_sync(self):
+        # Digest stability: pre-mode journals and caches must keep
+        # keying identically for default (sync) specs.
+        spec = ScenarioSpec(3, 1, 2.0, "adversarial", 7)
+        assert spec.mode == "sync"
+        assert "mode" not in spec.to_dict()
+
+    def test_mode_serialized_when_set(self):
+        spec = ScenarioSpec(
+            3, 1, 2.0, "adversarial", 7, mode="event:adversarial:1.0"
+        )
+        data = spec.to_dict()
+        assert data["mode"] == "event:adversarial:1.0"
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_scenario_key_distinguishes_modes(self):
+        sync = ScenarioSpec(3, 1, 2.0, "adversarial", 7)
+        event = ScenarioSpec(
+            3, 1, 2.0, "adversarial", 7, mode="event:async:1.0"
+        )
+        assert scenario_key(sync) != scenario_key(event)
+
+    def test_describe_mentions_mode(self):
+        spec = ScenarioSpec(3, 1, 2.0, "none", 7, mode="event:ssync:0.5")
+        assert "mode=event:ssync:0.5" in spec.describe()
+        assert "mode" not in ScenarioSpec(3, 1, 2.0, "none", 7).describe()
+
+
+class TestBuildScenario:
+    def test_bad_mode_fails_eagerly(self):
+        spec = ScenarioSpec(3, 1, 2.0, "none", 7, mode="event:bogus")
+        with pytest.raises(InvalidParameterError):
+            build_scenario(spec)
+
+
+class TestChaosScenarios:
+    def test_mode_threaded_into_every_spec(self):
+        scenarios = chaos_scenarios(
+            [(3, 1)], [1.0, -2.0], faults=("none", "adversarial"),
+            seed=5, mode="event:adversarial:1.0",
+        )
+        assert len(scenarios) == 4
+        assert all(
+            s.spec.mode == "event:adversarial:1.0" for s in scenarios
+        )
+
+    def test_default_stays_sync(self):
+        scenarios = chaos_scenarios(
+            [(3, 1)], [1.0], faults=("none",), seed=5
+        )
+        assert all(s.spec.mode == "sync" for s in scenarios)
+
+
+class TestRunCampaign:
+    def test_event_mode_campaign_passes_invariants(self):
+        scenarios = chaos_scenarios(
+            [(3, 1)], [1.0, -2.5],
+            faults=("none", "adversarial", "crash_stop:1.5"),
+            seed=2016, mode="event:adversarial:1.0",
+        )
+        report = run_campaign(scenarios, check_invariants=True)
+        assert report.failed == 0
+        assert report.total == 6
+
+    def test_scheduled_times_dominate_sync(self):
+        faults = ("adversarial",)
+        sync = run_campaign(
+            chaos_scenarios([(3, 1)], [2.0], faults=faults, seed=1)
+        )
+        slow = run_campaign(
+            chaos_scenarios(
+                [(3, 1)], [2.0], faults=faults, seed=1,
+                mode="event:adversarial:1.0",
+            )
+        )
+        sync_time = sync.results[0].detection_time
+        slow_time = slow.results[0].detection_time
+        assert slow_time > sync_time
+
+    def test_confirmation_protocol_composes_with_mode(self):
+        scenarios = chaos_scenarios(
+            [(3, 1)], [2.0], faults=("byzantine:0.5;1.5",),
+            seed=3, protocol="confirmation", mode="event:adversarial:1.0",
+        )
+        report = run_campaign(scenarios, check_invariants=True)
+        assert report.failed == 0

@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.async_sched import (
+    AdversarialScheduler,
+    AsyncScheduler,
+    EventEngine,
+    FsyncScheduler,
+    SsyncScheduler,
+    check_async_outcome,
+    timelines_for,
+)
+from repro.errors import InvalidParameterError, InvariantViolationError
+from repro.robots import AdversarialFaults, Fleet
+from repro.schedule import ProportionalAlgorithm
+from repro.simulation import SearchSimulation
+from repro.simulation.events import DetectionEvent
+
+
+def fleet_for(n=3, f=1):
+    return Fleet.from_algorithm(ProportionalAlgorithm(n, f))
+
+
+class TestValidation:
+    def test_fleet_type(self):
+        with pytest.raises(InvalidParameterError):
+            EventEngine("not a fleet", 2.0)
+
+    def test_target(self):
+        with pytest.raises(InvalidParameterError):
+            EventEngine(fleet_for(), 0.0)
+        with pytest.raises(InvalidParameterError):
+            EventEngine(fleet_for(), math.inf)
+
+    def test_scheduler_type(self):
+        with pytest.raises(InvalidParameterError):
+            EventEngine(fleet_for(), 2.0, scheduler="fsync")
+
+
+class TestFsyncMatchesContinuous:
+    @pytest.mark.parametrize("target", [1.0, -1.5, 2.5, -4.0, 7.0])
+    def test_detection_time_bit_exact(self, target):
+        fleet = fleet_for(3, 1)
+        sync = SearchSimulation(
+            fleet, target, fault_model=AdversarialFaults(1)
+        ).run()
+        event = EventEngine(
+            fleet, target, fault_model=AdversarialFaults(1)
+        ).run()
+        assert event.detection_time == sync.detection_time
+        assert event.detecting_robot == sync.detecting_robot
+        assert event.faulty_robots == sync.faulty_robots
+
+    def test_event_log_identical(self):
+        fleet = fleet_for(3, 1)
+        sync = SearchSimulation(
+            fleet, 2.5, fault_model=AdversarialFaults(1)
+        ).run()
+        event = EventEngine(
+            fleet, 2.5, fault_model=AdversarialFaults(1)
+        ).run()
+        assert len(event.events) == len(sync.events)
+        for ours, theirs in zip(event.events, sync.events):
+            assert type(ours) is type(theirs)
+            assert ours.time == theirs.time
+            assert ours.robot_index == theirs.robot_index
+
+
+class TestScheduledRuns:
+    def test_adversarial_delays_detection(self):
+        fleet = fleet_for(3, 1)
+        sync = EventEngine(fleet, 2.0).run()
+        slow = EventEngine(
+            fleet, 2.0, scheduler=AdversarialScheduler(1.0)
+        ).run()
+        assert slow.detection_time > sync.detection_time
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        [
+            SsyncScheduler(p=0.4, quantum=0.25),
+            AsyncScheduler(max_delay=1.5, quantum=0.5),
+            AdversarialScheduler(max_delay=2.0, quantum=0.5),
+        ],
+        ids=["ssync", "async", "adversarial"],
+    )
+    def test_invariants_hold_under_every_scheduler(self, scheduler):
+        outcome = EventEngine(
+            fleet_for(3, 1),
+            2.5,
+            scheduler=scheduler,
+            fault_model=AdversarialFaults(1),
+            seed=7,
+            check_invariants=True,
+        ).run()
+        assert math.isfinite(outcome.detection_time)
+        check_async_outcome(outcome)
+
+    def test_event_log_closed_by_detection(self):
+        outcome = EventEngine(
+            fleet_for(3, 1), 2.0, scheduler=AsyncScheduler(1.0), seed=3
+        ).run()
+        assert isinstance(outcome.events[-1], DetectionEvent)
+        times = [e.time for e in outcome.events]
+        assert times == sorted(times)
+
+    def test_seed_determinism(self):
+        runs = [
+            EventEngine(
+                fleet_for(3, 1),
+                2.0,
+                scheduler=AsyncScheduler(1.0),
+                seed=13,
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].detection_time == runs[1].detection_time
+        assert [e.time for e in runs[0].events] == [
+            e.time for e in runs[1].events
+        ]
+
+    def test_all_faulty_never_detects(self):
+        fleet = fleet_for(2, 1)
+        outcome = EventEngine(
+            fleet,
+            1.5,
+            scheduler=AdversarialScheduler(1.0),
+            fault_model=AdversarialFaults(2),
+        ).run()
+        assert math.isinf(outcome.detection_time)
+        assert outcome.detecting_robot is None
+
+    def test_crash_faults_compose(self):
+        fleet = fleet_for(3, 1)
+        from repro.robots import BehavioralFaults, CrashStopFault
+
+        model = BehavioralFaults({1: CrashStopFault(2.0)})
+        outcome = EventEngine(
+            fleet,
+            2.5,
+            scheduler=AdversarialScheduler(1.0),
+            fault_model=model,
+            check_invariants=True,
+        ).run()
+        assert math.isfinite(outcome.detection_time)
+
+
+class TestRunRecord:
+    def test_record_fields(self):
+        engine = EventEngine(
+            fleet_for(3, 1), 2.0, scheduler=AdversarialScheduler(1.0)
+        )
+        outcome = engine.run(with_events=False)
+        record = engine.last_record
+        assert record is not None
+        assert record.scheduler == "adversarial:1:0.5"
+        assert record.seed == 0
+        assert len(record.plan_detection_times) == 3
+        assert record.activations > 0
+        finite_walls = [
+            t for t in record.wall_detection_times if t is not None
+        ]
+        assert min(finite_walls) == outcome.detection_time
+
+    def test_fsync_accrues_no_delay(self):
+        engine = EventEngine(fleet_for(3, 1), 2.0, scheduler=FsyncScheduler())
+        engine.run(with_events=False)
+        assert all(
+            d in (None, 0.0) for d in engine.last_record.delays
+        )
+
+
+class TestTelemetry:
+    def test_counters_and_histogram(self):
+        from repro.observability import instrument as obs
+
+        telemetry = obs.enable()
+        try:
+            EventEngine(fleet_for(3, 1), 2.0).run()
+        finally:
+            obs.disable()
+        assert telemetry.metrics.counter("async_runs_total").value() == 1.0
+        assert (
+            telemetry.metrics.counter("async_activations_total").value() > 0
+        )
+        names = [r.name for r in telemetry.tracer.records()]
+        assert "async.run" in names
+        assert "async.timelines" in names
+
+
+class TestTimelinesFor:
+    def test_shared_context(self):
+        fleet = fleet_for(3, 1)
+        trajectories = [r.effective_trajectory for r in fleet]
+        timelines = timelines_for(
+            trajectories, SsyncScheduler(p=0.5), 2.0, seed=5
+        )
+        assert len(timelines) == 3
+        # materialization works and stays monotone
+        for timeline in timelines:
+            assert timeline.wall_of(3.0) >= 3.0
+
+
+class TestInvariantMachinery:
+    def test_tampered_outcome_rejected(self):
+        from repro.simulation.metrics import SearchOutcome
+
+        engine = EventEngine(
+            fleet_for(3, 1), 2.0, scheduler=AdversarialScheduler(1.0)
+        )
+        good = engine.run()
+        bad = SearchOutcome(
+            target=good.target,
+            detection_time=good.detection_time - 1.0,
+            detecting_robot=good.detecting_robot,
+            faulty_robots=good.faulty_robots,
+            events=good.events,
+        )
+        with pytest.raises(InvariantViolationError):
+            check_async_outcome(bad, record=engine.last_record)

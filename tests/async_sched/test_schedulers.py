@@ -1,0 +1,163 @@
+"""Unit tests for the activation schedulers and the spec grammar."""
+
+from itertools import islice
+
+import pytest
+
+from repro.async_sched.schedulers import (
+    SCHEDULER_KINDS,
+    AdversarialScheduler,
+    AsyncScheduler,
+    FsyncScheduler,
+    SchedulerContext,
+    SsyncScheduler,
+    scheduler_from_spec,
+)
+from repro.errors import InvalidParameterError
+from repro.schedule.algorithm import ProportionalAlgorithm
+
+
+def context_for(n=3, f=1, target=2.0, seed=0):
+    return SchedulerContext(ProportionalAlgorithm(n, f).build(), target, seed)
+
+
+class TestFsync:
+    def test_zero_gaps(self):
+        sched = FsyncScheduler(quantum=0.5)
+        slices = list(islice(sched.slices(0, context_for()), 10))
+        assert slices == [(0.0, 0.5)] * 10
+
+
+class TestSsync:
+    def test_masks_shared_across_robots(self):
+        # Whichever robot materializes a round first, all robots must
+        # see the same per-round mask (interleaving independence).
+        sched = SsyncScheduler(p=0.5, quantum=0.5)
+        ctx_a = context_for(seed=7)
+        ctx_b = context_for(seed=7)
+        # pull robot 2 first in ctx_a, robot 0 first in ctx_b
+        a2 = list(islice(sched.slices(2, ctx_a), 20))
+        a0 = list(islice(sched.slices(0, ctx_a), 20))
+        b0 = list(islice(sched.slices(0, ctx_b), 20))
+        b2 = list(islice(sched.slices(2, ctx_b), 20))
+        assert a0 == b0
+        assert a2 == b2
+
+    def test_fairness_cap_bounds_gaps(self):
+        sched = SsyncScheduler(p=0.01, quantum=1.0, max_idle_rounds=4)
+        slices = list(islice(sched.slices(0, context_for(seed=3)), 50))
+        assert all(gap <= 4.0 for gap, _ in slices)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SsyncScheduler(p=0.0)
+        with pytest.raises(InvalidParameterError):
+            SsyncScheduler(p=1.5)
+        with pytest.raises(InvalidParameterError):
+            SsyncScheduler(max_idle_rounds=0)
+
+
+class TestAsync:
+    def test_deterministic_per_seed(self):
+        sched = AsyncScheduler(max_delay=1.0, quantum=0.5)
+        one = list(islice(sched.slices(1, context_for(seed=11)), 20))
+        two = list(islice(sched.slices(1, context_for(seed=11)), 20))
+        assert one == two
+
+    def test_streams_differ_per_robot(self):
+        sched = AsyncScheduler(max_delay=1.0, quantum=0.5)
+        ctx = context_for(seed=11)
+        zero = list(islice(sched.slices(0, ctx), 20))
+        one = list(islice(sched.slices(1, ctx), 20))
+        assert zero != one
+
+    def test_monotone_coupling_in_max_delay(self):
+        # Same seed: every gap scales linearly with max_delay.
+        small = AsyncScheduler(max_delay=0.5, quantum=0.5)
+        large = AsyncScheduler(max_delay=2.0, quantum=0.5)
+        gaps_small = [
+            g for g, _ in islice(small.slices(0, context_for(seed=5)), 30)
+        ]
+        gaps_large = [
+            g for g, _ in islice(large.slices(0, context_for(seed=5)), 30)
+        ]
+        for gs, gl in zip(gaps_small, gaps_large):
+            assert gl == pytest.approx(4.0 * gs)
+
+    def test_zero_delay_is_fsync(self):
+        sched = AsyncScheduler(max_delay=0.0, quantum=0.5)
+        slices = list(islice(sched.slices(0, context_for()), 10))
+        assert slices == [(0.0, 0.5)] * 10
+
+
+class TestAdversarial:
+    def test_delays_only_target_windows(self):
+        sched = AdversarialScheduler(max_delay=1.0, quantum=0.5)
+        ctx = context_for(n=3, f=1, target=2.0)
+        for robot in range(3):
+            plan_t = 0.0
+            for gap, burst in islice(sched.slices(robot, ctx), 40):
+                expected = (
+                    1.0
+                    if ctx.window_has_visit(robot, plan_t, plan_t + burst)
+                    else 0.0
+                )
+                assert gap == expected, (robot, plan_t)
+                plan_t += burst
+
+    def test_uncovering_robot_never_delayed(self):
+        # A robot whose plan never reaches the target gets zero gaps.
+        ctx = context_for(n=3, f=1, target=1000.0)
+        sched = AdversarialScheduler(max_delay=1.0, quantum=0.5)
+        covered = [p.covers(1000.0) for p in ctx.plans]
+        for robot, covers in enumerate(covered):
+            if not covers:
+                slices = list(islice(sched.slices(robot, ctx), 20))
+                assert all(gap == 0.0 for gap, _ in slices)
+
+
+class TestSpecGrammar:
+    def test_round_trip_all_kinds(self):
+        for spec in (
+            "fsync:0.25",
+            "ssync:0.5:0.25",
+            "async:1.5:0.5",
+            "adversarial:2:0.125",
+        ):
+            sched = scheduler_from_spec(spec)
+            again = scheduler_from_spec(sched.spec())
+            assert again.describe() == sched.describe()
+
+    def test_event_prefix(self):
+        assert scheduler_from_spec("event").kind == "fsync"
+        assert scheduler_from_spec("event:adversarial:1.0").kind == (
+            "adversarial"
+        )
+        assert scheduler_from_spec("event:ssync").kind == "ssync"
+
+    def test_kinds_registry(self):
+        assert SCHEDULER_KINDS == ("fsync", "ssync", "async", "adversarial")
+        for kind in SCHEDULER_KINDS:
+            assert scheduler_from_spec(kind).kind == kind
+
+    def test_rejections(self):
+        for bad in (
+            "", "   ", "bogus", "fsync:1:2", "async:a", "ssync:0.5:0.5:7",
+        ):
+            with pytest.raises(InvalidParameterError):
+                scheduler_from_spec(bad)
+        with pytest.raises(InvalidParameterError):
+            scheduler_from_spec(None)
+
+
+class TestContextDeterminism:
+    def test_rng_is_hash_free(self):
+        # Two contexts with the same seed produce identical streams —
+        # and the derivation never calls hash(), so the subprocess
+        # PYTHONHASHSEED property test (test_properties) can hold this
+        # across interpreter launches.
+        a = context_for(seed=42).rng(3)
+        b = context_for(seed=42).rng(3)
+        assert [a.random() for _ in range(10)] == [
+            b.random() for _ in range(10)
+        ]

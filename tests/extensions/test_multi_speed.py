@@ -38,6 +38,31 @@ class TestSpeedScaledTrajectory:
         with pytest.raises(InvalidParameterError):
             SpeedScaledTrajectory("nope", speed=0.5)
 
+    def test_unit_speed_is_a_bit_identical_passthrough(self):
+        """speed=1.0 must yield the base vertices untouched — the same
+        objects, not merely equal ones — so the FSYNC parity contract
+        survives speed-scaled fleets."""
+        import itertools
+
+        base = DoublingTrajectory()
+        unit = SpeedScaledTrajectory(base, speed=1.0)
+        base_vertices = list(itertools.islice(base.vertex_iterator(), 20))
+        unit_vertices = list(itertools.islice(unit.vertex_iterator(), 20))
+        for ours, theirs in zip(unit_vertices, base_vertices):
+            assert ours.time.hex() == theirs.time.hex()
+            assert ours.position.hex() == theirs.position.hex()
+
+    def test_fractional_speed_still_scales(self):
+        import itertools
+
+        base = DoublingTrajectory()
+        slow = SpeedScaledTrajectory(base, speed=0.5)
+        base_vertices = list(itertools.islice(base.vertex_iterator(), 10))
+        slow_vertices = list(itertools.islice(slow.vertex_iterator(), 10))
+        for ours, theirs in zip(slow_vertices, base_vertices):
+            assert ours.time == pytest.approx(2.0 * theirs.time)
+            assert ours.position == theirs.position
+
 
 class TestMultiSpeedAlgorithm:
     def test_uniform_slowdown_rescales_exactly(self):

@@ -17,8 +17,8 @@ class TestParser:
         text = parser.format_help()
         for cmd in (
             "info", "simulate", "ratio", "table1", "figure5",
-            "diagram", "lowerbound", "experiment", "chaos", "telemetry",
-            "perf",
+            "diagram", "lowerbound", "experiment", "async", "chaos",
+            "telemetry", "perf",
         ):
             assert cmd in text
 
@@ -266,6 +266,109 @@ class TestChaos:
         )
         assert code == 0
         assert "protocol" not in out
+
+    def test_event_mode_campaign_all_ok(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chaos",
+            "--pairs", "3,1",
+            "--targets", "1.0", "-2.0",
+            "--faults", "none", "adversarial",
+            "--mode", "event:adversarial:1.0",
+            "--seed", "4",
+        )
+        assert code == 0
+        assert "mode event:adversarial:1.0" in out
+        assert "4/4 scenarios ok" in out
+
+    def test_default_mode_not_mentioned(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--seed", "2",
+        )
+        assert code == 0
+        assert "mode" not in out
+
+    def test_mode_plus_batch_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--mode", "event:async:1.0", "--method", "batch",
+        )
+        assert code == 2
+        assert "batch" in err
+
+    def test_bad_mode_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--mode", "event:bogus",
+        )
+        assert code == 2
+        assert "bogus" in err
+
+
+class TestAsyncCLI:
+    def test_sweep_prints_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "async", "sweep", "3", "1",
+            "--points", "8", "--delays", "0", "1",
+        )
+        assert code == 0
+        assert "CR degradation: A(3,1)" in out
+        assert "max_delay" in out
+        assert "overhead" in out
+
+    def test_sweep_report_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        code, out, _ = run_cli(
+            capsys, "async", "sweep", "3", "1",
+            "--points", "8", "--delays", "0", "1",
+            "--scheduler", "async", "--seed", "5",
+            "--report-json", str(path),
+        )
+        assert code == 0
+        assert f"wrote {path}" in out
+        payload = json.loads(path.read_text())
+        assert payload["scheduler"] == "async"
+        assert payload["seed"] == 5
+        assert len(payload["points"]) == 2
+
+    def test_sweep_with_speeds(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "async", "sweep", "3", "1",
+            "--points", "8", "--delays", "0",
+            "--speeds", "1.0", "0.5", "1.0",
+        )
+        assert code == 0
+        assert "speeds=(1, 0.5, 1)" in out
+
+    def test_parity_passes_and_exits_0(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "async", "parity", "--pairs", "3,1", "--targets", "4",
+        )
+        assert code == 0
+        assert "bit-exact" in out
+
+    def test_parity_report_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "parity.json"
+        code, out, _ = run_cli(
+            capsys, "async", "parity", "--pairs", "3,1",
+            "--targets", "3", "--report-json", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+
+    def test_bad_scheduler_choice_exits(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["async", "sweep", "3", "1", "--scheduler", "fsync"]
+            )
 
     def test_confirmation_below_minimum_fleet_is_isolated(self, capsys):
         # (4, 2) violates n >= 2f + 1: the scenario fails at realize
