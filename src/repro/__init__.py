@@ -23,7 +23,12 @@ faulty (they traverse but never detect).  This package implements:
   only after ``f + 1`` confirming votes, with the closed-form
   ``2 rho + 1`` commit-time bound and lying-robot chaos campaigns;
 * an **expected-time objective** for probabilistic detection faults
-  (arXiv:2303.15608).
+  (arXiv:2303.15608);
+* a **problem-variant subsystem** (:mod:`repro.variants`): p-faulty
+  search on a half-line with its optimal expansion ratio
+  (arXiv:2002.07797) and faulty-majority search-and-evacuation with a
+  gather phase (arXiv:2605.08355), both dispatchable from chaos
+  campaigns via ``ScenarioSpec.variant``.
 
 Quickstart::
 
@@ -73,15 +78,22 @@ from repro.core import (
     byzantine_confirmation_bound,
     byzantine_quorum,
     competitive_ratio,
+    evacuation_feasible,
+    evacuation_ratio_bound,
     expected_competitive_ratio,
     expected_detection_time,
+    halfline_expected_ratio,
+    halfline_expected_time,
     lower_bound,
     max_fault_budget,
     min_byzantine_fleet,
+    min_evacuation_fleet,
     min_fleet_size,
     odd_critical_cr,
     optimal_beta,
     optimal_expansion_factor,
+    optimal_halfline_gamma,
+    optimal_halfline_ratio,
     proportionality_ratio,
     schedule_competitive_ratio,
     theorem2_lower_bound,
@@ -142,6 +154,7 @@ from repro.robustness import (
 from repro.schedule import (
     ByzantineConfirmationAlgorithm,
     CustomBetaAlgorithm,
+    HalfLineAlgorithm,
     ProportionalAlgorithm,
     ProportionalSchedule,
     SearchAlgorithm,
@@ -156,10 +169,20 @@ from repro.trajectory import (
     ConeZigZag,
     DoublingTrajectory,
     GeometricZigZag,
+    HalfLineZigZag,
     LinearTrajectory,
     PiecewiseTrajectory,
     Trajectory,
     ZigZagTrajectory,
+)
+from repro.variants import (
+    EvacuationVariant,
+    HalfLineVariant,
+    LineVariant,
+    ProblemVariant,
+    run_halfline_sweep,
+    run_variant_parity,
+    variant_for,
 )
 
 __all__ = [
@@ -190,6 +213,7 @@ __all__ = [
     "CustomBetaAlgorithm",
     "DelayedGroupDoubling",
     "DoublingTrajectory",
+    "EvacuationVariant",
     "EventEngine",
     "ExpectedTimeEstimate",
     "ExperimentError",
@@ -200,14 +224,19 @@ __all__ = [
     "FsyncScheduler",
     "GeometricZigZag",
     "GroupDoubling",
+    "HalfLineAlgorithm",
+    "HalfLineVariant",
+    "HalfLineZigZag",
     "InvalidParameterError",
     "InvariantViolationError",
     "JournalError",
     "LineSearchError",
+    "LineVariant",
     "LinearTrajectory",
     "MetricsRegistry",
     "PiecewiseTrajectory",
     "ProbabilisticDetectionFault",
+    "ProblemVariant",
     "ProportionalAlgorithm",
     "ProportionalSchedule",
     "RandomFaults",
@@ -246,25 +275,35 @@ __all__ = [
     "compile_trajectory",
     "disable_telemetry",
     "enable_telemetry",
+    "evacuation_feasible",
+    "evacuation_ratio_bound",
     "expected_competitive_ratio",
     "expected_detection_time",
+    "halfline_expected_ratio",
+    "halfline_expected_time",
     "lower_bound",
     "max_fault_budget",
     "measure_competitive_ratio",
     "min_byzantine_fleet",
+    "min_evacuation_fleet",
     "min_fleet_size",
     "odd_critical_cr",
     "optimal_beta",
     "optimal_expansion_factor",
+    "optimal_halfline_gamma",
+    "optimal_halfline_ratio",
     "profile_spans",
     "proportionality_ratio",
     "run_async_parity",
     "run_campaign",
     "run_degradation_sweep",
+    "run_halfline_sweep",
     "run_suite",
+    "run_variant_parity",
     "schedule_competitive_ratio",
     "scheduler_from_spec",
     "simulate_byzantine_search",
     "simulate_search",
     "theorem2_lower_bound",
+    "variant_for",
 ]

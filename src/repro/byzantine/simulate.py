@@ -211,6 +211,13 @@ class ByzantineSearchSimulation:
         ]
         delays = [0.0] * n
         events: List[Event] = []
+        # Expose the protocol's live motion state (mutated in place as
+        # claims resolve) for subclasses that extend the run past the
+        # commit — the evacuation gather phase needs every robot's
+        # position at commit time.
+        self._plans = plans
+        self._delays = delays
+        self._final_claim = None
 
         # Genuine detection instants in each robot's own schedule time.
         genuine_base: List[Optional[float]] = []
@@ -277,6 +284,7 @@ class ByzantineSearchSimulation:
             )
             events.extend(votes)
             if record.state is ClaimState.COMMITTED:
+                self._final_claim = record
                 decisive = record.votes[-1].robot_index
                 events.append(
                     CommitEvent(

@@ -303,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "scenario through the discrete-event "
                               "engine (incompatible with "
                               "--method batch)")
+    p_chaos.add_argument("--variant", type=str, default="line",
+                         choices=("line", "halfline", "evacuation"),
+                         help="problem variant the grid is swept over "
+                              "(default: line; variant scenarios never "
+                              "take the batch fast path, so "
+                              "--method batch is refused)")
     p_chaos.add_argument("--no-invariants", action="store_true",
                          help="skip the runtime invariant audit")
     p_chaos.add_argument("--max-failures", type=int, default=10,
@@ -334,6 +340,78 @@ def build_parser() -> argparse.ArgumentParser:
                          help="collect spans and metrics for the whole "
                               "campaign and write trace.jsonl, "
                               "metrics.prom, and summary.txt into DIR")
+
+    p_var = sub.add_parser(
+        "variants",
+        help="problem variants: half-line analytics + evacuation runs",
+    )
+    var_sub = p_var.add_subparsers(dest="variants_command", required=True)
+
+    pv_sweep = var_sub.add_parser(
+        "sweep",
+        help="validate the half-line closed forms against simulation "
+             "across a p-grid",
+    )
+    pv_sweep.add_argument(
+        "--ps", nargs="+", type=float, default=None,
+        help="detection probabilities swept (default: the built-in grid)",
+    )
+    pv_sweep.add_argument("--target", type=float, default=3.7,
+                          help="validation target distance (default: 3.7)")
+    pv_sweep.add_argument("--rtol", type=float, default=1e-12,
+                          help="series summation tolerance "
+                               "(default: 1e-12)")
+    pv_sweep.add_argument("--report-json", type=str, default=None,
+                          metavar="PATH",
+                          help="write the full sweep report as JSON")
+
+    pv_bound = var_sub.add_parser(
+        "bound",
+        help="closed-form half-line optima and evacuation bounds",
+    )
+    pv_bound.add_argument("p", type=float,
+                          help="per-visit detection probability in (0, 1]")
+    pv_bound.add_argument("--target", type=float, default=None,
+                          help="also evaluate E[T] at this distance "
+                               "under the optimal expansion ratio")
+    pv_bound.add_argument("--pair", type=str, default=None, metavar="N,F",
+                          help="also print the evacuation feasibility "
+                               "and ratio bound for this fleet")
+
+    pv_evac = var_sub.add_parser(
+        "evacuate",
+        help="run one audited commit-then-gather evacuation scenario",
+    )
+    pv_evac.add_argument("n", type=int)
+    pv_evac.add_argument("f", type=int)
+    pv_evac.add_argument("target", type=float)
+    pv_evac.add_argument("--fault", type=str, default="none",
+                         help="fault spec string (default: none)")
+    pv_evac.add_argument("--seed", type=int, default=None)
+    pv_evac.add_argument("--mode", type=str, default="sync",
+                         metavar="SPEC",
+                         help="activation timing: 'sync' (default) or a "
+                              "scheduler spec like "
+                              "'event:adversarial:1.0'")
+    pv_evac.add_argument("--no-invariants", action="store_true",
+                         help="skip the evacuation invariant audit")
+
+    pv_parity = var_sub.add_parser(
+        "parity",
+        help="prove variant='line' dispatch reproduces the continuous "
+             "engine bit-exactly",
+    )
+    pv_parity.add_argument(
+        "--pairs", nargs="+", default=None, metavar="N,F",
+        help="regimes compared (default: the built-in six)",
+    )
+    pv_parity.add_argument("--targets", type=int, default=8,
+                           help="seeded targets per regime (default: 8)")
+    pv_parity.add_argument("--seed", type=int, default=2016)
+    pv_parity.add_argument("--x-max", type=float, default=16.0)
+    pv_parity.add_argument("--report-json", type=str, default=None,
+                           metavar="PATH",
+                           help="write the full parity report as JSON")
 
     p_serve = sub.add_parser(
         "serve",
@@ -802,6 +880,102 @@ def _cmd_async(args: argparse.Namespace):
     raise LineSearchError(f"unknown async subcommand {args.async_command!r}")
 
 
+def _cmd_variants(args: argparse.Namespace):
+    if args.variants_command == "sweep":
+        from repro.variants.halfline import DEFAULT_P_GRID, run_halfline_sweep
+
+        report = run_halfline_sweep(
+            ps=tuple(args.ps) if args.ps else DEFAULT_P_GRID,
+            target=args.target,
+            rtol=args.rtol,
+        )
+        lines = [report.describe()]
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            lines.append(f"wrote {args.report_json}")
+        return "\n".join(lines), 0 if report.passed else 1
+
+    if args.variants_command == "bound":
+        from repro.core.evacuation import (
+            evacuation_feasible,
+            evacuation_ratio_bound,
+        )
+        from repro.core.halfline import (
+            halfline_expected_time,
+            optimal_halfline_gamma,
+            optimal_halfline_ratio,
+        )
+
+        p = args.p
+        gamma = optimal_halfline_gamma(p)
+        ratio = optimal_halfline_ratio(p)
+        lines = [
+            f"half-line search at p={p:g}:",
+            f"  optimal expansion ratio gamma* = {gamma:.12g}",
+            f"  worst-case expected ratio R*   = {ratio:.12g}",
+        ]
+        if args.target is not None:
+            expected = halfline_expected_time(args.target, gamma, p)
+            lines.append(
+                f"  E[T({args.target:g})] at gamma*    = {expected:.12g}"
+            )
+        if args.pair is not None:
+            (n, f), = _parse_pairs([args.pair])
+            feasible = evacuation_feasible(n, f)
+            lines.append(f"evacuation with A({n},{f}):")
+            lines.append(
+                f"  feasible (n >= 2f+1): {'yes' if feasible else 'no'}"
+            )
+            lines.append(
+                f"  evacuation ratio bound: "
+                f"{evacuation_ratio_bound(n, f):.6g}"
+            )
+        return "\n".join(lines)
+
+    if args.variants_command == "evacuate":
+        from repro.robustness.campaign import ScenarioSpec, build_scenario
+        from repro.variants import variant_for
+
+        spec = ScenarioSpec(
+            n=args.n,
+            f=args.f,
+            target=args.target,
+            fault=args.fault,
+            seed=args.seed,
+            mode=args.mode,
+            variant="evacuation",
+        )
+        outcome = variant_for("evacuation").run(
+            build_scenario(spec),
+            check_invariants=not args.no_invariants,
+        )
+        return outcome.describe()
+
+    if args.variants_command == "parity":
+        from repro.variants.parity import DEFAULT_PAIRS, run_variant_parity
+
+        pairs = (
+            _parse_pairs(args.pairs) if args.pairs else list(DEFAULT_PAIRS)
+        )
+        report = run_variant_parity(
+            pairs=pairs,
+            targets_per_pair=args.targets,
+            seed=args.seed,
+            x_max=args.x_max,
+        )
+        lines = [report.describe()]
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            lines.append(f"wrote {args.report_json}")
+        return "\n".join(lines), 0 if report.passed else 1
+
+    raise LineSearchError(
+        f"unknown variants subcommand {args.variants_command!r}"
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace):
     from repro.robustness import (
         FAULT_KINDS,
@@ -819,6 +993,11 @@ def _cmd_chaos(args: argparse.Namespace):
             "--method batch cannot run scheduled-time scenarios; "
             "drop --mode or use --method event"
         )
+    if args.variant != "line" and args.method == "batch":
+        raise LineSearchError(
+            "--method batch cannot run problem-variant scenarios; "
+            "drop --variant or use --method event"
+        )
     pairs = _parse_pairs(args.pairs)
     scenarios = chaos_scenarios(
         pairs,
@@ -828,6 +1007,7 @@ def _cmd_chaos(args: argparse.Namespace):
         method=args.method,
         protocol=args.protocol,
         mode=args.mode,
+        variant=args.variant,
     )
     executor = CampaignExecutor(
         jobs=args.jobs,
@@ -867,9 +1047,12 @@ def _cmd_chaos(args: argparse.Namespace):
         f", protocol {args.protocol}" if args.protocol != "none" else ""
     )
     mode_note = f", mode {args.mode}" if args.mode != "sync" else ""
+    variant_note = (
+        f", variant {args.variant}" if args.variant != "line" else ""
+    )
     lines = [
         f"{len(scenarios)} scenarios "
-        f"(seed {args.seed}{protocol_note}{mode_note})"
+        f"(seed {args.seed}{protocol_note}{mode_note}{variant_note})"
     ]
     if args.journal:
         verb = "resumed from" if args.resume else "journaled to"
@@ -1154,6 +1337,7 @@ _DISPATCH = {
     "schedule": _cmd_schedule,
     "batch": _cmd_batch,
     "async": _cmd_async,
+    "variants": _cmd_variants,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "telemetry": _cmd_telemetry,

@@ -13,7 +13,11 @@ quantities Sections 3 and 4 derive analytically:
 * :mod:`repro.core.byzantine` — quorum/fleet constants and the
   confirmation-protocol bound for lying robots (arXiv:1611.08209);
 * :mod:`repro.core.expected_time` — expected-time objectives for
-  probabilistic detection faults (arXiv:2303.15608).
+  probabilistic detection faults (arXiv:2303.15608);
+* :mod:`repro.core.halfline` — p-faulty search on a ray: closed-form
+  expected times and the optimal expansion ratio (arXiv:2002.07797);
+* :mod:`repro.core.evacuation` — feasibility and ratio bounds for
+  faulty-majority search-and-evacuation (arXiv:2605.08355).
 
 The executable counterparts (trajectories, simulation, adversary games)
 live in the sibling subpackages and are required by the test suite to
@@ -25,10 +29,23 @@ from repro.core.byzantine import (
     byzantine_quorum,
     min_byzantine_fleet,
 )
+from repro.core.evacuation import (
+    evacuation_feasible,
+    evacuation_ratio_bound,
+    min_evacuation_fleet,
+)
 from repro.core.expected_time import (
     ExpectedTimeEstimate,
     expected_competitive_ratio,
     expected_detection_time,
+)
+from repro.core.halfline import (
+    halfline_bracket,
+    halfline_expected_ratio,
+    halfline_expected_time,
+    optimal_halfline_gamma,
+    optimal_halfline_ratio,
+    optimize_halfline_gamma,
 )
 from repro.core.asymptotics import (
     asymptotic_cr,
@@ -82,17 +99,26 @@ __all__ = [
     "corollary1_upper",
     "corollary2_alpha",
     "corollary2_lower",
+    "evacuation_feasible",
+    "evacuation_ratio_bound",
     "expected_competitive_ratio",
     "expected_detection_time",
     "finite_a_cr",
+    "halfline_bracket",
+    "halfline_expected_ratio",
+    "halfline_expected_time",
     "lower_bound",
     "max_fault_budget",
     "min_byzantine_fleet",
+    "min_evacuation_fleet",
     "min_fleet_size",
     "odd_critical_cr",
     "optimal_beta",
     "optimal_expansion_factor",
+    "optimal_halfline_gamma",
+    "optimal_halfline_ratio",
     "optimal_proportionality_ratio",
+    "optimize_halfline_gamma",
     "proportionality_ratio",
     "robot_anchor_positions",
     "schedule_competitive_ratio",

@@ -1,0 +1,106 @@
+"""Closed forms for search-and-evacuation with faulty agents (arXiv:2605.08355).
+
+"Search and evacuation with a near majority of faulty agents"
+(Czyzowicz, Killick, Kranakis, Stachowiak; arXiv:2605.08355) changes
+the *termination predicate* of faulty-robot search: finding the target
+is not enough — every reliable agent must physically reach it before
+the task counts as done.  Faulty agents can lie about detections, so
+the evacuation point must first be *committed* through a voting quorum,
+and only then can the fleet converge on it.
+
+Two structural facts carry over from the Byzantine layer
+(:mod:`repro.core.byzantine`) and one is new:
+
+* feasibility is exactly the near-majority condition ``f < n / 2``
+  (equivalently ``n >= 2f + 1``, :func:`evacuation_feasible`): with
+  half or more of the agents faulty no quorum can separate the true
+  target from a fabricated one, and a wrong evacuation point is
+  unrecoverable;
+* the smallest feasible fleet is therefore ``2f + 1``
+  (:func:`min_evacuation_fleet`);
+* the evacuation time obeys ``T_evac(x) <= (2 B + 1) |x|`` where
+  ``B = byzantine_confirmation_bound(n, f)`` bounds the commit time
+  (:func:`evacuation_ratio_bound`): at commit time ``t_c <= B |x|``
+  every robot sits within ``t_c + |x|`` of the committed point (unit
+  speed from a common origin), so the gather phase adds at most
+  ``t_c + |x|`` and ``T_evac <= 2 t_c + |x|``.
+
+The executable counterpart — the commit-then-gather simulation with
+per-robot arrival events — lives in :mod:`repro.variants.evacuation`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.byzantine import byzantine_confirmation_bound, min_byzantine_fleet
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "evacuation_feasible",
+    "min_evacuation_fleet",
+    "evacuation_ratio_bound",
+]
+
+
+def evacuation_feasible(n: int, f: int) -> bool:
+    """Whether ``n`` agents with ``f`` faulty can evacuate at all.
+
+    The near-majority bound of arXiv:2605.08355: evacuation is solvable
+    iff the faulty agents are a strict minority, ``f < n / 2``.
+
+    Examples:
+        >>> evacuation_feasible(3, 1)
+        True
+        >>> evacuation_feasible(2, 1)
+        False
+        >>> evacuation_feasible(7, 3)
+        True
+    """
+    if f < 0:
+        raise InvalidParameterError(f"f must be >= 0, got {f}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    return n >= min_evacuation_fleet(f)
+
+
+def min_evacuation_fleet(f: int) -> int:
+    """Smallest fleet that can evacuate under ``f`` faulty agents.
+
+    Identical to :func:`repro.core.byzantine.min_byzantine_fleet` —
+    the gather phase adds no new feasibility constraint beyond the
+    commit quorum, so ``2f + 1`` agents (a reliable majority) remain
+    necessary and sufficient.
+
+    Examples:
+        >>> min_evacuation_fleet(1)
+        3
+        >>> min_evacuation_fleet(3)
+        7
+    """
+    return min_byzantine_fleet(f)
+
+
+def evacuation_ratio_bound(n: int, f: int) -> float:
+    """Upper bound on the evacuation ratio ``T_evac(x) / |x|``.
+
+    ``2 B + 1`` with ``B = byzantine_confirmation_bound(n, f)``: the
+    commit happens by ``B |x|``, and the farthest reliable robot — at
+    most ``commit time + |x|`` from the committed point — walks
+    straight there.  Infinite when the fleet is infeasible
+    (``n < 2f + 1``).
+
+    Examples:
+        >>> evacuation_ratio_bound(4, 1)   # B = 3 (trivial regime)
+        7.0
+        >>> round(evacuation_ratio_bound(3, 1), 3)   # B = 11.466
+        23.932
+        >>> evacuation_ratio_bound(2, 1)
+        inf
+    """
+    if not evacuation_feasible(n, f):
+        return math.inf
+    bound = byzantine_confirmation_bound(n, f)
+    if not math.isfinite(bound):
+        return math.inf
+    return 2.0 * bound + 1.0

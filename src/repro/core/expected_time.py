@@ -34,8 +34,14 @@ __all__ = ["ExpectedTimeEstimate", "expected_detection_time", "expected_competit
 #: Relative tail size below which the series is considered summed.
 _TAIL_RTOL = 1e-9
 
-#: Horizon doublings before giving up on convergence.
-_MAX_DOUBLINGS = 60
+#: Horizon doublings before giving up on convergence.  Generous: the
+#: tail bound compares ``survival * horizon`` against ``rtol * total``,
+#: and for slow-revisit schedules (small ``p``, small expansion ratio)
+#: the horizon term doubles ahead of the survival decay, so tight
+#: tolerances legitimately need well over 60 doublings before the
+#: bound closes.  Visits grow only linearly in the doubling count, so
+#: the extra budget costs nothing on convergent series.
+_MAX_DOUBLINGS = 220
 
 #: Consecutive non-decreasing terms that flag a divergent series.
 _DIVERGENCE_RUN = 8

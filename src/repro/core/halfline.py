@@ -1,0 +1,270 @@
+"""Closed forms for p-faulty search on a half-line (arXiv:2002.07797).
+
+"Probabilistically Faulty Searching on a Half-Line" (Bonato, Georgiou,
+MacRury, Pralat; arXiv:2002.07797) places the target on one ray of the
+line at an unknown distance ``x >= 0`` and makes *detection itself*
+unreliable: each time the searcher passes over the target it notices it
+only with probability ``p``, independently per visit.  The searcher
+must therefore revisit ground it has already covered, and the natural
+strategy family is the *full-return geometric* one: sweep to ``gamma^0``,
+return to the origin, sweep to ``gamma^1``, return, and so on, with
+expansion ratio ``gamma > 1``.
+
+This module carries the analytic side of that family, with ``q = 1 - p``:
+
+* round ``i`` starts at ``S_i = 2 (gamma^i - 1) / (gamma - 1)``, and a
+  target with ``gamma^(k-1) < x <= gamma^k`` is visited twice per round
+  from round ``k`` on, at ``S_{k+m} + x`` and ``S_{k+m} + 2 gamma^{k+m} - x``;
+* summing the geometric detection distribution over that visit sequence
+  (:func:`halfline_expected_time`) converges iff ``q^2 gamma < 1`` and
+  gives::
+
+      E[T(x)] = p x / (1 + q) - 2 / (gamma - 1)
+                + 2 p gamma^k (1 + q gamma) / ((1 - q^2 gamma)(gamma - 1))
+
+* the worst-case expected ratio ``sup_x E[T(x)] / x``
+  (:func:`halfline_expected_ratio`) is approached as ``x`` shrinks onto
+  a turning point from above, in the limit of large ``k``::
+
+      R(gamma, p) = p / (1 + q)
+                    + 2 p gamma (1 + q gamma) / ((1 - q^2 gamma)(gamma - 1))
+
+* ``R`` is minimized at the positive root of
+  ``q (1 + q + q^2) gamma^2 - 2 q gamma - 1 = 0``, which factors through
+  ``s = sqrt(q)`` into the closed form of the paper's optimal expansion
+  ratio (:func:`optimal_halfline_gamma`)::
+
+      gamma*(p) = 1 / (s (1 - s + s^2))
+
+The family exhibits the paper's discontinuity at ``p = 1``: as
+``p -> 1`` the optimal ratio tends to 3 (``gamma* -> inf`` — ever
+longer sweeps, but each prefix still fully retraced), while at ``p = 1``
+exactly a single pass suffices and the ratio collapses to 1
+(:func:`optimal_halfline_ratio`).
+
+The formulas assume the target is not *exactly* at a turning point —
+there the two per-round visits merge into a single apex touch and one
+detection chance per round is lost.  Validation grids avoid turning
+points; see :mod:`repro.variants.halfline` for the simulation side.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "halfline_bracket",
+    "halfline_expected_time",
+    "halfline_expected_ratio",
+    "optimal_halfline_gamma",
+    "optimal_halfline_ratio",
+    "optimize_halfline_gamma",
+]
+
+
+def _validate_gamma(gamma: float) -> float:
+    if not math.isfinite(gamma) or gamma <= 1.0:
+        raise InvalidParameterError(
+            f"expansion ratio gamma must be a finite real > 1, got {gamma!r}"
+        )
+    return float(gamma)
+
+
+def _validate_probability(p: float, allow_one: bool = True) -> float:
+    hi_ok = (p <= 1.0) if allow_one else (p < 1.0)
+    if not (0.0 < p and hi_ok) or not math.isfinite(p):
+        bound = "(0, 1]" if allow_one else "(0, 1)"
+        raise InvalidParameterError(
+            f"detection probability p must lie in {bound}, got {p!r}"
+        )
+    return float(p)
+
+
+def halfline_bracket(x: float, gamma: float) -> int:
+    """The round index ``k`` whose sweep first reaches ``x``.
+
+    ``k`` is the smallest integer with ``gamma^k >= x`` (and ``k = 0``
+    for ``x <= 1``): the target lies in ``(gamma^(k-1), gamma^k]``.
+
+    Examples:
+        >>> halfline_bracket(3.0, 2.0)
+        2
+        >>> halfline_bracket(4.0, 2.0)   # exactly at a turning point
+        2
+        >>> halfline_bracket(0.25, 2.0)
+        0
+    """
+    gamma = _validate_gamma(gamma)
+    if not math.isfinite(x) or x <= 0.0:
+        raise InvalidParameterError(
+            f"target distance x must be a finite real > 0, got {x!r}"
+        )
+    k = max(0, int(math.ceil(math.log(x) / math.log(gamma))))
+    while k > 0 and gamma ** (k - 1) >= x:
+        k -= 1
+    while gamma**k < x:
+        k += 1
+    return k
+
+
+def halfline_expected_time(x: float, gamma: float, p: float) -> float:
+    """Expected detection time of the full-return geometric strategy.
+
+    The closed form from the module docstring, for a target at distance
+    ``x > 0`` on the searched ray, expansion ratio ``gamma``, and
+    per-visit detection probability ``p``.  Diverges (returns ``inf``)
+    when ``(1 - p)^2 gamma >= 1`` — the sweeps outgrow the detection
+    odds and the expectation is infinite.
+
+    Examples:
+        >>> halfline_expected_time(3.0, 2.0, 1.0)   # one pass: S_2 + x
+        9.0
+        >>> round(halfline_expected_time(3.0, 2.0, 0.75), 12)
+        10.085714285714
+        >>> halfline_expected_time(1.0, 5.0, 0.3)   # q^2 gamma = 2.45
+        inf
+    """
+    gamma = _validate_gamma(gamma)
+    p = _validate_probability(p)
+    k = halfline_bracket(x, gamma)
+    q = 1.0 - p
+    if q * q * gamma >= 1.0:
+        return math.inf
+    tail = (
+        2.0
+        * p
+        * gamma**k
+        * (1.0 + q * gamma)
+        / ((1.0 - q * q * gamma) * (gamma - 1.0))
+    )
+    return p * x / (1.0 + q) - 2.0 / (gamma - 1.0) + tail
+
+
+def halfline_expected_ratio(gamma: float, p: float) -> float:
+    """Worst-case expected ratio ``sup_x E[T(x)] / x`` of the strategy.
+
+    The supremum is approached as the target shrinks onto a turning
+    point from above with the round index growing; ``inf`` when the
+    expectation diverges (``(1 - p)^2 gamma >= 1``).
+
+    Examples:
+        >>> halfline_expected_ratio(2.0, 1.0)   # 1 + 2 gamma / (gamma - 1)
+        5.0
+        >>> round(halfline_expected_ratio(8.0 / 3.0, 0.75), 10)
+        5.4
+        >>> halfline_expected_ratio(5.0, 0.3)
+        inf
+    """
+    gamma = _validate_gamma(gamma)
+    p = _validate_probability(p)
+    q = 1.0 - p
+    if q * q * gamma >= 1.0:
+        return math.inf
+    return p / (1.0 + q) + 2.0 * p * gamma * (1.0 + q * gamma) / (
+        (1.0 - q * q * gamma) * (gamma - 1.0)
+    )
+
+
+def optimal_halfline_gamma(p: float) -> float:
+    """The paper's optimal expansion ratio ``gamma*(p)``.
+
+    The unique minimizer of :func:`halfline_expected_ratio` over
+    ``gamma`` — the positive root of
+    ``q (1 + q + q^2) gamma^2 - 2 q gamma - 1 = 0`` — in closed form
+    with ``s = sqrt(1 - p)``::
+
+        gamma*(p) = 1 / (s (1 - s + s^2))
+
+    It always satisfies ``1 < gamma* < 1 / q^2`` (strictly inside the
+    convergence region).  At ``p = 1`` the optimum degenerates: longer
+    sweeps are free, so ``gamma* = inf`` (a single straight pass).
+
+    Examples:
+        >>> optimal_halfline_gamma(0.75)
+        2.6666666666666665
+        >>> optimal_halfline_gamma(1.0)
+        inf
+    """
+    p = _validate_probability(p)
+    if p == 1.0:
+        return math.inf
+    s = math.sqrt(1.0 - p)
+    return 1.0 / (s * (1.0 - s + s * s))
+
+
+def optimal_halfline_ratio(p: float) -> float:
+    """Optimal worst-case expected ratio ``R*(p)`` of the family.
+
+    ``halfline_expected_ratio(optimal_halfline_gamma(p), p)`` for
+    ``p < 1``; exactly 1 at ``p = 1`` (a faultless searcher walks
+    straight to the target).  The two sides expose the paper's
+    discontinuity: ``R*(p) -> 3`` as ``p -> 1``, but ``R*(1) = 1``.
+
+    Examples:
+        >>> round(optimal_halfline_ratio(0.75), 10)
+        5.4
+        >>> optimal_halfline_ratio(1.0)
+        1.0
+        >>> 3.0 < optimal_halfline_ratio(1.0 - 1e-9) < 3.001
+        True
+    """
+    p = _validate_probability(p)
+    if p == 1.0:
+        return 1.0
+    return halfline_expected_ratio(optimal_halfline_gamma(p), p)
+
+
+def optimize_halfline_gamma(p: float, tol: float = 1e-13) -> float:
+    """Recover ``gamma*(p)`` numerically, without the closed form.
+
+    Golden-section search on ``log gamma`` over the convergence region
+    ``(1, 1/q^2)``: the ratio blows up at both ends and has a single
+    interior critical point, so it is unimodal and the search is exact
+    to ``tol`` (relative).  The turning-point optimizer exists to
+    *validate* :func:`optimal_halfline_gamma` — the test suite pins the
+    two against each other across a p-grid.
+
+    The localization accuracy is the usual derivative-free limit,
+    ``~sqrt(machine epsilon)`` relative near the flat minimum — ample
+    for recovering the paper's numerics.
+
+    Examples:
+        >>> abs(optimize_halfline_gamma(0.75) - 8.0 / 3.0) < 1e-6
+        True
+        >>> abs(optimize_halfline_gamma(0.3) - optimal_halfline_gamma(0.3)) < 1e-6
+        True
+    """
+    p = _validate_probability(p, allow_one=False)
+    if not (0.0 < tol < 1.0):
+        raise InvalidParameterError(f"tol must lie in (0, 1), got {tol!r}")
+    q = 1.0 - p
+    # Bracket in log space, strictly inside (1, 1/q^2).
+    lo = math.log1p(1e-9)
+    hi = math.log(1.0 / (q * q)) - 1e-9
+    if hi <= lo:
+        raise InvalidParameterError(
+            f"degenerate convergence region for p={p!r}"
+        )
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+
+    def ratio_at(log_gamma: float) -> float:
+        return halfline_expected_ratio(math.exp(log_gamma), p)
+
+    a, b = lo, hi
+    c = b - invphi * (b - a)
+    d = a + invphi * (b - a)
+    fc, fd = ratio_at(c), ratio_at(d)
+    for _ in range(400):
+        if b - a <= tol * (1.0 + abs(a) + abs(b)):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - invphi * (b - a)
+            fc = ratio_at(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + invphi * (b - a)
+            fd = ratio_at(d)
+    return math.exp((a + b) / 2.0)

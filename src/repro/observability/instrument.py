@@ -106,6 +106,14 @@ WELL_KNOWN_METRICS = {
             "activation bursts materialized across event-engine timelines",
         "async_sweep_points_total":
             "CR-degradation sweep points evaluated",
+        "variants_runs_total": "problem-variant scenario runs executed",
+        "variants_halfline_runs_total":
+            "half-line variant scenario runs executed",
+        "variants_evacuations_total": "evacuation simulations executed",
+        "variants_gather_arrivals_total":
+            "gather-phase arrival events recorded across evacuations",
+        "variants_halfline_sweep_points_total":
+            "half-line closed-form validation sweep points evaluated",
     },
     "histogram": {
         "simulation_wall_seconds": "wall-clock time of one simulation run",
@@ -116,6 +124,8 @@ WELL_KNOWN_METRICS = {
         "service_request_seconds":
             "wall-clock time spent handling one service request",
         "service_job_seconds": "wall-clock time one job spent executing",
+        "variants_wall_seconds":
+            "wall-clock time of one problem-variant run",
     },
     "gauge": {
         "campaign_scenarios_total": "scenarios in the current campaign",

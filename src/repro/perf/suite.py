@@ -23,7 +23,7 @@ configuration, not an idealized one).
 
 Examples:
     >>> suite_names()
-    ['async', 'batch', 'byzantine', 'campaign', 'engine', 'full', 'quick']
+    ['async', 'batch', 'byzantine', 'campaign', 'engine', 'full', 'quick', 'variants']
     >>> "engine_sweep" in workload_names()
     True
 """
@@ -234,6 +234,28 @@ def _setup_async_engine(params: Dict[str, Any]) -> Callable[[], Any]:
     return run
 
 
+def _setup_variant_halfline(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.variants.halfline import run_halfline_sweep
+
+    ps = tuple(params["ps"])
+    target = params["target"]
+    rtol = params["rtol"]
+    return lambda: run_halfline_sweep(ps=ps, target=target, rtol=rtol)
+
+
+def _setup_variant_evacuation(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.robustness.campaign import chaos_scenarios, run_campaign
+
+    scenarios = chaos_scenarios(
+        [tuple(p) for p in params["pairs"]],
+        params["targets"],
+        faults=tuple(params["faults"]),
+        seed=params["seed"],
+        variant="evacuation",
+    )
+    return lambda: run_campaign(scenarios, check_invariants=True)
+
+
 WORKLOADS: Tuple[Workload, ...] = (
     Workload(
         name="engine_sweep",
@@ -308,6 +330,31 @@ WORKLOADS: Tuple[Workload, ...] = (
         full={"n": 7, "f": 3, "target": 9.0, "alarm_times": [1.0, 3.0]},
         quick={"n": 5, "f": 2, "target": 3.0, "alarm_times": [1.0, 3.0]},
     ),
+    Workload(
+        name="variant_halfline",
+        description="half-line closed-form validation sweep over a p-grid",
+        setup=_setup_variant_halfline,
+        full={"ps": [0.2, 0.35, 0.5, 0.65, 0.75, 0.9], "target": 3.7,
+              "rtol": 1e-12},
+        quick={"ps": [0.5, 0.75], "target": 3.7, "rtol": 1e-9},
+    ),
+    Workload(
+        name="variant_evacuation",
+        description="audited evacuation campaign over a seeded grid",
+        setup=_setup_variant_evacuation,
+        full={
+            "pairs": [[3, 1], [5, 2], [7, 3]],
+            "targets": [1.5, -2.5, 4.0],
+            "faults": ["none", "adversarial", "crash_stop:2.0"],
+            "seed": 2016,
+        },
+        quick={
+            "pairs": [[3, 1]],
+            "targets": [1.5, -2.5],
+            "faults": ["none", "adversarial"],
+            "seed": 2016,
+        },
+    ),
 )
 
 _WORKLOADS_BY_NAME = {w.name: w for w in WORKLOADS}
@@ -322,6 +369,7 @@ SUITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "campaign": ("full", ("campaign_executor", "chaos_scenario")),
     "byzantine": ("full", ("byzantine_protocol", "chaos_scenario")),
     "async": ("full", ("async_engine", "engine_sweep")),
+    "variants": ("full", ("variant_halfline", "variant_evacuation")),
 }
 
 

@@ -41,6 +41,15 @@ advance their plans only when the scheduler activates them (see
 Confirmation-protocol scenarios compose: the Byzantine simulation
 receives the scheduler's per-robot timelines.
 
+Finally, a spec may name a ``variant`` — the *problem* being solved:
+``"line"`` (the source paper's whole-line search, the default),
+``"halfline"`` (p-faulty search on a ray, arXiv:2002.07797), or
+``"evacuation"`` (commit-then-gather with a near majority of faulty
+agents, arXiv:2605.08355).  Non-line specs are realized and executed by
+the matching :class:`~repro.variants.base.ProblemVariant`; line specs
+behave bit-for-bit as before the field existed (the parity harness of
+:mod:`repro.variants.parity` pins this).
+
 Programmatic callers can bypass the DSL entirely by handing
 :func:`run_campaign` arbitrary :class:`Scenario` objects whose ``build``
 callables produce any fleet/fault-model pair — including deliberately
@@ -74,6 +83,7 @@ from repro.simulation.engine import SearchSimulation
 __all__ = [
     "FAULT_KINDS",
     "PROTOCOLS",
+    "VARIANTS",
     "CampaignReport",
     "Scenario",
     "ScenarioResult",
@@ -99,6 +109,11 @@ FAULT_KINDS = (
 #: Termination protocols understood by :class:`ScenarioSpec`.
 PROTOCOLS = ("none", "confirmation")
 
+#: Problem variants understood by :class:`ScenarioSpec`.  Mirrors
+#: :data:`repro.variants.base.VARIANT_NAMES` (pinned by tests; kept as a
+#: literal here so spec validation needs no variant import).
+VARIANTS = ("line", "halfline", "evacuation")
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -117,6 +132,7 @@ class ScenarioSpec:
     seed: Optional[int] = None
     protocol: str = "none"
     mode: str = "sync"
+    variant: str = "line"
 
     def describe(self) -> str:
         """One-line summary."""
@@ -125,6 +141,8 @@ class ScenarioSpec:
         )
         if self.mode != "sync":
             suffix += f" mode={self.mode}"
+        if self.variant != "line":
+            suffix += f" variant={self.variant}"
         return (
             f"A({self.n},{self.f}) target={self.target:g} "
             f"fault={self.fault} seed={self.seed}{suffix}"
@@ -133,9 +151,10 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation; inverse of :meth:`from_dict`.
 
-        The defaults ``protocol="none"`` and ``mode="sync"`` are
-        *omitted* so every digest, journal key, and golden report
-        produced before those fields existed stays byte-identical.
+        The defaults ``protocol="none"``, ``mode="sync"``, and
+        ``variant="line"`` are *omitted* so every digest, journal key,
+        and golden report produced before those fields existed stays
+        byte-identical.
         """
         data = {
             "n": self.n,
@@ -148,6 +167,8 @@ class ScenarioSpec:
             data["protocol"] = self.protocol
         if self.mode != "sync":
             data["mode"] = self.mode
+        if self.variant != "line":
+            data["variant"] = self.variant
         return data
 
     @classmethod
@@ -161,6 +182,7 @@ class ScenarioSpec:
             seed=None if data.get("seed") is None else int(data["seed"]),
             protocol=str(data.get("protocol", "none")),
             mode=str(data.get("mode", "sync")),
+            variant=str(data.get("variant", "line")),
         )
 
 
@@ -438,26 +460,38 @@ def _fault_model_for(spec: ScenarioSpec) -> Tuple[FaultModel, bool]:
     )
 
 
+def _line_realize(spec: ScenarioSpec) -> Fleet:
+    """The fleet for a ``variant="line"`` spec: the regime schedule, or
+    the confirmation schedule when the protocol demands it."""
+    if spec.protocol == "confirmation":
+        from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
+
+        algorithm = ByzantineConfirmationAlgorithm(spec.n, spec.f)
+    else:
+        algorithm = _algorithm_for(spec.n, spec.f)
+    return Fleet.from_algorithm(algorithm)
+
+
 @dataclass(frozen=True)
 class _SpecRealizer:
     """Picklable scenario factory: realize ``spec`` on every call.
 
     A module-level class rather than a closure so spec-built scenarios
     survive pickling — the parallel executor ships them to worker
-    processes by value.
+    processes by value.  Non-line variants delegate to their
+    :class:`~repro.variants.base.ProblemVariant` (imported lazily in
+    the worker, so the variant package never loads for plain specs).
     """
 
     spec: ScenarioSpec
 
     def __call__(self) -> Tuple[Fleet, FaultModel]:
-        model, _ = _fault_model_for(self.spec)
-        if self.spec.protocol == "confirmation":
-            from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
+        if getattr(self.spec, "variant", "line") != "line":
+            from repro.variants import variant_for
 
-            algorithm = ByzantineConfirmationAlgorithm(self.spec.n, self.spec.f)
-        else:
-            algorithm = _algorithm_for(self.spec.n, self.spec.f)
-        return Fleet.from_algorithm(algorithm), model
+            return variant_for(self.spec.variant).realize(self.spec)
+        model, _ = _fault_model_for(self.spec)
+        return _line_realize(self.spec), model
 
 
 def build_scenario(spec: ScenarioSpec, method: str = "event") -> Scenario:
@@ -481,6 +515,17 @@ def build_scenario(spec: ScenarioSpec, method: str = "event") -> Scenario:
             f"unknown protocol {spec.protocol!r}; "
             f"protocols: {', '.join(PROTOCOLS)}"
         )
+    if spec.variant not in VARIANTS:
+        raise InvalidParameterError(
+            f"unknown variant {spec.variant!r}; "
+            f"variants: {', '.join(VARIANTS)}"
+        )
+    if spec.variant != "line":
+        # Eagerly reject infeasible variant specs (e.g. evacuation
+        # without a reliable majority) at build time.
+        from repro.variants import variant_for
+
+        variant_for(spec.variant).validate_spec(spec)
     if spec.mode != "sync":
         # Eagerly parse so a bad mode fails at build time, not inside a
         # worker process mid-campaign.
@@ -504,6 +549,7 @@ def chaos_scenarios(
     method: str = "event",
     protocol: str = "none",
     mode: str = "sync",
+    variant: str = "line",
 ) -> List[Scenario]:
     """The full seeded grid of scenarios: pairs × targets × fault specs.
 
@@ -521,6 +567,10 @@ def chaos_scenarios(
     e.g. ``"event:adversarial:1.0"``) runs every scenario through the
     discrete-event engine; the per-scenario seed also seeds the
     scheduler, so the whole campaign stays replayable from its spec.
+    A non-default ``variant`` sweeps the grid over that problem variant
+    instead (e.g. ``variant="halfline"``); variant scenarios always
+    execute through their variant's own dispatch, never the batch fast
+    path.
 
     Examples:
         >>> grid = chaos_scenarios([(3, 1)], [1.0, -2.0], ["none", "random"])
@@ -540,6 +590,7 @@ def chaos_scenarios(
                     seed=master.randrange(2**32),
                     protocol=protocol,
                     mode=mode,
+                    variant=variant,
                 )
                 scenarios.append(build_scenario(spec, method=method))
     return scenarios
@@ -594,8 +645,20 @@ def _batch_outcome(fleet: Fleet, model: FaultModel, target: float):
     )
 
 
-def _run_once(scenario: Scenario, check_invariants: bool):
-    fleet, model = scenario.build()
+def _dispatch_engines(
+    scenario: Scenario,
+    fleet: Fleet,
+    model: FaultModel,
+    check_invariants: bool,
+    allow_batch: bool = True,
+):
+    """Route one realized scenario to the right execution engine.
+
+    Shared by the line path of :func:`_run_once` and by variants whose
+    termination predicate matches the base problem (the half-line
+    variant reuses it verbatim, with ``allow_batch=False`` since the
+    batch kernels assume whole-line fleets).
+    """
     mode = getattr(scenario.spec, "mode", "sync")
     if getattr(scenario.spec, "protocol", "none") == "confirmation":
         # The confirmation protocol is inherently event-level (claims,
@@ -639,7 +702,11 @@ def _run_once(scenario: Scenario, check_invariants: bool):
         ).run(with_events=check_invariants)
     # The batch fast path produces no event log, so the invariant audit
     # (which needs one) forces the engine; the engine is the oracle.
-    if getattr(scenario, "method", "event") == "batch" and not check_invariants:
+    if (
+        allow_batch
+        and getattr(scenario, "method", "event") == "batch"
+        and not check_invariants
+    ):
         outcome = _batch_outcome(fleet, model, scenario.spec.target)
         if outcome is not None:
             return outcome
@@ -650,6 +717,20 @@ def _run_once(scenario: Scenario, check_invariants: bool):
         check_invariants=check_invariants,
     )
     return simulation.run(with_events=check_invariants)
+
+
+def _run_once(scenario: Scenario, check_invariants: bool):
+    variant = getattr(scenario.spec, "variant", "line")
+    if variant != "line":
+        from repro.variants import variant_for
+
+        return variant_for(variant).run(
+            scenario, check_invariants=check_invariants
+        )
+    fleet, model = scenario.build()
+    return _dispatch_engines(
+        scenario, fleet, model, check_invariants, allow_batch=True
+    )
 
 
 def error_class_of(exc: BaseException) -> str:

@@ -7,13 +7,17 @@
 * :class:`~repro.schedule.algorithm.ProportionalAlgorithm` — the paper's
   ``A(n, f)`` (Definition 4 / Theorem 1);
 * :class:`~repro.schedule.generalized.CustomBetaAlgorithm` — ``S_beta(n)``
-  at arbitrary slopes, for the beta-sweep ablation.
+  at arbitrary slopes, for the beta-sweep ablation;
+* :class:`~repro.schedule.halfline.HalfLineAlgorithm` — staggered
+  one-sided geometric fleets for the half-line variant
+  (arXiv:2002.07797).
 """
 
 from repro.schedule.algorithm import ProportionalAlgorithm
 from repro.schedule.base import SearchAlgorithm
 from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
 from repro.schedule.generalized import CustomBetaAlgorithm
+from repro.schedule.halfline import HalfLineAlgorithm
 from repro.schedule.proportional_schedule import ProportionalSchedule
 from repro.schedule.validation import (
     ValidationIssue,
@@ -24,6 +28,7 @@ from repro.schedule.validation import (
 __all__ = [
     "ByzantineConfirmationAlgorithm",
     "CustomBetaAlgorithm",
+    "HalfLineAlgorithm",
     "ProportionalAlgorithm",
     "ProportionalSchedule",
     "SearchAlgorithm",

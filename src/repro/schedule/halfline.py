@@ -1,0 +1,122 @@
+"""Staggered geometric fleet for search on a half-line.
+
+The half-line variant (arXiv:2002.07797) searches a single ray.  A
+fleet of ``n`` robots runs the full-return geometric strategy of
+:class:`~repro.trajectory.halfline.GeometricHalfLine` with *phase
+staggering*: robot ``i`` scales its first apex by ``gamma^(i/n)``, so
+the union of all apexes forms a geometric progression with ratio
+``gamma^(1/n)`` and the robots revisit every point of the ray at evenly
+interleaved times.  Every robot individually covers the whole ray
+forever, which is what makes the schedule robust: any ``f < n`` crash
+faults leave a reliable robot whose own visits bound ``T_{f+1}``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.halfline import optimal_halfline_gamma
+from repro.core.parameters import SearchParameters
+from repro.errors import InvalidParameterError
+from repro.schedule.base import SearchAlgorithm
+from repro.trajectory.base import Trajectory
+from repro.trajectory.halfline import GeometricHalfLine
+
+__all__ = ["HalfLineAlgorithm"]
+
+#: Fallback expansion ratio when neither ``gamma`` nor ``p`` is given —
+#: the doubling analogue on the ray.
+DEFAULT_HALFLINE_GAMMA = 2.0
+
+#: Cap applied when ``optimal_halfline_gamma(p)`` explodes as ``p -> 1``
+#: (the optimum degenerates to a straight walk); a finite schedule must
+#: still bounce.
+_MAX_GAMMA = 1e6
+
+
+class HalfLineAlgorithm(SearchAlgorithm):
+    """Staggered geometric half-line schedule for ``n`` robots.
+
+    Attributes:
+        gamma: Expansion ratio shared by all robots.  When omitted it is
+            derived from ``p`` via
+            :func:`repro.core.halfline.optimal_halfline_gamma` (capped
+            for ``p`` near 1), else defaults to
+            :data:`DEFAULT_HALFLINE_GAMMA`.
+        p: Optional per-visit detection probability the schedule is
+            tuned for; recorded for reports.
+        side: ``+1`` searches the nonnegative ray, ``-1`` the
+            nonpositive one.
+
+    Examples:
+        >>> algorithm = HalfLineAlgorithm(3, 1)
+        >>> fleet = algorithm.build()
+        >>> [round(t.apex_magnitude(0), 6) for t in fleet]
+        [1.0, 1.259921, 1.587401]
+        >>> algorithm.theoretical_competitive_ratio()
+        5.0
+        >>> HalfLineAlgorithm(2, 1, p=0.75).gamma
+        2.6666666666666665
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        gamma: Optional[float] = None,
+        p: Optional[float] = None,
+        side: int = 1,
+    ) -> None:
+        super().__init__(SearchParameters(n, f))
+        if side not in (1, -1):
+            raise InvalidParameterError(f"side must be +1 or -1, got {side!r}")
+        if gamma is None:
+            if p is not None:
+                gamma = min(optimal_halfline_gamma(p), _MAX_GAMMA)
+            else:
+                gamma = DEFAULT_HALFLINE_GAMMA
+        if not math.isfinite(gamma) or gamma <= 1.0:
+            raise InvalidParameterError(
+                f"expansion ratio gamma must be > 1, got {gamma!r}"
+            )
+        self.gamma = float(gamma)
+        self.p = None if p is None else float(p)
+        self.side = int(side)
+
+    @property
+    def name(self) -> str:
+        return f"HalfLine({self.n},{self.f})"
+
+    def build(self) -> List[Trajectory]:
+        n = self.n
+        return [
+            GeometricHalfLine(
+                gamma=self.gamma,
+                first_turn=self.gamma ** (i / n),
+                side=self.side,
+            )
+            for i in range(n)
+        ]
+
+    def theoretical_competitive_ratio(self) -> Optional[float]:
+        """Worst-case ratio bound ``1 + 2 gamma / (gamma - 1)``.
+
+        Each robot individually first-visits any ``x`` on its ray by
+        ``S_k + x < 2 gamma x / (gamma - 1) + x`` (its round start
+        ``S_k`` is a geometric sum whose largest apex is below
+        ``gamma x``), so the bound holds for ``T_{f+1}`` under *any*
+        ``f < n`` crash faults.  Infinite in the hopeless regime
+        ``f >= n``.
+        """
+        if self.f >= self.n:
+            return math.inf
+        return 1.0 + 2.0 * self.gamma / (self.gamma - 1.0)
+
+    def describe(self) -> str:
+        tuned = "" if self.p is None else f", tuned for p={self.p:g}"
+        ray = "[0, +inf)" if self.side > 0 else "(-inf, 0]"
+        return (
+            f"{self.name}: staggered geometric half-line schedule on "
+            f"{ray}, gamma={self.gamma:.6g}{tuned}"
+        )

@@ -38,7 +38,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import InvalidParameterError, LineSearchError
-from repro.robustness.campaign import FAULT_KINDS, PROTOCOLS, ScenarioSpec
+from repro.robustness.campaign import (
+    FAULT_KINDS,
+    PROTOCOLS,
+    VARIANTS,
+    ScenarioSpec,
+)
 
 __all__ = [
     "ERROR_CODES",
@@ -195,7 +200,7 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
     if not isinstance(entry, dict):
         raise _bad(f"each spec must be an object, got {type(entry).__name__}")
     unknown = set(entry) - {
-        "n", "f", "target", "fault", "seed", "protocol", "mode"
+        "n", "f", "target", "fault", "seed", "protocol", "mode", "variant"
     }
     if unknown:
         raise _bad(f"unknown spec field(s): {', '.join(sorted(unknown))}")
@@ -209,6 +214,7 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
                 "seed": entry.get("seed"),
                 "protocol": entry.get("protocol", "none"),
                 "mode": entry.get("mode", "sync"),
+                "variant": entry.get("variant", "line"),
             }
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -232,6 +238,16 @@ def _parse_spec(entry: Any) -> ScenarioSpec:
             f"the confirmation protocol needs n >= 2f + 1 = "
             f"{2 * spec.f + 1} robots to tolerate {spec.f} liars, "
             f"got n = {spec.n}"
+        )
+    if spec.variant not in VARIANTS:
+        raise _bad(
+            f"unknown variant {spec.variant!r}; "
+            f"variants: {', '.join(VARIANTS)}"
+        )
+    if spec.variant == "evacuation" and spec.n < 2 * spec.f + 1:
+        raise _bad(
+            f"the evacuation variant needs a reliable majority "
+            f"(n >= 2f + 1 = {2 * spec.f + 1}), got n = {spec.n}"
         )
     if spec.mode != "sync":
         from repro.async_sched.schedulers import scheduler_from_spec
@@ -267,6 +283,9 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
     mode = payload.get("mode", "sync")
     if not isinstance(mode, str):
         raise _bad("'mode' must be a string")
+    variant = payload.get("variant", "line")
+    if not isinstance(variant, str):
+        raise _bad("'variant' must be a string")
     master = random.Random(seed)
     specs: List[ScenarioSpec] = []
     for pair in pairs:
@@ -284,6 +303,7 @@ def _grid_specs(payload: Dict[str, Any]) -> List[ScenarioSpec]:
                         seed=master.randrange(2**32),
                         protocol=protocol,
                         mode=mode,
+                        variant=variant,
                     )
                 )
     return [_parse_spec(spec.to_dict()) for spec in specs]
@@ -311,10 +331,12 @@ def parse_submission(
     ``check_invariants``, ``client``, ``deadline`` (seconds).  Specs may
     carry ``protocol`` (``"none"`` or ``"confirmation"`` — the Byzantine
     voting layer) and ``mode`` (``"sync"`` or an activation-scheduler
-    spec like ``"event:adversarial:1.0"`` — the scheduled-time engine);
-    grid submissions set each once at the top level.  Confirmation and
-    scheduled-time scenarios are event-only: combining either with
-    ``method="batch"`` is refused with ``bad_request``.
+    spec like ``"event:adversarial:1.0"`` — the scheduled-time engine)
+    and ``variant`` (``"line"``, ``"halfline"``, or ``"evacuation"`` —
+    the problem variant, see :mod:`repro.variants`); grid submissions
+    set each once at the top level.  Confirmation, scheduled-time, and
+    problem-variant scenarios are event-only: combining any of them
+    with ``method="batch"`` is refused with ``bad_request``.
 
     Examples:
         >>> sub = parse_submission({"spec": {"n": 3, "f": 1, "target": 2.0}})
@@ -369,6 +391,14 @@ def parse_submission(
         raise _bad(
             "method 'batch' cannot run scheduled-time scenarios; "
             "use method 'event' for mode != 'sync'"
+        )
+    # Variant scenarios execute through their variant's own dispatch,
+    # which never takes the batch fast path; refuse rather than
+    # silently downgrade.
+    if method == "batch" and any(spec.variant != "line" for spec in specs):
+        raise _bad(
+            "method 'batch' cannot run problem-variant scenarios; "
+            "use method 'event' for variant != 'line'"
         )
     # The batch fast path needs the invariant audit off (the audit
     # requires an event log only the engine produces); default

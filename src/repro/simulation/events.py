@@ -24,6 +24,7 @@ __all__ = [
     "VoteEvent",
     "CommitEvent",
     "RefuteEvent",
+    "GatherEvent",
 ]
 
 
@@ -212,4 +213,29 @@ class RefuteEvent(Event):
         return (
             f"t={self.time:.6g}: claim at x={self.position:.6g} REFUTED "
             f"with {self.votes} disputes ({self.robot_name} decisive)"
+        )
+
+
+@dataclass(frozen=True)
+class GatherEvent(Event):
+    """A robot arrived at the committed evacuation point.
+
+    Emitted by the evacuation variant's gather phase, one per robot
+    that physically reaches the committed position after the commit.
+
+    Attributes:
+        position: The committed evacuation point.
+        reliable: Whether the arriving robot is reliable.  Only
+            reliable arrivals count toward the evacuation time — the
+            termination predicate is "all *reliable* robots gathered".
+    """
+
+    position: float
+    reliable: bool
+
+    def describe(self) -> str:
+        kind = "reliable" if self.reliable else "faulty"
+        return (
+            f"t={self.time:.6g}: {self.robot_name} ({kind}) gathers at "
+            f"x={self.position:.6g}"
         )

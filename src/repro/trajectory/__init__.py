@@ -13,7 +13,11 @@ Concrete families:
   the cone ``C_beta`` (Definition 1), including the Definition 4 start-up
   from the origin;
 * :class:`~repro.trajectory.piecewise.PiecewiseTrajectory` — finite
-  explicit paths.
+  explicit paths;
+* :class:`~repro.trajectory.halfline.HalfLineZigZag` /
+  :class:`~repro.trajectory.halfline.GeometricHalfLine` — one-sided
+  full-return strategies that never cross the origin (the half-line
+  variant, arXiv:2002.07797).
 
 Fleet-level visit-order statistics (``T_{f+1}``) live in
 :mod:`repro.trajectory.visits`.
@@ -22,6 +26,7 @@ Fleet-level visit-order statistics (``T_{f+1}``) live in
 from repro.trajectory.base import MaterializedView, Trajectory
 from repro.trajectory.cone_zigzag import ConeZigZag
 from repro.trajectory.doubling import DOUBLING_COMPETITIVE_RATIO, DoublingTrajectory
+from repro.trajectory.halfline import GeometricHalfLine, HalfLineZigZag
 from repro.trajectory.halted import HaltedTrajectory
 from repro.trajectory.linear import LinearTrajectory, StationaryTrajectory
 from repro.trajectory.piecewise import PiecewiseTrajectory, waypoints
@@ -37,7 +42,9 @@ __all__ = [
     "ConeZigZag",
     "DOUBLING_COMPETITIVE_RATIO",
     "DoublingTrajectory",
+    "GeometricHalfLine",
     "GeometricZigZag",
+    "HalfLineZigZag",
     "HaltedTrajectory",
     "LinearTrajectory",
     "MaterializedView",

@@ -29,6 +29,16 @@ __all__ = ["Trajectory", "MaterializedView"]
 
 _EPS = 1e-9
 
+#: Dedup width for :meth:`Trajectory.visit_times`.  A visit exactly at a
+#: turn is reported by both adjacent segments with float-identical (or
+#: rounding-distance) times, so the merge only needs to absorb rounding
+#: noise.  It must stay far tighter than ``_EPS``: at large times a
+#: relative 1e-9 window would swallow *genuinely distinct* visits — the
+#: return-leg and next out-leg visits of an expansion strategy are a
+#: constant ``2|x|`` apart forever — and silently bias expected-time
+#: series (see :mod:`repro.core.expected_time`).
+_MERGE_EPS = 1e-12
+
 
 class Trajectory(ABC):
     """Base class for robot trajectories.
@@ -234,7 +244,7 @@ class Trajectory(ABC):
             t = seg.visit_time(x)
             if t is None or t > until:
                 continue
-            if times and abs(times[-1] - t) <= _EPS * (1.0 + abs(t)):
+            if times and abs(times[-1] - t) <= _MERGE_EPS * (1.0 + abs(t)):
                 continue
             times.append(t)
         return times

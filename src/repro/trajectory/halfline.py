@@ -1,0 +1,210 @@
+"""Half-line trajectories: full-return bounces that never cross the origin.
+
+The half-line variant (arXiv:2002.07797) confines the search to one ray.
+A zig-zag in the :class:`~repro.trajectory.zigzag.ZigZagTrajectory`
+sense cannot express this — its turning points must alternate sides of
+the origin — so the ray gets its own family: the robot sweeps from the
+origin to an apex, returns all the way to the origin, sweeps to the
+next (farther) apex, and so on.  Every position along the path satisfies
+``side * position >= 0``: the origin is touched, never crossed.
+
+* :class:`HalfLineZigZag` — an explicit (finite or lazy) apex sequence;
+* :class:`GeometricHalfLine` — apexes in geometric progression
+  ``first_turn * gamma^i``, the expansion-ratio family whose expected
+  detection time :mod:`repro.core.halfline` gives in closed form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.geometry.point import SpaceTimePoint
+from repro.trajectory.base import Trajectory
+
+__all__ = ["HalfLineZigZag", "GeometricHalfLine"]
+
+
+def _validate_side(side: int) -> int:
+    if side not in (1, -1):
+        raise InvalidParameterError(f"side must be +1 or -1, got {side!r}")
+    return int(side)
+
+
+def _validate_start_time(start_time: float) -> float:
+    if start_time < 0 or not math.isfinite(start_time):
+        raise InvalidParameterError(
+            f"start_time must be a finite real >= 0, got {start_time!r}"
+        )
+    return float(start_time)
+
+
+class HalfLineZigZag(Trajectory):
+    """Full-return bounce through an explicit apex sequence on one ray.
+
+    Attributes:
+        apexes: Finite list, or any iterable (possibly infinite), of
+            apex *magnitudes* — strictly positive, and strictly
+            increasing so every bounce extends coverage.
+        side: ``+1`` searches ``[0, +inf)``, ``-1`` searches
+            ``(-inf, 0]``.
+        start_time: Time at which the robot leaves the origin.
+
+    Examples:
+        >>> h = HalfLineZigZag([1.0, 2.0, 4.0])
+        >>> h.first_visit_time(1.5)
+        3.5
+        >>> h.visit_times(0.5, until=5.0)
+        [0.5, 1.5, 2.5]
+        >>> h.covers(-0.5)
+        False
+    """
+
+    def __init__(
+        self,
+        apexes: Iterable[float],
+        side: int = 1,
+        start_time: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.side = _validate_side(side)
+        self.start_time = _validate_start_time(start_time)
+        self._apex_source = apexes
+        self._finite_apexes: Optional[List[float]] = None
+        if isinstance(apexes, (list, tuple)):
+            self._finite_apexes = [float(a) for a in apexes]
+            _validate_apexes(self._finite_apexes)
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        t = self.start_time
+        if t > 0:
+            yield SpaceTimePoint(0.0, t)
+        source: Iterable[float]
+        if self._finite_apexes is not None:
+            source = self._finite_apexes
+        else:
+            source = self._apex_source
+        prev = 0.0
+        for raw in source:
+            a = float(raw)
+            if not math.isfinite(a) or a <= prev:
+                raise TrajectoryError(
+                    f"apexes must be finite and strictly increasing, got "
+                    f"{a!r} after {prev!r}"
+                )
+            prev = a
+            t += a
+            yield SpaceTimePoint(self.side * a, t)
+            t += a
+            yield SpaceTimePoint(0.0, t)
+
+    def covers(self, x: float) -> bool:
+        if x == 0.0:
+            return True
+        if (x > 0) != (self.side > 0):
+            return False
+        if self._finite_apexes is None:
+            # Lazy source without a bound: assume the canonical growing
+            # sequence, which covers the whole ray.
+            return True
+        return abs(x) <= max(self._finite_apexes)
+
+    def describe(self) -> str:
+        ray = "[0, +inf)" if self.side > 0 else "(-inf, 0]"
+        if self._finite_apexes is not None:
+            head = ", ".join(f"{a:g}" for a in self._finite_apexes[:4])
+            more = ", ..." if len(self._finite_apexes) > 4 else ""
+            return f"HalfLineZigZag([{head}{more}]) on {ray}"
+        return f"HalfLineZigZag(<lazy>) on {ray}"
+
+
+class GeometricHalfLine(Trajectory):
+    """Full-return bounce with geometric apexes ``first_turn * gamma^i``.
+
+    The expansion-ratio family of arXiv:2002.07797, whose expected
+    detection time under per-visit probability ``p`` is given in closed
+    form by :func:`repro.core.halfline.halfline_expected_time` (for
+    ``first_turn = 1``) and is optimized by
+    :func:`repro.core.halfline.optimal_halfline_gamma`.
+
+    Attributes:
+        gamma: Expansion ratio, strictly greater than 1.
+        first_turn: Magnitude of the first apex (> 0); staggered fleets
+            phase-shift robots by scaling it.
+        side: ``+1`` for the nonnegative ray, ``-1`` for the nonpositive
+            one.
+        start_time: Departure time from the origin.
+
+    Examples:
+        >>> g = GeometricHalfLine(gamma=2.0)
+        >>> [round(v.position, 6) for v in g.vertices_until(7.0)]
+        [0.0, 1.0, 0.0, 2.0, 0.0]
+        >>> g.first_visit_time(3.0)
+        9.0
+        >>> g.covers(-1.0)
+        False
+    """
+
+    def __init__(
+        self,
+        gamma: float,
+        first_turn: float = 1.0,
+        side: int = 1,
+        start_time: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not math.isfinite(gamma) or gamma <= 1.0:
+            raise InvalidParameterError(
+                f"expansion ratio gamma must be > 1, got {gamma!r}"
+            )
+        if not math.isfinite(first_turn) or first_turn <= 0.0:
+            raise InvalidParameterError(
+                f"first_turn must be a finite real > 0, got {first_turn!r}"
+            )
+        self.gamma = float(gamma)
+        self.first_turn = float(first_turn)
+        self.side = _validate_side(side)
+        self.start_time = _validate_start_time(start_time)
+
+    def apex_magnitude(self, index: int) -> float:
+        """The ``index``-th apex magnitude, ``first_turn * gamma^index``."""
+        if index < 0:
+            raise InvalidParameterError(f"index must be >= 0, got {index}")
+        return self.first_turn * self.gamma**index
+
+    def vertex_iterator(self) -> Iterator[SpaceTimePoint]:
+        yield SpaceTimePoint(0.0, 0.0)
+        t = self.start_time
+        if t > 0:
+            yield SpaceTimePoint(0.0, t)
+        for i in itertools.count():
+            a = self.apex_magnitude(i)
+            t += a
+            yield SpaceTimePoint(self.side * a, t)
+            t += a
+            yield SpaceTimePoint(0.0, t)
+
+    def covers(self, x: float) -> bool:
+        return x == 0.0 or (x > 0) == (self.side > 0)
+
+    def describe(self) -> str:
+        return (
+            f"GeometricHalfLine(gamma={self.gamma:g}, "
+            f"first_turn={self.first_turn:g}, side={self.side:+d})"
+        )
+
+
+def _validate_apexes(apexes: List[float]) -> None:
+    if not apexes:
+        raise InvalidParameterError("need at least one apex")
+    prev = 0.0
+    for a in apexes:
+        if not math.isfinite(a) or a <= prev:
+            raise InvalidParameterError(
+                f"apexes must be finite and strictly increasing positive "
+                f"reals, got {a!r} after {prev!r}"
+            )
+        prev = a

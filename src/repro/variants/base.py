@@ -1,0 +1,112 @@
+"""The :class:`ProblemVariant` abstraction and the variant registry.
+
+A problem variant pins down the three axes a search problem statement
+can vary along:
+
+* **domain** — which schedules are admissible (the whole line, one ray,
+  ...); realized by :meth:`ProblemVariant.realize`, which builds the
+  fleet and fault model for a scenario spec;
+* **termination predicate** — when a run is over (first reliable
+  detection, quorum commit, all reliable robots gathered, ...);
+  realized by :meth:`ProblemVariant.run`, which executes a scenario to
+  an outcome;
+* **objective** — the number a run is scored by
+  (:meth:`ProblemVariant.objective`, the competitive/evacuation ratio
+  by default).
+
+Variants are stateless singletons looked up by name through
+:func:`variant_for`; :data:`VARIANT_NAMES` is the authoritative name
+tuple, mirrored by ``repro.robustness.campaign.VARIANTS`` (the two are
+pinned against each other by the test suite — campaign cannot import
+this module at module level without a cycle).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["VARIANT_NAMES", "ProblemVariant", "variant_for"]
+
+#: Registered variant names, in registry order.
+VARIANT_NAMES = ("line", "halfline", "evacuation")
+
+
+class ProblemVariant(ABC):
+    """One problem statement: domain + termination predicate + objective.
+
+    Subclasses set :attr:`name` and implement :meth:`validate_spec`,
+    :meth:`realize`, and :meth:`run`.  Instances are stateless — the
+    registry hands out singletons and scenario workers may share them
+    freely.
+    """
+
+    #: Registry name; the value stored in ``ScenarioSpec.variant``.
+    name: str = ""
+
+    @abstractmethod
+    def validate_spec(self, spec: Any) -> None:
+        """Reject specs this variant cannot execute.
+
+        Raises :class:`~repro.errors.InvalidParameterError` on
+        infeasible parameters (e.g. an evacuation fleet without a
+        reliable majority); returns ``None`` when the spec is fine.
+        """
+
+    @abstractmethod
+    def realize(self, spec: Any) -> Tuple[Any, Any]:
+        """Build the ``(fleet, fault_model)`` pair for a spec.
+
+        This is the *domain* axis: the returned fleet's trajectories
+        define which part of the line the variant searches and how.
+        """
+
+    @abstractmethod
+    def run(self, scenario: Any, check_invariants: bool = True) -> Any:
+        """Execute a scenario to a :class:`~repro.simulation.metrics.SearchOutcome`.
+
+        This is the *termination predicate* axis: the returned
+        outcome's ``detection_time`` is the instant the variant's own
+        predicate was met (first detection, quorum commit, all reliable
+        robots gathered, ...), so every downstream consumer — campaign
+        executors, reports, perf workloads — scores variants uniformly.
+        """
+
+    def objective(self, outcome: Any) -> Optional[float]:
+        """Score an outcome; the competitive ratio by default."""
+        return outcome.competitive_ratio
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"variant {self.name!r}"
+
+
+_REGISTRY: Dict[str, ProblemVariant] = {}
+
+
+def variant_for(name: str) -> ProblemVariant:
+    """The registered singleton for a variant name.
+
+    Examples:
+        >>> variant_for("line").name
+        'line'
+        >>> variant_for("halfline").name
+        'halfline'
+        >>> variant_for("evacuation").name
+        'evacuation'
+    """
+    if not _REGISTRY:
+        from repro.variants.evacuation import EvacuationVariant
+        from repro.variants.halfline import HalfLineVariant
+        from repro.variants.line import LineVariant
+
+        for variant in (LineVariant(), HalfLineVariant(), EvacuationVariant()):
+            _REGISTRY[variant.name] = variant
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown variant {name!r}; variants: {', '.join(VARIANT_NAMES)}"
+        ) from None

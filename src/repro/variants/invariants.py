@@ -1,0 +1,190 @@
+"""Invariant audits for evacuation outcomes.
+
+The evacuation predicate is easy to get subtly wrong — terminating at
+the commit, counting a faulty robot's arrival, gathering before the
+point is even known — so every audited run is checked for:
+
+* ``gather_before_commit`` — no :class:`~repro.simulation.events.GatherEvent`
+  may precede the commit instant: robots cannot converge on a point
+  before the quorum has committed it;
+* ``premature_evacuation`` — the reported evacuation time must not be
+  earlier than the last reliable arrival, and (when the fleet size is
+  known) every reliable robot must have a gather event: the run may not
+  terminate while a reliable robot is still walking;
+* ``faulty_counted_toward_gather`` — faulty robots must not determine
+  the evacuation time: gather events must be labeled consistently with
+  the fault assignment, the straggler must be reliable, and the
+  evacuation time must equal the last *reliable* arrival.
+
+The commit phase is additionally re-audited through
+:func:`repro.byzantine.invariants.audit_byzantine_outcome` on a
+reconstructed commit-time view of the outcome, so the protocol-level
+invariants (chronology, quorum discipline, no false-target commit)
+keep holding under the extended run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.byzantine.invariants import audit_byzantine_outcome
+from repro.byzantine.outcome import ByzantineOutcome
+from repro.core.tolerance import times_close
+from repro.errors import InvariantViolationError
+from repro.simulation.events import GatherEvent
+from repro.simulation.invariants import InvariantViolation
+from repro.variants.evacuation import EvacuationOutcome
+
+__all__ = ["audit_evacuation_outcome", "check_evacuation_outcome"]
+
+
+def _commit_view(outcome: EvacuationOutcome) -> ByzantineOutcome:
+    """The outcome as the commit phase saw it: gather events stripped,
+    detection time rewound to the commit instant."""
+    return ByzantineOutcome(
+        target=outcome.target,
+        detection_time=outcome.commit_time,
+        detecting_robot=outcome.detecting_robot,
+        faulty_robots=outcome.faulty_robots,
+        events=tuple(
+            e for e in outcome.events if not isinstance(e, GatherEvent)
+        ),
+        committed_position=outcome.committed_position,
+        quorum=outcome.quorum,
+        claims_raised=outcome.claims_raised,
+        claims_refuted=outcome.claims_refuted,
+    )
+
+
+def audit_evacuation_outcome(
+    outcome: EvacuationOutcome,
+    quorum: Optional[int] = None,
+    fault_budget: Optional[int] = None,
+    fleet_size: Optional[int] = None,
+) -> List[InvariantViolation]:
+    """Audit a gather-phase outcome; returns all violations found.
+
+    Examples:
+        >>> from repro.robots.fleet import Fleet
+        >>> from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
+        >>> from repro.variants.evacuation import EvacuationSearchSimulation
+        >>> fleet = Fleet.from_algorithm(ByzantineConfirmationAlgorithm(3, 1))
+        >>> outcome = EvacuationSearchSimulation(fleet, 2.0).run()
+        >>> audit_evacuation_outcome(outcome, fleet_size=3)
+        []
+    """
+    violations: List[InvariantViolation] = []
+    gathers = [e for e in outcome.events if isinstance(e, GatherEvent)]
+    reliable_gathers = [g for g in gathers if g.reliable]
+
+    # The commit phase must hold up on its own.
+    violations.extend(
+        audit_byzantine_outcome(
+            _commit_view(outcome), quorum=quorum, fault_budget=fault_budget
+        )
+    )
+
+    for gather in gathers:
+        labeled_faulty = gather.robot_index in outcome.faulty_robots
+        if gather.reliable == labeled_faulty:
+            violations.append(
+                InvariantViolation(
+                    "faulty_counted_toward_gather",
+                    f"gather event of a_{gather.robot_index} labeled "
+                    f"reliable={gather.reliable} but the robot is "
+                    f"{'faulty' if labeled_faulty else 'reliable'}",
+                )
+            )
+
+    if not math.isfinite(outcome.detection_time):
+        if gathers:
+            violations.append(
+                InvariantViolation(
+                    "gather_before_commit",
+                    f"{len(gathers)} gather event(s) logged although the "
+                    "search never committed",
+                )
+            )
+        return violations
+
+    commit_time = outcome.commit_time
+    for gather in gathers:
+        if gather.time < commit_time and not times_close(
+            gather.time, commit_time
+        ):
+            violations.append(
+                InvariantViolation(
+                    "gather_before_commit",
+                    f"a_{gather.robot_index} gathered at t={gather.time:.6g} "
+                    f"before the commit at t={commit_time:.6g}",
+                )
+            )
+
+    latest_reliable = max(
+        (g.time for g in reliable_gathers), default=commit_time
+    )
+    if outcome.detection_time < latest_reliable and not times_close(
+        outcome.detection_time, latest_reliable
+    ):
+        violations.append(
+            InvariantViolation(
+                "premature_evacuation",
+                f"evacuation reported done at t={outcome.detection_time:.6g} "
+                f"but a reliable robot arrived at t={latest_reliable:.6g}",
+            )
+        )
+    if fleet_size is not None:
+        expected = fleet_size - len(outcome.faulty_robots)
+        if len(reliable_gathers) != expected:
+            violations.append(
+                InvariantViolation(
+                    "premature_evacuation",
+                    f"only {len(reliable_gathers)} of {expected} reliable "
+                    "robot(s) have gather events",
+                )
+            )
+
+    if (
+        outcome.straggler is not None
+        and outcome.straggler in outcome.faulty_robots
+    ):
+        violations.append(
+            InvariantViolation(
+                "faulty_counted_toward_gather",
+                f"straggler a_{outcome.straggler} is faulty",
+            )
+        )
+    if (
+        reliable_gathers
+        and outcome.detection_time > latest_reliable
+        and not times_close(outcome.detection_time, latest_reliable)
+    ):
+        violations.append(
+            InvariantViolation(
+                "faulty_counted_toward_gather",
+                f"evacuation time t={outcome.detection_time:.6g} exceeds the "
+                f"last reliable arrival t={latest_reliable:.6g}",
+            )
+        )
+    return violations
+
+
+def check_evacuation_outcome(
+    outcome: EvacuationOutcome,
+    quorum: Optional[int] = None,
+    fault_budget: Optional[int] = None,
+    fleet_size: Optional[int] = None,
+) -> None:
+    """Raise :class:`InvariantViolationError` on any audit failure."""
+    violations = audit_evacuation_outcome(
+        outcome,
+        quorum=quorum,
+        fault_budget=fault_budget,
+        fleet_size=fleet_size,
+    )
+    if violations:
+        detail = "; ".join(v.describe() for v in violations)
+        raise InvariantViolationError(
+            f"evacuation outcome failed {len(violations)} audit(s): {detail}"
+        )

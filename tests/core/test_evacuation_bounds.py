@@ -1,0 +1,65 @@
+"""Feasibility and ratio bounds for search-and-evacuation (arXiv:2605.08355)."""
+
+import math
+
+import pytest
+
+from repro.core.evacuation import (
+    evacuation_feasible,
+    evacuation_ratio_bound,
+    min_evacuation_fleet,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestFeasibility:
+    def test_reliable_majority_required(self):
+        assert evacuation_feasible(3, 1)
+        assert evacuation_feasible(5, 2)
+        assert evacuation_feasible(4, 1)
+        assert not evacuation_feasible(2, 1)
+        assert not evacuation_feasible(4, 2)
+
+    def test_min_fleet_is_2f_plus_1(self):
+        assert min_evacuation_fleet(0) == 1
+        assert min_evacuation_fleet(1) == 3
+        assert min_evacuation_fleet(2) == 5
+        for f in range(6):
+            n = min_evacuation_fleet(f)
+            assert evacuation_feasible(n, f)
+            assert n == 1 or not evacuation_feasible(n - 1, f)
+
+
+class TestRatioBound:
+    def test_trivial_regime_pin(self):
+        # (4, 1) sits in the trivial regime: B = 3, bound = 2B + 1
+        assert evacuation_ratio_bound(4, 1) == 7.0
+
+    def test_proportional_regime_pin(self):
+        assert evacuation_ratio_bound(3, 1) == pytest.approx(
+            23.932277887660792, rel=1e-12
+        )
+
+    def test_infeasible_is_infinite(self):
+        assert math.isinf(evacuation_ratio_bound(2, 1))
+        assert math.isinf(evacuation_ratio_bound(4, 2))
+
+    def test_more_robots_never_hurt(self):
+        for f in (1, 2, 3):
+            bounds = [
+                evacuation_ratio_bound(n, f)
+                for n in range(min_evacuation_fleet(f), 2 * f + 6)
+            ]
+            assert all(math.isfinite(b) for b in bounds)
+            assert bounds == sorted(bounds, reverse=True)
+
+    def test_bound_exceeds_commit_bound(self):
+        from repro.core.byzantine import byzantine_confirmation_bound
+
+        for n, f in ((3, 1), (5, 2), (7, 3), (4, 1)):
+            commit = byzantine_confirmation_bound(n, f)
+            assert evacuation_ratio_bound(n, f) == 2.0 * commit + 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            min_evacuation_fleet(-1)

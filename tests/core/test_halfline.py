@@ -1,0 +1,147 @@
+"""Closed forms for p-faulty half-line search (arXiv:2002.07797)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.halfline import (
+    halfline_bracket,
+    halfline_expected_ratio,
+    halfline_expected_time,
+    optimal_halfline_gamma,
+    optimal_halfline_ratio,
+    optimize_halfline_gamma,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestBracket:
+    def test_powers_and_interior_points(self):
+        assert halfline_bracket(3.0, 2.0) == 2
+        assert halfline_bracket(4.0, 2.0) == 2  # exactly at a turning point
+        assert halfline_bracket(4.1, 2.0) == 3
+        assert halfline_bracket(1.0, 2.0) == 0
+        assert halfline_bracket(0.25, 2.0) == 0
+
+    def test_bracket_brackets(self):
+        for x in (0.3, 1.0, 1.7, 2.9, 8.0, 123.456):
+            for gamma in (1.5, 2.0, 8.0 / 3.0, 5.0):
+                k = halfline_bracket(x, gamma)
+                assert gamma**k >= x
+                assert k == 0 or gamma ** (k - 1) < x
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            halfline_bracket(-1.0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            halfline_bracket(1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            halfline_bracket(math.inf, 2.0)
+
+
+class TestExpectedTime:
+    def test_certain_detection_is_first_visit(self):
+        # p = 1: one pass suffices, E[T] = S_k + x with S_2 = 6
+        assert halfline_expected_time(3.0, 2.0, 1.0) == 9.0
+
+    def test_known_value(self):
+        assert halfline_expected_time(3.0, 2.0, 0.75) == pytest.approx(
+            10.085714285714286, rel=1e-12
+        )
+
+    def test_diverges_outside_convergence_region(self):
+        # q^2 gamma = 0.49 * 5 = 2.45 >= 1
+        assert math.isinf(halfline_expected_time(1.0, 5.0, 0.3))
+        assert math.isinf(halfline_expected_ratio(5.0, 0.3))
+        # boundary q^2 gamma = 1 diverges too (harmonic-like tail)
+        q = 0.5
+        assert math.isinf(halfline_expected_time(1.5, 1.0 / q**2, 0.5))
+
+    def test_monotone_decreasing_in_p(self):
+        times = [
+            halfline_expected_time(3.7, 2.0, p) for p in (0.6, 0.7, 0.9, 1.0)
+        ]
+        assert all(math.isfinite(t) for t in times)
+        assert times == sorted(times, reverse=True)
+
+    def test_at_least_the_first_visit(self):
+        # E[T] can never beat the deterministic first visit S_k + x
+        for p in (0.6, 0.8, 0.95):
+            for x in (0.5, 1.3, 3.7):
+                gamma = 2.0
+                k = halfline_bracket(x, gamma)
+                first = 2.0 * (gamma**k - 1.0) / (gamma - 1.0) + x
+                assert halfline_expected_time(x, gamma, p) >= first - 1e-12
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidParameterError):
+            halfline_expected_time(1.0, 2.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            halfline_expected_time(1.0, 2.0, 1.5)
+
+
+class TestOptimalGamma:
+    def test_closed_form_at_three_quarters(self):
+        # s = 1/2: gamma* = 1 / (0.5 * 0.75) = 8/3 exactly
+        assert optimal_halfline_gamma(0.75) == pytest.approx(
+            8.0 / 3.0, rel=1e-15
+        )
+        assert optimal_halfline_ratio(0.75) == pytest.approx(5.4, rel=1e-12)
+
+    def test_degenerate_at_p_one(self):
+        assert math.isinf(optimal_halfline_gamma(1.0))
+        assert optimal_halfline_ratio(1.0) == 1.0
+
+    def test_discontinuity_at_p_one(self):
+        # R*(p) -> 3 from above as p -> 1, but R*(1) = 1
+        assert 3.0 < optimal_halfline_ratio(1.0 - 1e-9) < 3.001
+
+    def test_inside_convergence_region(self):
+        for p in (0.05, 0.2, 0.5, 0.75, 0.95, 0.999):
+            gamma = optimal_halfline_gamma(p)
+            q = 1.0 - p
+            assert 1.0 < gamma < 1.0 / q**2
+
+    def test_is_a_minimum(self):
+        for p in (0.2, 0.5, 0.75, 0.9):
+            gamma = optimal_halfline_gamma(p)
+            best = halfline_expected_ratio(gamma, p)
+            for factor in (0.9, 0.99, 1.01, 1.1):
+                assert halfline_expected_ratio(gamma * factor, p) >= best
+
+
+class TestNumericOptimizer:
+    def test_recovers_closed_form_across_p_grid(self):
+        for p in (0.1, 0.2, 0.35, 0.5, 0.65, 0.75, 0.9, 0.99):
+            closed = optimal_halfline_gamma(p)
+            numeric = optimize_halfline_gamma(p)
+            assert abs(numeric - closed) / closed < 1e-6, p
+
+    def test_rejects_p_one_and_bad_tol(self):
+        with pytest.raises(InvalidParameterError):
+            optimize_halfline_gamma(1.0)
+        with pytest.raises(InvalidParameterError):
+            optimize_halfline_gamma(0.5, tol=0.0)
+
+
+class TestProperties:
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.99),
+        x=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_expected_time_finite_and_positive_at_the_optimum(self, p, x):
+        gamma = optimal_halfline_gamma(p)
+        t = halfline_expected_time(x, gamma, p)
+        assert math.isfinite(t)
+        assert t > 0.0
+
+    @given(p=st.floats(min_value=0.05, max_value=0.99))
+    def test_ratio_at_optimum_beats_neighbors(self, p):
+        gamma = optimal_halfline_gamma(p)
+        best = halfline_expected_ratio(gamma, p)
+        assert best >= 3.0  # never below the p->1 limit
+        q = 1.0 - p
+        for other in (1.0 + (gamma - 1.0) / 2.0, min(gamma * 1.3, 0.999 / q**2)):
+            if other > 1.0:
+                assert halfline_expected_ratio(other, p) >= best - 1e-9

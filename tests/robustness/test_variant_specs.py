@@ -1,0 +1,172 @@
+"""Variant wiring through ScenarioSpec: digests, campaigns, dispatch.
+
+The ``variant`` field must be *digest-stable*: every pre-variant spec
+keys and serializes exactly as before (the field is omitted when
+``"line"``), and any non-default variant changes the key.  These pins
+protect journal resume and the service result cache across the variant
+rollout — a stale journal written before variants existed must still
+match its scenarios.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.robustness import ScenarioSpec, chaos_scenarios, run_campaign
+from repro.robustness.campaign import VARIANTS, build_scenario, scenario_key
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+class TestDigestStability:
+    def test_default_variant_omitted_from_serialization(self):
+        base = ScenarioSpec(3, 1, 2.0, "none", 7)
+        assert base.variant == "line"
+        assert "variant" not in base.to_dict()
+
+    def test_pre_variant_payloads_still_parse(self):
+        legacy = {"n": 3, "f": 1, "target": 2.0, "fault": "none", "seed": 7}
+        spec = ScenarioSpec.from_dict(legacy)
+        assert spec.variant == "line"
+        assert spec == ScenarioSpec(3, 1, 2.0, "none", 7)
+
+    def test_default_variant_key_matches_pre_variant_spec(self):
+        explicit = ScenarioSpec(3, 1, 2.0, "none", 7, variant="line")
+        implicit = ScenarioSpec(3, 1, 2.0, "none", 7)
+        assert scenario_key(explicit) == scenario_key(implicit)
+
+    def test_nondefault_variant_changes_the_key(self):
+        base = ScenarioSpec(3, 1, 2.0, "none", 7)
+        halfline = ScenarioSpec(3, 1, 2.0, "none", 7, variant="halfline")
+        evacuation = ScenarioSpec(3, 1, 2.0, "none", 7, variant="evacuation")
+        keys = {scenario_key(s) for s in (base, halfline, evacuation)}
+        assert len(keys) == 3
+
+    def test_nondefault_variant_round_trips(self):
+        spec = ScenarioSpec(3, 1, 2.0, "none", 7, variant="evacuation")
+        data = spec.to_dict()
+        assert data["variant"] == "evacuation"
+        assert ScenarioSpec.from_dict(data) == spec
+        assert scenario_key(ScenarioSpec.from_dict(data)) == scenario_key(spec)
+
+    def test_describe_mentions_only_nondefault_variants(self):
+        assert "variant" not in ScenarioSpec(3, 1, 2.0, "none").describe()
+        assert "variant=halfline" in ScenarioSpec(
+            3, 1, 2.0, "none", variant="halfline"
+        ).describe()
+
+    @given(
+        n=st.integers(min_value=3, max_value=20),
+        target=st.floats(min_value=0.5, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        variant=st.sampled_from(["halfline", "evacuation"]),
+    )
+    def test_variant_field_always_separates_keys(self, n, target, seed, variant):
+        f = 1
+        base = ScenarioSpec(n, f, target, "none", seed)
+        varied = ScenarioSpec(n, f, target, "none", seed, variant=variant)
+        assert scenario_key(varied) != scenario_key(base)
+        assert scenario_key(
+            ScenarioSpec.from_dict(varied.to_dict())
+        ) == scenario_key(varied)
+
+
+CROSS_PROCESS_SCRIPT = """
+import json, sys
+from repro.robustness import ScenarioSpec
+from repro.robustness.campaign import scenario_key
+specs = json.loads(sys.stdin.read())
+print(json.dumps([scenario_key(ScenarioSpec.from_dict(s)) for s in specs]))
+"""
+
+
+class TestCrossProcess:
+    def test_variant_keys_stable_across_hash_seeds(self, tmp_path):
+        specs = [
+            ScenarioSpec(3, 1, 2.0, "none", 7),
+            ScenarioSpec(3, 1, 2.0, "none", 7, variant="halfline"),
+            ScenarioSpec(5, 2, -3.5, "adversarial", 11, variant="evacuation"),
+            ScenarioSpec(7, 3, 4.25, "crash_stop:2.0", 0, variant="halfline"),
+        ]
+        payload = json.dumps([s.to_dict() for s in specs])
+        local = [scenario_key(s) for s in specs]
+        script = tmp_path / "keys.py"
+        script.write_text(CROSS_PROCESS_SCRIPT)
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+            env["PYTHONHASHSEED"] = hash_seed
+            out = subprocess.run(
+                [sys.executable, str(script)],
+                input=payload,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+                check=True,
+            )
+            assert json.loads(out.stdout) == local, (
+                f"variant keys drifted under PYTHONHASHSEED={hash_seed}"
+            )
+
+
+class TestBuildScenario:
+    def test_unknown_variant_rejected(self):
+        spec = ScenarioSpec(3, 1, 2.0, "none", variant="sphere")
+        with pytest.raises(InvalidParameterError, match="variant"):
+            build_scenario(spec)
+
+    def test_infeasible_evacuation_rejected_at_build_time(self):
+        spec = ScenarioSpec(2, 1, 2.0, "none", variant="evacuation")
+        with pytest.raises(InvalidParameterError, match="reliable majority"):
+            build_scenario(spec)
+
+    def test_variants_tuple_exhaustive(self):
+        assert VARIANTS == ("line", "halfline", "evacuation")
+
+
+class TestCampaignDispatch:
+    def test_chaos_scenarios_thread_the_variant(self):
+        scenarios = chaos_scenarios(
+            [(3, 1)], [2.0, -1.5], faults=("none",), seed=5,
+            variant="halfline",
+        )
+        assert all(s.spec.variant == "halfline" for s in scenarios)
+
+    def test_halfline_campaign_all_ok(self):
+        scenarios = chaos_scenarios(
+            [(3, 1), (5, 2)], [2.0, -1.5],
+            faults=("none", "adversarial"), seed=5, variant="halfline",
+        )
+        report = run_campaign(scenarios)
+        assert report.total == 8
+        assert report.failed == 0
+
+    def test_evacuation_campaign_all_ok_with_invariants(self):
+        scenarios = chaos_scenarios(
+            [(3, 1), (5, 2)], [2.0, -1.5],
+            faults=("none", "crash_stop:1.0"), seed=5, variant="evacuation",
+        )
+        report = run_campaign(scenarios, check_invariants=True)
+        assert report.total == 8
+        assert report.failed == 0
+        for result in report.results:
+            assert result.ok
+            assert result.detection_time is not None
+            assert result.competitive_ratio is not None
+
+    def test_line_campaign_unchanged_by_default(self):
+        plain = chaos_scenarios([(3, 1)], [2.0], faults=("none",), seed=5)
+        explicit = chaos_scenarios(
+            [(3, 1)], [2.0], faults=("none",), seed=5, variant="line"
+        )
+        assert [s.spec for s in plain] == [s.spec for s in explicit]
+        assert run_campaign(plain).failed == 0

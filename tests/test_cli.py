@@ -751,3 +751,124 @@ class TestPerfFlamegraph:
         )
         assert code == 2
         assert "no trace file" in err
+
+
+class TestVariants:
+    def test_registered_in_help(self):
+        text = build_parser().format_help()
+        assert "variants" in text
+
+    def test_bound_prints_optima_and_evacuation(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "variants", "bound", "0.75",
+            "--target", "3.0", "--pair", "3,1",
+        )
+        assert code == 0
+        assert "gamma* = 2.66666666667" in out
+        assert "R*   = 5.4" in out
+        assert "E[T(3)] at gamma*    = 13.4" in out
+        assert "evacuation with A(3,1):" in out
+        assert "feasible (n >= 2f+1): yes" in out
+        assert "23.9323" in out
+
+    def test_bound_infeasible_pair(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "variants", "bound", "0.5", "--pair", "2,1",
+        )
+        assert code == 0
+        assert "feasible (n >= 2f+1): no" in out
+        assert "inf" in out
+
+    def test_sweep_validates_and_writes_report(self, capsys, tmp_path):
+        import json
+
+        report_path = str(tmp_path / "sweep.json")
+        code, out, _ = run_cli(
+            capsys, "variants", "sweep", "--ps", "0.5", "0.75",
+            "--report-json", report_path,
+        )
+        assert code == 0
+        assert "2/2" in out
+        with open(report_path) as handle:
+            data = json.load(handle)
+        assert data["format"] == "linesearch-halfline-sweep-report"
+        assert data["passed"] is True
+
+    def test_sweep_turning_point_target_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "variants", "sweep", "--ps", "0.75",
+            "--target", str(8.0 / 3.0),
+        )
+        assert code == 2
+        assert "turning point" in err
+
+    def test_evacuate_reports_commit_and_gather(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "variants", "evacuate", "3", "1", "2.0",
+            "--fault", "crash_stop:1.0",
+        )
+        assert code == 0
+        assert "committed at t=" in out
+        assert "reliable robot(s) gathered" in out
+
+    def test_evacuate_infeasible_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "variants", "evacuate", "2", "1", "2.0",
+        )
+        assert code == 2
+        assert "reliable majority" in err
+
+    def test_parity_bit_exact(self, capsys, tmp_path):
+        import json
+
+        report_path = str(tmp_path / "parity.json")
+        code, out, _ = run_cli(
+            capsys, "variants", "parity", "--pairs", "3,1",
+            "--targets", "2", "--report-json", report_path,
+        )
+        assert code == 0
+        assert "bit-exact" in out
+        with open(report_path) as handle:
+            data = json.load(handle)
+        assert data["format"] == "linesearch-variant-parity-report"
+        assert data["passed"] is True
+
+
+class TestChaosVariant:
+    def test_halfline_campaign_all_ok(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1",
+            "--targets", "2.0", "-1.5",
+            "--faults", "none", "adversarial",
+            "--variant", "halfline", "--seed", "6",
+        )
+        assert code == 0
+        assert "variant halfline" in out
+        assert "4/4 scenarios ok" in out
+
+    def test_evacuation_campaign_all_ok(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "5,2",
+            "--targets", "2.0",
+            "--faults", "none", "crash_stop:1.0",
+            "--variant", "evacuation", "--seed", "6",
+        )
+        assert code == 0
+        assert "variant evacuation" in out
+        assert "4/4 scenarios ok" in out
+
+    def test_default_variant_not_mentioned(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--faults", "none", "--seed", "2",
+        )
+        assert code == 0
+        assert "variant" not in out
+
+    def test_variant_plus_batch_exits_2(self, capsys):
+        code, _, err = run_cli(
+            capsys, "chaos", "--pairs", "3,1", "--targets", "1.0",
+            "--variant", "halfline", "--method", "batch",
+        )
+        assert code == 2
+        assert "variant" in err

@@ -1,0 +1,154 @@
+"""Half-line trajectories: one-sided full-return bounces."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError, TrajectoryError
+from repro.trajectory.halfline import GeometricHalfLine, HalfLineZigZag
+
+
+class TestHalfLineZigZag:
+    def test_first_visits_and_revisits(self):
+        h = HalfLineZigZag([1.0, 2.0, 4.0])
+        assert h.first_visit_time(0.5) == 0.5
+        assert h.first_visit_time(1.5) == 3.5  # round 1 out-leg: S_1 + x
+        # the point 0.5 is crossed on every out- and return-leg
+        assert h.visit_times(0.5, until=5.0) == [0.5, 1.5, 2.5]
+
+    def test_negative_ray(self):
+        h = HalfLineZigZag([1.0, 3.0], side=-1)
+        assert h.first_visit_time(-0.5) == 0.5
+        assert not h.covers(0.5)
+        assert h.covers(-2.0)
+        assert h.covers(0.0)
+
+    def test_start_time_delays_departure(self):
+        h = HalfLineZigZag([1.0, 2.0], start_time=1.5)
+        assert h.first_visit_time(1.0) == 2.5
+
+    def test_apexes_must_increase(self):
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([1.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([2.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([])
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([-1.0])
+
+    def test_lazy_apex_source(self):
+        lazy = HalfLineZigZag(2.0**i for i in itertools.count())
+        assert lazy.first_visit_time(3.0) == 9.0
+        assert lazy.covers(1e9)
+
+    def test_lazy_bad_source_raises_on_iteration(self):
+        bad = HalfLineZigZag(iter([1.0, 0.5]))
+        # the target beyond the first apex forces iteration into the
+        # non-increasing tail
+        with pytest.raises(TrajectoryError):
+            bad.first_visit_time(1.2)
+
+    def test_bad_side_and_start_time(self):
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([1.0], side=0)
+        with pytest.raises(InvalidParameterError):
+            HalfLineZigZag([1.0], start_time=-1.0)
+
+    def test_describe_names_the_ray(self):
+        assert "[0, +inf)" in HalfLineZigZag([1.0]).describe()
+        assert "(-inf, 0]" in HalfLineZigZag([1.0], side=-1).describe()
+
+
+class TestGeometricHalfLine:
+    def test_vertices_follow_geometric_apexes(self):
+        g = GeometricHalfLine(gamma=2.0)
+        positions = [round(v.position, 6) for v in g.vertices_until(7.0)]
+        assert positions == [0.0, 1.0, 0.0, 2.0, 0.0]
+
+    def test_first_visit_matches_round_start_formula(self):
+        g = GeometricHalfLine(gamma=2.0)
+        # x = 3 is first reached in round 2: S_2 + x = 6 + 3
+        assert g.first_visit_time(3.0) == 9.0
+        # S_k = 2 (gamma^k - 1) / (gamma - 1) for a handful of rounds
+        for k in range(5):
+            s_k = 2.0 * (2.0**k - 1.0)
+            x = 2.0**k
+            assert g.first_visit_time(x * 0.999) == pytest.approx(
+                s_k + x * 0.999, rel=1e-12
+            )
+
+    def test_apex_magnitude(self):
+        g = GeometricHalfLine(gamma=3.0, first_turn=0.5)
+        assert g.apex_magnitude(0) == 0.5
+        assert g.apex_magnitude(3) == 13.5
+        with pytest.raises(InvalidParameterError):
+            g.apex_magnitude(-1)
+
+    def test_coverage_is_the_whole_ray(self):
+        g = GeometricHalfLine(gamma=2.0)
+        assert g.covers(1e12) and g.covers(0.0) and not g.covers(-1e-9)
+        neg = GeometricHalfLine(gamma=2.0, side=-1)
+        assert neg.covers(-1e12) and not neg.covers(1e-9)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricHalfLine(gamma=1.0)
+        with pytest.raises(InvalidParameterError):
+            GeometricHalfLine(gamma=2.0, first_turn=0.0)
+        with pytest.raises(InvalidParameterError):
+            GeometricHalfLine(gamma=2.0, side=2)
+
+
+class TestNeverCrossesOrigin:
+    """The defining half-line invariant: ``side * position >= 0`` always."""
+
+    @given(
+        gamma=st.floats(min_value=1.01, max_value=10.0),
+        first_turn=st.floats(min_value=0.1, max_value=5.0),
+        side=st.sampled_from([1, -1]),
+        horizon=st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_geometric_vertices_stay_on_the_ray(
+        self, gamma, first_turn, side, horizon
+    ):
+        g = GeometricHalfLine(gamma=gamma, first_turn=first_turn, side=side)
+        vertices = g.vertices_until(horizon)
+        assert vertices, "the trajectory must produce vertices"
+        for v in vertices:
+            assert side * v.position >= 0.0
+        # vertices alternate origin / apex, so staying on the ray at
+        # vertices implies staying on the ray everywhere in between
+        assert all(
+            v.position == 0.0 or side * v.position > 0.0 for v in vertices
+        )
+
+    @given(
+        apexes=st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=1,
+            max_size=6,
+        ),
+        side=st.sampled_from([1, -1]),
+    )
+    def test_explicit_apexes_stay_on_the_ray(self, apexes, side):
+        increasing = list(itertools.accumulate(apexes))
+        h = HalfLineZigZag(increasing, side=side)
+        horizon = 2.0 * sum(increasing) + 1.0
+        for v in h.vertices_until(horizon):
+            assert side * v.position >= 0.0
+
+    @given(
+        gamma=st.floats(min_value=1.05, max_value=6.0),
+        x=st.floats(min_value=0.05, max_value=30.0),
+    )
+    def test_visit_times_positive_and_increasing(self, gamma, x):
+        g = GeometricHalfLine(gamma=gamma)
+        first = g.first_visit_time(x)
+        assert math.isfinite(first)
+        assert first >= x  # unit speed from the origin
+        times = g.visit_times(x, until=first + 4.0 * gamma * x)
+        assert times[0] == first
+        assert times == sorted(times)

@@ -1,0 +1,136 @@
+"""The evacuation variant: commit-then-gather termination."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.robots.fleet import Fleet
+from repro.robustness.campaign import ScenarioSpec, build_scenario
+from repro.schedule.byzantine import ByzantineConfirmationAlgorithm
+from repro.simulation.events import GatherEvent
+from repro.variants import variant_for
+from repro.variants.evacuation import (
+    EvacuationOutcome,
+    EvacuationSearchSimulation,
+)
+
+
+def run_evacuation(n, f, target, fault="none", seed=None, invariants=True):
+    spec = ScenarioSpec(
+        n=n, f=f, target=target, fault=fault, seed=seed, variant="evacuation"
+    )
+    return variant_for("evacuation").run(
+        build_scenario(spec), check_invariants=invariants
+    )
+
+
+class TestFeasibility:
+    def test_infeasible_specs_rejected_eagerly(self):
+        spec = ScenarioSpec(2, 1, 1.0, "none", variant="evacuation")
+        with pytest.raises(InvalidParameterError, match="reliable majority"):
+            build_scenario(spec)
+        with pytest.raises(InvalidParameterError, match="reliable majority"):
+            variant_for("evacuation").validate_spec(spec)
+
+    def test_feasible_specs_pass(self):
+        variant_for("evacuation").validate_spec(
+            ScenarioSpec(3, 1, 1.0, "none", variant="evacuation")
+        )
+
+
+class TestTermination:
+    def test_faultless_run_gathers_everyone(self):
+        outcome = run_evacuation(3, 1, 2.0)
+        assert outcome.evacuated
+        assert outcome.committed_truthfully
+        assert outcome.gathered_reliable == 3
+        assert outcome.detection_time >= outcome.commit_time
+        assert outcome.gather_overhead >= 0.0
+
+    def test_evacuation_time_is_last_reliable_arrival(self):
+        outcome = run_evacuation(5, 2, -3.0, fault="adversarial", seed=7)
+        gathers = [
+            e for e in outcome.events if isinstance(e, GatherEvent)
+        ]
+        reliable = [g.time for g in gathers if g.reliable]
+        assert reliable
+        assert outcome.detection_time == max(reliable)
+        assert outcome.straggler is not None
+        assert outcome.straggler not in outcome.faulty_robots
+
+    def test_crash_stop_robots_are_stranded(self):
+        outcome = run_evacuation(3, 1, 2.0, fault="crash_stop:1.0", seed=3)
+        assert outcome.evacuated
+        gathers = [
+            e for e in outcome.events if isinstance(e, GatherEvent)
+        ]
+        gathered = {g.robot_index for g in gathers}
+        # the crashed robot never reaches the point
+        assert gathered.isdisjoint(outcome.faulty_robots)
+        assert outcome.gathered_reliable == 3 - len(outcome.faulty_robots)
+
+    def test_events_sorted_by_time(self):
+        outcome = run_evacuation(5, 2, 4.0, fault="byzantine:0.5;1.5", seed=1)
+        times = [e.time for e in outcome.events]
+        assert times == sorted(times)
+
+    def test_ratio_respects_closed_form_bound(self):
+        from repro.core.evacuation import evacuation_ratio_bound
+
+        for n, f, target in ((3, 1, 2.0), (5, 2, -3.0), (4, 1, 1.5)):
+            outcome = run_evacuation(n, f, target, fault="adversarial")
+            assert outcome.competitive_ratio <= evacuation_ratio_bound(n, f)
+
+
+class TestOutcome:
+    def test_gather_overhead_and_describe(self):
+        outcome = EvacuationOutcome(
+            2.0, 10.0, 1, frozenset({0}),
+            committed_position=2.0, quorum=2, commit_time=6.0,
+            straggler=2, gathered_reliable=2,
+        )
+        assert outcome.evacuated
+        assert outcome.gather_overhead == 4.0
+        text = outcome.describe()
+        assert "committed at t=6" in text
+        assert "straggler a_2" in text
+
+    def test_never_completed(self):
+        outcome = EvacuationOutcome(2.0, math.inf, None, frozenset())
+        assert not outcome.evacuated
+        assert math.isinf(outcome.gather_overhead)
+        assert "never completed" in outcome.describe()
+
+
+class TestDirectSimulation:
+    def test_matches_variant_dispatch(self):
+        fleet = Fleet.from_algorithm(ByzantineConfirmationAlgorithm(3, 1))
+        direct = EvacuationSearchSimulation(fleet, 2.0).run()
+        routed = run_evacuation(3, 1, 2.0)
+        assert direct.detection_time == routed.detection_time
+        assert direct.commit_time == routed.commit_time
+        assert direct.gathered_reliable == routed.gathered_reliable
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        f=st.integers(min_value=0, max_value=2),
+        extra=st.integers(min_value=1, max_value=2),
+        target=st.floats(min_value=1.0, max_value=8.0),
+        negate=st.booleans(),
+        fault=st.sampled_from(["none", "adversarial", "crash_stop:1.0"]),
+    )
+    def test_evacuation_never_precedes_commit(
+        self, f, extra, target, negate, fault
+    ):
+        n = 2 * f + extra  # always feasible: n >= 2f + 1
+        outcome = run_evacuation(
+            n, f, -target if negate else target, fault=fault, seed=11
+        )
+        assert outcome.evacuated
+        assert outcome.detection_time >= outcome.commit_time
+        assert outcome.gathered_reliable == n - len(outcome.faulty_robots)

@@ -1,0 +1,128 @@
+"""The half-line variant: one-sided fleets and the validation sweep."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.robustness.campaign import ScenarioSpec, build_scenario
+from repro.variants import variant_for
+from repro.variants.halfline import (
+    DEFAULT_P_GRID,
+    DEFAULT_SWEEP_TARGET,
+    halfline_expected_estimate,
+    halfline_fleet,
+    run_halfline_sweep,
+)
+
+
+class TestRealize:
+    def test_fleet_follows_the_target_sign(self):
+        variant = variant_for("halfline")
+        for target, sign in ((2.5, 1), (-2.5, -1)):
+            spec = ScenarioSpec(3, 1, target, "none", variant="halfline")
+            fleet, _ = variant.realize(spec)
+            assert fleet.size == 3
+            for trajectory in fleet.trajectories:
+                assert trajectory.covers(target)
+                assert not trajectory.covers(-target)
+                assert trajectory.side == sign
+
+    def test_fleet_never_crosses_origin(self):
+        spec = ScenarioSpec(3, 1, 4.0, "none", variant="halfline")
+        fleet, _ = variant_for("halfline").realize(spec)
+        for trajectory in fleet.trajectories:
+            for vertex in trajectory.vertices_until(30.0):
+                assert vertex.position >= 0.0
+
+    def test_every_fault_kind_composes(self):
+        variant = variant_for("halfline")
+        for fault in ("none", "adversarial", "crash_stop:2.0",
+                      "probabilistic:0.7"):
+            spec = ScenarioSpec(
+                3, 1, 2.0, fault, seed=5, variant="halfline"
+            )
+            variant.validate_spec(spec)  # never raises
+            outcome = variant.run(
+                build_scenario(spec), check_invariants=False
+            )
+            assert math.isfinite(outcome.detection_time)
+
+
+class TestRun:
+    def test_detection_time_matches_staggered_first_visit(self):
+        # robot 1 (first_turn 2^(1/3)) reaches 2.5 first:
+        # S_1 + x = 2 * 2^(1/3) + 2.5
+        spec = ScenarioSpec(3, 1, 2.5, "none", variant="halfline")
+        outcome = variant_for("halfline").run(
+            build_scenario(spec), check_invariants=False
+        )
+        expected = 2.0 * 2.0 ** (1.0 / 3.0) + 2.5
+        assert outcome.detection_time == pytest.approx(expected, rel=1e-12)
+
+    def test_adversary_cannot_use_crossing_robots(self):
+        # under adversarial faults the surviving robot still finds the
+        # target on its own ray
+        spec = ScenarioSpec(3, 2, 2.0, "adversarial", variant="halfline")
+        outcome = variant_for("halfline").run(
+            build_scenario(spec), check_invariants=False
+        )
+        assert math.isfinite(outcome.detection_time)
+        assert outcome.detecting_robot not in (outcome.faulty_robots or ())
+
+
+class TestExpectedEstimate:
+    def test_matches_closed_form(self):
+        estimate = halfline_expected_estimate(3.0, 2.0, 0.75)
+        assert estimate.expected_time == pytest.approx(
+            10.085714285714286, rel=1e-9
+        )
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(InvalidParameterError):
+            halfline_expected_estimate(-1.0, 2.0, 0.5)
+
+    def test_fleet_helper_builds_staggered_rays(self):
+        fleet = halfline_fleet(n=3, gamma=2.0)
+        first_turns = [t.first_turn for t in fleet.trajectories]
+        assert first_turns == sorted(first_turns)
+        assert first_turns[0] == 1.0
+
+
+class TestSweep:
+    """The acceptance gate: closed form vs simulation on the pinned
+    p-grid, relative error at most 1e-9, optimizer recovery at 1e-6."""
+
+    def test_pinned_p_grid_validates(self):
+        report = run_halfline_sweep()
+        assert report.target == DEFAULT_SWEEP_TARGET
+        assert report.total == len(DEFAULT_P_GRID)
+        assert report.passed
+        for point in report.points:
+            assert point.expected_rel_error <= 1e-9, point.describe()
+            assert point.gamma_rel_error <= 1e-6, point.describe()
+
+    def test_report_serializes(self):
+        report = run_halfline_sweep(ps=(0.5, 0.75))
+        data = json.loads(report.to_json())
+        assert data["format"] == "linesearch-halfline-sweep-report"
+        assert data["passed"] is True
+        assert data["total"] == 2
+        assert len(data["points"]) == 2
+        assert {p["p"] for p in data["points"]} == {0.5, 0.75}
+
+    def test_describe_counts_points(self):
+        report = run_halfline_sweep(ps=(0.75,))
+        assert "1/1" in report.describe()
+        assert "ok " in report.describe()
+
+    def test_turning_point_target_rejected(self):
+        # gamma*(0.75) = 8/3; a target exactly on the first apex is
+        # outside the closed form's domain
+        with pytest.raises(InvalidParameterError, match="turning point"):
+            run_halfline_sweep(ps=(0.75,), target=8.0 / 3.0)
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_halfline_sweep(target=0.0)

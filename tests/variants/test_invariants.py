@@ -1,0 +1,164 @@
+"""Evacuation invariant audits must catch every tampered outcome."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.robots.fleet import Fleet
+from repro.robustness.campaign import ScenarioSpec, build_scenario
+from repro.simulation.events import GatherEvent
+from repro.variants import variant_for
+from repro.variants.invariants import (
+    audit_evacuation_outcome,
+    check_evacuation_outcome,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_outcome():
+    spec = ScenarioSpec(
+        3, 1, 2.0, "adversarial", seed=4, variant="evacuation"
+    )
+    return variant_for("evacuation").run(
+        build_scenario(spec), check_invariants=True
+    )
+
+
+def kinds(violations):
+    return {v.invariant for v in violations}
+
+
+class TestCleanRuns:
+    def test_audited_run_has_no_violations(self, clean_outcome):
+        assert audit_evacuation_outcome(clean_outcome, fleet_size=3) == []
+        check_evacuation_outcome(clean_outcome, fleet_size=3)  # no raise
+
+    def test_check_raises_on_any_violation(self, clean_outcome):
+        tampered = dataclasses.replace(
+            clean_outcome, detection_time=clean_outcome.commit_time - 1.0
+        )
+        with pytest.raises(InvariantViolationError, match="audit"):
+            check_evacuation_outcome(tampered, fleet_size=3)
+
+
+class TestPrematureEvacuation:
+    def test_terminating_before_the_last_reliable_arrival(self, clean_outcome):
+        tampered = dataclasses.replace(
+            clean_outcome,
+            detection_time=clean_outcome.detection_time - 0.5,
+        )
+        assert "premature_evacuation" in kinds(
+            audit_evacuation_outcome(tampered, fleet_size=3)
+        )
+
+    def test_missing_reliable_gather_event(self, clean_outcome):
+        reliable_gathers = [
+            e
+            for e in clean_outcome.events
+            if isinstance(e, GatherEvent) and e.reliable
+        ]
+        dropped = reliable_gathers[-1]
+        stripped = tuple(
+            e for e in clean_outcome.events if e is not dropped
+        )
+        survivors = [
+            e.time
+            for e in stripped
+            if isinstance(e, GatherEvent) and e.reliable
+        ]
+        tampered = dataclasses.replace(
+            clean_outcome,
+            events=stripped,
+            detection_time=max(survivors),
+            straggler=None,
+            gathered_reliable=len(survivors),
+        )
+        assert "premature_evacuation" in kinds(
+            audit_evacuation_outcome(tampered, fleet_size=3)
+        )
+
+
+class TestFaultyCountedTowardGather:
+    def test_faulty_straggler_flagged(self, clean_outcome):
+        faulty = next(iter(clean_outcome.faulty_robots))
+        tampered = dataclasses.replace(clean_outcome, straggler=faulty)
+        assert "faulty_counted_toward_gather" in kinds(
+            audit_evacuation_outcome(tampered, fleet_size=3)
+        )
+
+    def test_mislabeled_gather_event_flagged(self, clean_outcome):
+        events = []
+        flipped = False
+        for event in clean_outcome.events:
+            if isinstance(event, GatherEvent) and not flipped:
+                events.append(
+                    GatherEvent(
+                        event.time,
+                        event.robot_index,
+                        event.position,
+                        reliable=not event.reliable,
+                    )
+                )
+                flipped = True
+            else:
+                events.append(event)
+        assert flipped
+        tampered = dataclasses.replace(clean_outcome, events=tuple(events))
+        assert "faulty_counted_toward_gather" in kinds(
+            audit_evacuation_outcome(tampered)
+        )
+
+    def test_evacuation_time_beyond_last_reliable_arrival(self, clean_outcome):
+        tampered = dataclasses.replace(
+            clean_outcome,
+            detection_time=clean_outcome.detection_time + 3.0,
+        )
+        assert "faulty_counted_toward_gather" in kinds(
+            audit_evacuation_outcome(tampered)
+        )
+
+
+class TestGatherBeforeCommit:
+    def test_early_gather_flagged(self, clean_outcome):
+        events = []
+        moved = False
+        for event in clean_outcome.events:
+            if isinstance(event, GatherEvent) and not moved:
+                events.append(
+                    GatherEvent(
+                        clean_outcome.commit_time - 1.0,
+                        event.robot_index,
+                        event.position,
+                        reliable=event.reliable,
+                    )
+                )
+                moved = True
+            else:
+                events.append(event)
+        assert moved
+        tampered = dataclasses.replace(clean_outcome, events=tuple(events))
+        assert "gather_before_commit" in kinds(
+            audit_evacuation_outcome(tampered)
+        )
+
+    def test_gather_without_any_commit_flagged(self, clean_outcome):
+        tampered = dataclasses.replace(
+            clean_outcome,
+            detection_time=math.inf,
+            commit_time=math.inf,
+            committed_position=None,
+        )
+        assert "gather_before_commit" in kinds(
+            audit_evacuation_outcome(tampered)
+        )
+
+
+class TestCommitPhaseReaudit:
+    def test_commit_chronology_still_enforced(self, clean_outcome):
+        # rewinding the commit instant behind the protocol events must
+        # trip the byzantine-layer audit through the commit view
+        tampered = dataclasses.replace(clean_outcome, commit_time=0.0)
+        violations = audit_evacuation_outcome(tampered)
+        assert violations, "commit-phase tampering must be caught"
