@@ -32,6 +32,14 @@ Subcommands:
   scenario-fingerprint result cache, graceful drain on SIGTERM, and
   crash-safe restart that resumes interrupted campaigns
   byte-identically from their journals;
+* ``dashboard`` — the live campaign dashboard outside the browser:
+  ``--attach URL`` follows a running ``serve`` instance (optionally
+  consuming its SSE stream until idle with ``--follow``) while
+  ``--telemetry-dir DIR`` replays a drained run's ``trace.jsonl`` +
+  ``metrics.prom`` into the byte-identical final panel state; either
+  mode can save the canonical state JSON (``--state-json``), a
+  self-contained HTML page (``--html``), or the animated trajectory
+  panel SVG (``--svg``);
 * ``telemetry`` — summarize a telemetry artifact written by
   ``chaos --telemetry-dir``: a ``trace.jsonl`` span trace (where the
   wall-clock time went, by span) or a ``metrics.prom`` file
@@ -469,6 +477,38 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="DIR",
                          help="on drain, write trace.jsonl, "
                               "metrics.prom, and summary.txt into DIR")
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="campaign dashboard: attach to a service or replay telemetry",
+    )
+    dash_mode = p_dash.add_mutually_exclusive_group(required=True)
+    dash_mode.add_argument("--attach", type=str, default=None, metavar="URL",
+                           help="base URL of a running 'linesearch serve' "
+                                "(e.g. http://127.0.0.1:8347)")
+    dash_mode.add_argument("--telemetry-dir", type=str, default=None,
+                           metavar="DIR",
+                           help="replay mode: reconstruct the final panel "
+                                "state from DIR/trace.jsonl + "
+                                "DIR/metrics.prom")
+    p_dash.add_argument("--follow", action="store_true",
+                        help="(attach) consume the SSE stream until the "
+                             "service goes idle before reading the state")
+    p_dash.add_argument("--timeout", type=float, default=60.0,
+                        help="attach-mode socket/stream timeout, seconds "
+                             "(default: 60)")
+    p_dash.add_argument("--state-json", type=str, default=None,
+                        metavar="PATH",
+                        help="write the canonical panel state as JSON "
+                             "(the byte-identity surface CI diffs)")
+    p_dash.add_argument("--html", type=str, default=None, metavar="PATH",
+                        help="write a self-contained replay HTML page")
+    p_dash.add_argument("--svg", type=str, default=None, metavar="PATH",
+                        help="write the animated space-time trajectory "
+                             "panel as standalone SVG")
+    p_dash.add_argument("--top", type=int, default=10,
+                        help="span rows in the terminal summary "
+                             "(default: 10)")
 
     p_tel = sub.add_parser(
         "telemetry",
@@ -1186,6 +1226,67 @@ def _cmd_serve(args: argparse.Namespace):
     return "\n".join(lines), code
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> str:
+    import json as json_module
+
+    from repro.dashboard import render_dashboard_html, replay_state
+
+    lines: List[str] = []
+    if args.attach is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.attach, timeout=args.timeout)
+        if args.follow:
+            frames = 0
+            for event in client.dashboard_stream(
+                until_idle=True, timeout=args.timeout
+            ):
+                frames += 1
+                if event["event"] == "done":
+                    dropped = event["data"].get("dropped", 0)
+                    lines.append(
+                        f"stream closed after {frames} frame(s)"
+                        + (f", {dropped} dropped" if dropped else "")
+                    )
+        state_dict = client.dashboard_state()
+        # The client-side canonical dump: byte-identical to
+        # DashboardState.to_json() on the server.
+        state_json = (
+            json_module.dumps(state_dict, sort_keys=True, indent=2) + "\n"
+        )
+        from repro.dashboard.state import DashboardState
+
+        state = DashboardState(
+            metrics=state_dict["metrics"],
+            progress=state_dict["progress"],
+            ratio_profiles=state_dict["ratio_profiles"],
+            span_table=state_dict["span_table"],
+            collapsed=state_dict["collapsed"],
+        )
+        lines.insert(0, f"attached to {client.base_url}")
+    else:
+        state = replay_state(args.telemetry_dir)
+        state_dict = state.to_dict()
+        state_json = state.to_json()
+        lines.append(f"replayed {args.telemetry_dir}")
+    lines.append(state.describe(top=args.top))
+    if args.state_json:
+        with open(args.state_json, "w", encoding="utf-8") as handle:
+            handle.write(state_json)
+        lines.append(f"wrote {args.state_json}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_dashboard_html(state=state_dict))
+        lines.append(f"wrote {args.html}")
+    if args.svg:
+        from repro.dashboard import demo_trajectory_svg
+
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(demo_trajectory_svg() + "\n")
+        lines.append(f"wrote {args.svg}")
+    return "\n".join(lines)
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> str:
     import os
 
@@ -1340,6 +1441,7 @@ _DISPATCH = {
     "variants": _cmd_variants,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "dashboard": _cmd_dashboard,
     "telemetry": _cmd_telemetry,
     "perf": _cmd_perf,
 }

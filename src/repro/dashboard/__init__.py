@@ -1,0 +1,57 @@
+"""The live campaign dashboard over the telemetry pipeline.
+
+The service computes; this package is what users see.  It renders four
+panels — animated space-time trajectories, live campaign progress,
+CR-vs-target ratio profiles per scenario family, and a span self-time
+table with flamegraph drill-down — from one canonical, deterministic
+:class:`~repro.dashboard.state.DashboardState`:
+
+* **embedded**: ``GET /v1/dashboard`` on a running ``linesearch serve``
+  returns the page; ``GET /v1/dashboard/stream`` is the Server-Sent-
+  Events feed multiplexing job progress, metric snapshot-deltas, and
+  span summaries (:class:`~repro.dashboard.stream.DashboardStreamer`);
+* **attach**: ``linesearch dashboard --attach URL`` follows a running
+  instance from the terminal and can save the live state;
+* **replay**: ``linesearch dashboard --telemetry-dir DIR`` rebuilds the
+  *byte-identical* final state offline from ``trace.jsonl`` +
+  ``metrics.prom`` (:func:`~repro.dashboard.replay.replay_state`) —
+  the property CI's dashboard-smoke job asserts with ``cmp``.
+"""
+
+from repro.dashboard.html import demo_trajectory_svg, render_dashboard_html
+from repro.dashboard.replay import read_artifacts, replay_state
+from repro.dashboard.state import (
+    DASHBOARD_STATE_FORMAT,
+    DASHBOARD_STATE_VERSION,
+    DashboardState,
+    VOLATILE_METRICS,
+    VOLATILE_SPAN_PREFIX,
+    build_state,
+    families_from_prometheus,
+    families_from_registry,
+    state_from_telemetry,
+)
+from repro.dashboard.stream import (
+    MAX_STREAM_EVENTS,
+    BoundedEventBuffer,
+    DashboardStreamer,
+)
+
+__all__ = [
+    "BoundedEventBuffer",
+    "DASHBOARD_STATE_FORMAT",
+    "DASHBOARD_STATE_VERSION",
+    "DashboardState",
+    "DashboardStreamer",
+    "MAX_STREAM_EVENTS",
+    "VOLATILE_METRICS",
+    "VOLATILE_SPAN_PREFIX",
+    "build_state",
+    "demo_trajectory_svg",
+    "families_from_prometheus",
+    "families_from_registry",
+    "read_artifacts",
+    "render_dashboard_html",
+    "replay_state",
+    "state_from_telemetry",
+]

@@ -1,0 +1,227 @@
+"""The dashboard page itself: one self-contained HTML document.
+
+Stdlib-only by construction — the page embeds its own CSS and a small
+vanilla-JS renderer, no external assets.  Two modes share the template
+and the renderer:
+
+* **live** (served at ``GET /v1/dashboard``): the page fetches
+  ``/v1/dashboard/state``, subscribes to the SSE stream, and re-renders
+  the panels as ``jobs``/``metrics``/``spans`` frames arrive;
+* **replay** (``linesearch dashboard --telemetry-dir ... --html``): the
+  reconstructed final state is embedded in the document and rendered
+  statically — the same panels, frozen at the end of the run.
+
+The trajectory panel is a server-rendered animated SVG
+(:func:`demo_trajectory_svg`): a staggered fleet with one crash-stop
+halt, markers included — the space-time picture the paper is about.
+"""
+
+from __future__ import annotations
+
+import json
+from string import Template
+from typing import Any, Dict, Optional
+
+__all__ = ["demo_trajectory_svg", "render_dashboard_html"]
+
+
+def demo_trajectory_svg(width: int = 560, height: int = 360) -> str:
+    """An animated space-time panel: A(4,2) fleet, one crash, markers."""
+    from repro.robots import Fleet
+    from repro.schedule import ProportionalAlgorithm
+    from repro.trajectory.halted import HaltedTrajectory
+    from repro.viz.svg import fleet_svg
+
+    fleet = Fleet.from_algorithm(ProportionalAlgorithm(4, 2))
+    trajectories = list(fleet.trajectories)
+    trajectories[1] = HaltedTrajectory(trajectories[1], halt_time=6.0)
+    until = 40.0
+    return fleet_svg(
+        trajectories,
+        until=until,
+        width=width,
+        height=height,
+        events=[
+            {"kind": "claim", "time": 14.0, "position": 4.0, "robot": 2},
+            {"kind": "refute", "time": 20.0, "position": 4.0, "robot": 2},
+            {"kind": "commit", "time": 33.0, "position": 8.0, "robot": 0},
+        ],
+        animate=True,
+    )
+
+
+_PAGE = Template(
+    """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>linesearch dashboard ($mode)</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 1.2rem; background: #fafafa; color: #222; }
+h1 { font-size: 1.1rem; } h2 { font-size: 0.95rem; margin: 0 0 .4rem; }
+#grid { display: grid; grid-template-columns: repeat(2, minmax(380px, 1fr));
+        gap: 1rem; }
+.panel { background: white; border: 1px solid #ddd; border-radius: 6px;
+         padding: .8rem; overflow: auto; }
+table { border-collapse: collapse; font-size: .78rem; width: 100%; }
+th, td { border-bottom: 1px solid #eee; padding: .15rem .5rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+#status { font-size: .8rem; color: #666; }
+.dot { display: inline-block; width: .6em; height: .6em;
+       border-radius: 50%; background: #2e8b57; margin-right: .3em; }
+.stale .dot { background: #c43d3d; }
+details summary { cursor: pointer; font-size: .8rem; color: #555; }
+pre { font-size: .7rem; margin: .3rem 0 0; }
+svg.profile polyline { fill: none; stroke-width: 1.5; }
+</style>
+</head>
+<body>
+<h1>linesearch dashboard <span id="status"><span class="dot"></span>$mode</span></h1>
+<div id="grid">
+<div class="panel"><h2>space-time trajectories (A(4,2), one crash)</h2>
+$trajectory_svg
+</div>
+<div class="panel"><h2>campaign progress</h2><div id="progress"></div></div>
+<div class="panel"><h2>CR vs target, per scenario family</h2>
+<div id="profiles"></div></div>
+<div class="panel"><h2>span self-time</h2><div id="spans"></div>
+<details><summary>flamegraph drill-down (collapsed stacks)</summary>
+<pre id="collapsed"></pre></details></div>
+</div>
+<script type="application/json" id="replay-state">$state_json</script>
+<script>
+"use strict";
+const LIVE = $live;
+const COLORS = ["#1b6ca8","#c43d3d","#2e8b57","#8a2be2","#d2691e",
+                "#008b8b","#b8860b","#4b0082","#708090","#dc143c"];
+const fmt = (v) => (typeof v === "number" && !Number.isInteger(v))
+    ? v.toPrecision(6) : String(v);
+
+function renderTable(rows, header) {
+  let html = "<table><tr>" +
+    header.map((h) => `<th>$${h}</th>`).join("") + "</tr>";
+  for (const row of rows) {
+    html += "<tr>" + row.map((c) => `<td>$${fmt(c)}</td>`).join("") + "</tr>";
+  }
+  return html + "</table>";
+}
+
+function renderProgress(progress) {
+  const rows = [];
+  const flatten = (prefix, obj) => {
+    for (const [key, value] of Object.entries(obj)) {
+      if (value !== null && typeof value === "object") {
+        flatten(prefix ? `$${prefix}.$${key}` : key, value);
+      } else {
+        rows.push([prefix ? `$${prefix}.$${key}` : key, value]);
+      }
+    }
+  };
+  flatten("", progress);
+  document.getElementById("progress").innerHTML =
+    renderTable(rows, ["counter", "value"]);
+}
+
+function renderProfiles(profiles) {
+  const width = 380, height = 120, margin = 26;
+  let html = "";
+  let familyIndex = 0;
+  for (const [family, points] of Object.entries(profiles)) {
+    const pts = points.filter((p) => p.ratio !== null);
+    const color = COLORS[familyIndex++ % COLORS.length];
+    if (!pts.length) { continue; }
+    const xs = pts.map((p) => Math.abs(p.target));
+    const ys = pts.map((p) => p.ratio);
+    const xMin = Math.min(...xs), xMax = Math.max(...xs, xMin + 1e-9);
+    const yMin = Math.min(...ys), yMax = Math.max(...ys, yMin + 1e-9);
+    const mx = (x) => margin + (x - xMin) / (xMax - xMin) * (width - 2 * margin);
+    const my = (y) => height - margin -
+        (y - yMin) / (yMax - yMin) * (height - 2 * margin);
+    const line = pts
+        .map((p) => `$${mx(Math.abs(p.target)).toFixed(1)},` +
+                    `$${my(p.ratio).toFixed(1)}`)
+        .join(" ");
+    const dots = pts.map((p) =>
+      `<circle cx="$${mx(Math.abs(p.target)).toFixed(1)}" ` +
+      `cy="$${my(p.ratio).toFixed(1)}" r="2.5" fill="$${color}">` +
+      `<title>|target|=$${fmt(Math.abs(p.target))} ratio=$${fmt(p.ratio)}` +
+      `</title></circle>`).join("");
+    html += `<div><b style="color:$${color}">$${family}</b> ` +
+      `(ratio $${fmt(yMin)}&ndash;$${fmt(yMax)})<br/>` +
+      `<svg class="profile" width="$${width}" height="$${height}">` +
+      `<polyline points="$${line}" stroke="$${color}"/>$${dots}</svg></div>`;
+  }
+  document.getElementById("profiles").innerHTML =
+      html || "<i>no scenario spans yet</i>";
+}
+
+function renderSpans(table, collapsed) {
+  document.getElementById("spans").innerHTML = renderTable(
+      table, ["span", "count", "total s", "self s", "max s"]);
+  if (collapsed) {
+    document.getElementById("collapsed").textContent = collapsed.join("\\n");
+  }
+}
+
+function renderState(state) {
+  renderProgress(state.progress);
+  renderProfiles(state.ratio_profiles);
+  renderSpans(state.span_table, state.collapsed);
+}
+
+if (!LIVE) {
+  renderState(JSON.parse(
+      document.getElementById("replay-state").textContent));
+} else {
+  let refreshQueued = false;
+  const refresh = () => {
+    if (refreshQueued) { return; }
+    refreshQueued = true;
+    setTimeout(() => {
+      refreshQueued = false;
+      fetch("/v1/dashboard/state")
+        .then((r) => r.json()).then(renderState)
+        .catch(() => document.getElementById("status")
+            .classList.add("stale"));
+    }, 250);
+  };
+  refresh();
+  const source = new EventSource("/v1/dashboard/stream");
+  for (const kind of ["jobs", "metrics", "spans"]) {
+    source.addEventListener(kind, refresh);
+  }
+  source.addEventListener("done", () => { refresh(); source.close(); });
+  source.onerror = () =>
+      document.getElementById("status").classList.add("stale");
+}
+</script>
+</body>
+</html>
+"""
+)
+
+
+def render_dashboard_html(
+    state: Optional[Dict[str, Any]] = None,
+    trajectory_svg: Optional[str] = None,
+) -> str:
+    """The dashboard page: live when ``state`` is ``None``, else replay.
+
+    Examples:
+        >>> page = render_dashboard_html()
+        >>> page.startswith("<!DOCTYPE html>") and "EventSource" in page
+        True
+    """
+    return _PAGE.substitute(
+        mode="replay" if state is not None else "live",
+        live="false" if state is not None else "true",
+        state_json=(
+            json.dumps(state, sort_keys=True) if state is not None else "null"
+        ),
+        trajectory_svg=(
+            trajectory_svg if trajectory_svg is not None
+            else demo_trajectory_svg()
+        ),
+    )

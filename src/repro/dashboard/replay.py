@@ -1,0 +1,66 @@
+"""Offline reconstruction of the dashboard from telemetry artifacts.
+
+A drained ``--telemetry-dir`` holds everything the live panels showed:
+``trace.jsonl`` carries the span forest (scenario spans included, with
+their target/ratio attributes) and ``metrics.prom`` the final metric
+families.  :func:`replay_state` rebuilds the canonical
+:class:`~repro.dashboard.state.DashboardState` from those two files —
+deterministically, byte-identical to what the live service reported
+for the same run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.observability.export import read_trace_jsonl
+from repro.observability.tracing import SpanRecord
+
+from repro.dashboard.state import (
+    DashboardState,
+    build_state,
+    families_from_prometheus,
+)
+
+__all__ = ["replay_state", "read_artifacts"]
+
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.prom"
+
+
+def read_artifacts(
+    telemetry_dir: str,
+) -> Tuple[Dict[str, Any], List[SpanRecord], str]:
+    """``(trace_metadata, spans, prometheus_text)`` from a telemetry dir."""
+    trace_path = os.path.join(telemetry_dir, TRACE_FILENAME)
+    metrics_path = os.path.join(telemetry_dir, METRICS_FILENAME)
+    metadata, spans = read_trace_jsonl(trace_path)
+    if not os.path.exists(metrics_path):
+        raise InvalidParameterError(f"no metrics file at {metrics_path!r}")
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return metadata, spans, text
+
+
+def replay_state(telemetry_dir: str) -> DashboardState:
+    """Rebuild the final dashboard state from a drained telemetry dir.
+
+    Examples:
+        >>> import tempfile, os
+        >>> from repro.observability import (
+        ...     Telemetry, write_prometheus, write_trace_jsonl)
+        >>> telemetry = Telemetry()
+        >>> telemetry.metrics.counter("scenarios_completed_total").inc(3)
+        >>> with tempfile.TemporaryDirectory() as out:
+        ...     _ = write_trace_jsonl(
+        ...         os.path.join(out, "trace.jsonl"), telemetry)
+        ...     write_prometheus(
+        ...         os.path.join(out, "metrics.prom"), telemetry)
+        ...     state = replay_state(out)
+        >>> state.progress["scenarios"]["completed"]
+        3.0
+    """
+    _, spans, text = read_artifacts(telemetry_dir)
+    return build_state(spans, families_from_prometheus(text))

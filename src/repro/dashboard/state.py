@@ -1,0 +1,353 @@
+"""The canonical dashboard panel state, built from telemetry.
+
+One constructor, two sources.  :func:`build_state` turns a span list
+plus normalized metric families into the exact dict every panel renders
+from; the live service feeds it ``tracer.records()`` +
+``registry.snapshot()`` (via :func:`families_from_registry`) while
+replay feeds it ``trace.jsonl`` + ``metrics.prom`` (via
+:func:`families_from_prometheus`).  Both paths normalize to the same
+floats — the Prometheus writer emits ``repr()`` round-trippable values
+and the trace is JSON — so the two states are **byte-identical** once
+serialized with :meth:`DashboardState.to_json`.  The CI smoke job
+diffs them with ``cmp``.
+
+The one wrinkle is the observer effect: the live service's own request
+handling mutates telemetry *between* a client fetching the state and
+the drain that writes the artifacts.  The canonical state therefore
+excludes the metric families and span names the dashboard itself
+perturbs (:data:`VOLATILE_METRICS`, spans under ``service.``) — the
+dashboard must not see itself.  Everything else (simulation and
+campaign counters, job/queue/cache gauges, scenario spans) is stable
+once the submitted work is done.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.observability.export import parse_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import SpanRecord
+from repro.perf.profile import collapsed_stacks, profile_spans
+
+__all__ = [
+    "DASHBOARD_STATE_FORMAT",
+    "DASHBOARD_STATE_VERSION",
+    "DashboardState",
+    "VOLATILE_METRICS",
+    "VOLATILE_SPAN_PREFIX",
+    "build_state",
+    "families_from_prometheus",
+    "families_from_registry",
+    "state_from_telemetry",
+]
+
+DASHBOARD_STATE_FORMAT = "linesearch-dashboard-state"
+DASHBOARD_STATE_VERSION = 1
+
+#: Metric families the dashboard's own traffic mutates — serving the
+#: state fetch, the SSE stream, and the drain all touch these, so a
+#: live state captured before the drain and a replay of the drained
+#: artifacts would disagree on them.  Excluded from the canonical state.
+VOLATILE_METRICS = frozenset(
+    {
+        "service_requests_total",
+        "service_request_seconds",
+        "service_drains_total",
+        "service_workers_alive",
+    }
+)
+
+#: Spans recorded by the service's own request handling; excluded for
+#: the same observer-effect reason as :data:`VOLATILE_METRICS`.
+VOLATILE_SPAN_PREFIX = "service."
+
+
+# ----------------------------------------------------------------------
+# metric-family normalization (the two sources meet here)
+# ----------------------------------------------------------------------
+
+def _normalize_series(series: Iterable[Any]) -> List[List[Any]]:
+    normalized = [
+        [[[str(k), str(v)] for k, v in key], float(value)]
+        for key, value in series
+    ]
+    normalized.sort(key=lambda item: item[0])
+    return normalized
+
+
+def families_from_registry(metrics: MetricsRegistry) -> Dict[str, Any]:
+    """Canonical non-volatile metric families from a live registry."""
+    families: Dict[str, Any] = {}
+    for name, entry in metrics.snapshot().items():
+        if name in VOLATILE_METRICS:
+            continue
+        if entry["kind"] == "histogram":
+            families[name] = {
+                "kind": "histogram",
+                "buckets": [float(b) for b in entry["buckets"]],
+                "counts": [int(c) for c in entry["counts"]],
+                "sum": float(entry["sum"]),
+                "count": int(entry["count"]),
+            }
+        else:
+            series = entry.get("series") or [[(), 0.0]]
+            families[name] = {
+                "kind": entry["kind"],
+                "series": _normalize_series(series),
+            }
+    return families
+
+
+def families_from_prometheus(text: str) -> Dict[str, Any]:
+    """Canonical non-volatile metric families from ``metrics.prom`` text.
+
+    The exact inverse of what :func:`families_from_registry` sees: the
+    exposition writer emits ``repr()``-round-trippable floats, so the
+    values reconstructed here are bit-identical to the registry's.
+    """
+    families: Dict[str, Any] = {}
+    for name, entry in parse_prometheus(text).items():
+        if name in VOLATILE_METRICS or name == "linesearch_build_info":
+            continue
+        kind = entry["kind"]
+        if kind == "histogram":
+            buckets = sorted(
+                (float(labels["le"]), value)
+                for sample, labels, value in entry["samples"]
+                if sample == f"{name}_bucket"
+                and math.isfinite(float(labels.get("le", "inf")))
+            )
+            totals = [
+                value for sample, _, value in entry["samples"]
+                if sample == f"{name}_count"
+            ]
+            sums = [
+                value for sample, _, value in entry["samples"]
+                if sample == f"{name}_sum"
+            ]
+            cumulative = [int(c) for _, c in buckets]
+            counts = [cumulative[0]] if cumulative else []
+            counts += [hi - lo for lo, hi in zip(cumulative, cumulative[1:])]
+            counts.append(int(totals[0] if totals else 0) - (
+                cumulative[-1] if cumulative else 0
+            ))
+            families[name] = {
+                "kind": "histogram",
+                "buckets": [bound for bound, _ in buckets],
+                "counts": counts,
+                "sum": float(sums[0]) if sums else 0.0,
+                "count": int(totals[0]) if totals else 0,
+            }
+        elif kind in ("counter", "gauge"):
+            families[name] = {
+                "kind": kind,
+                "series": _normalize_series(
+                    (tuple(sorted(labels.items())), value)
+                    for _, labels, value in entry["samples"]
+                ),
+            }
+    return families
+
+
+# ----------------------------------------------------------------------
+# panel derivations
+# ----------------------------------------------------------------------
+
+def _counter_total(families: Dict[str, Any], name: str) -> float:
+    entry = families.get(name)
+    if not entry or "series" not in entry:
+        return 0.0
+    return sum(value for _, value in entry["series"])
+
+
+def _series_by_label(
+    families: Dict[str, Any], name: str, label: str
+) -> Dict[str, float]:
+    entry = families.get(name)
+    if not entry or "series" not in entry:
+        return {}
+    out: Dict[str, float] = {}
+    for key, value in entry["series"]:
+        labels = dict(key)
+        if label in labels:
+            out[labels[label]] = out.get(labels[label], 0.0) + value
+    return out
+
+
+def _progress(families: Dict[str, Any]) -> Dict[str, Any]:
+    """The campaign-progress panel: job, queue, retry, crash counters."""
+    return {
+        "scenarios": {
+            "completed": _counter_total(families, "scenarios_completed_total"),
+            "failed": _counter_total(families, "scenarios_failed_total"),
+            "retries": _counter_total(families, "scenario_retries_total"),
+        },
+        "jobs": {
+            "submitted": _counter_total(
+                families, "service_jobs_submitted_total"
+            ),
+            "completed_by_status": _series_by_label(
+                families, "service_jobs_completed_total", "status"
+            ),
+            "running": _counter_total(families, "service_jobs_running"),
+        },
+        "queue_depth": _counter_total(families, "service_queue_depth"),
+        "cache": {
+            "size": _counter_total(families, "service_cache_size"),
+            "hits": _counter_total(families, "service_cache_hits_total"),
+            "misses": _counter_total(families, "service_cache_misses_total"),
+        },
+        "failures": {
+            "watchdog_timeouts": _counter_total(
+                families, "watchdog_timeouts_total"
+            ),
+            "worker_crashes": _counter_total(families, "worker_crashes_total"),
+            "deadline_expirations": _counter_total(
+                families, "service_deadline_expirations_total"
+            ),
+            "overload_rejections": _counter_total(
+                families, "service_overload_rejections_total"
+            ),
+        },
+    }
+
+
+def _ratio_profiles(spans: Sequence[SpanRecord]) -> Dict[str, Any]:
+    """CR-vs-target points per scenario family, from scenario spans."""
+    profiles: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        if span.name != "campaign.scenario":
+            continue
+        attributes = span.attributes
+        if "target" not in attributes:
+            continue
+        family = (
+            f"A({attributes.get('n', '?')},{attributes.get('f', '?')}) "
+            f"{attributes.get('fault', '?')}"
+        )
+        ratio = attributes.get("ratio")
+        profiles.setdefault(family, []).append(
+            {
+                "target": float(attributes["target"]),
+                "ratio": float(ratio) if ratio is not None else None,
+                "ok": bool(attributes.get("ok", False)),
+            }
+        )
+    for points in profiles.values():
+        points.sort(
+            key=lambda p: (
+                p["target"],
+                p["ratio"] if p["ratio"] is not None else -1.0,
+            )
+        )
+    return {family: profiles[family] for family in sorted(profiles)}
+
+
+def _span_table(spans: Sequence[SpanRecord]) -> List[List[Any]]:
+    """Self-time rows ``[name, count, total, self, max]``, hottest first."""
+    return [
+        [stats.name, stats.count, stats.total, stats.self_time, stats.max]
+        for stats in profile_spans(spans).stats
+    ]
+
+
+# ----------------------------------------------------------------------
+# the state object
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DashboardState:
+    """Everything the dashboard panels render, as one deterministic dict."""
+
+    metrics: Dict[str, Any]
+    progress: Dict[str, Any]
+    ratio_profiles: Dict[str, Any]
+    span_table: List[List[Any]]
+    collapsed: List[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": DASHBOARD_STATE_FORMAT,
+            "version": DASHBOARD_STATE_VERSION,
+            "metrics": self.metrics,
+            "progress": self.progress,
+            "ratio_profiles": self.ratio_profiles,
+            "span_table": self.span_table,
+            "collapsed": self.collapsed,
+        }
+
+    def to_json(self) -> str:
+        """The byte-identity surface: sorted keys, fixed indentation."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def describe(self, top: int = 10) -> str:
+        """A terminal rendering of the panels, for ``linesearch dashboard``."""
+        scenarios = self.progress["scenarios"]
+        failures = self.progress["failures"]
+        lines = [
+            "campaign progress:",
+            f"  scenarios: {scenarios['completed']:g} completed, "
+            f"{scenarios['failed']:g} failed, "
+            f"{scenarios['retries']:g} retries",
+            f"  queue depth: {self.progress['queue_depth']:g}, "
+            f"cache: {self.progress['cache']['size']:g} entries "
+            f"({self.progress['cache']['hits']:g} hits / "
+            f"{self.progress['cache']['misses']:g} misses)",
+            f"  failures: {failures['watchdog_timeouts']:g} timeouts, "
+            f"{failures['worker_crashes']:g} crashes, "
+            f"{failures['deadline_expirations']:g} deadline expirations",
+            "ratio profiles:",
+        ]
+        for family, points in self.ratio_profiles.items():
+            ratios = [p["ratio"] for p in points if p["ratio"] is not None]
+            if ratios:
+                lines.append(
+                    f"  {family}: {len(points)} scenario(s), "
+                    f"CR {min(ratios):.6g}..{max(ratios):.6g}"
+                )
+            else:
+                lines.append(f"  {family}: {len(points)} scenario(s)")
+        if not self.ratio_profiles:
+            lines.append("  (no scenario spans)")
+        lines.append(f"hottest spans (top {top}):")
+        for name, count, total, self_time, _ in self.span_table[:top]:
+            lines.append(
+                f"  {name}: {count}x, {total:.6f}s total, "
+                f"{self_time:.6f}s self"
+            )
+        if not self.span_table:
+            lines.append("  (no spans)")
+        return "\n".join(lines)
+
+
+def build_state(
+    spans: Sequence[SpanRecord], families: Dict[str, Any]
+) -> DashboardState:
+    """Assemble the canonical state from spans + normalized families.
+
+    ``spans`` may include service-request spans; the volatile prefix is
+    filtered here so both sources apply the identical rule.
+    """
+    stable = [
+        span for span in spans
+        if not span.name.startswith(VOLATILE_SPAN_PREFIX)
+    ]
+    return DashboardState(
+        metrics=families,
+        progress=_progress(families),
+        ratio_profiles=_ratio_profiles(stable),
+        span_table=_span_table(stable),
+        collapsed=collapsed_stacks(stable),
+    )
+
+
+def state_from_telemetry(telemetry: Any) -> DashboardState:
+    """The live path: canonical state of an in-process ``Telemetry``."""
+    return build_state(
+        telemetry.tracer.records(),
+        families_from_registry(telemetry.metrics),
+    )

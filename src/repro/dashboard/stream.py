@@ -1,0 +1,195 @@
+"""The dashboard's multiplexed event stream, SSE-framed.
+
+:class:`DashboardStreamer` samples a live telemetry source on a fixed
+interval and multiplexes three event kinds onto one Server-Sent-Events
+stream: ``jobs`` (queue depth and per-state job counts, whenever they
+change), ``metrics`` (snapshot *deltas* via
+:meth:`~repro.observability.metrics.MetricsRegistry.delta_since`, so a
+client can fold them into its own registry), and ``spans`` (the
+self-time table whenever new spans finished).  A ``hello`` frame opens
+the stream and — when watching for idleness — a ``done`` frame closes
+it, after which the generator ends.
+
+Frames pass through :class:`BoundedEventBuffer`, the same bounded-
+deque-plus-drop-counter discipline the service's per-job event log
+uses: a slow consumer costs bounded memory and an honest ``dropped``
+count, never an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.observability.export import format_sse
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import SpanRecord
+from repro.perf.profile import profile_spans
+
+__all__ = ["BoundedEventBuffer", "DashboardStreamer", "MAX_STREAM_EVENTS"]
+
+#: Cap on buffered-but-undelivered stream events, mirroring the
+#: service's per-job event-log bound.
+MAX_STREAM_EVENTS = 256
+
+
+class BoundedEventBuffer:
+    """A bounded outbox: oldest events fall off, drops are counted.
+
+    Examples:
+        >>> buffer = BoundedEventBuffer(capacity=2)
+        >>> for i in range(3):
+        ...     buffer.push("tick", {"i": i})
+        >>> [(event, payload["i"]) for _, event, payload in buffer.drain()]
+        [('tick', 1), ('tick', 2)]
+        >>> buffer.dropped
+        1
+    """
+
+    def __init__(self, capacity: int = MAX_STREAM_EVENTS) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"buffer capacity must be >= 1, got {capacity}"
+            )
+        self._lock = threading.Lock()
+        self._events: deque = deque()
+        self._capacity = capacity
+        self._next_id = 1
+        self.dropped = 0
+
+    def push(self, event: str, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) >= self._capacity:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append((self._next_id, event, payload))
+            self._next_id += 1
+
+    def drain(self) -> List[Tuple[int, str, Dict[str, Any]]]:
+        with self._lock:
+            events, self._events = list(self._events), deque()
+            return events
+
+
+class DashboardStreamer:
+    """Sample telemetry on an interval; yield SSE frames of what changed.
+
+    ``metrics`` is the registry to diff; ``spans`` returns the finished
+    span records; ``jobs`` (optional, the service wires it) returns the
+    job-progress dict — and is also what ``until_idle`` watches: the
+    stream ends with a ``done`` frame once ``jobs`` reports an idle
+    service (nothing queued, nothing running) after at least one frame.
+    Without a ``jobs`` source, ``until_idle`` ends after the first
+    sample — a bare telemetry bundle has no liveness to wait for.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        spans: Callable[[], List[SpanRecord]],
+        jobs: Optional[Callable[[], Dict[str, Any]]] = None,
+        interval: float = 0.5,
+        span_table_rows: int = 12,
+        buffer_capacity: int = MAX_STREAM_EVENTS,
+    ) -> None:
+        if interval <= 0:
+            raise InvalidParameterError(
+                f"interval must be positive, got {interval}"
+            )
+        self._metrics = metrics
+        self._spans = spans
+        self._jobs = jobs
+        self._interval = interval
+        self._span_table_rows = span_table_rows
+        self._buffer = BoundedEventBuffer(buffer_capacity)
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self._span_count = -1
+        self._last_jobs: Optional[Dict[str, Any]] = None
+
+    @property
+    def dropped(self) -> int:
+        return self._buffer.dropped
+
+    def sample(self) -> int:
+        """Take one sample; push an event per source that changed.
+
+        Returns the number of events pushed (exposed so tests and the
+        perf workload can drive sampling without the timing loop).
+        """
+        pushed = 0
+        if self._jobs is not None:
+            progress = self._jobs()
+            if progress != self._last_jobs:
+                self._last_jobs = progress
+                self._buffer.push("jobs", progress)
+                pushed += 1
+        self._snapshot, delta = self._metrics.delta_since(self._snapshot)
+        if delta:
+            self._buffer.push("metrics", {"delta": delta})
+            pushed += 1
+        records = self._spans()
+        if len(records) != self._span_count:
+            self._span_count = len(records)
+            report = profile_spans(records)
+            self._buffer.push(
+                "spans",
+                {
+                    "total": len(records),
+                    "table": [
+                        [s.name, s.count, s.total, s.self_time, s.max]
+                        for s in report.stats[: self._span_table_rows]
+                    ],
+                },
+            )
+            pushed += 1
+        return pushed
+
+    def _idle(self) -> bool:
+        if self._jobs is None:
+            return True
+        progress = self._last_jobs or {}
+        states = progress.get("states", {})
+        active = sum(
+            states.get(state, 0) for state in ("queued", "running")
+        )
+        return progress.get("queue_depth", 0) == 0 and active == 0
+
+    def frames(
+        self,
+        until_idle: bool = False,
+        max_seconds: Optional[float] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> Iterator[str]:
+        """SSE-framed strings: ``hello``, then change events, then maybe
+        ``done``.
+
+        Runs until ``until_idle`` observes an idle service, ``stop()``
+        asks for shutdown, or ``max_seconds`` elapses — whichever comes
+        first (a plain follow stream passes none of them and runs until
+        the consumer disconnects).
+        """
+        yield format_sse(
+            {"interval": self._interval, "until_idle": until_idle},
+            event="hello",
+            event_id=0,
+        )
+        deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        while True:
+            self.sample()
+            for event_id, event, payload in self._buffer.drain():
+                yield format_sse(payload, event=event, event_id=event_id)
+            if until_idle and self._idle():
+                yield format_sse(
+                    {"dropped": self._buffer.dropped}, event="done"
+                )
+                return
+            if stop is not None and stop():
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(self._interval)

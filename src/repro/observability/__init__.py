@@ -26,9 +26,12 @@ Entry points:
 
 from repro.observability.export import (
     QUANTILE_POINTS,
+    SSE_MEDIA_TYPE,
     TRACE_FORMAT,
     TRACE_VERSION,
+    format_sse,
     parse_prometheus,
+    parse_sse,
     prometheus_summary,
     read_trace_jsonl,
     summary,
@@ -56,6 +59,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     quantile_from_buckets,
+    snapshot_delta,
 )
 from repro.observability.tracing import (
     SpanRecord,
@@ -78,6 +82,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "QUANTILE_POINTS",
+    "SSE_MEDIA_TYPE",
     "SpanRecord",
     "TRACE_FORMAT",
     "TRACE_VERSION",
@@ -92,16 +97,19 @@ __all__ = [
     "disable_telemetry",
     "enable",
     "enable_telemetry",
+    "format_sse",
     "gauge_set",
     "instrumented",
     "is_enabled",
     "observe",
     "parse_prometheus",
+    "parse_sse",
     "prometheus_summary",
     "quantile_from_buckets",
     "read_trace_jsonl",
     "roots",
     "self_durations",
+    "snapshot_delta",
     "span",
     "summary",
     "to_prometheus",

@@ -53,9 +53,12 @@ from repro.observability.tracing import SpanRecord
 
 __all__ = [
     "QUANTILE_POINTS",
+    "SSE_MEDIA_TYPE",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "format_sse",
     "parse_prometheus",
+    "parse_sse",
     "prometheus_summary",
     "read_trace_jsonl",
     "summary",
@@ -153,6 +156,113 @@ def read_trace_jsonl(
                 f"trace {path!r} has a corrupt span on line {number}"
             ) from None
     return header.get("metadata", {}), spans
+
+
+# ----------------------------------------------------------------------
+# Server-Sent-Events framing (the dashboard stream's wire format)
+# ----------------------------------------------------------------------
+
+#: The Content-Type an SSE response must carry.
+SSE_MEDIA_TYPE = "text/event-stream"
+
+
+def format_sse(
+    data: Any,
+    event: Optional[str] = None,
+    event_id: Optional[Any] = None,
+) -> str:
+    """Frame one JSON payload as a Server-Sent-Events block.
+
+    ``event`` becomes the ``event:`` field (the browser-side listener
+    name), ``event_id`` the ``id:`` field.  The payload is serialized
+    with sorted keys so identical state frames identically — the same
+    determinism rule as every other exporter in this module.  The block
+    is terminated by the required blank line.
+
+    Examples:
+        >>> print(format_sse({"depth": 2}, event="jobs", event_id=7), end="")
+        event: jobs
+        id: 7
+        data: {"depth": 2}
+        <BLANKLINE>
+    """
+    lines: List[str] = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    payload = json.dumps(data, sort_keys=True)
+    # json.dumps never emits raw newlines, but frame defensively: a
+    # data field per line is how SSE carries multi-line payloads.
+    for part in payload.split("\n"):
+        lines.append(f"data: {part}")
+    return "\n".join(lines) + "\n\n"
+
+
+def _sse_field(line: str) -> Tuple[str, str]:
+    field, _, value = line.partition(":")
+    if value.startswith(" "):
+        value = value[1:]
+    return field, value
+
+
+def parse_sse(text: str) -> List[Dict[str, Any]]:
+    """Parse a stream of :func:`format_sse` blocks back into events.
+
+    Returns ``[{"event", "id", "data"}, ...]`` with ``data`` already
+    JSON-decoded (``event`` defaults to ``"message"`` per the SSE spec;
+    ``id`` is ``None`` when absent).  Comment lines (``:`` prefixed,
+    the keep-alive idiom) are ignored, as are blocks carrying no data.
+
+    Truncation follows the trace-file rule: a *torn tail* — either an
+    unterminated final block or a terminated final block whose payload
+    no longer decodes, the half-written leavings of a dead producer —
+    is silently dropped, while a corrupt block anywhere earlier means
+    the stream is damaged and raises
+    :class:`~repro.errors.InvalidParameterError`.
+
+    Examples:
+        >>> frames = format_sse({"a": 1}, event="x") + format_sse({"b": 2})
+        >>> [e["event"] for e in parse_sse(frames)]
+        ['x', 'message']
+        >>> parse_sse(frames + "event: torn\\ndata: {\\"half")[-1]["data"]
+        {'b': 2}
+    """
+    blocks: List[Tuple[str, Optional[str], List[str], bool]] = []
+    event, event_id, data = "message", None, []
+    for line in text.split("\n"):
+        line = line.rstrip("\r")
+        if line == "":
+            if data:
+                blocks.append((event, event_id, data, True))
+            event, event_id, data = "message", None, []
+            continue
+        if line.startswith(":"):
+            continue
+        field, value = _sse_field(line)
+        if field == "event":
+            event = value
+        elif field == "id":
+            event_id = value
+        elif field == "data":
+            data.append(value)
+    if data:
+        blocks.append((event, event_id, data, False))  # unterminated tail
+    events: List[Dict[str, Any]] = []
+    for position, (event, event_id, data, terminated) in enumerate(blocks):
+        last = position == len(blocks) - 1
+        if not terminated:
+            break  # torn tail: producer died mid-block, tolerated
+        try:
+            payload = json.loads("\n".join(data))
+        except json.JSONDecodeError:
+            if last:
+                break  # terminated but half-written payload: tolerated
+            raise InvalidParameterError(
+                f"corrupt SSE payload in block {position + 1}"
+            ) from None
+        events.append({"event": event, "id": event_id, "data": payload})
+    return events
 
 
 # ----------------------------------------------------------------------

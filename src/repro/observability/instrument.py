@@ -134,6 +134,7 @@ WELL_KNOWN_METRICS = {
         "service_queue_depth": "jobs waiting in the admission queue",
         "service_workers_alive": "service worker threads currently alive",
         "service_jobs_running": "jobs currently executing",
+        "service_cache_size": "entries resident in the scenario result cache",
     },
 }
 

@@ -40,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "quantile_from_buckets",
+    "snapshot_delta",
 ]
 
 #: Default histogram buckets for wall-clock timings, in seconds — spans
@@ -330,6 +331,34 @@ class MetricsRegistry:
             out[metric.name] = entry
         return out
 
+    def delta_since(
+        self, before: Optional[Dict[str, Any]]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """``(snapshot, delta)`` relative to an earlier :meth:`snapshot`.
+
+        The delta is itself in snapshot format and contains only the
+        families that changed, so :meth:`merge`-ing it into a registry
+        that already holds ``before`` reproduces the new snapshot —
+        the contract the dashboard's incremental stream relies on.
+        Pass ``None`` (or ``{}``) to treat everything nonzero as new.
+
+        Examples:
+            >>> registry = MetricsRegistry()
+            >>> registry.counter("runs_total").inc(2)
+            >>> base, delta = registry.delta_since(None)
+            >>> delta["runs_total"]["series"]
+            [[[], 2.0]]
+            >>> later, delta = registry.delta_since(base)
+            >>> delta
+            {}
+            >>> registry.counter("runs_total").inc()
+            >>> later, delta = registry.delta_since(base)
+            >>> delta["runs_total"]["series"]
+            [[[], 1.0]]
+        """
+        snapshot = self.snapshot()
+        return snapshot, snapshot_delta(before or {}, snapshot)
+
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
@@ -374,3 +403,69 @@ class MetricsRegistry:
                 raise InvalidParameterError(
                     f"cannot merge metric {name!r} of kind {kind!r}"
                 )
+
+
+def snapshot_delta(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Changed families between two :meth:`MetricsRegistry.snapshot` dicts.
+
+    The result is in snapshot format, restricted to what changed:
+    counter series carry the *increment*, histograms the bucket/sum/
+    count increments, gauges the current value (their merge semantics
+    are last-writer-wins, so the absolute value is the delta).  Merging
+    the result into a registry holding ``before`` yields ``after``.
+
+    Examples:
+        >>> a, b = MetricsRegistry(), MetricsRegistry()
+        >>> a.counter("runs_total").inc(1)
+        >>> b.counter("runs_total").inc(4)
+        >>> delta = snapshot_delta(a.snapshot(), b.snapshot())
+        >>> delta["runs_total"]["series"]
+        [[[], 3.0]]
+        >>> a.merge(delta)
+        >>> a.counter("runs_total").value()
+        4.0
+    """
+    delta: Dict[str, Any] = {}
+    for name, entry in after.items():
+        kind = entry.get("kind")
+        prior = before.get(name) or {}
+        if kind == "histogram":
+            if (
+                entry.get("count") == prior.get("count", 0)
+                and entry.get("sum") == prior.get("sum", 0.0)
+            ):
+                continue
+            old_counts = prior.get("counts") or [0] * len(entry["counts"])
+            delta[name] = {
+                "kind": "histogram",
+                "help": entry.get("help", ""),
+                "buckets": list(entry.get("buckets", [])),
+                "counts": [
+                    new - old for new, old in zip(entry["counts"], old_counts)
+                ],
+                "sum": entry.get("sum", 0.0) - prior.get("sum", 0.0),
+                "count": entry.get("count", 0) - prior.get("count", 0),
+            }
+        else:
+            old_series = {
+                tuple(tuple(pair) for pair in key): value
+                for key, value in prior.get("series", [])
+            }
+            series = []
+            for key, value in entry.get("series", []):
+                old = old_series.get(tuple(tuple(pair) for pair in key))
+                if old == value:
+                    continue
+                if kind == "counter":
+                    series.append([key, value - (old or 0.0)])
+                else:
+                    series.append([key, value])
+            if series:
+                delta[name] = {
+                    "kind": kind,
+                    "help": entry.get("help", ""),
+                    "series": series,
+                }
+    return delta

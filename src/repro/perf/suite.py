@@ -23,7 +23,7 @@ configuration, not an idealized one).
 
 Examples:
     >>> suite_names()
-    ['async', 'batch', 'byzantine', 'campaign', 'engine', 'full', 'quick', 'variants']
+    ['async', 'batch', 'byzantine', 'campaign', 'dashboard', 'engine', 'full', 'quick', 'variants']
     >>> "engine_sweep" in workload_names()
     True
 """
@@ -256,6 +256,51 @@ def _setup_variant_evacuation(params: Dict[str, Any]) -> Callable[[], Any]:
     return lambda: run_campaign(scenarios, check_invariants=True)
 
 
+def _campaign_telemetry(params: Dict[str, Any]) -> "Telemetry":
+    """A telemetry populated by one seeded campaign — the dashboard
+    workloads' input, produced once in setup, outside the timer."""
+    from repro.robustness.campaign import chaos_scenarios, run_campaign
+
+    scenarios = chaos_scenarios(
+        [tuple(p) for p in params["pairs"]],
+        params["targets"],
+        faults=tuple(params["faults"]),
+        seed=params["seed"],
+    )
+    telemetry = Telemetry()
+    previous = obs.configure(telemetry)
+    try:
+        run_campaign(scenarios, check_invariants=True)
+    finally:
+        obs.configure(previous)
+    return telemetry
+
+
+def _setup_dashboard_state(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.dashboard.state import state_from_telemetry
+
+    telemetry = _campaign_telemetry(params)
+    return lambda: state_from_telemetry(telemetry).to_json()
+
+
+def _setup_dashboard_stream(params: Dict[str, Any]) -> Callable[[], Any]:
+    from repro.dashboard.stream import DashboardStreamer
+
+    telemetry = _campaign_telemetry(params)
+    samples = params["stream_samples"]
+
+    def run():
+        streamer = DashboardStreamer(
+            metrics=telemetry.metrics,
+            spans=telemetry.tracer.records,
+            jobs=lambda: {"queue_depth": 0, "states": {}},
+            interval=0.01,
+        )
+        return [streamer.sample() for _ in range(samples)]
+
+    return run
+
+
 WORKLOADS: Tuple[Workload, ...] = (
     Workload(
         name="engine_sweep",
@@ -331,6 +376,44 @@ WORKLOADS: Tuple[Workload, ...] = (
         quick={"n": 5, "f": 2, "target": 3.0, "alarm_times": [1.0, 3.0]},
     ),
     Workload(
+        name="dashboard_state",
+        description="canonical dashboard state build + serialization "
+                    "over a campaign's telemetry",
+        setup=_setup_dashboard_state,
+        full={
+            "pairs": [[3, 1], [4, 2], [5, 3]],
+            "targets": [1.0, -1.5, 2.5, -4.0],
+            "faults": ["none", "adversarial", "fixed"],
+            "seed": 2016,
+        },
+        quick={
+            "pairs": [[3, 1]],
+            "targets": [1.0, -2.0],
+            "faults": ["none", "adversarial"],
+            "seed": 2016,
+        },
+    ),
+    Workload(
+        name="dashboard_stream",
+        description="streamer sampling (delta + span-table refresh) "
+                    "over a campaign's telemetry",
+        setup=_setup_dashboard_stream,
+        full={
+            "pairs": [[3, 1], [4, 2], [5, 3]],
+            "targets": [1.0, -1.5, 2.5, -4.0],
+            "faults": ["none", "adversarial", "fixed"],
+            "seed": 2016,
+            "stream_samples": 50,
+        },
+        quick={
+            "pairs": [[3, 1]],
+            "targets": [1.0, -2.0],
+            "faults": ["none", "adversarial"],
+            "seed": 2016,
+            "stream_samples": 10,
+        },
+    ),
+    Workload(
         name="variant_halfline",
         description="half-line closed-form validation sweep over a p-grid",
         setup=_setup_variant_halfline,
@@ -370,6 +453,7 @@ SUITES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "byzantine": ("full", ("byzantine_protocol", "chaos_scenario")),
     "async": ("full", ("async_engine", "engine_sweep")),
     "variants": ("full", ("variant_halfline", "variant_evacuation")),
+    "dashboard": ("full", ("dashboard_state", "dashboard_stream")),
 }
 
 

@@ -552,18 +552,21 @@ class CampaignExecutor:
                 "campaign.scenario",
                 index=index,
                 fault=scenario.spec.fault,
+                n=scenario.spec.n,
+                f=scenario.spec.f,
+                target=scenario.spec.target,
             ) as scenario_span:
                 while True:
                     attempts += 1
                     payload = _attempt_payload(scenario, check_invariants)
                     if payload["ok"]:
-                        scenario_span.set(ok=True, attempts=attempts)
-                        record(
-                            index,
-                            _result_from_payload(
-                                scenario, payload, attempts, errors
-                            ),
+                        result = _result_from_payload(
+                            scenario, payload, attempts, errors
                         )
+                        scenario_span.set(ok=True, attempts=attempts)
+                        if result.competitive_ratio is not None:
+                            scenario_span.set(ratio=result.competitive_ratio)
+                        record(index, result)
                         break
                     errors.append(
                         f"{payload['error']}: {payload['error_message']}"
@@ -754,13 +757,21 @@ class CampaignExecutor:
         """
         telemetry = obs.current()
         if telemetry is not None:
+            attributes = dict(
+                index=task.index,
+                fault=task.scenario.spec.fault,
+                n=task.scenario.spec.n,
+                f=task.scenario.spec.f,
+                target=task.scenario.spec.target,
+                ok=result.ok,
+                attempts=result.attempts,
+            )
+            if result.competitive_ratio is not None:
+                attributes["ratio"] = result.competitive_ratio
             span_id = telemetry.tracer.record_span(
                 "campaign.scenario",
                 duration=task.elapsed,
-                index=task.index,
-                fault=task.scenario.spec.fault,
-                ok=result.ok,
-                attempts=result.attempts,
+                **attributes,
             )
             if task.span_blobs:
                 telemetry.tracer.adopt(task.span_blobs, parent_id=span_id)

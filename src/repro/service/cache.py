@@ -88,6 +88,7 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            obs.gauge_set("service_cache_size", len(self._entries))
 
     def __len__(self) -> int:
         with self._lock:

@@ -26,6 +26,7 @@ import urllib.request
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import LineSearchError
+from repro.observability.export import parse_sse
 from repro.service.protocol import ERROR_CODES, ServiceError
 
 __all__ = ["ServiceClient"]
@@ -177,6 +178,59 @@ class ServiceClient:
                     line = line.strip()
                     if line:
                         yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise _error_from(exc) from None
+
+    # -- dashboard -----------------------------------------------------
+
+    def dashboard_state(self) -> Dict[str, Any]:
+        """The canonical dashboard panel state (see :mod:`repro.dashboard`)."""
+        return self._request("GET", "/v1/dashboard/state")
+
+    def dashboard_page(self) -> str:
+        """The dashboard HTML document served at ``/v1/dashboard``."""
+        request = urllib.request.Request(self.base_url + "/v1/dashboard")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise _error_from(exc) from None
+
+    def dashboard_stream(
+        self,
+        until_idle: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield parsed SSE events from ``/v1/dashboard/stream``.
+
+        Each event is ``{"event", "id", "data"}`` with ``data`` already
+        decoded.  With ``until_idle`` the server closes the stream with
+        a ``done`` event once the service goes idle; otherwise it runs
+        until the consumer disconnects or the server drains.
+        """
+        path = "/v1/dashboard/stream" + ("?until=idle" if until_idle else "")
+        request = urllib.request.Request(
+            self.base_url + path,
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                block: List[str] = []
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                    if line:
+                        block.append(line)
+                        continue
+                    if block:
+                        # one terminated frame: reparse with the shared
+                        # SSE parser so client and server agree exactly
+                        for event in parse_sse("\n".join(block) + "\n\n"):
+                            yield event
+                        block = []
         except urllib.error.HTTPError as exc:
             raise _error_from(exc) from None
 

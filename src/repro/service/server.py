@@ -316,12 +316,15 @@ class LineSearchService:
                     args=(job,),
                     daemon=True,
                 ).start()
+            else:
+                obs.gauge_set("service_queue_depth", self.queue.depth())
         self._recovered = []
         return self
 
     def _requeue_until_accepted(self, job: Job) -> None:
         while not self._drain_event.is_set():
             if self.queue.offer(job):
+                obs.gauge_set("service_queue_depth", self.queue.depth())
                 return
             time.sleep(_TAKE_TIMEOUT)
 
@@ -390,6 +393,44 @@ class LineSearchService:
     def telemetry(self):
         """The service's telemetry (for exporters), or the ambient one."""
         return self._telemetry or obs.current()
+
+    # -- dashboard -----------------------------------------------------
+
+    def _dashboard_telemetry(self):
+        telemetry = self.telemetry()
+        if telemetry is None:
+            raise ServiceError(
+                "conflict", "telemetry is disabled on this server"
+            )
+        return telemetry
+
+    def dashboard_state(self):
+        """The canonical panel state (see :mod:`repro.dashboard.state`)."""
+        from repro.dashboard.state import state_from_telemetry
+
+        return state_from_telemetry(self._dashboard_telemetry())
+
+    def dashboard_progress(self) -> Dict[str, Any]:
+        """The live job-progress payload for the stream's ``jobs`` events."""
+        return {
+            "queue_depth": self.queue.depth(),
+            "states": self.registry.state_counts(),
+            "workers_alive": self.workers_alive(),
+            "draining": self._draining,
+        }
+
+    def dashboard_streamer(self, interval: float = 0.5):
+        """A :class:`~repro.dashboard.stream.DashboardStreamer` wired to
+        this service's registry, tracer, and job book-keeping."""
+        from repro.dashboard.stream import DashboardStreamer
+
+        telemetry = self._dashboard_telemetry()
+        return DashboardStreamer(
+            metrics=telemetry.metrics,
+            spans=telemetry.tracer.records,
+            jobs=self.dashboard_progress,
+            interval=interval,
+        )
 
     # -- admission -----------------------------------------------------
 
@@ -841,6 +882,15 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/v1/metrics":
             self._send_metrics()
             return 200, path
+        if method == "GET" and path == "/v1/dashboard":
+            self._send_dashboard_page()
+            return 200, path
+        if method == "GET" and path == "/v1/dashboard/state":
+            self._send_json(200, self.service.dashboard_state().to_dict())
+            return 200, path
+        if method == "GET" and path == "/v1/dashboard/stream":
+            self._stream_dashboard()
+            return 200, path
         raise ServiceError("not_found", f"no route {method} {path!r}")
 
     # -- streaming -----------------------------------------------------
@@ -879,6 +929,53 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self.wfile.flush()
                 return
+
+    def _send_dashboard_page(self) -> None:
+        from repro.dashboard.html import render_dashboard_html
+
+        data = render_dashboard_html().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _stream_dashboard(self) -> None:
+        """The SSE multiplex stream; ``Connection: close`` delimited.
+
+        Query parameters: ``until=idle`` ends the stream (with a
+        ``done`` frame) once the service has nothing queued or running;
+        ``interval=<seconds>`` tunes the sampling period.  The streamer
+        buffers through the same bounded-outbox discipline as the
+        per-job event log, so a slow consumer costs one handler thread
+        and a drop counter, never unbounded memory.
+        """
+        from urllib.parse import parse_qs, urlparse
+
+        from repro.observability.export import SSE_MEDIA_TYPE
+
+        query = parse_qs(urlparse(self.path).query)
+        until_idle = "idle" in query.get("until", [])
+        try:
+            interval = float(query.get("interval", ["0.25"])[0])
+        except ValueError:
+            raise ServiceError(
+                "bad_request", "interval must be a number of seconds"
+            ) from None
+        interval = min(max(interval, 0.05), 5.0)
+        streamer = self.service.dashboard_streamer(interval=interval)
+        self.send_response(200)
+        self.send_header("Content-Type", SSE_MEDIA_TYPE)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        drain = self.service._drain_event
+        for frame in streamer.frames(
+            until_idle=until_idle, stop=drain.is_set
+        ):
+            self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
 
     def _send_metrics(self) -> None:
         from repro.observability.export import to_prometheus

@@ -5,11 +5,20 @@ and renders Figure 5's curves as terminal line charts.
 """
 
 from repro.viz.ascii_art import SpaceTimeCanvas, line_chart, render_fleet_diagram
-from repro.viz.svg import fleet_svg, save_fleet_svg
+from repro.viz.svg import (
+    EVENT_KINDS,
+    claim_events,
+    fleet_svg,
+    halt_events,
+    save_fleet_svg,
+)
 
 __all__ = [
+    "EVENT_KINDS",
     "SpaceTimeCanvas",
+    "claim_events",
     "fleet_svg",
+    "halt_events",
     "line_chart",
     "render_fleet_diagram",
     "save_fleet_svg",

@@ -3,22 +3,49 @@
 Produces standalone SVG documents of fleet trajectories, with optional
 cone overlay — a vector-quality counterpart of the ASCII renderer for
 inclusion in papers or READMEs.  Pure string generation; no dependencies.
+
+Fault events are first-class: a :class:`~repro.trajectory.halted
+.HaltedTrajectory` is drawn as its live prefix, an ``×`` at the crash
+point, and a faded standstill tail — never as a healthy line.  Byzantine
+claim/refute/commit instants (and any other point event) render through
+the ``events`` parameter; :func:`halt_events` and :func:`claim_events`
+derive those event dicts from the fault model and the confirmation
+protocol.  ``animate=True`` adds SMIL markers that replay the search in
+wall-clock proportion, which is what the dashboard's trajectory panel
+embeds.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import InvalidParameterError
 from repro.geometry.cone import Cone
 from repro.trajectory.base import Trajectory
+from repro.trajectory.halted import HaltedTrajectory
 
-__all__ = ["fleet_svg", "save_fleet_svg"]
+__all__ = [
+    "EVENT_KINDS",
+    "claim_events",
+    "fleet_svg",
+    "halt_events",
+    "save_fleet_svg",
+]
 
 _COLORS = (
     "#1b6ca8", "#c43d3d", "#2e8b57", "#8a2be2", "#d2691e",
     "#008b8b", "#b8860b", "#4b0082", "#708090", "#dc143c",
 )
+
+#: Recognized event-marker kinds and their colors: crash-stop halts,
+#: Byzantine claim instants, refuted alarms, and the commit decision.
+EVENT_KINDS: Dict[str, str] = {
+    "halt": "#c43d3d",
+    "claim": "#d2691e",
+    "refute": "#708090",
+    "commit": "#2e8b57",
+}
 
 
 def _map_x(x: float, x_extent: float, width: int, margin: int) -> float:
@@ -31,6 +58,128 @@ def _map_t(t: float, until: float, height: int, margin: int) -> float:
     return margin + t / until * usable
 
 
+def halt_events(
+    trajectories: Sequence[Trajectory],
+) -> List[Dict[str, Any]]:
+    """Derive ``halt`` event markers from the crashed fleet members.
+
+    Examples:
+        >>> from repro.trajectory import DoublingTrajectory
+        >>> from repro.trajectory.halted import HaltedTrajectory
+        >>> fleet = [DoublingTrajectory(),
+        ...          HaltedTrajectory(DoublingTrajectory(), halt_time=2.0)]
+        >>> halt_events(fleet)
+        [{'kind': 'halt', 'time': 2.0, 'position': 0.0, 'robot': 1}]
+    """
+    events: List[Dict[str, Any]] = []
+    for index, trajectory in enumerate(trajectories):
+        if isinstance(trajectory, HaltedTrajectory):
+            events.append(
+                {
+                    "kind": "halt",
+                    "time": trajectory.halt_time,
+                    "position": trajectory.position_at(trajectory.halt_time),
+                    "robot": index,
+                }
+            )
+    return events
+
+
+def claim_events(claims: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Derive claim/refute/commit markers from confirmation-protocol claims.
+
+    Accepts anything shaped like
+    :class:`~repro.byzantine.protocol.ClaimRecord` (``claimant``,
+    ``position``, ``claim_time``, ``state``, ``resolve_time``).  Every
+    claim yields a ``claim`` marker at the instant it was raised; a
+    resolved claim adds a ``refute`` or ``commit`` marker at the
+    quorum-reaching vote.
+    """
+    events: List[Dict[str, Any]] = []
+    for claim in claims:
+        events.append(
+            {
+                "kind": "claim",
+                "time": claim.claim_time,
+                "position": claim.position,
+                "robot": claim.claimant,
+            }
+        )
+        state = getattr(claim.state, "value", claim.state)
+        if claim.resolve_time is not None and state in ("committed", "refuted"):
+            events.append(
+                {
+                    "kind": "commit" if state == "committed" else "refute",
+                    "time": claim.resolve_time,
+                    "position": claim.position,
+                    "robot": claim.claimant,
+                }
+            )
+    return events
+
+
+def _marker(kind: str, cx: float, cy: float) -> str:
+    color = EVENT_KINDS[kind]
+    if kind == "halt":
+        return (
+            f'<path d="M {cx - 4:.2f} {cy - 4:.2f} L {cx + 4:.2f} {cy + 4:.2f} '
+            f'M {cx - 4:.2f} {cy + 4:.2f} L {cx + 4:.2f} {cy - 4:.2f}" '
+            f'stroke="{color}" stroke-width="1.8" fill="none"/>'
+        )
+    if kind == "claim":
+        return (
+            f'<path d="M {cx:.2f} {cy - 5:.2f} L {cx + 4.33:.2f} {cy + 2.5:.2f} '
+            f'L {cx - 4.33:.2f} {cy + 2.5:.2f} Z" '
+            f'stroke="{color}" stroke-width="1.2" fill="none"/>'
+        )
+    if kind == "refute":
+        return (
+            f'<path d="M {cx:.2f} {cy + 5:.2f} L {cx + 4.33:.2f} {cy - 2.5:.2f} '
+            f'L {cx - 4.33:.2f} {cy - 2.5:.2f} Z" '
+            f'stroke="{color}" stroke-width="1.2" fill="none"/>'
+        )
+    # commit: a filled diamond — the irreversible decision
+    return (
+        f'<path d="M {cx:.2f} {cy - 5:.2f} L {cx + 5:.2f} {cy:.2f} '
+        f'L {cx:.2f} {cy + 5:.2f} L {cx - 5:.2f} {cy:.2f} Z" '
+        f'fill="{color}"/>'
+    )
+
+
+def _animated_marker(
+    points: List[tuple],
+    color: str,
+    seconds: float,
+    until: float,
+) -> str:
+    """A SMIL dot replaying one trajectory in wall-clock proportion.
+
+    ``animateMotion`` paces uniformly along the path by default, which
+    would distort a space-time replay; ``keyPoints``/``keyTimes`` pin
+    each vertex's path fraction to its time fraction instead.
+    """
+    if len(points) < 2:
+        return ""
+    if points[-1][2] < until:
+        # hold the dot at its final position so keyTimes spans [0, 1]
+        points = points + [(points[-1][0], points[-1][1], until)]
+    lengths = [0.0]
+    for (x0, y0, _), (x1, y1, _) in zip(points, points[1:]):
+        lengths.append(lengths[-1] + math.hypot(x1 - x0, y1 - y0))
+    total = lengths[-1]
+    if total <= 0:
+        return ""
+    key_points = ";".join(f"{length / total:.4f}" for length in lengths)
+    key_times = ";".join(f"{t / until:.4f}" for _, _, t in points)
+    path = "M " + " L ".join(f"{x:.2f} {y:.2f}" for x, y, _ in points)
+    return (
+        f'<circle r="3.5" fill="{color}">'
+        f'<animateMotion dur="{seconds:g}s" repeatCount="indefinite" '
+        f'calcMode="linear" keyPoints="{key_points}" keyTimes="{key_times}" '
+        f'path="{path}"/></circle>'
+    )
+
+
 def fleet_svg(
     trajectories: Sequence[Trajectory],
     until: float,
@@ -38,11 +187,19 @@ def fleet_svg(
     height: int = 480,
     cone: Optional[Cone] = None,
     x_extent: Optional[float] = None,
+    events: Optional[Iterable[Dict[str, Any]]] = None,
+    animate: bool = False,
+    animate_seconds: float = 8.0,
 ) -> str:
     """Render a fleet's space-time diagram as an SVG document string.
 
     Time flows downward (like the ASCII renderer); robot ``i`` is drawn
-    in the ``i``-th palette color with a legend.
+    in the ``i``-th palette color with a legend.  Crashed robots
+    (:class:`~repro.trajectory.halted.HaltedTrajectory`) get an ``×``
+    at the halt point and a faded dashed standstill tail; ``events``
+    adds claim/refute/commit (or extra halt) markers — see
+    :data:`EVENT_KINDS` for the recognized kinds.  ``animate=True``
+    overlays SMIL dots replaying the search over ``animate_seconds``.
 
     Examples:
         >>> from repro.trajectory import DoublingTrajectory
@@ -50,6 +207,12 @@ def fleet_svg(
         >>> doc.startswith("<svg")
         True
         >>> "polyline" in doc
+        True
+        >>> from repro.trajectory.halted import HaltedTrajectory
+        >>> crashed = HaltedTrajectory(DoublingTrajectory(), halt_time=2.0)
+        >>> "(halted)" in fleet_svg([crashed], until=10.0)
+        True
+        >>> "animateMotion" in fleet_svg([crashed], until=10.0, animate=True)
         True
     """
     if not trajectories:
@@ -86,30 +249,72 @@ def fleet_svg(
                 f'x2="{ex:.2f}" y2="{ey:.2f}" stroke="#bbb"/>'
             )
     # trajectories
+    marker_parts: List[str] = []
+    animated_parts: List[str] = []
     for index, trajectory in enumerate(trajectories):
         color = _COLORS[index % len(_COLORS)]
         points: List[str] = []
+        timed: List[tuple] = []
         segs = trajectory.segments_until(until)
         if segs:
             first = segs[0].start
-            points.append(
-                f"{_map_x(first.position, x_extent, width, margin):.2f},"
-                f"{_map_t(first.time, until, height, margin):.2f}"
-            )
+            fx = _map_x(first.position, x_extent, width, margin)
+            fy = _map_t(first.time, until, height, margin)
+            points.append(f"{fx:.2f},{fy:.2f}")
+            timed.append((fx, fy, first.time))
         for seg in segs:
             end_t = min(seg.end.time, until)
-            points.append(
-                f"{_map_x(seg.position_at(end_t), x_extent, width, margin):.2f},"
-                f"{_map_t(end_t, until, height, margin):.2f}"
-            )
+            px = _map_x(seg.position_at(end_t), x_extent, width, margin)
+            py = _map_t(end_t, until, height, margin)
+            points.append(f"{px:.2f},{py:.2f}")
+            timed.append((px, py, end_t))
         parts.append(
             f'<polyline points="{" ".join(points)}" fill="none" '
             f'stroke="{color}" stroke-width="1.5"/>'
         )
+        halted = (
+            isinstance(trajectory, HaltedTrajectory)
+            and trajectory.halt_time <= until
+        )
+        if halted:
+            # the standstill tail: frozen in place from the crash on
+            hx = _map_x(
+                trajectory.position_at(trajectory.halt_time),
+                x_extent, width, margin,
+            )
+            hy = _map_t(trajectory.halt_time, until, height, margin)
+            parts.append(
+                f'<line x1="{hx:.2f}" y1="{hy:.2f}" x2="{hx:.2f}" '
+                f'y2="{height - margin}" stroke="{color}" stroke-width="1" '
+                f'stroke-dasharray="2 4" opacity="0.45"/>'
+            )
+            marker_parts.append(_marker("halt", hx, hy))
+            timed.append((hx, float(height - margin), until))
+        if animate:
+            animated_parts.append(
+                _animated_marker(timed, color, animate_seconds, until)
+            )
+        label = f"a_{index}" + (" (halted)" if halted else "")
         parts.append(
             f'<text x="{width - margin + 4}" y="{margin + 14 * index + 10}" '
-            f'fill="{color}" font-size="11">a_{index}</text>'
+            f'fill="{color}" font-size="11">{label}</text>'
         )
+    # point events: claims, refutations, commits, extra halts
+    for event in events or ():
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            raise InvalidParameterError(
+                f"unknown event kind {kind!r}; expected one of "
+                f"{sorted(EVENT_KINDS)}"
+            )
+        time = float(event["time"])
+        if time > until:
+            continue
+        cx = _map_x(float(event["position"]), x_extent, width, margin)
+        cy = _map_t(time, until, height, margin)
+        marker_parts.append(_marker(kind, cx, cy))
+    parts.extend(marker_parts)
+    parts.extend(part for part in animated_parts if part)
     parts.append("</svg>")
     return "\n".join(parts)
 

@@ -1,0 +1,174 @@
+"""The dashboard's canonical state: determinism and byte-identity.
+
+The load-bearing property of the whole subsystem is that the state the
+live service reports and the state replayed offline from the drained
+telemetry artifacts serialize to the *same bytes*.  These tests pin it
+at the unit level (the CI smoke job pins it end to end over HTTP):
+both family sources normalize identically, volatile families and spans
+are excluded symmetrically, and ``to_json`` is stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.dashboard import (
+    VOLATILE_METRICS,
+    VOLATILE_SPAN_PREFIX,
+    build_state,
+    families_from_prometheus,
+    families_from_registry,
+    replay_state,
+    state_from_telemetry,
+)
+from repro.observability import (
+    instrument as obs,
+    to_prometheus,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.observability.instrument import Telemetry
+from repro.robustness.campaign import chaos_scenarios, run_campaign
+
+
+def _campaign_telemetry(pairs=((3, 1),), targets=(1.0, -2.0)):
+    telemetry = Telemetry()
+    previous = obs.configure(telemetry)
+    try:
+        report = run_campaign(
+            chaos_scenarios(
+                [tuple(p) for p in pairs],
+                list(targets),
+                faults=("none", "crash_stop:1.5"),
+                seed=7,
+            ),
+            check_invariants=True,
+        )
+    finally:
+        obs.configure(previous)
+    assert report.failed == 0
+    return telemetry
+
+
+def _write_artifacts(telemetry, directory):
+    os.makedirs(directory, exist_ok=True)
+    write_trace_jsonl(os.path.join(directory, "trace.jsonl"), telemetry)
+    write_prometheus(os.path.join(directory, "metrics.prom"), telemetry)
+    return directory
+
+
+class TestFamilySources:
+    def test_registry_and_prometheus_sources_agree_exactly(self):
+        telemetry = _campaign_telemetry()
+        live = families_from_registry(telemetry.metrics)
+        replayed = families_from_prometheus(to_prometheus(telemetry))
+        assert live == replayed
+
+    def test_volatile_families_excluded(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("service_requests_total").inc()
+        telemetry.metrics.histogram("service_request_seconds").observe(0.01)
+        telemetry.metrics.counter("service_drains_total").inc()
+        telemetry.metrics.gauge("service_workers_alive").set(2)
+        assert {
+            "service_requests_total",
+            "service_request_seconds",
+            "service_drains_total",
+            "service_workers_alive",
+        } <= VOLATILE_METRICS
+        telemetry.metrics.counter("scenarios_completed_total").inc()
+        families = families_from_registry(telemetry.metrics)
+        replayed = families_from_prometheus(to_prometheus(telemetry))
+        assert not VOLATILE_METRICS & set(families)
+        assert not VOLATILE_METRICS & set(replayed)
+        assert "scenarios_completed_total" in families
+        assert "scenarios_completed_total" in replayed
+
+    def test_histograms_reconstructed_bit_exactly(self):
+        telemetry = Telemetry()
+        histogram = telemetry.metrics.histogram("scenario_seconds")
+        for value in (0.001, 0.02, 0.3, 4.0, 60.0):
+            histogram.observe(value)
+        live = families_from_registry(telemetry.metrics)
+        replayed = families_from_prometheus(to_prometheus(telemetry))
+        assert live["scenario_seconds"] == replayed["scenario_seconds"]
+        assert live["scenario_seconds"]["count"] == 5
+
+    def test_empty_series_normalized_symmetrically(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("scenarios_failed_total")  # no inc
+        live = families_from_registry(telemetry.metrics)
+        replayed = families_from_prometheus(to_prometheus(telemetry))
+        assert live == replayed
+        assert live["scenarios_failed_total"]["series"] == [[[], 0.0]]
+
+
+class TestByteIdentity:
+    def test_live_state_equals_replayed_state(self, tmp_path):
+        telemetry = _campaign_telemetry(pairs=((3, 1), (4, 2)))
+        live = state_from_telemetry(telemetry)
+        directory = _write_artifacts(telemetry, str(tmp_path / "telemetry"))
+        assert replay_state(directory).to_json() == live.to_json()
+
+    def test_service_spans_excluded_from_both_sides(self, tmp_path):
+        telemetry = _campaign_telemetry()
+        with telemetry.tracer.span(VOLATILE_SPAN_PREFIX + "request"):
+            pass
+        live = state_from_telemetry(telemetry)
+        assert not any(
+            row[0].startswith(VOLATILE_SPAN_PREFIX)
+            for row in live.span_table
+        )
+        directory = _write_artifacts(telemetry, str(tmp_path / "telemetry"))
+        assert replay_state(directory).to_json() == live.to_json()
+
+    def test_to_json_is_canonical(self):
+        telemetry = _campaign_telemetry()
+        state = state_from_telemetry(telemetry)
+        text = state.to_json()
+        assert text.endswith("\n")
+        assert text == (
+            json.dumps(state.to_dict(), sort_keys=True, indent=2) + "\n"
+        )
+        # the client-side canonical dump (attach mode) matches exactly
+        round_tripped = json.loads(text)
+        assert (
+            json.dumps(round_tripped, sort_keys=True, indent=2) + "\n"
+            == text
+        )
+
+
+class TestPanels:
+    def test_ratio_profiles_grouped_by_family(self):
+        state = state_from_telemetry(
+            _campaign_telemetry(pairs=((3, 1), (4, 2)))
+        )
+        assert set(state.ratio_profiles) == {
+            "A(3,1) none",
+            "A(3,1) crash_stop:1.5",
+            "A(4,2) none",
+            "A(4,2) crash_stop:1.5",
+        }
+        for points in state.ratio_profiles.values():
+            assert all(p["ok"] for p in points)
+            assert all(p["ratio"] is not None for p in points)
+            targets = [p["target"] for p in points]
+            assert targets == sorted(targets)
+
+    def test_progress_counts_scenarios(self):
+        state = state_from_telemetry(_campaign_telemetry())
+        assert state.progress["scenarios"]["completed"] == 4.0
+        assert state.progress["scenarios"]["failed"] == 0.0
+
+    def test_span_table_hottest_first(self):
+        state = state_from_telemetry(_campaign_telemetry())
+        self_times = [row[3] for row in state.span_table]
+        assert self_times == sorted(self_times, reverse=True)
+        assert any(row[0] == "campaign.scenario" for row in state.span_table)
+
+    def test_describe_summarizes_all_panels(self):
+        text = state_from_telemetry(_campaign_telemetry()).describe()
+        assert "campaign progress:" in text
+        assert "A(3,1) none" in text
+        assert "campaign.scenario" in text

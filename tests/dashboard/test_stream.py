@@ -1,0 +1,137 @@
+"""The dashboard streamer: bounded buffering, change detection, SSE.
+
+The streamer promises that a consumer sees every change (jobs,
+metrics, spans) exactly once per change, that a slow consumer costs a
+bounded buffer plus an honest drop count, and that an ``until_idle``
+stream terminates with a ``done`` frame the parser round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dashboard import (
+    BoundedEventBuffer,
+    DashboardStreamer,
+    MAX_STREAM_EVENTS,
+)
+from repro.errors import InvalidParameterError
+from repro.observability.export import parse_sse
+from repro.observability.instrument import Telemetry
+
+
+def _streamer(telemetry, jobs=None, **overrides):
+    options = {
+        "metrics": telemetry.metrics,
+        "spans": telemetry.tracer.records,
+        "jobs": jobs,
+        "interval": 0.01,
+    }
+    options.update(overrides)
+    return DashboardStreamer(**options)
+
+
+class TestBoundedEventBuffer:
+    def test_eviction_counts_drops(self):
+        buffer = BoundedEventBuffer(capacity=3)
+        for i in range(10):
+            buffer.push("tick", {"i": i})
+        events = buffer.drain()
+        assert [payload["i"] for _, _, payload in events] == [7, 8, 9]
+        assert buffer.dropped == 7
+
+    def test_event_ids_monotonic_across_drains(self):
+        buffer = BoundedEventBuffer(capacity=4)
+        buffer.push("a", {})
+        first = buffer.drain()
+        buffer.push("b", {})
+        second = buffer.drain()
+        assert second[0][0] > first[0][0]
+
+    def test_default_capacity_mirrors_job_event_log(self):
+        assert BoundedEventBuffer()._capacity == MAX_STREAM_EVENTS
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            BoundedEventBuffer(capacity=0)
+
+
+class TestDashboardStreamer:
+    def test_first_sample_emits_everything(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("scenarios_completed_total").inc()
+        with telemetry.tracer.span("campaign.scenario"):
+            pass
+        streamer = _streamer(
+            telemetry, jobs=lambda: {"queue_depth": 0, "states": {}}
+        )
+        assert streamer.sample() == 3  # jobs + metrics + spans
+
+    def test_no_change_no_events(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("scenarios_completed_total").inc()
+        streamer = _streamer(telemetry)
+        streamer.sample()
+        assert streamer.sample() == 0
+
+    def test_metric_change_emits_delta_not_snapshot(self):
+        telemetry = Telemetry()
+        counter = telemetry.metrics.counter("scenarios_completed_total")
+        counter.inc(5)
+        streamer = _streamer(telemetry)
+        streamer.sample()
+        streamer._buffer.drain()
+        counter.inc(2)
+        assert streamer.sample() == 1
+        ((_, event, payload),) = streamer._buffer.drain()
+        assert event == "metrics"
+        delta = payload["delta"]["scenarios_completed_total"]
+        assert delta["series"][0][1] == 2.0  # the increment, not 7
+
+    def test_span_table_refreshes_on_new_spans(self):
+        telemetry = Telemetry()
+        streamer = _streamer(telemetry)
+        streamer.sample()
+        streamer._buffer.drain()
+        with telemetry.tracer.span("campaign.scenario"):
+            pass
+        assert streamer.sample() == 1
+        ((_, event, payload),) = streamer._buffer.drain()
+        assert event == "spans"
+        assert payload["total"] == 1
+        assert payload["table"][0][0] == "campaign.scenario"
+
+    def test_interval_validated(self):
+        with pytest.raises(InvalidParameterError):
+            _streamer(Telemetry(), interval=0.0)
+
+
+class TestFrames:
+    def test_until_idle_stream_parses_end_to_end(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("scenarios_completed_total").inc()
+        streamer = _streamer(
+            telemetry, jobs=lambda: {"queue_depth": 0, "states": {}}
+        )
+        events = parse_sse(
+            "".join(streamer.frames(until_idle=True))
+        )
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "hello"
+        assert kinds[-1] == "done"
+        assert {"jobs", "metrics"} <= set(kinds)
+        assert events[-1]["data"]["dropped"] == 0
+
+    def test_stop_callback_ends_stream_without_done(self):
+        telemetry = Telemetry()
+        streamer = _streamer(telemetry)
+        frames = list(streamer.frames(stop=lambda: True))
+        events = parse_sse("".join(frames))
+        assert [e["event"] for e in events][0] == "hello"
+        assert all(e["event"] != "done" for e in events)
+
+    def test_max_seconds_bounds_a_follow_stream(self):
+        telemetry = Telemetry()
+        streamer = _streamer(telemetry)
+        frames = list(streamer.frames(max_seconds=0.0))
+        assert frames  # hello frame at least, then the deadline fires

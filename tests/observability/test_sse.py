@@ -1,0 +1,83 @@
+"""SSE framing round-trip: we can parse exactly what we emit.
+
+The dashboard stream and any future event feed share one framing pair
+(:func:`format_sse` / :func:`parse_sse`), so these tests pin the
+contract both directions: emitted frames parse back to the same
+events, a torn final block (consumer died mid-write) is dropped
+silently like a torn trace.jsonl tail, and corruption anywhere else
+raises loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.observability.export import format_sse, parse_sse
+
+
+class TestFormatSse:
+    def test_frame_shape(self):
+        frame = format_sse({"a": 1}, event="tick", event_id=3)
+        assert frame == 'event: tick\nid: 3\ndata: {"a": 1}\n\n'
+
+    def test_event_and_id_optional(self):
+        assert format_sse({"a": 1}) == 'data: {"a": 1}\n\n'
+
+    def test_multiline_payload_split_into_data_lines(self):
+        frame = format_sse({"text": "x\ny"})
+        # json.dumps escapes the newline, so one data line suffices —
+        # but a literal newline in our own framing must never leak
+        assert frame.count("\ndata:") == 0
+        assert frame.startswith("data: ")
+
+    def test_keys_sorted_deterministically(self):
+        assert format_sse({"b": 1, "a": 2}) == format_sse({"b": 1, "a": 2})
+        assert '"a": 2, "b": 1' in format_sse({"b": 1, "a": 2})
+
+
+class TestParseSse:
+    def test_round_trip(self):
+        text = (
+            format_sse({"hello": True}, event="hello", event_id=0)
+            + format_sse({"n": 2}, event="tick", event_id=1)
+            + format_sse({"done": 1}, event="done")
+        )
+        events = parse_sse(text)
+        assert [e["event"] for e in events] == ["hello", "tick", "done"]
+        assert [e["id"] for e in events] == ["0", "1", None]
+        assert events[1]["data"] == {"n": 2}
+
+    def test_round_trip_survives_unicode_and_nesting(self):
+        payload = {"table": [["span", 3, 0.5]], "note": "π ≈ 3.14159"}
+        events = parse_sse(format_sse(payload, event="spans"))
+        assert events[0]["data"] == payload
+
+    def test_torn_final_block_dropped(self):
+        text = (
+            format_sse({"a": 1}, event="tick")
+            + "event: tick\ndata: {\"b\":"  # unterminated, torn mid-JSON
+        )
+        events = parse_sse(text)
+        assert len(events) == 1
+        assert events[0]["data"] == {"a": 1}
+
+    def test_terminated_final_block_with_torn_json_dropped(self):
+        text = (
+            format_sse({"a": 1}, event="tick")
+            + 'event: tick\ndata: {"b": \n\n'
+        )
+        events = parse_sse(text)
+        assert len(events) == 1
+
+    def test_interior_corruption_raises(self):
+        text = (
+            'event: tick\ndata: {"b": \n\n'
+            + format_sse({"a": 1}, event="tick")
+        )
+        with pytest.raises(InvalidParameterError, match="block 1"):
+            parse_sse(text)
+
+    def test_empty_input(self):
+        assert parse_sse("") == []
+        assert parse_sse("\n\n") == []

@@ -18,7 +18,7 @@ class TestParser:
         for cmd in (
             "info", "simulate", "ratio", "table1", "figure5",
             "diagram", "lowerbound", "experiment", "async", "chaos",
-            "telemetry", "perf",
+            "telemetry", "perf", "dashboard",
         ):
             assert cmd in text
 
@@ -872,3 +872,86 @@ class TestChaosVariant:
         )
         assert code == 2
         assert "variant" in err
+
+
+class TestDashboard:
+    @pytest.fixture()
+    def telemetry_dir(self, tmp_path):
+        """A drained telemetry dir from a small traced campaign."""
+        from repro.observability import (
+            instrument as obs,
+            write_prometheus,
+            write_trace_jsonl,
+        )
+        from repro.observability.instrument import Telemetry
+        from repro.robustness.campaign import chaos_scenarios, run_campaign
+
+        telemetry = Telemetry()
+        previous = obs.configure(telemetry)
+        try:
+            report = run_campaign(
+                chaos_scenarios(
+                    [(3, 1)], [1.0, -2.0],
+                    faults=("none", "crash_stop:1.5"), seed=7,
+                )
+            )
+        finally:
+            obs.configure(previous)
+        assert report.failed == 0
+        out = tmp_path / "telemetry"
+        out.mkdir()
+        write_trace_jsonl(str(out / "trace.jsonl"), telemetry)
+        write_prometheus(str(out / "metrics.prom"), telemetry)
+        return str(out)
+
+    def test_replay_describes_panels(self, capsys, telemetry_dir):
+        code, out, _ = run_cli(
+            capsys, "dashboard", "--telemetry-dir", telemetry_dir,
+        )
+        assert code == 0
+        assert f"replayed {telemetry_dir}" in out
+        assert "campaign progress:" in out
+        assert "A(3,1) none" in out
+
+    def test_replay_writes_canonical_state_and_html(
+        self, capsys, telemetry_dir, tmp_path
+    ):
+        from repro.dashboard import replay_state
+
+        state_path = str(tmp_path / "state.json")
+        html_path = str(tmp_path / "dashboard.html")
+        svg_path = str(tmp_path / "panel.svg")
+        code, out, _ = run_cli(
+            capsys, "dashboard", "--telemetry-dir", telemetry_dir,
+            "--state-json", state_path, "--html", html_path,
+            "--svg", svg_path,
+        )
+        assert code == 0
+        for path in (state_path, html_path, svg_path):
+            assert f"wrote {path}" in out
+        with open(state_path, encoding="utf-8") as handle:
+            assert handle.read() == replay_state(telemetry_dir).to_json()
+        with open(html_path, encoding="utf-8") as handle:
+            html = handle.read()
+        assert "const LIVE = false;" in html
+        assert 'id="replay-state"' in html
+        with open(svg_path, encoding="utf-8") as handle:
+            assert handle.read().startswith("<svg")
+
+    def test_missing_telemetry_dir_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "dashboard", "--telemetry-dir", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert "trace" in err
+
+    def test_attach_and_replay_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["dashboard", "--attach", "http://127.0.0.1:1",
+                 "--telemetry-dir", "out"]
+            )
+
+    def test_one_source_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dashboard"])
